@@ -1,0 +1,97 @@
+//! Neighborhood purity: a quantitative check that an embedding clusters by
+//! label (the reproducible stand-in for "the t-SNE plot shows clusters",
+//! paper Figs 7 / 12a–c).
+
+use pitot_linalg::Matrix;
+
+/// Mean fraction of each point's `k` nearest neighbors (Euclidean) that
+/// share its label. 1.0 = perfectly clustered; the chance level equals the
+/// label distribution's self-collision probability.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != points.rows()`, `k == 0`, or there are fewer
+/// than `k + 1` points.
+pub fn neighborhood_purity(points: &Matrix, labels: &[usize], k: usize) -> f32 {
+    let n = points.rows();
+    assert_eq!(labels.len(), n, "one label per point");
+    assert!(k > 0, "k must be positive");
+    assert!(n > k, "need more than k points");
+
+    let mut total = 0.0f64;
+    for i in 0..n {
+        // Distances to all other points.
+        let mut dists: Vec<(f32, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let d: f32 = points
+                    .row(i)
+                    .iter()
+                    .zip(points.row(j))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, j)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let same = dists[..k].iter().filter(|(_, j)| labels[*j] == labels[i]).count();
+        total += same as f64 / k as f64;
+    }
+    (total / n as f64) as f32
+}
+
+/// Chance-level purity for a label assignment: `Σ_c (n_c/n)·((n_c−1)/(n−1))`.
+pub fn chance_purity(labels: &[usize]) -> f32 {
+    let n = labels.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let max = labels.iter().copied().max().unwrap_or(0);
+    let mut counts = vec![0usize; max + 1];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    counts
+        .iter()
+        .map(|&c| (c as f32 / n as f32) * ((c.saturating_sub(1)) as f32 / (n - 1) as f32))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separated_clusters_have_high_purity() {
+        // Two tight clusters far apart.
+        let mut pts = Matrix::zeros(10, 2);
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let c = i / 5;
+            pts[(i, 0)] = c as f32 * 100.0 + (i % 5) as f32 * 0.1;
+            labels.push(c);
+        }
+        assert!(neighborhood_purity(&pts, &labels, 3) > 0.99);
+    }
+
+    #[test]
+    fn shuffled_labels_hit_chance_level() {
+        // Same geometry, labels alternating — purity should be far from 1.
+        let mut pts = Matrix::zeros(20, 1);
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            pts[(i, 0)] = i as f32;
+            labels.push(i % 2);
+        }
+        let p = neighborhood_purity(&pts, &labels, 2);
+        assert!(p < 0.4, "alternating labels purity {p}");
+        let chance = chance_purity(&labels);
+        assert!((chance - 0.474).abs() < 0.01, "chance {chance}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per point")]
+    fn checks_label_count() {
+        let _ = neighborhood_purity(&Matrix::zeros(5, 2), &[0, 1], 1);
+    }
+}

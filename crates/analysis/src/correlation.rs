@@ -1,0 +1,64 @@
+//! Pearson correlation (for the Fig 12d learned-vs-measured trend).
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0.0 when either sample is (numerically) constant.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 elements.
+pub fn pearson(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx: f64 = x.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let my: f64 = y.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a as f64 - mx;
+        let dy = b as f64 - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx < 1e-18 || syy < 1e-18 {
+        return 0.0;
+    }
+    (sxy / (sxx.sqrt() * syy.sqrt())) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f32> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-6);
+        let neg: Vec<f32> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_input_returns_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_and_symmetric(
+            xs in proptest::collection::vec(-100.0f32..100.0, 5..50),
+            shift in -10.0f32..10.0,
+        ) {
+            let ys: Vec<f32> = xs.iter().rev().map(|v| v + shift).collect();
+            let r = pearson(&xs, &ys);
+            prop_assert!((-1.0001..=1.0001).contains(&r));
+            let r_sym = pearson(&ys, &xs);
+            prop_assert!((r - r_sym).abs() < 1e-5);
+        }
+    }
+}

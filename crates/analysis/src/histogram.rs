@@ -1,0 +1,137 @@
+//! Interference-slowdown histograms (paper Fig 1).
+
+use pitot_testbed::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A histogram over log-spaced slowdown bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Bin edges in linear space (length `counts.len() + 1`).
+    pub edges: Vec<f32>,
+    /// Observation counts per bin.
+    pub counts: Vec<usize>,
+}
+
+impl LogHistogram {
+    /// Fraction of observations above `threshold`.
+    pub fn tail_fraction(&self, threshold: f32) -> f32 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let tail: usize = self
+            .edges
+            .windows(2)
+            .zip(&self.counts)
+            .filter(|(e, _)| e[0] >= threshold)
+            .map(|(_, c)| *c)
+            .sum();
+        tail as f32 / total as f32
+    }
+
+    /// Formats one row per bin as `lo..hi count` for terminal reports.
+    pub fn rows(&self) -> Vec<String> {
+        self.edges
+            .windows(2)
+            .zip(&self.counts)
+            .map(|(e, c)| format!("{:>7.2}x – {:>7.2}x  {c}", e[0], e[1]))
+            .collect()
+    }
+}
+
+/// Builds a histogram with `bins` log-spaced bins over `[lo, hi]`.
+///
+/// Values outside the range are clamped into the edge bins.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or the range is invalid.
+pub fn log_histogram(values: &[f32], lo: f32, hi: f32, bins: usize) -> LogHistogram {
+    assert!(bins > 0, "need at least one bin");
+    assert!(lo > 0.0 && hi > lo, "invalid range [{lo}, {hi}]");
+    let log_lo = lo.ln();
+    let log_hi = hi.ln();
+    let width = (log_hi - log_lo) / bins as f32;
+    let edges: Vec<f32> = (0..=bins).map(|b| (log_lo + b as f32 * width).exp()).collect();
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = (((v.max(1e-12).ln() - log_lo) / width).floor() as isize)
+            .clamp(0, bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    LogHistogram { edges, counts }
+}
+
+/// Observed interference slowdowns by interference count (paper Fig 1).
+///
+/// Each interference observation's runtime is divided by the mean *isolated*
+/// runtime of the same (workload, platform) pair; pairs never observed in
+/// isolation are skipped. Returns `(n_interferers → slowdowns)`.
+pub fn observed_slowdowns(dataset: &Dataset) -> HashMap<usize, Vec<f32>> {
+    // Mean isolated runtime per (workload, platform).
+    let mut iso_sum: HashMap<(u32, u32), (f64, u32)> = HashMap::new();
+    for o in &dataset.observations {
+        if o.interferers.is_empty() {
+            let e = iso_sum.entry((o.workload, o.platform)).or_insert((0.0, 0));
+            e.0 += o.runtime_s as f64;
+            e.1 += 1;
+        }
+    }
+
+    let mut out: HashMap<usize, Vec<f32>> = HashMap::new();
+    for o in &dataset.observations {
+        if o.interferers.is_empty() {
+            continue;
+        }
+        if let Some(&(sum, n)) = iso_sum.get(&(o.workload, o.platform)) {
+            let base = (sum / n as f64) as f32;
+            if base > 0.0 {
+                out.entry(o.interferers.len()).or_default().push(o.runtime_s / base);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot_testbed::{Testbed, TestbedConfig};
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let h = log_histogram(&[0.5, 1.0, 2.0, 4.0, 100.0], 1.0, 8.0, 3);
+        assert_eq!(h.counts.len(), 3);
+        assert_eq!(h.counts.iter().sum::<usize>(), 5);
+        // 0.5 clamps into the first bin; 100 into the last.
+        assert!(h.counts[0] >= 2);
+        assert!(h.counts[2] >= 2);
+    }
+
+    #[test]
+    fn tail_fraction_decreases() {
+        let values: Vec<f32> = (1..=100).map(|i| i as f32 / 10.0).collect();
+        let h = log_histogram(&values, 0.1, 20.0, 32);
+        assert!(h.tail_fraction(1.0) > h.tail_fraction(5.0));
+    }
+
+    #[test]
+    fn dataset_slowdowns_reproduce_fig1_shape() {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let slow = observed_slowdowns(&ds);
+        // All three interference arities present…
+        for k in 1..=3 {
+            assert!(!slow[&k].is_empty(), "no {k}-way slowdowns");
+        }
+        // …the bulk of mass is near 1x…
+        let mean1 = pitot_linalg::mean(&slow[&1]);
+        assert!(mean1 > 0.8 && mean1 < 3.0, "2-way mean slowdown {mean1}");
+        // …and more interferers shift the distribution right (Fig 1).
+        let mean3 = pitot_linalg::mean(&slow[&3]);
+        assert!(mean3 > mean1, "4-way mean {mean3} ≤ 2-way mean {mean1}");
+        // Heavy tail exists somewhere.
+        let max3 = slow[&3].iter().cloned().fold(0.0f32, f32::max);
+        assert!(max3 > 3.0, "max 4-way slowdown only {max3}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Analysis tools for the Pitot reproduction's evaluation section.
+//!
+//! - [`tsne`]: exact t-distributed stochastic neighbor embedding for the
+//!   workload/platform embedding visualizations (paper Figs 7, 12a–c);
+//! - [`spectral`]: power-iteration spectral norm of the low-rank interference
+//!   matrix `F_j = Σ_t v_s⁽ᵗ⁾ v_g⁽ᵗ⁾ᵀ` (paper Fig 12d / Eq 15);
+//! - [`histogram`]: log-spaced interference-slowdown histograms (paper Fig 1);
+//! - [`cluster`]: neighborhood-purity scores quantifying how well embeddings
+//!   cluster by label (the quantitative stand-in for "the t-SNE shows clear
+//!   clusters");
+//! - [`correlation`]: Pearson correlation for the Fig 12d trend;
+//! - [`rank`]: Spearman/Kendall rank correlations (the monotone version of
+//!   the Fig 12d claim);
+//! - [`pca`]: principal component analysis and effective-rank estimates of
+//!   the learned embeddings (the spectrum behind the Fig 10 r-ablation);
+//! - [`quality`]: silhouette and trustworthiness scores that make "the
+//!   t-SNE shows clusters" a measurable statement.
+
+pub mod cluster;
+pub mod correlation;
+pub mod histogram;
+pub mod pca;
+pub mod quality;
+pub mod rank;
+pub mod spectral;
+pub mod tsne;
+
+pub use cluster::neighborhood_purity;
+pub use correlation::pearson;
+pub use histogram::{log_histogram, observed_slowdowns, LogHistogram};
+pub use pca::Pca;
+pub use quality::{silhouette_score, trustworthiness};
+pub use rank::{kendall_tau, spearman};
+pub use spectral::{interference_matrix_norm, spectral_norm_lowrank};
+pub use tsne::{Tsne, TsneConfig};

@@ -1,0 +1,256 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! t-SNE (Fig 7 / 12a–c) is the paper's visualization of choice, but PCA is
+//! the standard first look at an embedding space: it is deterministic, it
+//! preserves global structure, and its explained-variance spectrum reveals
+//! the *effective rank* of the learned embeddings — a direct check on the
+//! paper's claim that r only needs to be "sufficiently large" (Fig 10:
+//! error stops improving past r = 32, implying the extra dimensions carry
+//! little variance).
+
+use pitot_linalg::Matrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A fitted PCA decomposition.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Column means of the input (`d`).
+    pub mean: Vec<f32>,
+    /// Principal axes, one row per component (`k × d`).
+    pub components: Matrix,
+    /// Variance captured by each component.
+    pub explained_variance: Vec<f32>,
+    /// Total variance of the centered input.
+    pub total_variance: f32,
+}
+
+impl Pca {
+    /// Fits `k` principal components by power iteration on the covariance
+    /// matrix with deflation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, has fewer than 2 rows, or `k` exceeds
+    /// the feature dimension.
+    pub fn fit(points: &Matrix, k: usize) -> Self {
+        let (n, d) = points.shape();
+        assert!(n >= 2, "PCA needs at least two points");
+        assert!(k >= 1 && k <= d, "component count {k} outside [1, {d}]");
+
+        // Center.
+        let mut mean = vec![0.0f32; d];
+        for r in 0..n {
+            for (c, m) in mean.iter_mut().enumerate() {
+                *m += points.row(r)[c];
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+        let mut x = points.clone();
+        for r in 0..n {
+            let row = x.row_mut(r);
+            for (c, m) in mean.iter().enumerate() {
+                row[c] -= m;
+            }
+        }
+
+        // Covariance (d × d), sample-normalized.
+        let mut cov = x.transpose_matmul(&x);
+        cov.scale(1.0 / (n as f32 - 1.0));
+        let total_variance: f32 = (0..d).map(|i| cov.row(i)[i]).sum();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(0x9CA0_57A7);
+        let mut components = Matrix::zeros(k, d);
+        let mut explained = Vec::with_capacity(k);
+        for comp in 0..k {
+            let (v, lambda) = dominant_eigenvector(&cov, &mut rng);
+            explained.push(lambda.max(0.0));
+            components.row_mut(comp).copy_from_slice(&v);
+            // Deflate: cov ← cov − λ v vᵀ.
+            for i in 0..d {
+                let vi = v[i];
+                let row = cov.row_mut(i);
+                for (j, r) in row.iter_mut().enumerate() {
+                    *r -= lambda * vi * v[j];
+                }
+            }
+        }
+
+        Self { mean, components, explained_variance: explained, total_variance }
+    }
+
+    /// Projects points onto the fitted components (`n × k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimension differs from the fit.
+    pub fn transform(&self, points: &Matrix) -> Matrix {
+        let (n, d) = points.shape();
+        assert_eq!(d, self.mean.len(), "feature dimension mismatch");
+        let k = self.components.rows();
+        let mut out = Matrix::zeros(n, k);
+        for r in 0..n {
+            let row = points.row(r);
+            let centered: Vec<f32> =
+                row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+            let or = out.row_mut(r);
+            for c in 0..k {
+                or[c] = pitot_linalg::dot(&centered, self.components.row(c));
+            }
+        }
+        out
+    }
+
+    /// Fraction of total variance captured by the first `k` fitted
+    /// components (cumulative explained-variance ratio).
+    pub fn explained_ratio(&self) -> f32 {
+        if self.total_variance <= 0.0 {
+            return 0.0;
+        }
+        self.explained_variance.iter().sum::<f32>() / self.total_variance
+    }
+
+    /// The smallest number of fitted components capturing at least `frac`
+    /// of total variance (`None` if the fitted components never reach it) —
+    /// the embedding's effective rank at tolerance `1 − frac`.
+    pub fn effective_rank(&self, frac: f32) -> Option<usize> {
+        if self.total_variance <= 0.0 {
+            return Some(0);
+        }
+        let mut acc = 0.0;
+        for (i, ev) in self.explained_variance.iter().enumerate() {
+            acc += ev / self.total_variance;
+            if acc >= frac {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+}
+
+/// Power iteration for the dominant eigenpair of a symmetric matrix.
+fn dominant_eigenvector<R: Rng + ?Sized>(a: &Matrix, rng: &mut R) -> (Vec<f32>, f32) {
+    let d = a.rows();
+    let mut v: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    normalize(&mut v);
+    let mut lambda = 0.0f32;
+    for _ in 0..200 {
+        let mut av = vec![0.0f32; d];
+        for i in 0..d {
+            av[i] = pitot_linalg::dot(a.row(i), &v);
+        }
+        let new_lambda = pitot_linalg::dot(&av, &v);
+        normalize(&mut av);
+        let delta: f32 = av.iter().zip(&v).map(|(x, y)| (x - y).abs()).sum();
+        v = av;
+        let converged = (new_lambda - lambda).abs() < 1e-7 * (1.0 + new_lambda.abs());
+        lambda = new_lambda;
+        if converged && delta < 1e-6 {
+            break;
+        }
+    }
+    (v, lambda)
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = pitot_linalg::dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Points on a noisy 2-D plane embedded in 6-D.
+    fn planar_data(n: usize, seed: u64) -> Matrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, 6);
+        for r in 0..n {
+            let a: f32 = rng.gen_range(-3.0..3.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            let row = m.row_mut(r);
+            row[0] = a;
+            row[1] = b;
+            row[2] = 0.5 * a - 0.2 * b;
+            row[3] = -a + b;
+            for c in 0..6 {
+                row[c] += 0.01 * rng.gen_range(-1.0f32..1.0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn recovers_low_rank_structure() {
+        let data = planar_data(400, 0);
+        let pca = Pca::fit(&data, 4);
+        assert_eq!(pca.effective_rank(0.99), Some(2), "data is rank-2 up to noise");
+        assert!(pca.explained_ratio() > 0.99);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = planar_data(300, 1);
+        let pca = Pca::fit(&data, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = pitot_linalg::dot(pca.components.row(i), pca.components.row(j));
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-2, "⟨c{i}, c{j}⟩ = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn variances_are_sorted_descending() {
+        let data = planar_data(300, 2);
+        let pca = Pca::fit(&data, 4);
+        for w in pca.explained_variance.windows(2) {
+            assert!(w[0] >= w[1] - 1e-4, "variances out of order: {:?}", pca.explained_variance);
+        }
+    }
+
+    #[test]
+    fn transform_decorrelates() {
+        let data = planar_data(500, 3);
+        let pca = Pca::fit(&data, 2);
+        let proj = pca.transform(&data);
+        // Empirical covariance of the projection should be diagonal.
+        let n = proj.rows() as f32;
+        let mean0: f32 = (0..proj.rows()).map(|r| proj.row(r)[0]).sum::<f32>() / n;
+        let mean1: f32 = (0..proj.rows()).map(|r| proj.row(r)[1]).sum::<f32>() / n;
+        let cov01: f32 = (0..proj.rows())
+            .map(|r| (proj.row(r)[0] - mean0) * (proj.row(r)[1] - mean1))
+            .sum::<f32>()
+            / (n - 1.0);
+        let var0: f32 =
+            (0..proj.rows()).map(|r| (proj.row(r)[0] - mean0).powi(2)).sum::<f32>() / (n - 1.0);
+        assert!(cov01.abs() < 0.05 * var0, "projection not decorrelated: cov {cov01}");
+    }
+
+    #[test]
+    fn projection_of_mean_is_origin() {
+        let data = planar_data(100, 4);
+        let pca = Pca::fit(&data, 2);
+        let mean_row = Matrix::from_vec(1, 6, pca.mean.clone());
+        let proj = pca.transform(&mean_row);
+        assert!(proj.row(0).iter().all(|v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_too_many_components() {
+        let data = planar_data(50, 5);
+        Pca::fit(&data, 7);
+    }
+
+    use rand::Rng;
+    use rand_chacha::ChaCha8Rng;
+}

@@ -1,0 +1,222 @@
+//! Embedding-quality metrics: silhouette score and t-SNE trustworthiness.
+//!
+//! The paper argues its embeddings are interpretable by *showing* a t-SNE
+//! with visible suite clusters (Fig 7). These metrics make that claim
+//! quantitative and testable: [`silhouette_score`] measures how well the
+//! labeled clusters separate in any space, and [`trustworthiness`] measures
+//! how faithfully a 2-D projection preserves the high-dimensional
+//! neighborhoods it claims to display.
+
+use pitot_linalg::Matrix;
+
+/// Mean silhouette coefficient of labeled points, in `[-1, 1]`.
+///
+/// For each point: `s = (b − a) / max(a, b)` where `a` is the mean distance
+/// to its own cluster and `b` the mean distance to the nearest other
+/// cluster. Positive values mean clusters are separated; 0 means overlap.
+/// Singleton clusters score 0, matching scikit-learn's convention.
+///
+/// # Panics
+///
+/// Panics if inputs mismatch, are empty, or fewer than 2 labels exist.
+pub fn silhouette_score(points: &Matrix, labels: &[usize]) -> f32 {
+    let n = points.rows();
+    assert_eq!(labels.len(), n, "label/point mismatch");
+    assert!(n >= 2, "need at least two points");
+    let n_labels = labels.iter().max().map_or(0, |m| m + 1);
+    let distinct = {
+        let mut seen = vec![false; n_labels];
+        for &l in labels {
+            seen[l] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    };
+    assert!(distinct >= 2, "need at least two clusters");
+
+    // Pairwise distances (n is small for embedding analyses).
+    let dist = pairwise_distances(points);
+    let cluster_size: Vec<usize> = (0..n_labels)
+        .map(|c| labels.iter().filter(|&&l| l == c).count())
+        .collect();
+
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let li = labels[i];
+        if cluster_size[li] <= 1 {
+            continue; // silhouette of a singleton is 0
+        }
+        let mut sums = vec![0.0f64; n_labels];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist[i * n + j] as f64;
+            }
+        }
+        let a = sums[li] / (cluster_size[li] - 1) as f64;
+        let b = (0..n_labels)
+            .filter(|&c| c != li && cluster_size[c] > 0)
+            .map(|c| sums[c] / cluster_size[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    (total / n as f64) as f32
+}
+
+/// Trustworthiness of a low-dimensional embedding (Venna & Kaski), in
+/// `[0, 1]`: 1 means every embedded k-neighborhood consists of true
+/// high-dimensional neighbors; chance level is ≈0.5.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or `k` is not in `[1, n/2)`.
+pub fn trustworthiness(original: &Matrix, embedded: &Matrix, k: usize) -> f32 {
+    let n = original.rows();
+    assert_eq!(embedded.rows(), n, "point count mismatch");
+    assert!(k >= 1 && 2 * k < n, "k {k} outside [1, n/2)");
+
+    let d_orig = pairwise_distances(original);
+    let d_emb = pairwise_distances(embedded);
+
+    // Rank of j in i's original-space neighbor ordering (1 = closest).
+    let mut rank = vec![0usize; n * n];
+    for i in 0..n {
+        let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        order.sort_by(|&a, &b| d_orig[i * n + a].total_cmp(&d_orig[i * n + b]));
+        for (r, &j) in order.iter().enumerate() {
+            rank[i * n + j] = r + 1;
+        }
+    }
+
+    let mut penalty = 0.0f64;
+    for i in 0..n {
+        // k nearest in the embedding.
+        let mut order: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        order.sort_by(|&a, &b| d_emb[i * n + a].total_cmp(&d_emb[i * n + b]));
+        for &j in order.iter().take(k) {
+            let r = rank[i * n + j];
+            if r > k {
+                penalty += (r - k) as f64;
+            }
+        }
+    }
+    let norm = 2.0 / (n as f64 * k as f64 * (2.0 * n as f64 - 3.0 * k as f64 - 1.0));
+    (1.0 - norm * penalty) as f32
+}
+
+fn pairwise_distances(points: &Matrix) -> Vec<f32> {
+    let n = points.rows();
+    let mut d = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = euclidean(points.row(i), points.row(j));
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+        }
+    }
+    d
+}
+
+fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Two well-separated Gaussian blobs in `dim` dimensions.
+    fn blobs(n_per: usize, dim: usize, sep: f32, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = 2 * n_per;
+        let mut m = Matrix::zeros(n, dim);
+        let mut labels = vec![0usize; n];
+        for i in 0..n {
+            let cluster = i / n_per;
+            labels[i] = cluster;
+            let row = m.row_mut(i);
+            for v in row.iter_mut() {
+                *v = rng.gen_range(-1.0f32..1.0);
+            }
+            row[0] += sep * cluster as f32;
+        }
+        (m, labels)
+    }
+
+    #[test]
+    fn separated_blobs_score_high() {
+        let (points, labels) = blobs(30, 4, 10.0, 0);
+        let s = silhouette_score(&points, &labels);
+        assert!(s > 0.7, "well-separated blobs scored {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_near_zero() {
+        let (points, mut labels) = blobs(30, 4, 10.0, 1);
+        // Alternate labels irrespective of geometry.
+        for (i, l) in labels.iter_mut().enumerate() {
+            *l = i % 2;
+        }
+        let s = silhouette_score(&points, &labels);
+        assert!(s.abs() < 0.2, "random labels scored {s}");
+    }
+
+    #[test]
+    fn tighter_clusters_score_higher() {
+        let (wide, labels) = blobs(25, 4, 3.0, 2);
+        let (tight, _) = blobs(25, 4, 12.0, 2);
+        assert!(silhouette_score(&tight, &labels) > silhouette_score(&wide, &labels));
+    }
+
+    #[test]
+    fn identity_embedding_is_fully_trustworthy() {
+        let (points, _) = blobs(20, 5, 4.0, 3);
+        let t = trustworthiness(&points, &points, 5);
+        assert!((t - 1.0).abs() < 1e-6, "identity scored {t}");
+    }
+
+    #[test]
+    fn scrambled_embedding_is_untrustworthy() {
+        let (points, _) = blobs(20, 5, 4.0, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let scrambled = Matrix::randn(points.rows(), 2, &mut rng);
+        let t = trustworthiness(&points, &scrambled, 5);
+        assert!(t < 0.75, "random projection scored {t}");
+    }
+
+    #[test]
+    fn faithful_projection_beats_random() {
+        // Data lives on coordinates 0–1; projecting onto them is faithful.
+        let (points, _) = blobs(25, 6, 6.0, 6);
+        let faithful = {
+            let mut m = Matrix::zeros(points.rows(), 2);
+            for r in 0..points.rows() {
+                m.row_mut(r)[0] = points.row(r)[0];
+                m.row_mut(r)[1] = points.row(r)[1];
+            }
+            m
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let random = Matrix::randn(points.rows(), 2, &mut rng);
+        let t_faithful = trustworthiness(&points, &faithful, 6);
+        let t_random = trustworthiness(&points, &random, 6);
+        assert!(
+            t_faithful > t_random + 0.1,
+            "faithful {t_faithful} vs random {t_random}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two clusters")]
+    fn silhouette_needs_two_clusters() {
+        let (points, _) = blobs(10, 3, 1.0, 8);
+        silhouette_score(&points, &vec![0; points.rows()]);
+    }
+}

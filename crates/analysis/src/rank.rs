@@ -1,0 +1,154 @@
+//! Rank correlations: Spearman's ρ and Kendall's τ.
+//!
+//! Fig 12d claims a *positive correlation* between the learned interference
+//! norm ‖F_j‖₂ and the measured mean slowdown per platform. Pearson (already
+//! in [`crate::correlation`]) is sensitive to the heavy-tailed slowdown
+//! scale; rank correlations test the monotone-relationship claim directly
+//! and are what the reproduction records in EXPERIMENTS.md alongside
+//! Pearson.
+
+/// Spearman rank correlation coefficient.
+///
+/// Ties receive average (fractional) ranks.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than 2 points are given.
+pub fn spearman(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let rx = fractional_ranks(x);
+    let ry = fractional_ranks(y);
+    crate::correlation::pearson(&rx, &ry)
+}
+
+/// Kendall's τ-b (tie-corrected).
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than 2 points are given.
+pub fn kendall_tau(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let n = x.len();
+    assert!(n >= 2, "need at least two points");
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 && dy == 0.0 {
+                // Tied in both: contributes to neither.
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if (dx > 0.0) == (dy > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_x) as f64) * ((n0 - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    ((concordant - discordant) as f64 / denom) as f32
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn fractional_ranks(xs: &[f32]) -> Vec<f32> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0f32; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average of ranks i+1..=j+1.
+        let avg = (i + j + 2) as f32 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_monotone_is_one() {
+        let x = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let y = [10.0f32, 100.0, 1000.0, 1e4, 1e5]; // nonlinear but monotone
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-6);
+        assert!((kendall_tau(&x, &y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reversed_is_minus_one() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let y = [4.0f32, 3.0, 2.0, 1.0];
+        assert!((spearman(&x, &y) + 1.0).abs() < 1e-6);
+        assert!((kendall_tau(&x, &y) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        let r = fractional_ranks(&[2.0, 1.0, 2.0, 3.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn rank_correlation_ignores_monotone_transforms() {
+        let x = [0.5f32, 1.5, 0.1, 3.0, 2.2, 0.9];
+        let y_lin: Vec<f32> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let y_exp: Vec<f32> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y_lin) - spearman(&x, &y_exp)).abs() < 1e-6);
+        assert!((kendall_tau(&x, &y_lin) - kendall_tau(&x, &y_exp)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_series_returns_zero_tau() {
+        let x = [1.0f32, 1.0, 1.0];
+        let y = [1.0f32, 2.0, 3.0];
+        assert_eq!(kendall_tau(&x, &y), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn correlations_are_bounded(
+            xs in proptest::collection::vec(-100.0f32..100.0, 3..60),
+            seed in 0u64..1000,
+        ) {
+            // Pair xs with a pseudo-random permutation-ish partner series.
+            let ys: Vec<f32> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * ((seed as f32 * 0.37 + i as f32).sin()))
+                .collect();
+            let s = spearman(&xs, &ys);
+            let t = kendall_tau(&xs, &ys);
+            prop_assert!((-1.0001..=1.0001).contains(&s), "spearman {s}");
+            prop_assert!((-1.0001..=1.0001).contains(&t), "tau {t}");
+        }
+
+        #[test]
+        fn spearman_symmetric(xs in proptest::collection::vec(-10.0f32..10.0, 3..40)) {
+            let ys: Vec<f32> = xs.iter().rev().copied().collect();
+            let a = spearman(&xs, &ys);
+            let b = spearman(&ys, &xs);
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

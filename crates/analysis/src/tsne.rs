@@ -1,0 +1,277 @@
+//! Exact t-SNE (van der Maaten & Hinton 2008).
+//!
+//! The embedding sets in this workspace are small (≤ 300 points), so the
+//! exact O(N²) algorithm is more than fast enough and avoids approximation
+//! parameters. Standard recipe: perplexity-calibrated Gaussian affinities,
+//! symmetrized; Student-t low-dimensional affinities; gradient descent with
+//! momentum and early exaggeration.
+
+use pitot_linalg::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional Gaussians (≈ effective #neighbors).
+    pub perplexity: f32,
+    /// Output dimensionality (2 for all paper figures).
+    pub out_dim: usize,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Early-exaggeration factor applied for the first quarter of training.
+    pub exaggeration: f32,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 15.0,
+            out_dim: 2,
+            iterations: 500,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Exact t-SNE runner.
+#[derive(Debug, Clone)]
+pub struct Tsne {
+    config: TsneConfig,
+}
+
+impl Tsne {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: TsneConfig) -> Self {
+        Self { config }
+    }
+
+    /// Embeds the rows of `x` into `out_dim` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has fewer than 4 rows or the perplexity is not positive.
+    pub fn embed(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        assert!(n >= 4, "t-SNE needs at least 4 points, got {n}");
+        assert!(self.config.perplexity > 0.0);
+        let cfg = &self.config;
+
+        let p = joint_affinities(x, cfg.perplexity.min((n as f32 - 2.0) / 3.0));
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut y = Matrix::randn(n, cfg.out_dim, &mut rng);
+        y.scale(1e-2);
+        let mut velocity = Matrix::zeros(n, cfg.out_dim);
+        let exag_until = cfg.iterations / 4;
+
+        for iter in 0..cfg.iterations {
+            let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+            let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+
+            // Student-t affinities Q and normalization.
+            let mut qnum = Matrix::zeros(n, n);
+            let mut z = 0.0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d2: f32 = y
+                        .row(i)
+                        .iter()
+                        .zip(y.row(j))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    let q = 1.0 / (1.0 + d2);
+                    qnum[(i, j)] = q;
+                    qnum[(j, i)] = q;
+                    z += 2.0 * q as f64;
+                }
+            }
+            let z = (z as f32).max(1e-12);
+
+            // Gradient: 4 Σ_j (exag·p_ij − q_ij) q_num_ij (y_i − y_j).
+            let mut grad = Matrix::zeros(n, cfg.out_dim);
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let coeff = 4.0 * (exag * p[(i, j)] - qnum[(i, j)] / z) * qnum[(i, j)];
+                    for d in 0..cfg.out_dim {
+                        grad[(i, d)] += coeff * (y[(i, d)] - y[(j, d)]);
+                    }
+                }
+            }
+
+            for i in 0..n {
+                for d in 0..cfg.out_dim {
+                    velocity[(i, d)] =
+                        momentum * velocity[(i, d)] - cfg.learning_rate * grad[(i, d)];
+                    y[(i, d)] += velocity[(i, d)];
+                }
+            }
+            center(&mut y);
+        }
+        y
+    }
+}
+
+/// Symmetrized, perplexity-calibrated joint affinities P.
+fn joint_affinities(x: &Matrix, perplexity: f32) -> Matrix {
+    let n = x.rows();
+    // Pairwise squared distances in the input space.
+    let mut d2 = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f32 = x
+                .row(i)
+                .iter()
+                .zip(x.row(j))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            d2[(i, j)] = d;
+            d2[(j, i)] = d;
+        }
+    }
+
+    let target_entropy = perplexity.ln();
+    let mut p = Matrix::zeros(n, n);
+    for i in 0..n {
+        // Binary search the precision β_i to hit the target entropy.
+        let (mut lo, mut hi) = (1e-8f32, 1e8f32);
+        let mut beta = 1.0f32;
+        for _ in 0..60 {
+            let (entropy, row) = row_affinities(&d2, i, beta);
+            if (entropy - target_entropy).abs() < 1e-4 {
+                for (j, v) in row.iter().enumerate() {
+                    p[(i, j)] = *v;
+                }
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+            } else {
+                hi = beta;
+            }
+            beta = if hi >= 1e8 { beta * 2.0 } else { 0.5 * (lo + hi) };
+            // Keep the latest row in case the loop exhausts.
+            let (_, row) = row_affinities(&d2, i, beta);
+            for (j, v) in row.iter().enumerate() {
+                p[(i, j)] = *v;
+            }
+        }
+    }
+
+    // Symmetrize and normalize: p_ij = (p_i|j + p_j|i) / 2N, floored.
+    let mut joint = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                joint[(i, j)] = ((p[(i, j)] + p[(j, i)]) / (2.0 * n as f32)).max(1e-12);
+            }
+        }
+    }
+    joint
+}
+
+/// Conditional affinities of row `i` at precision `beta`; returns (entropy, row).
+fn row_affinities(d2: &Matrix, i: usize, beta: f32) -> (f32, Vec<f32>) {
+    let n = d2.rows();
+    let mut row = vec![0.0f32; n];
+    let mut sum = 0.0f32;
+    for j in 0..n {
+        if j != i {
+            let v = (-beta * d2[(i, j)]).exp();
+            row[j] = v;
+            sum += v;
+        }
+    }
+    let sum = sum.max(1e-20);
+    let mut entropy = 0.0f32;
+    for (j, item) in row.iter_mut().enumerate() {
+        *item /= sum;
+        if j != i && *item > 1e-20 {
+            entropy -= *item * item.ln();
+        }
+    }
+    (entropy, row)
+}
+
+fn center(y: &mut Matrix) {
+    let (n, d) = y.shape();
+    for dim in 0..d {
+        let mean: f32 = (0..n).map(|i| y[(i, dim)]).sum::<f32>() / n as f32;
+        for i in 0..n {
+            y[(i, dim)] -= mean;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian blobs in 10-D.
+    fn blobs(n_per: usize) -> (Matrix, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut x = Matrix::zeros(3 * n_per, 10);
+        let mut labels = Vec::new();
+        for c in 0..3 {
+            for i in 0..n_per {
+                let row = x.row_mut(c * n_per + i);
+                for (d, v) in row.iter_mut().enumerate() {
+                    let noise = {
+                        use rand::Rng;
+                        rng.gen_range(-0.3..0.3)
+                    };
+                    *v = if d == c { 8.0 } else { 0.0 } + noise;
+                }
+                labels.push(c);
+            }
+        }
+        (x, labels)
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let (x, labels) = blobs(15);
+        let cfg = TsneConfig { iterations: 300, perplexity: 10.0, ..TsneConfig::default() };
+        let y = Tsne::new(cfg).embed(&x);
+        let purity = crate::cluster::neighborhood_purity(&y, &labels, 5);
+        assert!(purity > 0.9, "blob purity {purity}");
+    }
+
+    #[test]
+    fn output_shape_and_centering() {
+        let (x, _) = blobs(5);
+        let y = Tsne::new(TsneConfig { iterations: 50, ..TsneConfig::default() }).embed(&x);
+        assert_eq!(y.shape(), (15, 2));
+        let mean0: f32 = y.col(0).iter().sum::<f32>() / 15.0;
+        assert!(mean0.abs() < 1e-3, "not centered: {mean0}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, _) = blobs(5);
+        let cfg = TsneConfig { iterations: 30, ..TsneConfig::default() };
+        let a = Tsne::new(cfg.clone()).embed(&x);
+        let b = Tsne::new(cfg).embed(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn affinities_are_a_distribution() {
+        let (x, _) = blobs(5);
+        let p = joint_affinities(&x, 5.0);
+        let total: f32 = p.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "joint affinities sum {total}");
+        for i in 0..p.rows() {
+            assert_eq!(p[(i, i)], 0.0);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Attention baseline (paper App B.4 "Attention").
+//!
+//! Replaces the neural-network baseline's per-interferer multiplier with a
+//! single-head attention mechanism: the base network also emits a *query*
+//! vector; an encoder network maps each interferer to a *key* and *value*;
+//! softmax attention pools the values; and a small output network turns the
+//! pooled context into one interference multiplier.
+
+use crate::common::{sample_batch, BaselineConfig, LogPredictor};
+use pitot_linalg::{dot, Matrix};
+use pitot_nn::{squared_loss, Activation, AdaMax, Mlp};
+use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Attention baseline hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionConfig {
+    /// Hidden widths of the base and encoder networks.
+    pub hidden: Vec<usize>,
+    /// Key/query/value dimension (paper tuned to 8).
+    pub head_dim: usize,
+    /// Output network hidden width (paper tuned to 32).
+    pub output_hidden: usize,
+    /// Interference objective weight.
+    pub interference_weight: f32,
+    /// Shared training knobs.
+    pub train: BaselineConfig,
+}
+
+impl AttentionConfig {
+    /// Paper-scale configuration.
+    pub fn paper() -> Self {
+        Self {
+            hidden: vec![256, 256],
+            head_dim: 8,
+            output_hidden: 32,
+            interference_weight: 0.5,
+            train: BaselineConfig::paper(),
+        }
+    }
+
+    /// Harness-scale configuration.
+    pub fn fast() -> Self {
+        Self { hidden: vec![64, 64], ..Self::paper().with_train(BaselineConfig::fast()) }
+    }
+
+    /// Unit-test configuration.
+    pub fn tiny() -> Self {
+        Self {
+            hidden: vec![32],
+            output_hidden: 16,
+            ..Self::paper().with_train(BaselineConfig::tiny())
+        }
+    }
+
+    fn with_train(mut self, train: BaselineConfig) -> Self {
+        self.train = train;
+        self
+    }
+}
+
+/// A trained attention baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttentionNet {
+    /// `[x_w, x_p] → [pred, query]`.
+    base: Mlp,
+    /// `[x_k, x_p] → [key, value]`.
+    encoder: Mlp,
+    /// `context → multiplier`.
+    output: Mlp,
+    head_dim: usize,
+    intercept: f32,
+}
+
+/// Everything cached for one batch's attention forward pass.
+struct AttnForward {
+    preds: Vec<f32>,
+    /// Per observation: attention weights over its interferers.
+    attn: Vec<Vec<f32>>,
+    /// Pooled context rows (`B × head_dim`).
+    context: Matrix,
+    base_out: Matrix,
+    enc_out: Matrix,
+}
+
+impl AttentionNet {
+    /// Trains on `split.train` with per-mode batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split has no interference-free training data.
+    pub fn train(dataset: &Dataset, split: &Split, config: &AttentionConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.train.seed.wrapping_add(0x33F));
+        let wf = dataset.workload_features.cols();
+        let pf = dataset.platform_features.cols();
+        let d = config.head_dim;
+
+        let mut base_widths = vec![wf + pf];
+        base_widths.extend_from_slice(&config.hidden);
+        base_widths.push(1 + d);
+        let mut enc_widths = vec![wf + pf];
+        enc_widths.extend_from_slice(&config.hidden);
+        enc_widths.push(2 * d);
+        let out_widths = vec![d, config.output_hidden, 1];
+
+        let mut base = Mlp::new(&base_widths, Activation::Gelu, &mut rng);
+        let encoder = Mlp::new(&enc_widths, Activation::Gelu, &mut rng);
+        let mut output = Mlp::new(&out_widths, Activation::Gelu, &mut rng);
+        base.scale_output_layer(0.3);
+        output.scale_output_layer(0.1);
+
+        let pools: Vec<Vec<usize>> =
+            (0..=MAX_INTERFERERS).map(|k| split.train_mode(dataset, k)).collect();
+        assert!(!pools[0].is_empty(), "attention baseline needs isolation training data");
+        let intercept = {
+            let s: f64 =
+                pools[0].iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            (s / pools[0].len() as f64) as f32
+        };
+
+        let mut weights = [0.0f32; MAX_INTERFERERS + 1];
+        weights[0] = 1.0;
+        for w in weights.iter_mut().skip(1) {
+            *w = config.interference_weight / MAX_INTERFERERS as f32;
+        }
+
+        let val: Vec<usize> = split
+            .val
+            .iter()
+            .copied()
+            .take(if config.train.val_cap == 0 { usize::MAX } else { config.train.val_cap * 2 })
+            .collect();
+
+        let mut opt = AdaMax::new(config.train.learning_rate);
+        let mut best: Option<(f32, Self)> = None;
+        let mut model = Self { base, encoder, output, head_dim: d, intercept };
+
+        for step in 1..=config.train.steps {
+            let mut g_base: Option<pitot_nn::MlpGrads> = None;
+            let mut g_enc: Option<pitot_nn::MlpGrads> = None;
+            let mut g_out: Option<pitot_nn::MlpGrads> = None;
+
+            for (k, pool) in pools.iter().enumerate() {
+                if pool.is_empty() {
+                    continue;
+                }
+                let batch = sample_batch(pool, config.train.batch_per_mode, &mut rng);
+                let (base_in, enc_in, spans) = Self::batch_inputs(dataset, &batch);
+                let (base_out, base_cache) = model.base.forward(&base_in);
+                let (enc_out, enc_cache) = model.encoder.forward(&enc_in);
+                let fwd = model.attend(&base_out, &enc_out, &spans);
+                let (ctx_out, ctx_cache) = model.output.forward(&fwd.context);
+
+                let preds: Vec<f32> = (0..batch.len())
+                    .map(|b| {
+                        let has = spans[b].1 > spans[b].0;
+                        fwd.preds[b] + if has { ctx_out[(b, 0)] } else { 0.0 }
+                    })
+                    .collect();
+                let targets: Vec<f32> =
+                    batch.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let (_, mut d_pred) = squared_loss(&preds, &targets);
+                for g in &mut d_pred {
+                    *g *= weights[k];
+                }
+
+                // Output-network gradient (only rows with interferers).
+                let mut d_ctx_out = Matrix::zeros(batch.len(), 1);
+                for (b, &(lo, hi)) in spans.iter().enumerate() {
+                    if hi > lo {
+                        d_ctx_out[(b, 0)] = d_pred[b];
+                    }
+                }
+                let (d_context, go) = model.output.backward(&ctx_cache, &d_ctx_out);
+
+                // Backprop the attention mechanism into base & encoder outputs.
+                let (d_base_out, d_enc_out) =
+                    model.attend_backward(&fwd, &d_context, &d_pred, &spans);
+                let (_, gb) = model.base.backward(&base_cache, &d_base_out);
+                let (_, ge) = model.encoder.backward(&enc_cache, &d_enc_out);
+
+                for (acc, g) in [(&mut g_base, gb), (&mut g_enc, ge), (&mut g_out, go)] {
+                    match acc {
+                        None => *acc = Some(g),
+                        Some(a) => a.accumulate(&g),
+                    }
+                }
+            }
+
+            let gb = g_base.expect("isolation mode always present");
+            let ge = g_enc.unwrap_or_else(|| pitot_nn::MlpGrads::zeros_like(&model.encoder));
+            let go = g_out.unwrap_or_else(|| pitot_nn::MlpGrads::zeros_like(&model.output));
+            let g_data: Vec<Vec<f32>> = gb
+                .grad_slices()
+                .into_iter()
+                .chain(ge.grad_slices())
+                .chain(go.grad_slices())
+                .map(|s| s.to_vec())
+                .collect();
+            let g_refs: Vec<&[f32]> = g_data.iter().map(|g| g.as_slice()).collect();
+            let mut params = model.base.param_slices_mut();
+            params.extend(model.encoder.param_slices_mut());
+            params.extend(model.output.param_slices_mut());
+            opt.step(&mut params, &g_refs);
+
+            if (step % config.train.eval_every == 0 || step == config.train.steps)
+                && !val.is_empty()
+            {
+                let preds = model.predict_log(dataset, &val);
+                let targets: Vec<f32> =
+                    val.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let (loss, _) = squared_loss(&preds[0], &targets);
+                if best.as_ref().map_or(true, |(b, _)| loss < *b) {
+                    best = Some((loss, model.clone()));
+                }
+            }
+        }
+
+        best.map(|(_, m)| m).unwrap_or(model)
+    }
+
+    fn batch_inputs(dataset: &Dataset, batch: &[usize]) -> (Matrix, Matrix, Vec<(usize, usize)>) {
+        let wf = dataset.workload_features.cols();
+        let pf = dataset.platform_features.cols();
+        let mut base_in = Matrix::zeros(batch.len(), wf + pf);
+        let total: usize = batch.iter().map(|&i| dataset.observations[i].interferers.len()).sum();
+        let mut enc_in = Matrix::zeros(total.max(1), wf + pf);
+        let mut spans = Vec::with_capacity(batch.len());
+        let mut row = 0;
+        for (b, &oi) in batch.iter().enumerate() {
+            let o = &dataset.observations[oi];
+            let xw = dataset.workload_features.row(o.workload as usize);
+            let xp = dataset.platform_features.row(o.platform as usize);
+            base_in.row_mut(b)[..wf].copy_from_slice(xw);
+            base_in.row_mut(b)[wf..].copy_from_slice(xp);
+            let start = row;
+            for &k in &o.interferers {
+                let r = enc_in.row_mut(row);
+                r[..wf].copy_from_slice(dataset.workload_features.row(k as usize));
+                r[wf..].copy_from_slice(xp);
+                row += 1;
+            }
+            spans.push((start, row));
+        }
+        (base_in, enc_in, spans)
+    }
+
+    /// Attention forward pass over already-computed network outputs.
+    fn attend(&self, base_out: &Matrix, enc_out: &Matrix, spans: &[(usize, usize)]) -> AttnForward {
+        let d = self.head_dim;
+        let n = spans.len();
+        let mut preds = Vec::with_capacity(n);
+        let mut attn = Vec::with_capacity(n);
+        let mut context = Matrix::zeros(n, d);
+        for (b, &(lo, hi)) in spans.iter().enumerate() {
+            preds.push(self.intercept + base_out[(b, 0)]);
+            let query = &base_out.row(b)[1..1 + d];
+            if hi == lo {
+                attn.push(Vec::new());
+                continue;
+            }
+            // Softmax over <key_k, query> (scaled by √d as usual).
+            let scale = 1.0 / (d as f32).sqrt();
+            let logits: Vec<f32> = (lo..hi)
+                .map(|r| dot(&enc_out.row(r)[..d], query) * scale)
+                .collect();
+            let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = logits.iter().map(|l| (l - max).exp()).collect();
+            let z: f32 = exps.iter().sum();
+            let a: Vec<f32> = exps.iter().map(|e| e / z).collect();
+            for (w, r) in a.iter().zip(lo..hi) {
+                let value = &enc_out.row(r)[d..2 * d];
+                pitot_linalg::axpy_slice(*w, value, context.row_mut(b));
+            }
+            attn.push(a);
+        }
+        AttnForward { preds, attn, context, base_out: base_out.clone(), enc_out: enc_out.clone() }
+    }
+
+    /// Backward pass of the attention mechanism.
+    ///
+    /// Returns gradients with respect to the base-network and encoder
+    /// outputs given `d_context` (gradient into the pooled context) and
+    /// `d_pred` (gradient into the scalar prediction).
+    fn attend_backward(
+        &self,
+        fwd: &AttnForward,
+        d_context: &Matrix,
+        d_pred: &[f32],
+        spans: &[(usize, usize)],
+    ) -> (Matrix, Matrix) {
+        let d = self.head_dim;
+        let mut d_base = Matrix::zeros(fwd.base_out.rows(), fwd.base_out.cols());
+        let mut d_enc = Matrix::zeros(fwd.enc_out.rows(), fwd.enc_out.cols());
+        let scale = 1.0 / (d as f32).sqrt();
+
+        for (b, &(lo, hi)) in spans.iter().enumerate() {
+            // Scalar prediction path.
+            d_base[(b, 0)] = d_pred[b];
+            if hi == lo {
+                continue;
+            }
+            let a = &fwd.attn[b];
+            let dc = d_context.row(b);
+            let query = &fwd.base_out.row(b)[1..1 + d];
+
+            // d a_k = <dc, value_k>; softmax backward; then keys & query.
+            let da: Vec<f32> = (lo..hi).map(|r| dot(dc, &fwd.enc_out.row(r)[d..2 * d])).collect();
+            let dot_aa: f32 = a.iter().zip(&da).map(|(x, y)| x * y).sum();
+            for (j, r) in (lo..hi).enumerate() {
+                // d value_k = a_k · dc.
+                pitot_linalg::axpy_slice(a[j], dc, &mut d_enc.row_mut(r)[d..2 * d]);
+                // d logit_j = a_j (da_j − Σ a·da), then through the √d scale.
+                let dl = a[j] * (da[j] - dot_aa) * scale;
+                // d key_j = dl · query; d query += dl · key_j.
+                let key: Vec<f32> = fwd.enc_out.row(r)[..d].to_vec();
+                pitot_linalg::axpy_slice(dl, query, &mut d_enc.row_mut(r)[..d]);
+                pitot_linalg::axpy_slice(dl, &key, &mut d_base.row_mut(b)[1..1 + d]);
+            }
+        }
+        (d_base, d_enc)
+    }
+}
+
+impl LogPredictor for AttentionNet {
+    fn predict_log(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
+        let (base_in, enc_in, spans) = Self::batch_inputs(dataset, idx);
+        let base_out = self.base.infer(&base_in);
+        let has_intf = spans.iter().any(|&(lo, hi)| hi > lo);
+        if !has_intf {
+            return vec![base_out.col(0).iter().map(|b| self.intercept + b).collect()];
+        }
+        let enc_out = self.encoder.infer(&enc_in);
+        let fwd = self.attend(&base_out, &enc_out, &spans);
+        let ctx_out = self.output.infer(&fwd.context);
+        let preds = (0..idx.len())
+            .map(|b| {
+                let has = spans[b].1 > spans[b].0;
+                fwd.preds[b] + if has { ctx_out[(b, 0)] } else { 0.0 }
+            })
+            .collect();
+        vec![preds]
+    }
+
+    fn method_name(&self) -> &'static str {
+        "Attention"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot_testbed::{Testbed, TestbedConfig};
+
+    fn setup() -> (Dataset, Split) {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.6, 0);
+        (ds, split)
+    }
+
+    #[test]
+    fn attention_trains_to_reasonable_error() {
+        let (ds, split) = setup();
+        let model = AttentionNet::train(&ds, &split, &AttentionConfig::tiny());
+        let m = model.mape(&ds, &split.test[..2000.min(split.test.len())].to_vec());
+        assert!(m < 3.0, "attention MAPE {m}");
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one() {
+        let (ds, split) = setup();
+        let model = AttentionNet::train(&ds, &split, &AttentionConfig::tiny());
+        let idx = vec![ds.mode_indices(3)[0]];
+        let (base_in, enc_in, spans) = AttentionNet::batch_inputs(&ds, &idx);
+        let fwd = model.attend(&model.base.infer(&base_in), &model.encoder.infer(&enc_in), &spans);
+        let s: f32 = fwd.attn[0].iter().sum();
+        assert_eq!(fwd.attn[0].len(), 3);
+        assert!((s - 1.0).abs() < 1e-5, "attention weights sum {s}");
+    }
+
+    /// Gradient check of the full attention path via directional derivative.
+    #[test]
+    fn attention_backward_matches_finite_differences() {
+        let (ds, split) = setup();
+        let mut cfg = AttentionConfig::tiny();
+        cfg.train.steps = 5;
+        let model = AttentionNet::train(&ds, &split, &cfg);
+        let idx: Vec<usize> = ds.mode_indices(2)[..3].to_vec();
+        let targets: Vec<f32> = idx.iter().map(|&i| ds.observations[i].log_runtime()).collect();
+
+        let loss_of = |m: &AttentionNet| {
+            let preds = m.predict_log(&ds, &idx);
+            squared_loss(&preds[0], &targets).0
+        };
+
+        // Analytic gradients for the base network.
+        let (base_in, enc_in, spans) = AttentionNet::batch_inputs(&ds, &idx);
+        let (base_out, base_cache) = model.base.forward(&base_in);
+        let (enc_out, enc_cache) = model.encoder.forward(&enc_in);
+        let fwd = model.attend(&base_out, &enc_out, &spans);
+        let (ctx_out, ctx_cache) = model.output.forward(&fwd.context);
+        let preds: Vec<f32> =
+            (0..idx.len()).map(|b| fwd.preds[b] + ctx_out[(b, 0)]).collect();
+        let (_, d_pred) = squared_loss(&preds, &targets);
+        let mut d_ctx_out = Matrix::zeros(idx.len(), 1);
+        for (b, g) in d_pred.iter().enumerate() {
+            d_ctx_out[(b, 0)] = *g;
+        }
+        let (d_context, _go) = model.output.backward(&ctx_cache, &d_ctx_out);
+        let (d_base_out, d_enc_out) = model.attend_backward(&fwd, &d_context, &d_pred, &spans);
+        let (_, gb) = model.base.backward(&base_cache, &d_base_out);
+        let (_, ge) = model.encoder.backward(&enc_cache, &d_enc_out);
+
+        // Directional derivative over base + encoder parameters. The step
+        // must be small: with ~7k parameters perturbed at once, the total
+        // displacement is eps·√7000 and curvature error grows with its
+        // square.
+        let eps = 1e-3f32;
+        let mut plus = model.clone();
+        let mut minus = model.clone();
+        let mut analytic = 0.0f64;
+        {
+            let gs: Vec<&[f32]> = gb.grad_slices().into_iter().chain(ge.grad_slices()).collect();
+            let mut ps = plus.base.param_slices_mut();
+            ps.extend(plus.encoder.param_slices_mut());
+            let mut ms = minus.base.param_slices_mut();
+            ms.extend(minus.encoder.param_slices_mut());
+            for (bi, g) in gs.iter().enumerate() {
+                for k in 0..g.len() {
+                    let dir = if (bi + k) % 2 == 0 { 1.0 } else { -1.0 };
+                    ps[bi][k] += eps * dir;
+                    ms[bi][k] -= eps * dir;
+                    analytic += (g[k] * dir) as f64;
+                }
+            }
+        }
+        let numeric = ((loss_of(&plus) - loss_of(&minus)) / (2.0 * eps)) as f64;
+        let denom = 1.0f64.max(analytic.abs()).max(numeric.abs());
+        assert!(
+            (analytic - numeric).abs() / denom < 5e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}

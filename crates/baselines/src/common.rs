@@ -1,0 +1,118 @@
+//! Shared baseline infrastructure.
+
+use pitot_testbed::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Common training knobs shared by all baselines (paper App B.4: same steps,
+/// batch size, optimizer, and log-domain targets as Pitot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineConfig {
+    /// SGD steps.
+    pub steps: usize,
+    /// Batch size per interference mode.
+    pub batch_per_mode: usize,
+    /// AdaMax learning rate.
+    pub learning_rate: f32,
+    /// Evaluate/checkpoint cadence.
+    pub eval_every: usize,
+    /// Validation cap per mode (0 = all).
+    pub val_cap: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BaselineConfig {
+    /// Paper-scale settings (20k steps, batch 512/mode).
+    pub fn paper() -> Self {
+        Self {
+            steps: 20_000,
+            batch_per_mode: 512,
+            learning_rate: 1e-3,
+            eval_every: 200,
+            val_cap: 4096,
+            seed: 0,
+        }
+    }
+
+    /// Harness-scale settings matching `PitotConfig::fast()`.
+    pub fn fast() -> Self {
+        Self { steps: 1200, batch_per_mode: 192, eval_every: 100, val_cap: 1024, ..Self::paper() }
+    }
+
+    /// Unit-test settings.
+    pub fn tiny() -> Self {
+        Self { steps: 250, batch_per_mode: 96, eval_every: 50, val_cap: 512, ..Self::paper() }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Anything that predicts log runtimes for dataset observations.
+///
+/// All baselines and Pitot's own `TrainedPitot`-style wrappers expose
+/// this surface so the experiment harness can evaluate error and fit split
+/// conformal bounds uniformly. `predictions[h][i]` is head `h`'s log-space
+/// prediction for the `i`-th requested observation; baselines have one head.
+pub trait LogPredictor {
+    /// Log-runtime predictions, one vector per head.
+    fn predict_log(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>>;
+
+    /// Training quantile per head (`0.5` for squared-loss heads).
+    fn quantile_levels(&self) -> Vec<f32> {
+        vec![0.5]
+    }
+
+    /// Human-readable method name for reports.
+    fn method_name(&self) -> &'static str;
+
+    /// Point predictions in seconds (head 0).
+    fn predict_seconds(&self, dataset: &Dataset, idx: &[usize]) -> Vec<f32> {
+        self.predict_log(dataset, idx)[0].iter().map(|l| l.exp()).collect()
+    }
+
+    /// MAPE over the given observations.
+    fn mape(&self, dataset: &Dataset, idx: &[usize]) -> f32 {
+        assert!(!idx.is_empty(), "MAPE of empty index set");
+        let preds = self.predict_seconds(dataset, idx);
+        let total: f64 = preds
+            .iter()
+            .zip(idx)
+            .map(|(p, &i)| {
+                let a = dataset.observations[i].runtime_s;
+                ((p - a).abs() / a.max(1e-12)) as f64
+            })
+            .sum();
+        (total / idx.len() as f64) as f32
+    }
+}
+
+/// Draws a batch of `n` indices uniformly with replacement from `pool`.
+pub(crate) fn sample_batch<R: rand::Rng + ?Sized>(
+    pool: &[usize],
+    n: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(BaselineConfig::paper().steps, 20_000);
+        assert!(BaselineConfig::fast().steps < 5_000);
+        assert_eq!(BaselineConfig::tiny().with_seed(3).seed, 3);
+    }
+}

@@ -1,0 +1,305 @@
+//! k-nearest-neighbour collaborative filtering baseline.
+//!
+//! The classic pre-factorization recommender: to predict workload `i` on
+//! platform `j`, find the workloads most similar to `i` (Pearson correlation
+//! of log runtimes over platforms both have been observed on), and combine
+//! their observed log runtimes on `j`, re-centered by each workload's mean.
+//! Interference-blind, training-free, and a useful probe of how much of the
+//! problem is "just" collaborative structure before any learning happens.
+
+use crate::common::LogPredictor;
+use pitot_testbed::{split::Split, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// k-NN collaborative-filtering hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnConfig {
+    /// Neighbours consulted per prediction.
+    pub k: usize,
+    /// Minimum number of co-observed platforms before a similarity counts.
+    pub min_overlap: usize,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self { k: 10, min_overlap: 5 }
+    }
+}
+
+/// A fitted k-NN collaborative filter over the isolation observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnCollaborative {
+    config: KnnConfig,
+    /// Mean observed log runtime per (workload, platform) cell; NaN = unseen.
+    cells: Vec<f32>,
+    n_platforms: usize,
+    /// Per-workload mean log runtime over its observed cells.
+    workload_mean: Vec<f32>,
+    /// Per-platform mean deviation from workload means (for cold cells).
+    platform_effect: Vec<f32>,
+    /// `sims[i]` holds the up-to-k most similar workloads to `i`.
+    sims: Vec<Vec<(u32, f32)>>,
+    global_mean: f32,
+}
+
+impl KnnCollaborative {
+    /// Fits on the interference-free portion of `split.train`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split has no interference-free training data.
+    pub fn fit(dataset: &Dataset, split: &Split, config: &KnnConfig) -> Self {
+        let pool = split.train_mode(dataset, 0);
+        assert!(!pool.is_empty(), "kNN baseline needs isolation training data");
+        let (nw, np) = (dataset.n_workloads, dataset.n_platforms);
+
+        // Average duplicate measurements per cell.
+        let mut sum = vec![0.0f64; nw * np];
+        let mut cnt = vec![0u32; nw * np];
+        for &oi in &pool {
+            let o = &dataset.observations[oi];
+            let c = o.workload as usize * np + o.platform as usize;
+            sum[c] += o.log_runtime() as f64;
+            cnt[c] += 1;
+        }
+        let cells: Vec<f32> = sum
+            .iter()
+            .zip(&cnt)
+            .map(|(s, &c)| if c > 0 { (s / c as f64) as f32 } else { f32::NAN })
+            .collect();
+
+        let global_mean = {
+            let total: f64 = pool.iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            (total / pool.len() as f64) as f32
+        };
+
+        let workload_mean: Vec<f32> = (0..nw)
+            .map(|w| {
+                let row = &cells[w * np..(w + 1) * np];
+                let seen: Vec<f32> = row.iter().copied().filter(|v| !v.is_nan()).collect();
+                if seen.is_empty() {
+                    global_mean
+                } else {
+                    seen.iter().sum::<f32>() / seen.len() as f32
+                }
+            })
+            .collect();
+
+        let platform_effect: Vec<f32> = (0..np)
+            .map(|p| {
+                let mut dev = 0.0f64;
+                let mut n = 0usize;
+                for w in 0..nw {
+                    let v = cells[w * np + p];
+                    if !v.is_nan() {
+                        dev += (v - workload_mean[w]) as f64;
+                        n += 1;
+                    }
+                }
+                if n == 0 {
+                    0.0
+                } else {
+                    (dev / n as f64) as f32
+                }
+            })
+            .collect();
+
+        let sims = Self::similarities(&cells, &workload_mean, nw, np, config);
+
+        Self {
+            config: config.clone(),
+            cells,
+            n_platforms: np,
+            workload_mean,
+            platform_effect,
+            sims,
+            global_mean,
+        }
+    }
+
+    /// Pearson similarity over co-observed platforms, top-k per workload.
+    fn similarities(
+        cells: &[f32],
+        workload_mean: &[f32],
+        nw: usize,
+        np: usize,
+        config: &KnnConfig,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let mut sims: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nw];
+        for a in 0..nw {
+            let mut cands: Vec<(u32, f32)> = Vec::new();
+            for b in 0..nw {
+                if a == b {
+                    continue;
+                }
+                let mut sxy = 0.0f64;
+                let mut sxx = 0.0f64;
+                let mut syy = 0.0f64;
+                let mut n = 0usize;
+                for p in 0..np {
+                    let va = cells[a * np + p];
+                    let vb = cells[b * np + p];
+                    if va.is_nan() || vb.is_nan() {
+                        continue;
+                    }
+                    let da = (va - workload_mean[a]) as f64;
+                    let db = (vb - workload_mean[b]) as f64;
+                    sxy += da * db;
+                    sxx += da * da;
+                    syy += db * db;
+                    n += 1;
+                }
+                if n >= config.min_overlap && sxx > 0.0 && syy > 0.0 {
+                    let r = (sxy / (sxx.sqrt() * syy.sqrt())) as f32;
+                    if r > 0.0 {
+                        cands.push((b as u32, r));
+                    }
+                }
+            }
+            cands.sort_by(|x, y| y.1.total_cmp(&x.1));
+            cands.truncate(config.k);
+            sims[a] = cands;
+        }
+        sims
+    }
+
+    /// Predicts the log runtime of workload `w` on platform `p`.
+    pub fn predict_cell(&self, w: usize, p: usize) -> f32 {
+        // Direct observation wins.
+        let own = self.cells[w * self.n_platforms + p];
+        if !own.is_nan() {
+            return own;
+        }
+        // Neighbour-weighted deviation on platform p.
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for &(b, sim) in &self.sims[w] {
+            let v = self.cells[b as usize * self.n_platforms + p];
+            if v.is_nan() {
+                continue;
+            }
+            num += (sim * (v - self.workload_mean[b as usize])) as f64;
+            den += sim.abs() as f64;
+        }
+        if den > 0.0 {
+            self.workload_mean[w] + (num / den) as f32
+        } else {
+            // Cold fallback: workload mean + platform main effect.
+            self.workload_mean[w] + self.platform_effect[p]
+        }
+    }
+
+    /// The configuration used to fit.
+    pub fn config(&self) -> &KnnConfig {
+        &self.config
+    }
+
+    /// Global mean log runtime of the training data.
+    pub fn global_mean(&self) -> f32 {
+        self.global_mean
+    }
+}
+
+impl LogPredictor for KnnCollaborative {
+    fn predict_log(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
+        vec![idx
+            .iter()
+            .map(|&i| {
+                let o = &dataset.observations[i];
+                self.predict_cell(o.workload as usize, o.platform as usize)
+            })
+            .collect()]
+    }
+
+    fn method_name(&self) -> &'static str {
+        "knn-cf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot_testbed::{Testbed, TestbedConfig};
+
+    fn setup() -> (Dataset, Split) {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.6, 0);
+        (ds, split)
+    }
+
+    #[test]
+    fn beats_global_mean_on_isolation_data() {
+        let (ds, split) = setup();
+        let knn = KnnCollaborative::fit(&ds, &split, &KnnConfig::default());
+        let test: Vec<usize> = split
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| ds.observations[i].interferers.is_empty())
+            .take(2000)
+            .collect();
+        let preds = &knn.predict_log(&ds, &test)[0];
+        let mean_err: f32 = preds
+            .iter()
+            .zip(&test)
+            .map(|(p, &i)| (p - ds.observations[i].log_runtime()).abs())
+            .sum::<f32>()
+            / test.len() as f32;
+        let global_err: f32 = test
+            .iter()
+            .map(|&i| (knn.global_mean() - ds.observations[i].log_runtime()).abs())
+            .sum::<f32>()
+            / test.len() as f32;
+        assert!(
+            mean_err < global_err * 0.5,
+            "kNN |err| {mean_err} vs global {global_err}"
+        );
+    }
+
+    #[test]
+    fn observed_cells_are_memorized() {
+        let (ds, split) = setup();
+        let knn = KnnCollaborative::fit(&ds, &split, &KnnConfig::default());
+        // A training observation's cell must predict (near) its own value.
+        let oi = split.train_mode(&ds, 0)[0];
+        let o = &ds.observations[oi];
+        let pred = knn.predict_cell(o.workload as usize, o.platform as usize);
+        // Cells average duplicates, so allow noise-level slack.
+        assert!((pred - o.log_runtime()).abs() < 0.5, "pred {pred} vs {}", o.log_runtime());
+    }
+
+    #[test]
+    fn neighbours_are_sorted_and_capped() {
+        let (ds, split) = setup();
+        let cfg = KnnConfig { k: 3, min_overlap: 5 };
+        let knn = KnnCollaborative::fit(&ds, &split, &cfg);
+        for s in &knn.sims {
+            assert!(s.len() <= 3);
+            for w in s.windows(2) {
+                assert!(w[0].1 >= w[1].1, "similarities not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_are_finite_everywhere() {
+        let (ds, split) = setup();
+        let knn = KnnCollaborative::fit(&ds, &split, &KnnConfig::default());
+        for w in 0..ds.n_workloads {
+            for p in (0..ds.n_platforms).step_by(17) {
+                assert!(knn.predict_cell(w, p).is_finite(), "cell ({w},{p})");
+            }
+        }
+    }
+
+    #[test]
+    fn interference_blindness() {
+        let (ds, split) = setup();
+        let knn = KnnCollaborative::fit(&ds, &split, &KnnConfig::default());
+        let idx2 = ds.mode_indices(2);
+        let o = &ds.observations[idx2[0]];
+        let with = knn.predict_log(&ds, &[idx2[0]])[0][0];
+        let solo = knn.predict_cell(o.workload as usize, o.platform as usize);
+        assert_eq!(with, solo);
+    }
+}

@@ -1,0 +1,49 @@
+//! Baseline predictors from the Pitot paper's evaluation (Sec 5.3 / App B.4).
+//!
+//! No prior work tackles interference-aware runtime prediction across
+//! heterogeneous platforms directly, so the paper assembles three baselines
+//! from state-of-the-art components; this crate reproduces them:
+//!
+//! - [`MatrixFactorization`]: plain embedding-per-entity factorization in the
+//!   log domain (Paragon/Quasar-style), no side information, interference
+//!   observations discarded;
+//! - [`NeuralNetwork`]: an MLP over concatenated workload+platform features
+//!   plus a second MLP predicting a per-interferer log multiplier
+//!   (Pham et al. / Saeed et al. style);
+//! - [`AttentionNet`]: the neural-network baseline with its multiplicative
+//!   interference model replaced by a single-head attention mechanism over
+//!   the interfering workloads.
+//!
+//! Three further comparators extend the paper's set, each probing one of
+//! Pitot's design choices:
+//!
+//! - [`KnnCollaborative`]: training-free k-NN collaborative filtering (how
+//!   much of the problem is "just" collaborative structure?);
+//! - [`InductiveMc`]: the analytic bilinear matrix completion with side
+//!   information the paper cites and rejects (Chiang et al., 2015) — it
+//!   measures exactly how much tower nonlinearity buys;
+//! - [`TensorCompletion`]: CP tensor completion over (workload, platform,
+//!   interferer), the approach footnote 6 argues cannot survive sparsity.
+//!
+//! All trained baselines use AdaMax in the log domain with the same step
+//! budget and batching as Pitot (App B.4 "Common settings"), and expose the
+//! same [`LogPredictor`] surface so the experiment harness can calibrate
+//! them with split conformal prediction.
+
+mod attention;
+mod common;
+mod imc;
+mod knn;
+mod mf;
+mod nn_baseline;
+mod tensor;
+mod wcet;
+
+pub use attention::{AttentionConfig, AttentionNet};
+pub use common::{BaselineConfig, LogPredictor};
+pub use imc::{ImcConfig, InductiveMc};
+pub use knn::{KnnCollaborative, KnnConfig};
+pub use mf::{MatrixFactorization, MfConfig};
+pub use nn_baseline::{NeuralNetwork, NnConfig};
+pub use tensor::{TensorCompletion, TensorConfig};
+pub use wcet::WcetBaseline;

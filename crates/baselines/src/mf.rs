@@ -1,0 +1,223 @@
+//! Pure matrix factorization baseline (paper App B.4 "Matrix Factorization").
+//!
+//! One free embedding per workload and per platform, prediction
+//! `log Ĉ = wᵢᵀpⱼ`, squared loss on log runtime. No side information, no
+//! residual objective, no interference modeling — interference observations
+//! are discarded (the paper argues tensor completion does not scale, Sec 5.3
+//! footnote). This is the Paragon/Quasar-style collaborative-filtering
+//! approach applied to explicit runtimes.
+
+use crate::common::{sample_batch, BaselineConfig, LogPredictor};
+use pitot_linalg::Matrix;
+use pitot_nn::{squared_loss, AdaMax};
+use pitot_testbed::{split::Split, Dataset};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Matrix-factorization hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MfConfig {
+    /// Embedding rank (paper uses the same r=32 as Pitot).
+    pub rank: usize,
+    /// Shared training knobs.
+    pub train: BaselineConfig,
+}
+
+impl MfConfig {
+    /// Paper-scale configuration.
+    pub fn paper() -> Self {
+        Self { rank: 32, train: BaselineConfig::paper() }
+    }
+
+    /// Harness-scale configuration.
+    pub fn fast() -> Self {
+        Self { rank: 16, train: BaselineConfig::fast() }
+    }
+
+    /// Unit-test configuration.
+    pub fn tiny() -> Self {
+        Self { rank: 8, train: BaselineConfig::tiny() }
+    }
+}
+
+/// A trained matrix-factorization model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixFactorization {
+    w: Matrix,
+    p: Matrix,
+    /// Global mean log runtime; embeddings model the residual around it,
+    /// which is what makes cold random init workable in the log domain.
+    intercept: f32,
+}
+
+impl MatrixFactorization {
+    /// Trains on the interference-free portion of `split.train`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split has no interference-free training data.
+    pub fn train(dataset: &Dataset, split: &Split, config: &MfConfig) -> Self {
+        let pool = split.train_mode(dataset, 0);
+        assert!(!pool.is_empty(), "MF baseline needs isolation training data");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.train.seed.wrapping_add(0x11F));
+
+        let intercept = {
+            let s: f64 = pool.iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            (s / pool.len() as f64) as f32
+        };
+
+        let mut w = Matrix::randn(dataset.n_workloads, config.rank, &mut rng);
+        w.scale(0.1);
+        let mut p = Matrix::randn(dataset.n_platforms, config.rank, &mut rng);
+        p.scale(0.1);
+        let mut opt = AdaMax::new(config.train.learning_rate);
+
+        // Validation subset for checkpointing.
+        let val: Vec<usize> = split
+            .val
+            .iter()
+            .copied()
+            .filter(|&i| dataset.observations[i].interferers.is_empty())
+            .take(if config.train.val_cap == 0 { usize::MAX } else { config.train.val_cap })
+            .collect();
+
+        let mut best: Option<(f32, Matrix, Matrix)> = None;
+        // MF sees a single mode, so it gets the full combined batch size.
+        let batch_size = config.train.batch_per_mode * 4;
+
+        for step in 1..=config.train.steps {
+            let batch = sample_batch(&pool, batch_size, &mut rng);
+            let preds: Vec<f32> = batch
+                .iter()
+                .map(|&i| {
+                    let o = &dataset.observations[i];
+                    intercept
+                        + pitot_linalg::dot(
+                            w.row(o.workload as usize),
+                            p.row(o.platform as usize),
+                        )
+                })
+                .collect();
+            let targets: Vec<f32> =
+                batch.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+            let (_, d_pred) = squared_loss(&preds, &targets);
+
+            let mut dw = Matrix::zeros(w.rows(), w.cols());
+            let mut dp = Matrix::zeros(p.rows(), p.cols());
+            for (b, &i) in batch.iter().enumerate() {
+                let o = &dataset.observations[i];
+                let (wi, pj) = (o.workload as usize, o.platform as usize);
+                let g = d_pred[b];
+                let w_row: Vec<f32> = w.row(wi).to_vec();
+                pitot_linalg::axpy_slice(g, p.row(pj), dw.row_mut(wi));
+                pitot_linalg::axpy_slice(g, &w_row, dp.row_mut(pj));
+            }
+            opt.step(
+                &mut [w.as_mut_slice(), p.as_mut_slice()],
+                &[dw.as_slice(), dp.as_slice()],
+            );
+
+            if (step % config.train.eval_every == 0 || step == config.train.steps)
+                && !val.is_empty()
+            {
+                let model = Self { w: w.clone(), p: p.clone(), intercept };
+                let preds = model.predict_log(dataset, &val);
+                let targets: Vec<f32> =
+                    val.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let (loss, _) = squared_loss(&preds[0], &targets);
+                if best.as_ref().map_or(true, |(b, _, _)| loss < *b) {
+                    best = Some((loss, w.clone(), p.clone()));
+                }
+            }
+        }
+
+        match best {
+            Some((_, bw, bp)) => Self { w: bw, p: bp, intercept },
+            None => Self { w, p, intercept },
+        }
+    }
+
+    /// Workload embedding matrix.
+    pub fn workload_embeddings(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Platform embedding matrix.
+    pub fn platform_embeddings(&self) -> &Matrix {
+        &self.p
+    }
+}
+
+impl LogPredictor for MatrixFactorization {
+    fn predict_log(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
+        let preds = idx
+            .iter()
+            .map(|&i| {
+                let o = &dataset.observations[i];
+                self.intercept
+                    + pitot_linalg::dot(
+                        self.w.row(o.workload as usize),
+                        self.p.row(o.platform as usize),
+                    )
+            })
+            .collect();
+        vec![preds]
+    }
+
+    fn method_name(&self) -> &'static str {
+        "Matrix Factorization"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot_testbed::{Testbed, TestbedConfig};
+
+    #[test]
+    fn mf_learns_isolation_structure() {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.7, 0);
+        // Pure MF has no side information, so its embeddings must travel
+        // several nats from init; give it more (cheap, embedding-only) steps
+        // than the network baselines need.
+        let mut cfg = MfConfig::tiny();
+        cfg.train.steps = 2500;
+        let model = MatrixFactorization::train(&ds, &split, &cfg);
+        let iso_test: Vec<usize> = split
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| ds.observations[i].interferers.is_empty())
+            .collect();
+        let m = model.mape(&ds, &iso_test);
+        // Untrained intercept-only prediction has MAPE in the hundreds of
+        // percent; training must bring large improvement.
+        assert!(m < 2.0, "MF isolation MAPE {m}");
+    }
+
+    #[test]
+    fn mf_is_blind_to_interference() {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.5, 0);
+        let model = MatrixFactorization::train(&ds, &split, &MfConfig::tiny());
+        let idx = ds.mode_indices(3)[0];
+        let mut stripped = ds.clone();
+        stripped.observations[idx].interferers.clear();
+        let a = model.predict_log(&ds, &[idx])[0][0];
+        let b = model.predict_log(&stripped, &[idx])[0][0];
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.5, 0);
+        let mut cfg = MfConfig::tiny();
+        cfg.train.steps = 50;
+        let a = MatrixFactorization::train(&ds, &split, &cfg);
+        let b = MatrixFactorization::train(&ds, &split, &cfg);
+        assert_eq!(a.predict_log(&ds, &[0]), b.predict_log(&ds, &[0]));
+    }
+}

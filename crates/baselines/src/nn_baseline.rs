@@ -1,0 +1,304 @@
+//! Neural-network baseline (paper App B.4 "Neural Network").
+//!
+//! Two MLPs, each twice Pitot's width: a *base* network mapping concatenated
+//! workload+platform features to an interference-blind log runtime, and an
+//! *interference* network mapping (workload, interferer, platform) features
+//! to a per-interferer log multiplier that is added to the base prediction
+//! (multiplicative in linear space).
+
+use crate::common::{sample_batch, BaselineConfig, LogPredictor};
+use pitot_linalg::Matrix;
+use pitot_nn::{squared_loss, Activation, AdaMax, Mlp};
+use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Neural-network baseline hyperparameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NnConfig {
+    /// Hidden widths of both networks (paper: two layers of 256 — twice
+    /// Pitot's 128).
+    pub hidden: Vec<usize>,
+    /// Weight of the interference objective (same β as Pitot).
+    pub interference_weight: f32,
+    /// Shared training knobs.
+    pub train: BaselineConfig,
+}
+
+impl NnConfig {
+    /// Paper-scale configuration.
+    pub fn paper() -> Self {
+        Self { hidden: vec![256, 256], interference_weight: 0.5, train: BaselineConfig::paper() }
+    }
+
+    /// Harness-scale configuration (twice Pitot's fast() width).
+    pub fn fast() -> Self {
+        Self { hidden: vec![64, 64], interference_weight: 0.5, train: BaselineConfig::fast() }
+    }
+
+    /// Unit-test configuration.
+    pub fn tiny() -> Self {
+        Self { hidden: vec![32], interference_weight: 0.5, train: BaselineConfig::tiny() }
+    }
+}
+
+/// A trained neural-network baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeuralNetwork {
+    base: Mlp,
+    interference: Mlp,
+    intercept: f32,
+}
+
+impl NeuralNetwork {
+    /// Trains on `split.train` with per-mode batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split has no interference-free training data.
+    pub fn train(dataset: &Dataset, split: &Split, config: &NnConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.train.seed.wrapping_add(0x22F));
+        let wf = dataset.workload_features.cols();
+        let pf = dataset.platform_features.cols();
+
+        let mut base_widths = vec![wf + pf];
+        base_widths.extend_from_slice(&config.hidden);
+        base_widths.push(1);
+        let mut intf_widths = vec![2 * wf + pf];
+        intf_widths.extend_from_slice(&config.hidden);
+        intf_widths.push(1);
+
+        let mut base = Mlp::new(&base_widths, Activation::Gelu, &mut rng);
+        let mut interference = Mlp::new(&intf_widths, Activation::Gelu, &mut rng);
+        base.scale_output_layer(0.3);
+        interference.scale_output_layer(0.1);
+
+        let pools: Vec<Vec<usize>> =
+            (0..=MAX_INTERFERERS).map(|k| split.train_mode(dataset, k)).collect();
+        assert!(!pools[0].is_empty(), "NN baseline needs isolation training data");
+        let intercept = {
+            let s: f64 =
+                pools[0].iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            (s / pools[0].len() as f64) as f32
+        };
+
+        let mut weights = [0.0f32; MAX_INTERFERERS + 1];
+        weights[0] = 1.0;
+        for w in weights.iter_mut().skip(1) {
+            *w = config.interference_weight / MAX_INTERFERERS as f32;
+        }
+
+        let val: Vec<usize> = split
+            .val
+            .iter()
+            .copied()
+            .take(if config.train.val_cap == 0 { usize::MAX } else { config.train.val_cap * 2 })
+            .collect();
+
+        let mut opt = AdaMax::new(config.train.learning_rate);
+        let mut best: Option<(f32, Mlp, Mlp)> = None;
+
+        for step in 1..=config.train.steps {
+            let mut base_grads = None;
+            let mut intf_grads = None;
+
+            for (k, pool) in pools.iter().enumerate() {
+                if pool.is_empty() {
+                    continue;
+                }
+                let batch = sample_batch(pool, config.train.batch_per_mode, &mut rng);
+                let (base_in, intf_in, spans) = Self::batch_inputs(dataset, &batch);
+                let (base_out, base_cache) = base.forward(&base_in);
+                let (preds, intf_out, intf_cache) = if k > 0 {
+                    let (io, ic) = interference.forward(&intf_in);
+                    let preds = Self::combine(intercept, &base_out, &io, &spans);
+                    (preds, Some(io), Some(ic))
+                } else {
+                    let preds: Vec<f32> =
+                        base_out.as_slice().iter().map(|b| intercept + b).collect();
+                    (preds, None, None)
+                };
+                let targets: Vec<f32> =
+                    batch.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let (_, mut d_pred) = squared_loss(&preds, &targets);
+                for g in &mut d_pred {
+                    *g *= weights[k];
+                }
+
+                // Base network gradient: one output row per observation.
+                let d_base = Matrix::from_vec(batch.len(), 1, d_pred.clone());
+                let (_, g_base) = base.backward(&base_cache, &d_base);
+                match &mut base_grads {
+                    None => base_grads = Some(g_base),
+                    Some(acc) => acc.accumulate(&g_base),
+                }
+                // Interference network gradient: the multiplier of every
+                // interferer of observation b receives d_pred[b].
+                if let (Some(io), Some(ic)) = (&intf_out, &intf_cache) {
+                    let mut d_intf = Matrix::zeros(io.rows(), 1);
+                    for (b, span) in spans.iter().enumerate() {
+                        for r in span.0..span.1 {
+                            d_intf[(r, 0)] = d_pred[b];
+                        }
+                    }
+                    let (_, g_intf) = interference.backward(ic, &d_intf);
+                    match &mut intf_grads {
+                        None => intf_grads = Some(g_intf),
+                        Some(acc) => acc.accumulate(&g_intf),
+                    }
+                }
+            }
+
+            // One optimizer step over both networks (zero grads if a network
+            // saw no data this step).
+            let g_base = base_grads.expect("isolation mode always present");
+            let g_intf =
+                intf_grads.unwrap_or_else(|| pitot_nn::MlpGrads::zeros_like(&interference));
+            let g_data: Vec<Vec<f32>> = g_base
+                .grad_slices()
+                .into_iter()
+                .chain(g_intf.grad_slices())
+                .map(|s| s.to_vec())
+                .collect();
+            let g_refs: Vec<&[f32]> = g_data.iter().map(|g| g.as_slice()).collect();
+            let mut params = base.param_slices_mut();
+            params.extend(interference.param_slices_mut());
+            opt.step(&mut params, &g_refs);
+
+            if (step % config.train.eval_every == 0 || step == config.train.steps)
+                && !val.is_empty()
+            {
+                let model =
+                    Self { base: base.clone(), interference: interference.clone(), intercept };
+                let preds = model.predict_log(dataset, &val);
+                let targets: Vec<f32> =
+                    val.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let (loss, _) = squared_loss(&preds[0], &targets);
+                if best.as_ref().map_or(true, |(b, _, _)| loss < *b) {
+                    best = Some((loss, base.clone(), interference.clone()));
+                }
+            }
+        }
+
+        match best {
+            Some((_, b, i)) => Self { base: b, interference: i, intercept },
+            None => Self { base, interference, intercept },
+        }
+    }
+
+    /// Builds base inputs (`B × (wf+pf)`), interference inputs (one row per
+    /// interferer), and per-observation row spans into the latter.
+    fn batch_inputs(
+        dataset: &Dataset,
+        batch: &[usize],
+    ) -> (Matrix, Matrix, Vec<(usize, usize)>) {
+        let wf = dataset.workload_features.cols();
+        let pf = dataset.platform_features.cols();
+        let mut base_in = Matrix::zeros(batch.len(), wf + pf);
+        let total_intf: usize =
+            batch.iter().map(|&i| dataset.observations[i].interferers.len()).sum();
+        let mut intf_in = Matrix::zeros(total_intf.max(1), 2 * wf + pf);
+        let mut spans = Vec::with_capacity(batch.len());
+        let mut row = 0;
+        for (b, &oi) in batch.iter().enumerate() {
+            let o = &dataset.observations[oi];
+            let xw = dataset.workload_features.row(o.workload as usize);
+            let xp = dataset.platform_features.row(o.platform as usize);
+            base_in.row_mut(b)[..wf].copy_from_slice(xw);
+            base_in.row_mut(b)[wf..].copy_from_slice(xp);
+            let start = row;
+            for &k in &o.interferers {
+                let xk = dataset.workload_features.row(k as usize);
+                let r = intf_in.row_mut(row);
+                r[..wf].copy_from_slice(xw);
+                r[wf..2 * wf].copy_from_slice(xk);
+                r[2 * wf..].copy_from_slice(xp);
+                row += 1;
+            }
+            spans.push((start, row));
+        }
+        (base_in, intf_in, spans)
+    }
+
+    fn combine(
+        intercept: f32,
+        base_out: &Matrix,
+        intf_out: &Matrix,
+        spans: &[(usize, usize)],
+    ) -> Vec<f32> {
+        spans
+            .iter()
+            .enumerate()
+            .map(|(b, &(lo, hi))| {
+                let mut pred = intercept + base_out[(b, 0)];
+                for r in lo..hi {
+                    pred += intf_out[(r, 0)];
+                }
+                pred
+            })
+            .collect()
+    }
+}
+
+impl LogPredictor for NeuralNetwork {
+    fn predict_log(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
+        let (base_in, intf_in, spans) = Self::batch_inputs(dataset, idx);
+        let base_out = self.base.infer(&base_in);
+        let has_intf = spans.iter().any(|&(lo, hi)| hi > lo);
+        let preds = if has_intf {
+            let intf_out = self.interference.infer(&intf_in);
+            Self::combine(self.intercept, &base_out, &intf_out, &spans)
+        } else {
+            base_out.as_slice().iter().map(|b| self.intercept + b).collect()
+        };
+        vec![preds]
+    }
+
+    fn method_name(&self) -> &'static str {
+        "Neural Network"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot_testbed::{Testbed, TestbedConfig};
+
+    fn setup() -> (Dataset, Split) {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.6, 0);
+        (ds, split)
+    }
+
+    #[test]
+    fn nn_beats_intercept_only() {
+        let (ds, split) = setup();
+        let model = NeuralNetwork::train(&ds, &split, &NnConfig::tiny());
+        let m = model.mape(&ds, &split.test[..2000.min(split.test.len())].to_vec());
+        assert!(m < 3.0, "NN MAPE {m}");
+    }
+
+    #[test]
+    fn interference_net_reacts_to_interferers() {
+        let (ds, split) = setup();
+        let model = NeuralNetwork::train(&ds, &split, &NnConfig::tiny());
+        let idx = ds.mode_indices(3)[0];
+        let mut stripped = ds.clone();
+        stripped.observations[idx].interferers.clear();
+        let a = model.predict_log(&ds, &[idx])[0][0];
+        let b = model.predict_log(&stripped, &[idx])[0][0];
+        assert_ne!(a, b, "interference net contributed nothing");
+    }
+
+    #[test]
+    fn batch_inputs_layout() {
+        let (ds, _) = setup();
+        let idx = vec![ds.mode_indices(2)[0], ds.mode_indices(0)[0]];
+        let (base_in, intf_in, spans) = NeuralNetwork::batch_inputs(&ds, &idx);
+        assert_eq!(base_in.rows(), 2);
+        assert_eq!(spans[0], (0, 2)); // 2 interferers for the first obs
+        assert_eq!(spans[1], (2, 2)); // none for the isolation obs
+        assert_eq!(intf_in.rows(), 2);
+    }
+}

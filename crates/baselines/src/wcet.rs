@@ -1,0 +1,153 @@
+//! Worst-case-execution-time-style bound baseline.
+//!
+//! The paper's related work (Sec 2) contrasts Pitot with classic WCET
+//! analysis: pessimistic bounds derived from worst observed (or statically
+//! bounded) behavior. This baseline emulates the *measurement-based* WCET
+//! practice — per-workload worst observed runtime times a safety factor —
+//! and exists to quantify how loose such bounds are next to conformal ones
+//! (they carry no coverage guarantee for unseen platforms, and their margins
+//! dwarf CQR's on heterogeneous clusters).
+
+use crate::common::LogPredictor;
+use pitot_testbed::{split::Split, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Measurement-based WCET bound: per-(workload, platform) worst observed
+/// runtime, falling back to per-workload, then global, worst cases; a
+/// multiplicative safety factor is applied on top.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WcetBaseline {
+    /// max log runtime per (workload, platform), `w * n_platforms + p`.
+    pair_max: Vec<f32>,
+    /// max log runtime per workload.
+    workload_max: Vec<f32>,
+    global_max: f32,
+    log_safety: f32,
+    n_platforms: usize,
+}
+
+impl WcetBaseline {
+    /// Builds the bound table from training observations.
+    ///
+    /// `safety_factor` is the classic engineering margin (e.g. 1.2 = 20%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_idx` is empty or the factor is not ≥ 1.
+    pub fn fit(dataset: &Dataset, train_idx: &[usize], safety_factor: f32) -> Self {
+        assert!(!train_idx.is_empty(), "WCET needs at least one observation");
+        assert!(safety_factor >= 1.0, "safety factor must be ≥ 1");
+        let n_w = dataset.n_workloads;
+        let n_p = dataset.n_platforms;
+        let mut pair_max = vec![f32::NEG_INFINITY; n_w * n_p];
+        let mut workload_max = vec![f32::NEG_INFINITY; n_w];
+        let mut global_max = f32::NEG_INFINITY;
+        for &i in train_idx {
+            let o = &dataset.observations[i];
+            let l = o.log_runtime();
+            let slot = o.workload as usize * n_p + o.platform as usize;
+            pair_max[slot] = pair_max[slot].max(l);
+            workload_max[o.workload as usize] = workload_max[o.workload as usize].max(l);
+            global_max = global_max.max(l);
+        }
+        Self {
+            pair_max,
+            workload_max,
+            global_max,
+            log_safety: safety_factor.ln(),
+            n_platforms: n_p,
+        }
+    }
+
+    /// Convenience: fit on a split's training portion.
+    pub fn from_split(dataset: &Dataset, split: &Split, safety_factor: f32) -> Self {
+        Self::fit(dataset, &split.train, safety_factor)
+    }
+
+    /// The bound (log seconds) for a (workload, platform) pair.
+    pub fn bound_log(&self, workload: usize, platform: usize) -> f32 {
+        let pair = self.pair_max[workload * self.n_platforms + platform];
+        let base = if pair.is_finite() {
+            pair
+        } else if self.workload_max[workload].is_finite() {
+            self.workload_max[workload]
+        } else {
+            self.global_max
+        };
+        base + self.log_safety
+    }
+}
+
+impl LogPredictor for WcetBaseline {
+    fn predict_log(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
+        let preds = idx
+            .iter()
+            .map(|&i| {
+                let o = &dataset.observations[i];
+                self.bound_log(o.workload as usize, o.platform as usize)
+            })
+            .collect();
+        vec![preds]
+    }
+
+    fn method_name(&self) -> &'static str {
+        "WCET (measured + safety factor)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot_conformal::{coverage, overprovision_margin};
+    use pitot_testbed::{Testbed, TestbedConfig};
+
+    fn setup() -> (Dataset, Split) {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.7, 0);
+        (ds, split)
+    }
+
+    #[test]
+    fn bounds_cover_most_but_overprovision_heavily() {
+        let (ds, split) = setup();
+        let wcet = WcetBaseline::from_split(&ds, &split, 1.2);
+        let test: Vec<usize> = split
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| ds.observations[i].interferers.is_empty())
+            .take(4000)
+            .collect();
+        let bounds = wcet.predict_log(&ds, &test)[0].clone();
+        let targets: Vec<f32> = test.iter().map(|&i| ds.observations[i].log_runtime()).collect();
+        let cov = coverage(&bounds, &targets);
+        assert!(cov > 0.9, "WCET coverage {cov}");
+        // The price: the margin is far above what adaptive bounds pay
+        // (Pitot's Fig 5 margins are ~10–25% at ε=0.02–0.1).
+        let margin = overprovision_margin(&bounds, &targets);
+        assert!(margin > 0.2, "WCET margin suspiciously tight: {margin}");
+    }
+
+    #[test]
+    fn fallback_chain_for_unseen_pairs() {
+        let (ds, _) = setup();
+        // Fit on one observation only: everything else exercises fallbacks.
+        let wcet = WcetBaseline::fit(&ds, &[0], 1.0);
+        let o = &ds.observations[0];
+        let seen = wcet.bound_log(o.workload as usize, o.platform as usize);
+        assert!((seen - o.log_runtime()).abs() < 1e-6);
+        let other_w = (o.workload as usize + 1) % ds.n_workloads;
+        // Unseen workload falls back to the global maximum.
+        assert_eq!(wcet.bound_log(other_w, 0), o.log_runtime());
+    }
+
+    #[test]
+    fn safety_factor_shifts_bounds() {
+        let (ds, split) = setup();
+        let tight = WcetBaseline::from_split(&ds, &split, 1.0);
+        let loose = WcetBaseline::from_split(&ds, &split, 2.0);
+        let b_tight = tight.bound_log(0, 0);
+        let b_loose = loose.bound_log(0, 0);
+        assert!((b_loose - b_tight - 2.0f32.ln()).abs() < 1e-6);
+    }
+}

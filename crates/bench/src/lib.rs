@@ -1,0 +1,27 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Each bench regenerates the computational core of one paper table or
+//! figure at a reduced-but-structurally-identical scale, so `cargo bench`
+//! doubles as a smoke test of every experiment path.
+
+use pitot_testbed::{split::Split, Dataset, Testbed, TestbedConfig};
+
+/// A small shared dataset + split fixture.
+pub struct Fixture {
+    /// The simulated cluster.
+    pub testbed: Testbed,
+    /// Collected observations and features.
+    pub dataset: Dataset,
+    /// A 50% train split.
+    pub split: Split,
+}
+
+impl Fixture {
+    /// Builds the fixture (a few hundred milliseconds).
+    pub fn small() -> Self {
+        let testbed = Testbed::generate(&TestbedConfig::small());
+        let dataset = testbed.collect_dataset();
+        let split = Split::stratified(&dataset, 0.5, 0);
+        Self { testbed, dataset, split }
+    }
+}

@@ -1,0 +1,193 @@
+//! Coverage diagnostics: is a calibrated predictor actually delivering its
+//! promised miscoverage, everywhere?
+//!
+//! Marginal coverage (the number conformal prediction guarantees) can hide
+//! systematic failures: a predictor may over-cover quiet workloads and
+//! under-cover noisy ones while averaging out exactly right. These helpers
+//! quantify that:
+//!
+//! - [`CoverageCurve`]: empirical coverage and margin across an ε grid
+//!   (the data behind paper Figs 5/11);
+//! - [`conditional_coverage`]: per-group empirical coverage (the paper's
+//!   motivation for calibration pools);
+//! - [`worst_group_coverage`]: the group a deadline-sensitive deployment
+//!   actually experiences;
+//! - [`calibration_error`]: mean |empirical − nominal| coverage over a grid.
+
+use crate::metrics::{coverage, overprovision_margin};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Empirical coverage/margin across a miscoverage grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageCurve {
+    /// Nominal miscoverage rates ε.
+    pub epsilon: Vec<f32>,
+    /// Empirical coverage at each ε.
+    pub coverage: Vec<f32>,
+    /// Overprovisioning margin at each ε.
+    pub margin: Vec<f32>,
+}
+
+impl CoverageCurve {
+    /// Evaluates a calibrate-and-bound closure across `epsilons`.
+    ///
+    /// `bound_at(ε)` must return log-space bounds for a fixed test set;
+    /// `targets_log` are that set's true values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilons` is empty or a closure returns a length mismatch.
+    pub fn evaluate<F>(epsilons: &[f32], targets_log: &[f32], mut bound_at: F) -> Self
+    where
+        F: FnMut(f32) -> Vec<f32>,
+    {
+        assert!(!epsilons.is_empty(), "empty epsilon grid");
+        let mut cov = Vec::with_capacity(epsilons.len());
+        let mut margin = Vec::with_capacity(epsilons.len());
+        for &eps in epsilons {
+            let bounds = bound_at(eps);
+            assert_eq!(bounds.len(), targets_log.len(), "bound closure length mismatch");
+            cov.push(coverage(&bounds, targets_log));
+            margin.push(overprovision_margin(&bounds, targets_log));
+        }
+        Self { epsilon: epsilons.to_vec(), coverage: cov, margin }
+    }
+
+    /// Mean absolute deviation between empirical coverage and the nominal
+    /// `1 − ε` across the grid.
+    pub fn calibration_error(&self) -> f32 {
+        calibration_error(&self.epsilon, &self.coverage)
+    }
+
+    /// Whether empirical coverage meets `1 − ε − slack` at every grid point.
+    pub fn valid_everywhere(&self, slack: f32) -> bool {
+        self.epsilon
+            .iter()
+            .zip(&self.coverage)
+            .all(|(&e, &c)| c >= 1.0 - e - slack)
+    }
+}
+
+/// Mean absolute deviation of empirical coverage from nominal `1 − ε`.
+///
+/// # Panics
+///
+/// Panics on empty or mismatched inputs.
+pub fn calibration_error(epsilon: &[f32], empirical_coverage: &[f32]) -> f32 {
+    assert_eq!(epsilon.len(), empirical_coverage.len(), "length mismatch");
+    assert!(!epsilon.is_empty(), "empty grid");
+    let total: f32 = epsilon
+        .iter()
+        .zip(empirical_coverage)
+        .map(|(&e, &c)| (c - (1.0 - e)).abs())
+        .sum();
+    total / epsilon.len() as f32
+}
+
+/// Empirical coverage within each group.
+///
+/// Groups with no members are absent from the result.
+///
+/// # Panics
+///
+/// Panics on mismatched input lengths.
+pub fn conditional_coverage(
+    bounds_log: &[f32],
+    targets_log: &[f32],
+    groups: &[u64],
+) -> BTreeMap<u64, f32> {
+    assert_eq!(bounds_log.len(), targets_log.len(), "bound/target mismatch");
+    assert_eq!(groups.len(), targets_log.len(), "group/target mismatch");
+    let mut hit: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+    for ((b, t), &g) in bounds_log.iter().zip(targets_log).zip(groups) {
+        let e = hit.entry(g).or_insert((0, 0));
+        e.1 += 1;
+        if t <= b {
+            e.0 += 1;
+        }
+    }
+    hit.into_iter()
+        .map(|(g, (covered, n))| (g, covered as f32 / n as f32))
+        .collect()
+}
+
+/// The lowest per-group coverage (with its group), or `None` for empty input.
+pub fn worst_group_coverage(
+    bounds_log: &[f32],
+    targets_log: &[f32],
+    groups: &[u64],
+) -> Option<(u64, f32)> {
+    conditional_coverage(bounds_log, targets_log, groups)
+        .into_iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split_conformal::SplitConformal;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn gaussian_pair(seed: u64, n: usize, sigma: f32) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let preds: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let targets: Vec<f32> = preds
+            .iter()
+            .map(|&p| {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                p + sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            })
+            .collect();
+        (preds, targets)
+    }
+
+    #[test]
+    fn curve_tracks_nominal_coverage() {
+        let (pc, tc) = gaussian_pair(0, 4000, 0.3);
+        let (pt, tt) = gaussian_pair(1, 4000, 0.3);
+        let grid = [0.02f32, 0.05, 0.1, 0.2];
+        let curve = CoverageCurve::evaluate(&grid, &tt, |eps| {
+            let sc = SplitConformal::fit(&pc, &tc, eps);
+            pt.iter().map(|&p| sc.upper_bound_log(p)).collect()
+        });
+        assert!(curve.valid_everywhere(0.02), "coverages {:?}", curve.coverage);
+        assert!(curve.calibration_error() < 0.02);
+        // Margin should grow as ε shrinks.
+        for w in curve.margin.windows(2) {
+            assert!(w[0] >= w[1], "margin not decreasing in ε: {:?}", curve.margin);
+        }
+    }
+
+    #[test]
+    fn conditional_coverage_detects_group_failure() {
+        // Bound covers group 0 always, group 1 never.
+        let bounds = vec![1.0f32, 1.0, 1.0, 1.0];
+        let targets = vec![0.5f32, 0.5, 2.0, 2.0];
+        let groups = vec![0u64, 0, 1, 1];
+        let cc = conditional_coverage(&bounds, &targets, &groups);
+        assert_eq!(cc[&0], 1.0);
+        assert_eq!(cc[&1], 0.0);
+        assert_eq!(worst_group_coverage(&bounds, &targets, &groups), Some((1, 0.0)));
+    }
+
+    #[test]
+    fn calibration_error_zero_when_exact() {
+        let eps = [0.1f32, 0.2];
+        let cov = [0.9f32, 0.8];
+        assert_eq!(calibration_error(&eps, &cov), 0.0);
+    }
+
+    #[test]
+    fn worst_group_of_empty_is_none() {
+        assert_eq!(worst_group_coverage(&[], &[], &[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound/target mismatch")]
+    fn conditional_coverage_checks_lengths() {
+        conditional_coverage(&[1.0], &[1.0, 2.0], &[0, 0]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Bound quality metrics (paper Sec 3.5 and Sec 5.1).
+
+/// Fraction of targets at or below their bound (both in log space).
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn coverage(bounds_log: &[f32], targets_log: &[f32]) -> f32 {
+    assert_eq!(bounds_log.len(), targets_log.len(), "length mismatch");
+    assert!(!bounds_log.is_empty(), "coverage of empty set");
+    let covered = bounds_log
+        .iter()
+        .zip(targets_log)
+        .filter(|(b, t)| t <= b)
+        .count();
+    covered as f32 / bounds_log.len() as f32
+}
+
+/// Overprovisioning margin (paper Eq 11):
+/// `m = E[max(C̃ − C*, 0) / C*] = E[max(exp(b − t) − 1, 0)]`
+/// with `b`, `t` in log space.
+///
+/// Lower is tighter; a bound that exactly equals the runtime has margin 0.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn overprovision_margin(bounds_log: &[f32], targets_log: &[f32]) -> f32 {
+    assert_eq!(bounds_log.len(), targets_log.len(), "length mismatch");
+    assert!(!bounds_log.is_empty(), "margin of empty set");
+    let total: f64 = bounds_log
+        .iter()
+        .zip(targets_log)
+        .map(|(b, t)| ((b - t).exp() - 1.0).max(0.0) as f64)
+        .sum();
+    (total / bounds_log.len() as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_ties_as_covered() {
+        assert_eq!(coverage(&[1.0, 2.0], &[1.0, 3.0]), 0.5);
+        assert_eq!(coverage(&[1.0], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn margin_zero_for_exact_bounds() {
+        assert_eq!(overprovision_margin(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn margin_matches_hand_computation() {
+        // bound = ln(2), target = ln(1): margin = (2/1 - 1) = 1.
+        let m = overprovision_margin(&[2.0f32.ln()], &[0.0]);
+        assert!((m - 1.0).abs() < 1e-5);
+        // Under-prediction contributes zero (it is a coverage failure, not
+        // overprovisioning).
+        let m = overprovision_margin(&[0.0], &[1.0]);
+        assert_eq!(m, 0.0);
+    }
+
+    #[test]
+    fn tighter_bounds_have_smaller_margin() {
+        let targets = [0.0f32; 4];
+        let loose = [0.5f32; 4];
+        let tight = [0.1f32; 4];
+        assert!(
+            overprovision_margin(&tight, &targets) < overprovision_margin(&loose, &targets)
+        );
+    }
+
+    #[test]
+    fn margin_and_coverage_trade_off_monotonically() {
+        // Raising every bound by a constant can only increase coverage and
+        // can only increase margin — the fundamental trade-off both metrics
+        // must respect for conformal calibration to be meaningful.
+        let targets: Vec<f32> = (0..50).map(|i| (i as f32 * 0.37).sin()).collect();
+        let base: Vec<f32> = targets.iter().map(|t| t - 0.2).collect();
+        let mut prev_cov = 0.0;
+        let mut prev_margin = 0.0;
+        for shift in [0.0f32, 0.2, 0.4, 0.8] {
+            let bounds: Vec<f32> = base.iter().map(|b| b + shift).collect();
+            let cov = coverage(&bounds, &targets);
+            let margin = overprovision_margin(&bounds, &targets);
+            assert!(cov >= prev_cov, "coverage not monotone at shift {shift}");
+            assert!(margin >= prev_margin, "margin not monotone at shift {shift}");
+            prev_cov = cov;
+            prev_margin = margin;
+        }
+        assert_eq!(prev_cov, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn coverage_checks_lengths() {
+        let _ = coverage(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Mondrian (group-conditional) split conformal calibration.
+//!
+//! The paper's calibration pools condition on one specific variable — the
+//! number of interfering workloads. That construction generalizes: partition
+//! calibration data by *any* exchangeability-preserving categorical key
+//! (platform class, benchmark suite, runtime kind, …) and calibrate each
+//! cell separately. Coverage then holds *conditionally on the key*, which is
+//! strictly stronger than marginal coverage and survives distribution shift
+//! of the key frequencies — the property the paper invokes for its pools
+//! ("conditioning on the number of simultaneously-running workloads … allows
+//! Pitot to maintain conditional exchangeability even under distribution
+//! shift of I").
+//!
+//! [`MondrianConformal`] is the single-head building block; Pitot's
+//! multi-head pipeline keeps using `PooledConformal`, and the shift
+//! experiment uses this module to compare keyed vs global calibration under
+//! interference-arity shift.
+
+use crate::split_conformal::calibrate_gamma;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Group-conditional split conformal over a single prediction head.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MondrianConformal {
+    gammas: BTreeMap<u64, f32>,
+    fallback: f32,
+    miscoverage: f32,
+    min_group: usize,
+}
+
+impl MondrianConformal {
+    /// Default minimum calibration cell size before falling back to the
+    /// global offset.
+    pub const DEFAULT_MIN_GROUP: usize = 25;
+
+    /// Calibrates per-group offsets from `(prediction, target, group)`
+    /// triples in log space, with the default minimum cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/mismatched inputs or `miscoverage ∉ (0, 1)`.
+    pub fn fit(
+        predictions_log: &[f32],
+        targets_log: &[f32],
+        groups: &[u64],
+        miscoverage: f32,
+    ) -> Self {
+        Self::fit_with_min_group(
+            predictions_log,
+            targets_log,
+            groups,
+            miscoverage,
+            Self::DEFAULT_MIN_GROUP,
+        )
+    }
+
+    /// [`MondrianConformal::fit`] with an explicit minimum cell size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/mismatched inputs or `miscoverage ∉ (0, 1)`.
+    pub fn fit_with_min_group(
+        predictions_log: &[f32],
+        targets_log: &[f32],
+        groups: &[u64],
+        miscoverage: f32,
+        min_group: usize,
+    ) -> Self {
+        assert!(!predictions_log.is_empty(), "empty calibration set");
+        assert_eq!(predictions_log.len(), targets_log.len(), "prediction/target mismatch");
+        assert_eq!(groups.len(), targets_log.len(), "group/target mismatch");
+
+        let all_scores: Vec<f32> = predictions_log
+            .iter()
+            .zip(targets_log)
+            .map(|(p, t)| t - p)
+            .collect();
+        let fallback = calibrate_gamma(&all_scores, miscoverage);
+
+        let mut by_group: BTreeMap<u64, Vec<f32>> = BTreeMap::new();
+        for (i, &g) in groups.iter().enumerate() {
+            by_group.entry(g).or_default().push(all_scores[i]);
+        }
+        let gammas = by_group
+            .into_iter()
+            .filter(|(_, scores)| scores.len() >= min_group)
+            .map(|(g, scores)| (g, calibrate_gamma(&scores, miscoverage)))
+            .collect();
+
+        Self { gammas, fallback, miscoverage, min_group }
+    }
+
+    /// The offset used for `group` (the global fallback if the group's
+    /// calibration cell was too small or unseen).
+    pub fn gamma_for(&self, group: u64) -> f32 {
+        self.gammas.get(&group).copied().unwrap_or(self.fallback)
+    }
+
+    /// Groups with their own calibrated offset.
+    pub fn calibrated_groups(&self) -> impl Iterator<Item = u64> + '_ {
+        self.gammas.keys().copied()
+    }
+
+    /// The global fallback offset.
+    pub fn fallback_gamma(&self) -> f32 {
+        self.fallback
+    }
+
+    /// Target miscoverage rate.
+    pub fn miscoverage(&self) -> f32 {
+        self.miscoverage
+    }
+
+    /// Minimum calibration cell size.
+    pub fn min_group(&self) -> usize {
+        self.min_group
+    }
+
+    /// Upper bound in log space for a fresh prediction in `group`.
+    pub fn upper_bound_log(&self, prediction_log: f32, group: u64) -> f32 {
+        prediction_log + self.gamma_for(group)
+    }
+
+    /// Vectorized [`MondrianConformal::upper_bound_log`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn upper_bounds_log(&self, predictions_log: &[f32], groups: &[u64]) -> Vec<f32> {
+        assert_eq!(predictions_log.len(), groups.len(), "length mismatch");
+        predictions_log
+            .iter()
+            .zip(groups)
+            .map(|(&p, &g)| self.upper_bound_log(p, g))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::coverage;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Three groups with very different noise levels and a mean-only model.
+    fn scenario(seed: u64, n: usize, group_weights: &[f32; 3]) -> (Vec<f32>, Vec<f32>, Vec<u64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sigmas = [0.05f32, 0.2, 0.8];
+        let mut preds = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        let mut groups = Vec::with_capacity(n);
+        let total: f32 = group_weights.iter().sum();
+        for _ in 0..n {
+            let u: f32 = rng.gen_range(0.0..total);
+            let g = if u < group_weights[0] {
+                0
+            } else if u < group_weights[0] + group_weights[1] {
+                1
+            } else {
+                2
+            };
+            let mean = rng.gen_range(-1.0f32..1.0);
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            preds.push(mean);
+            targets.push(mean + sigmas[g] * z);
+            groups.push(g as u64);
+        }
+        (preds, targets, groups)
+    }
+
+    #[test]
+    fn per_group_coverage_holds() {
+        let (pc, tc, gc) = scenario(0, 6000, &[1.0, 1.0, 1.0]);
+        let (pt, tt, gt) = scenario(1, 6000, &[1.0, 1.0, 1.0]);
+        let mc = MondrianConformal::fit(&pc, &tc, &gc, 0.1);
+        let bounds = mc.upper_bounds_log(&pt, &gt);
+        for g in 0..3u64 {
+            let idx: Vec<usize> = (0..tt.len()).filter(|&i| gt[i] == g).collect();
+            let b: Vec<f32> = idx.iter().map(|&i| bounds[i]).collect();
+            let t: Vec<f32> = idx.iter().map(|&i| tt[i]).collect();
+            let cov = coverage(&b, &t);
+            assert!(cov >= 0.87, "group {g} coverage {cov}");
+        }
+    }
+
+    #[test]
+    fn noisy_group_gets_larger_gamma() {
+        let (pc, tc, gc) = scenario(2, 6000, &[1.0, 1.0, 1.0]);
+        let mc = MondrianConformal::fit(&pc, &tc, &gc, 0.1);
+        assert!(mc.gamma_for(0) < mc.gamma_for(1));
+        assert!(mc.gamma_for(1) < mc.gamma_for(2));
+    }
+
+    #[test]
+    fn group_conditional_coverage_survives_key_shift() {
+        // Calibrate on mostly-quiet data, test on mostly-noisy data. Global
+        // calibration under-covers; Mondrian holds per group by construction.
+        let (pc, tc, gc) = scenario(3, 6000, &[10.0, 1.0, 1.0]);
+        let (pt, tt, gt) = scenario(4, 6000, &[1.0, 1.0, 10.0]);
+        let eps = 0.1;
+        let mondrian = MondrianConformal::fit(&pc, &tc, &gc, eps);
+        let global_groups: Vec<u64> = vec![0; gc.len()];
+        let global = MondrianConformal::fit(&pc, &tc, &global_groups, eps);
+
+        let b_m = mondrian.upper_bounds_log(&pt, &gt);
+        let b_g: Vec<f32> = pt.iter().map(|&p| global.upper_bound_log(p, 0)).collect();
+        let cov_m = coverage(&b_m, &tt);
+        let cov_g = coverage(&b_g, &tt);
+        assert!(cov_m >= 1.0 - eps - 0.02, "Mondrian coverage {cov_m} under shift");
+        assert!(
+            cov_g < cov_m - 0.03,
+            "global calibration should break under shift: {cov_g} vs {cov_m}"
+        );
+    }
+
+    #[test]
+    fn unseen_group_uses_fallback() {
+        let (pc, tc, gc) = scenario(5, 1000, &[1.0, 1.0, 1.0]);
+        let mc = MondrianConformal::fit(&pc, &tc, &gc, 0.1);
+        assert_eq!(mc.gamma_for(999), mc.fallback_gamma());
+    }
+
+    #[test]
+    fn tiny_groups_fall_back() {
+        let preds = vec![0.0f32; 100];
+        let targets: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let mut groups = vec![0u64; 100];
+        groups[0] = 7;
+        groups[1] = 7; // only two members: below min_group
+        let mc = MondrianConformal::fit(&preds, &targets, &groups, 0.1);
+        assert!(!mc.calibrated_groups().any(|g| g == 7));
+        assert_eq!(mc.gamma_for(7), mc.fallback_gamma());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        #[test]
+        fn mondrian_marginal_coverage_property(seed in 0u64..30, eps in 0.05f32..0.25) {
+            let (pc, tc, gc) = scenario(seed + 50, 2000, &[1.0, 1.0, 1.0]);
+            let (pt, tt, gt) = scenario(seed + 90, 2000, &[1.0, 1.0, 1.0]);
+            let mc = MondrianConformal::fit(&pc, &tc, &gc, eps);
+            let cov = coverage(&mc.upper_bounds_log(&pt, &gt), &tt);
+            // Per-group n ≈ 667; allow cross-group variance.
+            let slack = 3.5 * (eps * (1.0 - eps) * 3.0 / 2000.0).sqrt() + 0.01;
+            prop_assert!(cov >= 1.0 - eps - slack, "coverage {cov} at ε {eps}");
+        }
+    }
+}

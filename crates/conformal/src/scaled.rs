@@ -1,0 +1,210 @@
+//! Scale-normalized split conformal ("CQR-r" family, Sousa et al., 2022).
+//!
+//! Plain split conformal adds one constant γ to every prediction, so the
+//! bound cannot adapt to heteroscedasticity. The paper solves this with
+//! quantile heads; the *scaled-score* family cited by the paper (Sousa
+//! et al.) solves it differently: conformity scores are normalized by a
+//! per-observation dispersion estimate `σ̂ᵢ`,
+//!
+//! ```text
+//! sᵢ = (yᵢ − ŷᵢ) / σ̂ᵢ,      bound(x) = ŷ(x) + γ·σ̂(x),
+//! ```
+//!
+//! which keeps the single-offset guarantee but lets the bound stretch where
+//! the model is uncertain. In Pitot the natural dispersion estimate is the
+//! spread between two quantile heads (e.g. `ξ=0.9` minus `ξ=0.5`), giving a
+//! third calibration strategy the conformal-variants experiment compares
+//! against one-sided CQR and plain split conformal.
+
+use crate::split_conformal::calibrate_gamma;
+use serde::{Deserialize, Serialize};
+
+/// Smallest dispersion used for normalization; guards against degenerate
+/// (zero-width) head spreads.
+pub const MIN_SCALE: f32 = 1e-4;
+
+/// A calibrated scaled-score upper-bound predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaledConformal {
+    gamma: f32,
+    miscoverage: f32,
+}
+
+impl ScaledConformal {
+    /// Calibrates on predictions, per-observation dispersion estimates, and
+    /// targets (log space).
+    ///
+    /// Dispersions are clamped to at least [`MIN_SCALE`]; they need not be
+    /// accurate for validity — only exchangeable — but better estimates give
+    /// tighter bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/mismatched inputs, a non-finite or negative
+    /// dispersion, or `miscoverage ∉ (0, 1)`.
+    pub fn fit(
+        predictions_log: &[f32],
+        dispersions: &[f32],
+        targets_log: &[f32],
+        miscoverage: f32,
+    ) -> Self {
+        assert_eq!(predictions_log.len(), targets_log.len(), "prediction/target mismatch");
+        assert_eq!(dispersions.len(), targets_log.len(), "dispersion/target mismatch");
+        let scores: Vec<f32> = predictions_log
+            .iter()
+            .zip(dispersions)
+            .zip(targets_log)
+            .map(|((p, &d), t)| {
+                assert!(d.is_finite() && d >= 0.0, "invalid dispersion {d}");
+                (t - p) / d.max(MIN_SCALE)
+            })
+            .collect();
+        Self { gamma: calibrate_gamma(&scores, miscoverage), miscoverage }
+    }
+
+    /// The calibrated normalized offset γ.
+    pub fn offset(&self) -> f32 {
+        self.gamma
+    }
+
+    /// Target miscoverage rate.
+    pub fn miscoverage(&self) -> f32 {
+        self.miscoverage
+    }
+
+    /// Upper bound in log space for a fresh prediction with dispersion `d`.
+    pub fn upper_bound_log(&self, prediction_log: f32, dispersion: f32) -> f32 {
+        prediction_log + self.gamma * dispersion.max(MIN_SCALE)
+    }
+
+    /// Vectorized [`ScaledConformal::upper_bound_log`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn upper_bounds_log(&self, predictions_log: &[f32], dispersions: &[f32]) -> Vec<f32> {
+        assert_eq!(predictions_log.len(), dispersions.len(), "length mismatch");
+        predictions_log
+            .iter()
+            .zip(dispersions)
+            .map(|(&p, &d)| self.upper_bound_log(p, d))
+            .collect()
+    }
+}
+
+/// Dispersion estimate from two quantile heads: `max(hi − lo, MIN_SCALE)`.
+///
+/// This is the Pitot-native way to feed [`ScaledConformal`]: reuse the
+/// existing ξ=0.5 and ξ=0.9 heads as a spread proxy.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn head_spread(lo_log: &[f32], hi_log: &[f32]) -> Vec<f32> {
+    assert_eq!(lo_log.len(), hi_log.len(), "length mismatch");
+    lo_log
+        .iter()
+        .zip(hi_log)
+        .map(|(&l, &h)| (h - l).max(MIN_SCALE))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{coverage, overprovision_margin};
+    use crate::split_conformal::SplitConformal;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Heteroscedastic scenario where dispersion is observable: returns
+    /// (predictions, dispersions, targets).
+    fn scenario(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut preds = Vec::with_capacity(n);
+        let mut disp = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let mean = rng.gen_range(-1.0f32..1.0);
+            // Half the data is quiet, half is 8x noisier.
+            let sigma = if i % 2 == 0 { 0.05 } else { 0.4 };
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            preds.push(mean);
+            disp.push(sigma); // perfectly informative dispersion
+            y.push(mean + sigma * z);
+        }
+        (preds, disp, y)
+    }
+
+    #[test]
+    fn scaled_bounds_cover() {
+        let (pc, dc, yc) = scenario(0, 3000);
+        let (pt, dt, yt) = scenario(1, 3000);
+        let sc = ScaledConformal::fit(&pc, &dc, &yc, 0.1);
+        let bounds = sc.upper_bounds_log(&pt, &dt);
+        let cov = coverage(&bounds, &yt);
+        assert!(cov >= 0.88, "coverage {cov}");
+    }
+
+    #[test]
+    fn scaling_beats_constant_offset_on_margin() {
+        // With informative dispersion, the scaled bound should be tighter
+        // than plain split conformal at equal coverage.
+        let (pc, dc, yc) = scenario(2, 4000);
+        let (pt, dt, yt) = scenario(3, 4000);
+        let scaled = ScaledConformal::fit(&pc, &dc, &yc, 0.1);
+        let plain = SplitConformal::fit(&pc, &yc, 0.1);
+        let b_scaled = scaled.upper_bounds_log(&pt, &dt);
+        let b_plain: Vec<f32> = pt.iter().map(|&p| plain.upper_bound_log(p)).collect();
+        let m_scaled = overprovision_margin(&b_scaled, &yt);
+        let m_plain = overprovision_margin(&b_plain, &yt);
+        assert!(
+            m_scaled < m_plain,
+            "scaled margin {m_scaled} should beat plain {m_plain}"
+        );
+        // Both must still cover.
+        assert!(coverage(&b_scaled, &yt) >= 0.88);
+        assert!(coverage(&b_plain, &yt) >= 0.88);
+    }
+
+    #[test]
+    fn degenerate_dispersion_is_clamped() {
+        let preds = vec![0.0f32; 50];
+        let disp = vec![0.0f32; 50];
+        let targets: Vec<f32> = (0..50).map(|i| i as f32 * 1e-3).collect();
+        let sc = ScaledConformal::fit(&preds, &disp, &targets, 0.1);
+        let b = sc.upper_bound_log(0.0, 0.0);
+        assert!(b.is_finite());
+        assert!(b > 0.0, "clamped scale must still lift the bound");
+    }
+
+    #[test]
+    fn head_spread_clamps_inversions() {
+        let lo = [1.0f32, 2.0];
+        let hi = [1.5f32, 1.9]; // second pair inverted
+        let d = head_spread(&lo, &hi);
+        assert!((d[0] - 0.5).abs() < 1e-6);
+        assert_eq!(d[1], MIN_SCALE);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid dispersion")]
+    fn rejects_nan_dispersion() {
+        ScaledConformal::fit(&[0.0], &[f32::NAN], &[0.0], 0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn scaled_coverage_property(seed in 0u64..40, eps in 0.05f32..0.25) {
+            let (pc, dc, yc) = scenario(seed + 100, 1500);
+            let (pt, dt, yt) = scenario(seed + 200, 1500);
+            let sc = ScaledConformal::fit(&pc, &dc, &yc, eps);
+            let cov = coverage(&sc.upper_bounds_log(&pt, &dt), &yt);
+            let slack = 3.0 * (eps * (1.0 - eps) / 1500.0).sqrt() + 0.01;
+            prop_assert!(cov >= 1.0 - eps - slack, "coverage {cov} at ε {eps}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! One-sided split conformal regression.
+
+use pitot_linalg::quantile_higher;
+use serde::{Deserialize, Serialize};
+
+/// Computes the conformal offset `γ` for a one-sided upper bound.
+///
+/// Given calibration scores `sᵢ = yᵢ − ŷᵢ` (log-space residuals) and a target
+/// miscoverage `ε`, returns the `⌈(n+1)(1−ε)⌉`-th smallest score. Under
+/// exchangeability, `Pr(y ≤ ŷ + γ) ≥ 1 − ε` on fresh data (Vovk et al.;
+/// paper Eq 12).
+///
+/// # Panics
+///
+/// Panics if `scores` is empty or `miscoverage ∉ (0, 1)`.
+pub fn calibrate_gamma(scores: &[f32], miscoverage: f32) -> f32 {
+    assert!(!scores.is_empty(), "cannot calibrate on an empty set");
+    assert!(
+        miscoverage > 0.0 && miscoverage < 1.0,
+        "miscoverage {miscoverage} outside (0,1)"
+    );
+    quantile_higher(scores, 1.0 - miscoverage)
+}
+
+/// A calibrated one-sided upper-bound predictor around a single
+/// (non-quantile) regression head.
+///
+/// This is the paper's "Non-quantile" baseline in Fig 5: valid, but the
+/// bound width is one global constant, so it cannot adapt to easy vs hard
+/// predictions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitConformal {
+    gamma: f32,
+    miscoverage: f32,
+}
+
+impl SplitConformal {
+    /// Calibrates on `(prediction, target)` pairs in log space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or differ in length, or if
+    /// `miscoverage ∉ (0, 1)`.
+    pub fn fit(predictions_log: &[f32], targets_log: &[f32], miscoverage: f32) -> Self {
+        assert_eq!(
+            predictions_log.len(),
+            targets_log.len(),
+            "prediction/target length mismatch"
+        );
+        let scores: Vec<f32> = predictions_log
+            .iter()
+            .zip(targets_log)
+            .map(|(p, t)| t - p)
+            .collect();
+        Self { gamma: calibrate_gamma(&scores, miscoverage), miscoverage }
+    }
+
+    /// The calibrated offset γ.
+    pub fn offset(&self) -> f32 {
+        self.gamma
+    }
+
+    /// The target miscoverage rate ε this calibration was built for.
+    pub fn miscoverage(&self) -> f32 {
+        self.miscoverage
+    }
+
+    /// Upper bound in log space for a fresh prediction.
+    pub fn upper_bound_log(&self, prediction_log: f32) -> f32 {
+        prediction_log + self.gamma
+    }
+
+    /// Upper bound in linear (seconds) space for a fresh prediction.
+    pub fn upper_bound(&self, prediction_log: f32) -> f32 {
+        self.upper_bound_log(prediction_log).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gamma_is_score_quantile() {
+        let scores = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+        // n=10, ε=0.2 → rank ceil(11·0.8)=9 → 9th smallest = 0.8.
+        assert_eq!(calibrate_gamma(&scores, 0.2), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_calibration() {
+        let _ = calibrate_gamma(&[], 0.1);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_epsilon() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let preds: Vec<f32> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let tgts: Vec<f32> = preds.iter().map(|p| p + rng.gen_range(-0.2..0.4)).collect();
+        let loose = SplitConformal::fit(&preds, &tgts, 0.01);
+        let tight = SplitConformal::fit(&preds, &tgts, 0.2);
+        assert!(loose.offset() >= tight.offset());
+    }
+
+    proptest! {
+        /// The split conformal coverage guarantee: calibrate on half of an
+        /// exchangeable sample, verify empirical coverage ≥ 1 − ε − slack on
+        /// the other half.
+        #[test]
+        fn coverage_guarantee_holds(seed in 0u64..200, eps in 0.05f32..0.3) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let noise = |rng: &mut ChaCha8Rng| {
+                // Skewed noise: uniform + occasional large positive spike.
+                let base: f32 = rng.gen_range(-0.1..0.1);
+                if rng.gen_bool(0.1) { base + rng.gen_range(0.0..1.0) } else { base }
+            };
+            let n = 1600usize;
+            let all: Vec<(f32, f32)> = (0..n)
+                .map(|_| {
+                    let p = rng.gen_range(-2.0..2.0);
+                    (p, p + noise(&mut rng))
+                })
+                .collect();
+            let (cal, test) = all.split_at(n / 2);
+            let (cp, ct): (Vec<f32>, Vec<f32>) = cal.iter().cloned().unzip();
+            let sc = SplitConformal::fit(&cp, &ct, eps);
+            let covered = test
+                .iter()
+                .filter(|(p, t)| *t <= sc.upper_bound_log(*p))
+                .count();
+            let coverage = covered as f32 / test.len() as f32;
+            // Finite-sample slack: the guarantee is marginal over BOTH the
+            // calibration and the test draw, so both contribute variance.
+            let var = eps * (1.0 - eps) * (1.0 / cal.len() as f32 + 1.0 / test.len() as f32);
+            // 4.5σ: the property runs across hundreds of proptest cases, so
+            // per-case tail mass must be far below 1/cases.
+            let slack = 4.5 * var.sqrt();
+            prop_assert!(coverage >= 1.0 - eps - slack, "coverage {coverage} at ε={eps}");
+        }
+    }
+}

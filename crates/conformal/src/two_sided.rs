@@ -1,0 +1,236 @@
+//! Two-sided conformalized quantile regression (Romano et al., 2019).
+//!
+//! The paper works one-sided ("what budget suffices?"), noting in footnote 4
+//! that its quantile choice corresponds to `ξ = ε/2` under the more common
+//! two-sided CQR. This module implements that two-sided variant: an interval
+//! `[lo − γ, hi + γ]` containing the runtime with probability `1 − ε`.
+//!
+//! In the runtime-prediction domain the *lower* edge is useful beyond
+//! symmetry: a job finishing far below the calibrated interval is as
+//! anomalous as one blowing past it (e.g. a workload that silently degraded
+//! to an error path — the paper's "phase shift" assumption says such changes
+//! must be detectable, and the interval provides the detector).
+
+use crate::split_conformal::calibrate_gamma;
+use serde::{Deserialize, Serialize};
+
+/// A calibrated two-sided interval predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TwoSidedCqr {
+    gamma: f32,
+    miscoverage: f32,
+}
+
+/// A calibrated log-space interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower edge (log space).
+    pub lo: f32,
+    /// Upper edge (log space).
+    pub hi: f32,
+}
+
+impl Interval {
+    /// Interval width in log space (a multiplicative factor once
+    /// exponentiated).
+    pub fn width(&self) -> f32 {
+        self.hi - self.lo
+    }
+
+    /// Whether a log-space value falls inside the interval.
+    pub fn contains(&self, value_log: f32) -> bool {
+        value_log >= self.lo && value_log <= self.hi
+    }
+}
+
+impl TwoSidedCqr {
+    /// Calibrates on lower/upper quantile head predictions and targets (all
+    /// log space) for a *total* two-sided miscoverage `epsilon`.
+    ///
+    /// The conformity score is the CQR score
+    /// `sᵢ = max(loᵢ − yᵢ, yᵢ − hiᵢ)`; the shared offset γ is its
+    /// `⌈(n+1)(1−ε)⌉`-th smallest value. Pass heads trained at `ξ = ε/2` and
+    /// `1 − ε/2` for the textbook configuration — any pair works, coverage
+    /// is guaranteed regardless (only tightness suffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched inputs, or `epsilon ∉ (0, 1)`.
+    pub fn fit(
+        lower_log: &[f32],
+        upper_log: &[f32],
+        targets_log: &[f32],
+        epsilon: f32,
+    ) -> Self {
+        assert_eq!(lower_log.len(), targets_log.len(), "lower/target length mismatch");
+        assert_eq!(upper_log.len(), targets_log.len(), "upper/target length mismatch");
+        let scores: Vec<f32> = lower_log
+            .iter()
+            .zip(upper_log)
+            .zip(targets_log)
+            .map(|((lo, hi), y)| (lo - y).max(y - hi))
+            .collect();
+        Self { gamma: calibrate_gamma(&scores, epsilon), miscoverage: epsilon }
+    }
+
+    /// The calibrated offset applied to both edges.
+    pub fn offset(&self) -> f32 {
+        self.gamma
+    }
+
+    /// Target total miscoverage.
+    pub fn miscoverage(&self) -> f32 {
+        self.miscoverage
+    }
+
+    /// Calibrated interval for fresh lower/upper head predictions.
+    pub fn interval_log(&self, lower_log: f32, upper_log: f32) -> Interval {
+        Interval { lo: lower_log - self.gamma, hi: upper_log + self.gamma }
+    }
+
+    /// Vectorized [`TwoSidedCqr::interval_log`].
+    pub fn intervals_log(&self, lower_log: &[f32], upper_log: &[f32]) -> Vec<Interval> {
+        assert_eq!(lower_log.len(), upper_log.len(), "edge length mismatch");
+        lower_log
+            .iter()
+            .zip(upper_log)
+            .map(|(&lo, &hi)| self.interval_log(lo, hi))
+            .collect()
+    }
+}
+
+/// Fraction of targets inside their interval.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+pub fn interval_coverage(intervals: &[Interval], targets_log: &[f32]) -> f32 {
+    assert_eq!(intervals.len(), targets_log.len(), "length mismatch");
+    assert!(!intervals.is_empty(), "coverage of empty set");
+    let inside = intervals
+        .iter()
+        .zip(targets_log)
+        .filter(|(iv, &t)| iv.contains(t))
+        .count();
+    inside as f32 / intervals.len() as f32
+}
+
+/// Mean multiplicative interval width, `E[exp(hi − lo)]` — the two-sided
+/// analogue of the overprovisioning margin.
+///
+/// # Panics
+///
+/// Panics if `intervals` is empty.
+pub fn mean_interval_factor(intervals: &[Interval]) -> f32 {
+    assert!(!intervals.is_empty(), "width of empty set");
+    let total: f64 = intervals.iter().map(|iv| iv.width().exp() as f64).sum();
+    (total / intervals.len() as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Heteroscedastic regression scenario: heads estimate the true quantiles
+    /// with a systematic underestimate of spread.
+    fn scenario(seed: u64, n: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut lo = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mean = rng.gen_range(-2.0f32..2.0);
+            let sigma = rng.gen_range(0.05f32..0.5);
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            y.push(mean + sigma * z);
+            // Miscalibrated heads: 60% of the true ±1.64σ band.
+            lo.push(mean - 1.64 * sigma * 0.6);
+            hi.push(mean + 1.64 * sigma * 0.6);
+        }
+        (lo, hi, y)
+    }
+
+    #[test]
+    fn calibrated_intervals_cover() {
+        let (lo_c, hi_c, y_c) = scenario(0, 3000);
+        let (lo_t, hi_t, y_t) = scenario(1, 3000);
+        let cqr = TwoSidedCqr::fit(&lo_c, &hi_c, &y_c, 0.1);
+        let ivs = cqr.intervals_log(&lo_t, &hi_t);
+        let cov = interval_coverage(&ivs, &y_t);
+        assert!(cov >= 0.88, "coverage {cov}");
+        assert!(cov <= 0.96, "over-covering: {cov}");
+    }
+
+    #[test]
+    fn miscalibrated_heads_need_positive_gamma() {
+        let (lo, hi, y) = scenario(2, 2000);
+        let cqr = TwoSidedCqr::fit(&lo, &hi, &y, 0.1);
+        assert!(cqr.offset() > 0.0, "heads underestimate spread, γ must stretch");
+    }
+
+    #[test]
+    fn overcovering_heads_get_negative_gamma() {
+        // Heads already span ±10σ: conformal should *shrink* the interval.
+        let (lo, hi, y) = scenario(3, 2000);
+        let wide_lo: Vec<f32> = lo.iter().zip(&hi).map(|(l, h)| l - 5.0 * (h - l)).collect();
+        let wide_hi: Vec<f32> = lo.iter().zip(&hi).map(|(l, h)| h + 5.0 * (h - l)).collect();
+        let cqr = TwoSidedCqr::fit(&wide_lo, &wide_hi, &y, 0.1);
+        assert!(cqr.offset() < 0.0, "γ {} should be negative", cqr.offset());
+    }
+
+    #[test]
+    fn interval_width_is_adaptive() {
+        let cqr = TwoSidedCqr { gamma: 0.1, miscoverage: 0.1 };
+        let narrow = cqr.interval_log(0.0, 0.2);
+        let wide = cqr.interval_log(0.0, 2.0);
+        assert!(wide.width() > narrow.width());
+    }
+
+    #[test]
+    fn anomaly_detection_flags_fast_and_slow() {
+        let cqr = TwoSidedCqr { gamma: 0.05, miscoverage: 0.1 };
+        let iv = cqr.interval_log(1.0, 2.0);
+        assert!(iv.contains(1.5));
+        assert!(!iv.contains(0.5), "suspiciously fast run must be flagged");
+        assert!(!iv.contains(2.5), "suspiciously slow run must be flagged");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fit_checks_lengths() {
+        TwoSidedCqr::fit(&[0.0], &[0.0, 1.0], &[0.0], 0.1);
+    }
+
+    proptest! {
+        /// Coverage holds across epsilon and scenario seeds.
+        #[test]
+        fn two_sided_coverage_property(seed in 0u64..40, eps in 0.05f32..0.3) {
+            let (lo_c, hi_c, y_c) = scenario(seed + 500, 1500);
+            let (lo_t, hi_t, y_t) = scenario(seed + 900, 1500);
+            let cqr = TwoSidedCqr::fit(&lo_c, &hi_c, &y_c, eps);
+            let ivs = cqr.intervals_log(&lo_t, &hi_t);
+            let cov = interval_coverage(&ivs, &y_t);
+            // Slack covers both test-set binomial variance and the
+            // calibration-set quantile's own sampling variance.
+            let slack = 4.0 * (eps * (1.0 - eps) * 2.0 / 1500.0).sqrt() + 0.015;
+            prop_assert!(cov >= 1.0 - eps - slack, "coverage {cov} at ε {eps}");
+        }
+
+        /// γ grows (weakly) as ε shrinks: stricter coverage, wider interval.
+        #[test]
+        fn gamma_monotone_in_epsilon(seed in 0u64..20) {
+            let (lo, hi, y) = scenario(seed, 1000);
+            let mut last = f32::NEG_INFINITY;
+            for eps in [0.3f32, 0.2, 0.1, 0.05] {
+                let g = TwoSidedCqr::fit(&lo, &hi, &y, eps).offset();
+                prop_assert!(g >= last, "γ not monotone: {g} after {last}");
+                last = g;
+            }
+        }
+    }
+}

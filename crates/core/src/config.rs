@@ -1,0 +1,282 @@
+//! Pitot configuration: architecture, objective, and ablation switches.
+
+use pitot_nn::Activation;
+use serde::{Deserialize, Serialize};
+
+/// Training objective (paper Sec 5.1: error is evaluated on a squared-loss
+/// model, bound tightness on a quantile-regression model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Mean-squared error on the (log-residual) target — for point
+    /// prediction and MAPE evaluation.
+    Squared,
+    /// Pinball loss at each listed target quantile ξ; one workload-embedding
+    /// head per quantile (paper Sec 3.5 "Model Architecture").
+    Quantiles(Vec<f32>),
+}
+
+impl Objective {
+    /// The paper's quantile spread (App B.2), denser near 100%.
+    pub fn paper_quantiles() -> Self {
+        Objective::Quantiles(vec![0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98, 0.99])
+    }
+
+    /// Number of output heads.
+    pub fn head_count(&self) -> usize {
+        match self {
+            Objective::Squared => 1,
+            Objective::Quantiles(xs) => xs.len(),
+        }
+    }
+
+    /// Training quantiles (a lone 0.5 stands in for the squared head when
+    /// conformal code needs an ξ per head).
+    pub fn xis(&self) -> Vec<f32> {
+        match self {
+            Objective::Squared => vec![0.5],
+            Objective::Quantiles(xs) => xs.clone(),
+        }
+    }
+}
+
+/// Loss formulation ablation (paper Fig 4a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossSpace {
+    /// Pitot's default: squared loss on `log C* − log C̄` (Sec 3.2).
+    LogResidual,
+    /// Squared loss on `log C*` directly (no scaling baseline).
+    Log,
+    /// Naive proportional loss: the model predicts the linear-space ratio
+    /// `C*/C̄` and pays squared error on it — dominated by the heavy tail.
+    NaiveProportional,
+}
+
+/// Interference-handling ablation (paper Fig 4c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterferenceMode {
+    /// Model interference explicitly (Sec 3.4).
+    Aware,
+    /// Drop all observations that have interferers.
+    Discard,
+    /// Keep all observations but ignore who was interfering.
+    Ignore,
+}
+
+/// Optimizer choice (optimizer ablation; the paper trains with AdaMax).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// The paper's choice (App B.3): the l∞ variant of Adam.
+    AdaMax,
+    /// Standard Adam with the same betas.
+    Adam,
+    /// SGD with momentum 0.9.
+    SgdMomentum,
+}
+
+impl OptimizerKind {
+    /// Instantiates the optimizer at the given learning rate.
+    pub fn build(self, lr: f32) -> Box<dyn pitot_nn::Optimizer> {
+        match self {
+            OptimizerKind::AdaMax => Box::new(pitot_nn::AdaMax::new(lr)),
+            OptimizerKind::Adam => Box::new(pitot_nn::Adam::new(lr)),
+            OptimizerKind::SgdMomentum => Box::new(pitot_nn::SgdMomentum::new(lr)),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizerKind::AdaMax => "adamax",
+            OptimizerKind::Adam => "adam",
+            OptimizerKind::SgdMomentum => "sgd-momentum",
+        }
+    }
+}
+
+/// Full Pitot hyperparameter set.
+///
+/// Defaults reproduce the paper (App B.3 / D.2). [`PitotConfig::fast`] is a
+/// scaled-down configuration for the single-core experiment harness and
+/// tests; shapes of all results are preserved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PitotConfig {
+    /// Embedding dimension `r` (paper selects 32).
+    pub embed_dim: usize,
+    /// Learned per-entity features `q` appended to side information
+    /// (paper selects 1).
+    pub learned_features: usize,
+    /// Interference types `s` (rank of the interference matrix; paper: 2).
+    pub interference_types: usize,
+    /// Hidden layer widths of both towers (paper: two layers of 128).
+    pub hidden: Vec<usize>,
+    /// Weight β of the interference objective, split equally across the
+    /// 2/3/4-way modes (paper: 0.5).
+    pub interference_weight: f32,
+    /// Training objective.
+    pub objective: Objective,
+    /// Loss formulation (Fig 4a ablation).
+    pub loss_space: LossSpace,
+    /// Interference handling (Fig 4c ablation).
+    pub interference: InterferenceMode,
+    /// Activation α applied to accumulated interference magnitude
+    /// (paper: leaky ReLU 0.1; identity = "simple multiplicative", Fig 4d).
+    pub interference_activation: Activation,
+    /// Use workload side information `x_w` (Fig 4b ablation).
+    pub use_workload_features: bool,
+    /// Use platform side information `x_p` (Fig 4b ablation).
+    pub use_platform_features: bool,
+    /// SGD steps (paper: 20,000).
+    pub steps: usize,
+    /// Batch size per interference mode (paper: 512, i.e. 2048 total).
+    pub batch_per_mode: usize,
+    /// Optimizer learning rate (paper: 1e-3).
+    pub learning_rate: f32,
+    /// Optimizer (paper: AdaMax; the others exist for the ablation).
+    pub optimizer: OptimizerKind,
+    /// Apply monotone rearrangement to multi-head predictions
+    /// (Chernozhukov et al.), fixing crossed quantile heads. Off by default
+    /// to match the paper; never increases pinball loss when enabled.
+    pub rearrange_quantiles: bool,
+    /// Layer-normalize the tower hidden layers (extension knob for deep
+    /// tower experiments; the paper's 2-layer towers train fine without it).
+    pub tower_layer_norm: bool,
+    /// Validate (and maybe checkpoint) every this many steps (paper: 200).
+    pub eval_every: usize,
+    /// Cap on validation observations per mode used during checkpointing
+    /// (keeps single-core evaluation cheap; 0 = use all).
+    pub val_cap: usize,
+    /// Parameter/batch RNG seed.
+    pub seed: u64,
+}
+
+impl PitotConfig {
+    /// Paper-scale configuration (App B.3).
+    pub fn paper() -> Self {
+        Self {
+            embed_dim: 32,
+            learned_features: 1,
+            interference_types: 2,
+            hidden: vec![128, 128],
+            interference_weight: 0.5,
+            objective: Objective::Squared,
+            loss_space: LossSpace::LogResidual,
+            interference: InterferenceMode::Aware,
+            interference_activation: Activation::LeakyRelu(0.1),
+            use_workload_features: true,
+            use_platform_features: true,
+            steps: 20_000,
+            batch_per_mode: 512,
+            learning_rate: 1e-3,
+            optimizer: OptimizerKind::AdaMax,
+            rearrange_quantiles: false,
+            tower_layer_norm: false,
+            eval_every: 200,
+            val_cap: 4096,
+            seed: 0,
+        }
+    }
+
+    /// Reduced configuration for the single-core experiment harness:
+    /// smaller towers and far fewer steps, same structure.
+    pub fn fast() -> Self {
+        Self {
+            embed_dim: 16,
+            hidden: vec![32, 32],
+            steps: 1200,
+            batch_per_mode: 192,
+            eval_every: 100,
+            val_cap: 1024,
+            ..Self::paper()
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            embed_dim: 8,
+            hidden: vec![16],
+            steps: 300,
+            batch_per_mode: 96,
+            eval_every: 50,
+            val_cap: 512,
+            ..Self::paper()
+        }
+    }
+
+    /// Returns a copy with a different seed (replicates).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the paper's quantile-regression objective.
+    pub fn with_quantiles(mut self) -> Self {
+        self.objective = Objective::paper_quantiles();
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical settings (zero dims, empty quantiles, quantiles
+    /// outside (0,1)).
+    pub fn validate(&self) {
+        assert!(self.embed_dim > 0, "embed_dim must be positive");
+        assert!(self.interference_types > 0, "need at least one interference type");
+        assert!(self.steps > 0 && self.batch_per_mode > 0);
+        assert!(self.interference_weight >= 0.0);
+        if let Objective::Quantiles(xs) = &self.objective {
+            assert!(!xs.is_empty(), "quantile objective needs at least one ξ");
+            assert!(xs.iter().all(|x| *x > 0.0 && *x < 1.0), "ξ outside (0,1)");
+        }
+    }
+}
+
+impl Default for PitotConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_appendix() {
+        let c = PitotConfig::paper();
+        assert_eq!(c.embed_dim, 32);
+        assert_eq!(c.learned_features, 1);
+        assert_eq!(c.interference_types, 2);
+        assert_eq!(c.hidden, vec![128, 128]);
+        assert_eq!(c.steps, 20_000);
+        assert_eq!(c.batch_per_mode, 512);
+        assert_eq!(c.interference_weight, 0.5);
+        assert_eq!(c.interference_activation, Activation::LeakyRelu(0.1));
+        c.validate();
+    }
+
+    #[test]
+    fn quantile_spread_matches_appendix_b2() {
+        let q = Objective::paper_quantiles();
+        assert_eq!(q.head_count(), 8);
+        assert_eq!(q.xis()[0], 0.5);
+        assert_eq!(*q.xis().last().unwrap(), 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "ξ outside")]
+    fn validate_rejects_bad_quantiles() {
+        let mut c = PitotConfig::tiny();
+        c.objective = Objective::Quantiles(vec![1.5]);
+        c.validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = PitotConfig::fast().with_seed(9).with_quantiles();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.objective.head_count(), 8);
+    }
+}

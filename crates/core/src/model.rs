@@ -1,0 +1,623 @@
+//! The Pitot two-tower matrix-factorization model with interference term
+//! (paper Secs 3.3–3.4).
+//!
+//! Workload and platform towers are MLPs over side information concatenated
+//! with learned per-entity features φ. Following the paper's implementation
+//! note (App B.3), *all* entity embeddings are computed densely every step
+//! and gathered by index — the entity sets are small (hundreds), so this is
+//! far cheaper than per-sample tower evaluation at batch size 2048.
+
+use crate::config::{InterferenceMode, PitotConfig};
+use pitot_linalg::Matrix;
+use pitot_nn::{Activation, Mlp, MlpCache, MlpGrads};
+use pitot_testbed::{Dataset, Observation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The two-tower model parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PitotModel {
+    config: PitotConfig,
+    fw: Mlp,
+    fp: Mlp,
+    /// Learned workload features φ_w (`Nw × q`).
+    phi_w: Matrix,
+    /// Learned platform features φ_p (`Np × q`).
+    phi_p: Matrix,
+    workload_feature_dim: usize,
+    platform_feature_dim: usize,
+}
+
+/// Dense tower outputs plus backprop caches for one forward pass.
+#[derive(Debug, Clone)]
+pub struct TowerOutputs {
+    /// Workload embeddings, `Nw × r·n_heads` (head-major column blocks).
+    pub w: Matrix,
+    /// Platform tower output, `Np × r·(1+2s)`:
+    /// columns `[0, r)` are `p_j`, then `s` blocks of `v_s`, then `s` of `v_g`.
+    pub p_full: Matrix,
+    cache_w: MlpCache,
+    cache_p: MlpCache,
+}
+
+/// Gradients with respect to all model parameters for one step.
+#[derive(Debug, Clone)]
+pub struct BatchGrads {
+    /// Workload-tower MLP gradients.
+    pub fw: MlpGrads,
+    /// Platform-tower MLP gradients.
+    pub fp: MlpGrads,
+    /// Gradients of the learned workload features.
+    pub phi_w: Matrix,
+    /// Gradients of the learned platform features.
+    pub phi_p: Matrix,
+}
+
+/// Decoded platform embeddings (for interpretation / Fig 12).
+#[derive(Debug, Clone)]
+pub struct PlatformEmbeddings {
+    /// Platform embeddings `p_j` (`Np × r`).
+    pub p: Matrix,
+    /// Interference susceptibility vectors `v_s⁽ᵗ⁾`, one `Np × r` matrix per type.
+    pub vs: Vec<Matrix>,
+    /// Interference magnitude vectors `v_g⁽ᵗ⁾`, one `Np × r` matrix per type.
+    pub vg: Vec<Matrix>,
+}
+
+impl PitotModel {
+    /// Creates a model for the given dataset dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration leaves a tower with zero input width
+    /// (no side information and `q = 0`).
+    pub fn new(config: &PitotConfig, dataset: &Dataset) -> Self {
+        config.validate();
+        let q = config.learned_features;
+        let wf = if config.use_workload_features { dataset.workload_features.cols() } else { 0 };
+        let pf = if config.use_platform_features { dataset.platform_features.cols() } else { 0 };
+        assert!(wf + q > 0, "workload tower has no inputs (enable features or set q > 0)");
+        assert!(pf + q > 0, "platform tower has no inputs (enable features or set q > 0)");
+
+        let n_heads = config.objective.head_count();
+        let r = config.embed_dim;
+        let s = config.interference_types;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(0x9157_0CAD));
+        let mut w_widths = vec![wf + q];
+        w_widths.extend_from_slice(&config.hidden);
+        w_widths.push(r * n_heads);
+        let mut p_widths = vec![pf + q];
+        p_widths.extend_from_slice(&config.hidden);
+        p_widths.push(r * (1 + 2 * s));
+
+        let build = |widths: &[usize], rng: &mut ChaCha8Rng| {
+            if config.tower_layer_norm {
+                Mlp::with_layer_norm(widths, Activation::Gelu, rng)
+            } else {
+                Mlp::new(widths, Activation::Gelu, rng)
+            }
+        };
+        let mut fw = build(&w_widths, &mut rng);
+        let mut fp = build(&p_widths, &mut rng);
+        // Start both towers near zero so early predictions stay close to the
+        // scaling baseline; the inner product of two ~N(0, 0.3²·r) embeddings
+        // is then a mild residual instead of several nats.
+        fw.scale_output_layer(0.3);
+        fp.scale_output_layer(0.3);
+        // φ starts small so early training is driven by side information.
+        let mut phi_w = Matrix::randn(dataset.n_workloads, q, &mut rng);
+        phi_w.scale(0.1);
+        let mut phi_p = Matrix::randn(dataset.n_platforms, q, &mut rng);
+        phi_p.scale(0.1);
+
+        Self {
+            config: config.clone(),
+            fw,
+            fp,
+            phi_w,
+            phi_p,
+            workload_feature_dim: wf,
+            platform_feature_dim: pf,
+        }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &PitotConfig {
+        &self.config
+    }
+
+    /// Replaces the stored configuration, for toggling inference-time
+    /// options (e.g. quantile rearrangement) on an already-trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new configuration would change the architecture
+    /// (dimensions, head count, tower widths) rather than inference-time
+    /// behavior.
+    pub fn set_config(&mut self, config: PitotConfig) {
+        assert_eq!(config.embed_dim, self.config.embed_dim, "embed_dim is architectural");
+        assert_eq!(
+            config.objective.head_count(),
+            self.config.objective.head_count(),
+            "head count is architectural"
+        );
+        assert_eq!(
+            config.interference_types, self.config.interference_types,
+            "interference types are architectural"
+        );
+        assert_eq!(config.hidden, self.config.hidden, "tower widths are architectural");
+        assert_eq!(
+            config.learned_features, self.config.learned_features,
+            "learned-feature width is architectural"
+        );
+        self.config = config;
+    }
+
+    /// Number of quantile heads.
+    pub fn n_heads(&self) -> usize {
+        self.config.objective.head_count()
+    }
+
+    /// Total scalar parameter count (paper reports ≈111k at r=32, 2×128).
+    pub fn param_count(&self) -> usize {
+        self.fw.param_count() + self.fp.param_count() + self.phi_w.len() + self.phi_p.len()
+    }
+
+    fn tower_input(features: &Matrix, phi: &Matrix, use_features: bool) -> Matrix {
+        if use_features {
+            features.hcat(phi)
+        } else {
+            phi.clone()
+        }
+    }
+
+    /// Runs both towers over every entity, returning outputs plus caches.
+    pub fn forward_towers(&self, dataset: &Dataset) -> TowerOutputs {
+        let input_w = Self::tower_input(
+            &dataset.workload_features,
+            &self.phi_w,
+            self.config.use_workload_features,
+        );
+        let input_p = Self::tower_input(
+            &dataset.platform_features,
+            &self.phi_p,
+            self.config.use_platform_features,
+        );
+        let (w, cache_w) = self.fw.forward(&input_w);
+        let (p_full, cache_p) = self.fp.forward(&input_p);
+        TowerOutputs { w, p_full, cache_w, cache_p }
+    }
+
+    /// Inference-only tower pass (no caches).
+    pub fn infer_towers(&self, dataset: &Dataset) -> (Matrix, Matrix) {
+        let input_w = Self::tower_input(
+            &dataset.workload_features,
+            &self.phi_w,
+            self.config.use_workload_features,
+        );
+        let input_p = Self::tower_input(
+            &dataset.platform_features,
+            &self.phi_p,
+            self.config.use_platform_features,
+        );
+        (self.fw.infer(&input_w), self.fp.infer(&input_p))
+    }
+
+    /// Predicts the residual `ŷ` for each head and each listed observation.
+    ///
+    /// `w` and `p_full` are tower outputs (from [`PitotModel::forward_towers`]
+    /// or [`PitotModel::infer_towers`]).
+    pub fn predict(
+        &self,
+        w: &Matrix,
+        p_full: &Matrix,
+        dataset: &Dataset,
+        idx: &[usize],
+    ) -> Vec<Vec<f32>> {
+        self.predict_each(w, p_full, idx.iter().map(|&oi| &dataset.observations[oi]))
+    }
+
+    /// Predicts the residual `ŷ` for each head over arbitrary observations.
+    ///
+    /// Only the index fields of each observation are read (`workload`,
+    /// `platform`, `interferers`), so callers may pass synthetic "query"
+    /// observations that were never measured — this is how the orchestration
+    /// layer asks "what if workload `i` ran on platform `j` next to `K`?".
+    pub fn predict_each<'a, I>(&self, w: &Matrix, p_full: &Matrix, obs: I) -> Vec<Vec<f32>>
+    where
+        I: IntoIterator<Item = &'a Observation>,
+    {
+        let n_heads = self.n_heads();
+        let r = self.config.embed_dim;
+        let s = self.config.interference_types;
+        let aware = self.config.interference == InterferenceMode::Aware;
+        let act = self.config.interference_activation;
+
+        let mut out = vec![Vec::new(); n_heads];
+        for o in obs {
+            let i = o.workload as usize;
+            let j = o.platform as usize;
+            assert!(i < w.rows(), "workload index {i} outside the trained catalog");
+            assert!(j < p_full.rows(), "platform index {j} outside the trained catalog");
+            assert!(
+                o.interferers.iter().all(|&k| (k as usize) < w.rows()),
+                "interferer index outside the trained catalog"
+            );
+            let p_row = p_full.row(j);
+            let p_j = &p_row[..r];
+            for (h, head_out) in out.iter_mut().enumerate() {
+                let w_i = &w.row(i)[h * r..(h + 1) * r];
+                let mut pred = dot(w_i, p_j);
+                if aware && !o.interferers.is_empty() {
+                    for t in 0..s {
+                        let vs_t = &p_row[r + t * r..r + (t + 1) * r];
+                        let vg_t = &p_row[r + s * r + t * r..r + s * r + (t + 1) * r];
+                        let mut m_t = 0.0;
+                        for &k in &o.interferers {
+                            let w_k = &w.row(k as usize)[h * r..(h + 1) * r];
+                            m_t += dot(w_k, vg_t);
+                        }
+                        pred += dot(w_i, vs_t) * act.apply(m_t);
+                    }
+                }
+                head_out.push(pred);
+            }
+        }
+        out
+    }
+
+    /// Accumulates output-side gradients for a batch into `d_w` / `d_p`
+    /// (shaped like the tower outputs).
+    ///
+    /// `d_pred[h][b]` is `∂L/∂ŷ` for head `h` and the `b`-th observation of
+    /// `idx`. Call once per interference mode, then finish the step with
+    /// [`PitotModel::backward_towers`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_grads(
+        &self,
+        towers: &TowerOutputs,
+        dataset: &Dataset,
+        idx: &[usize],
+        d_pred: &[Vec<f32>],
+        d_w: &mut Matrix,
+        d_p: &mut Matrix,
+    ) {
+        let n_heads = self.n_heads();
+        assert_eq!(d_pred.len(), n_heads, "one gradient vector per head");
+        let r = self.config.embed_dim;
+        let s = self.config.interference_types;
+        let aware = self.config.interference == InterferenceMode::Aware;
+        let act = self.config.interference_activation;
+
+        for (b, &oi) in idx.iter().enumerate() {
+            let o = &dataset.observations[oi];
+            let i = o.workload as usize;
+            let j = o.platform as usize;
+            for h in 0..n_heads {
+                let g = d_pred[h][b];
+                if g == 0.0 {
+                    continue;
+                }
+                let head = h * r..(h + 1) * r;
+                // Copy the rows we read to avoid aliasing the rows we write.
+                let w_i: Vec<f32> = towers.w.row(i)[head.clone()].to_vec();
+                let p_row: Vec<f32> = towers.p_full.row(j).to_vec();
+                let p_j = &p_row[..r];
+
+                // d p_j += g · w_i ; d w_i += g · p_j.
+                {
+                    let dpr = d_p.row_mut(j);
+                    axpy(&mut dpr[..r], g, &w_i);
+                }
+                {
+                    let dwr = d_w.row_mut(i);
+                    axpy(&mut dwr[head.clone()], g, p_j);
+                }
+
+                if aware && !o.interferers.is_empty() {
+                    for t in 0..s {
+                        let vs_rng = r + t * r..r + (t + 1) * r;
+                        let vg_rng = r + s * r + t * r..r + s * r + (t + 1) * r;
+                        let vs_t = &p_row[vs_rng.clone()];
+                        let vg_t = &p_row[vg_rng.clone()];
+                        let mut m_t = 0.0;
+                        for &k in &o.interferers {
+                            let w_k = &towers.w.row(k as usize)[head.clone()];
+                            m_t += dot(w_k, vg_t);
+                        }
+                        let a_t = act.apply(m_t);
+                        let s_t = dot(&w_i, vs_t);
+
+                        // d w_i += g · a_t · v_s ; d v_s += g · a_t · w_i.
+                        {
+                            let dwr = d_w.row_mut(i);
+                            axpy(&mut dwr[head.clone()], g * a_t, vs_t);
+                        }
+                        {
+                            let dpr = d_p.row_mut(j);
+                            axpy(&mut dpr[vs_rng], g * a_t, &w_i);
+                        }
+                        // Chain through the activation.
+                        let dm = g * s_t * act.derivative(m_t);
+                        if dm != 0.0 {
+                            // d v_g += dm · Σ_k w_k ; d w_k += dm · v_g.
+                            let mut wk_sum = vec![0.0f32; r];
+                            for &k in &o.interferers {
+                                let w_k: Vec<f32> =
+                                    towers.w.row(k as usize)[head.clone()].to_vec();
+                                axpy(&mut wk_sum, 1.0, &w_k);
+                                let dwk = d_w.row_mut(k as usize);
+                                axpy(&mut dwk[head.clone()], dm, vg_t);
+                            }
+                            let dpr = d_p.row_mut(j);
+                            axpy(&mut dpr[vg_rng], dm, &wk_sum);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backpropagates accumulated output gradients through both towers,
+    /// returning the full parameter gradients.
+    pub fn backward_towers(
+        &self,
+        towers: &TowerOutputs,
+        d_w: &Matrix,
+        d_p: &Matrix,
+    ) -> BatchGrads {
+        let q = self.config.learned_features;
+        let (d_in_w, fw_grads) = self.fw.backward(&towers.cache_w, d_w);
+        let (d_in_p, fp_grads) = self.fp.backward(&towers.cache_p, d_p);
+        // φ gradients are the trailing q columns of the input gradients.
+        let phi_w = d_in_w.columns(self.workload_feature_dim.min(d_in_w.cols()), q);
+        let phi_p = d_in_p.columns(self.platform_feature_dim.min(d_in_p.cols()), q);
+        BatchGrads { fw: fw_grads, fp: fp_grads, phi_w, phi_p }
+    }
+
+    /// Zeroed gradient buffers shaped like the tower outputs.
+    pub fn zero_output_grads(&self, dataset: &Dataset) -> (Matrix, Matrix) {
+        let n_heads = self.n_heads();
+        let r = self.config.embed_dim;
+        let s = self.config.interference_types;
+        (
+            Matrix::zeros(dataset.n_workloads, r * n_heads),
+            Matrix::zeros(dataset.n_platforms, r * (1 + 2 * s)),
+        )
+    }
+
+    /// Mutable parameter blocks in optimizer order.
+    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut out = self.fw.param_slices_mut();
+        out.extend(self.fp.param_slices_mut());
+        out.push(self.phi_w.as_mut_slice());
+        out.push(self.phi_p.as_mut_slice());
+        out
+    }
+
+    /// Gradient blocks matching [`PitotModel::param_slices_mut`] order.
+    pub fn grad_slices<'a>(&self, grads: &'a BatchGrads) -> Vec<&'a [f32]> {
+        let mut out = grads.fw.grad_slices();
+        out.extend(grads.fp.grad_slices());
+        out.push(grads.phi_w.as_slice());
+        out.push(grads.phi_p.as_slice());
+        out
+    }
+
+    /// Workload embeddings for head `h` (`Nw × r`), for interpretation
+    /// (paper Fig 7 / 12a).
+    pub fn workload_embeddings(&self, dataset: &Dataset, head: usize) -> Matrix {
+        let (w, _) = self.infer_towers(dataset);
+        let r = self.config.embed_dim;
+        w.columns(head * r, r)
+    }
+
+    /// Decoded platform embeddings (paper Fig 12b–d).
+    pub fn platform_embeddings(&self, dataset: &Dataset) -> PlatformEmbeddings {
+        let (_, p_full) = self.infer_towers(dataset);
+        let r = self.config.embed_dim;
+        let s = self.config.interference_types;
+        PlatformEmbeddings {
+            p: p_full.columns(0, r),
+            vs: (0..s).map(|t| p_full.columns(r + t * r, r)).collect(),
+            vg: (0..s).map(|t| p_full.columns(r + s * r + t * r, r)).collect(),
+        }
+    }
+
+    /// Residual target for an observation under the configured loss space.
+    pub fn residual_target(
+        &self,
+        obs: &Observation,
+        scaling: &crate::ScalingBaseline,
+    ) -> f32 {
+        match self.config.loss_space {
+            crate::LossSpace::LogResidual => scaling.residual(obs),
+            crate::LossSpace::Log => obs.log_runtime(),
+            crate::LossSpace::NaiveProportional => {
+                let base = scaling
+                    .log_baseline(obs.workload as usize, obs.platform as usize)
+                    .exp();
+                obs.runtime_s / base.max(1e-12)
+            }
+        }
+    }
+}
+
+use pitot_linalg::dot;
+
+#[inline]
+fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+    pitot_linalg::axpy_slice(alpha, src, dst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LossSpace, Objective, PitotConfig, ScalingBaseline};
+    use pitot_testbed::{split::Split, Testbed, TestbedConfig};
+
+    fn setup() -> (Dataset, PitotConfig) {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        (ds, PitotConfig::tiny())
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let (ds, cfg) = setup();
+        let model = PitotModel::new(&cfg, &ds);
+        let towers = model.forward_towers(&ds);
+        assert_eq!(towers.w.shape(), (ds.n_workloads, cfg.embed_dim));
+        assert_eq!(
+            towers.p_full.shape(),
+            (ds.n_platforms, cfg.embed_dim * (1 + 2 * cfg.interference_types))
+        );
+    }
+
+    #[test]
+    fn quantile_heads_multiply_workload_width_only() {
+        let (ds, mut cfg) = setup();
+        cfg.objective = Objective::Quantiles(vec![0.5, 0.9, 0.99]);
+        let model = PitotModel::new(&cfg, &ds);
+        let towers = model.forward_towers(&ds);
+        assert_eq!(towers.w.cols(), cfg.embed_dim * 3);
+        // Platform tower is shared across heads (paper Sec 3.5).
+        assert_eq!(towers.p_full.cols(), cfg.embed_dim * (1 + 2 * cfg.interference_types));
+    }
+
+    #[test]
+    fn interference_changes_prediction_only_when_aware() {
+        let (ds, cfg) = setup();
+        let model = PitotModel::new(&cfg, &ds);
+        let towers = model.forward_towers(&ds);
+        // Find an interference observation.
+        let idx = ds.mode_indices(2)[0];
+        let with = model.predict(&towers.w, &towers.p_full, &ds, &[idx])[0][0];
+        // Same observation with interferers stripped.
+        let mut ds2 = ds.clone();
+        ds2.observations[idx].interferers.clear();
+        let without = model.predict(&towers.w, &towers.p_full, &ds2, &[idx])[0][0];
+        assert_ne!(with, without, "interference term should contribute");
+
+        let mut blind_cfg = cfg.clone();
+        blind_cfg.interference = InterferenceMode::Ignore;
+        let blind = PitotModel::new(&blind_cfg, &ds);
+        let t2 = blind.forward_towers(&ds);
+        let a = blind.predict(&t2.w, &t2.p_full, &ds, &[idx])[0][0];
+        let b = blind.predict(&t2.w, &t2.p_full, &ds2, &[idx])[0][0];
+        assert_eq!(a, b, "ignore-mode must not see interferers");
+    }
+
+    /// Full-model gradient check: perturb every parameter block a little and
+    /// compare the analytic directional derivative with finite differences.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (ds, mut cfg) = setup();
+        cfg.objective = Objective::Quantiles(vec![0.5, 0.9]);
+        let model = PitotModel::new(&cfg, &ds);
+        let split = Split::stratified(&ds, 0.5, 0);
+        let scaling = ScalingBaseline::fit(&ds, &split.train);
+
+        // A small batch mixing isolation and interference observations.
+        let mut idx = ds.mode_indices(0)[..4].to_vec();
+        idx.extend_from_slice(&ds.mode_indices(3)[..4]);
+        let targets: Vec<f32> = idx
+            .iter()
+            .map(|&i| model.residual_target(&ds.observations[i], &scaling))
+            .collect();
+
+        let loss_of = |m: &PitotModel| -> f32 {
+            let (w, p) = m.infer_towers(&ds);
+            let preds = m.predict(&w, &p, &ds, &idx);
+            let mut total = 0.0;
+            for head in &preds {
+                let (l, _) = pitot_nn::squared_loss(head, &targets);
+                total += l;
+            }
+            total
+        };
+
+        // Analytic gradients.
+        let towers = model.forward_towers(&ds);
+        let preds = model.predict(&towers.w, &towers.p_full, &ds, &idx);
+        let (mut d_w, mut d_p) = model.zero_output_grads(&ds);
+        let d_pred: Vec<Vec<f32>> = preds
+            .iter()
+            .map(|head| pitot_nn::squared_loss(head, &targets).1)
+            .collect();
+        model.accumulate_grads(&towers, &ds, &idx, &d_pred, &mut d_w, &mut d_p);
+        let grads = model.backward_towers(&towers, &d_w, &d_p);
+
+        // Directional derivative along a random direction per block.
+        let blocks = model.grad_slices(&grads);
+        let mut m_plus = model.clone();
+        let mut m_minus = model.clone();
+        let eps = 1e-2f32;
+        let mut analytic_dir = 0.0f64;
+        {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let mut plus = m_plus.param_slices_mut();
+            let mut minus = m_minus.param_slices_mut();
+            for (bi, g) in blocks.iter().enumerate() {
+                for k in 0..g.len() {
+                    let dir: f32 = if rand::Rng::gen_bool(&mut rng, 0.5) { 1.0 } else { -1.0 };
+                    plus[bi][k] += eps * dir;
+                    minus[bi][k] -= eps * dir;
+                    analytic_dir += (g[k] * dir) as f64;
+                }
+            }
+        }
+        let numeric_dir = ((loss_of(&m_plus) - loss_of(&m_minus)) / (2.0 * eps)) as f64;
+        let denom = 1.0f64.max(analytic_dir.abs()).max(numeric_dir.abs());
+        assert!(
+            (analytic_dir - numeric_dir).abs() / denom < 5e-2,
+            "directional derivative mismatch: analytic {analytic_dir}, numeric {numeric_dir}"
+        );
+    }
+
+    #[test]
+    fn residual_targets_follow_loss_space() {
+        let (ds, mut cfg) = setup();
+        let split = Split::stratified(&ds, 0.5, 0);
+        let scaling = ScalingBaseline::fit(&ds, &split.train);
+        let o = &ds.observations[0];
+
+        cfg.loss_space = LossSpace::LogResidual;
+        let m = PitotModel::new(&cfg, &ds);
+        assert!((m.residual_target(o, &scaling) - scaling.residual(o)).abs() < 1e-6);
+
+        cfg.loss_space = LossSpace::Log;
+        let m = PitotModel::new(&cfg, &ds);
+        assert_eq!(m.residual_target(o, &scaling), o.log_runtime());
+
+        cfg.loss_space = LossSpace::NaiveProportional;
+        let m = PitotModel::new(&cfg, &ds);
+        assert!(m.residual_target(o, &scaling) > 0.0);
+    }
+
+    #[test]
+    fn param_count_scales_with_architecture() {
+        let (ds, cfg) = setup();
+        let small = PitotModel::new(&cfg, &ds).param_count();
+        let mut big_cfg = cfg.clone();
+        big_cfg.hidden = vec![64, 64];
+        let big = PitotModel::new(&big_cfg, &ds).param_count();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn embeddings_export_shapes() {
+        let (ds, cfg) = setup();
+        let model = PitotModel::new(&cfg, &ds);
+        let w = model.workload_embeddings(&ds, 0);
+        assert_eq!(w.shape(), (ds.n_workloads, cfg.embed_dim));
+        let pe = model.platform_embeddings(&ds);
+        assert_eq!(pe.p.shape(), (ds.n_platforms, cfg.embed_dim));
+        assert_eq!(pe.vs.len(), cfg.interference_types);
+        assert_eq!(pe.vg.len(), cfg.interference_types);
+    }
+
+    use rand_chacha::ChaCha8Rng;
+    use rand::SeedableRng;
+}

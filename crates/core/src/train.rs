@@ -1,0 +1,582 @@
+//! Training loop (paper Sec 3.6 / App B.3).
+//!
+//! Pitot is trained with AdaMax over a weighted multi-objective loss:
+//! a fixed-size batch is drawn from every interference mode each step
+//! (isolation plus 2/3/4-way), the no-interference objective has weight 1.0,
+//! and the interference objective weight β is split equally across modes.
+//! Every `eval_every` steps the model is evaluated on (a sample of) the
+//! validation set and the best checkpoint is retained.
+
+use crate::config::{InterferenceMode, LossSpace, Objective, PitotConfig};
+use crate::model::PitotModel;
+use crate::scaling::ScalingBaseline;
+use pitot_nn::{pinball_loss, squared_loss};
+use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One validation checkpoint record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainProgress {
+    /// Optimizer step at which validation ran.
+    pub step: usize,
+    /// Weighted validation loss.
+    pub val_loss: f32,
+}
+
+/// Pre-computed tower outputs for repeated query prediction
+/// (see [`TrainedPitot::tower_cache`]).
+#[derive(Debug, Clone)]
+pub struct TowerCache {
+    /// Workload tower output (`Nw × r·n_heads`).
+    pub w: pitot_linalg::Matrix,
+    /// Platform tower output (`Np × r·(1+2s)`).
+    pub p_full: pitot_linalg::Matrix,
+}
+
+/// A trained Pitot model with its scaling baseline and training history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedPitot {
+    /// Best-validation model checkpoint.
+    pub model: PitotModel,
+    /// The scaling baseline the residuals are anchored to.
+    pub scaling: ScalingBaseline,
+    /// Validation-loss history.
+    pub history: Vec<TrainProgress>,
+    /// The split this model was trained on (kept for conformal fitting).
+    pub split: Split,
+}
+
+/// Trains Pitot on `split.train`, checkpointing on `split.val`.
+///
+/// # Panics
+///
+/// Panics if the split has no usable training data for the configured
+/// interference mode.
+pub fn train(dataset: &Dataset, split: &Split, config: &PitotConfig) -> TrainedPitot {
+    config.validate();
+    let model = PitotModel::new(config, dataset);
+    let scaling = ScalingBaseline::fit(dataset, &split.train);
+    train_from(model, scaling, dataset, split, config)
+}
+
+/// Continues training from an existing model state (online learning: the
+/// paper's Conclusion names efficient online updates as the main extension;
+/// warm-starting from the deployed checkpoint converges in a fraction of the
+/// from-scratch step budget when new observations arrive).
+///
+/// The scaling baseline is *kept fixed* so the residual space — and any
+/// conformal calibration downstream — stays comparable across updates.
+///
+/// # Panics
+///
+/// Panics if the split has no usable training data for the configured
+/// interference mode.
+pub fn train_from(
+    mut model: PitotModel,
+    scaling: ScalingBaseline,
+    dataset: &Dataset,
+    split: &Split,
+    config: &PitotConfig,
+) -> TrainedPitot {
+    config.validate();
+    let mut opt = config.optimizer.build(config.learning_rate);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(0x7EA1_BA7C));
+
+    // Mode index pools. Mode 0 = isolation; modes 1..=3 = k interferers.
+    let mode_pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
+        .map(|k| match config.interference {
+            InterferenceMode::Discard if k > 0 => Vec::new(),
+            _ => split.train_mode(dataset, k),
+        })
+        .collect();
+    assert!(
+        !mode_pools[0].is_empty(),
+        "no interference-free training observations in split"
+    );
+    let mode_weights = mode_weights(config);
+
+    // Validation sample (capped for single-core speed), per mode.
+    let val_idx = {
+        let mut per_mode: Vec<usize> = Vec::new();
+        let mut by_mode: Vec<Vec<usize>> = (0..=MAX_INTERFERERS).map(|_| Vec::new()).collect();
+        for &i in &split.val {
+            by_mode[dataset.observations[i].interferers.len()].push(i);
+        }
+        for pool in &mut by_mode {
+            pool.shuffle(&mut rng);
+            let cap = if config.val_cap == 0 { pool.len() } else { config.val_cap };
+            per_mode.extend(pool.iter().take(cap));
+        }
+        per_mode
+    };
+
+    let mut best: Option<(f32, PitotModel)> = None;
+    let mut history = Vec::new();
+
+    for step in 1..=config.steps {
+        let towers = model.forward_towers(dataset);
+        let (mut d_w, mut d_p) = model.zero_output_grads(dataset);
+
+        for (k, pool) in mode_pools.iter().enumerate() {
+            if pool.is_empty() || mode_weights[k] == 0.0 {
+                continue;
+            }
+            let batch: Vec<usize> = (0..config.batch_per_mode)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect();
+            let targets: Vec<f32> = batch
+                .iter()
+                .map(|&i| model.residual_target(&dataset.observations[i], &scaling))
+                .collect();
+            let preds = model.predict(&towers.w, &towers.p_full, dataset, &batch);
+            let d_pred = loss_gradients(config, &preds, &targets, mode_weights[k]);
+            model.accumulate_grads(&towers, dataset, &batch, &d_pred, &mut d_w, &mut d_p);
+        }
+
+        let grads = model.backward_towers(&towers, &d_w, &d_p);
+        let grad_slices = model.grad_slices(&grads);
+        // Split borrows: clone the gradient data out before borrowing params.
+        let grad_data: Vec<Vec<f32>> = grad_slices.iter().map(|g| g.to_vec()).collect();
+        let grad_refs: Vec<&[f32]> = grad_data.iter().map(|g| g.as_slice()).collect();
+        opt.step(&mut model.param_slices_mut(), &grad_refs);
+
+        if step % config.eval_every == 0 || step == config.steps {
+            let val_loss = evaluate_loss(&model, &scaling, dataset, &val_idx, config);
+            history.push(TrainProgress { step, val_loss });
+            let better = best.as_ref().map_or(true, |(b, _)| val_loss < *b);
+            if better {
+                best = Some((val_loss, model.clone()));
+            }
+        }
+    }
+
+    let (_, best_model) = best.expect("at least one evaluation ran");
+    TrainedPitot { model: best_model, scaling, history, split: split.clone() }
+}
+
+/// Per-mode objective weights (paper App B.3 / D.2): isolation gets 1.0,
+/// interference modes share β equally.
+fn mode_weights(config: &PitotConfig) -> [f32; MAX_INTERFERERS + 1] {
+    let mut w = [0.0f32; MAX_INTERFERERS + 1];
+    w[0] = 1.0;
+    match config.interference {
+        InterferenceMode::Discard => {}
+        _ => {
+            for wk in w.iter_mut().skip(1) {
+                *wk = config.interference_weight / MAX_INTERFERERS as f32;
+            }
+        }
+    }
+    w
+}
+
+/// Computes `∂L/∂ŷ` per head for a batch, scaled by the mode weight.
+fn loss_gradients(
+    config: &PitotConfig,
+    preds: &[Vec<f32>],
+    targets: &[f32],
+    weight: f32,
+) -> Vec<Vec<f32>> {
+    let head_scale = weight / preds.len() as f32;
+    match &config.objective {
+        Objective::Squared => preds
+            .iter()
+            .map(|p| {
+                let (_, mut g) = squared_loss(p, targets);
+                for v in &mut g {
+                    *v *= head_scale;
+                }
+                g
+            })
+            .collect(),
+        Objective::Quantiles(xis) => preds
+            .iter()
+            .zip(xis)
+            .map(|(p, &xi)| {
+                let (_, mut g) = pinball_loss(p, targets, xi);
+                for v in &mut g {
+                    *v *= head_scale;
+                }
+                g
+            })
+            .collect(),
+    }
+}
+
+/// Weighted loss over an index set (used for validation checkpointing).
+pub(crate) fn evaluate_loss(
+    model: &PitotModel,
+    scaling: &ScalingBaseline,
+    dataset: &Dataset,
+    idx: &[usize],
+    config: &PitotConfig,
+) -> f32 {
+    if idx.is_empty() {
+        return f32::INFINITY;
+    }
+    let (w, p_full) = model.infer_towers(dataset);
+    let weights = mode_weights(config);
+    let mut total = 0.0f32;
+    let mut total_w = 0.0f32;
+    for k in 0..=MAX_INTERFERERS {
+        let mode_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| dataset.observations[i].interferers.len() == k)
+            .collect();
+        if mode_idx.is_empty() || weights[k] == 0.0 {
+            continue;
+        }
+        let targets: Vec<f32> = mode_idx
+            .iter()
+            .map(|&i| model.residual_target(&dataset.observations[i], scaling))
+            .collect();
+        let preds = model.predict(&w, &p_full, dataset, &mode_idx);
+        let mut mode_loss = 0.0;
+        match &config.objective {
+            Objective::Squared => {
+                for head in &preds {
+                    mode_loss += squared_loss(head, &targets).0;
+                }
+            }
+            Objective::Quantiles(xis) => {
+                for (head, &xi) in preds.iter().zip(xis) {
+                    mode_loss += pinball_loss(head, &targets, xi).0;
+                }
+            }
+        }
+        total += weights[k] * mode_loss / preds.len() as f32;
+        total_w += weights[k];
+    }
+    if total_w > 0.0 {
+        total / total_w
+    } else {
+        f32::INFINITY
+    }
+}
+
+impl TrainedPitot {
+    /// Warm-start continuation: trains further on a (possibly updated) split
+    /// with a reduced step budget (online-learning extension).
+    ///
+    /// Offsets of already-seen entities in the scaling baseline stay frozen,
+    /// so the residual space — and any conformal calibration — remains
+    /// comparable for them; entities appearing for the *first* time (a new
+    /// device's platforms, a new workload) get proper baseline offsets via
+    /// [`ScalingBaseline::extend`]. Without that extension a new platform
+    /// would carry a multi-nat baseline error that no short warm start could
+    /// absorb.
+    pub fn fine_tune(&self, dataset: &Dataset, split: &Split, steps: usize) -> TrainedPitot {
+        let mut cfg = self.model.config().clone();
+        cfg.steps = steps;
+        cfg.eval_every = cfg.eval_every.min(steps.max(1));
+        let scaling = self.scaling.extend(dataset, &split.train);
+        train_from(self.model.clone(), scaling, dataset, split, &cfg)
+    }
+
+    /// Serializes the full trained state (model, baseline, history, split)
+    /// to JSON for deployment or archival.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trained model serializes")
+    }
+
+    /// Restores a trained state serialized by [`TrainedPitot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Per-head log-runtime predictions for the given observations.
+    ///
+    /// For the default log-residual loss this is `log C̄ + ŷ`; the other loss
+    /// spaces are mapped back to log runtime accordingly.
+    pub fn predict_log_runtime(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
+        let towers = self.tower_cache(dataset);
+        let obs: Vec<&pitot_testbed::Observation> =
+            idx.iter().map(|&oi| &dataset.observations[oi]).collect();
+        self.predict_log_runtime_cached(&towers, &obs)
+    }
+
+    /// Pre-computes both tower outputs for repeated query prediction.
+    ///
+    /// Tower evaluation is the expensive part of inference (two MLP passes
+    /// over every entity); query-heavy callers such as the orchestrator
+    /// compute the towers once per model and reuse them for every placement
+    /// decision via [`TrainedPitot::predict_log_runtime_cached`].
+    pub fn tower_cache(&self, dataset: &Dataset) -> TowerCache {
+        let (w, p_full) = self.model.infer_towers(dataset);
+        TowerCache { w, p_full }
+    }
+
+    /// Per-head log-runtime predictions for arbitrary (possibly synthetic)
+    /// observations, using a pre-computed [`TowerCache`].
+    ///
+    /// Only the index fields of each observation are read, so callers may
+    /// construct "what if" queries that were never measured.
+    pub fn predict_log_runtime_cached(
+        &self,
+        towers: &TowerCache,
+        obs: &[&pitot_testbed::Observation],
+    ) -> Vec<Vec<f32>> {
+        let residuals = self
+            .model
+            .predict_each(&towers.w, &towers.p_full, obs.iter().copied());
+        let cfg = self.model.config();
+        let mut out: Vec<Vec<f32>> = residuals
+            .into_iter()
+            .map(|head| {
+                head.into_iter()
+                    .zip(obs)
+                    .map(|(y, o)| {
+                        let base = self
+                            .scaling
+                            .log_baseline(o.workload as usize, o.platform as usize);
+                        match cfg.loss_space {
+                            LossSpace::LogResidual => base + y,
+                            LossSpace::Log => y,
+                            LossSpace::NaiveProportional => {
+                                // ŷ is a linear-space ratio; clamp to stay in
+                                // the log domain.
+                                base + y.max(1e-6).ln()
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        if cfg.rearrange_quantiles {
+            pitot_conformal::rearrange_heads(&mut out);
+        }
+        out
+    }
+
+    /// Point predictions in seconds (head 0; the only head under
+    /// [`Objective::Squared`]).
+    pub fn predict_runtime(&self, dataset: &Dataset, idx: &[usize]) -> Vec<f32> {
+        self.predict_log_runtime(dataset, idx)[0]
+            .iter()
+            .map(|l| l.exp())
+            .collect()
+    }
+
+    /// Mean absolute percentage error on the given observations, optionally
+    /// restricted to a specific interference count. Returns `NaN` when the
+    /// (filtered) index set is empty so sweep code can skip absent modes.
+    pub fn mape(&self, dataset: &Dataset, idx: &[usize], mode: Option<usize>) -> f32 {
+        let filtered: Vec<usize> = match mode {
+            Some(k) => idx
+                .iter()
+                .copied()
+                .filter(|&i| dataset.observations[i].interferers.len() == k)
+                .collect(),
+            None => idx.to_vec(),
+        };
+        if filtered.is_empty() {
+            return f32::NAN;
+        }
+        crate::eval::mape_for(self, dataset, &filtered)
+    }
+
+    /// The step/loss trace recorded during training.
+    pub fn final_val_loss(&self) -> f32 {
+        self.history
+            .iter()
+            .map(|p| p.val_loss)
+            .fold(f32::INFINITY, f32::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot_testbed::{Testbed, TestbedConfig};
+
+    fn setup() -> (Dataset, Split) {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.6, 0);
+        (ds, split)
+    }
+
+    #[test]
+    fn training_reduces_validation_loss() {
+        let (ds, split) = setup();
+        let trained = train(&ds, &split, &PitotConfig::tiny());
+        let first = trained.history.first().unwrap().val_loss;
+        let best = trained.final_val_loss();
+        assert!(
+            best < first,
+            "validation loss did not improve: first {first}, best {best}"
+        );
+    }
+
+    #[test]
+    fn trained_model_beats_scaling_baseline_on_mape() {
+        let (ds, split) = setup();
+        let trained = train(&ds, &split, &PitotConfig::tiny());
+        let mape = trained.mape(&ds, &split.test, Some(0));
+        // The scaling baseline alone leaves the pair-affinity structure
+        // unexplained; the tiny model should land comfortably under 60%.
+        assert!(mape < 0.6, "isolation MAPE {mape}");
+        assert!(mape > 0.0);
+    }
+
+    #[test]
+    fn discard_mode_trains_without_interference_data() {
+        let (ds, split) = setup();
+        let mut cfg = PitotConfig::tiny();
+        cfg.interference = InterferenceMode::Discard;
+        cfg.steps = 100;
+        let trained = train(&ds, &split, &cfg);
+        assert!(trained.final_val_loss().is_finite());
+    }
+
+    #[test]
+    fn quantile_training_orders_heads() {
+        let (ds, split) = setup();
+        let mut cfg = PitotConfig::tiny();
+        cfg.objective = Objective::Quantiles(vec![0.5, 0.95]);
+        cfg.steps = 400;
+        let trained = train(&ds, &split, &cfg);
+        let preds = trained.predict_log_runtime(&ds, &split.test[..200.min(split.test.len())]);
+        // The 95th-percentile head should usually predict above the median
+        // head after training.
+        let above = preds[0]
+            .iter()
+            .zip(&preds[1])
+            .filter(|(med, hi)| hi >= med)
+            .count();
+        assert!(
+            above as f32 / preds[0].len() as f32 > 0.7,
+            "only {above}/{} hi-quantile predictions above median",
+            preds[0].len()
+        );
+    }
+
+    #[test]
+    fn serialization_round_trip_preserves_predictions() {
+        let (ds, split) = setup();
+        let mut cfg = PitotConfig::tiny();
+        cfg.steps = 80;
+        let trained = train(&ds, &split, &cfg);
+        let restored = TrainedPitot::from_json(&trained.to_json()).unwrap();
+        let idx: Vec<usize> = split.test.iter().copied().take(20).collect();
+        assert_eq!(
+            trained.predict_log_runtime(&ds, &idx),
+            restored.predict_log_runtime(&ds, &idx)
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(TrainedPitot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn fine_tuning_does_not_regress() {
+        let (ds, split) = setup();
+        let mut cfg = PitotConfig::tiny();
+        cfg.steps = 250;
+        let trained = train(&ds, &split, &cfg);
+        let tuned = trained.fine_tune(&ds, &split, 150);
+        let idx = split.test[..2000.min(split.test.len())].to_vec();
+        let before = trained.mape(&ds, &idx, Some(0));
+        let after = tuned.mape(&ds, &idx, Some(0));
+        assert!(
+            after <= before * 1.1,
+            "fine-tuning regressed: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn fine_tuning_adapts_to_new_observations() {
+        // Warm-start on a split with more data must be at least as good as
+        // the stale model, with far fewer steps than training from scratch.
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let early = Split::stratified(&ds, 0.2, 0);
+        let late = Split::stratified(&ds, 0.7, 0);
+        let mut cfg = PitotConfig::tiny();
+        cfg.steps = 300;
+        let stale = train(&ds, &early, &cfg);
+        let tuned = stale.fine_tune(&ds, &late, 150);
+        let idx: Vec<usize> = late
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| ds.observations[i].interferers.is_empty())
+            .take(2000)
+            .collect();
+        let m_stale = stale.mape(&ds, &idx, None);
+        let m_tuned = tuned.mape(&ds, &idx, None);
+        assert!(
+            m_tuned <= m_stale * 1.05,
+            "online update should help: stale {m_stale}, tuned {m_tuned}"
+        );
+    }
+
+    #[test]
+    fn layer_normalized_towers_train() {
+        let (ds, split) = setup();
+        let mut cfg = PitotConfig::tiny();
+        cfg.tower_layer_norm = true;
+        cfg.steps = 200;
+        let trained = train(&ds, &split, &cfg);
+        assert!(trained.final_val_loss().is_finite());
+        let idx: Vec<usize> = split.test.iter().copied().take(200).collect();
+        let mape = trained.mape(&ds, &idx, None);
+        assert!(mape.is_finite() && mape < 2.0, "LN-tower MAPE {mape}");
+        // The serialized checkpoint round-trips the layer-norm parameters.
+        let restored = TrainedPitot::from_json(&trained.to_json()).unwrap();
+        assert_eq!(
+            trained.predict_log_runtime(&ds, &idx[..10]),
+            restored.predict_log_runtime(&ds, &idx[..10])
+        );
+    }
+
+    #[test]
+    fn rearrangement_removes_head_crossing() {
+        let (ds, split) = setup();
+        let mut cfg = PitotConfig::tiny();
+        cfg.objective = Objective::Quantiles(vec![0.5, 0.8, 0.9, 0.95]);
+        cfg.steps = 200;
+        let trained = train(&ds, &split, &cfg);
+        let idx: Vec<usize> = split.test.iter().copied().take(1500).collect();
+        let raw = trained.predict_log_runtime(&ds, &idx);
+        let raw_crossing = pitot_conformal::crossing_rate(&raw);
+
+        let mut cfg2 = cfg.clone();
+        cfg2.rearrange_quantiles = true;
+        let mut trained2 = trained.clone();
+        // Same weights, only the config flag differs.
+        trained2.model = {
+            let mut m = trained.model.clone();
+            m.set_config(cfg2);
+            m
+        };
+        let fixed = trained2.predict_log_runtime(&ds, &idx);
+        assert_eq!(pitot_conformal::crossing_rate(&fixed), 0.0);
+        // At 200 steps heads are under-trained, so some crossing exists to fix.
+        assert!(raw_crossing >= 0.0);
+        // Rearrangement permutes values per observation; the multiset of
+        // head predictions for observation 0 must be preserved.
+        let mut a: Vec<f32> = raw.iter().map(|h| h[0]).collect();
+        let mut b: Vec<f32> = fixed.iter().map(|h| h[0]).collect();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let (ds, split) = setup();
+        let mut cfg = PitotConfig::tiny();
+        cfg.steps = 60;
+        let a = train(&ds, &split, &cfg);
+        let b = train(&ds, &split, &cfg);
+        assert_eq!(a.history, b.history);
+    }
+}

@@ -1,0 +1,129 @@
+//! `pitot-repro`: regenerates every table and figure of the Pitot paper.
+//!
+//! ```text
+//! pitot-repro [--full] [--out DIR] <command>
+//!
+//! commands:
+//!   fig1 table2 table3            dataset-side reproductions
+//!   fig4a fig4b fig4c fig4d       method ablations
+//!   fig5 fig6a fig6b fig8 fig11   accuracy / uncertainty comparisons
+//!   fig10                         hyperparameter ablations
+//!   fig7 fig12                    embedding interpretation
+//!   summary                       Sec 5.3 headline numbers
+//!   orchestration shift online    extension studies (placement, pool
+//!   conformal optimizer           robustness, online learning, conformal
+//!                                 variants, optimizer ablation)
+//!   all                           everything above
+//! ```
+//!
+//! `--full` switches from the reduced single-core settings to paper-scale
+//! training (App B.3); output format is identical. Each figure is printed as
+//! uniform rows and written to `<out>/<id>.json`.
+
+use pitot_experiments::{
+    ablations, baseline_cmp, baselines_ext, conformal_variants, dataset_report, embeddings,
+    hyperparams, online, optimizer_cmp, orchestration, shift, uncertainty,
+};
+use pitot_experiments::{Figure, Harness, Scale};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Fast;
+    let mut out_dir = PathBuf::from("results");
+    let mut commands = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::Full,
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                println!("usage: pitot-repro [--full] [--out DIR] <fig1|fig4a|...|all>");
+                return;
+            }
+            cmd => commands.push(cmd.to_string()),
+        }
+        i += 1;
+    }
+    if commands.is_empty() {
+        eprintln!("no command given; try `pitot-repro all` or `--help`");
+        std::process::exit(2);
+    }
+
+    let t0 = Instant::now();
+    eprintln!("building harness ({scale:?})…");
+    let harness = Harness::new(scale);
+    eprintln!(
+        "dataset: {} observations over {} workloads × {} platforms ({:.1?})",
+        harness.dataset.observations.len(),
+        harness.dataset.n_workloads,
+        harness.dataset.n_platforms,
+        t0.elapsed()
+    );
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let all = [
+        "fig1", "table2", "table3", "fig4a", "fig4b", "fig4c", "fig4d", "fig5", "fig6a",
+        "fig6b", "fig8", "fig10", "fig11", "fig7", "fig12", "summary", "orchestration",
+        "shift", "online", "conformal", "optimizer", "baselines",
+    ];
+    let expanded: Vec<String> = commands
+        .iter()
+        .flat_map(|c| {
+            if c == "all" {
+                all.iter().map(|s| s.to_string()).collect()
+            } else {
+                vec![c.clone()]
+            }
+        })
+        .collect();
+
+    for cmd in expanded {
+        let t = Instant::now();
+        let figures: Vec<Figure> = match cmd.as_str() {
+            "fig1" => vec![dataset_report::fig1(&harness)],
+            "table2" => vec![dataset_report::table2(&harness)],
+            "stats" => vec![dataset_report::stats(&harness)],
+            "table3" => vec![dataset_report::table3(&harness)],
+            "fig4a" => vec![ablations::fig4a(&harness)],
+            "fig4b" => vec![ablations::fig4b(&harness)],
+            "fig4c" => vec![ablations::fig4c(&harness)],
+            "fig4d" => vec![ablations::fig4d(&harness)],
+            "fig5" => vec![uncertainty::fig5(&harness)],
+            "fig6a" => vec![baseline_cmp::fig6a(&harness)],
+            "fig6b" => vec![uncertainty::fig6b(&harness)],
+            "fig8" => vec![uncertainty::fig8(&harness)],
+            "wcet" => vec![uncertainty::wcet_extension(&harness)],
+            "fig10" => hyperparams::Sweep::ALL
+                .iter()
+                .map(|s| hyperparams::fig10_row(&harness, *s))
+                .collect(),
+            "fig11" => vec![uncertainty::fig11(&harness)],
+            "fig7" => vec![embeddings::fig7(&harness)],
+            "fig12" => vec![embeddings::fig12bc(&harness), embeddings::fig12d(&harness)],
+            "summary" => vec![baseline_cmp::summary(&harness)],
+            "orchestration" => vec![orchestration::ext_orchestration(&harness)],
+            "baselines" => vec![baselines_ext::ext_baselines(&harness)],
+            "shift" => vec![shift::ext_shift(&harness)],
+            "online" => vec![online::ext_online(&harness)],
+            "conformal" => vec![conformal_variants::ext_conformal_variants(&harness)],
+            "optimizer" => vec![optimizer_cmp::ext_optimizer(&harness)],
+            other => {
+                eprintln!("unknown command `{other}`; see --help");
+                continue;
+            }
+        };
+        for fig in figures {
+            fig.print();
+            let path = out_dir.join(format!("{}.json", fig.id));
+            let json = serde_json::to_string_pretty(&fig).expect("serialize figure");
+            std::fs::write(&path, json).expect("write figure JSON");
+            eprintln!("{} done in {:.1?} → {}", fig.id, t.elapsed(), path.display());
+        }
+    }
+    eprintln!("total: {:.1?}", t0.elapsed());
+}

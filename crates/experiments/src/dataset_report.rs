@@ -1,0 +1,140 @@
+//! Dataset-side reproductions: the Fig 1 interference histogram and the
+//! cluster tables (paper Tables 2 and 3, plus the Sec 4 dataset counts).
+
+use crate::harness::Harness;
+use crate::report::{Figure, Point, Series};
+use pitot_analysis::{log_histogram, observed_slowdowns};
+
+/// Fig 1: log-histogram of interference slowdowns by interference arity,
+/// with the paper's "up to 20×" tail check in the notes.
+pub fn fig1(h: &Harness) -> Figure {
+    let mut fig = Figure::new("fig1", "Interference slowdown histogram");
+    let slow = observed_slowdowns(&h.dataset);
+    let mut max_overall = 0.0f32;
+    for k in 1..=3 {
+        let values = match slow.get(&k) {
+            Some(v) if !v.is_empty() => v,
+            _ => continue,
+        };
+        let hist = log_histogram(values, 0.5, 32.0, 24);
+        max_overall = max_overall.max(values.iter().cloned().fold(0.0, f32::max));
+        fig.series.push(Series {
+            label: format!("{}-way interference", k + 1),
+            panel: "log density".into(),
+            metric: "count".into(),
+            points: hist
+                .edges
+                .windows(2)
+                .zip(&hist.counts)
+                .map(|(e, &c)| Point {
+                    x: (e[0] * e[1]).sqrt(), // geometric bin center
+                    mean: c as f32,
+                    two_se: 0.0,
+                    replicates: vec![c as f32],
+                })
+                .collect(),
+        });
+        fig.notes.push(format!(
+            "{}-way: n={}, mean={:.2}x, p99={:.2}x",
+            k + 1,
+            values.len(),
+            pitot_linalg::mean(values),
+            pitot_linalg::percentile(values, 0.99),
+        ));
+    }
+    fig.notes.push(format!("max observed slowdown: {max_overall:.1}x (paper: up to 20x)"));
+    fig
+}
+
+/// Dataset summary (the Sec 4 / App C.3 headline counts for the current
+/// harness dataset).
+pub fn stats(h: &Harness) -> Figure {
+    let mut fig = Figure::new("stats", "Dataset summary statistics");
+    let stats = pitot_testbed::DatasetStats::compute(&h.dataset);
+    for line in stats.to_string().lines() {
+        fig.notes.push(line.to_string());
+    }
+    fig.notes.push(format!(
+        "paper reference: 53,637 isolation + 357,333 interference obs, Nw=249, Np=231"
+    ));
+    fig
+}
+
+/// Table 2: the device cluster.
+pub fn table2(h: &Harness) -> Figure {
+    let mut fig = Figure::new("table2", "Cluster devices");
+    for d in h.testbed.devices() {
+        fig.notes.push(format!(
+            "{:<22} {:<10} {:<14} {:<14} {:.2} GHz",
+            d.name,
+            d.vendor,
+            d.cpu,
+            d.microarch.name(),
+            d.freq_ghz
+        ));
+    }
+    fig.notes.push(format!(
+        "{} devices, {} vendors, {} microarchitectures",
+        h.testbed.devices().len(),
+        h.testbed.devices().iter().map(|d| d.vendor.clone()).collect::<std::collections::HashSet<_>>().len(),
+        h.testbed
+            .devices()
+            .iter()
+            .map(|d| d.microarch)
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    ));
+    fig
+}
+
+/// Table 3: the WebAssembly runtimes, plus dataset totals (Sec 4).
+pub fn table3(h: &Harness) -> Figure {
+    let mut fig = Figure::new("table3", "WebAssembly runtimes and dataset counts");
+    for r in h.testbed.runtimes() {
+        fig.notes.push(format!("{:<28} {}", r.name(), r.kind.label()));
+    }
+    let ds = &h.dataset;
+    fig.notes.push(format!(
+        "platforms: {} | workloads: {} | observations: {} ({} isolation, {} interference)",
+        ds.n_platforms,
+        ds.n_workloads,
+        ds.observations.len(),
+        ds.isolation_count(),
+        ds.interference_count()
+    ));
+    for k in 1..=3 {
+        fig.notes.push(format!(
+            "{}-way interference observations: {}",
+            k + 1,
+            ds.mode_indices(k).len()
+        ));
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    #[test]
+    fn fig1_has_heavy_tail_series() {
+        let h = Harness::new(Scale::Fast);
+        let fig = fig1(&h);
+        assert_eq!(fig.series.len(), 3, "one histogram per interference arity");
+        // Density concentrated near 1x: first bins dominate.
+        let s = &fig.series[0];
+        let total: f32 = s.points.iter().map(|p| p.mean).sum();
+        let head: f32 = s.points.iter().take(8).map(|p| p.mean).sum();
+        assert!(head / total > 0.5, "head fraction {}", head / total);
+    }
+
+    #[test]
+    fn tables_match_paper_structure() {
+        let h = Harness::new(Scale::Fast);
+        let t2 = table2(&h);
+        assert!(t2.notes.iter().any(|n| n.contains("24 devices")));
+        let t3 = table3(&h);
+        assert!(t3.notes.iter().any(|n| n.contains("platforms")));
+    }
+}

@@ -1,0 +1,208 @@
+//! Embedding interpretation experiments (paper Figs 7 and 12).
+
+use crate::harness::Harness;
+use crate::report::{Figure, Point, Series};
+use pitot::PitotConfig;
+use pitot_analysis::{
+    interference_matrix_norm, neighborhood_purity, pearson, silhouette_score, spearman,
+    trustworthiness, Pca, Tsne, TsneConfig,
+};
+use pitot_linalg::Matrix;
+use std::collections::HashMap;
+
+/// Trains a model at the Fig 7/12 settings (90% split, squared loss) and
+/// returns it.
+fn interpretation_model(h: &Harness) -> pitot::TrainedPitot {
+    let split = h.split(0.9, 0);
+    let cfg: PitotConfig = h.pitot_config();
+    pitot::train(&h.dataset, &split, &cfg)
+}
+
+/// Figs 7 / 12a: t-SNE of workload embeddings colored by benchmark suite.
+///
+/// The series encode the scatter: one series per suite with `(x, y)` pairs
+/// stored as `(point.x, point.mean)`. Notes carry the quantitative check —
+/// neighborhood purity well above chance.
+pub fn fig7(h: &Harness) -> Figure {
+    let mut fig = Figure::new("fig7", "t-SNE of workload embeddings by suite");
+    let trained = interpretation_model(h);
+    let emb = trained.model.workload_embeddings(&h.dataset, 0);
+    let coords = Tsne::new(TsneConfig::default()).embed(&emb);
+    let labels: Vec<usize> = suite_labels(h);
+    scatter_series(&mut fig, &coords, &h.dataset.workload_suites, "tsne");
+    let purity = neighborhood_purity(&emb, &labels, 10);
+    let chance = pitot_analysis::cluster::chance_purity(&labels);
+    fig.notes.push(format!(
+        "10-NN suite purity in embedding space: {purity:.3} (chance {chance:.3})"
+    ));
+    // Quantitative companions to "the t-SNE shows clear clusters":
+    // cluster separation in the native space, faithfulness of the 2-D map,
+    // and the effective rank of the embedding (Fig 10 r-ablation context).
+    let sil = silhouette_score(&emb, &labels);
+    let trust = trustworthiness(&emb, &coords, 10);
+    fig.notes.push(format!(
+        "suite silhouette in embedding space: {sil:.3}; t-SNE trustworthiness (k=10): {trust:.3}"
+    ));
+    let pca = Pca::fit(&emb, emb.cols().min(8));
+    fig.notes.push(format!(
+        "embedding effective rank: {} dims capture 90% of variance (r = {})",
+        pca.effective_rank(0.9).map_or_else(|| ">8".to_string(), |k| k.to_string()),
+        emb.cols()
+    ));
+    fig
+}
+
+/// Figs 12b/12c: t-SNE of platform embeddings by runtime and by CPU class.
+pub fn fig12bc(h: &Harness) -> Figure {
+    let mut fig = Figure::new("fig12bc", "t-SNE of platform embeddings");
+    let trained = interpretation_model(h);
+    let pe = trained.model.platform_embeddings(&h.dataset);
+    let coords = Tsne::new(TsneConfig::default()).embed(&pe.p);
+
+    let runtime_labels: Vec<String> = (0..h.testbed.platforms().len())
+        .map(|p| h.testbed.platform_runtime(p).name())
+        .collect();
+    let class_labels: Vec<String> = (0..h.testbed.platforms().len())
+        .map(|p| h.testbed.platform_device(p).class.label().to_string())
+        .collect();
+    scatter_series(&mut fig, &coords, &runtime_labels, "tsne-by-runtime");
+    scatter_series(&mut fig, &coords, &class_labels, "tsne-by-class");
+
+    let to_idx = |labels: &[String]| -> Vec<usize> {
+        let mut map = HashMap::new();
+        labels
+            .iter()
+            .map(|l| {
+                let next = map.len();
+                *map.entry(l.clone()).or_insert(next)
+            })
+            .collect()
+    };
+    let p_runtime = neighborhood_purity(&pe.p, &to_idx(&runtime_labels), 5);
+    let chance_runtime =
+        pitot_analysis::cluster::chance_purity(&to_idx(&runtime_labels));
+    let p_class = neighborhood_purity(&pe.p, &to_idx(&class_labels), 5);
+    let chance_class = pitot_analysis::cluster::chance_purity(&to_idx(&class_labels));
+    fig.notes.push(format!(
+        "5-NN runtime purity: {p_runtime:.3} (chance {chance_runtime:.3}); CPU-class purity: {p_class:.3} (chance {chance_class:.3})"
+    ));
+    fig
+}
+
+/// Fig 12d: learned interference-matrix spectral norm ‖F_j‖₂ vs the measured
+/// mean interference slowdown per platform, with the Pearson correlation the
+/// paper's positive trend implies.
+pub fn fig12d(h: &Harness) -> Figure {
+    let mut fig = Figure::new("fig12d", "Learned vs measured interference by platform");
+    let trained = interpretation_model(h);
+    let pe = trained.model.platform_embeddings(&h.dataset);
+
+    // Measured: mean log-slowdown of interference observations vs the
+    // isolated mean of the same (workload, platform) pair.
+    let measured = measured_mean_slowdown(h);
+    let mut norms = Vec::new();
+    let mut slows = Vec::new();
+    let mut series_by_class: HashMap<&'static str, Vec<(f32, f32)>> = HashMap::new();
+    for p in 0..h.dataset.n_platforms {
+        let norm = interference_matrix_norm(&pe.vs, &pe.vg, p);
+        if let Some(&slow) = measured.get(&p) {
+            norms.push(norm);
+            slows.push(slow);
+            series_by_class
+                .entry(h.testbed.platform_device(p).class.label())
+                .or_default()
+                .push((norm, slow));
+        }
+    }
+    for (class, pts) in series_by_class {
+        fig.series.push(Series {
+            label: class.to_string(),
+            panel: "norm vs slowdown".into(),
+            metric: "mean interference slowdown".into(),
+            points: pts
+                .into_iter()
+                .map(|(x, y)| Point { x, mean: y, two_se: 0.0, replicates: vec![y] })
+                .collect(),
+        });
+    }
+    let r = pearson(&norms, &slows);
+    fig.notes.push(format!(
+        "Pearson correlation of ‖F_j‖₂ vs measured mean slowdown: r = {r:.3} over {} platforms",
+        norms.len()
+    ));
+    // The paper's claim is a monotone trend on log-log axes; Spearman tests
+    // monotonicity directly and is insensitive to the heavy-tailed scale.
+    let rho = spearman(&norms, &slows);
+    fig.notes.push(format!("Spearman rank correlation: ρ = {rho:.3}"));
+    fig
+}
+
+/// Mean per-platform log-slowdown of interference observations relative to
+/// the isolated mean runtime of the same pair.
+fn measured_mean_slowdown(h: &Harness) -> HashMap<usize, f32> {
+    let ds = &h.dataset;
+    let mut iso: HashMap<(u32, u32), (f64, u32)> = HashMap::new();
+    for o in &ds.observations {
+        if o.interferers.is_empty() {
+            let e = iso.entry((o.workload, o.platform)).or_insert((0.0, 0));
+            e.0 += o.log_runtime() as f64;
+            e.1 += 1;
+        }
+    }
+    let mut acc: HashMap<usize, (f64, u32)> = HashMap::new();
+    for o in &ds.observations {
+        if o.interferers.is_empty() {
+            continue;
+        }
+        if let Some(&(sum, n)) = iso.get(&(o.workload, o.platform)) {
+            let base = sum / n as f64;
+            let slow = (o.log_runtime() as f64 - base).max(0.0);
+            let e = acc.entry(o.platform as usize).or_insert((0.0, 0));
+            e.0 += slow;
+            e.1 += 1;
+        }
+    }
+    acc.into_iter()
+        .map(|(p, (s, n))| (p, (s / n as f64) as f32))
+        .collect()
+}
+
+fn scatter_series<S: AsRef<str>>(
+    fig: &mut Figure,
+    coords: &Matrix,
+    labels: &[S],
+    metric: &str,
+) {
+    let mut by_label: HashMap<String, Vec<(f32, f32)>> = HashMap::new();
+    for (i, l) in labels.iter().enumerate() {
+        by_label
+            .entry(l.as_ref().to_string())
+            .or_default()
+            .push((coords[(i, 0)], coords[(i, 1)]));
+    }
+    let mut sorted: Vec<_> = by_label.into_iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    for (label, pts) in sorted {
+        fig.series.push(Series {
+            label,
+            panel: "scatter".into(),
+            metric: metric.to_string(),
+            points: pts
+                .into_iter()
+                .map(|(x, y)| Point { x, mean: y, two_se: 0.0, replicates: vec![y] })
+                .collect(),
+        });
+    }
+}
+
+fn suite_labels(h: &Harness) -> Vec<usize> {
+    let mut map = HashMap::new();
+    h.dataset
+        .workload_suites
+        .iter()
+        .map(|s| {
+            let next = map.len();
+            *map.entry(s.clone()).or_insert(next)
+        })
+        .collect()
+}

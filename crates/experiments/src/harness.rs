@@ -1,0 +1,181 @@
+//! Shared experiment scaffolding: dataset, splits, replicate loops.
+
+use pitot::PitotConfig;
+use pitot_baselines::{AttentionConfig, BaselineConfig, MfConfig, NnConfig};
+use pitot_testbed::{split::Split, Dataset, Testbed, TestbedConfig};
+use serde::{Deserialize, Serialize};
+
+/// Harness scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Reduced single-core settings (~seconds per training run). Curve
+    /// shapes match the paper; absolute errors are a little higher because
+    /// models are smaller and trained shorter.
+    Fast,
+    /// Paper-scale settings (App B.3): 20k steps, 2×128 towers, r=32,
+    /// 9 train fractions, 5 replicates. Minutes per run on one core.
+    Full,
+}
+
+/// The shared experiment environment: one dataset, replicated splits, and
+/// scale-appropriate model configurations.
+pub struct Harness {
+    /// Harness scale.
+    pub scale: Scale,
+    /// The simulated cluster.
+    pub testbed: Testbed,
+    /// The collected dataset.
+    pub dataset: Dataset,
+    /// Replicate count (paper: 5).
+    pub replicates: usize,
+    /// Train fractions for data-efficiency sweeps.
+    pub fractions: Vec<f32>,
+    /// Cap on test observations used per MAPE/margin evaluation (0 = all).
+    pub eval_cap: usize,
+}
+
+impl Harness {
+    /// Builds the harness at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let (testbed_cfg, replicates, fractions, eval_cap) = match scale {
+            Scale::Fast => (
+                TestbedConfig::medium(),
+                2,
+                vec![0.1, 0.3, 0.5, 0.7, 0.9],
+                20_000,
+            ),
+            Scale::Full => (
+                TestbedConfig::paper(),
+                5,
+                pitot_testbed::split::paper_fractions(),
+                0,
+            ),
+        };
+        let testbed = Testbed::generate(&testbed_cfg);
+        let dataset = testbed.collect_dataset();
+        Self { scale, testbed, dataset, replicates, fractions, eval_cap }
+    }
+
+    /// Base Pitot configuration at this scale.
+    ///
+    /// The environment variable `PITOT_REPRO_STEPS` overrides the step
+    /// budget (useful for stretching a single figure — e.g. the Fig 12
+    /// embedding interpretation benefits from longer training — without
+    /// paying for `--full` everywhere).
+    pub fn pitot_config(&self) -> PitotConfig {
+        let mut cfg = match self.scale {
+            Scale::Fast => PitotConfig::fast(),
+            Scale::Full => PitotConfig::paper(),
+        };
+        if let Ok(steps) = std::env::var("PITOT_REPRO_STEPS") {
+            if let Ok(steps) = steps.parse::<usize>() {
+                cfg.steps = steps.max(1);
+            }
+        }
+        cfg
+    }
+
+    /// Matrix-factorization baseline configuration at this scale.
+    pub fn mf_config(&self) -> MfConfig {
+        match self.scale {
+            // MF has no per-step tower cost, so give it the step budget it
+            // needs to move embeddings several nats (App B.4 trains all
+            // baselines for the full 20k regardless).
+            Scale::Fast => {
+                let mut c = MfConfig::fast();
+                c.train.steps = 4000;
+                c
+            }
+            Scale::Full => MfConfig::paper(),
+        }
+    }
+
+    /// Neural-network baseline configuration at this scale.
+    pub fn nn_config(&self) -> NnConfig {
+        match self.scale {
+            Scale::Fast => NnConfig::fast(),
+            Scale::Full => NnConfig::paper(),
+        }
+    }
+
+    /// Attention baseline configuration at this scale.
+    pub fn attention_config(&self) -> AttentionConfig {
+        match self.scale {
+            Scale::Fast => AttentionConfig::fast(),
+            Scale::Full => AttentionConfig::paper(),
+        }
+    }
+
+    /// Baseline shared training knobs at this scale.
+    pub fn baseline_train(&self) -> BaselineConfig {
+        match self.scale {
+            Scale::Fast => BaselineConfig::fast(),
+            Scale::Full => BaselineConfig::paper(),
+        }
+    }
+
+    /// The split for `(fraction, replicate)`; deterministic.
+    pub fn split(&self, fraction: f32, replicate: usize) -> Split {
+        Split::stratified(&self.dataset, fraction, replicate as u64)
+    }
+
+    /// Test indices *without* interference, capped for evaluation.
+    pub fn test_without_interference(&self, split: &Split) -> Vec<usize> {
+        self.cap(split
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| self.dataset.observations[i].interferers.is_empty())
+            .collect())
+    }
+
+    /// Test indices *with* interference, capped for evaluation.
+    pub fn test_with_interference(&self, split: &Split) -> Vec<usize> {
+        self.cap(split
+            .test
+            .iter()
+            .copied()
+            .filter(|&i| !self.dataset.observations[i].interferers.is_empty())
+            .collect())
+    }
+
+    fn cap(&self, idx: Vec<usize>) -> Vec<usize> {
+        if self.eval_cap > 0 && idx.len() > self.eval_cap {
+            // Stride rather than truncate: the test list is ordered by
+            // interference mode, and a truncated prefix would drop the
+            // highest-arity modes entirely.
+            let stride = idx.len().div_ceil(self.eval_cap);
+            return idx.into_iter().step_by(stride).collect();
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_harness_is_consistent() {
+        let h = Harness::new(Scale::Fast);
+        assert_eq!(h.replicates, 2);
+        assert_eq!(h.fractions.len(), 5);
+        let split = h.split(0.5, 0);
+        let no = h.test_without_interference(&split);
+        let with = h.test_with_interference(&split);
+        assert!(!no.is_empty() && !with.is_empty());
+        for &i in no.iter().take(100) {
+            assert!(h.dataset.observations[i].interferers.is_empty());
+        }
+        for &i in with.iter().take(100) {
+            assert!(!h.dataset.observations[i].interferers.is_empty());
+        }
+    }
+
+    #[test]
+    fn splits_are_deterministic_per_replicate() {
+        let h = Harness::new(Scale::Fast);
+        assert_eq!(h.split(0.3, 1).train, h.split(0.3, 1).train);
+        assert_ne!(h.split(0.3, 1).train, h.split(0.3, 2).train);
+    }
+}

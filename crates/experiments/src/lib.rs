@@ -1,0 +1,30 @@
+//! Experiment harness for the Pitot reproduction.
+//!
+//! One runner per table/figure of the paper's evaluation (Secs 4–5 and
+//! Appendix D), all printing uniform `figure | series | x | mean ± 2se` rows
+//! and returning structured [`report::Series`] data that the `pitot-repro`
+//! binary serializes to JSON.
+//!
+//! Runners accept a [`harness::Harness`] built at either reduced
+//! ([`harness::Scale::Fast`]) or paper ([`harness::Scale::Full`]) scale; the
+//! output format is identical so results are comparable across scales.
+
+pub mod ablations;
+pub mod baseline_cmp;
+pub mod baselines_ext;
+pub mod conformal_variants;
+pub mod dataset_report;
+pub mod embeddings;
+pub mod harness;
+pub mod hyperparams;
+pub mod methods;
+pub mod online;
+pub mod orchestration;
+pub mod report;
+pub mod shift;
+pub mod uncertainty;
+pub mod optimizer_cmp;
+
+pub use harness::{Harness, Scale};
+pub use methods::{Method, PitotPredictor};
+pub use report::{Figure, Point, Series};

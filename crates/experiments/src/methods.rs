@@ -1,0 +1,102 @@
+//! A uniform interface over Pitot and the baselines for comparisons.
+
+use pitot::{PitotConfig, TrainedPitot};
+use pitot_baselines::{
+    AttentionConfig, AttentionNet, LogPredictor, MatrixFactorization, MfConfig, NeuralNetwork,
+    NnConfig,
+};
+use pitot_testbed::{split::Split, Dataset};
+
+/// Adapter making a [`TrainedPitot`] usable through the [`LogPredictor`]
+/// trait the baselines share.
+pub struct PitotPredictor(pub TrainedPitot);
+
+impl LogPredictor for PitotPredictor {
+    fn predict_log(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
+        self.0.predict_log_runtime(dataset, idx)
+    }
+
+    fn quantile_levels(&self) -> Vec<f32> {
+        self.0.model.config().objective.xis()
+    }
+
+    fn method_name(&self) -> &'static str {
+        "Pitot"
+    }
+}
+
+/// A trainable method in the Fig 6 comparison.
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// The paper's method.
+    Pitot(PitotConfig),
+    /// Pure matrix factorization (App B.4).
+    MatrixFactorization(MfConfig),
+    /// Neural-network baseline (App B.4).
+    NeuralNetwork(NnConfig),
+    /// Attention baseline (App B.4).
+    Attention(AttentionConfig),
+}
+
+impl Method {
+    /// Display label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Pitot(_) => "Pitot",
+            Method::MatrixFactorization(_) => "Matrix Factorization",
+            Method::NeuralNetwork(_) => "Neural Network",
+            Method::Attention(_) => "Attention",
+        }
+    }
+
+    /// Trains the method on a split, with `seed` controlling replicate
+    /// randomness.
+    pub fn train(&self, dataset: &Dataset, split: &Split, seed: u64) -> Box<dyn LogPredictor> {
+        match self {
+            Method::Pitot(cfg) => {
+                let cfg = cfg.clone().with_seed(seed);
+                Box::new(PitotPredictor(pitot::train(dataset, split, &cfg)))
+            }
+            Method::MatrixFactorization(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.train = cfg.train.with_seed(seed);
+                Box::new(MatrixFactorization::train(dataset, split, &cfg))
+            }
+            Method::NeuralNetwork(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.train = cfg.train.with_seed(seed);
+                Box::new(NeuralNetwork::train(dataset, split, &cfg))
+            }
+            Method::Attention(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.train = cfg.train.with_seed(seed);
+                Box::new(AttentionNet::train(dataset, split, &cfg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot_testbed::{Testbed, TestbedConfig};
+
+    #[test]
+    fn all_methods_train_and_predict() {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.5, 0);
+        let methods = vec![
+            Method::Pitot(PitotConfig::tiny()),
+            Method::MatrixFactorization(MfConfig::tiny()),
+            Method::NeuralNetwork(NnConfig::tiny()),
+            Method::Attention(AttentionConfig::tiny()),
+        ];
+        let idx: Vec<usize> = split.test.iter().copied().take(50).collect();
+        for m in methods {
+            let model = m.train(&ds, &split, 0);
+            let preds = model.predict_log(&ds, &idx);
+            assert_eq!(preds[0].len(), idx.len(), "{}", m.label());
+            assert!(preds[0].iter().all(|p| p.is_finite()), "{}", m.label());
+        }
+    }
+}

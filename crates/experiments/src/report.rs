@@ -1,0 +1,105 @@
+//! Structured experiment results and uniform terminal/JSON reporting.
+
+use pitot_linalg::{mean, stderr_of_mean};
+use serde::{Deserialize, Serialize};
+
+/// One x-position on a series: replicate-aggregated mean ± 2 standard errors
+/// (the paper's error bars, Sec 5.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate (train fraction, miscoverage rate, hyperparameter value…).
+    pub x: f32,
+    /// Replicate mean of the metric.
+    pub mean: f32,
+    /// Two standard errors across replicates.
+    pub two_se: f32,
+    /// Raw replicate values.
+    pub replicates: Vec<f32>,
+}
+
+impl Point {
+    /// Aggregates replicate measurements at position `x`.
+    pub fn from_replicates(x: f32, values: Vec<f32>) -> Self {
+        Self { x, mean: mean(&values), two_se: 2.0 * stderr_of_mean(&values), replicates: values }
+    }
+}
+
+/// A named curve within a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label, e.g. `"Log-Residual Objective"`.
+    pub label: String,
+    /// Which panel the series belongs to, e.g. `"without interference"`.
+    pub panel: String,
+    /// Metric name, e.g. `"MAPE"` or `"bound tightness"`.
+    pub metric: String,
+    /// The curve.
+    pub points: Vec<Point>,
+}
+
+/// A reproduced figure or table: an identifier plus its series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Paper identifier, e.g. `"fig4a"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// All series across panels.
+    pub series: Vec<Series>,
+    /// Free-form notes (headline numbers, correlations…).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self { id: id.into(), title: title.into(), series: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Prints the figure as uniform terminal rows.
+    pub fn print(&self) {
+        println!("== {} — {} ==", self.id, self.title);
+        for s in &self.series {
+            for p in &s.points {
+                println!(
+                    "{} | {:<28} | {:<22} | x={:<6} | {}={:.4} ±{:.4}",
+                    self.id, s.label, s.panel, p.x, s.metric, p.mean, p.two_se
+                );
+            }
+        }
+        for n in &self.notes {
+            println!("{} | note | {n}", self.id);
+        }
+    }
+
+    /// Looks up a series by label and panel.
+    pub fn series_for(&self, label: &str, panel: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label && s.panel == panel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_aggregation() {
+        let p = Point::from_replicates(0.5, vec![1.0, 3.0]);
+        assert_eq!(p.mean, 2.0);
+        assert!(p.two_se > 0.0);
+        assert_eq!(p.replicates.len(), 2);
+    }
+
+    #[test]
+    fn figure_lookup() {
+        let mut f = Figure::new("fig0", "test");
+        f.series.push(Series {
+            label: "a".into(),
+            panel: "p".into(),
+            metric: "m".into(),
+            points: vec![],
+        });
+        assert!(f.series_for("a", "p").is_some());
+        assert!(f.series_for("a", "q").is_none());
+    }
+}

@@ -1,0 +1,349 @@
+//! Uncertainty-quantification experiments (paper Figs 5, 6b, 8, 11).
+
+use crate::harness::Harness;
+use crate::methods::{Method, PitotPredictor};
+use crate::report::{Figure, Point, Series};
+use pitot::{Objective, PitotConfig};
+use pitot_baselines::LogPredictor;
+use pitot_conformal::{
+    calibrate_gamma, overprovision_margin, HeadSelection, PooledConformal, PredictionSet,
+};
+use pitot_testbed::{split::Split, Dataset};
+
+/// Miscoverage sweep used by the tightness figures.
+pub fn epsilons(h: &Harness) -> Vec<f32> {
+    match h.scale {
+        crate::harness::Scale::Fast => vec![0.10, 0.08, 0.06, 0.04, 0.02],
+        crate::harness::Scale::Full => {
+            (1..=10).rev().map(|i| i as f32 / 100.0).collect()
+        }
+    }
+}
+
+/// Fits pooled conformal bounds for any predictor, splitting the validation
+/// half into calibration and selection halves (mirrors
+/// `TrainedPitot::fit_bounds`).
+pub fn fit_bounds_generic(
+    model: &dyn LogPredictor,
+    dataset: &Dataset,
+    split: &Split,
+    epsilon: f32,
+    selection: HeadSelection,
+) -> PooledConformal {
+    // The val list is ordered by interference mode: interleave so both
+    // halves contain every calibration pool.
+    let cal_idx: Vec<usize> = split.val.iter().copied().step_by(2).collect();
+    let mut sel_idx: Vec<usize> = split.val.iter().copied().skip(1).step_by(2).collect();
+    if sel_idx.is_empty() {
+        sel_idx = cal_idx.clone();
+    }
+    let cal_preds = model.predict_log(dataset, &cal_idx);
+    let sel_preds = model.predict_log(dataset, &sel_idx);
+    let (cal_t, cal_p) = targets_pools(dataset, &cal_idx);
+    let (sel_t, sel_p) = targets_pools(dataset, &sel_idx);
+    PooledConformal::fit(
+        &PredictionSet { predictions: &cal_preds, targets_log: &cal_t, pools: &cal_p },
+        &PredictionSet { predictions: &sel_preds, targets_log: &sel_t, pools: &sel_p },
+        &model.quantile_levels(),
+        selection,
+        epsilon,
+    )
+}
+
+/// Overprovisioning margin of calibrated bounds over `idx`.
+pub fn margin_on(
+    model: &dyn LogPredictor,
+    conformal: &PooledConformal,
+    dataset: &Dataset,
+    idx: &[usize],
+) -> f32 {
+    let preds = model.predict_log(dataset, idx);
+    let (targets, pools) = targets_pools(dataset, idx);
+    let bounds =
+        conformal.bounds_log(&PredictionSet { predictions: &preds, targets_log: &targets, pools: &pools });
+    overprovision_margin(&bounds, &targets)
+}
+
+/// Empirical coverage of calibrated bounds over `idx`.
+pub fn coverage_on(
+    model: &dyn LogPredictor,
+    conformal: &PooledConformal,
+    dataset: &Dataset,
+    idx: &[usize],
+) -> f32 {
+    let preds = model.predict_log(dataset, idx);
+    let (targets, pools) = targets_pools(dataset, idx);
+    let bounds =
+        conformal.bounds_log(&PredictionSet { predictions: &preds, targets_log: &targets, pools: &pools });
+    pitot_conformal::coverage(&bounds, &targets)
+}
+
+fn targets_pools(dataset: &Dataset, idx: &[usize]) -> (Vec<f32>, Vec<usize>) {
+    idx.iter()
+        .map(|&i| {
+            let o = &dataset.observations[i];
+            (o.log_runtime(), o.interferers.len())
+        })
+        .unzip()
+}
+
+/// The three uncertainty strategies of Fig 5.
+fn fig5_strategies(h: &Harness) -> Vec<(String, PitotConfig, HeadSelection)> {
+    let quant = PitotConfig { objective: Objective::paper_quantiles(), ..h.pitot_config() };
+    let squared = h.pitot_config();
+    vec![
+        ("Pitot".to_string(), quant.clone(), HeadSelection::TightestOnValidation),
+        ("Naive CQR".to_string(), quant, HeadSelection::NaiveXi),
+        ("Non-quantile".to_string(), squared, HeadSelection::SingleHead),
+    ]
+}
+
+/// Fig 5: bound tightness across miscoverage rates at the 50% train split,
+/// comparing the paper's CQR (with quantile selection) against naive CQR and
+/// conformalized squared regression.
+pub fn fig5(h: &Harness) -> Figure {
+    let mut fig = Figure::new("fig5", "Bound tightness of CQR variants (50% split)");
+    let eps_list = epsilons(h);
+    for (label, cfg, selection) in fig5_strategies(h) {
+        let mut pts_no: Vec<Vec<f32>> = vec![Vec::new(); eps_list.len()];
+        let mut pts_with: Vec<Vec<f32>> = vec![Vec::new(); eps_list.len()];
+        for rep in 0..h.replicates {
+            let split = h.split(0.5, rep);
+            let trained = pitot::train(&h.dataset, &split, &cfg.clone().with_seed(rep as u64));
+            let model = PitotPredictor(trained);
+            let no_idx = h.test_without_interference(&split);
+            let with_idx = h.test_with_interference(&split);
+            for (e, &eps) in eps_list.iter().enumerate() {
+                let conformal = fit_bounds_generic(&model, &h.dataset, &split, eps, selection);
+                pts_no[e].push(margin_on(&model, &conformal, &h.dataset, &no_idx));
+                pts_with[e].push(margin_on(&model, &conformal, &h.dataset, &with_idx));
+            }
+        }
+        push_eps_series(&mut fig, &label, &eps_list, pts_no, pts_with);
+    }
+    fig
+}
+
+/// Fig 6b: bound tightness versus the baselines at the 50% split.
+pub fn fig6b(h: &Harness) -> Figure {
+    let mut fig = Figure::new("fig6b", "Bound tightness vs baselines (50% split)");
+    tightness_vs_baselines(h, &mut fig, 0.5);
+    fig
+}
+
+/// Fig 11: the full grid — tightness vs baselines across train fractions.
+/// The fast harness samples the grid at {10%, 50%, 90%}; `--full` covers
+/// all nine splits like the paper.
+pub fn fig11(h: &Harness) -> Figure {
+    let mut fig = Figure::new("fig11", "Bound tightness vs baselines across train splits");
+    let fractions: Vec<f32> = match h.scale {
+        crate::harness::Scale::Fast => vec![0.1, 0.5, 0.9],
+        crate::harness::Scale::Full => h.fractions.clone(),
+    };
+    for &fraction in &fractions {
+        tightness_vs_baselines(h, &mut fig, fraction);
+    }
+    fig
+}
+
+fn tightness_vs_baselines(h: &Harness, fig: &mut Figure, fraction: f32) {
+    let eps_list = epsilons(h);
+    let quant_pitot = Method::Pitot(PitotConfig {
+        objective: Objective::paper_quantiles(),
+        ..h.pitot_config()
+    });
+    let methods: Vec<(Method, HeadSelection)> = vec![
+        (quant_pitot, HeadSelection::TightestOnValidation),
+        (Method::NeuralNetwork(h.nn_config()), HeadSelection::SingleHead),
+        (Method::Attention(h.attention_config()), HeadSelection::SingleHead),
+        (Method::MatrixFactorization(h.mf_config()), HeadSelection::SingleHead),
+    ];
+    for (method, selection) in methods {
+        let mut pts_no: Vec<Vec<f32>> = vec![Vec::new(); eps_list.len()];
+        let mut pts_with: Vec<Vec<f32>> = vec![Vec::new(); eps_list.len()];
+        for rep in 0..h.replicates {
+            let split = h.split(fraction, rep);
+            let model = method.train(&h.dataset, &split, rep as u64);
+            let no_idx = h.test_without_interference(&split);
+            let with_idx = h.test_with_interference(&split);
+            for (e, &eps) in eps_list.iter().enumerate() {
+                let conformal =
+                    fit_bounds_generic(model.as_ref(), &h.dataset, &split, eps, selection);
+                pts_no[e].push(margin_on(model.as_ref(), &conformal, &h.dataset, &no_idx));
+                pts_with[e].push(margin_on(model.as_ref(), &conformal, &h.dataset, &with_idx));
+            }
+        }
+        let label = format!("{} @ {:.0}%", method.label(), fraction * 100.0);
+        push_eps_series(fig, &label, &eps_list, pts_no, pts_with);
+    }
+}
+
+fn push_eps_series(
+    fig: &mut Figure,
+    label: &str,
+    eps_list: &[f32],
+    pts_no: Vec<Vec<f32>>,
+    pts_with: Vec<Vec<f32>>,
+) {
+    fig.series.push(Series {
+        label: label.to_string(),
+        panel: "without interference".into(),
+        metric: "bound tightness".into(),
+        points: eps_list
+            .iter()
+            .zip(pts_no)
+            .map(|(&x, v)| Point::from_replicates(x, v))
+            .collect(),
+    });
+    fig.series.push(Series {
+        label: label.to_string(),
+        panel: "with interference".into(),
+        metric: "bound tightness".into(),
+        points: eps_list
+            .iter()
+            .zip(pts_with)
+            .map(|(&x, v)| Point::from_replicates(x, v))
+            .collect(),
+    });
+}
+
+/// Fig 8: post-calibration tightness as a function of the quantile-regression
+/// target quantile ξ, at ε = 0.05 (App B.2's motivation for quantile
+/// selection).
+pub fn fig8(h: &Harness) -> Figure {
+    let mut fig = Figure::new(
+        "fig8",
+        "Bound tightness by target quantile (ε = 0.05, without interference)",
+    );
+    let cfg = PitotConfig { objective: Objective::paper_quantiles(), ..h.pitot_config() };
+    let xis = cfg.objective.xis();
+    let eps = 0.05;
+    let mut per_head: Vec<Vec<f32>> = vec![Vec::new(); xis.len()];
+    for rep in 0..h.replicates {
+        let split = h.split(0.5, rep);
+        let trained = pitot::train(&h.dataset, &split, &cfg.clone().with_seed(rep as u64));
+        let model = PitotPredictor(trained);
+        // Calibrate each head on the no-interference pool and measure margin
+        // on the no-interference test set.
+        let no_val: Vec<usize> = split
+            .val
+            .iter()
+            .copied()
+            .filter(|&i| h.dataset.observations[i].interferers.is_empty())
+            .collect();
+        let no_test = h.test_without_interference(&split);
+        let cal_preds = model.predict_log(&h.dataset, &no_val);
+        let test_preds = model.predict_log(&h.dataset, &no_test);
+        let cal_t: Vec<f32> =
+            no_val.iter().map(|&i| h.dataset.observations[i].log_runtime()).collect();
+        let test_t: Vec<f32> =
+            no_test.iter().map(|&i| h.dataset.observations[i].log_runtime()).collect();
+        for (hd, head_preds) in cal_preds.iter().enumerate() {
+            let scores: Vec<f32> =
+                head_preds.iter().zip(&cal_t).map(|(p, t)| t - p).collect();
+            let gamma = calibrate_gamma(&scores, eps);
+            let bounds: Vec<f32> = test_preds[hd].iter().map(|p| p + gamma).collect();
+            per_head[hd].push(overprovision_margin(&bounds, &test_t));
+        }
+    }
+    fig.series.push(Series {
+        label: "calibrated margin".into(),
+        panel: "without interference".into(),
+        metric: "bound tightness".into(),
+        points: xis
+            .iter()
+            .zip(per_head)
+            .map(|(&xi, v)| Point::from_replicates(xi, v))
+            .collect(),
+    });
+    let best = fig.series[0]
+        .points
+        .iter()
+        .min_by(|a, b| a.mean.total_cmp(&b.mean))
+        .map(|p| p.x)
+        .unwrap_or(f32::NAN);
+    fig.notes.push(format!(
+        "tightest target quantile ξ* = {best:.2} (naive CQR would use ξ = 0.95)"
+    ));
+    fig
+}
+
+/// Extension experiment (not in the paper's figures, motivated by its Sec 2
+/// WCET discussion): measurement-based WCET bounds vs Pitot's conformal
+/// bounds at matched coverage. WCET typically over-covers and pays an
+/// order-of-magnitude larger overprovisioning margin.
+pub fn wcet_extension(h: &Harness) -> Figure {
+    let mut fig = Figure::new("ext-wcet", "WCET-style bounds vs conformal bounds (50% split)");
+    let eps = 0.05;
+    let cfg = PitotConfig { objective: Objective::paper_quantiles(), ..h.pitot_config() };
+    let mut rows: Vec<(String, Vec<f32>, Vec<f32>)> = vec![
+        ("Pitot conformal".into(), Vec::new(), Vec::new()),
+        ("WCET x1.2".into(), Vec::new(), Vec::new()),
+        ("WCET x2.0".into(), Vec::new(), Vec::new()),
+    ];
+    for rep in 0..h.replicates {
+        let split = h.split(0.5, rep);
+        let no_idx = h.test_without_interference(&split);
+        let trained = pitot::train(&h.dataset, &split, &cfg.clone().with_seed(rep as u64));
+        let model = PitotPredictor(trained);
+        let conformal = fit_bounds_generic(
+            &model,
+            &h.dataset,
+            &split,
+            eps,
+            HeadSelection::TightestOnValidation,
+        );
+        rows[0].1.push(margin_on(&model, &conformal, &h.dataset, &no_idx));
+        rows[0].2.push(coverage_on(&model, &conformal, &h.dataset, &no_idx));
+        for (slot, factor) in [(1usize, 1.2f32), (2, 2.0)] {
+            let wcet =
+                pitot_baselines::WcetBaseline::from_split(&h.dataset, &split, factor);
+            let bounds = wcet.predict_log(&h.dataset, &no_idx)[0].clone();
+            let targets: Vec<f32> = no_idx
+                .iter()
+                .map(|&i| h.dataset.observations[i].log_runtime())
+                .collect();
+            rows[slot].1.push(overprovision_margin(&bounds, &targets));
+            rows[slot].2.push(pitot_conformal::coverage(&bounds, &targets));
+        }
+    }
+    for (label, margins, coverages) in rows {
+        fig.series.push(Series {
+            label: label.clone(),
+            panel: "without interference".into(),
+            metric: "bound tightness".into(),
+            points: vec![Point::from_replicates(eps, margins)],
+        });
+        fig.series.push(Series {
+            label,
+            panel: "without interference".into(),
+            metric: "coverage".into(),
+            points: vec![Point::from_replicates(eps, coverages)],
+        });
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    #[test]
+    fn generic_bounds_cover_for_a_baseline() {
+        let mut h = Harness::new(Scale::Fast);
+        h.eval_cap = 3000;
+        let split = h.split(0.5, 0);
+        let mut cfg = h.mf_config();
+        cfg.train.steps = 300;
+        let model =
+            Method::MatrixFactorization(cfg).train(&h.dataset, &split, 0);
+        let conformal =
+            fit_bounds_generic(model.as_ref(), &h.dataset, &split, 0.1, HeadSelection::SingleHead);
+        let idx = h.test_without_interference(&split);
+        let cov = coverage_on(model.as_ref(), &conformal, &h.dataset, &idx);
+        assert!(cov >= 0.85, "coverage {cov}");
+        let m = margin_on(model.as_ref(), &conformal, &h.dataset, &idx);
+        assert!(m > 0.0 && m.is_finite());
+    }
+}

@@ -1,0 +1,31 @@
+//! Dense single-precision linear algebra for the Pitot reproduction.
+//!
+//! This crate provides the minimal numerical substrate used throughout the
+//! workspace: a row-major [`Matrix`] type with the handful of kernels a
+//! manually-differentiated two-tower model needs (`A·B`, `A·Bᵀ`, `Aᵀ·B`,
+//! elementwise maps, row/column reductions) plus random-fill helpers.
+//!
+//! The design goal is *predictable* performance on a single CPU core rather
+//! than peak throughput: kernels are written so the inner loops are
+//! contiguous-slice dot products or AXPYs that rustc autovectorizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use pitot_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod matrix;
+mod ops;
+mod solve;
+mod stats;
+
+pub use matrix::Matrix;
+pub use ops::{axpy_slice, dot};
+pub use solve::{cholesky, solve_spd, solve_spd_multi};
+pub use stats::{mean, percentile, quantile_higher, stderr_of_mean, variance};

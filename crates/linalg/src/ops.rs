@@ -1,0 +1,398 @@
+//! Matrix product and elementwise kernels.
+//!
+//! All products shape-check their operands and panic on mismatch: in this
+//! workspace a shape error is always a programming bug in model wiring, never
+//! a data-dependent condition, so `Result` plumbing would only obscure the
+//! hot paths.
+
+use crate::Matrix;
+
+impl Matrix {
+    /// `self · other` (standard matrix product).
+    ///
+    /// The kernel iterates `i, k, j` so the inner loop is an AXPY over the
+    /// contiguous output row — the cache-friendly ordering for row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: {}x{} · {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`.
+    ///
+    /// Both operands are traversed along contiguous rows, so this is the
+    /// fastest product shape; prefer it when you control the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_transpose: {}x{} · ({}x{})ᵀ",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, n) = (self.rows(), other.rows());
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                *o = dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`.
+    ///
+    /// Used for weight gradients (`Xᵀ · dY`). The accumulation runs over the
+    /// shared row index so both operands stream contiguously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "transpose_matmul: ({}x{})ᵀ · {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (k, m, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut out = self.clone();
+        for v in out.as_mut_slice() {
+            *v = f(*v);
+        }
+        out
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.as_mut_slice() {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise binary combine into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let mut out = self.clone();
+        for (o, &b) in out.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *o = f(*o, b);
+        }
+        out
+    }
+
+    /// `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (s, &o) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *s += alpha * o;
+        }
+    }
+
+    /// Multiplies every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in self.as_mut_slice() {
+            *v *= alpha;
+        }
+    }
+
+    /// Adds a row vector (broadcast over rows), e.g. a bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols(), "bias width mismatch");
+        let cols = self.cols();
+        for r in 0..self.rows() {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias).take(cols) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Sum over rows, producing one value per column.
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols()];
+        for r in 0..self.rows() {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sum over columns, producing one value per row.
+    pub fn sum_cols(&self) -> Vec<f32> {
+        self.iter_rows().map(|row| row.iter().sum()).collect()
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Row-wise dot products of two equally-shaped matrices
+    /// (`out[r] = self[r] · other[r]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn rowwise_dot(&self, other: &Matrix) -> Vec<f32> {
+        assert_eq!(self.shape(), other.shape(), "rowwise_dot shape mismatch");
+        self.iter_rows().zip(other.iter_rows()).map(|(a, b)| dot(a, b)).collect()
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics (debug) if lengths differ; release builds truncate to the shorter,
+/// which never happens for shape-checked callers.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four accumulators break the dependency chain so the loop vectorizes.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// `y += alpha * x` for slices.
+///
+/// # Panics
+///
+/// Panics (debug) if lengths differ.
+#[inline]
+pub fn axpy_slice(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng as _, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = Matrix::randn(7, 13, &mut rng);
+        let b = Matrix::randn(13, 5, &mut rng);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_transpose_matches_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = Matrix::randn(6, 9, &mut rng);
+        let b = Matrix::randn(4, 9, &mut rng);
+        assert_close(&a.matmul_transpose(&b), &naive_matmul(&a, &b.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = Matrix::randn(9, 6, &mut rng);
+        let b = Matrix::randn(9, 4, &mut rng);
+        assert_close(&a.transpose_matmul(&b), &naive_matmul(&a.transpose(), &b), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_checked() {
+        let _ = Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = Matrix::randn(5, 5, &mut rng);
+        assert_close(&a.matmul(&Matrix::eye(5)), &a, 1e-6);
+        assert_close(&Matrix::eye(5).matmul(&a), &a, 1e-6);
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.sum_rows(), vec![4.0, 6.0]);
+        assert_eq!(m.sum_cols(), vec![3.0, 7.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert!((m.frobenius_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_and_axpy() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+        let mut n = Matrix::full(2, 3, 1.0);
+        n.axpy(2.0, &m);
+        assert_eq!(n.row(0), &[3.0, 5.0, 7.0]);
+        n.scale(0.5);
+        assert_eq!(n.row(0), &[1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn rowwise_dot_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.rowwise_dot(&b), vec![17.0, 53.0]);
+    }
+
+    #[test]
+    fn dot_handles_tail() {
+        let a: Vec<f32> = (0..11).map(|i| i as f32).collect();
+        let b = vec![2.0f32; 11];
+        assert_eq!(dot(&a, &b), 2.0 * (0..11).sum::<i32>() as f32);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_associativity(seed in 0u64..500) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = Matrix::randn(4, 3, &mut rng);
+            let b = Matrix::randn(3, 5, &mut rng);
+            let c = Matrix::randn(5, 2, &mut rng);
+            let left = a.matmul(&b).matmul(&c);
+            let right = a.matmul(&b.matmul(&c));
+            for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+
+        #[test]
+        fn transpose_identities(seed in 0u64..500) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = Matrix::randn(4, 6, &mut rng);
+            let b = Matrix::randn(5, 6, &mut rng);
+            // A·Bᵀ computed directly equals the explicit-transpose product.
+            let fused = a.matmul_transpose(&b);
+            let explicit = a.matmul(&b.transpose());
+            for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn scatter_is_gather_adjoint(seed in 0u64..200) {
+            // <gather(T, idx), G> == <T, scatter(idx, G)> for random data:
+            // the defining property of an adjoint pair.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let table = Matrix::randn(6, 3, &mut rng);
+            let idx: Vec<usize> = (0..10).map(|_| rng.gen_range(0..6)).collect();
+            let g = Matrix::randn(10, 3, &mut rng);
+            let gathered = table.gather_rows(&idx);
+            let lhs: f32 = gathered.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+            let mut scat = Matrix::zeros(6, 3);
+            scat.scatter_add_rows(&idx, &g);
+            let rhs: f32 = table.as_slice().iter().zip(scat.as_slice()).map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Dense symmetric-positive-definite linear solves via Cholesky.
+//!
+//! The analytic baselines (inductive matrix completion's alternating ridge
+//! regressions) need exact normal-equation solves; everything here is the
+//! textbook `LLᵀ` factorization with forward/backward substitution.
+
+use crate::matrix::Matrix;
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix, returning the lower-triangular factor `L`.
+///
+/// Returns `None` if `A` is not (numerically) positive definite.
+///
+/// # Panics
+///
+/// Panics if `A` is not square.
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "Cholesky needs a square matrix");
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.row(i)[j] as f64;
+            for k in 0..j {
+                sum -= (l.row(i)[k] as f64) * (l.row(j)[k] as f64);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l.row_mut(i)[j] = (sum.sqrt()) as f32;
+            } else {
+                let d = l.row(j)[j];
+                if d == 0.0 {
+                    return None;
+                }
+                l.row_mut(i)[j] = (sum / d as f64) as f32;
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A·x = b` for SPD `A` via Cholesky.
+///
+/// Returns `None` if `A` is not positive definite.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn solve_spd(a: &Matrix, b: &[f32]) -> Option<Vec<f32>> {
+    assert_eq!(a.rows(), b.len(), "dimension mismatch");
+    let l = cholesky(a)?;
+    Some(back_substitute(&l, &forward_substitute(&l, b)))
+}
+
+/// Solves `A·X = B` column-by-column for SPD `A`.
+///
+/// Returns `None` if `A` is not positive definite.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn solve_spd_multi(a: &Matrix, b: &Matrix) -> Option<Matrix> {
+    assert_eq!(a.rows(), b.rows(), "dimension mismatch");
+    let l = cholesky(a)?;
+    let mut x = Matrix::zeros(b.rows(), b.cols());
+    for c in 0..b.cols() {
+        let col = b.col(c);
+        let sol = back_substitute(&l, &forward_substitute(&l, &col));
+        for (r, v) in sol.into_iter().enumerate() {
+            x.row_mut(r)[c] = v;
+        }
+    }
+    Some(x)
+}
+
+/// Solves `L·y = b` for lower-triangular `L`.
+fn forward_substitute(l: &Matrix, b: &[f32]) -> Vec<f32> {
+    let n = b.len();
+    let mut y = vec![0.0f32; n];
+    for i in 0..n {
+        let mut sum = b[i] as f64;
+        for k in 0..i {
+            sum -= (l.row(i)[k] as f64) * (y[k] as f64);
+        }
+        y[i] = (sum / l.row(i)[i] as f64) as f32;
+    }
+    y
+}
+
+/// Solves `Lᵀ·x = y` for lower-triangular `L`.
+fn back_substitute(l: &Matrix, y: &[f32]) -> Vec<f32> {
+    let n = y.len();
+    let mut x = vec![0.0f32; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i] as f64;
+        for k in i + 1..n {
+            sum -= (l.row(k)[i] as f64) * (x[k] as f64);
+        }
+        x[i] = (sum / l.row(i)[i] as f64) as f32;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = Matrix::randn(n, n, &mut rng);
+        // GᵀG + n·I is comfortably positive definite.
+        let mut a = g.transpose_matmul(&g);
+        for i in 0..n {
+            a.row_mut(i)[i] += n as f32;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = random_spd(8, 0);
+        let l = cholesky(&a).unwrap();
+        let rec = l.matmul_transpose(&l);
+        for (x, y) in a.as_slice().iter().zip(rec.as_slice()) {
+            assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = random_spd(12, 1);
+        let x_true: Vec<f32> = (0..12).map(|i| (i as f32 - 6.0) * 0.5).collect();
+        let b: Vec<f32> = (0..12)
+            .map(|i| a.row(i).iter().zip(&x_true).map(|(aij, xj)| aij * xj).sum())
+            .collect();
+        let x = solve_spd(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn multi_rhs_matches_single() {
+        let a = random_spd(6, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let b = Matrix::randn(6, 3, &mut rng);
+        let x = solve_spd_multi(&a, &b).unwrap();
+        for c in 0..3 {
+            let single = solve_spd(&a, &b.col(c)).unwrap();
+            for r in 0..6 {
+                assert!((x.row(r)[c] - single[r]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, −1
+        assert!(cholesky(&a).is_none());
+        assert!(solve_spd(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = Matrix::eye(5);
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(solve_spd(&a, &b).unwrap(), b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn solve_then_multiply_roundtrips(n in 2usize..16, seed in 0u64..500) {
+            let a = random_spd(n, seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 1);
+            let b: Vec<f32> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, -2.0f32..2.0)).collect();
+            let x = solve_spd(&a, &b).unwrap();
+            for i in 0..n {
+                let ax: f32 = a.row(i).iter().zip(&x).map(|(aij, xj)| aij * xj).sum();
+                prop_assert!((ax - b[i]).abs() < 1e-2 * (1.0 + b[i].abs()), "row {i}: {ax} vs {}", b[i]);
+            }
+        }
+    }
+}

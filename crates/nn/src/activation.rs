@@ -1,0 +1,162 @@
+//! Pointwise activation functions and their derivatives.
+
+use pitot_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A pointwise activation function.
+///
+/// The paper uses GELU on all hidden layers (Sec 3.3) and a leaky ReLU with
+/// negative slope 0.1 as the interference activation α (Sec 3.4); the other
+/// variants exist for the baselines and ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// Gaussian Error Linear Unit, tanh approximation.
+    Gelu,
+    /// `f(x) = max(0, x)`.
+    Relu,
+    /// `f(x) = x` for `x > 0`, `slope·x` otherwise.
+    LeakyRelu(f32),
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Gelu => gelu(x),
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu(slope) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    slope * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative `f'(x)` evaluated at the pre-activation `x`.
+    #[inline]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Gelu => gelu_derivative(x),
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu(slope) => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    slope
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+        }
+    }
+
+    /// Applies the activation elementwise to a matrix.
+    pub fn apply_matrix(self, x: &Matrix) -> Matrix {
+        x.map(|v| self.apply(v))
+    }
+
+    /// Given the upstream gradient `dy` and the cached pre-activation `x`,
+    /// returns `dy ⊙ f'(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn backward_matrix(self, x: &Matrix, dy: &Matrix) -> Matrix {
+        dy.zip_map(x, |g, pre| g * self.derivative(pre))
+    }
+}
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+const GELU_COEFF: f32 = 0.044_715;
+
+/// GELU, tanh approximation (the form used by JAX's `gelu(approximate=True)`).
+#[inline]
+fn gelu(x: f32) -> f32 {
+    let inner = SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x);
+    0.5 * x * (1.0 + inner.tanh())
+}
+
+#[inline]
+fn gelu_derivative(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x);
+    let t = u.tanh();
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEFF * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0, GELU(x) → x for large x, → 0 for very negative x.
+        assert_eq!(Activation::Gelu.apply(0.0), 0.0);
+        assert!((Activation::Gelu.apply(6.0) - 6.0).abs() < 1e-4);
+        assert!(Activation::Gelu.apply(-6.0).abs() < 1e-4);
+        // Reference value: gelu(1.0) ≈ 0.841192 (tanh approximation).
+        assert!((Activation::Gelu.apply(1.0) - 0.841_192).abs() < 1e-4);
+    }
+
+    #[test]
+    fn leaky_relu_slope() {
+        let a = Activation::LeakyRelu(0.1);
+        assert_eq!(a.apply(2.0), 2.0);
+        assert_eq!(a.apply(-2.0), -0.2);
+        assert_eq!(a.derivative(2.0), 1.0);
+        assert_eq!(a.derivative(-2.0), 0.1);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-3f32;
+        for act in [
+            Activation::Identity,
+            Activation::Gelu,
+            Activation::Relu,
+            Activation::LeakyRelu(0.1),
+            Activation::Tanh,
+        ] {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let num = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let ana = act.derivative(x);
+                assert!(
+                    (num - ana).abs() < 5e-3,
+                    "{act:?} at {x}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_forms_agree_with_scalar() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.5], &[2.0, -0.25]]);
+        let y = Activation::Gelu.apply_matrix(&x);
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert_eq!(Activation::Gelu.apply(*a), *b);
+        }
+        let dy = Matrix::full(2, 2, 1.0);
+        let dx = Activation::Gelu.backward_matrix(&x, &dy);
+        for (a, b) in x.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(Activation::Gelu.derivative(*a), *b);
+        }
+    }
+}

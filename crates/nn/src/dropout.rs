@@ -1,0 +1,149 @@
+//! Inverted dropout.
+//!
+//! Pitot itself does not regularize with dropout (its capacity is small and
+//! φ provides per-entity slack), but the hyperparameter harness uses dropout
+//! to probe whether the two-tower model overfits at large embedding
+//! dimensions — one of the "future work" regularization knobs.
+
+use pitot_linalg::Matrix;
+use rand::Rng;
+
+/// An inverted-dropout layer: activations are zeroed with probability `p`
+/// during training and scaled by `1/(1−p)` so inference needs no rescaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dropout {
+    p: f32,
+}
+
+/// The keep/scale mask recorded by a training-mode forward pass.
+#[derive(Debug, Clone)]
+pub struct DropoutMask {
+    mask: Matrix,
+}
+
+impl Dropout {
+    /// Creates a layer dropping activations with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability outside [0,1)");
+        Self { p }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Training-mode forward pass: returns the dropped/rescaled activations
+    /// and the mask needed by [`Dropout::backward`].
+    pub fn forward<R: Rng + ?Sized>(&self, x: &Matrix, rng: &mut R) -> (Matrix, DropoutMask) {
+        if self.p == 0.0 {
+            return (x.clone(), DropoutMask { mask: Matrix::full(x.rows(), x.cols(), 1.0) });
+        }
+        let keep_scale = 1.0 / (1.0 - self.p);
+        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        for v in mask.as_mut_slice() {
+            if rng.gen_range(0.0f32..1.0) >= self.p {
+                *v = keep_scale;
+            }
+        }
+        let mut y = x.clone();
+        for (yv, mv) in y.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *yv *= mv;
+        }
+        (y, DropoutMask { mask })
+    }
+
+    /// Inference-mode forward pass (identity under inverted dropout).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        x.clone()
+    }
+
+    /// Backward pass through the recorded mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_out`'s shape differs from the forward activation's.
+    pub fn backward(&self, mask: &DropoutMask, d_out: &Matrix) -> Matrix {
+        assert_eq!(d_out.shape(), mask.mask.shape(), "gradient shape mismatch");
+        let mut dx = d_out.clone();
+        for (g, m) in dx.as_mut_slice().iter_mut().zip(mask.mask.as_slice()) {
+            *g *= m;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let x = Matrix::randn(4, 8, &mut rng);
+        let d = Dropout::new(0.0);
+        let (y, mask) = d.forward(&x, &mut rng);
+        assert_eq!(y.as_slice(), x.as_slice());
+        let g = Matrix::full(4, 8, 1.0);
+        assert_eq!(d.backward(&mask, &g).as_slice(), g.as_slice());
+    }
+
+    #[test]
+    fn drops_roughly_p_fraction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x = Matrix::full(100, 100, 1.0);
+        let d = Dropout::new(0.3);
+        let (y, _) = d.forward(&x, &mut rng);
+        let dropped = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = dropped as f32 / y.len() as f32;
+        assert!((frac - 0.3).abs() < 0.02, "dropped fraction {frac}");
+    }
+
+    #[test]
+    fn preserves_expectation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = Matrix::full(200, 200, 1.0);
+        let d = Dropout::new(0.5);
+        let (y, _) = d.forward(&x, &mut rng);
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.02, "inverted dropout mean {mean}");
+    }
+
+    #[test]
+    fn backward_routes_gradients_through_kept_units() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x = Matrix::full(10, 10, 2.0);
+        let d = Dropout::new(0.4);
+        let (y, mask) = d.forward(&x, &mut rng);
+        let g = Matrix::full(10, 10, 1.0);
+        let dx = d.backward(&mask, &g);
+        // Gradient is zero exactly where the activation was dropped, and the
+        // keep-scale elsewhere.
+        for (yv, gv) in y.as_slice().iter().zip(dx.as_slice()) {
+            if *yv == 0.0 {
+                assert_eq!(*gv, 0.0);
+            } else {
+                assert!((*gv - 1.0 / 0.6).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn infer_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let x = Matrix::randn(5, 5, &mut rng);
+        assert_eq!(Dropout::new(0.9).infer(&x).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1)")]
+    fn rejects_p_of_one() {
+        Dropout::new(1.0);
+    }
+}

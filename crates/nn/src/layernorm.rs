@@ -1,0 +1,250 @@
+//! Layer normalization with manual backprop.
+//!
+//! Normalizes each row (one sample's activations) to zero mean and unit
+//! variance, then applies a learned affine `γ ⊙ x̂ + β`. Available to the
+//! hyperparameter harness for tower-stability experiments at large depth;
+//! like every layer in this crate its backward pass is verified against
+//! finite differences.
+
+use pitot_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A layer-normalization layer over feature dimension `dim`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerNorm {
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    eps: f32,
+}
+
+/// Cached statistics from a forward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    /// Normalized activations x̂ (pre-affine).
+    normalized: Matrix,
+    /// Per-row 1/σ.
+    inv_std: Vec<f32>,
+}
+
+/// Parameter gradients from a backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormGrads {
+    /// ∂L/∂γ.
+    pub gamma: Vec<f32>,
+    /// ∂L/∂β.
+    pub beta: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Identity-initialized layer norm (`γ = 1`, `β = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "layer norm dimension must be positive");
+        Self { gamma: vec![1.0; dim], beta: vec![0.0; dim], eps: 1e-5 }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Forward pass; returns the output and the backprop cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != dim`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
+        assert_eq!(x.cols(), self.dim(), "input width mismatch");
+        let (n, d) = x.shape();
+        let mut normalized = Matrix::zeros(n, d);
+        let mut out = Matrix::zeros(n, d);
+        let mut inv_std = Vec::with_capacity(n);
+        for r in 0..n {
+            let row = x.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(is);
+            let nr = normalized.row_mut(r);
+            for (c, &v) in row.iter().enumerate() {
+                nr[c] = (v - mean) * is;
+            }
+            let or = out.row_mut(r);
+            for c in 0..d {
+                or[c] = self.gamma[c] * nr[c] + self.beta[c];
+            }
+        }
+        (out, LayerNormCache { normalized, inv_std })
+    }
+
+    /// Inference-only forward pass.
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        self.forward(x).0
+    }
+
+    /// Backward pass: returns `∂L/∂x` and the parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_out`'s shape differs from the cached activation's.
+    pub fn backward(
+        &self,
+        cache: &LayerNormCache,
+        d_out: &Matrix,
+    ) -> (Matrix, LayerNormGrads) {
+        assert_eq!(d_out.shape(), cache.normalized.shape(), "gradient shape mismatch");
+        let (n, d) = d_out.shape();
+        let mut d_gamma = vec![0.0f32; d];
+        let mut d_beta = vec![0.0f32; d];
+        let mut dx = Matrix::zeros(n, d);
+
+        for r in 0..n {
+            let go = d_out.row(r);
+            let xh = cache.normalized.row(r);
+            // Affine gradients.
+            for c in 0..d {
+                d_gamma[c] += go[c] * xh[c];
+                d_beta[c] += go[c];
+            }
+            // d x̂ = γ ⊙ d_out; then the standard LN input gradient:
+            // dx = (1/σ)(d x̂ − mean(d x̂) − x̂ · mean(d x̂ ⊙ x̂)).
+            let dxh: Vec<f32> = (0..d).map(|c| self.gamma[c] * go[c]).collect();
+            let mean_dxh: f32 = dxh.iter().sum::<f32>() / d as f32;
+            let mean_dxh_xh: f32 =
+                dxh.iter().zip(xh).map(|(a, b)| a * b).sum::<f32>() / d as f32;
+            let is = cache.inv_std[r];
+            let dr = dx.row_mut(r);
+            for c in 0..d {
+                dr[c] = is * (dxh[c] - mean_dxh - xh[c] * mean_dxh_xh);
+            }
+        }
+        (dx, LayerNormGrads { gamma: d_gamma, beta: d_beta })
+    }
+
+    /// Mutable parameter blocks in optimizer order (γ then β).
+    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![self.gamma.as_mut_slice(), self.beta.as_mut_slice()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::numerical_grad;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn output_rows_are_normalized_at_identity_params() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let x = Matrix::randn(6, 16, &mut rng);
+        let ln = LayerNorm::new(16);
+        let (y, _) = ln.forward(&x);
+        for r in 0..6 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // LN(c·x) == LN(x) for c > 0 at identity parameters.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x = Matrix::randn(3, 8, &mut rng);
+        let mut x5 = x.clone();
+        for v in x5.as_mut_slice() {
+            *v *= 5.0;
+        }
+        let ln = LayerNorm::new(8);
+        let (a, _) = ln.forward(&x);
+        let (b, _) = ln.forward(&x5);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let x = Matrix::randn(4, 6, &mut rng);
+        let mut ln = LayerNorm::new(6);
+        // Non-trivial affine parameters.
+        for (i, g) in ln.gamma.iter_mut().enumerate() {
+            *g = 1.0 + 0.1 * i as f32;
+        }
+        ln.beta[2] = 0.5;
+
+        // Loss = sum of outputs weighted by a fixed random matrix.
+        let wts = Matrix::randn(4, 6, &mut rng);
+        let loss = |flat: &[f32]| -> f32 {
+            let xm = Matrix::from_vec(4, 6, flat.to_vec());
+            let (y, _) = ln.forward(&xm);
+            y.as_slice().iter().zip(wts.as_slice()).map(|(a, b)| a * b).sum()
+        };
+
+        let (_, cache) = ln.forward(&x);
+        let (dx, _) = ln.backward(&cache, &wts);
+        let num = numerical_grad(x.as_slice(), 1e-2, loss);
+        for (a, n) in dx.as_slice().iter().zip(&num) {
+            assert!(
+                (a - n).abs() < 2e-2 * (1.0 + n.abs()),
+                "analytic {a} vs numeric {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x = Matrix::randn(5, 4, &mut rng);
+        let ln = LayerNorm::new(4);
+        let wts = Matrix::randn(5, 4, &mut rng);
+        let (_, cache) = ln.forward(&x);
+        let (_, grads) = ln.backward(&cache, &wts);
+
+        let eps = 1e-2f32;
+        for c in 0..4 {
+            for (block, analytic) in [(0usize, grads.gamma[c]), (1, grads.beta[c])] {
+                let mut lo = ln.clone();
+                let mut hi = ln.clone();
+                if block == 0 {
+                    lo.gamma[c] -= eps;
+                    hi.gamma[c] += eps;
+                } else {
+                    lo.beta[c] -= eps;
+                    hi.beta[c] += eps;
+                }
+                let f = |l: &LayerNorm| -> f32 {
+                    let (y, _) = l.forward(&x);
+                    y.as_slice().iter().zip(wts.as_slice()).map(|(a, b)| a * b).sum()
+                };
+                let numeric = (f(&hi) - f(&lo)) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                    "block {block} col {c}: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_rows_stay_finite() {
+        let x = Matrix::full(2, 8, 3.0);
+        let ln = LayerNorm::new(8);
+        let (y, _) = ln.forward(&x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        let x = Matrix::zeros(2, 3);
+        LayerNorm::new(4).forward(&x);
+    }
+}

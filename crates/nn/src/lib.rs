@@ -1,0 +1,52 @@
+//! Neural-network building blocks for the Pitot reproduction.
+//!
+//! Pitot's two-tower model (paper Sec 3.3) is small enough — two MLPs with two
+//! 128-unit hidden layers — that a full autodiff engine would be overkill.
+//! This crate instead provides *manually differentiated* layers whose
+//! backward passes are verified against finite differences in the test suite:
+//!
+//! - [`Linear`]: dense layer with cached-input backprop,
+//! - [`Activation`]: GELU / leaky-ReLU / ReLU / tanh / identity,
+//! - [`Mlp`]: a stack of linears with hidden activations,
+//! - [`AdaMax`]: the l∞ Adam variant the paper trains with (App B.3),
+//! - loss functions: squared error and the pinball (quantile) loss of Eq 13,
+//! - [`grad_check`]: finite-difference gradient checking used across the
+//!   workspace's tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use pitot_linalg::Matrix;
+//! use pitot_nn::{Activation, Mlp, AdaMax};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut mlp = Mlp::new(&[4, 16, 2], Activation::Gelu, &mut rng);
+//! let x = Matrix::randn(8, 4, &mut rng);
+//! let (y, cache) = mlp.forward(&x);
+//! assert_eq!(y.shape(), (8, 2));
+//! // Backprop a dummy gradient and take one optimizer step.
+//! let (_dx, grads) = mlp.backward(&cache, &Matrix::full(8, 2, 1.0));
+//! let mut opt = AdaMax::new(1e-3);
+//! opt.step(&mut mlp.param_slices_mut(), &grads.grad_slices());
+//! ```
+
+mod activation;
+mod dropout;
+mod grad_check;
+mod layernorm;
+mod linear;
+mod loss;
+mod mlp;
+mod optim;
+mod schedule;
+
+pub use activation::Activation;
+pub use dropout::{Dropout, DropoutMask};
+pub use grad_check::{grad_check, numerical_grad};
+pub use layernorm::{LayerNorm, LayerNormCache, LayerNormGrads};
+pub use linear::{Linear, LinearGrads};
+pub use loss::{pinball_loss, squared_loss, weighted_pinball_loss, weighted_squared_loss};
+pub use mlp::{Mlp, MlpCache, MlpGrads};
+pub use optim::{Adam, AdaMax, Optimizer, SgdMomentum};
+pub use schedule::LrSchedule;

@@ -1,0 +1,206 @@
+//! Dense (fully-connected) layer with manual backprop.
+
+use pitot_linalg::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer computing `y = x·W + b` with `W ∈ R^{in×out}`.
+///
+/// The backward pass is a method on the layer taking the cached input; the
+/// caller owns caching so a layer can be reused across several forward passes
+/// in one step (as the two-tower model does for quantile heads).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Matrix,
+    bias: Vec<f32>,
+}
+
+/// Gradients for a [`Linear`] layer, shaped like the layer itself.
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient of the loss with respect to the weight matrix.
+    pub weight: Matrix,
+    /// Gradient of the loss with respect to the bias vector.
+    pub bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with He-initialized weights and zero bias.
+    ///
+    /// He initialization (`σ = √(2/fan_in)`) keeps activations well-scaled
+    /// under ReLU-family and GELU nonlinearities.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let std = (2.0 / in_dim.max(1) as f32).sqrt();
+        let mut weight = Matrix::randn(in_dim, out_dim, rng);
+        weight.scale(std);
+        Self { weight, bias: vec![0.0; out_dim] }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Forward pass: `y = x·W + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weight);
+        y.add_row_broadcast(&self.bias);
+        y
+    }
+
+    /// Backward pass given the cached input `x` and upstream gradient `dy`.
+    ///
+    /// Returns `(dx, grads)` where `dx = dy·Wᵀ`, `dW = xᵀ·dy`, `db = Σ_rows dy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with the forward pass.
+    pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (Matrix, LinearGrads) {
+        assert_eq!(dy.cols(), self.out_dim(), "upstream gradient width");
+        assert_eq!(x.rows(), dy.rows(), "batch size mismatch");
+        let dx = dy.matmul_transpose(&self.weight);
+        let dw = x.transpose_matmul(dy);
+        let db = dy.sum_rows();
+        (dx, LinearGrads { weight: dw, bias: db })
+    }
+
+    /// Mutable flat views of the parameters, in a stable order (weight, bias).
+    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![self.weight.as_mut_slice(), &mut self.bias]
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+impl LinearGrads {
+    /// Zero gradients shaped like `layer`.
+    pub fn zeros_like(layer: &Linear) -> Self {
+        Self {
+            weight: Matrix::zeros(layer.in_dim(), layer.out_dim()),
+            bias: vec![0.0; layer.out_dim()],
+        }
+    }
+
+    /// Accumulates another gradient of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate(&mut self, other: &LinearGrads) {
+        self.weight.axpy(1.0, &other.weight);
+        for (b, o) in self.bias.iter_mut().zip(&other.bias) {
+            *b += o;
+        }
+    }
+
+    /// Flat views of the gradients, matching [`Linear::param_slices_mut`] order.
+    pub fn grad_slices(&self) -> Vec<&[f32]> {
+        vec![self.weight.as_slice(), &self.bias]
+    }
+
+    /// Scales all gradients by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        self.weight.scale(alpha);
+        for b in &mut self.bias {
+            *b *= alpha;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_shapes_and_bias() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        layer.param_slices_mut()[1].copy_from_slice(&[1.0, -1.0]);
+        let y = layer.forward(&Matrix::zeros(4, 3));
+        assert_eq!(y.shape(), (4, 2));
+        assert_eq!(y.row(0), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let layer = Linear::new(4, 3, &mut rng);
+        let x = Matrix::randn(5, 4, &mut rng);
+        // Loss = sum(y) so dy = ones; check dW and db numerically.
+        let dy = Matrix::full(5, 3, 1.0);
+        let (dx, grads) = layer.backward(&x, &dy);
+
+        let h = 1e-2f32;
+        // dW check at a few entries.
+        for &(i, j) in &[(0usize, 0usize), (2, 1), (3, 2)] {
+            let mut lp = layer.clone();
+            lp.weight[(i, j)] += h;
+            let mut lm = layer.clone();
+            lm.weight[(i, j)] -= h;
+            let num = (lp.forward(&x).sum() - lm.forward(&x).sum()) / (2.0 * h);
+            assert!((num - grads.weight[(i, j)]).abs() < 1e-2, "dW[{i},{j}]");
+        }
+        // db check.
+        for j in 0..3 {
+            let mut lp = layer.clone();
+            lp.bias[j] += h;
+            let num = (lp.forward(&x).sum() - layer.forward(&x).sum()) / h;
+            assert!((num - grads.bias[j]).abs() < 1e-2, "db[{j}]");
+        }
+        // dx check.
+        for &(r, c) in &[(0usize, 0usize), (4, 3usize.min(3) - 1)] {
+            let mut xp = x.clone();
+            xp[(r, c)] += h;
+            let mut xm = x.clone();
+            xm[(r, c)] -= h;
+            let num = (layer.forward(&xp).sum() - layer.forward(&xm).sum()) / (2.0 * h);
+            assert!((num - dx[(r, c)]).abs() < 1e-2, "dx[{r},{c}]");
+        }
+    }
+
+    #[test]
+    fn grads_accumulate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let layer = Linear::new(2, 2, &mut rng);
+        let x = Matrix::randn(3, 2, &mut rng);
+        let dy = Matrix::full(3, 2, 1.0);
+        let (_, g1) = layer.backward(&x, &dy);
+        let mut acc = LinearGrads::zeros_like(&layer);
+        acc.accumulate(&g1);
+        acc.accumulate(&g1);
+        for (a, b) in acc.weight.as_slice().iter().zip(g1.weight.as_slice()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let layer = Linear::new(10, 5, &mut rng);
+        assert_eq!(layer.param_count(), 55);
+    }
+}

@@ -1,0 +1,161 @@
+//! Loss functions: squared error and the pinball (quantile) loss.
+//!
+//! All losses return `(loss, d_pred)` where `d_pred[i] = ∂loss/∂pred[i]`,
+//! using *mean* reduction over the batch unless a weight vector says
+//! otherwise. Targets and predictions are plain slices; the caller owns the
+//! mapping back into model outputs.
+
+/// Mean squared error `mean((pred − target)²)` and its gradient.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the batch is empty.
+pub fn squared_loss(pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
+    let w = vec![1.0; pred.len()];
+    weighted_squared_loss(pred, target, &w)
+}
+
+/// Weighted squared error `Σ wᵢ(predᵢ − targetᵢ)² / Σ wᵢ` and its gradient.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the total weight is zero.
+pub fn weighted_squared_loss(pred: &[f32], target: &[f32], weight: &[f32]) -> (f32, Vec<f32>) {
+    assert_eq!(pred.len(), target.len(), "pred/target length mismatch");
+    assert_eq!(pred.len(), weight.len(), "pred/weight length mismatch");
+    let wsum: f32 = weight.iter().sum();
+    assert!(wsum > 0.0, "total weight must be positive");
+    let mut loss = 0.0;
+    let mut grad = vec![0.0; pred.len()];
+    for i in 0..pred.len() {
+        let e = pred[i] - target[i];
+        loss += weight[i] * e * e;
+        grad[i] = 2.0 * weight[i] * e / wsum;
+    }
+    (loss / wsum, grad)
+}
+
+/// Pinball (quantile) loss for target quantile `xi` (paper Eq 13) and its
+/// gradient, mean-reduced.
+///
+/// The minimizer over a constant prediction is the empirical `xi`-quantile of
+/// the targets, which is what makes quantile regression work.
+///
+/// # Panics
+///
+/// Panics if lengths differ, the batch is empty, or `xi ∉ (0, 1)`.
+pub fn pinball_loss(pred: &[f32], target: &[f32], xi: f32) -> (f32, Vec<f32>) {
+    let w = vec![1.0; pred.len()];
+    weighted_pinball_loss(pred, target, xi, &w)
+}
+
+/// Weighted pinball loss; see [`pinball_loss`].
+///
+/// # Panics
+///
+/// Panics if lengths differ, the total weight is zero, or `xi ∉ (0, 1)`.
+pub fn weighted_pinball_loss(
+    pred: &[f32],
+    target: &[f32],
+    xi: f32,
+    weight: &[f32],
+) -> (f32, Vec<f32>) {
+    assert_eq!(pred.len(), target.len(), "pred/target length mismatch");
+    assert_eq!(pred.len(), weight.len(), "pred/weight length mismatch");
+    assert!(xi > 0.0 && xi < 1.0, "target quantile {xi} outside (0,1)");
+    let wsum: f32 = weight.iter().sum();
+    assert!(wsum > 0.0, "total weight must be positive");
+    let mut loss = 0.0;
+    let mut grad = vec![0.0; pred.len()];
+    for i in 0..pred.len() {
+        let diff = target[i] - pred[i]; // positive ⇒ under-prediction
+        if diff > 0.0 {
+            loss += weight[i] * xi * diff;
+            grad[i] = -weight[i] * xi / wsum;
+        } else {
+            loss += weight[i] * (1.0 - xi) * (-diff);
+            grad[i] = weight[i] * (1.0 - xi) / wsum;
+        }
+    }
+    (loss / wsum, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn squared_loss_value_and_grad() {
+        let (l, g) = squared_loss(&[1.0, 3.0], &[0.0, 1.0]);
+        assert!((l - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+        assert!((g[0] - 1.0).abs() < 1e-6); // 2*1/2
+        assert!((g[1] - 2.0).abs() < 1e-6); // 2*2/2
+    }
+
+    #[test]
+    fn weighted_squared_loss_respects_weights() {
+        let (l, _) = weighted_squared_loss(&[1.0, 1.0], &[0.0, 0.0], &[1.0, 3.0]);
+        assert!((l - 1.0).abs() < 1e-6); // (1*1 + 3*1)/4
+    }
+
+    #[test]
+    fn pinball_asymmetry() {
+        // xi = 0.9 punishes under-prediction 9x more than over-prediction.
+        let (under, _) = pinball_loss(&[0.0], &[1.0], 0.9);
+        let (over, _) = pinball_loss(&[1.0], &[0.0], 0.9);
+        assert!((under / over - 9.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pinball_grad_matches_finite_differences() {
+        // Keep |pred − target| well above the FD step so central differences
+        // never straddle the loss kink.
+        let pred = [0.3f32, -0.2, 1.5];
+        let target = [0.5f32, -0.5, 1.0];
+        let xi = 0.8;
+        let (_, g) = pinball_loss(&pred, &target, xi);
+        let h = 1e-3;
+        for i in 0..pred.len() {
+            let mut pp = pred;
+            pp[i] += h;
+            let mut pm = pred;
+            pm[i] -= h;
+            let (lp, _) = pinball_loss(&pp, &target, xi);
+            let (lm, _) = pinball_loss(&pm, &target, xi);
+            let num = (lp - lm) / (2.0 * h);
+            assert!((num - g[i]).abs() < 1e-3, "grad[{i}]: {num} vs {}", g[i]);
+        }
+    }
+
+    proptest! {
+        /// The constant minimizing pinball loss is the empirical xi-quantile:
+        /// scan candidates and verify no constant beats the quantile.
+        #[test]
+        fn pinball_minimizer_is_quantile(
+            xi in 0.1f32..0.9,
+            ys in proptest::collection::vec(-10.0f32..10.0, 10..60),
+        ) {
+            // The pinball minimizer over constants is the ⌈n·xi⌉-th order
+            // statistic (an exact empirical quantile, not an interpolation).
+            let mut sorted = ys.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let k = ((ys.len() as f32 * xi).ceil() as usize).clamp(1, ys.len());
+            let q = sorted[k - 1];
+            let pred_q = vec![q; ys.len()];
+            let (loss_q, _) = pinball_loss(&pred_q, &ys, xi);
+            for cand in [-12.0f32, -5.0, -1.0, 0.0, 1.0, 5.0, 12.0] {
+                let pred_c = vec![cand; ys.len()];
+                let (loss_c, _) = pinball_loss(&pred_c, &ys, xi);
+                prop_assert!(loss_q <= loss_c + 1e-4, "constant {cand} beats quantile {q}");
+            }
+        }
+
+        /// Squared-loss gradient always points from target toward pred.
+        #[test]
+        fn squared_grad_sign(p in -5.0f32..5.0, t in -5.0f32..5.0) {
+            let (_, g) = squared_loss(&[p], &[t]);
+            prop_assert!(g[0] * (p - t) >= 0.0);
+        }
+    }
+}

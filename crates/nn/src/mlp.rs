@@ -1,0 +1,458 @@
+//! Multi-layer perceptron: a stack of [`Linear`] layers with hidden
+//! activations, optionally layer-normalized.
+
+use crate::{Activation, LayerNorm, LayerNormCache, LayerNormGrads, Linear, LinearGrads};
+use pitot_linalg::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network `x → L₁ → [LN] → act → L₂ → [LN] → act → … → L_n`
+/// (linear output).
+///
+/// The paper's embedding towers `f_w`, `f_p` are `Mlp`s with two hidden
+/// layers and GELU activations (Sec 3.3); layer norm is an optional
+/// extension knob (off in the paper's configuration).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    /// One layer norm per hidden layer, applied between the linear and the
+    /// activation. `None` (and absent in old checkpoints) = disabled.
+    #[serde(default)]
+    norms: Option<Vec<LayerNorm>>,
+}
+
+/// Forward-pass cache: everything `Mlp::backward` needs.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// `inputs[i]` is the input to layer `i` (post-activation of layer `i−1`).
+    inputs: Vec<Matrix>,
+    /// `pre[i]` is the input to layer `i`'s hidden activation (the linear
+    /// output, layer-normalized when norms are enabled; the last entry is
+    /// the network output itself).
+    pre: Vec<Matrix>,
+    /// Per-hidden-layer layer-norm caches (empty when norms are disabled).
+    ln: Vec<LayerNormCache>,
+}
+
+/// Gradients for every layer of an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct MlpGrads {
+    /// One gradient block per layer, first layer first.
+    pub layers: Vec<LinearGrads>,
+    /// Layer-norm gradients per hidden layer (empty when disabled).
+    pub norms: Vec<LayerNormGrads>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer widths, e.g. `&[in, h1, h2, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new<R: Rng + ?Sized>(widths: &[usize], hidden_act: Activation, rng: &mut R) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Self { layers, hidden_act, norms: None }
+    }
+
+    /// Like [`Mlp::new`] with layer normalization between every hidden
+    /// linear and its activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn with_layer_norm<R: Rng + ?Sized>(
+        widths: &[usize],
+        hidden_act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let mut mlp = Self::new(widths, hidden_act, rng);
+        mlp.norms = Some(
+            widths[1..widths.len() - 1]
+                .iter()
+                .map(|&w| LayerNorm::new(w))
+                .collect(),
+        );
+        mlp
+    }
+
+    /// Whether hidden layers are layer-normalized.
+    pub fn has_layer_norm(&self) -> bool {
+        self.norms.is_some()
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, Linear::in_dim)
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, Linear::out_dim)
+    }
+
+    /// The layers, first to last.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Hidden activation function.
+    pub fn hidden_activation(&self) -> Activation {
+        self.hidden_act
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        let ln: usize = self
+            .norms
+            .as_ref()
+            .map_or(0, |ns| ns.iter().map(|n| 2 * n.dim()).sum());
+        self.layers.iter().map(Linear::param_count).sum::<usize>() + ln
+    }
+
+    /// Forward pass returning the output and the cache for [`Mlp::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCache) {
+        let n = self.layers.len();
+        let mut inputs = Vec::with_capacity(n);
+        let mut pre = Vec::with_capacity(n);
+        let mut ln = Vec::new();
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(cur.clone());
+            let mut z = layer.forward(&cur);
+            if i + 1 < n {
+                if let Some(norms) = &self.norms {
+                    let (zn, cache) = norms[i].forward(&z);
+                    ln.push(cache);
+                    z = zn;
+                }
+                cur = self.hidden_act.apply_matrix(&z);
+            } else {
+                cur = z.clone();
+            }
+            pre.push(z);
+        }
+        (cur, MlpCache { inputs, pre, ln })
+    }
+
+    /// Output without building a cache (inference path).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let n = self.layers.len();
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(&cur);
+            if i + 1 < n {
+                if let Some(norms) = &self.norms {
+                    z = norms[i].infer(&z);
+                }
+                cur = self.hidden_act.apply_matrix(&z);
+            } else {
+                cur = z;
+            }
+        }
+        cur
+    }
+
+    /// Backward pass. Returns the gradient with respect to the input and the
+    /// per-layer parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_out` does not match the cached forward shapes.
+    pub fn backward(&self, cache: &MlpCache, d_out: &Matrix) -> (Matrix, MlpGrads) {
+        let n = self.layers.len();
+        let mut grads: Vec<Option<LinearGrads>> = (0..n).map(|_| None).collect();
+        let mut ln_grads: Vec<Option<LayerNormGrads>> =
+            (0..n.saturating_sub(1)).map(|_| None).collect();
+        let mut dy = d_out.clone();
+        for i in (0..n).rev() {
+            // The hidden activation sits *after* layer i for all but the last.
+            if i + 1 < n {
+                dy = self.hidden_act.backward_matrix(&cache.pre[i], &dy);
+                if let Some(norms) = &self.norms {
+                    let (dz, g) = norms[i].backward(&cache.ln[i], &dy);
+                    ln_grads[i] = Some(g);
+                    dy = dz;
+                }
+            }
+            let (dx, g) = self.layers[i].backward(&cache.inputs[i], &dy);
+            grads[i] = Some(g);
+            dy = dx;
+        }
+        let norms = if self.norms.is_some() {
+            ln_grads.into_iter().map(Option::unwrap).collect()
+        } else {
+            Vec::new()
+        };
+        (dy, MlpGrads { layers: grads.into_iter().map(Option::unwrap).collect(), norms })
+    }
+
+    /// Mutable flat parameter views in a stable order (layer 0 weight, bias,
+    /// …, then layer-norm γ/β blocks when enabled).
+    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut out: Vec<&mut [f32]> =
+            self.layers.iter_mut().flat_map(Linear::param_slices_mut).collect();
+        if let Some(norms) = &mut self.norms {
+            for n in norms {
+                out.extend(n.param_slices_mut());
+            }
+        }
+        out
+    }
+
+    /// Scales the output layer's parameters by `factor`.
+    ///
+    /// Residual-style models (like Pitot, which predicts a correction to a
+    /// scaling baseline) converge faster and avoid wild initial predictions
+    /// when the towers start near zero output.
+    pub fn scale_output_layer(&mut self, factor: f32) {
+        if let Some(last) = self.layers.last_mut() {
+            for block in last.param_slices_mut() {
+                for v in block {
+                    *v *= factor;
+                }
+            }
+        }
+    }
+}
+
+impl MlpGrads {
+    /// Zero gradients shaped like `mlp`.
+    pub fn zeros_like(mlp: &Mlp) -> Self {
+        let norms = mlp.norms.as_ref().map_or_else(Vec::new, |ns| {
+            ns.iter()
+                .map(|n| LayerNormGrads { gamma: vec![0.0; n.dim()], beta: vec![0.0; n.dim()] })
+                .collect()
+        });
+        Self { layers: mlp.layers.iter().map(LinearGrads::zeros_like).collect(), norms }
+    }
+
+    /// Accumulates another gradient set of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer counts or shapes differ.
+    pub fn accumulate(&mut self, other: &MlpGrads) {
+        assert_eq!(self.layers.len(), other.layers.len());
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.accumulate(b);
+        }
+        assert_eq!(self.norms.len(), other.norms.len());
+        for (a, b) in self.norms.iter_mut().zip(&other.norms) {
+            for (x, y) in a.gamma.iter_mut().zip(&b.gamma) {
+                *x += y;
+            }
+            for (x, y) in a.beta.iter_mut().zip(&b.beta) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Flat gradient views matching [`Mlp::param_slices_mut`] order.
+    pub fn grad_slices(&self) -> Vec<&[f32]> {
+        let mut out: Vec<&[f32]> =
+            self.layers.iter().flat_map(LinearGrads::grad_slices).collect();
+        for n in &self.norms {
+            out.push(&n.gamma);
+            out.push(&n.beta);
+        }
+        out
+    }
+
+    /// Scales all gradients by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for g in &mut self.layers {
+            g.scale(alpha);
+        }
+        for n in &mut self.norms {
+            for v in n.gamma.iter_mut().chain(n.beta.iter_mut()) {
+                *v *= alpha;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&[5, 8, 3], Activation::Gelu, &mut rng);
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 3);
+        assert_eq!(mlp.param_count(), 5 * 8 + 8 + 8 * 3 + 3);
+        let (y, _) = mlp.forward(&Matrix::zeros(2, 5));
+        assert_eq!(y.shape(), (2, 3));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mlp = Mlp::new(&[4, 6, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::randn(3, 4, &mut rng);
+        let (y, _) = mlp.forward(&x);
+        assert_eq!(y, mlp.infer(&x));
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mlp = Mlp::new(&[3, 5, 4, 2], Activation::Gelu, &mut rng);
+        let x = Matrix::randn(6, 3, &mut rng);
+        let loss = |m: &Mlp, x: &Matrix| m.infer(x).sum();
+
+        let (_, cache) = mlp.forward(&x);
+        let (dx, grads) = mlp.backward(&cache, &Matrix::full(6, 2, 1.0));
+
+        let h = 1e-2f32;
+        // Check a few weight entries in each layer.
+        for li in 0..3 {
+            for &(i, j) in &[(0usize, 0usize), (1, 1)] {
+                let mut mp = mlp.clone();
+                mp.layers[li].param_slices_mut()[0][i * mlp.layers[li].out_dim() + j] += h;
+                let mut mm = mlp.clone();
+                mm.layers[li].param_slices_mut()[0][i * mlp.layers[li].out_dim() + j] -= h;
+                let num = (loss(&mp, &x) - loss(&mm, &x)) / (2.0 * h);
+                let ana = grads.layers[li].weight[(i, j)];
+                assert!(
+                    (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                    "layer {li} dW[{i},{j}]: {num} vs {ana}"
+                );
+            }
+        }
+        // Check input gradient.
+        for &(r, c) in &[(0usize, 0usize), (5, 2)] {
+            let mut xp = x.clone();
+            xp[(r, c)] += h;
+            let mut xm = x.clone();
+            xm[(r, c)] -= h;
+            let num = (loss(&mlp, &xp) - loss(&mlp, &xm)) / (2.0 * h);
+            assert!((num - dx[(r, c)]).abs() < 2e-2 * (1.0 + num.abs()), "dx[{r},{c}]");
+        }
+    }
+
+    #[test]
+    fn layer_norm_variant_backward_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mlp = Mlp::with_layer_norm(&[3, 6, 5, 2], Activation::Gelu, &mut rng);
+        assert!(mlp.has_layer_norm());
+        let x = Matrix::randn(5, 3, &mut rng);
+        let wts = Matrix::randn(5, 2, &mut rng);
+        let loss = |m: &Mlp, x: &Matrix| -> f32 {
+            m.infer(x)
+                .as_slice()
+                .iter()
+                .zip(wts.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+
+        let (_, cache) = mlp.forward(&x);
+        let (dx, grads) = mlp.backward(&cache, &wts);
+
+        // Directional derivative over all parameter blocks (incl. γ/β).
+        let h = 1e-2f32;
+        let g_slices = grads.grad_slices();
+        let mut plus = mlp.clone();
+        let mut minus = mlp.clone();
+        let mut analytic = 0.0f64;
+        {
+            let mut dir_rng = ChaCha8Rng::seed_from_u64(11);
+            let mut p = plus.param_slices_mut();
+            let mut m = minus.param_slices_mut();
+            for (bi, g) in g_slices.iter().enumerate() {
+                for k in 0..g.len() {
+                    let dir: f32 = if rand::Rng::gen_bool(&mut dir_rng, 0.5) { 1.0 } else { -1.0 };
+                    p[bi][k] += h * dir;
+                    m[bi][k] -= h * dir;
+                    analytic += (g[k] * dir) as f64;
+                }
+            }
+        }
+        let numeric = ((loss(&plus, &x) - loss(&minus, &x)) / (2.0 * h)) as f64;
+        let denom = 1.0f64.max(analytic.abs()).max(numeric.abs());
+        assert!(
+            (analytic - numeric).abs() / denom < 5e-2,
+            "directional derivative mismatch: analytic {analytic}, numeric {numeric}"
+        );
+
+        // Input gradient as well.
+        for &(r, c) in &[(0usize, 0usize), (4, 2)] {
+            let mut xp = x.clone();
+            xp[(r, c)] += h;
+            let mut xm = x.clone();
+            xm[(r, c)] -= h;
+            let num = (loss(&mlp, &xp) - loss(&mlp, &xm)) / (2.0 * h);
+            assert!(
+                (num - dx[(r, c)]).abs() < 3e-2 * (1.0 + num.abs()),
+                "dx[{r},{c}]: {num} vs {}",
+                dx[(r, c)]
+            );
+        }
+    }
+
+    #[test]
+    fn layer_norm_param_blocks_align() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut mlp = Mlp::with_layer_norm(&[4, 6, 3], Activation::Gelu, &mut rng);
+        let grads = MlpGrads::zeros_like(&mlp);
+        let p = mlp.param_slices_mut();
+        let g = grads.grad_slices();
+        assert_eq!(p.len(), g.len());
+        for (ps, gs) in p.iter().zip(&g) {
+            assert_eq!(ps.len(), gs.len());
+        }
+        // Param count includes γ/β for the one hidden layer.
+        assert_eq!(mlp.param_count(), 4 * 6 + 6 + 6 * 3 + 3 + 2 * 6);
+    }
+
+    #[test]
+    fn checkpoints_without_norms_field_deserialize() {
+        // Forward compatibility: JSON from before the layer-norm extension
+        // has no `norms` key and must load as a norm-free MLP.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mlp = Mlp::new(&[3, 4, 2], Activation::Gelu, &mut rng);
+        let mut json: serde_json::Value = serde_json::from_str(&serde_json::to_string(&mlp).unwrap()).unwrap();
+        json.as_object_mut().unwrap().remove("norms");
+        let restored: Mlp = serde_json::from_value(json).unwrap();
+        assert!(!restored.has_layer_norm());
+        let x = Matrix::randn(2, 3, &mut rng);
+        assert_eq!(mlp.infer(&x), restored.infer(&x));
+    }
+
+    #[test]
+    fn output_layer_scaling_shrinks_outputs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&[4, 8, 3], Activation::Gelu, &mut rng);
+        let x = Matrix::randn(10, 4, &mut rng);
+        let before = mlp.infer(&x).frobenius_norm();
+        mlp.scale_output_layer(0.1);
+        let after = mlp.infer(&x).frobenius_norm();
+        assert!((after - before * 0.1).abs() < 1e-4 * before, "{before} → {after}");
+    }
+
+    #[test]
+    fn grad_slices_align_with_params() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[3, 4, 2], Activation::Relu, &mut rng);
+        let grads = MlpGrads::zeros_like(&mlp);
+        let p = mlp.param_slices_mut();
+        let g = grads.grad_slices();
+        assert_eq!(p.len(), g.len());
+        for (ps, gs) in p.iter().zip(&g) {
+            assert_eq!(ps.len(), gs.len());
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! First-order optimizers: AdaMax (the paper's choice), Adam, and SGD with
+//! momentum.
+//!
+//! The paper trains every model with AdaMax at its default hyperparameters
+//! (App B.3: lr 1e-3, β₁ 0.9, β₂ 0.999). Adam and SGD exist for the
+//! optimizer ablation (`pitot-repro optimizer`), which checks that the
+//! paper's choice is a convenience rather than a load-bearing trick.
+//!
+//! All optimizers share the [`Optimizer`] trait: parameters arrive as an
+//! ordered list of mutable flat slices with matching gradient slices, and
+//! state buffers are allocated lazily on the first step. The registration
+//! order must stay stable across steps.
+
+use serde::{Deserialize, Serialize};
+
+/// A first-order stochastic optimizer over flat parameter blocks.
+pub trait Optimizer {
+    /// Applies one update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number or shapes of the blocks change between steps, or
+    /// if `params` and `grads` disagree.
+    fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// Number of steps taken so far.
+    fn steps(&self) -> u64;
+
+    /// Short display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// AdaMax optimizer state.
+///
+/// The optimizer is agnostic to model structure: each step it receives the
+/// model's parameters as an ordered list of mutable flat slices plus matching
+/// gradient slices, and lazily allocates moment buffers of the same shapes on
+/// the first step. The caller must keep the registration order stable across
+/// steps (all models in this workspace derive it from struct field order).
+///
+/// # Examples
+///
+/// ```
+/// use pitot_nn::AdaMax;
+///
+/// let mut theta = vec![1.0f32, -2.0];
+/// let grad = vec![0.5f32, -0.5];
+/// let mut opt = AdaMax::new(0.1);
+/// opt.step(&mut [&mut theta], &[&grad]);
+/// assert!(theta[0] < 1.0 && theta[1] > -2.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaMax {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    u: Vec<Vec<f32>>,
+}
+
+impl AdaMax {
+    /// Creates an optimizer with the given learning rate and the paper's
+    /// default moment decays (β₁ = 0.9, β₂ = 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates an optimizer with explicit moment decay rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or the betas are outside `[0, 1)`.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), u: Vec::new() }
+    }
+
+    /// Learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one AdaMax update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number or shapes of the slices change between steps, or
+    /// if `params` and `grads` disagree.
+    pub fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
+        assert_eq!(params.len(), grads.len(), "param/grad block count mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.u = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "block count changed between steps");
+        self.t += 1;
+        // Bias correction only applies to the first moment in AdaMax.
+        let lr_t = self.lr / (1.0 - self.beta1.powi(self.t as i32));
+        for ((p, g), (m, u)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.u.iter_mut()))
+        {
+            assert_eq!(p.len(), g.len(), "param/grad length mismatch");
+            assert_eq!(p.len(), m.len(), "block shape changed between steps");
+            for i in 0..p.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                u[i] = (self.beta2 * u[i]).max(g[i].abs());
+                p[i] -= lr_t * m[i] / (u[i] + self.eps);
+            }
+        }
+    }
+}
+
+impl Optimizer for AdaMax {
+    fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
+        AdaMax::step(self, params, grads);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    fn steps(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "adamax"
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias-corrected first and second
+/// moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with default moment decays (β₁ = 0.9, β₂ = 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Adam with explicit moment decay rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or the betas are outside `[0, 1)`.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
+        assert_eq!(params.len(), grads.len(), "param/grad block count mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "block count changed between steps");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.len(), g.len(), "param/grad length mismatch");
+            assert_eq!(p.len(), m.len(), "block shape changed between steps");
+            for i in 0..p.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                p[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    fn steps(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgdMomentum {
+    lr: f32,
+    momentum: f32,
+    t: u64,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl SgdMomentum {
+    /// SGD with momentum 0.9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.9)
+    }
+
+    /// SGD with explicit momentum (0 disables it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum ∉ [0, 1)`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum outside [0,1)");
+        Self { lr, momentum, t: 0, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for SgdMomentum {
+    fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
+        assert_eq!(params.len(), grads.len(), "param/grad block count mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.velocity.len(), params.len(), "block count changed between steps");
+        self.t += 1;
+        for ((p, g), vel) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
+            assert_eq!(p.len(), g.len(), "param/grad length mismatch");
+            assert_eq!(p.len(), vel.len(), "block shape changed between steps");
+            for i in 0..p.len() {
+                vel[i] = self.momentum * vel[i] - self.lr * g[i];
+                p[i] += vel[i];
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    fn steps(&self) -> u64 {
+        self.t
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd-momentum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x - 3)^2; AdaMax should converge to 3.
+        let mut x = vec![0.0f32];
+        let mut opt = AdaMax::new(0.05);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "converged to {}", x[0]);
+    }
+
+    #[test]
+    fn handles_multiple_blocks() {
+        let mut a = vec![1.0f32; 3];
+        let mut b = vec![-1.0f32; 2];
+        let mut opt = AdaMax::new(0.1);
+        for _ in 0..500 {
+            let (ga, gb): (Vec<f32>, Vec<f32>) =
+                (a.iter().map(|v| 2.0 * v).collect(), b.iter().map(|v| 2.0 * v).collect());
+            opt.step(&mut [&mut a, &mut b], &[&ga, &gb]);
+        }
+        assert!(a.iter().all(|v| v.abs() < 1e-2));
+        assert!(b.iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut x = vec![0.0f32];
+        let mut opt = AdaMax::new(0.1);
+        opt.step(&mut [&mut x], &[&[1.0]]);
+        opt.step(&mut [&mut x], &[&[1.0]]);
+        assert_eq!(opt.steps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_grad() {
+        let mut x = vec![0.0f32; 2];
+        let mut opt = AdaMax::new(0.1);
+        opt.step(&mut [&mut x], &[&[1.0]]);
+    }
+
+    #[test]
+    fn update_is_bounded_by_lr() {
+        // AdaMax steps are bounded by lr/(1-beta1^t) regardless of grad scale.
+        let mut x = vec![0.0f32];
+        let mut opt = AdaMax::new(0.001);
+        opt.step(&mut [&mut x], &[&[1e6]]);
+        assert!(x[0].abs() <= 0.011, "step {}", x[0]);
+    }
+
+    /// Runs an optimizer against f(x) = Σ(xᵢ − target)² and returns final x.
+    fn drive(opt: &mut dyn Optimizer, steps: usize, target: f32) -> Vec<f32> {
+        let mut x = vec![0.0f32; 4];
+        for _ in 0..steps {
+            let g: Vec<f32> = x.iter().map(|v| 2.0 * (v - target)).collect();
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        x
+    }
+
+    #[test]
+    fn all_optimizers_minimize_the_same_quadratic() {
+        let mut adamax = AdaMax::new(0.05);
+        let mut adam = Adam::new(0.05);
+        let mut sgd = SgdMomentum::new(0.01);
+        for opt in [&mut adamax as &mut dyn Optimizer, &mut adam, &mut sgd] {
+            let x = drive(opt, 2000, 3.0);
+            assert!(
+                x.iter().all(|v| (v - 3.0).abs() < 5e-2),
+                "{} converged to {:?}",
+                opt.name(),
+                x
+            );
+        }
+    }
+
+    #[test]
+    fn trait_learning_rate_roundtrip() {
+        let mut opts: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(AdaMax::new(0.1)),
+            Box::new(Adam::new(0.1)),
+            Box::new(SgdMomentum::new(0.1)),
+        ];
+        for opt in &mut opts {
+            assert_eq!(opt.learning_rate(), 0.1);
+            opt.set_learning_rate(0.01);
+            assert_eq!(opt.learning_rate(), 0.01);
+        }
+    }
+
+    #[test]
+    fn sgd_without_momentum_is_plain_descent() {
+        let mut x = vec![1.0f32];
+        let mut opt = SgdMomentum::with_momentum(0.1, 0.0);
+        opt.step(&mut [&mut x], &[&[2.0]]);
+        assert!((x[0] - 0.8).abs() < 1e-6, "plain SGD step: {}", x[0]);
+    }
+
+    #[test]
+    fn adam_handles_sparse_like_gradients() {
+        // Zero gradients must not destabilize the second moment.
+        let mut x = vec![1.0f32, 1.0];
+        let mut opt = Adam::new(0.05);
+        for step in 0..600 {
+            let g = if step % 3 == 0 { vec![2.0 * x[0], 0.0] } else { vec![0.0, 2.0 * x[1]] };
+            opt.step(&mut [&mut x], &[&g]);
+        }
+        assert!(x.iter().all(|v| v.abs() < 0.1), "converged to {x:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum outside")]
+    fn rejects_bad_momentum() {
+        SgdMomentum::with_momentum(0.1, 1.5);
+    }
+}

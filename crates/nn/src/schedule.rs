@@ -1,0 +1,145 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains at a constant 1e-3 (App B.3); schedules exist for the
+//! optimizer ablation and for the online-learning extension, where a short
+//! warm restart at a reduced rate adapts a deployed model without washing
+//! out what it already knows.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic learning-rate schedule over optimizer steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// The base rate forever (the paper's setting).
+    Constant,
+    /// Multiply by `factor` every `every` steps.
+    StepDecay {
+        /// Steps between decays.
+        every: usize,
+        /// Multiplicative decay per stage (in `(0, 1]`).
+        factor: f32,
+    },
+    /// Cosine annealing from the base rate to `min_frac · base` over
+    /// `total_steps`, constant afterwards.
+    Cosine {
+        /// Steps over which the cosine runs.
+        total_steps: usize,
+        /// Final rate as a fraction of the base rate.
+        min_frac: f32,
+    },
+    /// Linear warmup over `warmup_steps` followed by cosine annealing to
+    /// `min_frac · base` at `total_steps`.
+    WarmupCosine {
+        /// Linear ramp length.
+        warmup_steps: usize,
+        /// Total schedule length (≥ warmup).
+        total_steps: usize,
+        /// Final rate as a fraction of the base rate.
+        min_frac: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (0-based) for a given base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero periods, factors outside range,
+    /// warmup longer than total).
+    pub fn at(&self, step: usize, base_lr: f32) -> f32 {
+        assert!(base_lr > 0.0, "base learning rate must be positive");
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(every > 0, "decay period must be positive");
+                assert!(factor > 0.0 && factor <= 1.0, "decay factor outside (0,1]");
+                base_lr * factor.powi((step / every) as i32)
+            }
+            LrSchedule::Cosine { total_steps, min_frac } => {
+                assert!(total_steps > 0, "cosine length must be positive");
+                assert!((0.0..=1.0).contains(&min_frac), "min_frac outside [0,1]");
+                let t = (step as f32 / total_steps as f32).min(1.0);
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                base_lr * (min_frac + (1.0 - min_frac) * cos)
+            }
+            LrSchedule::WarmupCosine { warmup_steps, total_steps, min_frac } => {
+                assert!(warmup_steps <= total_steps, "warmup exceeds total");
+                if step < warmup_steps {
+                    return base_lr * (step + 1) as f32 / warmup_steps as f32;
+                }
+                let rest = total_steps - warmup_steps;
+                LrSchedule::Cosine { total_steps: rest.max(1), min_frac }
+                    .at(step - warmup_steps, base_lr)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constant_is_constant() {
+        for step in [0usize, 10, 10_000] {
+            assert_eq!(LrSchedule::Constant.at(step, 1e-3), 1e-3);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { every: 100, factor: 0.5 };
+        assert_eq!(s.at(0, 1.0), 1.0);
+        assert_eq!(s.at(99, 1.0), 1.0);
+        assert_eq!(s.at(100, 1.0), 0.5);
+        assert_eq!(s.at(250, 1.0), 0.25);
+    }
+
+    #[test]
+    fn cosine_starts_at_base_and_ends_at_min() {
+        let s = LrSchedule::Cosine { total_steps: 1000, min_frac: 0.1 };
+        assert!((s.at(0, 1.0) - 1.0).abs() < 1e-6);
+        assert!((s.at(1000, 1.0) - 0.1).abs() < 1e-5);
+        assert!((s.at(5000, 1.0) - 0.1).abs() < 1e-5, "holds at the floor");
+        // Midpoint is the average of the endpoints.
+        assert!((s.at(500, 1.0) - 0.55).abs() < 1e-5);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_anneals() {
+        let s = LrSchedule::WarmupCosine { warmup_steps: 10, total_steps: 110, min_frac: 0.0 };
+        assert!((s.at(0, 1.0) - 0.1).abs() < 1e-6);
+        assert!((s.at(4, 1.0) - 0.5).abs() < 1e-6);
+        assert!((s.at(9, 1.0) - 1.0).abs() < 1e-6);
+        assert!(s.at(60, 1.0) < 1.0);
+        assert!(s.at(110, 1.0) < 1e-5);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_is_monotone_nonincreasing(total in 10usize..500, min_frac in 0.0f32..0.9) {
+            let s = LrSchedule::Cosine { total_steps: total, min_frac };
+            let mut last = f32::INFINITY;
+            for step in 0..=total {
+                let lr = s.at(step, 1.0);
+                prop_assert!(lr <= last + 1e-6);
+                prop_assert!(lr >= min_frac - 1e-6 && lr <= 1.0 + 1e-6);
+                last = lr;
+            }
+        }
+
+        #[test]
+        fn all_schedules_stay_positive(step in 0usize..100_000) {
+            let schedules = [
+                LrSchedule::Constant,
+                LrSchedule::StepDecay { every: 500, factor: 0.9 },
+                LrSchedule::Cosine { total_steps: 20_000, min_frac: 0.01 },
+                LrSchedule::WarmupCosine { warmup_steps: 100, total_steps: 20_000, min_frac: 0.01 },
+            ];
+            for s in &schedules {
+                prop_assert!(s.at(step, 1e-3) > 0.0, "{s:?} hit zero at {step}");
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Job arrivals: workloads with deadlines.
+//!
+//! A [`JobStream`] mimics the traffic an edge orchestrator sees: workloads
+//! drawn from the benchmark catalog arrive continuously, each carrying a
+//! relative deadline. Deadlines are assigned from the workload's *achievable*
+//! runtime distribution across the cluster (a deadline no platform can meet
+//! would make every policy look identical, and one every platform meets
+//! trivially would too): the deadline is a multiplier on the cluster-median
+//! isolation runtime of that workload.
+
+use pitot_testbed::Testbed;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One workload submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Stable identifier (index in the stream).
+    pub id: usize,
+    /// Workload catalog index.
+    pub workload: u32,
+    /// Absolute arrival time in seconds.
+    pub arrival_s: f64,
+    /// Relative deadline: the job must finish by `arrival_s + deadline_s`.
+    pub deadline_s: f64,
+}
+
+impl Job {
+    /// Absolute completion deadline.
+    pub fn due_s(&self) -> f64 {
+        self.arrival_s + self.deadline_s
+    }
+}
+
+/// A finite, time-ordered stream of jobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStream {
+    jobs: Vec<Job>,
+}
+
+impl JobStream {
+    /// Generates `n` jobs with exponential inter-arrival times of mean
+    /// `mean_interarrival_s` seconds and deadlines between 1.5× and 6× the
+    /// workload's cluster-median isolation runtime.
+    ///
+    /// Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the testbed has no workloads or `mean_interarrival_s` is not
+    /// positive and finite.
+    pub fn generate(testbed: &Testbed, n: usize, mean_interarrival_s: f64, seed: u64) -> Self {
+        Self::generate_with_deadlines(testbed, n, mean_interarrival_s, (1.5, 6.0), seed)
+    }
+
+    /// Like [`JobStream::generate`] with an explicit deadline-multiplier
+    /// range. Tight ranges (e.g. `(1.1, 1.6)`) stress the placement policy;
+    /// loose ranges make most placements feasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty workload catalog, a non-positive inter-arrival
+    /// time, or an inverted multiplier range.
+    pub fn generate_with_deadlines(
+        testbed: &Testbed,
+        n: usize,
+        mean_interarrival_s: f64,
+        deadline_mult: (f64, f64),
+        seed: u64,
+    ) -> Self {
+        let workloads = testbed.workloads();
+        assert!(!workloads.is_empty(), "empty workload catalog");
+        assert!(
+            mean_interarrival_s.is_finite() && mean_interarrival_s > 0.0,
+            "inter-arrival time must be positive"
+        );
+        assert!(
+            deadline_mult.0 > 0.0 && deadline_mult.1 >= deadline_mult.0,
+            "invalid deadline multiplier range {deadline_mult:?}"
+        );
+
+        let medians = median_isolation_runtimes(testbed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x10B5_72EA);
+        let mut jobs = Vec::with_capacity(n);
+        let mut now = 0.0f64;
+        for id in 0..n {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            now += -mean_interarrival_s * u.ln();
+            let widx = rng.gen_range(0..workloads.len());
+            let mult = rng.gen_range(deadline_mult.0..=deadline_mult.1);
+            jobs.push(Job {
+                id,
+                workload: widx as u32,
+                arrival_s: now,
+                deadline_s: medians[widx] * mult,
+            });
+        }
+        Self { jobs }
+    }
+
+    /// The jobs in arrival order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs in the stream.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Cluster-median *clean* isolation runtime per workload, used to scale
+/// deadlines. Uses the ground truth (stream generation is part of the
+/// environment, not the predictor under test).
+fn median_isolation_runtimes(testbed: &Testbed) -> Vec<f64> {
+    let truth = testbed.truth();
+    let n_platforms = testbed.platforms().len();
+    testbed
+        .workloads()
+        .iter()
+        .enumerate()
+        .map(|(widx, w)| {
+            let mut runtimes: Vec<f32> = (0..n_platforms)
+                .map(|p| truth.clean_log_runtime(w, widx, p).exp())
+                .collect();
+            runtimes.sort_by(|a, b| a.total_cmp(b));
+            runtimes[runtimes.len() / 2] as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot_testbed::TestbedConfig;
+
+    fn stream() -> (Testbed, JobStream) {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let js = JobStream::generate(&tb, 200, 2.0, 7);
+        (tb, js)
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_positive() {
+        let (_, js) = stream();
+        assert_eq!(js.len(), 200);
+        let mut last = 0.0;
+        for j in js.jobs() {
+            assert!(j.arrival_s >= last, "arrivals must be time-ordered");
+            assert!(j.deadline_s > 0.0);
+            last = j.arrival_s;
+        }
+    }
+
+    #[test]
+    fn deadlines_scale_with_workload_runtime() {
+        let (tb, js) = stream();
+        let medians = median_isolation_runtimes(&tb);
+        for j in js.jobs() {
+            let m = medians[j.workload as usize];
+            assert!(
+                j.deadline_s >= 1.5 * m - 1e-9 && j.deadline_s <= 6.0 * m + 1e-9,
+                "deadline {} outside multiplier range of median {m}",
+                j.deadline_s
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let a = JobStream::generate(&tb, 50, 2.0, 3);
+        let b = JobStream::generate(&tb, 50, 2.0, 3);
+        let c = JobStream::generate(&tb, 50, 2.0, 4);
+        assert_eq!(a.jobs(), b.jobs());
+        assert_ne!(a.jobs(), c.jobs());
+    }
+
+    #[test]
+    fn mean_interarrival_is_roughly_respected() {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let js = JobStream::generate(&tb, 2000, 3.0, 0);
+        let span = js.jobs().last().unwrap().arrival_s;
+        let mean = span / js.len() as f64;
+        assert!((2.4..=3.6).contains(&mean), "empirical mean inter-arrival {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_interarrival() {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        JobStream::generate(&tb, 1, 0.0, 0);
+    }
+}

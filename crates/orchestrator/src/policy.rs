@@ -1,0 +1,302 @@
+//! Placement policies: from load balancing to deadline-aware budgeting.
+//!
+//! All policies observe the same [`ClusterView`] and [`RuntimePredictor`];
+//! how much of that information they use is the experimental variable:
+//!
+//! - [`PlacementPolicy::random`] ignores everything (the lower bar);
+//! - [`PlacementPolicy::least_loaded`] balances co-location counts without
+//!   predictions (what naive orchestrators do);
+//! - [`PlacementPolicy::greedy_fastest`] minimizes the *predicted* runtime
+//!   given current co-residents — latency-optimal if predictions were exact;
+//! - [`PlacementPolicy::deadline_aware`] uses runtime *bounds*: it only
+//!   considers platforms where the bound fits the job's deadline and where
+//!   adding the job does not push any co-resident's bounded completion past
+//!   its own deadline, then picks the feasible platform with the smallest
+//!   bound. With Pitot's conformal bounds at miscoverage ε, each accepted
+//!   placement misses its deadline with probability ≲ ε.
+//!
+//! Contract: a policy returns `None` only when no platform has a free slot.
+//! If nothing is feasible the deadline-aware policy degrades to the smallest
+//! bound ("least bad") rather than stalling the queue.
+
+use crate::job::Job;
+use crate::predictor::RuntimePredictor;
+use crate::sim::ClusterView;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The placement strategies compared in the orchestration experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Uniformly random platform with a free slot.
+    Random,
+    /// Fewest co-located jobs, ties broken by platform index.
+    LeastLoaded,
+    /// Smallest predicted runtime given current co-residents.
+    GreedyFastest,
+    /// Smallest *bound* among platforms where the placement is
+    /// deadline-feasible for the job and all co-residents.
+    DeadlineAware,
+}
+
+impl PolicyKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Random => "random",
+            PolicyKind::LeastLoaded => "least-loaded",
+            PolicyKind::GreedyFastest => "greedy-fastest",
+            PolicyKind::DeadlineAware => "deadline-aware",
+        }
+    }
+}
+
+/// A stateful placement policy (randomized policies carry their RNG).
+#[derive(Debug, Clone)]
+pub struct PlacementPolicy {
+    kind: PolicyKind,
+    rng: ChaCha8Rng,
+}
+
+impl PlacementPolicy {
+    /// Uniformly random placement.
+    pub fn random(seed: u64) -> Self {
+        Self { kind: PolicyKind::Random, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Fewest-co-residents placement.
+    pub fn least_loaded() -> Self {
+        Self { kind: PolicyKind::LeastLoaded, rng: ChaCha8Rng::seed_from_u64(0) }
+    }
+
+    /// Minimum-predicted-runtime placement.
+    pub fn greedy_fastest() -> Self {
+        Self { kind: PolicyKind::GreedyFastest, rng: ChaCha8Rng::seed_from_u64(0) }
+    }
+
+    /// Bound-driven deadline-feasible placement.
+    pub fn deadline_aware() -> Self {
+        Self { kind: PolicyKind::DeadlineAware, rng: ChaCha8Rng::seed_from_u64(0) }
+    }
+
+    /// Policy constructor from a kind (random policies get `seed`).
+    pub fn of_kind(kind: PolicyKind, seed: u64) -> Self {
+        Self { kind, rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// The policy's strategy.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Chooses a platform for `job`, or `None` if every platform is full.
+    pub fn place(
+        &mut self,
+        job: &Job,
+        view: &ClusterView,
+        predictor: &dyn RuntimePredictor,
+    ) -> Option<usize> {
+        let candidates = view.with_capacity();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.kind {
+            PolicyKind::Random => {
+                Some(candidates[self.rng.gen_range(0..candidates.len())])
+            }
+            PolicyKind::LeastLoaded => candidates
+                .into_iter()
+                .min_by_key(|&p| view.platforms[p].running.len()),
+            PolicyKind::GreedyFastest => candidates.into_iter().min_by(|&a, &b| {
+                let ra = predictor.predict_s(job.workload, a, &view.platforms[a].running);
+                let rb = predictor.predict_s(job.workload, b, &view.platforms[b].running);
+                ra.total_cmp(&rb)
+            }),
+            PolicyKind::DeadlineAware => Self::place_deadline_aware(job, view, predictor),
+        }
+    }
+
+    /// Deadline-aware placement: feasibility for the new job *and* for every
+    /// job it would slow down, then smallest bound among the feasible.
+    fn place_deadline_aware(
+        job: &Job,
+        view: &ClusterView,
+        predictor: &dyn RuntimePredictor,
+    ) -> Option<usize> {
+        let mut best_feasible: Option<(f64, usize)> = None;
+        let mut best_any: Option<(f64, usize)> = None;
+
+        for p in view.with_capacity() {
+            let load = &view.platforms[p];
+            let bound = predictor.bound_s(job.workload, p, &load.running);
+            if best_any.is_none_or(|(b, _)| bound < b) {
+                best_any = Some((bound, p));
+            }
+
+            // The job itself must fit its budget…
+            if bound > job.deadline_s {
+                continue;
+            }
+            // …and no co-resident may be pushed past its own deadline. The
+            // co-resident's remaining runtime is approximated by its full
+            // bounded runtime under the new set, scaled by remaining work.
+            let mut set_with_new: Vec<u32> = load.running.clone();
+            set_with_new.push(job.workload);
+            let disturbs = load.running.iter().enumerate().any(|(slot, &other)| {
+                let others: Vec<u32> = set_with_new
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(s, _)| s != slot)
+                    .map(|(_, w)| w)
+                    .collect();
+                let full_bound = predictor.bound_s(other, p, &others);
+                let remaining = full_bound * load.remaining_frac[slot];
+                view.now_s + remaining > load.due_s[slot]
+            });
+            if disturbs {
+                continue;
+            }
+            if best_feasible.is_none_or(|(b, _)| bound < b) {
+                best_feasible = Some((bound, p));
+            }
+        }
+
+        best_feasible.or(best_any).map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::PlatformLoad;
+
+    /// A predictor whose per-platform runtimes are table-driven, for policy
+    /// unit tests that need exact control.
+    struct TablePredictor {
+        /// `runtime[p]` returned for every workload; interference adds 1s per
+        /// interferer.
+        runtime: Vec<f64>,
+        /// Extra margin added by `bound_s`.
+        margin: f64,
+    }
+
+    impl RuntimePredictor for TablePredictor {
+        fn predict_s(&self, _w: u32, p: usize, interferers: &[u32]) -> f64 {
+            self.runtime[p] + interferers.len() as f64
+        }
+        fn bound_s(&self, w: u32, p: usize, interferers: &[u32]) -> f64 {
+            self.predict_s(w, p, interferers) + self.margin
+        }
+        fn name(&self) -> &str {
+            "table"
+        }
+    }
+
+    fn empty_view(n: usize) -> ClusterView {
+        ClusterView {
+            now_s: 0.0,
+            platforms: (0..n)
+                .map(|_| PlatformLoad {
+                    running: vec![],
+                    remaining_frac: vec![],
+                    due_s: vec![],
+                    free_slots: 4,
+                })
+                .collect(),
+        }
+    }
+
+    fn job(deadline: f64) -> Job {
+        Job { id: 0, workload: 0, arrival_s: 0.0, deadline_s: deadline }
+    }
+
+    #[test]
+    fn greedy_picks_fastest_platform() {
+        let pred = TablePredictor { runtime: vec![5.0, 1.0, 3.0], margin: 0.0 };
+        let mut policy = PlacementPolicy::greedy_fastest();
+        assert_eq!(policy.place(&job(10.0), &empty_view(3), &pred), Some(1));
+    }
+
+    #[test]
+    fn greedy_accounts_for_interference_via_predictor() {
+        let pred = TablePredictor { runtime: vec![1.0, 1.5], margin: 0.0 };
+        let mut view = empty_view(2);
+        // Platform 0 is nominally faster but has two co-residents (+2s).
+        view.platforms[0].running = vec![7, 8];
+        view.platforms[0].remaining_frac = vec![0.5, 0.5];
+        view.platforms[0].due_s = vec![100.0, 100.0];
+        let mut policy = PlacementPolicy::greedy_fastest();
+        assert_eq!(policy.place(&job(10.0), &view, &pred), Some(1));
+    }
+
+    #[test]
+    fn least_loaded_balances() {
+        let pred = TablePredictor { runtime: vec![1.0, 1.0], margin: 0.0 };
+        let mut view = empty_view(2);
+        view.platforms[0].running = vec![3];
+        view.platforms[0].remaining_frac = vec![0.2];
+        view.platforms[0].due_s = vec![9.0];
+        let mut policy = PlacementPolicy::least_loaded();
+        assert_eq!(policy.place(&job(10.0), &view, &pred), Some(1));
+    }
+
+    #[test]
+    fn deadline_aware_respects_job_budget() {
+        // Platform 0 is fast but its bound misses the deadline; platform 1 is
+        // slower yet feasible.
+        let pred = TablePredictor { runtime: vec![4.0, 5.0], margin: 3.0 };
+        // deadline 6: bound on p0 = 7 (infeasible), p1 = 8 (infeasible) →
+        // falls back to smallest bound (p0).
+        let mut policy = PlacementPolicy::deadline_aware();
+        assert_eq!(policy.place(&job(6.0), &empty_view(2), &pred), Some(0));
+        // deadline 7.5: p0 bound 7 feasible, p1 bound 8 infeasible.
+        assert_eq!(policy.place(&job(7.5), &empty_view(2), &pred), Some(0));
+    }
+
+    #[test]
+    fn deadline_aware_protects_co_residents() {
+        let pred = TablePredictor { runtime: vec![1.0, 2.0], margin: 0.0 };
+        let mut view = empty_view(2);
+        // Platform 0 hosts a job that due in 1.1s with full work remaining;
+        // adding ours would make its bound 1×(1+1 interferer)=2 > 1.1.
+        view.platforms[0].running = vec![5];
+        view.platforms[0].remaining_frac = vec![1.0];
+        view.platforms[0].due_s = vec![1.1];
+        let mut policy = PlacementPolicy::deadline_aware();
+        // Our job fits both (deadline 10), but platform 0 would break job 5.
+        assert_eq!(policy.place(&job(10.0), &view, &pred), Some(1));
+    }
+
+    #[test]
+    fn all_policies_return_none_when_full() {
+        let pred = TablePredictor { runtime: vec![1.0], margin: 0.0 };
+        let mut view = empty_view(1);
+        view.platforms[0].free_slots = 0;
+        for mut policy in [
+            PlacementPolicy::random(0),
+            PlacementPolicy::least_loaded(),
+            PlacementPolicy::greedy_fastest(),
+            PlacementPolicy::deadline_aware(),
+        ] {
+            assert_eq!(policy.place(&job(1.0), &view, &pred), None);
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let pred = TablePredictor { runtime: vec![1.0; 8], margin: 0.0 };
+        let view = empty_view(8);
+        let picks = |seed| {
+            let mut p = PlacementPolicy::random(seed);
+            (0..20).map(|_| p.place(&job(1.0), &view, &pred).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(42), picks(42));
+        assert_ne!(picks(42), picks(43));
+    }
+}

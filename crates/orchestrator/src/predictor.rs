@@ -1,0 +1,361 @@
+//! Runtime predictors: the oracle, the scaling baseline, and Pitot.
+//!
+//! A placement policy never sees the ground truth; it sees a
+//! [`RuntimePredictor`] answering "how long would workload `i` take on
+//! platform `j` while `K` runs there?" — optionally with an upper bound at a
+//! target miscoverage. The three implementations span the design space the
+//! experiments compare:
+//!
+//! - [`OraclePredictor`] cheats with the simulator's ground truth (the
+//!   unachievable floor);
+//! - [`ScalingPredictor`] uses only the log-linear difficulty×speed baseline,
+//!   which is interference-blind (what a naive orchestrator would ship);
+//! - [`PitotPredictor`] wraps a trained Pitot model and, when fitted with
+//!   conformal bounds, exposes calibrated runtime budgets.
+
+use pitot::{RuntimeBounds, ScalingBaseline, TowerCache, TrainedPitot};
+use pitot_testbed::{Dataset, Observation, Testbed, MAX_INTERFERERS};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+
+/// Answers runtime queries for placement decisions.
+///
+/// Implementations must be deterministic *per query* in the orchestration
+/// loop sense: repeated identical queries during one simulation may return
+/// the same value (the oracle's Monte-Carlo bound is seeded per-predictor).
+pub trait RuntimePredictor {
+    /// Point estimate, in seconds, of `workload` on `platform` while the
+    /// workloads in `interferers` run there simultaneously.
+    fn predict_s(&self, workload: u32, platform: usize, interferers: &[u32]) -> f64;
+
+    /// Runtime budget, in seconds, sufficient with the predictor's configured
+    /// confidence. Defaults to the point estimate (no uncertainty model).
+    fn bound_s(&self, workload: u32, platform: usize, interferers: &[u32]) -> f64 {
+        self.predict_s(workload, platform, interferers)
+    }
+
+    /// Short display name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Ground-truth predictor: clean runtime plus the true interference slowdown.
+///
+/// Its bound is the empirical `1 − ε` quantile over Monte-Carlo rollouts of
+/// the true noise model — the best any predictor could do. Only simulations
+/// may construct this; prediction code cannot reach the ground truth.
+#[derive(Debug)]
+pub struct OraclePredictor<'a> {
+    testbed: &'a Testbed,
+    epsilon: f32,
+    mc_samples: usize,
+    rng: RefCell<ChaCha8Rng>,
+}
+
+impl<'a> OraclePredictor<'a> {
+    /// Oracle with a 90%-confidence bound.
+    pub fn new(testbed: &'a Testbed) -> Self {
+        Self::with_epsilon(testbed, 0.1)
+    }
+
+    /// Oracle bounding at miscoverage `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ (0, 1)`.
+    pub fn with_epsilon(testbed: &'a Testbed, epsilon: f32) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        Self {
+            testbed,
+            epsilon,
+            mc_samples: 64,
+            rng: RefCell::new(ChaCha8Rng::seed_from_u64(0x0AC1_E0AC)),
+        }
+    }
+
+    fn clean_log(&self, workload: u32, platform: usize, interferers: &[u32]) -> f32 {
+        let ws = self.testbed.workloads();
+        let w = &ws[workload as usize];
+        let others: Vec<&pitot_testbed::Workload> =
+            interferers.iter().map(|&k| &ws[k as usize]).collect();
+        let truth = self.testbed.truth();
+        truth.clean_log_runtime(w, workload as usize, platform)
+            + truth.interference_log_slowdown(w, &others, platform)
+    }
+}
+
+impl RuntimePredictor for OraclePredictor<'_> {
+    fn predict_s(&self, workload: u32, platform: usize, interferers: &[u32]) -> f64 {
+        self.clean_log(workload, platform, interferers).exp() as f64
+    }
+
+    fn bound_s(&self, workload: u32, platform: usize, interferers: &[u32]) -> f64 {
+        let ws = self.testbed.workloads();
+        let w = &ws[workload as usize];
+        let others: Vec<&pitot_testbed::Workload> =
+            interferers.iter().map(|&k| &ws[k as usize]).collect();
+        let others_idx: Vec<usize> = interferers.iter().map(|&k| k as usize).collect();
+        let truth = self.testbed.truth();
+        let rng = &mut *self.rng.borrow_mut();
+        let mut samples: Vec<f32> = (0..self.mc_samples)
+            .map(|_| {
+                truth.sample_log_runtime(w, workload as usize, &others, &others_idx, platform, rng)
+            })
+            .collect();
+        samples.sort_by(f32::total_cmp);
+        let rank = (((1.0 - self.epsilon) * self.mc_samples as f32).ceil() as usize)
+            .clamp(1, self.mc_samples);
+        samples[rank - 1].exp() as f64
+    }
+
+    fn name(&self) -> &str {
+        "oracle"
+    }
+}
+
+/// Interference-blind predictor from the log-linear scaling baseline alone
+/// (paper Eq 2): what an orchestrator would use if it only kept per-workload
+/// and per-platform geometric means.
+#[derive(Debug, Clone)]
+pub struct ScalingPredictor {
+    scaling: ScalingBaseline,
+    /// Multiplicative safety factor applied by [`RuntimePredictor::bound_s`].
+    safety: f64,
+}
+
+impl ScalingPredictor {
+    /// Wraps a fitted scaling baseline with no safety margin.
+    pub fn new(scaling: ScalingBaseline) -> Self {
+        Self { scaling, safety: 1.0 }
+    }
+
+    /// Adds the classic ad-hoc overprovisioning factor (e.g. `2.0` doubles
+    /// every budget) — the practice calibrated bounds replace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `safety < 1`.
+    pub fn with_safety_factor(scaling: ScalingBaseline, safety: f64) -> Self {
+        assert!(safety >= 1.0, "safety factor must be ≥ 1");
+        Self { scaling, safety }
+    }
+}
+
+impl RuntimePredictor for ScalingPredictor {
+    fn predict_s(&self, workload: u32, platform: usize, _interferers: &[u32]) -> f64 {
+        self.scaling.log_baseline(workload as usize, platform).exp() as f64
+    }
+
+    fn bound_s(&self, workload: u32, platform: usize, interferers: &[u32]) -> f64 {
+        self.safety * self.predict_s(workload, platform, interferers)
+    }
+
+    fn name(&self) -> &str {
+        "scaling-baseline"
+    }
+}
+
+/// Pitot-backed predictor with optional conformal bounds.
+///
+/// Tower outputs are computed once at construction and reused for every
+/// query, so per-placement cost is a handful of dot products (the paper's
+/// ≈400 kFLOP inference cost is dominated by the towers, which are shared
+/// across queries here).
+pub struct PitotPredictor<'a> {
+    trained: &'a TrainedPitot,
+    towers: TowerCache,
+    bounds: Option<RuntimeBounds>,
+    name: String,
+}
+
+impl<'a> PitotPredictor<'a> {
+    /// Point-prediction-only predictor (bounds fall back to the median head).
+    pub fn new(trained: &'a TrainedPitot, dataset: &Dataset) -> Self {
+        Self {
+            trained,
+            towers: trained.tower_cache(dataset),
+            bounds: None,
+            name: "pitot".to_string(),
+        }
+    }
+
+    /// Predictor whose [`RuntimePredictor::bound_s`] answers with calibrated
+    /// conformal budgets.
+    pub fn with_bounds(
+        trained: &'a TrainedPitot,
+        dataset: &Dataset,
+        bounds: RuntimeBounds,
+    ) -> Self {
+        Self {
+            trained,
+            towers: trained.tower_cache(dataset),
+            bounds: Some(bounds),
+            name: "pitot+conformal".to_string(),
+        }
+    }
+
+    fn query(&self, workload: u32, platform: usize, interferers: &[u32]) -> Vec<f32> {
+        let obs = Observation {
+            workload,
+            platform: platform as u32,
+            interferers: interferers.to_vec(),
+            runtime_s: 1.0, // unused by prediction
+        };
+        self.trained
+            .predict_log_runtime_cached(&self.towers, &[&obs])
+            .into_iter()
+            .map(|head| head[0])
+            .collect()
+    }
+}
+
+impl RuntimePredictor for PitotPredictor<'_> {
+    fn predict_s(&self, workload: u32, platform: usize, interferers: &[u32]) -> f64 {
+        self.query(workload, platform, interferers)[0].exp() as f64
+    }
+
+    fn bound_s(&self, workload: u32, platform: usize, interferers: &[u32]) -> f64 {
+        let heads = self.query(workload, platform, interferers);
+        match &self.bounds {
+            Some(b) => {
+                // Pools were calibrated per interference count; deeper
+                // co-location than the training envelope reuses the deepest
+                // pool.
+                let pool = interferers.len().min(MAX_INTERFERERS);
+                b.bound_log_from_heads(&heads, pool).exp() as f64
+            }
+            None => heads[0].exp() as f64,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for PitotPredictor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PitotPredictor")
+            .field("name", &self.name)
+            .field("has_bounds", &self.bounds.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pitot::{train, PitotConfig};
+    use pitot_conformal::HeadSelection;
+    use pitot_testbed::{split::Split, TestbedConfig};
+
+    fn testbed() -> Testbed {
+        Testbed::generate(&TestbedConfig::small())
+    }
+
+    #[test]
+    fn oracle_prediction_matches_truth() {
+        let tb = testbed();
+        let oracle = OraclePredictor::new(&tb);
+        let truth = tb.truth();
+        let w = &tb.workloads()[0];
+        let expected = truth.clean_log_runtime(w, 0, 0).exp() as f64;
+        let got = oracle.predict_s(0, 0, &[]);
+        assert!((got - expected).abs() / expected < 1e-5);
+    }
+
+    #[test]
+    fn oracle_bound_exceeds_prediction() {
+        let tb = testbed();
+        let oracle = OraclePredictor::with_epsilon(&tb, 0.05);
+        for w in 0..5u32 {
+            let p = oracle.predict_s(w, 0, &[1, 2]);
+            let b = oracle.bound_s(w, 0, &[1, 2]);
+            assert!(b >= p * 0.8, "bound {b} far below prediction {p}");
+        }
+    }
+
+    #[test]
+    fn oracle_sees_interference() {
+        let tb = testbed();
+        let oracle = OraclePredictor::new(&tb);
+        // Find a pair with nonzero slowdown somewhere.
+        let mut seen_slowdown = false;
+        'outer: for p in 0..tb.platforms().len() {
+            for w in 0..tb.workloads().len().min(20) as u32 {
+                let solo = oracle.predict_s(w, p, &[]);
+                let busy = oracle.predict_s(w, p, &[(w + 1) % 10, (w + 2) % 10, (w + 3) % 10]);
+                if busy > solo * 1.05 {
+                    seen_slowdown = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(seen_slowdown, "oracle never showed interference slowdown");
+    }
+
+    #[test]
+    fn scaling_predictor_is_interference_blind() {
+        let tb = testbed();
+        let ds = tb.collect_dataset();
+        let split = Split::stratified(&ds, 0.5, 0);
+        let scaling = ScalingBaseline::fit(&ds, &split.train);
+        let pred = ScalingPredictor::new(scaling);
+        assert_eq!(pred.predict_s(0, 0, &[]), pred.predict_s(0, 0, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn safety_factor_scales_bounds() {
+        let tb = testbed();
+        let ds = tb.collect_dataset();
+        let split = Split::stratified(&ds, 0.5, 0);
+        let scaling = ScalingBaseline::fit(&ds, &split.train);
+        let plain = ScalingPredictor::new(scaling.clone());
+        let padded = ScalingPredictor::with_safety_factor(scaling, 2.0);
+        let b0 = plain.bound_s(3, 1, &[]);
+        let b2 = padded.bound_s(3, 1, &[]);
+        assert!((b2 / b0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pitot_predictor_matches_trained_model() {
+        let tb = testbed();
+        let ds = tb.collect_dataset();
+        let split = Split::stratified(&ds, 0.6, 0);
+        let mut cfg = PitotConfig::tiny();
+        cfg.steps = 120;
+        let trained = train(&ds, &split, &cfg);
+        let pred = PitotPredictor::new(&trained, &ds);
+
+        // Query matching a real observation must agree with the dataset path.
+        let oi = split.test[0];
+        let o = &ds.observations[oi];
+        let expected = trained.predict_runtime(&ds, &[oi])[0] as f64;
+        let got = pred.predict_s(o.workload, o.platform as usize, &o.interferers);
+        assert!((got - expected).abs() / expected < 1e-4, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn pitot_bounds_dominate_median_for_busy_platforms() {
+        let tb = testbed();
+        let ds = tb.collect_dataset();
+        let split = Split::stratified(&ds, 0.6, 0);
+        let mut cfg = PitotConfig::tiny();
+        cfg.objective = pitot::Objective::Quantiles(vec![0.5, 0.9, 0.95]);
+        cfg.steps = 250;
+        let trained = train(&ds, &split, &cfg);
+        let bounds = trained.fit_bounds(&ds, 0.1, HeadSelection::TightestOnValidation);
+        let pred = PitotPredictor::with_bounds(&trained, &ds, bounds);
+        let mut above = 0usize;
+        let mut total = 0usize;
+        for w in 0..20u32 {
+            let point = pred.predict_s(w, 0, &[21, 22]);
+            let bound = pred.bound_s(w, 0, &[21, 22]);
+            total += 1;
+            if bound >= point {
+                above += 1;
+            }
+        }
+        assert!(above * 10 >= total * 8, "bounds above median only {above}/{total}");
+    }
+}

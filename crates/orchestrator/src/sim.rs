@@ -1,0 +1,440 @@
+//! Event-driven cluster simulation with rate-based interference.
+//!
+//! Jobs execute according to the testbed's ground-truth physics: a job's
+//! *work* is its measured isolation runtime on the platform it was placed on
+//! (including measurement noise), and while co-located with the set `K` it
+//! progresses at rate `exp(−slowdown(w, K, p))` — the same contention model
+//! that generated the training data. Placement policies therefore live in
+//! exactly the world Pitot was trained to predict: a policy that ignores
+//! interference overcommits platforms and watches deadlines slip.
+//!
+//! The simulation alternates between two events — the next job arrival and
+//! the earliest completion under current progress rates — advancing all
+//! remaining-work counters between events. Jobs that cannot be placed on
+//! arrival (every platform at capacity) wait in a FIFO queue that drains on
+//! completions.
+
+use crate::job::{Job, JobStream};
+use crate::policy::PlacementPolicy;
+use crate::predictor::RuntimePredictor;
+use crate::report::{JobOutcome, SimReport};
+use pitot_testbed::{Testbed, Workload};
+use std::collections::VecDeque;
+
+/// Default per-platform co-location capacity. Matches the data-collection
+/// envelope (4-way sets: one primary + [`pitot_testbed::MAX_INTERFERERS`]
+/// interferers), so predictors are never asked to extrapolate beyond the
+/// interference arities they saw.
+pub const DEFAULT_CAPACITY: usize = 4;
+
+/// A job currently executing on some platform.
+#[derive(Debug, Clone)]
+pub struct RunningJob {
+    /// The submitted job.
+    pub job: Job,
+    /// Remaining work in seconds-of-solo-execution on this platform.
+    pub remaining_work: f64,
+    /// Total work assigned at placement.
+    pub total_work: f64,
+    /// Absolute time the job started executing.
+    pub started_s: f64,
+}
+
+impl RunningJob {
+    /// Fraction of the job's work still outstanding, in `[0, 1]`.
+    pub fn remaining_frac(&self) -> f64 {
+        if self.total_work <= 0.0 {
+            0.0
+        } else {
+            (self.remaining_work / self.total_work).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Per-platform load snapshot exposed to placement policies.
+#[derive(Debug, Clone)]
+pub struct PlatformLoad {
+    /// Workload indices currently running on the platform.
+    pub running: Vec<u32>,
+    /// Remaining-work fraction of each running job (parallel to `running`).
+    pub remaining_frac: Vec<f64>,
+    /// Absolute due time of each running job (parallel to `running`).
+    pub due_s: Vec<f64>,
+    /// Free co-location slots.
+    pub free_slots: usize,
+}
+
+/// Cluster snapshot at a placement decision.
+#[derive(Debug, Clone)]
+pub struct ClusterView {
+    /// Current simulation time.
+    pub now_s: f64,
+    /// One entry per platform.
+    pub platforms: Vec<PlatformLoad>,
+}
+
+impl ClusterView {
+    /// Indices of platforms with at least one free slot.
+    pub fn with_capacity(&self) -> Vec<usize> {
+        self.platforms
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.free_slots > 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The simulator: owns per-platform run queues and replays a [`JobStream`].
+#[derive(Debug)]
+pub struct ClusterSim<'a> {
+    testbed: &'a Testbed,
+    capacity: usize,
+    /// When set, only these platforms accept jobs (an edge *site* within the
+    /// full catalog; disallowed platforms surface zero free slots).
+    allowed: Option<Vec<bool>>,
+}
+
+impl<'a> ClusterSim<'a> {
+    /// Simulator with [`DEFAULT_CAPACITY`] co-location slots per platform.
+    pub fn new(testbed: &'a Testbed) -> Self {
+        Self::with_capacity(testbed, DEFAULT_CAPACITY)
+    }
+
+    /// Simulator with an explicit per-platform capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(testbed: &'a Testbed, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { testbed, capacity, allowed: None }
+    }
+
+    /// Restricts placement to the given platform indices — a deployment
+    /// site of a few devices rather than the whole catalog. A realistic
+    /// edge site has tens of slots, which is what makes co-location (and
+    /// interference-aware prediction) unavoidable under load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `platforms` is empty or contains an out-of-range index.
+    pub fn restrict_to(mut self, platforms: &[usize]) -> Self {
+        assert!(!platforms.is_empty(), "site must contain at least one platform");
+        let n = self.testbed.platforms().len();
+        let mut allowed = vec![false; n];
+        for &p in platforms {
+            assert!(p < n, "platform index {p} out of range");
+            allowed[p] = true;
+        }
+        self.allowed = Some(allowed);
+        self
+    }
+
+    fn is_allowed(&self, pidx: usize) -> bool {
+        self.allowed.as_ref().is_none_or(|a| a[pidx])
+    }
+
+    /// Replays `stream` under `policy` + `predictor`, returning the report.
+    ///
+    /// Deterministic: work sampling uses a seed derived from the job id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a policy refuses to place a job while the cluster is
+    /// otherwise idle (a policy contract violation that would deadlock the
+    /// queue).
+    pub fn run(
+        &mut self,
+        stream: &JobStream,
+        policy: &mut PlacementPolicy,
+        predictor: &dyn RuntimePredictor,
+    ) -> SimReport {
+        let n_platforms = self.testbed.platforms().len();
+        let mut running: Vec<Vec<RunningJob>> = vec![Vec::new(); n_platforms];
+        let mut pending: VecDeque<Job> = VecDeque::new();
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(stream.len());
+        let mut busy_platform_time = 0.0f64;
+        let mut now = 0.0f64;
+
+        let mut arrivals = stream.jobs().iter().peekable();
+
+        loop {
+            let next_arrival = arrivals.peek().map(|j| j.arrival_s);
+            let next_completion = self.earliest_completion(&running, now);
+
+            let (event_time, is_arrival) = match (next_arrival, next_completion) {
+                (Some(a), Some((c, _, _))) if a <= c => (a, true),
+                (Some(a), None) => (a, true),
+                (_, Some((c, _, _))) => (c, false),
+                (None, None) => break,
+            };
+
+            // Advance all running jobs to the event time.
+            let dt = event_time - now;
+            if dt > 0.0 {
+                for (pidx, jobs) in running.iter_mut().enumerate() {
+                    if jobs.is_empty() {
+                        continue;
+                    }
+                    busy_platform_time += dt;
+                    let rates = self.rates(pidx, jobs);
+                    for (job, rate) in jobs.iter_mut().zip(rates) {
+                        job.remaining_work = (job.remaining_work - dt * rate).max(0.0);
+                    }
+                }
+                now = event_time;
+            } else {
+                now = event_time;
+            }
+
+            if is_arrival {
+                let job = arrivals.next().expect("peeked arrival").clone();
+                if !self.try_place(job.clone(), &mut running, policy, predictor, now) {
+                    pending.push_back(job);
+                }
+            } else {
+                // Complete every job that has (numerically) finished.
+                for (pidx, jobs) in running.iter_mut().enumerate() {
+                    let mut slot = 0;
+                    while slot < jobs.len() {
+                        if jobs[slot].remaining_work <= 1e-12 {
+                            let done = jobs.swap_remove(slot);
+                            outcomes.push(JobOutcome::new(done.job, pidx, now));
+                        } else {
+                            slot += 1;
+                        }
+                    }
+                }
+                // Drain the FIFO queue while the head job places.
+                while let Some(job) = pending.front() {
+                    let job = job.clone();
+                    if self.try_place(job, &mut running, policy, predictor, now) {
+                        pending.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+
+            // Deadlock guard: an idle cluster must accept the queue head.
+            if pending.front().is_some()
+                && arrivals.peek().is_none()
+                && running.iter().all(|r| r.is_empty())
+            {
+                panic!(
+                    "policy {} refused to place job {} on an idle cluster",
+                    policy.name(),
+                    pending.front().expect("non-empty queue").id
+                );
+            }
+        }
+
+        SimReport::from_outcomes(outcomes, now, busy_platform_time, n_platforms)
+    }
+
+    /// Attempts to place `job`; returns whether it started running.
+    fn try_place(
+        &self,
+        job: Job,
+        running: &mut [Vec<RunningJob>],
+        policy: &mut PlacementPolicy,
+        predictor: &dyn RuntimePredictor,
+        now: f64,
+    ) -> bool {
+        let view = self.view(running, now);
+        match policy.place(&job, &view, predictor) {
+            Some(pidx) if running[pidx].len() < self.capacity && self.is_allowed(pidx) => {
+                let work = self.sample_work(&job, pidx);
+                running[pidx].push(RunningJob {
+                    job,
+                    remaining_work: work,
+                    total_work: work,
+                    started_s: now,
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True isolation runtime on `pidx`, with measurement noise,
+    /// deterministic in the job id.
+    fn sample_work(&self, job: &Job, pidx: usize) -> f64 {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
+            0x509B_ED00 ^ (job.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let w = &self.testbed.workloads()[job.workload as usize];
+        self.testbed
+            .truth()
+            .sample_log_runtime(w, job.workload as usize, &[], &[], pidx, &mut rng)
+            .exp() as f64
+    }
+
+    /// Progress rate of each job on `pidx` given its current co-residents.
+    fn rates(&self, pidx: usize, jobs: &[RunningJob]) -> Vec<f64> {
+        let ws = self.testbed.workloads();
+        let truth = self.testbed.truth();
+        jobs.iter()
+            .enumerate()
+            .map(|(slot, rj)| {
+                let others: Vec<&Workload> = jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(s, _)| *s != slot)
+                    .map(|(_, o)| &ws[o.job.workload as usize])
+                    .collect();
+                let w = &ws[rj.job.workload as usize];
+                (-truth.interference_log_slowdown(w, &others, pidx) as f64).exp()
+            })
+            .collect()
+    }
+
+    /// Earliest completion event as `(time, platform, slot)`.
+    fn earliest_completion(
+        &self,
+        running: &[Vec<RunningJob>],
+        now: f64,
+    ) -> Option<(f64, usize, usize)> {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (pidx, jobs) in running.iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            let rates = self.rates(pidx, jobs);
+            for (slot, (job, rate)) in jobs.iter().zip(rates).enumerate() {
+                let t = now + job.remaining_work / rate.max(1e-12);
+                if best.is_none_or(|(bt, _, _)| t < bt) {
+                    best = Some((t, pidx, slot));
+                }
+            }
+        }
+        best
+    }
+
+    fn view(&self, running: &[Vec<RunningJob>], now: f64) -> ClusterView {
+        ClusterView {
+            now_s: now,
+            platforms: running
+                .iter()
+                .enumerate()
+                .map(|(pidx, jobs)| PlatformLoad {
+                    running: jobs.iter().map(|j| j.job.workload).collect(),
+                    remaining_frac: jobs.iter().map(RunningJob::remaining_frac).collect(),
+                    due_s: jobs.iter().map(|j| j.job.due_s()).collect(),
+                    free_slots: if self.is_allowed(pidx) {
+                        self.capacity.saturating_sub(jobs.len())
+                    } else {
+                        0
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::OraclePredictor;
+    use pitot_testbed::TestbedConfig;
+
+    fn setup() -> Testbed {
+        Testbed::generate(&TestbedConfig::small())
+    }
+
+    #[test]
+    fn all_jobs_complete() {
+        let tb = setup();
+        let jobs = JobStream::generate(&tb, 120, 1.0, 0);
+        let oracle = OraclePredictor::new(&tb);
+        let mut sim = ClusterSim::new(&tb);
+        let report = sim.run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        assert_eq!(report.completed, 120);
+        assert!(report.makespan_s >= jobs.jobs().last().unwrap().arrival_s);
+    }
+
+    #[test]
+    fn responses_are_positive_and_finite() {
+        let tb = setup();
+        let jobs = JobStream::generate(&tb, 60, 0.5, 1);
+        let oracle = OraclePredictor::new(&tb);
+        let mut sim = ClusterSim::new(&tb);
+        let report = sim.run(&jobs, &mut PlacementPolicy::least_loaded(), &oracle);
+        for o in &report.outcomes {
+            assert!(o.response_s > 0.0 && o.response_s.is_finite());
+            assert!(o.completed_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn capacity_is_respected_under_burst() {
+        // All jobs arrive at effectively the same time; with capacity 1 the
+        // completions must serialize per platform.
+        let tb = setup();
+        let jobs = JobStream::generate(&tb, 40, 1e-6, 2);
+        let oracle = OraclePredictor::new(&tb);
+        let mut sim = ClusterSim::with_capacity(&tb, 1);
+        let report = sim.run(&jobs, &mut PlacementPolicy::random(7), &oracle);
+        assert_eq!(report.completed, 40);
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let tb = setup();
+        let jobs = JobStream::generate(&tb, 50, 1.0, 3);
+        let oracle = OraclePredictor::new(&tb);
+        let a = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        let b = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.violations, b.violations);
+        assert!((a.mean_response_s - b.mean_response_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_oracle_beats_random_on_response_time() {
+        let tb = setup();
+        let jobs = JobStream::generate(&tb, 150, 0.8, 4);
+        let oracle = OraclePredictor::new(&tb);
+        let fast = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        let rand = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::random(1), &oracle);
+        assert!(
+            fast.mean_response_s < rand.mean_response_s,
+            "greedy {} should beat random {}",
+            fast.mean_response_s,
+            rand.mean_response_s
+        );
+    }
+
+    #[test]
+    fn restriction_confines_placement_to_the_site() {
+        let tb = setup();
+        let site: Vec<usize> = (0..6).collect();
+        let jobs = JobStream::generate(&tb, 60, 0.2, 9);
+        let oracle = OraclePredictor::new(&tb);
+        let mut sim = ClusterSim::new(&tb).restrict_to(&site);
+        let report = sim.run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        assert_eq!(report.completed, 60);
+        for o in &report.outcomes {
+            assert!(site.contains(&o.platform), "job escaped the site: {}", o.platform);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn restriction_rejects_bad_platform() {
+        let tb = setup();
+        let _ = ClusterSim::new(&tb).restrict_to(&[usize::MAX]);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let tb = setup();
+        let jobs = JobStream::generate(&tb, 80, 0.5, 5);
+        let oracle = OraclePredictor::new(&tb);
+        let report = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::least_loaded(), &oracle);
+        assert!(report.utilization >= 0.0 && report.utilization <= 1.0);
+        assert!(report.utilization > 0.0);
+    }
+}

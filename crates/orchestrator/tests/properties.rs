@@ -1,0 +1,92 @@
+//! Property tests for the orchestration layer: every job stream, policy, and
+//! capacity must drain completely, respect deadlines accounting, and keep the
+//! simulator's bookkeeping consistent.
+
+use pitot_orchestrator::{ClusterSim, JobStream, OraclePredictor, PlacementPolicy, PolicyKind};
+use pitot_testbed::{Testbed, TestbedConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn shared_testbed() -> &'static Testbed {
+    static TB: OnceLock<Testbed> = OnceLock::new();
+    TB.get_or_init(|| Testbed::generate(&TestbedConfig::small()))
+}
+
+fn policy_of(idx: usize, seed: u64) -> PlacementPolicy {
+    let kind = [
+        PolicyKind::Random,
+        PolicyKind::LeastLoaded,
+        PolicyKind::GreedyFastest,
+        PolicyKind::DeadlineAware,
+    ][idx % 4];
+    PlacementPolicy::of_kind(kind, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_job_completes(
+        n in 5usize..60,
+        seed in 0u64..1_000,
+        capacity in 1usize..5,
+        policy_idx in 0usize..4,
+    ) {
+        let tb = shared_testbed();
+        let jobs = JobStream::generate(tb, n, 0.7, seed);
+        let oracle = OraclePredictor::new(tb);
+        let mut sim = ClusterSim::with_capacity(tb, capacity);
+        let report = sim.run(&jobs, &mut policy_of(policy_idx, seed), &oracle);
+
+        prop_assert_eq!(report.completed, n);
+        prop_assert!(report.violations <= report.completed);
+        prop_assert!(report.utilization >= 0.0 && report.utilization <= 1.0);
+        prop_assert!(report.makespan_s.is_finite() && report.makespan_s > 0.0);
+        // Every outcome id appears exactly once.
+        let mut ids: Vec<usize> = report.outcomes.iter().map(|o| o.job.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn response_never_beats_physics(
+        n in 5usize..40,
+        seed in 0u64..1_000,
+    ) {
+        // A job can never finish faster than its placed platform could run it
+        // in isolation without noise, divided by a generous noise allowance.
+        let tb = shared_testbed();
+        let jobs = JobStream::generate(tb, n, 1.0, seed);
+        let oracle = OraclePredictor::new(tb);
+        let mut sim = ClusterSim::new(tb);
+        let report = sim.run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        let truth = tb.truth();
+        for o in &report.outcomes {
+            let w = &tb.workloads()[o.job.workload as usize];
+            let clean = truth
+                .clean_log_runtime(w, o.job.workload as usize, o.platform)
+                .exp() as f64;
+            prop_assert!(
+                o.response_s > clean * 0.3,
+                "job {} responded in {}s, clean isolation runtime {}s",
+                o.job.id, o.response_s, clean
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_stream_length(
+        n in 10usize..30,
+        seed in 0u64..100,
+    ) {
+        // A prefix of a stream can never take longer than the whole stream.
+        let tb = shared_testbed();
+        let long = JobStream::generate(tb, 2 * n, 1.0, seed);
+        let oracle = OraclePredictor::new(tb);
+        let full = ClusterSim::new(tb).run(&long, &mut PlacementPolicy::least_loaded(), &oracle);
+        let short = JobStream::generate(tb, n, 1.0, seed);
+        let half = ClusterSim::new(tb).run(&short, &mut PlacementPolicy::least_loaded(), &oracle);
+        prop_assert!(half.makespan_s <= full.makespan_s + 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Testbed generation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Controls cluster synthesis and data collection volume.
+///
+/// [`TestbedConfig::paper`] reproduces the paper's dataset scale
+/// (~410k observations); [`TestbedConfig::small`] is a fast configuration for
+/// tests and doc examples.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Master seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Workloads per suite scaling factor (1.0 = paper counts, 249 total).
+    pub workload_scale: f32,
+    /// Random interference sets of each size (2, 3, 4) per platform
+    /// (paper App C.3: 250 of each).
+    pub sets_per_platform: usize,
+    /// Benchmark window in seconds; runs exceeding it are excluded as
+    /// timeouts (paper: 30 s window).
+    pub timeout_s: f32,
+    /// Probability that a (workload, platform) combination fails for
+    /// non-timeout reasons (crashes, codegen bugs; paper App C.3).
+    pub crash_rate: f64,
+    /// Global noise multiplier (1.0 = calibrated defaults).
+    pub noise_scale: f32,
+}
+
+impl TestbedConfig {
+    /// Paper-scale dataset: 249 workloads, 24 devices × 10 runtimes,
+    /// 250 interference sets of each size per platform.
+    pub fn paper() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            workload_scale: 1.0,
+            sets_per_platform: 250,
+            timeout_s: 30.0,
+            crash_rate: 0.04,
+            noise_scale: 1.0,
+        }
+    }
+
+    /// Small configuration for unit tests and doc examples: ~60 workloads
+    /// and 12 interference sets of each size per platform.
+    pub fn small() -> Self {
+        Self {
+            seed: 7,
+            workload_scale: 0.25,
+            sets_per_platform: 12,
+            timeout_s: 30.0,
+            crash_rate: 0.04,
+            noise_scale: 1.0,
+        }
+    }
+
+    /// Medium configuration used by the default (reduced) experiment harness.
+    pub fn medium() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            workload_scale: 1.0,
+            sets_per_platform: 60,
+            timeout_s: 30.0,
+            crash_rate: 0.04,
+            noise_scale: 1.0,
+        }
+    }
+
+    /// Returns a copy with a different seed (used for replicates).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let p = TestbedConfig::paper();
+        assert_eq!(p.sets_per_platform, 250);
+        assert_eq!(p.timeout_s, 30.0);
+        let s = TestbedConfig::small();
+        assert!(s.workload_scale < 1.0);
+        assert_eq!(TestbedConfig::default().sets_per_platform, p.sets_per_platform);
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = TestbedConfig::small();
+        let b = a.clone().with_seed(99);
+        assert_eq!(b.seed, 99);
+        assert_eq!(a.sets_per_platform, b.sets_per_platform);
+    }
+}

@@ -1,0 +1,350 @@
+//! The device catalog (paper Table 2).
+//!
+//! Each device carries two kinds of information:
+//!
+//! - *observable* attributes that become platform features (microarchitecture,
+//!   nominal frequency, cache hierarchy, memory size), matching App C.2;
+//! - *latent* performance traits used only by the ground-truth simulator
+//!   (base throughput, floating-point/memory weaknesses, OS overhead,
+//!   contention capacities, measurement noise). Models never see these.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse CPU class, used for Fig 12c/12d groupings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Intel x86-64 desktops/NUCs.
+    X86Intel,
+    /// AMD x86-64 mini PCs.
+    X86Amd,
+    /// ARM A-class single-board computers.
+    ArmAClass,
+    /// RISC-V single-board computers.
+    RiscV,
+    /// ARM M-class microcontrollers (bare metal, no OS).
+    ArmMClass,
+}
+
+impl DeviceClass {
+    /// Display label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceClass::X86Intel => "Intel x86",
+            DeviceClass::X86Amd => "AMD x86",
+            DeviceClass::ArmAClass => "ARM A-class",
+            DeviceClass::RiscV => "RISC-V",
+            DeviceClass::ArmMClass => "ARM M-class",
+        }
+    }
+}
+
+/// CPU microarchitecture (one-hot encoded platform feature; 14 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Microarch {
+    Skylake,
+    Haswell,
+    Silvermont,
+    TigerLake,
+    GoldmontPlus,
+    Zen3,
+    Zen2,
+    Zen1,
+    Jaguar,
+    CortexA72,
+    CortexA53,
+    CortexA55,
+    SifiveU74,
+    CortexM7,
+}
+
+impl Microarch {
+    /// All microarchitectures, in one-hot encoding order.
+    pub const ALL: [Microarch; 14] = [
+        Microarch::Skylake,
+        Microarch::Haswell,
+        Microarch::Silvermont,
+        Microarch::TigerLake,
+        Microarch::GoldmontPlus,
+        Microarch::Zen3,
+        Microarch::Zen2,
+        Microarch::Zen1,
+        Microarch::Jaguar,
+        Microarch::CortexA72,
+        Microarch::CortexA53,
+        Microarch::CortexA55,
+        Microarch::SifiveU74,
+        Microarch::CortexM7,
+    ];
+
+    /// Index into the one-hot encoding.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|m| *m == self).expect("member of ALL")
+    }
+
+    /// Human-readable name (as `cpuinfo` would report it).
+    pub fn name(self) -> &'static str {
+        match self {
+            Microarch::Skylake => "skylake",
+            Microarch::Haswell => "haswell",
+            Microarch::Silvermont => "silvermont",
+            Microarch::TigerLake => "tigerlake",
+            Microarch::GoldmontPlus => "goldmont-plus",
+            Microarch::Zen3 => "znver3",
+            Microarch::Zen2 => "znver2",
+            Microarch::Zen1 => "znver1",
+            Microarch::Jaguar => "jaguar",
+            Microarch::CortexA72 => "cortex-a72",
+            Microarch::CortexA53 => "cortex-a53",
+            Microarch::CortexA55 => "cortex-a55",
+            Microarch::SifiveU74 => "sifive-u74",
+            Microarch::CortexM7 => "cortex-m7",
+        }
+    }
+}
+
+/// A physical device in the cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Device {
+    /// Marketing/model name (Table 2 "Model" column).
+    pub name: String,
+    /// CPU vendor.
+    pub vendor: String,
+    /// CPU model string.
+    pub cpu: String,
+    /// Microarchitecture (observable feature).
+    pub microarch: Microarch,
+    /// Coarse class for reporting.
+    pub class: DeviceClass,
+    /// Nominal CPU frequency in GHz (observable feature).
+    pub freq_ghz: f32,
+    /// L1 data cache size in KiB.
+    pub l1d_kb: u32,
+    /// L1 instruction cache size in KiB.
+    pub l1i_kb: u32,
+    /// L2 cache size in KiB.
+    pub l2_kb: u32,
+    /// L2 line size in bytes (32 or 64 in this cluster).
+    pub l2_line: u32,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+    /// L3 cache size in KiB, if present (A-class parts often lack L3).
+    pub l3_kb: Option<u32>,
+    /// Main memory in MiB.
+    pub mem_mb: u32,
+
+    // ---- latent traits (ground truth only; never exposed as features) ----
+    /// ln(instructions/second at 1 GHz) for a perfectly compiled workload.
+    pub log_ips_per_ghz: f32,
+    /// Extra log-slowdown multiplier applied to the FP-heavy share of a
+    /// workload (in-order and low-power cores pay more).
+    pub fp_weakness: f32,
+    /// Extra log-slowdown applied to the memory-heavy share of a workload.
+    pub mem_weakness: f32,
+    /// Fixed per-run overhead in seconds (process spawn, module load);
+    /// zero on the bare-metal microcontroller (paper footnote 5).
+    pub os_overhead_s: f32,
+    /// Standard deviation of per-observation log-runtime noise
+    /// (frequency-governor jitter, thermal throttling).
+    pub noise_sigma: f32,
+    /// Contention capacity per dimension: memory bandwidth, shared cache,
+    /// storage/IO. Larger means more headroom before interference bites.
+    pub contention_capacity: [f32; 3],
+    /// How steeply contention beyond capacity turns into slowdown.
+    pub contention_scale: f32,
+}
+
+/// Builds the 24-device cluster of Table 2 (plus the two duplicate units the
+/// paper's counts imply: a second NUC 8 and an NXP i.MX 8M to reach the
+/// stated 9 vendors / 24 devices).
+pub fn catalog() -> Vec<Device> {
+    use DeviceClass::*;
+    use Microarch::*;
+
+    // (name, vendor, cpu, arch, class, GHz, l1d, l1i, l2, line, assoc, l3, memMB,
+    //  log_ips@1GHz, fp_w, mem_w, overhead, noise, cap, scale)
+    let mut devices = Vec::new();
+    let mut push = |name: &str,
+                    vendor: &str,
+                    cpu: &str,
+                    microarch: Microarch,
+                    class: DeviceClass,
+                    freq_ghz: f32,
+                    caches: (u32, u32, u32, u32, u32, Option<u32>, u32),
+                    log_ips_per_ghz: f32,
+                    fp_weakness: f32,
+                    mem_weakness: f32,
+                    os_overhead_s: f32,
+                    noise_sigma: f32,
+                    contention_capacity: [f32; 3],
+                    contention_scale: f32| {
+        devices.push(Device {
+            name: name.to_string(),
+            vendor: vendor.to_string(),
+            cpu: cpu.to_string(),
+            microarch,
+            class,
+            freq_ghz,
+            l1d_kb: caches.0,
+            l1i_kb: caches.1,
+            l2_kb: caches.2,
+            l2_line: caches.3,
+            l2_assoc: caches.4,
+            l3_kb: caches.5,
+            mem_mb: caches.6,
+            log_ips_per_ghz,
+            fp_weakness,
+            mem_weakness,
+            os_overhead_s,
+            noise_sigma,
+            contention_capacity,
+            contention_scale,
+        });
+    };
+
+    // Intel x86. log_ips_per_ghz ≈ ln(1.3e9) ≈ 21.0 for a big OoO core.
+    push("NUC 8", "Intel", "i7-8650U", Skylake, X86Intel, 1.9,
+        (32, 32, 256, 64, 4, Some(8192), 16384), 21.0, 0.00, 0.00, 0.012, 0.035,
+        [3.2, 3.0, 2.5], 0.55);
+    push("NUC 4", "Intel", "i3-4010U", Haswell, X86Intel, 1.7,
+        (32, 32, 256, 64, 8, Some(3072), 8192), 20.8, 0.02, 0.05, 0.013, 0.04,
+        [2.6, 2.4, 2.2], 0.6);
+    push("Generic ITX", "Intel", "i7-4770TE", Haswell, X86Intel, 2.3,
+        (32, 32, 256, 64, 8, Some(8192), 16384), 20.85, 0.02, 0.03, 0.012, 0.035,
+        [3.0, 2.8, 2.4], 0.55);
+    push("Compute Stick", "Intel", "x5-Z8330", Silvermont, X86Intel, 1.44,
+        (24, 32, 1024, 64, 16, None, 2048), 20.0, 0.18, 0.22, 0.02, 0.07,
+        [1.2, 1.0, 0.9], 0.95);
+    push("NUC 11 (i5)", "Intel", "i5-1145G7", TigerLake, X86Intel, 2.6,
+        (48, 32, 1280, 64, 8, Some(8192), 16384), 21.2, -0.02, -0.02, 0.011, 0.03,
+        [3.6, 3.4, 2.6], 0.5);
+    push("NUC 11 (i7)", "Intel", "i7-1165G7", TigerLake, X86Intel, 2.8,
+        (48, 32, 1280, 64, 8, Some(12288), 32768), 21.25, -0.03, -0.03, 0.011, 0.03,
+        [3.8, 3.6, 2.7], 0.5);
+    push("Mini PC (N4020)", "Intel", "N4020", GoldmontPlus, X86Intel, 1.1,
+        (24, 32, 4096, 64, 16, None, 4096), 20.2, 0.15, 0.18, 0.018, 0.06,
+        [1.4, 1.3, 1.0], 0.9);
+
+    // AMD x86.
+    push("EliteDesk 805 G8", "AMD", "R5-5650G", Zen3, X86Amd, 3.9,
+        (32, 32, 512, 64, 8, Some(16384), 32768), 21.15, -0.02, -0.02, 0.011, 0.03,
+        [3.8, 3.6, 2.8], 0.5);
+    push("Mini PC (4500U)", "AMD", "R5-4500U", Zen2, X86Amd, 2.3,
+        (32, 32, 512, 64, 8, Some(8192), 16384), 21.0, 0.0, 0.0, 0.012, 0.035,
+        [3.2, 3.0, 2.4], 0.55);
+    push("Mini PC (3200U)", "AMD", "R3-3200U", Zen1, X86Amd, 2.6,
+        (32, 64, 512, 64, 8, Some(4096), 8192), 20.8, 0.04, 0.06, 0.013, 0.045,
+        [2.4, 2.2, 2.0], 0.65);
+    push("Mini PC (A6)", "AMD", "A6-1450", Jaguar, X86Amd, 1.0,
+        (32, 32, 2048, 64, 16, None, 4096), 20.1, 0.2, 0.2, 0.02, 0.07,
+        [1.1, 1.0, 0.9], 1.0);
+
+    // ARM A-class SBCs. Weaker cores (~ln(4e8) ≈ 19.8 per GHz for A72,
+    // ~19.2 for A53/A55), small or absent L3, low memory bandwidth.
+    push("RPi 4 Rev 1.2", "Broadcom", "BCM2711", CortexA72, ArmAClass, 1.5,
+        (32, 48, 1024, 64, 16, None, 4096), 19.9, 0.25, 0.3, 0.02, 0.06,
+        [1.0, 0.9, 0.7], 1.15);
+    push("RPi 3B+ Rev 1.3", "Broadcom", "BCM2837B0", CortexA53, ArmAClass, 1.4,
+        (32, 32, 512, 64, 16, None, 1024), 19.2, 0.35, 0.4, 0.025, 0.08,
+        [0.7, 0.6, 0.5], 1.35);
+    push("Banana Pi M5", "Amlogic", "S905X3", CortexA55, ArmAClass, 2.0,
+        (32, 32, 512, 64, 16, None, 4096), 19.4, 0.3, 0.33, 0.022, 0.06,
+        [0.85, 0.75, 0.6], 1.25);
+    push("Le Potato", "Amlogic", "S905X", CortexA53, ArmAClass, 1.512,
+        (32, 32, 512, 64, 16, None, 2048), 19.2, 0.35, 0.4, 0.025, 0.075,
+        [0.7, 0.6, 0.5], 1.35);
+    push("Odroid C4", "Amlogic", "S905X3", CortexA55, ArmAClass, 2.0,
+        (32, 32, 512, 64, 16, None, 4096), 19.45, 0.3, 0.32, 0.022, 0.06,
+        [0.9, 0.8, 0.62], 1.25);
+    push("RockPro64", "RockChip", "RK3399", CortexA72, ArmAClass, 1.8,
+        (32, 48, 1024, 64, 16, None, 4096), 19.95, 0.24, 0.28, 0.02, 0.055,
+        [1.05, 0.95, 0.72], 1.12);
+    push("Rock Pi 4b", "RockChip", "RK3399", CortexA72, ArmAClass, 1.8,
+        (32, 48, 1024, 64, 16, None, 4096), 19.9, 0.25, 0.28, 0.02, 0.06,
+        [1.05, 0.95, 0.72], 1.12);
+    push("Renegade", "RockChip", "RK3328", CortexA53, ArmAClass, 1.4,
+        (32, 32, 256, 64, 16, None, 4096), 19.15, 0.36, 0.42, 0.026, 0.08,
+        [0.65, 0.55, 0.5], 1.4);
+    push("Orange Pi 3", "Allwinner", "H6", CortexA53, ArmAClass, 1.8,
+        (32, 32, 512, 64, 16, None, 2048), 19.25, 0.34, 0.38, 0.024, 0.07,
+        [0.75, 0.65, 0.55], 1.3);
+    push("i.MX 8M Mini EVK", "NXP", "i.MX8M Mini", CortexA53, ArmAClass, 1.8,
+        (32, 32, 512, 64, 16, None, 2048), 19.25, 0.34, 0.38, 0.024, 0.07,
+        [0.75, 0.65, 0.55], 1.3);
+
+    // RISC-V SBC.
+    push("Starfive VF2", "SiFive", "U74", SifiveU74, RiscV, 1.5,
+        (32, 32, 2048, 64, 8, None, 8192), 19.5, 0.4, 0.35, 0.022, 0.06,
+        [0.9, 0.8, 0.6], 1.2);
+
+    // ARM M-class microcontroller: bare metal, no OS overhead, tiny memory,
+    // effectively no shared-resource contention headroom.
+    push("Nucleo-F767ZI", "STMicro", "STM32F767ZI", CortexM7, ArmMClass, 0.216,
+        (16, 16, 0, 32, 4, None, 1), 19.6, 0.5, 0.2, 0.0, 0.02,
+        [0.35, 0.3, 0.25], 1.5);
+
+    // Second RPi 4 unit implied by the paper's device count (24 devices but
+    // 22 distinct Table 2 rows plus the NXP board the vendor list implies).
+    push("RPi 4 Rev 1.4", "Broadcom", "BCM2711", CortexA72, ArmAClass, 1.5,
+        (32, 48, 1024, 64, 16, None, 8192), 19.92, 0.25, 0.29, 0.02, 0.06,
+        [1.0, 0.9, 0.7], 1.15);
+
+    devices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_matches_paper_counts() {
+        let devices = catalog();
+        assert_eq!(devices.len(), 24, "paper: 24 devices");
+        let vendors: std::collections::HashSet<_> =
+            devices.iter().map(|d| d.vendor.as_str()).collect();
+        assert_eq!(vendors.len(), 9, "paper: 9 vendors, got {vendors:?}");
+        let archs: std::collections::HashSet<_> = devices.iter().map(|d| d.microarch).collect();
+        assert_eq!(archs.len(), 14, "paper: 14 microarchitectures");
+    }
+
+    #[test]
+    fn microarch_onehot_is_consistent() {
+        for (i, m) in Microarch::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn microcontroller_has_no_os_overhead() {
+        let devices = catalog();
+        let mcu = devices.iter().find(|d| d.class == DeviceClass::ArmMClass).unwrap();
+        assert_eq!(mcu.os_overhead_s, 0.0);
+        assert!(mcu.l3_kb.is_none());
+    }
+
+    #[test]
+    fn x86_is_faster_than_sbc_per_ghz() {
+        let devices = catalog();
+        let min_x86 = devices
+            .iter()
+            .filter(|d| matches!(d.class, DeviceClass::X86Intel | DeviceClass::X86Amd))
+            .map(|d| d.log_ips_per_ghz)
+            .fold(f32::INFINITY, f32::min);
+        let max_arm = devices
+            .iter()
+            .filter(|d| d.class == DeviceClass::ArmAClass)
+            .map(|d| d.log_ips_per_ghz)
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(min_x86 > max_arm);
+    }
+
+    #[test]
+    fn weak_devices_feel_contention_harder() {
+        let devices = catalog();
+        for d in &devices {
+            if d.class == DeviceClass::ArmAClass {
+                assert!(d.contention_scale > 1.0, "{}", d.name);
+                assert!(d.contention_capacity[0] <= 1.1, "{}", d.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Side-information feature construction (paper App C.2).
+//!
+//! Workload features are the log-transformed executed-opcode counts
+//! `f(n) = ln(n + 1)`. Platform features are a one-hot encoding of the
+//! WebAssembly runtime configuration and CPU microarchitecture plus nominal
+//! frequency and memory-hierarchy attributes (log cache sizes with presence
+//! indicators, as the paper describes for missing cache levels).
+
+use crate::device::Microarch;
+use crate::testbed::Testbed;
+use pitot_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Feature construction options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Standardize each feature column to zero mean / unit variance over the
+    /// entity set (constant columns are left centered only). The paper feeds
+    /// raw log counts; standardizing is numerically friendlier for the small
+    /// CPU-trained MLPs and does not change what information is available.
+    pub standardize: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self { standardize: true }
+    }
+}
+
+/// Built feature matrices.
+#[derive(Debug, Clone)]
+pub struct Features {
+    /// `Nw × Fw` workload features.
+    pub workload: Matrix,
+    /// `Np × Fp` platform features.
+    pub platform: Matrix,
+}
+
+impl Features {
+    /// Builds workload and platform features for `testbed`.
+    pub fn build(testbed: &Testbed, config: &FeatureConfig) -> Self {
+        let mut workload = workload_features(testbed);
+        let mut platform = platform_features(testbed);
+        if config.standardize {
+            standardize_columns(&mut workload);
+            standardize_columns(&mut platform);
+        }
+        Features { workload, platform }
+    }
+}
+
+fn workload_features(testbed: &Testbed) -> Matrix {
+    let workloads = testbed.workloads();
+    let n_ops = crate::workload::opcode_count();
+    let mut m = Matrix::zeros(workloads.len(), n_ops);
+    for (i, w) in workloads.iter().enumerate() {
+        for (j, &c) in w.opcode_counts.iter().enumerate() {
+            m[(i, j)] = ((c + 1.0).ln()) as f32; // f(n) = log(n + 1), App C.2
+        }
+    }
+    m
+}
+
+fn platform_features(testbed: &Testbed) -> Matrix {
+    let n_arch = Microarch::ALL.len();
+    let n_rt = testbed.runtimes().len();
+    // one-hot arch + one-hot runtime + [log freq, log l1d, log l1i, log l2,
+    // line64 indicator, log assoc, log l3, l3 present, log mem]
+    let extra = 9;
+    let cols = n_arch + n_rt + extra;
+    let mut m = Matrix::zeros(testbed.platforms().len(), cols);
+    for (p, plat) in testbed.platforms().iter().enumerate() {
+        let dev = &testbed.devices()[plat.device];
+        let row = m.row_mut(p);
+        row[dev.microarch.index()] = 1.0;
+        row[n_arch + plat.runtime] = 1.0;
+        let base = n_arch + n_rt;
+        row[base] = dev.freq_ghz.ln();
+        row[base + 1] = (dev.l1d_kb.max(1) as f32).ln();
+        row[base + 2] = (dev.l1i_kb.max(1) as f32).ln();
+        row[base + 3] = (dev.l2_kb.max(1) as f32).ln();
+        row[base + 4] = if dev.l2_line == 64 { 1.0 } else { 0.0 };
+        row[base + 5] = (dev.l2_assoc.max(1) as f32).ln();
+        row[base + 6] = dev.l3_kb.map_or(0.0, |kb| (kb as f32).ln());
+        row[base + 7] = if dev.l3_kb.is_some() { 1.0 } else { 0.0 };
+        row[base + 8] = (dev.mem_mb as f32).ln();
+    }
+    m
+}
+
+/// Standardizes columns in place; zero-variance columns are centered only.
+fn standardize_columns(m: &mut Matrix) {
+    let (rows, cols) = m.shape();
+    if rows == 0 {
+        return;
+    }
+    for c in 0..cols {
+        let mut mean = 0.0f64;
+        for r in 0..rows {
+            mean += m[(r, c)] as f64;
+        }
+        mean /= rows as f64;
+        let mut var = 0.0f64;
+        for r in 0..rows {
+            var += (m[(r, c)] as f64 - mean).powi(2);
+        }
+        var /= rows as f64;
+        let std = var.sqrt();
+        let denom = if std > 1e-8 { std } else { 1.0 };
+        for r in 0..rows {
+            m[(r, c)] = ((m[(r, c)] as f64 - mean) / denom) as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestbedConfig;
+
+    #[test]
+    fn shapes_match_catalog() {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let f = Features::build(&tb, &FeatureConfig::default());
+        assert_eq!(f.workload.rows(), tb.workloads().len());
+        assert_eq!(f.workload.cols(), crate::workload::opcode_count());
+        assert_eq!(f.platform.rows(), tb.platforms().len());
+        assert_eq!(f.platform.cols(), Microarch::ALL.len() + tb.runtimes().len() + 9);
+    }
+
+    #[test]
+    fn standardized_columns_have_zero_mean() {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let f = Features::build(&tb, &FeatureConfig { standardize: true });
+        for c in 0..f.workload.cols() {
+            let col = f.workload.col(c);
+            let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
+            assert!(mean.abs() < 1e-3, "column {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn raw_features_preserve_onehot() {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let f = Features::build(&tb, &FeatureConfig { standardize: false });
+        for p in 0..f.platform.rows() {
+            let arch_sum: f32 = f.platform.row(p)[..Microarch::ALL.len()].iter().sum();
+            assert_eq!(arch_sum, 1.0, "exactly one microarch per platform");
+        }
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let f = Features::build(&tb, &FeatureConfig::default());
+        assert!(f.workload.as_slice().iter().all(|v| v.is_finite()));
+        assert!(f.platform.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

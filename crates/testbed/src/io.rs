@@ -1,0 +1,94 @@
+//! Dataset serialization: share collected observations without the simulator.
+//!
+//! The paper publishes its measurements as an archival dataset (Zenodo
+//! record 14977004) precisely so others can train predictors without the
+//! physical cluster. This module provides the same decoupling for the
+//! synthetic testbed: a [`Dataset`] round-trips through JSON, so experiment
+//! pipelines can snapshot a collection once and replay it across runs,
+//! machines, or after simulator changes.
+
+use crate::observe::Dataset;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+impl Dataset {
+    /// Serializes the full dataset (observations + feature matrices) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serializes")
+    }
+
+    /// Restores a dataset serialized by [`Dataset::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the dataset to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Loads a dataset written by [`Dataset::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error on read failure, or an
+    /// [`io::ErrorKind::InvalidData`] error on parse failure.
+    pub fn load_json(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Testbed, TestbedConfig};
+
+    fn tiny_dataset() -> Dataset {
+        // Scale down for fast serialization tests.
+        let cfg = TestbedConfig { workload_scale: 0.05, sets_per_platform: 3, ..TestbedConfig::small() };
+        Testbed::generate(&cfg).collect_dataset()
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let ds = tiny_dataset();
+        let restored = Dataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(restored.observations, ds.observations);
+        assert_eq!(restored.n_workloads, ds.n_workloads);
+        assert_eq!(restored.n_platforms, ds.n_platforms);
+        assert_eq!(restored.workload_features.as_slice(), ds.workload_features.as_slice());
+        assert_eq!(restored.platform_features.as_slice(), ds.platform_features.as_slice());
+        assert_eq!(restored.workload_suites, ds.workload_suites);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ds = tiny_dataset();
+        let path = std::env::temp_dir().join("pitot_testbed_io_test.json");
+        ds.save_json(&path).unwrap();
+        let restored = Dataset::load_json(&path).unwrap();
+        assert_eq!(restored.observations.len(), ds.observations.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Dataset::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        let err = Dataset::load_json("/nonexistent/pitot/ds.json").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+}

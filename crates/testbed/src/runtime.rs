@@ -1,0 +1,122 @@
+//! WebAssembly runtime configurations (paper Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Execution strategy of a WebAssembly runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuntimeKind {
+    /// Bytecode interpreter (slowest, most portable).
+    Interpreter,
+    /// Just-in-time compiler.
+    Jit,
+    /// Ahead-of-time compiler (fastest).
+    Aot,
+}
+
+impl RuntimeKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Interpreter => "interpreted",
+            RuntimeKind::Jit => "JIT",
+            RuntimeKind::Aot => "AOT",
+        }
+    }
+}
+
+/// A (runtime, configuration) pair — one of the 10 columns of Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Runtime family (Wasm3, WAMR, WasmEdge, Wasmtime, Wasmer).
+    pub family: String,
+    /// Configuration label, e.g. "LLVM AOT".
+    pub config: String,
+    /// Execution strategy.
+    pub kind: RuntimeKind,
+    // ---- latent traits (ground truth only) ----
+    /// ln(slowdown) relative to an ideal native compiler.
+    pub log_slowdown: f32,
+    /// Extra log-penalty multiplier on the branch/call-heavy share of a
+    /// workload (interpreter dispatch overhead).
+    pub dispatch_cost: f32,
+    /// Extra log-penalty multiplier on the FP-heavy share (softfloat or
+    /// poor FP codegen, mostly for singlepass/interpreters).
+    pub fp_cost: f32,
+}
+
+impl RuntimeConfig {
+    /// Full display name, e.g. "WAMR (LLVM AOT)".
+    pub fn name(&self) -> String {
+        format!("{} ({})", self.family, self.config)
+    }
+}
+
+/// Builds the 10 runtime configurations of Table 3.
+pub fn catalog() -> Vec<RuntimeConfig> {
+    use RuntimeKind::*;
+    let mk = |family: &str, config: &str, kind, log_slowdown, dispatch_cost, fp_cost| RuntimeConfig {
+        family: family.to_string(),
+        config: config.to_string(),
+        kind,
+        log_slowdown,
+        dispatch_cost,
+        fp_cost,
+    };
+    vec![
+        // Interpreters: 10–40x slower than AOT, heavy dispatch cost.
+        mk("Wasm3", "interpreter", Interpreter, 2.5, 0.9, 0.5),
+        mk("WAMR", "fast interpreter", Interpreter, 2.7, 1.0, 0.55),
+        mk("WasmEdge", "interpreter", Interpreter, 3.5, 1.2, 0.7),
+        // AOT compilers: near-native, LLVM slightly ahead of Cranelift.
+        mk("WAMR", "LLVM AOT", Aot, 0.10, 0.02, 0.02),
+        mk("Wasmtime", "Cranelift AOT", Aot, 0.26, 0.05, 0.08),
+        mk("Wasmer", "Cranelift AOT", Aot, 0.28, 0.05, 0.08),
+        mk("Wasmer", "LLVM AOT", Aot, 0.08, 0.02, 0.02),
+        // JITs: Cranelift JIT ≈ its AOT plus warmup; singlepass trades
+        // compile speed for much worse code.
+        mk("Wasmtime", "Cranelift JIT", Jit, 0.32, 0.06, 0.09),
+        mk("Wasmer", "Cranelift JIT", Jit, 0.34, 0.06, 0.09),
+        mk("Wasmer", "Singlepass JIT", Jit, 0.85, 0.25, 0.3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_configs_five_families() {
+        let runtimes = catalog();
+        assert_eq!(runtimes.len(), 10, "paper: 10 runtime configurations");
+        let families: std::collections::HashSet<_> =
+            runtimes.iter().map(|r| r.family.as_str()).collect();
+        assert_eq!(families.len(), 5, "paper: 5 runtimes");
+    }
+
+    #[test]
+    fn interpreters_are_slower_than_compilers() {
+        let runtimes = catalog();
+        let slowest_compiled = runtimes
+            .iter()
+            .filter(|r| r.kind != RuntimeKind::Interpreter)
+            .map(|r| r.log_slowdown)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let fastest_interp = runtimes
+            .iter()
+            .filter(|r| r.kind == RuntimeKind::Interpreter)
+            .map(|r| r.log_slowdown)
+            .fold(f32::INFINITY, f32::min);
+        assert!(fastest_interp > slowest_compiled);
+    }
+
+    #[test]
+    fn interpreters_pay_dispatch() {
+        for r in catalog() {
+            if r.kind == RuntimeKind::Interpreter {
+                assert!(r.dispatch_cost >= 0.9, "{}", r.name());
+            } else {
+                assert!(r.dispatch_cost <= 0.3, "{}", r.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Distribution-shift scenarios: arity shift and new-device arrival.
+//!
+//! Two claims in the paper are fundamentally about shift, and both need
+//! purpose-built splits to test:
+//!
+//! 1. **Calibration-pool robustness** (Sec 3.5): "conditioning on the number
+//!    of simultaneously-running workloads as I allows Pitot to maintain
+//!    conditional exchangeability even under distribution shift of I."
+//!    [`arity_shift_split`] builds splits whose *test* arity mix differs
+//!    from the calibration mix, so pooled and global calibration can be
+//!    compared under exactly that shift.
+//! 2. **Online learning** (Conclusion): adapting a deployed model when a
+//!    new device joins the cluster. [`device_arrival`] stages that event:
+//!    pre-train without the device, adapt on a first trickle of its
+//!    observations, evaluate on the rest.
+
+use crate::observe::{Dataset, MAX_INTERFERERS};
+use crate::split::Split;
+use crate::testbed::Testbed;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a split whose test set is *re-weighted by interference arity*.
+///
+/// The train/validation pool is drawn exactly like [`Split::stratified`];
+/// the held-out remainder is then subsampled so the test set's arity
+/// proportions match `test_weights` (index = number of interferers, values
+/// need not be normalized). A weight of zero removes that arity from the
+/// test set entirely.
+///
+/// # Panics
+///
+/// Panics if `train_fraction ∉ (0,1)`, `test_weights` has the wrong length,
+/// sums to zero, or a positive-weight arity has no held-out data.
+pub fn arity_shift_split(
+    dataset: &Dataset,
+    train_fraction: f32,
+    test_weights: &[f32; MAX_INTERFERERS + 1],
+    seed: u64,
+) -> Split {
+    let base = Split::stratified(dataset, train_fraction, seed);
+    let total_w: f32 = test_weights.iter().sum();
+    assert!(total_w > 0.0, "test weights must not all be zero");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5417_F7ED);
+    let mut by_mode: Vec<Vec<usize>> = vec![Vec::new(); MAX_INTERFERERS + 1];
+    for &i in &base.test {
+        by_mode[dataset.observations[i].interferers.len()].push(i);
+    }
+
+    // The largest test set with the requested mix: find the binding arity.
+    let mut scale = f32::INFINITY;
+    for (k, &w) in test_weights.iter().enumerate() {
+        if w > 0.0 {
+            assert!(
+                !by_mode[k].is_empty(),
+                "arity {k} has positive weight but no held-out observations"
+            );
+            scale = scale.min(by_mode[k].len() as f32 / w);
+        }
+    }
+
+    let mut test = Vec::new();
+    for (k, pool) in by_mode.iter_mut().enumerate() {
+        let take = (test_weights[k] * scale).floor() as usize;
+        if take == 0 {
+            continue;
+        }
+        pool.shuffle(&mut rng);
+        test.extend_from_slice(&pool[..take.min(pool.len())]);
+    }
+
+    Split { test, ..base }
+}
+
+/// The staged splits for a new-device-arrival scenario.
+#[derive(Debug, Clone)]
+pub struct DeviceArrival {
+    /// Split over the *old* cluster only (new device fully excluded).
+    pub pretrain: Split,
+    /// Pretrain plus the first `adapt_fraction` of the new device's
+    /// observations (for fine-tuning or retraining).
+    pub adapt: Split,
+    /// Held-out observations on the new device (evaluation target).
+    pub new_device_test: Vec<usize>,
+    /// Platform indices belonging to the new device.
+    pub new_platforms: Vec<usize>,
+}
+
+/// Stages the arrival of device `device` (index into
+/// [`Testbed::devices`]).
+///
+/// # Panics
+///
+/// Panics if the device index is out of range, backs no platforms, has too
+/// few observations to split, or if fractions are outside `(0, 1)`.
+pub fn device_arrival(
+    dataset: &Dataset,
+    testbed: &Testbed,
+    device: usize,
+    train_fraction: f32,
+    adapt_fraction: f32,
+    seed: u64,
+) -> DeviceArrival {
+    assert!(device < testbed.devices().len(), "device index out of range");
+    assert!(
+        adapt_fraction > 0.0 && adapt_fraction < 1.0,
+        "adapt fraction {adapt_fraction} outside (0,1)"
+    );
+    let new_platforms: Vec<usize> = testbed
+        .platforms()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.device == device)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!new_platforms.is_empty(), "device {device} backs no platforms");
+    let is_new = |obs_idx: usize| {
+        new_platforms.contains(&(dataset.observations[obs_idx].platform as usize))
+    };
+
+    let base = Split::stratified(dataset, train_fraction, seed);
+    let strip = |v: &[usize]| -> Vec<usize> {
+        v.iter().copied().filter(|&i| !is_new(i)).collect()
+    };
+    let pretrain = Split {
+        train: strip(&base.train),
+        val: strip(&base.val),
+        test: strip(&base.test),
+        ..base.clone()
+    };
+
+    // All new-device observations, shuffled, split adapt/test.
+    let mut new_obs: Vec<usize> =
+        (0..dataset.observations.len()).filter(|&i| is_new(i)).collect();
+    assert!(new_obs.len() >= 10, "device {device} has too few observations");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDE71_CEA0);
+    new_obs.shuffle(&mut rng);
+    let n_adapt = ((new_obs.len() as f32) * adapt_fraction).round().max(1.0) as usize;
+    let (adapt_obs, test_obs) = new_obs.split_at(n_adapt.min(new_obs.len() - 1));
+
+    // Fine-tuning needs validation data on the new device too: 80/20 it.
+    let n_adapt_train = (adapt_obs.len() as f32 * 0.8).round().max(1.0) as usize;
+    let mut adapt = pretrain.clone();
+    adapt.train.extend_from_slice(&adapt_obs[..n_adapt_train.min(adapt_obs.len())]);
+    adapt.val.extend_from_slice(&adapt_obs[n_adapt_train.min(adapt_obs.len())..]);
+
+    DeviceArrival {
+        pretrain,
+        adapt,
+        new_device_test: test_obs.to_vec(),
+        new_platforms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestbedConfig;
+    use std::collections::HashSet;
+
+    fn setup() -> (Testbed, Dataset) {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let ds = tb.collect_dataset();
+        (tb, ds)
+    }
+
+    #[test]
+    fn arity_shift_hits_requested_mix() {
+        let (_, ds) = setup();
+        let split = arity_shift_split(&ds, 0.5, &[0.1, 0.3, 0.3, 0.3], 0);
+        let count = |k: usize| {
+            split
+                .test
+                .iter()
+                .filter(|&&i| ds.observations[i].interferers.len() == k)
+                .count() as f32
+        };
+        let n: f32 = (0..=3).map(count).sum();
+        // Isolation should be ~10% of the shifted test set.
+        let iso_frac = count(0) / n;
+        assert!((iso_frac - 0.1).abs() < 0.03, "isolation fraction {iso_frac}");
+        // Interference modes ~30% each.
+        for k in 1..=3 {
+            let f = count(k) / n;
+            assert!((f - 0.3).abs() < 0.05, "mode {k} fraction {f}");
+        }
+    }
+
+    #[test]
+    fn arity_shift_keeps_training_pool_intact() {
+        let (_, ds) = setup();
+        let base = Split::stratified(&ds, 0.5, 3);
+        let shifted = arity_shift_split(&ds, 0.5, &[1.0, 0.0, 0.0, 0.0], 3);
+        assert_eq!(base.train, shifted.train);
+        assert_eq!(base.val, shifted.val);
+        // Zero-weight arities vanish from test.
+        assert!(shifted
+            .test
+            .iter()
+            .all(|&i| ds.observations[i].interferers.is_empty()));
+    }
+
+    #[test]
+    fn arity_shift_test_is_subset_of_heldout() {
+        let (_, ds) = setup();
+        let base = Split::stratified(&ds, 0.4, 7);
+        let shifted = arity_shift_split(&ds, 0.4, &[0.2, 0.2, 0.2, 0.4], 7);
+        let heldout: HashSet<usize> = base.test.iter().copied().collect();
+        assert!(shifted.test.iter().all(|i| heldout.contains(i)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn arity_shift_rejects_zero_weights() {
+        let (_, ds) = setup();
+        arity_shift_split(&ds, 0.5, &[0.0; 4], 0);
+    }
+
+    #[test]
+    fn device_arrival_excludes_device_from_pretrain() {
+        let (tb, ds) = setup();
+        let arrival = device_arrival(&ds, &tb, 0, 0.5, 0.3, 0);
+        let new_set: HashSet<usize> = arrival.new_platforms.iter().copied().collect();
+        for idx_set in [&arrival.pretrain.train, &arrival.pretrain.val, &arrival.pretrain.test] {
+            for &i in idx_set.iter() {
+                assert!(
+                    !new_set.contains(&(ds.observations[i].platform as usize)),
+                    "pretrain split leaked a new-device observation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn device_arrival_partitions_new_device_data() {
+        let (tb, ds) = setup();
+        let arrival = device_arrival(&ds, &tb, 2, 0.5, 0.25, 1);
+        let new_set: HashSet<usize> = arrival.new_platforms.iter().copied().collect();
+        let adapt_new: Vec<usize> = arrival
+            .adapt
+            .train
+            .iter()
+            .chain(&arrival.adapt.val)
+            .copied()
+            .filter(|&i| new_set.contains(&(ds.observations[i].platform as usize)))
+            .collect();
+        // Adapt and test partitions are disjoint and together cover all
+        // new-device observations.
+        let adapt_ids: HashSet<usize> = adapt_new.iter().copied().collect();
+        for &t in &arrival.new_device_test {
+            assert!(!adapt_ids.contains(&t), "adapt/test overlap at {t}");
+        }
+        let total_new = (0..ds.observations.len())
+            .filter(|&i| new_set.contains(&(ds.observations[i].platform as usize)))
+            .count();
+        assert_eq!(adapt_new.len() + arrival.new_device_test.len(), total_new);
+        // Roughly the requested adapt fraction.
+        let frac = adapt_new.len() as f32 / total_new as f32;
+        assert!((frac - 0.25).abs() < 0.05, "adapt fraction {frac}");
+    }
+
+    #[test]
+    fn device_arrival_is_deterministic() {
+        let (tb, ds) = setup();
+        let a = device_arrival(&ds, &tb, 1, 0.5, 0.3, 9);
+        let b = device_arrival(&ds, &tb, 1, 0.5, 0.3, 9);
+        assert_eq!(a.new_device_test, b.new_device_test);
+        assert_eq!(a.adapt.train, b.adapt.train);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn device_arrival_rejects_bad_device() {
+        let (tb, ds) = setup();
+        device_arrival(&ds, &tb, 9999, 0.5, 0.3, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Cluster assembly: devices × runtimes → platforms, plus the support matrix.
+
+use crate::device::{self, Device, DeviceClass, Microarch};
+use crate::runtime::{self, RuntimeConfig, RuntimeKind};
+use crate::truth::GroundTruth;
+use crate::workload::{self, Suite, Workload};
+use crate::TestbedConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A (device, runtime) pair — the unit the paper calls a *platform*
+/// (App C.1: "Each platform in our dataset consists of a (device, runtime)
+/// tuple").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// Index into [`Testbed::devices`].
+    pub device: usize,
+    /// Index into [`Testbed::runtimes`].
+    pub runtime: usize,
+}
+
+/// The simulated heterogeneous cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Testbed {
+    config: TestbedConfig,
+    devices: Vec<Device>,
+    runtimes: Vec<RuntimeConfig>,
+    platforms: Vec<Platform>,
+    workloads: Vec<Workload>,
+    truth: GroundTruth,
+}
+
+impl Testbed {
+    /// Generates the full cluster deterministically from `config`.
+    pub fn generate(config: &TestbedConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let devices = device::catalog();
+        let runtimes = runtime::catalog();
+
+        // Workloads per suite, scaled.
+        let mut workloads = Vec::new();
+        for suite in Suite::ALL {
+            let count = ((suite.paper_count() as f32 * config.workload_scale).round() as usize)
+                .max(2);
+            workloads.extend(workload::generate_suite(suite, count, &mut rng));
+        }
+
+        // Support matrix (App C.1):
+        // - the Cortex-M7 microcontroller only runs AOT WAMR;
+        // - the RISC-V board only runs WAMR (both configs) and Wasm3;
+        // - AOT WAMR is excluded on Cortex-A72 (codegen bug).
+        let mut platforms = Vec::new();
+        for (d, dev) in devices.iter().enumerate() {
+            for (r, rt) in runtimes.iter().enumerate() {
+                let supported = match dev.class {
+                    DeviceClass::ArmMClass => {
+                        rt.family == "WAMR" && rt.kind == RuntimeKind::Aot
+                    }
+                    DeviceClass::RiscV => rt.family == "WAMR" || rt.family == "Wasm3",
+                    _ => {
+                        !(dev.microarch == Microarch::CortexA72
+                            && rt.family == "WAMR"
+                            && rt.kind == RuntimeKind::Aot)
+                    }
+                };
+                if supported {
+                    platforms.push(Platform { device: d, runtime: r });
+                }
+            }
+        }
+
+        let truth = GroundTruth::generate(&devices, &runtimes, &platforms, &workloads, config, &mut rng);
+
+        Self {
+            config: config.clone(),
+            devices,
+            runtimes,
+            platforms,
+            workloads,
+            truth,
+        }
+    }
+
+    /// Generation configuration.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.config
+    }
+
+    /// Device catalog (Table 2).
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Runtime catalog (Table 3).
+    pub fn runtimes(&self) -> &[RuntimeConfig] {
+        &self.runtimes
+    }
+
+    /// Supported (device, runtime) platforms.
+    pub fn platforms(&self) -> &[Platform] {
+        &self.platforms
+    }
+
+    /// Workloads across all suites.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Ground-truth model (tests and oracles only — prediction code must not
+    /// touch this).
+    pub fn truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+
+    /// The device backing platform `p`.
+    pub fn platform_device(&self, p: usize) -> &Device {
+        &self.devices[self.platforms[p].device]
+    }
+
+    /// The runtime backing platform `p`.
+    pub fn platform_runtime(&self, p: usize) -> &RuntimeConfig {
+        &self.runtimes[self.platforms[p].runtime]
+    }
+
+    /// Display name for platform `p`, e.g. `RPi 4 Rev 1.2 / WAMR (LLVM AOT)`.
+    pub fn platform_name(&self, p: usize) -> String {
+        format!(
+            "{} / {}",
+            self.platform_device(p).name,
+            self.platform_runtime(p).name()
+        )
+    }
+
+    /// Samples a random interference set of `size` distinct workloads.
+    pub(crate) fn sample_set<R: Rng + ?Sized>(&self, size: usize, rng: &mut R) -> Vec<usize> {
+        debug_assert!(size <= self.workloads.len());
+        let mut set = Vec::with_capacity(size);
+        while set.len() < size {
+            let w = rng.gen_range(0..self.workloads.len());
+            if !set.contains(&w) {
+                set.push(w);
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_platform_count() {
+        let tb = Testbed::generate(&TestbedConfig::paper());
+        // 24 devices × 10 runtimes = 240 minus support holes; the paper
+        // reports Np = 231, we land within a few of that.
+        let n = tb.platforms().len();
+        assert!((200..=240).contains(&n), "platform count {n}");
+        assert_eq!(tb.workloads().len(), 249);
+    }
+
+    #[test]
+    fn support_matrix_rules() {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        for (i, p) in tb.platforms().iter().enumerate() {
+            let dev = &tb.devices()[p.device];
+            let rt = &tb.runtimes()[p.runtime];
+            match dev.class {
+                DeviceClass::ArmMClass => {
+                    assert_eq!(rt.family, "WAMR");
+                    assert_eq!(rt.kind, RuntimeKind::Aot, "platform {i}");
+                }
+                DeviceClass::RiscV => {
+                    assert!(rt.family == "WAMR" || rt.family == "Wasm3");
+                }
+                _ => {
+                    assert!(
+                        !(dev.microarch == Microarch::CortexA72
+                            && rt.family == "WAMR"
+                            && rt.kind == RuntimeKind::Aot),
+                        "A72 must not run WAMR AOT"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Testbed::generate(&TestbedConfig::small());
+        let b = Testbed::generate(&TestbedConfig::small());
+        assert_eq!(a.workloads().len(), b.workloads().len());
+        assert_eq!(
+            a.workloads()[0].opcode_counts,
+            b.workloads()[0].opcode_counts
+        );
+        let c = Testbed::generate(&TestbedConfig::small().with_seed(1234));
+        assert_ne!(
+            a.workloads()[0].opcode_counts,
+            c.workloads()[0].opcode_counts
+        );
+    }
+
+    #[test]
+    fn sample_set_is_distinct() {
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..50 {
+            let s = tb.sample_set(4, &mut rng);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 4);
+        }
+    }
+}

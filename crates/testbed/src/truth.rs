@@ -1,0 +1,316 @@
+//! The ground-truth performance model.
+//!
+//! This module is the "physics" of the simulator: it assigns every
+//! (workload, platform, interference set) a log-runtime composed of
+//!
+//! ```text
+//! log C = log difficulty − log speed(platform)
+//!       + affinity(workload, platform)          (low-rank, feature-linked)
+//!       + pair quirk                            (idiosyncratic, small)
+//!       + interference slowdown(workload, set, platform)
+//!       + measurement noise                     (heteroscedastic)
+//! ```
+//!
+//! mirroring the structure Pitot is designed to recover: a scaling baseline
+//! (difficulty + speed), a low-rank residual, and a threshold-y contention
+//! term. Nothing in here is visible to prediction code; models only see the
+//! resulting observations and features.
+
+use crate::device::Device;
+use crate::runtime::{RuntimeConfig, RuntimeKind};
+use crate::testbed::Platform;
+use crate::workload::{sample_standard_normal, Workload};
+use crate::TestbedConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of contention dimensions (memory bandwidth, shared cache, IO).
+pub const CONTENTION_DIMS: usize = 3;
+
+/// Fully materialized ground-truth parameters for one generated cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    noise_scale: f32,
+    /// Hidden platform factor interacting with `Workload::hidden`.
+    platform_hidden: Vec<f32>,
+    /// Per-(workload, platform) idiosyncratic quirk, row-major
+    /// `w * n_platforms + p`.
+    pair_quirk: Vec<f32>,
+    n_platforms: usize,
+    /// Cached per-platform log speed (difficulty-independent part).
+    platform_log_speed: Vec<f32>,
+    /// Cached per-platform noise sigma.
+    platform_sigma: Vec<f32>,
+    /// Cached per-platform contention capacity/scale.
+    capacity: Vec<[f32; CONTENTION_DIMS]>,
+    contention_scale: Vec<f32>,
+    /// Cached per-platform overhead seconds.
+    overhead_s: Vec<f32>,
+    /// Per-platform affinity loadings applied to workload trait vector.
+    affinity: Vec<[f32; 4]>,
+}
+
+impl GroundTruth {
+    /// Materializes ground truth for the given cluster.
+    pub(crate) fn generate<R: Rng + ?Sized>(
+        devices: &[Device],
+        runtimes: &[RuntimeConfig],
+        platforms: &[Platform],
+        workloads: &[Workload],
+        config: &TestbedConfig,
+        rng: &mut R,
+    ) -> Self {
+        let n_platforms = platforms.len();
+        let mut platform_log_speed = Vec::with_capacity(n_platforms);
+        let mut platform_sigma = Vec::with_capacity(n_platforms);
+        let mut capacity = Vec::with_capacity(n_platforms);
+        let mut contention_scale = Vec::with_capacity(n_platforms);
+        let mut overhead_s = Vec::with_capacity(n_platforms);
+        let mut affinity = Vec::with_capacity(n_platforms);
+        let mut platform_hidden = Vec::with_capacity(n_platforms);
+
+        for p in platforms {
+            let dev = &devices[p.device];
+            let rt = &runtimes[p.runtime];
+            // ln(instructions per second) for this (device, runtime).
+            let log_ips = dev.log_ips_per_ghz + dev.freq_ghz.ln() - rt.log_slowdown;
+            platform_log_speed.push(log_ips);
+            platform_sigma.push(dev.noise_sigma);
+            // Interpreters execute slowly and thus exert/feel less memory
+            // pressure; JIT/AOT hit the memory system at full speed.
+            let pressure_relief = match rt.kind {
+                RuntimeKind::Interpreter => 1.6,
+                RuntimeKind::Jit => 1.0,
+                RuntimeKind::Aot => 1.0,
+            };
+            capacity.push([
+                dev.contention_capacity[0] * pressure_relief,
+                dev.contention_capacity[1],
+                dev.contention_capacity[2],
+            ]);
+            contention_scale.push(dev.contention_scale);
+            overhead_s.push(dev.os_overhead_s + if rt.kind == RuntimeKind::Jit { 0.05 } else { 0.0 });
+            // Affinity loadings against workload traits
+            // [fp_share, dispatch_share, mem_share, 1(small workload)]:
+            affinity.push([
+                dev.fp_weakness + rt.fp_cost,
+                rt.dispatch_cost,
+                dev.mem_weakness,
+                0.0,
+            ]);
+            platform_hidden.push(0.22 * sample_standard_normal(rng));
+        }
+
+        let pair_quirk = (0..workloads.len() * n_platforms)
+            .map(|_| 0.05 * sample_standard_normal(rng))
+            .collect();
+
+        Self {
+            noise_scale: config.noise_scale,
+            platform_hidden,
+            pair_quirk,
+            n_platforms,
+            platform_log_speed,
+            platform_sigma,
+            capacity,
+            contention_scale,
+            overhead_s,
+            affinity,
+        }
+    }
+
+    /// Noise-free log-runtime of workload `w` on platform `p` in isolation.
+    pub fn clean_log_runtime(&self, w: &Workload, widx: usize, pidx: usize) -> f32 {
+        let a = &self.affinity[pidx];
+        let traits = [w.fp_share(), w.dispatch_share(), w.mem_share(), 0.0];
+        let affinity: f32 = a.iter().zip(traits).map(|(x, t)| x * t).sum();
+        let hidden = w.hidden * self.platform_hidden[pidx];
+        let quirk = self.pair_quirk[widx * self.n_platforms + pidx];
+        let compute =
+            w.log_difficulty - self.platform_log_speed[pidx] + affinity + hidden + quirk;
+        // Fixed per-run overhead adds in linear space.
+        (compute.exp() + self.overhead_s[pidx]).ln()
+    }
+
+    /// Noise-free log-slowdown caused by the interference set `set`
+    /// (workload indices) on the primary workload `w` at platform `pidx`.
+    ///
+    /// The contention model sums interferer pressure per dimension and maps
+    /// pressure beyond the platform's capacity through a soft threshold;
+    /// the primary workload's sensitivity scales the result. This produces
+    /// the near-zero mode plus heavy tail of paper Fig 1.
+    pub fn interference_log_slowdown(
+        &self,
+        w: &Workload,
+        set: &[&Workload],
+        pidx: usize,
+    ) -> f32 {
+        if set.is_empty() {
+            return 0.0;
+        }
+        let cap = &self.capacity[pidx];
+        let scale = self.contention_scale[pidx];
+        let mut slow = 0.0;
+        for d in 0..CONTENTION_DIMS {
+            let total_pressure: f32 = set.iter().map(|k| k.pressure[d]).sum();
+            // Soft threshold: no slowdown until pressure nears capacity,
+            // then roughly linear in the overshoot ratio.
+            let overshoot = total_pressure / cap[d].max(1e-3) - 0.55;
+            if overshoot > 0.0 {
+                slow += w.sensitivity[d] * (1.0 + 1.8 * overshoot).ln();
+            }
+        }
+        // Smoothly saturate: even fully time-sliced, a workload cannot slow
+        // beyond roughly (n+1)× the contention envelope — the paper observes
+        // at most ~20× for 4-way sets.
+        let cap_log = 3.3; // ≈ ln(27)
+        cap_log * ((slow * scale) / cap_log).tanh()
+    }
+
+    /// Full noisy log-runtime sample for an observation.
+    ///
+    /// Noise is heteroscedastic: a per-platform base sigma plus a term that
+    /// grows with the number of interfering workloads (scheduling/alignment
+    /// randomness, paper Sec 3.5 "Calibration Pools").
+    pub fn sample_log_runtime<R: Rng + ?Sized>(
+        &self,
+        w: &Workload,
+        widx: usize,
+        set: &[&Workload],
+        set_idx: &[usize],
+        pidx: usize,
+        rng: &mut R,
+    ) -> f32 {
+        debug_assert_eq!(set.len(), set_idx.len());
+        let clean = self.clean_log_runtime(w, widx, pidx);
+        let slow = self.interference_log_slowdown(w, set, pidx);
+        // Alignment jitter makes the *realized* slowdown vary between runs.
+        let slow_jitter = if slow > 0.0 {
+            // Clamp to ±2σ so realized slowdowns stay within the paper's
+            // observed ~20x envelope.
+            (slow * 0.15 * sample_standard_normal(rng)).clamp(-0.3 * slow, 0.3 * slow)
+        } else {
+            0.0
+        };
+        let sigma = (self.platform_sigma[pidx] + 0.035 * set.len() as f32) * self.noise_scale;
+        clean + slow + slow_jitter + sigma * sample_standard_normal(rng)
+    }
+
+    /// Per-platform mean *clean* interference log-slowdown over random pairs,
+    /// used as the Fig 12d x-axis oracle.
+    pub fn mean_pairwise_slowdown<R: Rng + ?Sized>(
+        &self,
+        workloads: &[Workload],
+        pidx: usize,
+        samples: usize,
+        rng: &mut R,
+    ) -> f32 {
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let a = rng.gen_range(0..workloads.len());
+            let mut b = rng.gen_range(0..workloads.len());
+            while b == a {
+                b = rng.gen_range(0..workloads.len());
+            }
+            total += self.interference_log_slowdown(&workloads[a], &[&workloads[b]], pidx);
+        }
+        total / samples as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Testbed, TestbedConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_testbed() -> Testbed {
+        Testbed::generate(&TestbedConfig::small())
+    }
+
+    #[test]
+    fn interference_never_speeds_up_clean_model() {
+        let tb = small_testbed();
+        let truth = tb.truth();
+        let ws = tb.workloads();
+        for pidx in 0..tb.platforms().len().min(20) {
+            for widx in 0..ws.len().min(10) {
+                let base = truth.interference_log_slowdown(&ws[widx], &[], pidx);
+                assert_eq!(base, 0.0);
+                let one = truth.interference_log_slowdown(&ws[widx], &[&ws[(widx + 1) % ws.len()]], pidx);
+                assert!(one >= 0.0);
+                let two = truth.interference_log_slowdown(
+                    &ws[widx],
+                    &[&ws[(widx + 1) % ws.len()], &ws[(widx + 2) % ws.len()]],
+                    pidx,
+                );
+                assert!(two >= one - 1e-6, "adding an interferer reduced slowdown");
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_has_a_heavy_tail() {
+        // Fig 1: random 4-way combinations reach >5x slowdowns somewhere.
+        let tb = Testbed::generate(&TestbedConfig::small());
+        let truth = tb.truth();
+        let ws = tb.workloads();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut max_slow = 0.0f32;
+        for _ in 0..4000 {
+            let pidx = rng.gen_range(0..tb.platforms().len());
+            let set = tb.sample_set(4, &mut rng);
+            let others: Vec<&Workload> = set[1..].iter().map(|&k| &ws[k]).collect();
+            let s = truth.interference_log_slowdown(&ws[set[0]], &others, pidx);
+            max_slow = max_slow.max(s);
+        }
+        assert!(max_slow > 5.0f32.ln(), "max slowdown only {:.2}x", max_slow.exp());
+    }
+
+    #[test]
+    fn platform_speeds_span_orders_of_magnitude() {
+        let tb = small_testbed();
+        let truth = tb.truth();
+        let w = &tb.workloads()[0];
+        let logs: Vec<f32> = (0..tb.platforms().len())
+            .map(|p| truth.clean_log_runtime(w, 0, p))
+            .collect();
+        let min = logs.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = logs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 10.0f32.ln(), "span {:.1}x", (max - min).exp());
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_workloads() {
+        // A workload with near-zero compute cannot run faster than the
+        // platform overhead on an OS-backed platform.
+        let tb = small_testbed();
+        let truth = tb.truth();
+        let mut tiny = tb.workloads()[0].clone();
+        tiny.log_difficulty = 5.0; // ~150 instructions
+        let dev_platform = (0..tb.platforms().len())
+            .find(|&p| tb.platform_device(p).os_overhead_s > 0.0)
+            .unwrap();
+        let lr = truth.clean_log_runtime(&tiny, 0, dev_platform);
+        assert!(lr.exp() >= tb.platform_device(dev_platform).os_overhead_s * 0.9);
+    }
+
+    #[test]
+    fn noise_is_larger_with_interference() {
+        let tb = small_testbed();
+        let truth = tb.truth();
+        let ws = tb.workloads();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let sample_sd = |set: Vec<usize>, rng: &mut ChaCha8Rng| {
+            let others: Vec<&Workload> = set.iter().map(|&k| &ws[k]).collect();
+            let xs: Vec<f32> = (0..200)
+                .map(|_| truth.sample_log_runtime(&ws[0], 0, &others, &set, 0, rng))
+                .collect();
+            pitot_linalg::variance(&xs).sqrt()
+        };
+        let sd0 = sample_sd(vec![], &mut rng);
+        let sd3 = sample_sd(vec![1, 2, 3], &mut rng);
+        assert!(sd3 > sd0, "sd3 {sd3} should exceed sd0 {sd0}");
+    }
+}

@@ -1,0 +1,357 @@
+//! Benchmark workloads and their synthetic opcode-count profiles.
+//!
+//! The paper's dataset draws 249 workloads from six suites (Sec 4) and uses
+//! the executed-opcode histogram from an instrumented interpreter as workload
+//! side information (App C.2). We synthesize both: each suite has a
+//! characteristic mixture over opcode *groups*, each workload perturbs that
+//! mixture, and opcode counts are the mixture times a lognormal total
+//! instruction count.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite (paper Sec 4 "Workloads").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// Polybench: numerical floating-point-heavy kernels.
+    Polybench,
+    /// MiBench: diverse embedded benchmarks.
+    Mibench,
+    /// UCSD Cortex Suite: vision/ML benchmarks.
+    Cortex,
+    /// San Diego Vision Benchmark Suite.
+    Sdvbs,
+    /// Libsodium cryptography benchmarks.
+    Libsodium,
+    /// CPython benchmarks on WASI.
+    Python,
+}
+
+impl Suite {
+    /// All suites in a stable order.
+    pub const ALL: [Suite; 6] = [
+        Suite::Polybench,
+        Suite::Mibench,
+        Suite::Cortex,
+        Suite::Sdvbs,
+        Suite::Libsodium,
+        Suite::Python,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Polybench => "Polybench",
+            Suite::Mibench => "Mibench",
+            Suite::Cortex => "Cortex",
+            Suite::Sdvbs => "SDVBS",
+            Suite::Libsodium => "Libsodium",
+            Suite::Python => "Python",
+        }
+    }
+
+    /// Number of workloads the suite contributes (totals 249, Sec 4).
+    pub fn paper_count(self) -> usize {
+        match self {
+            Suite::Polybench => 30,
+            Suite::Mibench => 35,
+            Suite::Cortex => 40,
+            Suite::Sdvbs => 28,
+            Suite::Libsodium => 104,
+            Suite::Python => 12,
+        }
+    }
+}
+
+/// Opcode groups used to structure the synthetic opcode histograms.
+///
+/// The per-group shares also drive the ground-truth model: FP-heavy workloads
+/// are hit by `Device::fp_weakness`, branch/call-heavy ones by interpreter
+/// dispatch, memory-heavy ones by `Device::mem_weakness` and memory-bandwidth
+/// contention.
+pub const OPCODE_GROUPS: [(&str, &[&str]); 10] = [
+    ("int_arith", &["i32.add", "i32.sub", "i32.and", "i32.or", "i32.xor", "i32.shl", "i64.add", "i64.sub"]),
+    ("int_muldiv", &["i32.mul", "i32.div_u", "i64.mul", "i64.div_u"]),
+    ("fp32", &["f32.add", "f32.mul", "f32.div", "f32.sqrt"]),
+    ("fp64", &["f64.add", "f64.sub", "f64.mul", "f64.div", "f64.sqrt", "f64.abs"]),
+    ("load", &["i32.load", "i64.load", "f32.load", "f64.load", "i32.load8_u", "i32.load16_u"]),
+    ("store", &["i32.store", "i64.store", "f64.store", "i32.store8"]),
+    ("branch", &["br", "br_if", "br_table", "if"]),
+    ("call", &["call", "call_indirect", "return"]),
+    ("local", &["local.get", "local.set", "local.tee", "global.get", "global.set", "select"]),
+    ("compare", &["i32.eq", "i32.lt_s", "i32.gt_s", "i64.lt_u", "f64.lt", "f64.gt"]),
+];
+
+/// Total number of opcode features.
+pub fn opcode_count() -> usize {
+    OPCODE_GROUPS.iter().map(|(_, ops)| ops.len()).sum()
+}
+
+/// Flat list of opcode names in feature order.
+pub fn opcode_names() -> Vec<&'static str> {
+    OPCODE_GROUPS.iter().flat_map(|(_, ops)| ops.iter().copied()).collect()
+}
+
+/// A benchmark workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// Identifier like `polybench/kernel-07`.
+    pub name: String,
+    /// Suite the workload belongs to.
+    pub suite: Suite,
+    /// Executed-opcode counts (feature source), one per `opcode_names` entry.
+    pub opcode_counts: Vec<f64>,
+    /// Share of executed instructions per opcode group.
+    pub group_shares: [f32; 10],
+
+    // ---- latent traits (ground truth only) ----
+    /// ln(total executed instructions).
+    pub log_difficulty: f32,
+    /// Hidden performance component not explained by opcode counts
+    /// (memory access pattern, data-dependent stalls).
+    pub hidden: f32,
+    /// Contention pressure exerted per dimension (mem bandwidth, cache, IO).
+    pub pressure: [f32; 3],
+    /// Sensitivity to contention per dimension.
+    pub sensitivity: [f32; 3],
+}
+
+/// Suite-level generation parameters.
+struct SuiteProfile {
+    /// Mean share per opcode group (normalized at use).
+    group_means: [f32; 10],
+    /// Concentration: higher = workloads hew closer to the suite mean.
+    concentration: f32,
+    /// Mean/stddev of ln(total instructions).
+    log_instr_mean: f32,
+    log_instr_std: f32,
+    /// IO contention affinity (some suites do real filesystem work).
+    io_level: f32,
+}
+
+fn profile(suite: Suite) -> SuiteProfile {
+    // Group order: int_arith, int_muldiv, fp32, fp64, load, store, branch,
+    // call, local, compare.
+    match suite {
+        Suite::Polybench => SuiteProfile {
+            group_means: [0.08, 0.02, 0.05, 0.30, 0.20, 0.08, 0.06, 0.01, 0.15, 0.05],
+            concentration: 60.0,
+            log_instr_mean: 19.0, // ~2e8 instructions
+            log_instr_std: 1.8,
+            io_level: 0.02,
+        },
+        Suite::Mibench => SuiteProfile {
+            group_means: [0.22, 0.06, 0.03, 0.02, 0.18, 0.08, 0.12, 0.05, 0.16, 0.08],
+            concentration: 14.0,
+            log_instr_mean: 18.2,
+            log_instr_std: 2.0,
+            io_level: 0.5,
+        },
+        Suite::Cortex => SuiteProfile {
+            group_means: [0.14, 0.05, 0.16, 0.08, 0.20, 0.07, 0.08, 0.04, 0.12, 0.06],
+            concentration: 10.0,
+            log_instr_mean: 19.6,
+            log_instr_std: 1.7,
+            io_level: 0.25,
+        },
+        Suite::Sdvbs => SuiteProfile {
+            group_means: [0.12, 0.04, 0.20, 0.06, 0.22, 0.08, 0.07, 0.03, 0.12, 0.06],
+            concentration: 12.0,
+            log_instr_mean: 19.8,
+            log_instr_std: 1.6,
+            io_level: 0.3,
+        },
+        Suite::Libsodium => SuiteProfile {
+            group_means: [0.34, 0.10, 0.01, 0.01, 0.14, 0.10, 0.08, 0.03, 0.13, 0.06],
+            concentration: 40.0,
+            log_instr_mean: 17.8,
+            log_instr_std: 1.5,
+            io_level: 0.05,
+        },
+        Suite::Python => SuiteProfile {
+            group_means: [0.14, 0.03, 0.02, 0.04, 0.16, 0.07, 0.16, 0.14, 0.16, 0.08],
+            concentration: 30.0,
+            log_instr_mean: 20.3,
+            log_instr_std: 1.2,
+            io_level: 0.6,
+        },
+    }
+}
+
+/// Samples a (symmetric-ish) Dirichlet perturbation of the suite mean using
+/// Gamma draws (Marsaglia–Tsang via normal approximation is avoided; we use
+/// the simple `-ln(U)` exponential trick per unit of concentration).
+fn sample_shares<R: Rng + ?Sized>(p: &SuiteProfile, rng: &mut R) -> [f32; 10] {
+    let mut shares = [0.0f32; 10];
+    let mut total = 0.0;
+    for (i, share) in shares.iter_mut().enumerate() {
+        // Gamma(k = mean*concentration, 1) approximated as a sum of
+        // exponentials for the integer part plus a fractional correction.
+        let alpha = (p.group_means[i] * p.concentration).max(0.05);
+        let mut g = 0.0f32;
+        let whole = alpha.floor() as usize;
+        for _ in 0..whole {
+            g += -(rng.gen_range(f32::EPSILON..1.0)).ln();
+        }
+        let frac = alpha - whole as f32;
+        if frac > 1e-3 {
+            // Single Beta-weighted exponential is a rough but adequate
+            // fractional-Gamma surrogate for feature synthesis.
+            let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+            g += -(rng.gen_range(f32::EPSILON..1.0f32)).ln() * u.powf(1.0 / frac.max(1e-3));
+        }
+        *share = g.max(1e-4);
+        total += *share;
+    }
+    for s in &mut shares {
+        *s /= total;
+    }
+    shares
+}
+
+/// Generates `count` workloads for `suite`.
+pub fn generate_suite<R: Rng + ?Sized>(suite: Suite, count: usize, rng: &mut R) -> Vec<Workload> {
+    let p = profile(suite);
+    let names = opcode_names();
+    (0..count)
+        .map(|idx| {
+            let shares = sample_shares(&p, rng);
+            let log_difficulty =
+                p.log_instr_mean + p.log_instr_std * sample_standard_normal(rng);
+            let total_instr = (log_difficulty as f64).exp();
+
+            // Distribute each group's instruction share across its opcodes
+            // with a random but workload-stable within-group split.
+            let mut opcode_counts = Vec::with_capacity(names.len());
+            for (g, (_, ops)) in OPCODE_GROUPS.iter().enumerate() {
+                let mut w: Vec<f32> = (0..ops.len()).map(|_| rng.gen_range(0.05..1.0)).collect();
+                let wt: f32 = w.iter().sum();
+                for v in &mut w {
+                    *v /= wt;
+                }
+                for v in &w {
+                    opcode_counts.push(total_instr * (shares[g] * v) as f64);
+                }
+            }
+
+            // Contention traits follow the opcode mixture plus noise.
+            let mem_share = shares[4] + shares[5];
+            let cache_foot = ((log_difficulty - 16.0) / 6.0).clamp(0.05, 1.0);
+            let io = p.io_level * rng.gen_range(0.3..1.6);
+            let jitter = |rng: &mut R| rng.gen_range(0.6..1.4);
+            let pressure = [
+                (mem_share * 3.0 * jitter(rng)).min(1.6),
+                (cache_foot * jitter(rng)).min(1.4),
+                (io * jitter(rng)).min(1.5),
+            ];
+            let sensitivity = [
+                (mem_share * 2.5 * jitter(rng)).min(1.4),
+                (cache_foot * 0.9 * jitter(rng)).min(1.2),
+                (io * 0.8 * jitter(rng)).min(1.2),
+            ];
+
+            Workload {
+                name: format!("{}/bench-{idx:03}", suite.label().to_lowercase()),
+                suite,
+                opcode_counts,
+                group_shares: shares,
+                log_difficulty,
+                hidden: 0.22 * sample_standard_normal(rng),
+                pressure,
+                sensitivity,
+            }
+        })
+        .collect()
+}
+
+/// Standard normal via Box–Muller (kept local to avoid a distributions dep).
+pub(crate) fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+impl Workload {
+    /// Share of executed instructions that are floating point.
+    pub fn fp_share(&self) -> f32 {
+        self.group_shares[2] + self.group_shares[3]
+    }
+
+    /// Share of branch/call instructions (interpreter dispatch cost driver).
+    pub fn dispatch_share(&self) -> f32 {
+        self.group_shares[6] + self.group_shares[7]
+    }
+
+    /// Share of memory instructions.
+    pub fn mem_share(&self) -> f32 {
+        self.group_shares[4] + self.group_shares[5]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn suite_counts_total_249() {
+        let total: usize = Suite::ALL.iter().map(|s| s.paper_count()).sum();
+        assert_eq!(total, 249, "paper: 249 workloads");
+    }
+
+    #[test]
+    fn shares_normalize() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for suite in Suite::ALL {
+            let ws = generate_suite(suite, 5, &mut rng);
+            for w in ws {
+                let s: f32 = w.group_shares.iter().sum();
+                assert!((s - 1.0).abs() < 1e-4, "{suite:?} shares sum to {s}");
+                assert!(w.opcode_counts.iter().all(|&c| c >= 0.0));
+                assert_eq!(w.opcode_counts.len(), opcode_count());
+            }
+        }
+    }
+
+    #[test]
+    fn polybench_is_fp_heavy_libsodium_is_not() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let poly = generate_suite(Suite::Polybench, 30, &mut rng);
+        let sodium = generate_suite(Suite::Libsodium, 30, &mut rng);
+        let fp = |ws: &[Workload]| ws.iter().map(Workload::fp_share).sum::<f32>() / ws.len() as f32;
+        assert!(fp(&poly) > 0.25, "polybench fp share {}", fp(&poly));
+        assert!(fp(&sodium) < 0.06, "libsodium fp share {}", fp(&sodium));
+    }
+
+    #[test]
+    fn python_is_dispatch_heavy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let py = generate_suite(Suite::Python, 12, &mut rng);
+        let avg: f32 = py.iter().map(Workload::dispatch_share).sum::<f32>() / 12.0;
+        assert!(avg > 0.2, "python dispatch share {avg}");
+    }
+
+    #[test]
+    fn difficulty_spans_orders_of_magnitude() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let all: Vec<Workload> = Suite::ALL
+            .iter()
+            .flat_map(|&s| generate_suite(s, s.paper_count(), &mut rng))
+            .collect();
+        let min = all.iter().map(|w| w.log_difficulty).fold(f32::INFINITY, f32::min);
+        let max = all.iter().map(|w| w.log_difficulty).fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 2.0f32.ln() * 8.0, "span only {:.1} octaves", (max - min) / 2.0f32.ln());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_suite(Suite::Mibench, 10, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = generate_suite(Suite::Mibench, 10, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.log_difficulty, y.log_difficulty);
+            assert_eq!(x.opcode_counts, y.opcode_counts);
+        }
+    }
+}

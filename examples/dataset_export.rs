@@ -1,0 +1,50 @@
+//! Dataset export/import: snapshot a collection and work without the
+//! simulator.
+//!
+//! The paper ships its measurements as an archival dataset so others can
+//! train predictors without the physical cluster; this example does the same
+//! for the synthetic testbed. It collects a dataset, prints its Sec 4-style
+//! summary statistics, round-trips it through JSON on disk, and verifies a
+//! model trained on the reloaded copy behaves identically.
+//!
+//! ```sh
+//! cargo run --release --example dataset_export
+//! ```
+
+use pitot::{train, PitotConfig};
+use pitot_testbed::{split::Split, Dataset, DatasetStats, Testbed, TestbedConfig};
+
+fn main() {
+    // Collect once from the simulator…
+    let testbed = Testbed::generate(&TestbedConfig::small());
+    let dataset = testbed.collect_dataset();
+    println!("== collected dataset ==");
+    println!("{}\n", DatasetStats::compute(&dataset));
+
+    // …snapshot to disk…
+    let path = std::env::temp_dir().join("pitot_dataset_snapshot.json");
+    dataset.save_json(&path).expect("write snapshot");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("snapshot: {} ({:.1} MiB)", path.display(), bytes as f64 / (1024.0 * 1024.0));
+
+    // …and reload where no simulator exists.
+    let reloaded = Dataset::load_json(&path).expect("read snapshot");
+    assert_eq!(reloaded.observations.len(), dataset.observations.len());
+
+    // Models trained on the snapshot are bit-identical to the original:
+    // everything a predictor needs travels with the file.
+    let split = Split::stratified(&reloaded, 0.5, 0);
+    let mut config = PitotConfig::tiny();
+    config.steps = 150;
+    let from_original = train(&dataset, &split, &config);
+    let from_snapshot = train(&reloaded, &split, &config);
+    let idx: Vec<usize> = split.test.iter().copied().take(5).collect();
+    assert_eq!(
+        from_original.predict_runtime(&dataset, &idx),
+        from_snapshot.predict_runtime(&reloaded, &idx),
+        "training on the snapshot must match training on the original"
+    );
+    println!("\ntrained on snapshot: predictions identical to the original dataset ✓");
+
+    let _ = std::fs::remove_file(&path);
+}

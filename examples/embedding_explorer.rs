@@ -1,0 +1,58 @@
+//! Embedding interpretation: clustering workloads and ranking platforms by
+//! learned interference susceptibility (paper Sec 5.4 / Fig 12).
+//!
+//! ```sh
+//! cargo run --release --example embedding_explorer
+//! ```
+
+use pitot::{train, PitotConfig};
+use pitot_analysis::{interference_matrix_norm, neighborhood_purity, Tsne, TsneConfig};
+use pitot_testbed::{split::Split, Testbed, TestbedConfig};
+use std::collections::HashMap;
+
+fn main() {
+    let testbed = Testbed::generate(&TestbedConfig::small());
+    let dataset = testbed.collect_dataset();
+    let split = Split::stratified(&dataset, 0.8, 0);
+    let trained = train(&dataset, &split, &PitotConfig::fast());
+
+    // Workload embeddings cluster by benchmark suite (paper Fig 7).
+    let emb = trained.model.workload_embeddings(&dataset, 0);
+    let mut suite_ids = HashMap::new();
+    let labels: Vec<usize> = dataset
+        .workload_suites
+        .iter()
+        .map(|s| {
+            let next = suite_ids.len();
+            *suite_ids.entry(s.clone()).or_insert(next)
+        })
+        .collect();
+    let purity = neighborhood_purity(&emb, &labels, 8);
+    println!("workload embedding 8-NN suite purity: {purity:.3} ({} suites)", suite_ids.len());
+
+    // Project to 2-D for plotting (prints per-suite centroids).
+    let coords = Tsne::new(TsneConfig { iterations: 250, ..TsneConfig::default() }).embed(&emb);
+    println!("\nt-SNE suite centroids:");
+    for (suite, id) in &suite_ids {
+        let pts: Vec<usize> = labels.iter().enumerate().filter(|(_, &l)| l == *id).map(|(i, _)| i).collect();
+        let cx: f32 = pts.iter().map(|&i| coords[(i, 0)]).sum::<f32>() / pts.len() as f32;
+        let cy: f32 = pts.iter().map(|&i| coords[(i, 1)]).sum::<f32>() / pts.len() as f32;
+        println!("  {suite:<12} ({cx:>7.2}, {cy:>7.2})  n={}", pts.len());
+    }
+
+    // Platforms ranked by learned interference magnitude ‖F_j‖₂ (Fig 12d):
+    // the platforms Pitot considers most contention-prone.
+    let pe = trained.model.platform_embeddings(&dataset);
+    let mut norms: Vec<(usize, f32)> = (0..dataset.n_platforms)
+        .map(|p| (p, interference_matrix_norm(&pe.vs, &pe.vg, p)))
+        .collect();
+    norms.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nmost interference-prone platforms by ‖F_j‖₂:");
+    for (p, n) in norms.iter().take(5) {
+        println!("  {:<48} {n:.3}", testbed.platform_name(*p));
+    }
+    println!("least interference-prone:");
+    for (p, n) in norms.iter().rev().take(5) {
+        println!("  {:<48} {n:.3}", testbed.platform_name(*p));
+    }
+}

@@ -1,0 +1,196 @@
+//! Conformal variants integrated with the real Pitot pipeline: every
+//! calibration strategy in `pitot-conformal` must deliver its coverage
+//! guarantee when wrapped around actual trained models on testbed data.
+
+use pitot::{train, Objective, PitotConfig};
+use pitot_conformal::{
+    conditional_coverage, coverage, head_spread, round_robin_folds, CoverageCurve, CvPlus,
+    MondrianConformal, ScaledConformal, SplitConformal, TwoSidedCqr,
+};
+use pitot_testbed::{split::Split, Dataset, Testbed, TestbedConfig};
+use std::sync::OnceLock;
+
+struct Env {
+    dataset: Dataset,
+    split: Split,
+    trained: pitot::TrainedPitot,
+}
+
+fn env() -> &'static Env {
+    static ENV: OnceLock<Env> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let dataset = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&dataset, 0.6, 0);
+        let mut cfg = PitotConfig::tiny();
+        cfg.objective = Objective::Quantiles(vec![0.5, 0.8, 0.9, 0.95]);
+        cfg.steps = 600;
+        let trained = train(&dataset, &split, &cfg);
+        Env { dataset, split, trained }
+    })
+}
+
+fn log_targets(dataset: &Dataset, idx: &[usize]) -> Vec<f32> {
+    idx.iter().map(|&i| dataset.observations[i].log_runtime()).collect()
+}
+
+fn test_subset(e: &Env, cap: usize) -> Vec<usize> {
+    let stride = (e.split.test.len() / cap).max(1);
+    e.split.test.iter().copied().step_by(stride).collect()
+}
+
+/// Scaled conformal (CQR-r) with head-spread dispersion covers on real data
+/// and adapts: interference-heavy observations get wider bounds.
+#[test]
+fn scaled_conformal_covers_on_pitot_predictions() {
+    let e = env();
+    let eps = 0.1;
+    let cal_preds = e.trained.predict_log_runtime(&e.dataset, &e.split.val);
+    let cal_t = log_targets(&e.dataset, &e.split.val);
+    let disp = head_spread(&cal_preds[0], &cal_preds[2]); // ξ=0.5 vs ξ=0.9
+    let sc = ScaledConformal::fit(&cal_preds[0], &disp, &cal_t, eps);
+
+    let test = test_subset(e, 4000);
+    let test_preds = e.trained.predict_log_runtime(&e.dataset, &test);
+    let test_t = log_targets(&e.dataset, &test);
+    let test_disp = head_spread(&test_preds[0], &test_preds[2]);
+    let bounds = sc.upper_bounds_log(&test_preds[0], &test_disp);
+    let cov = coverage(&bounds, &test_t);
+    assert!(cov >= 1.0 - eps - 0.03, "CQR-r coverage {cov}");
+}
+
+/// Mondrian calibration keyed by interference arity holds coverage in every
+/// group — the generalized form of the paper's calibration pools.
+#[test]
+fn mondrian_by_arity_covers_per_group() {
+    let e = env();
+    let eps = 0.1;
+    let groups_of = |idx: &[usize]| -> Vec<u64> {
+        idx.iter()
+            .map(|&i| e.dataset.observations[i].interferers.len() as u64)
+            .collect()
+    };
+    let cal_preds = e.trained.predict_log_runtime(&e.dataset, &e.split.val);
+    let cal_t = log_targets(&e.dataset, &e.split.val);
+    let mc = MondrianConformal::fit(&cal_preds[0], &cal_t, &groups_of(&e.split.val), eps);
+
+    let test = test_subset(e, 6000);
+    let test_preds = e.trained.predict_log_runtime(&e.dataset, &test);
+    let test_t = log_targets(&e.dataset, &test);
+    let test_g = groups_of(&test);
+    let bounds = mc.upper_bounds_log(&test_preds[0], &test_g);
+    for (group, cov) in conditional_coverage(&bounds, &test_t, &test_g) {
+        assert!(cov >= 1.0 - eps - 0.05, "arity {group} coverage {cov}");
+    }
+    // Noisier groups should need larger offsets.
+    assert!(
+        mc.gamma_for(3) > mc.gamma_for(0),
+        "4-way interference should calibrate wider than isolation"
+    );
+}
+
+/// CV+ over fold-trained Pitot models covers without a dedicated
+/// calibration split.
+#[test]
+fn cv_plus_over_fold_trained_pitot_models() {
+    let e = env();
+    let eps = 0.15;
+    let k = 3;
+    // Fold assignment over the training pool; each fold model trains on the
+    // other folds and provides out-of-fold scores.
+    let pool: Vec<usize> = e.split.train.clone();
+    let folds = round_robin_folds(pool.len(), k);
+    let mut fold_models = Vec::new();
+    for f in 0..k {
+        let train_idx: Vec<usize> = pool
+            .iter()
+            .zip(&folds)
+            .filter(|(_, &ff)| ff != f)
+            .map(|(&i, _)| i)
+            .collect();
+        let sub = Split {
+            train: train_idx,
+            val: e.split.val.clone(),
+            test: vec![],
+            train_fraction: e.split.train_fraction,
+            seed: f as u64,
+        };
+        let mut cfg = PitotConfig::tiny();
+        cfg.steps = 300;
+        fold_models.push(train(&e.dataset, &sub, &cfg));
+    }
+
+    // Out-of-fold scores on a subsample (keep the test fast).
+    let sample: Vec<usize> = (0..pool.len()).step_by(8).collect();
+    let oof: Vec<f32> = sample
+        .iter()
+        .map(|&s| fold_models[folds[s]].predict_log_runtime(&e.dataset, &[pool[s]])[0][0])
+        .collect();
+    let targets: Vec<f32> = sample
+        .iter()
+        .map(|&s| e.dataset.observations[pool[s]].log_runtime())
+        .collect();
+    let fold_of: Vec<usize> = sample.iter().map(|&s| folds[s]).collect();
+    let cv = CvPlus::fit(&oof, &targets, &fold_of, k, eps);
+
+    let test = test_subset(e, 800);
+    let per_fold: Vec<Vec<f32>> = fold_models
+        .iter()
+        .map(|m| m.predict_log_runtime(&e.dataset, &test)[0].clone())
+        .collect();
+    let bounds = cv.bounds_log(&per_fold);
+    let cov = coverage(&bounds, &log_targets(&e.dataset, &test));
+    // CV+'s worst case is 1−2ε; typical is ≈1−ε.
+    assert!(cov >= 1.0 - 2.0 * eps, "CV+ coverage {cov}");
+}
+
+/// The coverage curve diagnostic validates the whole split-conformal grid on
+/// real predictions.
+#[test]
+fn coverage_curve_is_valid_across_epsilons() {
+    let e = env();
+    let cal_preds = e.trained.predict_log_runtime(&e.dataset, &e.split.val);
+    let cal_t = log_targets(&e.dataset, &e.split.val);
+    let test = test_subset(e, 4000);
+    let test_preds = e.trained.predict_log_runtime(&e.dataset, &test);
+    let test_t = log_targets(&e.dataset, &test);
+
+    let grid = [0.02f32, 0.05, 0.1, 0.2];
+    let curve = CoverageCurve::evaluate(&grid, &test_t, |eps| {
+        let sc = SplitConformal::fit(&cal_preds[0], &cal_t, eps);
+        test_preds[0].iter().map(|&p| sc.upper_bound_log(p)).collect()
+    });
+    assert!(curve.valid_everywhere(0.03), "coverages {:?}", curve.coverage);
+    assert!(curve.calibration_error() < 0.05);
+}
+
+/// Two-sided CQR around the median/high heads yields intervals that cover
+/// and that flag artificially corrupted runtimes (the phase-shift detector).
+#[test]
+fn two_sided_intervals_cover_and_detect_anomalies() {
+    let e = env();
+    let eps = 0.1;
+    let cal_preds = e.trained.predict_log_runtime(&e.dataset, &e.split.val);
+    let cal_t = log_targets(&e.dataset, &e.split.val);
+    let cqr = TwoSidedCqr::fit(&cal_preds[0], &cal_preds[2], &cal_t, eps);
+
+    let test = test_subset(e, 4000);
+    let test_preds = e.trained.predict_log_runtime(&e.dataset, &test);
+    let test_t = log_targets(&e.dataset, &test);
+    let ivs = cqr.intervals_log(&test_preds[0], &test_preds[2]);
+    let cov = pitot_conformal::interval_coverage(&ivs, &test_t);
+    assert!(cov >= 1.0 - eps - 0.03, "interval coverage {cov}");
+
+    // Corrupt targets by 20x in either direction: detection must fire far
+    // more often than the nominal false-positive rate.
+    let fast: Vec<f32> = test_t.iter().map(|t| t - 3.0).collect();
+    let slow: Vec<f32> = test_t.iter().map(|t| t + 3.0).collect();
+    for corrupted in [fast, slow] {
+        let flagged = ivs
+            .iter()
+            .zip(&corrupted)
+            .filter(|(iv, &t)| !iv.contains(t))
+            .count();
+        let rate = flagged as f32 / corrupted.len() as f32;
+        assert!(rate > 0.8, "anomaly detection rate {rate}");
+    }
+}
