@@ -34,7 +34,10 @@ pub fn neighborhood_purity(points: &Matrix, labels: &[usize], k: usize) -> f32 {
             })
             .collect();
         dists.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let same = dists[..k].iter().filter(|(_, j)| labels[*j] == labels[i]).count();
+        let same = dists[..k]
+            .iter()
+            .filter(|(_, j)| labels[*j] == labels[i])
+            .count();
         total += same as f64 / k as f64;
     }
     (total / n as f64) as f32

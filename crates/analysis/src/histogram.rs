@@ -53,7 +53,9 @@ pub fn log_histogram(values: &[f32], lo: f32, hi: f32, bins: usize) -> LogHistog
     let log_lo = lo.ln();
     let log_hi = hi.ln();
     let width = (log_hi - log_lo) / bins as f32;
-    let edges: Vec<f32> = (0..=bins).map(|b| (log_lo + b as f32 * width).exp()).collect();
+    let edges: Vec<f32> = (0..=bins)
+        .map(|b| (log_lo + b as f32 * width).exp())
+        .collect();
     let mut counts = vec![0usize; bins];
     for &v in values {
         let b = (((v.max(1e-12).ln() - log_lo) / width).floor() as isize)
@@ -87,7 +89,9 @@ pub fn observed_slowdowns(dataset: &Dataset) -> HashMap<usize, Vec<f32>> {
         if let Some(&(sum, n)) = iso_sum.get(&(o.workload, o.platform)) {
             let base = (sum / n as f64) as f32;
             if base > 0.0 {
-                out.entry(o.interferers.len()).or_default().push(o.runtime_s / base);
+                out.entry(o.interferers.len())
+                    .or_default()
+                    .push(o.runtime_s / base);
             }
         }
     }

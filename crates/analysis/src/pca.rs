@@ -78,7 +78,12 @@ impl Pca {
             }
         }
 
-        Self { mean, components, explained_variance: explained, total_variance }
+        Self {
+            mean,
+            components,
+            explained_variance: explained,
+            total_variance,
+        }
     }
 
     /// Projects points onto the fitted components (`n × k`).
@@ -93,8 +98,7 @@ impl Pca {
         let mut out = Matrix::zeros(n, k);
         for r in 0..n {
             let row = points.row(r);
-            let centered: Vec<f32> =
-                row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+            let centered: Vec<f32> = row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
             let or = out.row_mut(r);
             for c in 0..k {
                 or[c] = pitot_linalg::dot(&centered, self.components.row(c));
@@ -191,7 +195,11 @@ mod tests {
     fn recovers_low_rank_structure() {
         let data = planar_data(400, 0);
         let pca = Pca::fit(&data, 4);
-        assert_eq!(pca.effective_rank(0.99), Some(2), "data is rank-2 up to noise");
+        assert_eq!(
+            pca.effective_rank(0.99),
+            Some(2),
+            "data is rank-2 up to noise"
+        );
         assert!(pca.explained_ratio() > 0.99);
     }
 
@@ -213,7 +221,11 @@ mod tests {
         let data = planar_data(300, 2);
         let pca = Pca::fit(&data, 4);
         for w in pca.explained_variance.windows(2) {
-            assert!(w[0] >= w[1] - 1e-4, "variances out of order: {:?}", pca.explained_variance);
+            assert!(
+                w[0] >= w[1] - 1e-4,
+                "variances out of order: {:?}",
+                pca.explained_variance
+            );
         }
     }
 
@@ -230,9 +242,14 @@ mod tests {
             .map(|r| (proj.row(r)[0] - mean0) * (proj.row(r)[1] - mean1))
             .sum::<f32>()
             / (n - 1.0);
-        let var0: f32 =
-            (0..proj.rows()).map(|r| (proj.row(r)[0] - mean0).powi(2)).sum::<f32>() / (n - 1.0);
-        assert!(cov01.abs() < 0.05 * var0, "projection not decorrelated: cov {cov01}");
+        let var0: f32 = (0..proj.rows())
+            .map(|r| (proj.row(r)[0] - mean0).powi(2))
+            .sum::<f32>()
+            / (n - 1.0);
+        assert!(
+            cov01.abs() < 0.05 * var0,
+            "projection not decorrelated: cov {cov01}"
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl Tsne {
         let exag_until = cfg.iterations / 4;
 
         for iter in 0..cfg.iterations {
-            let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+            let exag = if iter < exag_until {
+                cfg.exaggeration
+            } else {
+                1.0
+            };
             let momentum = if iter < exag_until { 0.5 } else { 0.8 };
 
             // Student-t affinities Q and normalization.
@@ -158,7 +162,11 @@ fn joint_affinities(x: &Matrix, perplexity: f32) -> Matrix {
             } else {
                 hi = beta;
             }
-            beta = if hi >= 1e8 { beta * 2.0 } else { 0.5 * (lo + hi) };
+            beta = if hi >= 1e8 {
+                beta * 2.0
+            } else {
+                0.5 * (lo + hi)
+            };
             // Keep the latest row in case the loop exhausts.
             let (_, row) = row_affinities(&d2, i, beta);
             for (j, v) in row.iter().enumerate() {
@@ -240,7 +248,11 @@ mod tests {
     #[test]
     fn separates_well_separated_blobs() {
         let (x, labels) = blobs(15);
-        let cfg = TsneConfig { iterations: 300, perplexity: 10.0, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 300,
+            perplexity: 10.0,
+            ..TsneConfig::default()
+        };
         let y = Tsne::new(cfg).embed(&x);
         let purity = crate::cluster::neighborhood_purity(&y, &labels, 5);
         assert!(purity > 0.9, "blob purity {purity}");
@@ -249,7 +261,11 @@ mod tests {
     #[test]
     fn output_shape_and_centering() {
         let (x, _) = blobs(5);
-        let y = Tsne::new(TsneConfig { iterations: 50, ..TsneConfig::default() }).embed(&x);
+        let y = Tsne::new(TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        })
+        .embed(&x);
         assert_eq!(y.shape(), (15, 2));
         let mean0: f32 = y.col(0).iter().sum::<f32>() / 15.0;
         assert!(mean0.abs() < 1e-3, "not centered: {mean0}");
@@ -258,7 +274,10 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (x, _) = blobs(5);
-        let cfg = TsneConfig { iterations: 30, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 30,
+            ..TsneConfig::default()
+        };
         let a = Tsne::new(cfg.clone()).embed(&x);
         let b = Tsne::new(cfg).embed(&x);
         assert_eq!(a, b);

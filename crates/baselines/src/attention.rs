@@ -43,7 +43,10 @@ impl AttentionConfig {
 
     /// Harness-scale configuration.
     pub fn fast() -> Self {
-        Self { hidden: vec![64, 64], ..Self::paper().with_train(BaselineConfig::fast()) }
+        Self {
+            hidden: vec![64, 64],
+            ..Self::paper().with_train(BaselineConfig::fast())
+        }
     }
 
     /// Unit-test configuration.
@@ -111,12 +114,18 @@ impl AttentionNet {
         base.scale_output_layer(0.3);
         output.scale_output_layer(0.1);
 
-        let pools: Vec<Vec<usize>> =
-            (0..=MAX_INTERFERERS).map(|k| split.train_mode(dataset, k)).collect();
-        assert!(!pools[0].is_empty(), "attention baseline needs isolation training data");
+        let pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
+            .map(|k| split.train_mode(dataset, k))
+            .collect();
+        assert!(
+            !pools[0].is_empty(),
+            "attention baseline needs isolation training data"
+        );
         let intercept = {
-            let s: f64 =
-                pools[0].iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            let s: f64 = pools[0]
+                .iter()
+                .map(|&i| dataset.observations[i].log_runtime() as f64)
+                .sum();
             (s / pools[0].len() as f64) as f32
         };
 
@@ -130,12 +139,22 @@ impl AttentionNet {
             .val
             .iter()
             .copied()
-            .take(if config.train.val_cap == 0 { usize::MAX } else { config.train.val_cap * 2 })
+            .take(if config.train.val_cap == 0 {
+                usize::MAX
+            } else {
+                config.train.val_cap * 2
+            })
             .collect();
 
         let mut opt = AdaMax::new(config.train.learning_rate);
         let mut best: Option<(f32, Self)> = None;
-        let mut model = Self { base, encoder, output, head_dim: d, intercept };
+        let mut model = Self {
+            base,
+            encoder,
+            output,
+            head_dim: d,
+            intercept,
+        };
 
         for step in 1..=config.train.steps {
             let mut g_base: Option<pitot_nn::MlpGrads> = None;
@@ -159,8 +178,10 @@ impl AttentionNet {
                         fwd.preds[b] + if has { ctx_out[(b, 0)] } else { 0.0 }
                     })
                     .collect();
-                let targets: Vec<f32> =
-                    batch.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let targets: Vec<f32> = batch
+                    .iter()
+                    .map(|&i| dataset.observations[i].log_runtime())
+                    .collect();
                 let (_, mut d_pred) = squared_loss(&preds, &targets);
                 for g in &mut d_pred {
                     *g *= weights[k];
@@ -209,10 +230,12 @@ impl AttentionNet {
                 && !val.is_empty()
             {
                 let preds = model.predict_log(dataset, &val);
-                let targets: Vec<f32> =
-                    val.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let targets: Vec<f32> = val
+                    .iter()
+                    .map(|&i| dataset.observations[i].log_runtime())
+                    .collect();
                 let (loss, _) = squared_loss(&preds[0], &targets);
-                if best.as_ref().map_or(true, |(b, _)| loss < *b) {
+                if best.as_ref().is_none_or(|(b, _)| loss < *b) {
                     best = Some((loss, model.clone()));
                 }
             }
@@ -225,7 +248,10 @@ impl AttentionNet {
         let wf = dataset.workload_features.cols();
         let pf = dataset.platform_features.cols();
         let mut base_in = Matrix::zeros(batch.len(), wf + pf);
-        let total: usize = batch.iter().map(|&i| dataset.observations[i].interferers.len()).sum();
+        let total: usize = batch
+            .iter()
+            .map(|&i| dataset.observations[i].interferers.len())
+            .sum();
         let mut enc_in = Matrix::zeros(total.max(1), wf + pf);
         let mut spans = Vec::with_capacity(batch.len());
         let mut row = 0;
@@ -276,7 +302,13 @@ impl AttentionNet {
             }
             attn.push(a);
         }
-        AttnForward { preds, attn, context, base_out: base_out.clone(), enc_out: enc_out.clone() }
+        AttnForward {
+            preds,
+            attn,
+            context,
+            base_out: base_out.clone(),
+            enc_out: enc_out.clone(),
+        }
     }
 
     /// Backward pass of the attention mechanism.
@@ -307,7 +339,9 @@ impl AttentionNet {
             let query = &fwd.base_out.row(b)[1..1 + d];
 
             // d a_k = <dc, value_k>; softmax backward; then keys & query.
-            let da: Vec<f32> = (lo..hi).map(|r| dot(dc, &fwd.enc_out.row(r)[d..2 * d])).collect();
+            let da: Vec<f32> = (lo..hi)
+                .map(|r| dot(dc, &fwd.enc_out.row(r)[d..2 * d]))
+                .collect();
             let dot_aa: f32 = a.iter().zip(&da).map(|(x, y)| x * y).sum();
             for (j, r) in (lo..hi).enumerate() {
                 // d value_k = a_k · dc.
@@ -364,7 +398,7 @@ mod tests {
     fn attention_trains_to_reasonable_error() {
         let (ds, split) = setup();
         let model = AttentionNet::train(&ds, &split, &AttentionConfig::tiny());
-        let m = model.mape(&ds, &split.test[..2000.min(split.test.len())].to_vec());
+        let m = model.mape(&ds, &split.test[..2000.min(split.test.len())]);
         assert!(m < 3.0, "attention MAPE {m}");
     }
 
@@ -374,7 +408,11 @@ mod tests {
         let model = AttentionNet::train(&ds, &split, &AttentionConfig::tiny());
         let idx = vec![ds.mode_indices(3)[0]];
         let (base_in, enc_in, spans) = AttentionNet::batch_inputs(&ds, &idx);
-        let fwd = model.attend(&model.base.infer(&base_in), &model.encoder.infer(&enc_in), &spans);
+        let fwd = model.attend(
+            &model.base.infer(&base_in),
+            &model.encoder.infer(&enc_in),
+            &spans,
+        );
         let s: f32 = fwd.attn[0].iter().sum();
         assert_eq!(fwd.attn[0].len(), 3);
         assert!((s - 1.0).abs() < 1e-5, "attention weights sum {s}");
@@ -388,7 +426,10 @@ mod tests {
         cfg.train.steps = 5;
         let model = AttentionNet::train(&ds, &split, &cfg);
         let idx: Vec<usize> = ds.mode_indices(2)[..3].to_vec();
-        let targets: Vec<f32> = idx.iter().map(|&i| ds.observations[i].log_runtime()).collect();
+        let targets: Vec<f32> = idx
+            .iter()
+            .map(|&i| ds.observations[i].log_runtime())
+            .collect();
 
         let loss_of = |m: &AttentionNet| {
             let preds = m.predict_log(&ds, &idx);
@@ -401,8 +442,9 @@ mod tests {
         let (enc_out, enc_cache) = model.encoder.forward(&enc_in);
         let fwd = model.attend(&base_out, &enc_out, &spans);
         let (ctx_out, ctx_cache) = model.output.forward(&fwd.context);
-        let preds: Vec<f32> =
-            (0..idx.len()).map(|b| fwd.preds[b] + ctx_out[(b, 0)]).collect();
+        let preds: Vec<f32> = (0..idx.len())
+            .map(|b| fwd.preds[b] + ctx_out[(b, 0)])
+            .collect();
         let (_, d_pred) = squared_loss(&preds, &targets);
         let mut d_ctx_out = Matrix::zeros(idx.len(), 1);
         for (b, g) in d_pred.iter().enumerate() {
@@ -422,7 +464,11 @@ mod tests {
         let mut minus = model.clone();
         let mut analytic = 0.0f64;
         {
-            let gs: Vec<&[f32]> = gb.grad_slices().into_iter().chain(ge.grad_slices()).collect();
+            let gs: Vec<&[f32]> = gb
+                .grad_slices()
+                .into_iter()
+                .chain(ge.grad_slices())
+                .collect();
             let mut ps = plus.base.param_slices_mut();
             ps.extend(plus.encoder.param_slices_mut());
             let mut ms = minus.base.param_slices_mut();

@@ -36,12 +36,24 @@ impl BaselineConfig {
 
     /// Harness-scale settings matching `PitotConfig::fast()`.
     pub fn fast() -> Self {
-        Self { steps: 1200, batch_per_mode: 192, eval_every: 100, val_cap: 1024, ..Self::paper() }
+        Self {
+            steps: 1200,
+            batch_per_mode: 192,
+            eval_every: 100,
+            val_cap: 1024,
+            ..Self::paper()
+        }
     }
 
     /// Unit-test settings.
     pub fn tiny() -> Self {
-        Self { steps: 250, batch_per_mode: 96, eval_every: 50, val_cap: 512, ..Self::paper() }
+        Self {
+            steps: 250,
+            batch_per_mode: 96,
+            eval_every: 50,
+            val_cap: 512,
+            ..Self::paper()
+        }
     }
 
     /// Returns a copy with a different seed.
@@ -77,7 +89,10 @@ pub trait LogPredictor {
 
     /// Point predictions in seconds (head 0).
     fn predict_seconds(&self, dataset: &Dataset, idx: &[usize]) -> Vec<f32> {
-        self.predict_log(dataset, idx)[0].iter().map(|l| l.exp()).collect()
+        self.predict_log(dataset, idx)[0]
+            .iter()
+            .map(|l| l.exp())
+            .collect()
     }
 
     /// MAPE over the given observations.

@@ -42,12 +42,24 @@ pub struct ImcConfig {
 impl ImcConfig {
     /// Harness-scale settings.
     pub fn fast() -> Self {
-        Self { rank: 4, lambda: 1.0, sweeps: 3, max_obs: 15_000, seed: 0 }
+        Self {
+            rank: 4,
+            lambda: 1.0,
+            sweeps: 3,
+            max_obs: 15_000,
+            seed: 0,
+        }
     }
 
     /// Unit-test settings.
     pub fn tiny() -> Self {
-        Self { rank: 2, lambda: 1.0, sweeps: 2, max_obs: 5_000, seed: 0 }
+        Self {
+            rank: 2,
+            lambda: 1.0,
+            sweeps: 2,
+            max_obs: 5_000,
+            seed: 0,
+        }
     }
 }
 
@@ -76,7 +88,10 @@ impl InductiveMc {
     /// Panics if the split has no interference-free training data.
     pub fn fit(dataset: &Dataset, split: &Split, config: &ImcConfig) -> Self {
         let mut pool = split.train_mode(dataset, 0);
-        assert!(!pool.is_empty(), "IMC baseline needs isolation training data");
+        assert!(
+            !pool.is_empty(),
+            "IMC baseline needs isolation training data"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x1AC0_FFEE);
         if config.max_obs > 0 && pool.len() > config.max_obs {
             pool.shuffle(&mut rng);
@@ -86,18 +101,24 @@ impl InductiveMc {
         let xw = append_ones(&dataset.workload_features);
         let zp = append_ones(&dataset.platform_features);
         let mu = {
-            let s: f64 =
-                pool.iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            let s: f64 = pool
+                .iter()
+                .map(|&i| dataset.observations[i].log_runtime() as f64)
+                .sum();
             (s / pool.len() as f64) as f32
         };
         let targets: Vec<f32> = pool
             .iter()
             .map(|&i| dataset.observations[i].log_runtime() - mu)
             .collect();
-        let wl: Vec<usize> =
-            pool.iter().map(|&i| dataset.observations[i].workload as usize).collect();
-        let pl: Vec<usize> =
-            pool.iter().map(|&i| dataset.observations[i].platform as usize).collect();
+        let wl: Vec<usize> = pool
+            .iter()
+            .map(|&i| dataset.observations[i].workload as usize)
+            .collect();
+        let pl: Vec<usize> = pool
+            .iter()
+            .map(|&i| dataset.observations[i].platform as usize)
+            .collect();
 
         let r = config.rank;
         let mut a = Matrix::randn(xw.cols(), r, &mut rng);
@@ -108,15 +129,18 @@ impl InductiveMc {
         for _ in 0..config.sweeps {
             // Solve A with B fixed: φ = x ⊗ (Bᵀz).
             let v = zp.matmul(&b); // Np × r
-            a = ridge_solve_factor(&xw, &v, &wl, &pl, &targets, r, config.lambda)
-                .unwrap_or(a);
+            a = ridge_solve_factor(&xw, &v, &wl, &pl, &targets, r, config.lambda).unwrap_or(a);
             // Solve B with A fixed (swap roles).
             let u = xw.matmul(&a); // Nw × r
-            b = ridge_solve_factor(&zp, &u, &pl, &wl, &targets, r, config.lambda)
-                .unwrap_or(b);
+            b = ridge_solve_factor(&zp, &u, &pl, &wl, &targets, r, config.lambda).unwrap_or(b);
         }
 
-        Self { a, b, mu, config: config.clone() }
+        Self {
+            a,
+            b,
+            mu,
+            config: config.clone(),
+        }
     }
 
     /// Predicted log runtime for workload `w` on platform `p`.
@@ -219,7 +243,11 @@ fn ridge_solve_factor(
     let mut g = Matrix::zeros(d, d);
     for i in 0..d {
         for j in 0..d {
-            let v64 = if j >= i { gram[i * d + j] } else { gram[j * d + i] };
+            let v64 = if j >= i {
+                gram[i * d + j]
+            } else {
+                gram[j * d + i]
+            };
             g.row_mut(i)[j] = v64 as f32;
         }
         g.row_mut(i)[i] += lambda;
@@ -315,12 +343,29 @@ mod tests {
     #[test]
     fn more_sweeps_do_not_hurt_much() {
         let (ds, split) = setup();
-        let one = InductiveMc::fit(&ds, &split, &ImcConfig { sweeps: 1, ..ImcConfig::tiny() });
-        let three = InductiveMc::fit(&ds, &split, &ImcConfig { sweeps: 3, ..ImcConfig::tiny() });
+        let one = InductiveMc::fit(
+            &ds,
+            &split,
+            &ImcConfig {
+                sweeps: 1,
+                ..ImcConfig::tiny()
+            },
+        );
+        let three = InductiveMc::fit(
+            &ds,
+            &split,
+            &ImcConfig {
+                sweeps: 3,
+                ..ImcConfig::tiny()
+            },
+        );
         let test = isolation_test(&ds, &split, 2000);
         let m1 = one.mape(&ds, &test);
         let m3 = three.mape(&ds, &test);
-        assert!(m3 < m1 * 1.25, "sweeps diverged: 1 sweep {m1}, 3 sweeps {m3}");
+        assert!(
+            m3 < m1 * 1.25,
+            "sweeps diverged: 1 sweep {m1}, 3 sweeps {m3}"
+        );
     }
 
     #[test]

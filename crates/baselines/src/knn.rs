@@ -22,7 +22,10 @@ pub struct KnnConfig {
 
 impl Default for KnnConfig {
     fn default() -> Self {
-        Self { k: 10, min_overlap: 5 }
+        Self {
+            k: 10,
+            min_overlap: 5,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ impl KnnCollaborative {
     /// Panics if the split has no interference-free training data.
     pub fn fit(dataset: &Dataset, split: &Split, config: &KnnConfig) -> Self {
         let pool = split.train_mode(dataset, 0);
-        assert!(!pool.is_empty(), "kNN baseline needs isolation training data");
+        assert!(
+            !pool.is_empty(),
+            "kNN baseline needs isolation training data"
+        );
         let (nw, np) = (dataset.n_workloads, dataset.n_platforms);
 
         // Average duplicate measurements per cell.
@@ -65,11 +71,20 @@ impl KnnCollaborative {
         let cells: Vec<f32> = sum
             .iter()
             .zip(&cnt)
-            .map(|(s, &c)| if c > 0 { (s / c as f64) as f32 } else { f32::NAN })
+            .map(|(s, &c)| {
+                if c > 0 {
+                    (s / c as f64) as f32
+                } else {
+                    f32::NAN
+                }
+            })
             .collect();
 
         let global_mean = {
-            let total: f64 = pool.iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            let total: f64 = pool
+                .iter()
+                .map(|&i| dataset.observations[i].log_runtime() as f64)
+                .sum();
             (total / pool.len() as f64) as f32
         };
 
@@ -265,13 +280,20 @@ mod tests {
         let o = &ds.observations[oi];
         let pred = knn.predict_cell(o.workload as usize, o.platform as usize);
         // Cells average duplicates, so allow noise-level slack.
-        assert!((pred - o.log_runtime()).abs() < 0.5, "pred {pred} vs {}", o.log_runtime());
+        assert!(
+            (pred - o.log_runtime()).abs() < 0.5,
+            "pred {pred} vs {}",
+            o.log_runtime()
+        );
     }
 
     #[test]
     fn neighbours_are_sorted_and_capped() {
         let (ds, split) = setup();
-        let cfg = KnnConfig { k: 3, min_overlap: 5 };
+        let cfg = KnnConfig {
+            k: 3,
+            min_overlap: 5,
+        };
         let knn = KnnCollaborative::fit(&ds, &split, &cfg);
         for s in &knn.sims {
             assert!(s.len() <= 3);

@@ -27,17 +27,26 @@ pub struct MfConfig {
 impl MfConfig {
     /// Paper-scale configuration.
     pub fn paper() -> Self {
-        Self { rank: 32, train: BaselineConfig::paper() }
+        Self {
+            rank: 32,
+            train: BaselineConfig::paper(),
+        }
     }
 
     /// Harness-scale configuration.
     pub fn fast() -> Self {
-        Self { rank: 16, train: BaselineConfig::fast() }
+        Self {
+            rank: 16,
+            train: BaselineConfig::fast(),
+        }
     }
 
     /// Unit-test configuration.
     pub fn tiny() -> Self {
-        Self { rank: 8, train: BaselineConfig::tiny() }
+        Self {
+            rank: 8,
+            train: BaselineConfig::tiny(),
+        }
     }
 }
 
@@ -59,11 +68,17 @@ impl MatrixFactorization {
     /// Panics if the split has no interference-free training data.
     pub fn train(dataset: &Dataset, split: &Split, config: &MfConfig) -> Self {
         let pool = split.train_mode(dataset, 0);
-        assert!(!pool.is_empty(), "MF baseline needs isolation training data");
+        assert!(
+            !pool.is_empty(),
+            "MF baseline needs isolation training data"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(config.train.seed.wrapping_add(0x11F));
 
         let intercept = {
-            let s: f64 = pool.iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            let s: f64 = pool
+                .iter()
+                .map(|&i| dataset.observations[i].log_runtime() as f64)
+                .sum();
             (s / pool.len() as f64) as f32
         };
 
@@ -79,7 +94,11 @@ impl MatrixFactorization {
             .iter()
             .copied()
             .filter(|&i| dataset.observations[i].interferers.is_empty())
-            .take(if config.train.val_cap == 0 { usize::MAX } else { config.train.val_cap })
+            .take(if config.train.val_cap == 0 {
+                usize::MAX
+            } else {
+                config.train.val_cap
+            })
             .collect();
 
         let mut best: Option<(f32, Matrix, Matrix)> = None;
@@ -93,14 +112,13 @@ impl MatrixFactorization {
                 .map(|&i| {
                     let o = &dataset.observations[i];
                     intercept
-                        + pitot_linalg::dot(
-                            w.row(o.workload as usize),
-                            p.row(o.platform as usize),
-                        )
+                        + pitot_linalg::dot(w.row(o.workload as usize), p.row(o.platform as usize))
                 })
                 .collect();
-            let targets: Vec<f32> =
-                batch.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+            let targets: Vec<f32> = batch
+                .iter()
+                .map(|&i| dataset.observations[i].log_runtime())
+                .collect();
             let (_, d_pred) = squared_loss(&preds, &targets);
 
             let mut dw = Matrix::zeros(w.rows(), w.cols());
@@ -121,19 +139,29 @@ impl MatrixFactorization {
             if (step % config.train.eval_every == 0 || step == config.train.steps)
                 && !val.is_empty()
             {
-                let model = Self { w: w.clone(), p: p.clone(), intercept };
+                let model = Self {
+                    w: w.clone(),
+                    p: p.clone(),
+                    intercept,
+                };
                 let preds = model.predict_log(dataset, &val);
-                let targets: Vec<f32> =
-                    val.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let targets: Vec<f32> = val
+                    .iter()
+                    .map(|&i| dataset.observations[i].log_runtime())
+                    .collect();
                 let (loss, _) = squared_loss(&preds[0], &targets);
-                if best.as_ref().map_or(true, |(b, _, _)| loss < *b) {
+                if best.as_ref().is_none_or(|(b, _, _)| loss < *b) {
                     best = Some((loss, w.clone(), p.clone()));
                 }
             }
         }
 
         match best {
-            Some((_, bw, bp)) => Self { w: bw, p: bp, intercept },
+            Some((_, bw, bp)) => Self {
+                w: bw,
+                p: bp,
+                intercept,
+            },
             None => Self { w, p, intercept },
         }
     }

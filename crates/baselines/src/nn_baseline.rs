@@ -29,17 +29,29 @@ pub struct NnConfig {
 impl NnConfig {
     /// Paper-scale configuration.
     pub fn paper() -> Self {
-        Self { hidden: vec![256, 256], interference_weight: 0.5, train: BaselineConfig::paper() }
+        Self {
+            hidden: vec![256, 256],
+            interference_weight: 0.5,
+            train: BaselineConfig::paper(),
+        }
     }
 
     /// Harness-scale configuration (twice Pitot's fast() width).
     pub fn fast() -> Self {
-        Self { hidden: vec![64, 64], interference_weight: 0.5, train: BaselineConfig::fast() }
+        Self {
+            hidden: vec![64, 64],
+            interference_weight: 0.5,
+            train: BaselineConfig::fast(),
+        }
     }
 
     /// Unit-test configuration.
     pub fn tiny() -> Self {
-        Self { hidden: vec![32], interference_weight: 0.5, train: BaselineConfig::tiny() }
+        Self {
+            hidden: vec![32],
+            interference_weight: 0.5,
+            train: BaselineConfig::tiny(),
+        }
     }
 }
 
@@ -74,12 +86,18 @@ impl NeuralNetwork {
         base.scale_output_layer(0.3);
         interference.scale_output_layer(0.1);
 
-        let pools: Vec<Vec<usize>> =
-            (0..=MAX_INTERFERERS).map(|k| split.train_mode(dataset, k)).collect();
-        assert!(!pools[0].is_empty(), "NN baseline needs isolation training data");
+        let pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
+            .map(|k| split.train_mode(dataset, k))
+            .collect();
+        assert!(
+            !pools[0].is_empty(),
+            "NN baseline needs isolation training data"
+        );
         let intercept = {
-            let s: f64 =
-                pools[0].iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            let s: f64 = pools[0]
+                .iter()
+                .map(|&i| dataset.observations[i].log_runtime() as f64)
+                .sum();
             (s / pools[0].len() as f64) as f32
         };
 
@@ -93,7 +111,11 @@ impl NeuralNetwork {
             .val
             .iter()
             .copied()
-            .take(if config.train.val_cap == 0 { usize::MAX } else { config.train.val_cap * 2 })
+            .take(if config.train.val_cap == 0 {
+                usize::MAX
+            } else {
+                config.train.val_cap * 2
+            })
             .collect();
 
         let mut opt = AdaMax::new(config.train.learning_rate);
@@ -119,8 +141,10 @@ impl NeuralNetwork {
                         base_out.as_slice().iter().map(|b| intercept + b).collect();
                     (preds, None, None)
                 };
-                let targets: Vec<f32> =
-                    batch.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let targets: Vec<f32> = batch
+                    .iter()
+                    .map(|&i| dataset.observations[i].log_runtime())
+                    .collect();
                 let (_, mut d_pred) = squared_loss(&preds, &targets);
                 for g in &mut d_pred {
                     *g *= weights[k];
@@ -169,35 +193,47 @@ impl NeuralNetwork {
             if (step % config.train.eval_every == 0 || step == config.train.steps)
                 && !val.is_empty()
             {
-                let model =
-                    Self { base: base.clone(), interference: interference.clone(), intercept };
+                let model = Self {
+                    base: base.clone(),
+                    interference: interference.clone(),
+                    intercept,
+                };
                 let preds = model.predict_log(dataset, &val);
-                let targets: Vec<f32> =
-                    val.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+                let targets: Vec<f32> = val
+                    .iter()
+                    .map(|&i| dataset.observations[i].log_runtime())
+                    .collect();
                 let (loss, _) = squared_loss(&preds[0], &targets);
-                if best.as_ref().map_or(true, |(b, _, _)| loss < *b) {
+                if best.as_ref().is_none_or(|(b, _, _)| loss < *b) {
                     best = Some((loss, base.clone(), interference.clone()));
                 }
             }
         }
 
         match best {
-            Some((_, b, i)) => Self { base: b, interference: i, intercept },
-            None => Self { base, interference, intercept },
+            Some((_, b, i)) => Self {
+                base: b,
+                interference: i,
+                intercept,
+            },
+            None => Self {
+                base,
+                interference,
+                intercept,
+            },
         }
     }
 
     /// Builds base inputs (`B × (wf+pf)`), interference inputs (one row per
     /// interferer), and per-observation row spans into the latter.
-    fn batch_inputs(
-        dataset: &Dataset,
-        batch: &[usize],
-    ) -> (Matrix, Matrix, Vec<(usize, usize)>) {
+    fn batch_inputs(dataset: &Dataset, batch: &[usize]) -> (Matrix, Matrix, Vec<(usize, usize)>) {
         let wf = dataset.workload_features.cols();
         let pf = dataset.platform_features.cols();
         let mut base_in = Matrix::zeros(batch.len(), wf + pf);
-        let total_intf: usize =
-            batch.iter().map(|&i| dataset.observations[i].interferers.len()).sum();
+        let total_intf: usize = batch
+            .iter()
+            .map(|&i| dataset.observations[i].interferers.len())
+            .sum();
         let mut intf_in = Matrix::zeros(total_intf.max(1), 2 * wf + pf);
         let mut spans = Vec::with_capacity(batch.len());
         let mut row = 0;
@@ -250,7 +286,11 @@ impl LogPredictor for NeuralNetwork {
             let intf_out = self.interference.infer(&intf_in);
             Self::combine(self.intercept, &base_out, &intf_out, &spans)
         } else {
-            base_out.as_slice().iter().map(|b| self.intercept + b).collect()
+            base_out
+                .as_slice()
+                .iter()
+                .map(|b| self.intercept + b)
+                .collect()
         };
         vec![preds]
     }
@@ -275,7 +315,7 @@ mod tests {
     fn nn_beats_intercept_only() {
         let (ds, split) = setup();
         let model = NeuralNetwork::train(&ds, &split, &NnConfig::tiny());
-        let m = model.mape(&ds, &split.test[..2000.min(split.test.len())].to_vec());
+        let m = model.mape(&ds, &split.test[..2000.min(split.test.len())]);
         assert!(m < 3.0, "NN MAPE {m}");
     }
 

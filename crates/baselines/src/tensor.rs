@@ -39,17 +39,29 @@ pub struct TensorConfig {
 impl TensorConfig {
     /// Paper-comparison configuration.
     pub fn paper() -> Self {
-        Self { base_rank: 32, cp_rank: 8, train: BaselineConfig::paper() }
+        Self {
+            base_rank: 32,
+            cp_rank: 8,
+            train: BaselineConfig::paper(),
+        }
     }
 
     /// Harness-scale configuration.
     pub fn fast() -> Self {
-        Self { base_rank: 16, cp_rank: 4, train: BaselineConfig::fast() }
+        Self {
+            base_rank: 16,
+            cp_rank: 4,
+            train: BaselineConfig::fast(),
+        }
     }
 
     /// Unit-test configuration.
     pub fn tiny() -> Self {
-        Self { base_rank: 8, cp_rank: 2, train: BaselineConfig::tiny() }
+        Self {
+            base_rank: 8,
+            cp_rank: 2,
+            train: BaselineConfig::tiny(),
+        }
     }
 }
 
@@ -75,15 +87,21 @@ impl TensorCompletion {
     ///
     /// Panics if the split has no interference-free training data.
     pub fn train(dataset: &Dataset, split: &Split, config: &TensorConfig) -> Self {
-        let mode_pools: Vec<Vec<usize>> =
-            (0..=MAX_INTERFERERS).map(|k| split.train_mode(dataset, k)).collect();
-        assert!(!mode_pools[0].is_empty(), "tensor baseline needs isolation data");
+        let mode_pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
+            .map(|k| split.train_mode(dataset, k))
+            .collect();
+        assert!(
+            !mode_pools[0].is_empty(),
+            "tensor baseline needs isolation data"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(config.train.seed.wrapping_add(0x7E_50));
 
         let intercept = {
             let pool = &mode_pools[0];
-            let s: f64 =
-                pool.iter().map(|&i| dataset.observations[i].log_runtime() as f64).sum();
+            let s: f64 = pool
+                .iter()
+                .map(|&i| dataset.observations[i].log_runtime() as f64)
+                .sum();
             (s / pool.len() as f64) as f32
         };
 
@@ -116,8 +134,10 @@ impl TensorCompletion {
 
             for pool in mode_pools.iter().filter(|p| !p.is_empty()) {
                 let batch = sample_batch(pool, bpm, &mut rng);
-                let preds: Vec<f32> =
-                    batch.iter().map(|&i| model.predict_obs(dataset, i)).collect();
+                let preds: Vec<f32> = batch
+                    .iter()
+                    .map(|&i| model.predict_obs(dataset, i))
+                    .collect();
                 let targets: Vec<f32> = batch
                     .iter()
                     .map(|&i| dataset.observations[i].log_runtime())
@@ -125,9 +145,7 @@ impl TensorCompletion {
                 let (_, grad) = squared_loss(&preds, &targets);
                 for (&oi, g0) in batch.iter().zip(grad) {
                     let g = g0 / bpm as f32;
-                    model.accumulate(
-                        dataset, oi, g, &mut gw, &mut gp, &mut ga, &mut gc, &mut gd,
-                    );
+                    model.accumulate(dataset, oi, g, &mut gw, &mut gp, &mut ga, &mut gc, &mut gd);
                     gb += g;
                 }
             }
@@ -274,7 +292,10 @@ mod tests {
         let mut stripped = ds.clone();
         stripped.observations[idx].interferers.clear();
         let without = model.predict_log(&stripped, &[idx])[0][0];
-        assert_ne!(with, without, "CP term should contribute under interference");
+        assert_ne!(
+            with, without,
+            "CP term should contribute under interference"
+        );
     }
 
     #[test]
@@ -309,7 +330,13 @@ mod tests {
     #[test]
     fn determinism_in_seed() {
         let (ds, split) = setup();
-        let cfg = TensorConfig { train: BaselineConfig { steps: 60, ..BaselineConfig::tiny() }, ..TensorConfig::tiny() };
+        let cfg = TensorConfig {
+            train: BaselineConfig {
+                steps: 60,
+                ..BaselineConfig::tiny()
+            },
+            ..TensorConfig::tiny()
+        };
         let a = TensorCompletion::train(&ds, &split, &cfg);
         let b = TensorCompletion::train(&ds, &split, &cfg);
         let idx: Vec<usize> = (0..20).collect();

@@ -119,7 +119,10 @@ mod tests {
             .take(4000)
             .collect();
         let bounds = wcet.predict_log(&ds, &test)[0].clone();
-        let targets: Vec<f32> = test.iter().map(|&i| ds.observations[i].log_runtime()).collect();
+        let targets: Vec<f32> = test
+            .iter()
+            .map(|&i| ds.observations[i].log_runtime())
+            .collect();
         let cov = coverage(&bounds, &targets);
         assert!(cov > 0.9, "WCET coverage {cov}");
         // The price: the margin is far above what adaptive bounds pay

@@ -10,12 +10,10 @@ use pitot_analysis::{silhouette_score, Pca};
 use pitot_baselines::{ImcConfig, InductiveMc, KnnCollaborative, KnnConfig};
 use pitot_bench::Fixture;
 use pitot_conformal::{
-    head_spread, HeadSelection, MondrianConformal, PooledConformal, PredictionSet,
-    ScaledConformal, TwoSidedCqr,
+    head_spread, HeadSelection, MondrianConformal, PooledConformal, PredictionSet, ScaledConformal,
+    TwoSidedCqr,
 };
-use pitot_orchestrator::{
-    ClusterSim, JobStream, OraclePredictor, PitotPredictor, PlacementPolicy,
-};
+use pitot_orchestrator::{ClusterSim, JobStream, OraclePredictor, PitotPredictor, PlacementPolicy};
 use std::hint::black_box;
 
 fn quantile_model(f: &Fixture) -> pitot::TrainedPitot {
@@ -38,9 +36,11 @@ fn orchestration_episode(c: &mut Criterion) {
     let jobs = JobStream::generate_with_deadlines(&f.testbed, 100, 0.02, (1.3, 3.0), 0);
     c.bench_function("ext_orchestration_episode", |b| {
         b.iter(|| {
-            let report = ClusterSim::new(&f.testbed)
-                .restrict_to(&site)
-                .run(black_box(&jobs), &mut PlacementPolicy::deadline_aware(), &pred);
+            let report = ClusterSim::new(&f.testbed).restrict_to(&site).run(
+                black_box(&jobs),
+                &mut PlacementPolicy::deadline_aware(),
+                &pred,
+            );
             black_box(report.violations)
         })
     });
@@ -113,14 +113,33 @@ fn conformal_variant_fits(c: &mut Criterion) {
     c.bench_function("ext_fit_scaled_conformal", |b| {
         b.iter(|| {
             let disp = head_spread(&preds[0], &preds[2]);
-            black_box(ScaledConformal::fit(black_box(&preds[0]), &disp, &targets, 0.1))
+            black_box(ScaledConformal::fit(
+                black_box(&preds[0]),
+                &disp,
+                &targets,
+                0.1,
+            ))
         })
     });
     c.bench_function("ext_fit_mondrian", |b| {
-        b.iter(|| black_box(MondrianConformal::fit(black_box(&preds[0]), &targets, &groups, 0.1)))
+        b.iter(|| {
+            black_box(MondrianConformal::fit(
+                black_box(&preds[0]),
+                &targets,
+                &groups,
+                0.1,
+            ))
+        })
     });
     c.bench_function("ext_fit_two_sided_cqr", |b| {
-        b.iter(|| black_box(TwoSidedCqr::fit(black_box(&preds[0]), &preds[2], &targets, 0.1)))
+        b.iter(|| {
+            black_box(TwoSidedCqr::fit(
+                black_box(&preds[0]),
+                &preds[2],
+                &targets,
+                0.1,
+            ))
+        })
     });
 }
 
@@ -132,7 +151,10 @@ fn analytic_baselines(c: &mut Criterion) {
             black_box(KnnCollaborative::fit(
                 black_box(&f.dataset),
                 &f.split,
-                &KnnConfig { k: 5, min_overlap: 5 },
+                &KnnConfig {
+                    k: 5,
+                    min_overlap: 5,
+                },
             ))
         })
     });
@@ -146,12 +168,16 @@ fn analytic_baselines(c: &mut Criterion) {
 /// Optimizer step cost at Pitot-sized parameter counts.
 fn optimizer_steps(c: &mut Criterion) {
     let n = 111_200; // the paper's parameter count
-    let grads = vec![vec![0.01f32; n]];
+    let grads = [vec![0.01f32; n]];
     let grad_refs: Vec<&[f32]> = grads.iter().map(|g| g.as_slice()).collect();
-    for kind in [OptimizerKind::AdaMax, OptimizerKind::Adam, OptimizerKind::SgdMomentum] {
-        let mut params = vec![vec![0.5f32; n]];
+    for kind in [
+        OptimizerKind::AdaMax,
+        OptimizerKind::Adam,
+        OptimizerKind::SgdMomentum,
+    ] {
+        let mut params = [vec![0.5f32; n]];
         let mut opt = kind.build(1e-3);
-        c.bench_function(&format!("ext_optimizer_step_{}", kind.name()), |b| {
+        c.bench_function(format!("ext_optimizer_step_{}", kind.name()), |b| {
             b.iter(|| {
                 let mut refs: Vec<&mut [f32]> =
                     params.iter_mut().map(|p| p.as_mut_slice()).collect();

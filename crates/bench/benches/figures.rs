@@ -48,10 +48,16 @@ fn fig4_ablation_arm(c: &mut Criterion) {
     let f = Fixture::small();
     let mut group = c.benchmark_group("fig4_ablation_arm");
     group.sample_size(10);
-    for (name, loss) in [("log_residual", LossSpace::LogResidual), ("log", LossSpace::Log)] {
+    for (name, loss) in [
+        ("log_residual", LossSpace::LogResidual),
+        ("log", LossSpace::Log),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let cfg = PitotConfig { loss_space: loss, ..micro_config() };
+                let cfg = PitotConfig {
+                    loss_space: loss,
+                    ..micro_config()
+                };
                 black_box(pitot::train(&f.dataset, &f.split, &cfg).final_val_loss())
             })
         });
@@ -59,7 +65,10 @@ fn fig4_ablation_arm(c: &mut Criterion) {
     // Fig 4c's discard arm trains on isolation data only.
     group.bench_function("discard", |b| {
         b.iter(|| {
-            let cfg = PitotConfig { interference: InterferenceMode::Discard, ..micro_config() };
+            let cfg = PitotConfig {
+                interference: InterferenceMode::Discard,
+                ..micro_config()
+            };
             black_box(pitot::train(&f.dataset, &f.split, &cfg).final_val_loss())
         })
     });
@@ -112,7 +121,10 @@ fn fig7_tsne(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_tsne");
     group.sample_size(10);
     group.bench_function("embed", |b| {
-        let cfg = TsneConfig { iterations: 100, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 100,
+            ..TsneConfig::default()
+        };
         b.iter(|| black_box(Tsne::new(cfg.clone()).embed(&emb)))
     });
     group.finish();
@@ -126,7 +138,10 @@ fn fig10_embed_dim(c: &mut Criterion) {
     for r in [8usize, 32] {
         group.bench_function(format!("r{r}"), |b| {
             b.iter(|| {
-                let cfg = PitotConfig { embed_dim: r, ..micro_config() };
+                let cfg = PitotConfig {
+                    embed_dim: r,
+                    ..micro_config()
+                };
                 black_box(pitot::train(&f.dataset, &f.split, &cfg).final_val_loss())
             })
         });

@@ -14,8 +14,22 @@ fn training_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("training_throughput");
     group.sample_size(10);
     for (name, cfg) in [
-        ("paper_arch", PitotConfig { steps: 10, eval_every: 10, ..PitotConfig::paper() }),
-        ("fast_arch", PitotConfig { steps: 10, eval_every: 10, ..PitotConfig::fast() }),
+        (
+            "paper_arch",
+            PitotConfig {
+                steps: 10,
+                eval_every: 10,
+                ..PitotConfig::paper()
+            },
+        ),
+        (
+            "fast_arch",
+            PitotConfig {
+                steps: 10,
+                eval_every: 10,
+                ..PitotConfig::fast()
+            },
+        ),
     ] {
         group.throughput(Throughput::Elements(cfg.steps as u64));
         group.bench_function(name, |b| {
@@ -29,7 +43,11 @@ fn training_throughput(c: &mut Criterion) {
 /// entity towers are evaluated once and reused, as in deployment.
 fn inference_latency(c: &mut Criterion) {
     let f = Fixture::small();
-    let cfg = PitotConfig { steps: 20, eval_every: 20, ..PitotConfig::paper() };
+    let cfg = PitotConfig {
+        steps: 20,
+        eval_every: 20,
+        ..PitotConfig::paper()
+    };
     let trained = pitot::train(&f.dataset, &f.split, &cfg);
     let (w, p_full) = trained.model.infer_towers(&f.dataset);
     let idx = [f.split.test[0]];
@@ -53,7 +71,10 @@ fn quantile_head_overhead(c: &mut Criterion) {
         ("single_head", Objective::Squared),
         ("eight_heads", Objective::paper_quantiles()),
     ] {
-        let cfg = PitotConfig { objective, ..PitotConfig::paper() };
+        let cfg = PitotConfig {
+            objective,
+            ..PitotConfig::paper()
+        };
         let model = PitotModel::new(&cfg, &f.dataset);
         group.bench_function(name, |b| {
             b.iter(|| black_box(model.infer_towers(&f.dataset)))
@@ -62,5 +83,10 @@ fn quantile_head_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(training, training_throughput, inference_latency, quantile_head_overhead);
+criterion_group!(
+    training,
+    training_throughput,
+    inference_latency,
+    quantile_head_overhead
+);
 criterion_main!(training);

@@ -22,6 +22,10 @@ impl Fixture {
         let testbed = Testbed::generate(&TestbedConfig::small());
         let dataset = testbed.collect_dataset();
         let split = Split::stratified(&dataset, 0.5, 0);
-        Self { testbed, dataset, split }
+        Self {
+            testbed,
+            dataset,
+            split,
+        }
     }
 }

@@ -47,11 +47,19 @@ impl CoverageCurve {
         let mut margin = Vec::with_capacity(epsilons.len());
         for &eps in epsilons {
             let bounds = bound_at(eps);
-            assert_eq!(bounds.len(), targets_log.len(), "bound closure length mismatch");
+            assert_eq!(
+                bounds.len(),
+                targets_log.len(),
+                "bound closure length mismatch"
+            );
             cov.push(coverage(&bounds, targets_log));
             margin.push(overprovision_margin(&bounds, targets_log));
         }
-        Self { epsilon: epsilons.to_vec(), coverage: cov, margin }
+        Self {
+            epsilon: epsilons.to_vec(),
+            coverage: cov,
+            margin,
+        }
     }
 
     /// Mean absolute deviation between empirical coverage and the nominal
@@ -153,11 +161,19 @@ mod tests {
             let sc = SplitConformal::fit(&pc, &tc, eps);
             pt.iter().map(|&p| sc.upper_bound_log(p)).collect()
         });
-        assert!(curve.valid_everywhere(0.02), "coverages {:?}", curve.coverage);
+        assert!(
+            curve.valid_everywhere(0.02),
+            "coverages {:?}",
+            curve.coverage
+        );
         assert!(curve.calibration_error() < 0.02);
         // Margin should grow as ε shrinks.
         for w in curve.margin.windows(2) {
-            assert!(w[0] >= w[1], "margin not decreasing in ε: {:?}", curve.margin);
+            assert!(
+                w[0] >= w[1],
+                "margin not decreasing in ε: {:?}",
+                curve.margin
+            );
         }
     }
 
@@ -170,7 +186,10 @@ mod tests {
         let cc = conditional_coverage(&bounds, &targets, &groups);
         assert_eq!(cc[&0], 1.0);
         assert_eq!(cc[&1], 0.0);
-        assert_eq!(worst_group_coverage(&bounds, &targets, &groups), Some((1, 0.0)));
+        assert_eq!(
+            worst_group_coverage(&bounds, &targets, &groups),
+            Some((1, 0.0))
+        );
     }
 
     #[test]

@@ -44,10 +44,17 @@ impl CvPlus {
         miscoverage: f32,
     ) -> Self {
         assert!(!oof_predictions_log.is_empty(), "empty calibration set");
-        assert_eq!(oof_predictions_log.len(), targets_log.len(), "prediction/target mismatch");
+        assert_eq!(
+            oof_predictions_log.len(),
+            targets_log.len(),
+            "prediction/target mismatch"
+        );
         assert_eq!(fold_of.len(), targets_log.len(), "fold/target mismatch");
         assert!(n_folds >= 2, "need at least two folds");
-        assert!(miscoverage > 0.0 && miscoverage < 1.0, "miscoverage outside (0,1)");
+        assert!(
+            miscoverage > 0.0 && miscoverage < 1.0,
+            "miscoverage outside (0,1)"
+        );
         let scores: Vec<(usize, f32)> = fold_of
             .iter()
             .zip(oof_predictions_log)
@@ -57,7 +64,11 @@ impl CvPlus {
                 (f, t - p)
             })
             .collect();
-        Self { scores, n_folds, miscoverage }
+        Self {
+            scores,
+            n_folds,
+            miscoverage,
+        }
     }
 
     /// Number of folds.
@@ -103,15 +114,18 @@ impl CvPlus {
     ///
     /// Panics on a fold-count mismatch or ragged prediction rows.
     pub fn bounds_log(&self, test_fold_predictions: &[Vec<f32>]) -> Vec<f32> {
-        assert_eq!(test_fold_predictions.len(), self.n_folds, "fold count mismatch");
+        assert_eq!(
+            test_fold_predictions.len(),
+            self.n_folds,
+            "fold count mismatch"
+        );
         let n_test = test_fold_predictions[0].len();
         for (k, row) in test_fold_predictions.iter().enumerate() {
             assert_eq!(row.len(), n_test, "fold {k} prediction count mismatch");
         }
         (0..n_test)
             .map(|j| {
-                let per_fold: Vec<f32> =
-                    test_fold_predictions.iter().map(|row| row[j]).collect();
+                let per_fold: Vec<f32> = test_fold_predictions.iter().map(|row| row[j]).collect();
                 self.bound_log(&per_fold)
             })
             .collect()
@@ -147,7 +161,10 @@ mod tests {
     impl FoldSim {
         fn new(k: usize, sigma: f32, seed: u64) -> Self {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            Self { biases: (0..k).map(|_| rng.gen_range(-0.05f32..0.05)).collect(), sigma }
+            Self {
+                biases: (0..k).map(|_| rng.gen_range(-0.05f32..0.05)).collect(),
+                sigma,
+            }
         }
 
         fn predict(&self, fold: usize, x: f32) -> f32 {

@@ -67,9 +67,7 @@ mod tests {
         let targets = [0.0f32; 4];
         let loose = [0.5f32; 4];
         let tight = [0.1f32; 4];
-        assert!(
-            overprovision_margin(&tight, &targets) < overprovision_margin(&loose, &targets)
-        );
+        assert!(overprovision_margin(&tight, &targets) < overprovision_margin(&loose, &targets));
     }
 
     #[test]
@@ -86,7 +84,10 @@ mod tests {
             let cov = coverage(&bounds, &targets);
             let margin = overprovision_margin(&bounds, &targets);
             assert!(cov >= prev_cov, "coverage not monotone at shift {shift}");
-            assert!(margin >= prev_margin, "margin not monotone at shift {shift}");
+            assert!(
+                margin >= prev_margin,
+                "margin not monotone at shift {shift}"
+            );
             prev_cov = cov;
             prev_margin = margin;
         }

@@ -68,7 +68,11 @@ impl MondrianConformal {
         min_group: usize,
     ) -> Self {
         assert!(!predictions_log.is_empty(), "empty calibration set");
-        assert_eq!(predictions_log.len(), targets_log.len(), "prediction/target mismatch");
+        assert_eq!(
+            predictions_log.len(),
+            targets_log.len(),
+            "prediction/target mismatch"
+        );
         assert_eq!(groups.len(), targets_log.len(), "group/target mismatch");
 
         let all_scores: Vec<f32> = predictions_log
@@ -88,7 +92,12 @@ impl MondrianConformal {
             .map(|(g, scores)| (g, calibrate_gamma(&scores, miscoverage)))
             .collect();
 
-        Self { gammas, fallback, miscoverage, min_group }
+        Self {
+            gammas,
+            fallback,
+            miscoverage,
+            min_group,
+        }
     }
 
     /// The offset used for `group` (the global fallback if the group's
@@ -211,7 +220,10 @@ mod tests {
         let b_g: Vec<f32> = pt.iter().map(|&p| global.upper_bound_log(p, 0)).collect();
         let cov_m = coverage(&b_m, &tt);
         let cov_g = coverage(&b_g, &tt);
-        assert!(cov_m >= 1.0 - eps - 0.02, "Mondrian coverage {cov_m} under shift");
+        assert!(
+            cov_m >= 1.0 - eps - 0.02,
+            "Mondrian coverage {cov_m} under shift"
+        );
         assert!(
             cov_g < cov_m - 0.03,
             "global calibration should break under shift: {cov_g} vs {cov_m}"

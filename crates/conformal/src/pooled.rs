@@ -42,7 +42,11 @@ impl<'a> PredictionSet<'a> {
         for (h, p) in self.predictions.iter().enumerate() {
             assert_eq!(p.len(), self.targets_log.len(), "head {h} length mismatch");
         }
-        assert_eq!(self.pools.len(), self.targets_log.len(), "pool key length mismatch");
+        assert_eq!(
+            self.pools.len(),
+            self.targets_log.len(),
+            "pool key length mismatch"
+        );
     }
 
     fn indices_in_pool(&self, pool: usize) -> Vec<usize> {
@@ -154,7 +158,11 @@ impl PooledConformal {
             );
         }
 
-        Self { miscoverage, pools, fallback }
+        Self {
+            miscoverage,
+            pools,
+            fallback,
+        }
     }
 
     fn calibrate_pool(
@@ -176,25 +184,35 @@ impl PooledConformal {
         };
 
         match selection {
-            HeadSelection::SingleHead => PoolCalibration { head: 0, gamma: gamma_for(0) },
+            HeadSelection::SingleHead => PoolCalibration {
+                head: 0,
+                gamma: gamma_for(0),
+            },
             HeadSelection::NaiveXi => {
                 let target = 1.0 - miscoverage;
                 let head = (0..n_heads)
-                    .min_by(|&a, &b| {
-                        (xis[a] - target).abs().total_cmp(&(xis[b] - target).abs())
-                    })
+                    .min_by(|&a, &b| (xis[a] - target).abs().total_cmp(&(xis[b] - target).abs()))
                     .expect("at least one head");
-                PoolCalibration { head, gamma: gamma_for(head) }
+                PoolCalibration {
+                    head,
+                    gamma: gamma_for(head),
+                }
             }
             HeadSelection::TightestOnValidation => {
-                let mut best = PoolCalibration { head: 0, gamma: gamma_for(0) };
+                let mut best = PoolCalibration {
+                    head: 0,
+                    gamma: gamma_for(0),
+                };
                 let mut best_margin = f32::INFINITY;
                 for head in 0..n_heads {
                     let gamma = gamma_for(head);
                     let (bounds, targets): (Vec<f32>, Vec<f32>) = val_idx
                         .iter()
                         .map(|&i| {
-                            (validation.predictions[head][i] + gamma, validation.targets_log[i])
+                            (
+                                validation.predictions[head][i] + gamma,
+                                validation.targets_log[i],
+                            )
                         })
                         .unzip();
                     if bounds.is_empty() {
@@ -274,10 +292,7 @@ mod tests {
     /// Builds a synthetic two-pool quantile-regression scenario: pool 0 has
     /// low noise, pool 1 high noise; heads predict mean + z_ξ·σ̂ with a
     /// systematically underestimated σ̂ (so conformal has work to do).
-    fn scenario(
-        seed: u64,
-        n: usize,
-    ) -> (Vec<Vec<f32>>, Vec<f32>, Vec<usize>) {
+    fn scenario(seed: u64, n: usize) -> (Vec<Vec<f32>>, Vec<f32>, Vec<usize>) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let xis = [0.5f32, 0.8, 0.9, 0.95];
         let z = [0.0f32, 0.84, 1.28, 1.64];
@@ -313,14 +328,25 @@ mod tests {
         let (cp, ct, cpool) = scenario(0, 2000);
         let (vp, vt, vpool) = scenario(1, 2000);
         let (tp, tt, tpool) = scenario(2, 4000);
-        let cal = PredictionSet { predictions: &cp, targets_log: &ct, pools: &cpool };
-        let val = PredictionSet { predictions: &vp, targets_log: &vt, pools: &vpool };
-        let test = PredictionSet { predictions: &tp, targets_log: &tt, pools: &tpool };
+        let cal = PredictionSet {
+            predictions: &cp,
+            targets_log: &ct,
+            pools: &cpool,
+        };
+        let val = PredictionSet {
+            predictions: &vp,
+            targets_log: &vt,
+            pools: &vpool,
+        };
+        let test = PredictionSet {
+            predictions: &tp,
+            targets_log: &tt,
+            pools: &tpool,
+        };
         let pc = PooledConformal::fit(&cal, &val, &xis(), HeadSelection::TightestOnValidation, 0.1);
         let bounds = pc.bounds_log(&test);
         for pool in [0usize, 1] {
-            let idx: Vec<usize> =
-                (0..tt.len()).filter(|&i| tpool[i] == pool).collect();
+            let idx: Vec<usize> = (0..tt.len()).filter(|&i| tpool[i] == pool).collect();
             let b: Vec<f32> = idx.iter().map(|&i| bounds[i]).collect();
             let t: Vec<f32> = idx.iter().map(|&i| tt[i]).collect();
             let cov = coverage(&b, &t);
@@ -333,16 +359,37 @@ mod tests {
         let (cp, ct, cpool) = scenario(3, 4000);
         let (vp, vt, vpool) = scenario(4, 4000);
         let (tp, tt, tpool) = scenario(5, 4000);
-        let cal = PredictionSet { predictions: &cp, targets_log: &ct, pools: &cpool };
-        let val = PredictionSet { predictions: &vp, targets_log: &vt, pools: &vpool };
+        let cal = PredictionSet {
+            predictions: &cp,
+            targets_log: &ct,
+            pools: &cpool,
+        };
+        let val = PredictionSet {
+            predictions: &vp,
+            targets_log: &vt,
+            pools: &vpool,
+        };
         let pooled =
             PooledConformal::fit(&cal, &val, &xis(), HeadSelection::TightestOnValidation, 0.1);
         // Force global-only calibration by renaming all pools to one key.
         let one_pool: Vec<usize> = vec![0; ct.len()];
-        let cal_g = PredictionSet { predictions: &cp, targets_log: &ct, pools: &one_pool };
-        let val_g = PredictionSet { predictions: &vp, targets_log: &vt, pools: &one_pool };
-        let global =
-            PooledConformal::fit(&cal_g, &val_g, &xis(), HeadSelection::TightestOnValidation, 0.1);
+        let cal_g = PredictionSet {
+            predictions: &cp,
+            targets_log: &ct,
+            pools: &one_pool,
+        };
+        let val_g = PredictionSet {
+            predictions: &vp,
+            targets_log: &vt,
+            pools: &one_pool,
+        };
+        let global = PooledConformal::fit(
+            &cal_g,
+            &val_g,
+            &xis(),
+            HeadSelection::TightestOnValidation,
+            0.1,
+        );
 
         // Quiet pool (0): pooled margin should beat global margin.
         let idx: Vec<usize> = (0..tt.len()).filter(|&i| tpool[i] == 0).collect();
@@ -369,9 +416,21 @@ mod tests {
         let (cp, ct, cpool) = scenario(6, 4000);
         let (vp, vt, vpool) = scenario(7, 4000);
         let (tp, tt, tpool) = scenario(8, 4000);
-        let cal = PredictionSet { predictions: &cp, targets_log: &ct, pools: &cpool };
-        let val = PredictionSet { predictions: &vp, targets_log: &vt, pools: &vpool };
-        let test = PredictionSet { predictions: &tp, targets_log: &tt, pools: &tpool };
+        let cal = PredictionSet {
+            predictions: &cp,
+            targets_log: &ct,
+            pools: &cpool,
+        };
+        let val = PredictionSet {
+            predictions: &vp,
+            targets_log: &vt,
+            pools: &vpool,
+        };
+        let test = PredictionSet {
+            predictions: &tp,
+            targets_log: &tt,
+            pools: &tpool,
+        };
         let eps = 0.05;
         let tight =
             PooledConformal::fit(&cal, &val, &xis(), HeadSelection::TightestOnValidation, eps);
@@ -386,7 +445,11 @@ mod tests {
         let preds = vec![vec![0.0f32; 100]];
         let targets: Vec<f32> = (0..100).map(|i| (i as f32) / 1000.0).collect();
         let pools = vec![0usize; 100];
-        let set = PredictionSet { predictions: &preds, targets_log: &targets, pools: &pools };
+        let set = PredictionSet {
+            predictions: &preds,
+            targets_log: &targets,
+            pools: &pools,
+        };
         let pc = PooledConformal::fit(&set, &set, &[0.5], HeadSelection::SingleHead, 0.1);
         let cal = pc.calibration_for(0);
         assert_eq!(cal.head, 0);
@@ -400,7 +463,11 @@ mod tests {
         cpool[0] = 99;
         cpool[1] = 99;
         cpool[2] = 99;
-        let cal = PredictionSet { predictions: &cp, targets_log: &ct, pools: &cpool };
+        let cal = PredictionSet {
+            predictions: &cp,
+            targets_log: &ct,
+            pools: &cpool,
+        };
         let pc = PooledConformal::fit(&cal, &cal, &xis(), HeadSelection::NaiveXi, 0.1);
         assert!(!pc.pool_calibrations().contains_key(&99));
         // calibration_for still answers via the fallback.

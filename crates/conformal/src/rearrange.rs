@@ -55,11 +55,7 @@ pub fn crossing_rate(predictions: &[Vec<f32>]) -> f32 {
         assert_eq!(p.len(), n, "head {h} length mismatch");
     }
     let crossed = (0..n)
-        .filter(|&i| {
-            predictions
-                .windows(2)
-                .any(|pair| pair[1][i] < pair[0][i])
-        })
+        .filter(|&i| predictions.windows(2).any(|pair| pair[1][i] < pair[0][i]))
         .count();
     crossed as f32 / n as f32
 }

@@ -52,7 +52,10 @@ impl SplitConformal {
             .zip(targets_log)
             .map(|(p, t)| t - p)
             .collect();
-        Self { gamma: calibrate_gamma(&scores, miscoverage), miscoverage }
+        Self {
+            gamma: calibrate_gamma(&scores, miscoverage),
+            miscoverage,
+        }
     }
 
     /// The calibrated offset γ.

@@ -56,21 +56,27 @@ impl TwoSidedCqr {
     /// # Panics
     ///
     /// Panics on empty or mismatched inputs, or `epsilon ∉ (0, 1)`.
-    pub fn fit(
-        lower_log: &[f32],
-        upper_log: &[f32],
-        targets_log: &[f32],
-        epsilon: f32,
-    ) -> Self {
-        assert_eq!(lower_log.len(), targets_log.len(), "lower/target length mismatch");
-        assert_eq!(upper_log.len(), targets_log.len(), "upper/target length mismatch");
+    pub fn fit(lower_log: &[f32], upper_log: &[f32], targets_log: &[f32], epsilon: f32) -> Self {
+        assert_eq!(
+            lower_log.len(),
+            targets_log.len(),
+            "lower/target length mismatch"
+        );
+        assert_eq!(
+            upper_log.len(),
+            targets_log.len(),
+            "upper/target length mismatch"
+        );
         let scores: Vec<f32> = lower_log
             .iter()
             .zip(upper_log)
             .zip(targets_log)
             .map(|((lo, hi), y)| (lo - y).max(y - hi))
             .collect();
-        Self { gamma: calibrate_gamma(&scores, epsilon), miscoverage: epsilon }
+        Self {
+            gamma: calibrate_gamma(&scores, epsilon),
+            miscoverage: epsilon,
+        }
     }
 
     /// The calibrated offset applied to both edges.
@@ -85,7 +91,10 @@ impl TwoSidedCqr {
 
     /// Calibrated interval for fresh lower/upper head predictions.
     pub fn interval_log(&self, lower_log: f32, upper_log: f32) -> Interval {
-        Interval { lo: lower_log - self.gamma, hi: upper_log + self.gamma }
+        Interval {
+            lo: lower_log - self.gamma,
+            hi: upper_log + self.gamma,
+        }
     }
 
     /// Vectorized [`TwoSidedCqr::interval_log`].
@@ -170,7 +179,10 @@ mod tests {
     fn miscalibrated_heads_need_positive_gamma() {
         let (lo, hi, y) = scenario(2, 2000);
         let cqr = TwoSidedCqr::fit(&lo, &hi, &y, 0.1);
-        assert!(cqr.offset() > 0.0, "heads underestimate spread, γ must stretch");
+        assert!(
+            cqr.offset() > 0.0,
+            "heads underestimate spread, γ must stretch"
+        );
     }
 
     #[test]
@@ -185,7 +197,10 @@ mod tests {
 
     #[test]
     fn interval_width_is_adaptive() {
-        let cqr = TwoSidedCqr { gamma: 0.1, miscoverage: 0.1 };
+        let cqr = TwoSidedCqr {
+            gamma: 0.1,
+            miscoverage: 0.1,
+        };
         let narrow = cqr.interval_log(0.0, 0.2);
         let wide = cqr.interval_log(0.0, 2.0);
         assert!(wide.width() > narrow.width());
@@ -193,7 +208,10 @@ mod tests {
 
     #[test]
     fn anomaly_detection_flags_fast_and_slow() {
-        let cqr = TwoSidedCqr { gamma: 0.05, miscoverage: 0.1 };
+        let cqr = TwoSidedCqr {
+            gamma: 0.05,
+            miscoverage: 0.1,
+        };
         let iv = cqr.interval_log(1.0, 2.0);
         assert!(iv.contains(1.5));
         assert!(!iv.contains(0.5), "suspiciously fast run must be flagged");

@@ -223,7 +223,10 @@ impl PitotConfig {
     /// outside (0,1)).
     pub fn validate(&self) {
         assert!(self.embed_dim > 0, "embed_dim must be positive");
-        assert!(self.interference_types > 0, "need at least one interference type");
+        assert!(
+            self.interference_types > 0,
+            "need at least one interference type"
+        );
         assert!(self.steps > 0 && self.batch_per_mode > 0);
         assert!(self.interference_weight >= 0.0);
         if let Objective::Quantiles(xs) = &self.objective {

@@ -22,17 +22,16 @@ pub fn mape(predicted_s: &[f32], actual_s: &[f32]) -> f32 {
 /// MAPE of a trained model over specific observation indices.
 pub(crate) fn mape_for(trained: &TrainedPitot, dataset: &Dataset, idx: &[usize]) -> f32 {
     let pred = trained.predict_runtime(dataset, idx);
-    let actual: Vec<f32> = idx.iter().map(|&i| dataset.observations[i].runtime_s).collect();
+    let actual: Vec<f32> = idx
+        .iter()
+        .map(|&i| dataset.observations[i].runtime_s)
+        .collect();
     mape(&pred, &actual)
 }
 
 /// MAPE split by interference count: element `k` is the MAPE over
 /// observations with exactly `k` interferers (`None` if the mode is absent).
-pub fn mape_by_mode(
-    trained: &TrainedPitot,
-    dataset: &Dataset,
-    idx: &[usize],
-) -> Vec<Option<f32>> {
+pub fn mape_by_mode(trained: &TrainedPitot, dataset: &Dataset, idx: &[usize]) -> Vec<Option<f32>> {
     (0..=MAX_INTERFERERS)
         .map(|k| {
             let mode_idx: Vec<usize> = idx

@@ -75,10 +75,24 @@ impl PitotModel {
     pub fn new(config: &PitotConfig, dataset: &Dataset) -> Self {
         config.validate();
         let q = config.learned_features;
-        let wf = if config.use_workload_features { dataset.workload_features.cols() } else { 0 };
-        let pf = if config.use_platform_features { dataset.platform_features.cols() } else { 0 };
-        assert!(wf + q > 0, "workload tower has no inputs (enable features or set q > 0)");
-        assert!(pf + q > 0, "platform tower has no inputs (enable features or set q > 0)");
+        let wf = if config.use_workload_features {
+            dataset.workload_features.cols()
+        } else {
+            0
+        };
+        let pf = if config.use_platform_features {
+            dataset.platform_features.cols()
+        } else {
+            0
+        };
+        assert!(
+            wf + q > 0,
+            "workload tower has no inputs (enable features or set q > 0)"
+        );
+        assert!(
+            pf + q > 0,
+            "platform tower has no inputs (enable features or set q > 0)"
+        );
 
         let n_heads = config.objective.head_count();
         let r = config.embed_dim;
@@ -137,7 +151,10 @@ impl PitotModel {
     /// (dimensions, head count, tower widths) rather than inference-time
     /// behavior.
     pub fn set_config(&mut self, config: PitotConfig) {
-        assert_eq!(config.embed_dim, self.config.embed_dim, "embed_dim is architectural");
+        assert_eq!(
+            config.embed_dim, self.config.embed_dim,
+            "embed_dim is architectural"
+        );
         assert_eq!(
             config.objective.head_count(),
             self.config.objective.head_count(),
@@ -147,7 +164,10 @@ impl PitotModel {
             config.interference_types, self.config.interference_types,
             "interference types are architectural"
         );
-        assert_eq!(config.hidden, self.config.hidden, "tower widths are architectural");
+        assert_eq!(
+            config.hidden, self.config.hidden,
+            "tower widths are architectural"
+        );
         assert_eq!(
             config.learned_features, self.config.learned_features,
             "learned-feature width is architectural"
@@ -187,7 +207,12 @@ impl PitotModel {
         );
         let (w, cache_w) = self.fw.forward(&input_w);
         let (p_full, cache_p) = self.fp.forward(&input_p);
-        TowerOutputs { w, p_full, cache_w, cache_p }
+        TowerOutputs {
+            w,
+            p_full,
+            cache_w,
+            cache_p,
+        }
     }
 
     /// Inference-only tower pass (no caches).
@@ -239,8 +264,14 @@ impl PitotModel {
         for o in obs {
             let i = o.workload as usize;
             let j = o.platform as usize;
-            assert!(i < w.rows(), "workload index {i} outside the trained catalog");
-            assert!(j < p_full.rows(), "platform index {j} outside the trained catalog");
+            assert!(
+                i < w.rows(),
+                "workload index {i} outside the trained catalog"
+            );
+            assert!(
+                j < p_full.rows(),
+                "platform index {j} outside the trained catalog"
+            );
             assert!(
                 o.interferers.iter().all(|&k| (k as usize) < w.rows()),
                 "interferer index outside the trained catalog"
@@ -345,8 +376,7 @@ impl PitotModel {
                             // d v_g += dm · Σ_k w_k ; d w_k += dm · v_g.
                             let mut wk_sum = vec![0.0f32; r];
                             for &k in &o.interferers {
-                                let w_k: Vec<f32> =
-                                    towers.w.row(k as usize)[head.clone()].to_vec();
+                                let w_k: Vec<f32> = towers.w.row(k as usize)[head.clone()].to_vec();
                                 axpy(&mut wk_sum, 1.0, &w_k);
                                 let dwk = d_w.row_mut(k as usize);
                                 axpy(&mut dwk[head.clone()], dm, vg_t);
@@ -362,19 +392,19 @@ impl PitotModel {
 
     /// Backpropagates accumulated output gradients through both towers,
     /// returning the full parameter gradients.
-    pub fn backward_towers(
-        &self,
-        towers: &TowerOutputs,
-        d_w: &Matrix,
-        d_p: &Matrix,
-    ) -> BatchGrads {
+    pub fn backward_towers(&self, towers: &TowerOutputs, d_w: &Matrix, d_p: &Matrix) -> BatchGrads {
         let q = self.config.learned_features;
         let (d_in_w, fw_grads) = self.fw.backward(&towers.cache_w, d_w);
         let (d_in_p, fp_grads) = self.fp.backward(&towers.cache_p, d_p);
         // φ gradients are the trailing q columns of the input gradients.
         let phi_w = d_in_w.columns(self.workload_feature_dim.min(d_in_w.cols()), q);
         let phi_p = d_in_p.columns(self.platform_feature_dim.min(d_in_p.cols()), q);
-        BatchGrads { fw: fw_grads, fp: fp_grads, phi_w, phi_p }
+        BatchGrads {
+            fw: fw_grads,
+            fp: fp_grads,
+            phi_w,
+            phi_p,
+        }
     }
 
     /// Zeroed gradient buffers shaped like the tower outputs.
@@ -422,16 +452,14 @@ impl PitotModel {
         PlatformEmbeddings {
             p: p_full.columns(0, r),
             vs: (0..s).map(|t| p_full.columns(r + t * r, r)).collect(),
-            vg: (0..s).map(|t| p_full.columns(r + s * r + t * r, r)).collect(),
+            vg: (0..s)
+                .map(|t| p_full.columns(r + s * r + t * r, r))
+                .collect(),
         }
     }
 
     /// Residual target for an observation under the configured loss space.
-    pub fn residual_target(
-        &self,
-        obs: &Observation,
-        scaling: &crate::ScalingBaseline,
-    ) -> f32 {
+    pub fn residual_target(&self, obs: &Observation, scaling: &crate::ScalingBaseline) -> f32 {
         match self.config.loss_space {
             crate::LossSpace::LogResidual => scaling.residual(obs),
             crate::LossSpace::Log => obs.log_runtime(),
@@ -471,7 +499,10 @@ mod tests {
         assert_eq!(towers.w.shape(), (ds.n_workloads, cfg.embed_dim));
         assert_eq!(
             towers.p_full.shape(),
-            (ds.n_platforms, cfg.embed_dim * (1 + 2 * cfg.interference_types))
+            (
+                ds.n_platforms,
+                cfg.embed_dim * (1 + 2 * cfg.interference_types)
+            )
         );
     }
 
@@ -483,7 +514,10 @@ mod tests {
         let towers = model.forward_towers(&ds);
         assert_eq!(towers.w.cols(), cfg.embed_dim * 3);
         // Platform tower is shared across heads (paper Sec 3.5).
-        assert_eq!(towers.p_full.cols(), cfg.embed_dim * (1 + 2 * cfg.interference_types));
+        assert_eq!(
+            towers.p_full.cols(),
+            cfg.embed_dim * (1 + 2 * cfg.interference_types)
+        );
     }
 
     #[test]
@@ -561,7 +595,11 @@ mod tests {
             let mut minus = m_minus.param_slices_mut();
             for (bi, g) in blocks.iter().enumerate() {
                 for k in 0..g.len() {
-                    let dir: f32 = if rand::Rng::gen_bool(&mut rng, 0.5) { 1.0 } else { -1.0 };
+                    let dir: f32 = if rand::Rng::gen_bool(&mut rng, 0.5) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     plus[bi][k] += eps * dir;
                     minus[bi][k] -= eps * dir;
                     analytic_dir += (g[k] * dir) as f64;
@@ -618,6 +656,6 @@ mod tests {
         assert_eq!(pe.vg.len(), cfg.interference_types);
     }
 
-    use rand_chacha::ChaCha8Rng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 }

@@ -140,9 +140,8 @@ impl ScalingBaseline {
             for o in &obs {
                 let i = o.workload as usize;
                 if new_w[i] {
-                    acc[i] += (o.log_runtime()
-                        - out.intercept
-                        - out.platform[o.platform as usize]) as f64;
+                    acc[i] += (o.log_runtime() - out.intercept - out.platform[o.platform as usize])
+                        as f64;
                 }
             }
             for (i, a) in acc.iter().enumerate() {
@@ -154,9 +153,8 @@ impl ScalingBaseline {
             for o in &obs {
                 let j = o.platform as usize;
                 if new_p[j] {
-                    acc[j] += (o.log_runtime()
-                        - out.intercept
-                        - out.workload[o.workload as usize]) as f64;
+                    acc[j] += (o.log_runtime() - out.intercept - out.workload[o.workload as usize])
+                        as f64;
                 }
             }
             for (j, a) in acc.iter().enumerate() {

@@ -106,7 +106,11 @@ pub fn train_from(
         }
         for pool in &mut by_mode {
             pool.shuffle(&mut rng);
-            let cap = if config.val_cap == 0 { pool.len() } else { config.val_cap };
+            let cap = if config.val_cap == 0 {
+                pool.len()
+            } else {
+                config.val_cap
+            };
             per_mode.extend(pool.iter().take(cap));
         }
         per_mode
@@ -145,7 +149,7 @@ pub fn train_from(
         if step % config.eval_every == 0 || step == config.steps {
             let val_loss = evaluate_loss(&model, &scaling, dataset, &val_idx, config);
             history.push(TrainProgress { step, val_loss });
-            let better = best.as_ref().map_or(true, |(b, _)| val_loss < *b);
+            let better = best.as_ref().is_none_or(|(b, _)| val_loss < *b);
             if better {
                 best = Some((val_loss, model.clone()));
             }
@@ -153,7 +157,12 @@ pub fn train_from(
     }
 
     let (_, best_model) = best.expect("at least one evaluation ran");
-    TrainedPitot { model: best_model, scaling, history, split: split.clone() }
+    TrainedPitot {
+        model: best_model,
+        scaling,
+        history,
+        split: split.clone(),
+    }
 }
 
 /// Per-mode objective weights (paper App B.3 / D.2): isolation gets 1.0,

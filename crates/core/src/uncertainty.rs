@@ -6,7 +6,9 @@
 //! interference count.
 
 use crate::train::TrainedPitot;
-use pitot_conformal::{coverage, overprovision_margin, HeadSelection, PooledConformal, PredictionSet};
+use pitot_conformal::{
+    coverage, overprovision_margin, HeadSelection, PooledConformal, PredictionSet,
+};
 use pitot_testbed::Dataset;
 
 /// A calibrated upper-bound predictor for workload runtimes.
@@ -32,7 +34,10 @@ impl TrainedPitot {
         epsilon: f32,
         selection: HeadSelection,
     ) -> RuntimeBounds {
-        assert!(!self.split.val.is_empty(), "validation split required for calibration");
+        assert!(
+            !self.split.val.is_empty(),
+            "validation split required for calibration"
+        );
         // Half the holdout calibrates, half drives head selection. The val
         // list is ordered by interference mode, so interleave rather than
         // bisect — both halves must contain every calibration pool.
@@ -44,8 +49,16 @@ impl TrainedPitot {
         let (sel_t, sel_pool) = targets_and_pools(dataset, &sel_idx);
 
         let conformal = PooledConformal::fit(
-            &PredictionSet { predictions: &cal_preds, targets_log: &cal_t, pools: &cal_pool },
-            &PredictionSet { predictions: &sel_preds, targets_log: &sel_t, pools: &sel_pool },
+            &PredictionSet {
+                predictions: &cal_preds,
+                targets_log: &cal_t,
+                pools: &cal_pool,
+            },
+            &PredictionSet {
+                predictions: &sel_preds,
+                targets_log: &sel_t,
+                pools: &sel_pool,
+            },
             &self.model.config().objective.xis(),
             selection,
             epsilon,
@@ -58,16 +71,14 @@ impl RuntimeBounds {
     /// Runtime budgets (seconds) sufficient with probability `1 − ε` for the
     /// given observations.
     pub fn bounds_s(&self, trained: &TrainedPitot, dataset: &Dataset, idx: &[usize]) -> Vec<f32> {
-        self.bounds_log(trained, dataset, idx).into_iter().map(|b| b.exp()).collect()
+        self.bounds_log(trained, dataset, idx)
+            .into_iter()
+            .map(|b| b.exp())
+            .collect()
     }
 
     /// Log-space bounds for the given observations.
-    pub fn bounds_log(
-        &self,
-        trained: &TrainedPitot,
-        dataset: &Dataset,
-        idx: &[usize],
-    ) -> Vec<f32> {
+    pub fn bounds_log(&self, trained: &TrainedPitot, dataset: &Dataset, idx: &[usize]) -> Vec<f32> {
         let preds = trained.predict_log_runtime(dataset, idx);
         idx.iter()
             .enumerate()
@@ -82,16 +93,20 @@ impl RuntimeBounds {
     /// Empirical coverage of the bounds over the given observations.
     pub fn coverage(&self, trained: &TrainedPitot, dataset: &Dataset, idx: &[usize]) -> f32 {
         let bounds = self.bounds_log(trained, dataset, idx);
-        let targets: Vec<f32> =
-            idx.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+        let targets: Vec<f32> = idx
+            .iter()
+            .map(|&i| dataset.observations[i].log_runtime())
+            .collect();
         coverage(&bounds, &targets)
     }
 
     /// Overprovisioning margin (paper Eq 11) over the given observations.
     pub fn margin(&self, trained: &TrainedPitot, dataset: &Dataset, idx: &[usize]) -> f32 {
         let bounds = self.bounds_log(trained, dataset, idx);
-        let targets: Vec<f32> =
-            idx.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+        let targets: Vec<f32> = idx
+            .iter()
+            .map(|&i| dataset.observations[i].log_runtime())
+            .collect();
         overprovision_margin(&bounds, &targets)
     }
 

@@ -38,7 +38,10 @@ fn main() {
         .filter(|&i| dataset.observations[i].platform == platform)
         .take(200)
         .collect();
-    let actual_total: f32 = batch.iter().map(|&i| dataset.observations[i].runtime_s).sum();
+    let actual_total: f32 = batch
+        .iter()
+        .map(|&i| dataset.observations[i].runtime_s)
+        .sum();
 
     println!(
         "capacity plan for {} ({} queued workloads, true total {:.1}s)\n",
@@ -46,7 +49,10 @@ fn main() {
         batch.len(),
         actual_total
     );
-    println!("{:>6} {:>14} {:>14} {:>10} {:>10}", "ε", "budgeted (s)", "overhead", "misses", "coverage");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10} {:>10}",
+        "ε", "budgeted (s)", "overhead", "misses", "coverage"
+    );
 
     for eps in [0.2, 0.1, 0.05, 0.02] {
         let bounds = trained.fit_bounds(&dataset, eps, HeadSelection::TightestOnValidation);

@@ -25,7 +25,11 @@ fn main() {
     let path = std::env::temp_dir().join("pitot_dataset_snapshot.json");
     dataset.save_json(&path).expect("write snapshot");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    println!("snapshot: {} ({:.1} MiB)", path.display(), bytes as f64 / (1024.0 * 1024.0));
+    println!(
+        "snapshot: {} ({:.1} MiB)",
+        path.display(),
+        bytes as f64 / (1024.0 * 1024.0)
+    );
 
     // …and reload where no simulator exists.
     let reloaded = Dataset::load_json(&path).expect("read snapshot");

@@ -53,8 +53,7 @@ fn main() {
     );
 
     let oracle = OraclePredictor::with_epsilon(&testbed, epsilon);
-    let scaling =
-        ScalingPredictor::new(pitot::ScalingBaseline::fit(&dataset, &split.train));
+    let scaling = ScalingPredictor::new(pitot::ScalingBaseline::fit(&dataset, &split.train));
     let pitot_point = PitotPredictor::new(&trained, &dataset);
     let pitot_bounds = PitotPredictor::with_bounds(&trained, &dataset, bounds);
 
@@ -69,15 +68,31 @@ fn main() {
     };
 
     run("random / oracle", PlacementPolicy::random(1), &oracle);
-    run("least-loaded / oracle", PlacementPolicy::least_loaded(), &oracle);
-    run("greedy / scaling (intf-blind)", PlacementPolicy::greedy_fastest(), &scaling);
-    run("greedy / pitot", PlacementPolicy::greedy_fastest(), &pitot_point);
+    run(
+        "least-loaded / oracle",
+        PlacementPolicy::least_loaded(),
+        &oracle,
+    );
+    run(
+        "greedy / scaling (intf-blind)",
+        PlacementPolicy::greedy_fastest(),
+        &scaling,
+    );
+    run(
+        "greedy / pitot",
+        PlacementPolicy::greedy_fastest(),
+        &pitot_point,
+    );
     run(
         &format!("deadline-aware / pitot+conformal ε={epsilon}"),
         PlacementPolicy::deadline_aware(),
         &pitot_bounds,
     );
-    run("deadline-aware / oracle (floor)", PlacementPolicy::deadline_aware(), &oracle);
+    run(
+        "deadline-aware / oracle (floor)",
+        PlacementPolicy::deadline_aware(),
+        &oracle,
+    );
 
     print!("{}", table.to_table());
     println!(

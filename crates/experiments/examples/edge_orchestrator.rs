@@ -61,18 +61,34 @@ fn main() {
     let w = |i: u32| i % nw;
     let workload = w(17);
     let deadline_s = 2.0;
-    let candidates = vec![
-        Placement { platform: 3 % np, running: vec![] },
-        Placement { platform: 40 % np, running: vec![w(5), w(9)] },
-        Placement { platform: 90 % np, running: vec![w(22)] },
-        Placement { platform: 140 % np, running: vec![w(2), w(61), w(88)] },
-        Placement { platform: 200 % np, running: vec![] },
+    let candidates = [
+        Placement {
+            platform: 3 % np,
+            running: vec![],
+        },
+        Placement {
+            platform: 40 % np,
+            running: vec![w(5), w(9)],
+        },
+        Placement {
+            platform: 90 % np,
+            running: vec![w(22)],
+        },
+        Placement {
+            platform: 140 % np,
+            running: vec![w(2), w(61), w(88)],
+        },
+        Placement {
+            platform: 200 % np,
+            running: vec![],
+        },
     ];
 
+    println!("placing workload {workload} with a {deadline_s:.1}s deadline (95% confidence)\n");
     println!(
-        "placing workload {workload} with a {deadline_s:.1}s deadline (95% confidence)\n"
+        "{:<52} {:>10} {:>12}  verdict",
+        "candidate platform", "point est", "95% budget"
     );
-    println!("{:<52} {:>10} {:>12}  verdict", "candidate platform", "point est", "95% budget");
 
     let mut ds = dataset.clone();
     let mut best: Option<(usize, f32)> = None;
@@ -96,7 +112,7 @@ fn main() {
             budget,
             if ok { "meets deadline" } else { "REJECTED" }
         );
-        if ok && best.map_or(true, |(_, b)| budget < b) {
+        if ok && best.is_none_or(|(_, b)| budget < b) {
             best = Some((c, budget));
         }
     }

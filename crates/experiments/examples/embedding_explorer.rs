@@ -28,13 +28,25 @@ fn main() {
         })
         .collect();
     let purity = neighborhood_purity(&emb, &labels, 8);
-    println!("workload embedding 8-NN suite purity: {purity:.3} ({} suites)", suite_ids.len());
+    println!(
+        "workload embedding 8-NN suite purity: {purity:.3} ({} suites)",
+        suite_ids.len()
+    );
 
     // Project to 2-D for plotting (prints per-suite centroids).
-    let coords = Tsne::new(TsneConfig { iterations: 250, ..TsneConfig::default() }).embed(&emb);
+    let coords = Tsne::new(TsneConfig {
+        iterations: 250,
+        ..TsneConfig::default()
+    })
+    .embed(&emb);
     println!("\nt-SNE suite centroids:");
     for (suite, id) in &suite_ids {
-        let pts: Vec<usize> = labels.iter().enumerate().filter(|(_, &l)| l == *id).map(|(i, _)| i).collect();
+        let pts: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == *id)
+            .map(|(i, _)| i)
+            .collect();
         let cx: f32 = pts.iter().map(|&i| coords[(i, 0)]).sum::<f32>() / pts.len() as f32;
         let cy: f32 = pts.iter().map(|&i| coords[(i, 1)]).sum::<f32>() / pts.len() as f32;
         println!("  {suite:<12} ({cx:>7.2}, {cy:>7.2})  n={}", pts.len());

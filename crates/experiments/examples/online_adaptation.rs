@@ -35,7 +35,11 @@ fn main() {
     println!(
         "new device: {} ({} platforms)",
         testbed.devices()[device].name,
-        testbed.platforms().iter().filter(|p| p.device == device).count()
+        testbed
+            .platforms()
+            .iter()
+            .filter(|p| p.device == device)
+            .count()
     );
 
     // 25% of the new device's observations arrive as adaptation data.

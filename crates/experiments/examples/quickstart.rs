@@ -66,5 +66,9 @@ fn main() {
     }
 
     let coverage = bounds.coverage(&trained, &dataset, &split.test);
-    println!("\nempirical bound coverage: {:.1}% (target ≥ {:.0}%)", 100.0 * coverage, 100.0 * (1.0 - epsilon));
+    println!(
+        "\nempirical bound coverage: {:.1}% (target ≥ {:.0}%)",
+        100.0 * coverage,
+        100.0 * (1.0 - epsilon)
+    );
 }

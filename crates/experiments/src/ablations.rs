@@ -9,7 +9,12 @@ use pitot_nn::Activation;
 /// Runs an error-vs-train-fraction sweep over named Pitot variants and
 /// reports MAPE with and without interference as separate panels (the
 /// paper's two-panel layout).
-pub fn pitot_error_curve(h: &Harness, id: &str, title: &str, variants: &[(String, PitotConfig)]) -> Figure {
+pub fn pitot_error_curve(
+    h: &Harness,
+    id: &str,
+    title: &str,
+    variants: &[(String, PitotConfig)],
+) -> Figure {
     let mut fig = Figure::new(id, title);
     for (label, cfg) in variants {
         let mut no_points = Vec::new();
@@ -50,10 +55,19 @@ pub fn fig4a(h: &Harness) -> Figure {
     let base = h.pitot_config();
     let variants = vec![
         ("Log-Residual Objective".to_string(), base.clone()),
-        ("Log Objective".to_string(), PitotConfig { loss_space: LossSpace::Log, ..base.clone() }),
+        (
+            "Log Objective".to_string(),
+            PitotConfig {
+                loss_space: LossSpace::Log,
+                ..base.clone()
+            },
+        ),
         (
             "Naive Proportional Loss".to_string(),
-            PitotConfig { loss_space: LossSpace::NaiveProportional, ..base },
+            PitotConfig {
+                loss_space: LossSpace::NaiveProportional,
+                ..base
+            },
         ),
     ];
     pitot_error_curve(h, "fig4a", "Loss formulation ablation", &variants)
@@ -67,11 +81,17 @@ pub fn fig4b(h: &Harness) -> Figure {
         ("All Features".to_string(), base.clone()),
         (
             "Platform Features Only".to_string(),
-            PitotConfig { use_workload_features: false, ..base.clone() },
+            PitotConfig {
+                use_workload_features: false,
+                ..base.clone()
+            },
         ),
         (
             "Workload Features Only".to_string(),
-            PitotConfig { use_platform_features: false, ..base.clone() },
+            PitotConfig {
+                use_platform_features: false,
+                ..base.clone()
+            },
         ),
         (
             "No Features".to_string(),
@@ -95,9 +115,18 @@ pub fn fig4c(h: &Harness) -> Figure {
         ("Interference-Aware".to_string(), base.clone()),
         (
             "Discard".to_string(),
-            PitotConfig { interference: InterferenceMode::Discard, ..base.clone() },
+            PitotConfig {
+                interference: InterferenceMode::Discard,
+                ..base.clone()
+            },
         ),
-        ("Ignore".to_string(), PitotConfig { interference: InterferenceMode::Ignore, ..base }),
+        (
+            "Ignore".to_string(),
+            PitotConfig {
+                interference: InterferenceMode::Ignore,
+                ..base
+            },
+        ),
     ];
     pitot_error_curve(h, "fig4c", "Interference handling ablation", &variants)
 }
@@ -109,7 +138,10 @@ pub fn fig4d(h: &Harness) -> Figure {
         ("With Activation Function".to_string(), base.clone()),
         (
             "Simple Multiplicative".to_string(),
-            PitotConfig { interference_activation: Activation::Identity, ..base },
+            PitotConfig {
+                interference_activation: Activation::Identity,
+                ..base
+            },
         ),
     ];
     pitot_error_curve(h, "fig4d", "Interference activation ablation", &variants)

@@ -56,7 +56,10 @@ pub fn fig6a(h: &Harness) -> Figure {
     // next-best baseline at the richest split.
     if let Some(pitot_s) = fig.series_for("Pitot", "without interference") {
         if let Some(best) = pitot_s.points.iter().map(|p| p.mean).reduce(f32::min) {
-            fig.notes.push(format!("Pitot best error without interference: {:.1}%", best * 100.0));
+            fig.notes.push(format!(
+                "Pitot best error without interference: {:.1}%",
+                best * 100.0
+            ));
         }
     }
     summarize_improvement(&mut fig);
@@ -75,7 +78,11 @@ fn summarize_improvement(fig: &mut Figure) {
         };
         for (pi, p) in pitot.iter().enumerate() {
             let mut best_baseline = f32::INFINITY;
-            for s in fig.series.iter().filter(|s| s.panel == panel && s.label != "Pitot") {
+            for s in fig
+                .series
+                .iter()
+                .filter(|s| s.panel == panel && s.label != "Pitot")
+            {
                 if let Some(bp) = s.points.get(pi) {
                     best_baseline = best_baseline.min(bp.mean);
                 }
@@ -87,7 +94,10 @@ fn summarize_improvement(fig: &mut Figure) {
     }
     if !improvements.is_empty() {
         let avg = pitot_linalg::mean(&improvements);
-        let max = improvements.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max = improvements
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
         fig.notes.push(format!(
             "error vs next-best baseline: average {:.0}% less, up to {:.0}% less",
             avg * 100.0,
@@ -130,17 +140,25 @@ pub fn summary(h: &Harness) -> Figure {
     let mut margins: Vec<(String, f32)> = Vec::new();
     let bound_methods: Vec<(Method, HeadSelection)> = vec![
         (quant, HeadSelection::TightestOnValidation),
-        (Method::NeuralNetwork(h.nn_config()), HeadSelection::SingleHead),
-        (Method::Attention(h.attention_config()), HeadSelection::SingleHead),
-        (Method::MatrixFactorization(h.mf_config()), HeadSelection::SingleHead),
+        (
+            Method::NeuralNetwork(h.nn_config()),
+            HeadSelection::SingleHead,
+        ),
+        (
+            Method::Attention(h.attention_config()),
+            HeadSelection::SingleHead,
+        ),
+        (
+            Method::MatrixFactorization(h.mf_config()),
+            HeadSelection::SingleHead,
+        ),
     ];
     for (method, selection) in bound_methods {
         let mut reps = Vec::new();
         for rep in 0..h.replicates {
             let split = h.split(split_frac, rep);
             let model = method.train(&h.dataset, &split, rep as u64);
-            let conformal =
-                fit_bounds_generic(model.as_ref(), &h.dataset, &split, eps, selection);
+            let conformal = fit_bounds_generic(model.as_ref(), &h.dataset, &split, eps, selection);
             let no_idx = h.test_without_interference(&split);
             reps.push(margin_on(model.as_ref(), &conformal, &h.dataset, &no_idx));
         }

@@ -43,7 +43,11 @@ pub fn ext_baselines(h: &Harness) -> Figure {
     let knn_cfg = KnnConfig::default();
     let imc_cfg = match h.scale {
         crate::harness::Scale::Fast => ImcConfig::fast(),
-        crate::harness::Scale::Full => ImcConfig { rank: 8, max_obs: 40_000, ..ImcConfig::fast() },
+        crate::harness::Scale::Full => ImcConfig {
+            rank: 8,
+            max_obs: 40_000,
+            ..ImcConfig::fast()
+        },
     };
     let tensor_cfg = match h.scale {
         crate::harness::Scale::Fast => {
@@ -57,35 +61,57 @@ pub fn ext_baselines(h: &Harness) -> Figure {
     };
 
     let methods: Vec<(&str, Trainer)> = vec![
-        ("Pitot", Box::new(|s: &Split, seed| {
-            Method::Pitot(h.pitot_config()).train(&h.dataset, s, seed)
-        })),
-        ("Neural Network", Box::new(|s: &Split, seed| {
-            Method::NeuralNetwork(h.nn_config()).train(&h.dataset, s, seed)
-        })),
-        ("Attention", Box::new(|s: &Split, seed| {
-            Method::Attention(h.attention_config()).train(&h.dataset, s, seed)
-        })),
-        ("Matrix Factorization", Box::new(|s: &Split, seed| {
-            Method::MatrixFactorization(h.mf_config()).train(&h.dataset, s, seed)
-        })),
-        ("kNN CF", Box::new(|s: &Split, _| {
-            Box::new(KnnCollaborative::fit(&h.dataset, s, &knn_cfg)) as Box<dyn LogPredictor>
-        })),
-        ("Inductive MC", Box::new(|s: &Split, seed| {
-            let mut cfg = imc_cfg.clone();
-            cfg.seed = seed;
-            Box::new(InductiveMc::fit(&h.dataset, s, &cfg)) as Box<dyn LogPredictor>
-        })),
-        ("Tensor CP", Box::new(|s: &Split, seed| {
-            let mut cfg = tensor_cfg.clone();
-            cfg.train = cfg.train.with_seed(seed);
-            Box::new(TensorCompletion::train(&h.dataset, s, &cfg)) as Box<dyn LogPredictor>
-        })),
-        ("Scaling baseline only", Box::new(|s: &Split, _| {
-            let scaling = pitot::ScalingBaseline::fit(&h.dataset, s.train.as_slice());
-            Box::new(ScalingOnly(scaling)) as Box<dyn LogPredictor>
-        })),
+        (
+            "Pitot",
+            Box::new(|s: &Split, seed| Method::Pitot(h.pitot_config()).train(&h.dataset, s, seed)),
+        ),
+        (
+            "Neural Network",
+            Box::new(|s: &Split, seed| {
+                Method::NeuralNetwork(h.nn_config()).train(&h.dataset, s, seed)
+            }),
+        ),
+        (
+            "Attention",
+            Box::new(|s: &Split, seed| {
+                Method::Attention(h.attention_config()).train(&h.dataset, s, seed)
+            }),
+        ),
+        (
+            "Matrix Factorization",
+            Box::new(|s: &Split, seed| {
+                Method::MatrixFactorization(h.mf_config()).train(&h.dataset, s, seed)
+            }),
+        ),
+        (
+            "kNN CF",
+            Box::new(|s: &Split, _| {
+                Box::new(KnnCollaborative::fit(&h.dataset, s, &knn_cfg)) as Box<dyn LogPredictor>
+            }),
+        ),
+        (
+            "Inductive MC",
+            Box::new(|s: &Split, seed| {
+                let mut cfg = imc_cfg.clone();
+                cfg.seed = seed;
+                Box::new(InductiveMc::fit(&h.dataset, s, &cfg)) as Box<dyn LogPredictor>
+            }),
+        ),
+        (
+            "Tensor CP",
+            Box::new(|s: &Split, seed| {
+                let mut cfg = tensor_cfg.clone();
+                cfg.train = cfg.train.with_seed(seed);
+                Box::new(TensorCompletion::train(&h.dataset, s, &cfg)) as Box<dyn LogPredictor>
+            }),
+        ),
+        (
+            "Scaling baseline only",
+            Box::new(|s: &Split, _| {
+                let scaling = pitot::ScalingBaseline::fit(&h.dataset, s.train.as_slice());
+                Box::new(ScalingOnly(scaling)) as Box<dyn LogPredictor>
+            }),
+        ),
     ];
 
     for (label, trainer) in methods {
@@ -97,9 +123,10 @@ pub fn ext_baselines(h: &Harness) -> Figure {
             no_reps.push(model.mape(&h.dataset, &h.test_without_interference(&split)));
             with_reps.push(model.mape(&h.dataset, &h.test_with_interference(&split)));
         }
-        for (panel, reps) in
-            [("without interference", no_reps), ("with interference", with_reps)]
-        {
+        for (panel, reps) in [
+            ("without interference", no_reps),
+            ("with interference", with_reps),
+        ] {
             fig.series.push(Series {
                 label: label.to_string(),
                 panel: panel.into(),
@@ -136,16 +163,13 @@ pub fn ext_baselines(h: &Harness) -> Figure {
 struct ScalingOnly(pitot::ScalingBaseline);
 
 impl LogPredictor for ScalingOnly {
-    fn predict_log(
-        &self,
-        dataset: &pitot_testbed::Dataset,
-        idx: &[usize],
-    ) -> Vec<Vec<f32>> {
+    fn predict_log(&self, dataset: &pitot_testbed::Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
         vec![idx
             .iter()
             .map(|&i| {
                 let o = &dataset.observations[i];
-                self.0.log_baseline(o.workload as usize, o.platform as usize)
+                self.0
+                    .log_baseline(o.workload as usize, o.platform as usize)
             })
             .collect()]
     }
@@ -177,8 +201,12 @@ mod tests {
         // isolation (kNN CF legitimately wins this panel at the 50% split —
         // recorded in the figure notes, asserted on the interference panel).
         let pitot_iso = mape("Pitot", "without interference");
-        for rival in ["Matrix Factorization", "Inductive MC", "Tensor CP",
-                      "Scaling baseline only"] {
+        for rival in [
+            "Matrix Factorization",
+            "Inductive MC",
+            "Tensor CP",
+            "Scaling baseline only",
+        ] {
             assert!(
                 pitot_iso < mape(rival, "without interference"),
                 "{rival} beat Pitot on isolation error"
@@ -187,8 +215,13 @@ mod tests {
         // On the interference panel, interference-blindness is fatal: Pitot
         // must beat every blind method plus tensor completion.
         let pitot_intf = mape("Pitot", "with interference");
-        for rival in ["Matrix Factorization", "kNN CF", "Inductive MC", "Tensor CP",
-                      "Scaling baseline only"] {
+        for rival in [
+            "Matrix Factorization",
+            "kNN CF",
+            "Inductive MC",
+            "Tensor CP",
+            "Scaling baseline only",
+        ] {
             assert!(
                 pitot_intf < mape(rival, "with interference"),
                 "{rival} beat Pitot under interference"

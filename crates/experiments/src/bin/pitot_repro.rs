@@ -67,9 +67,28 @@ fn main() {
     std::fs::create_dir_all(&out_dir).expect("create output directory");
 
     let all = [
-        "fig1", "table2", "table3", "fig4a", "fig4b", "fig4c", "fig4d", "fig5", "fig6a",
-        "fig6b", "fig8", "fig10", "fig11", "fig7", "fig12", "summary", "orchestration",
-        "shift", "online", "conformal", "optimizer", "baselines",
+        "fig1",
+        "table2",
+        "table3",
+        "fig4a",
+        "fig4b",
+        "fig4c",
+        "fig4d",
+        "fig5",
+        "fig6a",
+        "fig6b",
+        "fig8",
+        "fig10",
+        "fig11",
+        "fig7",
+        "fig12",
+        "summary",
+        "orchestration",
+        "shift",
+        "online",
+        "conformal",
+        "optimizer",
+        "baselines",
     ];
     let expanded: Vec<String> = commands
         .iter()
@@ -122,7 +141,12 @@ fn main() {
             let path = out_dir.join(format!("{}.json", fig.id));
             let json = serde_json::to_string_pretty(&fig).expect("serialize figure");
             std::fs::write(&path, json).expect("write figure JSON");
-            eprintln!("{} done in {:.1?} → {}", fig.id, t.elapsed(), path.display());
+            eprintln!(
+                "{} done in {:.1?} → {}",
+                fig.id,
+                t.elapsed(),
+                path.display()
+            );
         }
     }
     eprintln!("total: {:.1?}", t0.elapsed());

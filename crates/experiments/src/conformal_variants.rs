@@ -50,24 +50,35 @@ fn eval_variants(
     // Calibration half of the holdout (same interleave as the paper path).
     let cal_idx: Vec<usize> = split.val.iter().copied().step_by(2).collect();
     let cal_preds = model.predict_log(dataset, &cal_idx);
-    let cal_t: Vec<f32> =
-        cal_idx.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+    let cal_t: Vec<f32> = cal_idx
+        .iter()
+        .map(|&i| dataset.observations[i].log_runtime())
+        .collect();
 
-    let eval_bounds = |bound_for: &dyn Fn(&[Vec<f32>], usize) -> f32,
-                       idx: &[usize]|
-     -> (f32, f32) {
-        let preds = model.predict_log(dataset, idx);
-        let targets: Vec<f32> =
-            idx.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
-        let bounds: Vec<f32> = (0..idx.len()).map(|b| bound_for(&preds, b)).collect();
-        (overprovision_margin(&bounds, &targets), coverage(&bounds, &targets))
-    };
+    let eval_bounds =
+        |bound_for: &dyn Fn(&[Vec<f32>], usize) -> f32, idx: &[usize]| -> (f32, f32) {
+            let preds = model.predict_log(dataset, idx);
+            let targets: Vec<f32> = idx
+                .iter()
+                .map(|&i| dataset.observations[i].log_runtime())
+                .collect();
+            let bounds: Vec<f32> = (0..idx.len()).map(|b| bound_for(&preds, b)).collect();
+            (
+                overprovision_margin(&bounds, &targets),
+                coverage(&bounds, &targets),
+            )
+        };
 
     let mut out = Vec::new();
 
     // 1. Pooled CQR (the paper).
-    let pooled =
-        fit_bounds_generic(model, dataset, split, eps, HeadSelection::TightestOnValidation);
+    let pooled = fit_bounds_generic(
+        model,
+        dataset,
+        split,
+        eps,
+        HeadSelection::TightestOnValidation,
+    );
     {
         let all_idx: Vec<usize> = no_idx.iter().chain(with_idx).copied().collect();
         let m_no = margin_on(model, &pooled, dataset, no_idx);
@@ -75,7 +86,11 @@ fn eval_variants(
         let cov = crate::uncertainty::coverage_on(model, &pooled, dataset, &all_idx);
         out.push((
             "pooled CQR (paper)",
-            VariantEval { margin_no: m_no, margin_with: m_with, cov_all: cov },
+            VariantEval {
+                margin_no: m_no,
+                margin_with: m_with,
+                cov_all: cov,
+            },
         ));
     }
 
@@ -93,22 +108,29 @@ fn eval_variants(
         let (_, cov) = eval_bounds(&bound_for, &all_idx);
         out.push((
             "scaled conformal (CQR-r)",
-            VariantEval { margin_no: m_no, margin_with: m_with, cov_all: cov },
+            VariantEval {
+                margin_no: m_no,
+                margin_with: m_with,
+                cov_all: cov,
+            },
         ));
     }
 
     // 3. Plain split conformal on the median head.
     {
         let sc = SplitConformal::fit(&cal_preds[MEDIAN_HEAD], &cal_t, eps);
-        let bound_for =
-            |preds: &[Vec<f32>], b: usize| sc.upper_bound_log(preds[MEDIAN_HEAD][b]);
+        let bound_for = |preds: &[Vec<f32>], b: usize| sc.upper_bound_log(preds[MEDIAN_HEAD][b]);
         let (m_no, _) = eval_bounds(&bound_for, no_idx);
         let (m_with, _) = eval_bounds(&bound_for, with_idx);
         let all_idx: Vec<usize> = no_idx.iter().chain(with_idx).copied().collect();
         let (_, cov) = eval_bounds(&bound_for, &all_idx);
         out.push((
             "split conformal (median head)",
-            VariantEval { margin_no: m_no, margin_with: m_with, cov_all: cov },
+            VariantEval {
+                margin_no: m_no,
+                margin_with: m_with,
+                cov_all: cov,
+            },
         ));
     }
 
@@ -123,15 +145,19 @@ pub fn ext_conformal_variants(h: &Harness) -> Figure {
         "Conformal variants around one trained model (extension)",
     );
     let eps_list = epsilons(h);
-    let cfg = PitotConfig { objective: Objective::paper_quantiles(), ..h.pitot_config() };
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        ..h.pitot_config()
+    };
 
-    let labels = ["pooled CQR (paper)", "scaled conformal (CQR-r)", "split conformal (median head)"];
-    let mut margins_no: Vec<Vec<Vec<f32>>> =
-        vec![vec![Vec::new(); eps_list.len()]; labels.len()];
-    let mut margins_with: Vec<Vec<Vec<f32>>> =
-        vec![vec![Vec::new(); eps_list.len()]; labels.len()];
-    let mut coverages: Vec<Vec<Vec<f32>>> =
-        vec![vec![Vec::new(); eps_list.len()]; labels.len()];
+    let labels = [
+        "pooled CQR (paper)",
+        "scaled conformal (CQR-r)",
+        "split conformal (median head)",
+    ];
+    let mut margins_no: Vec<Vec<Vec<f32>>> = vec![vec![Vec::new(); eps_list.len()]; labels.len()];
+    let mut margins_with: Vec<Vec<Vec<f32>>> = vec![vec![Vec::new(); eps_list.len()]; labels.len()];
+    let mut coverages: Vec<Vec<Vec<f32>>> = vec![vec![Vec::new(); eps_list.len()]; labels.len()];
     let mut interval_notes = Vec::new();
 
     for rep in 0..h.replicates {

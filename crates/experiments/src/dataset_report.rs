@@ -42,7 +42,9 @@ pub fn fig1(h: &Harness) -> Figure {
             pitot_linalg::percentile(values, 0.99),
         ));
     }
-    fig.notes.push(format!("max observed slowdown: {max_overall:.1}x (paper: up to 20x)"));
+    fig.notes.push(format!(
+        "max observed slowdown: {max_overall:.1}x (paper: up to 20x)"
+    ));
     fig
 }
 
@@ -54,9 +56,9 @@ pub fn stats(h: &Harness) -> Figure {
     for line in stats.to_string().lines() {
         fig.notes.push(line.to_string());
     }
-    fig.notes.push(format!(
-        "paper reference: 53,637 isolation + 357,333 interference obs, Nw=249, Np=231"
-    ));
+    fig.notes.push(
+        "paper reference: 53,637 isolation + 357,333 interference obs, Nw=249, Np=231".to_string(),
+    );
     fig
 }
 
@@ -76,7 +78,12 @@ pub fn table2(h: &Harness) -> Figure {
     fig.notes.push(format!(
         "{} devices, {} vendors, {} microarchitectures",
         h.testbed.devices().len(),
-        h.testbed.devices().iter().map(|d| d.vendor.clone()).collect::<std::collections::HashSet<_>>().len(),
+        h.testbed
+            .devices()
+            .iter()
+            .map(|d| d.vendor.clone())
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
         h.testbed
             .devices()
             .iter()
@@ -91,7 +98,8 @@ pub fn table2(h: &Harness) -> Figure {
 pub fn table3(h: &Harness) -> Figure {
     let mut fig = Figure::new("table3", "WebAssembly runtimes and dataset counts");
     for r in h.testbed.runtimes() {
-        fig.notes.push(format!("{:<28} {}", r.name(), r.kind.label()));
+        fig.notes
+            .push(format!("{:<28} {}", r.name(), r.kind.label()));
     }
     let ds = &h.dataset;
     fig.notes.push(format!(

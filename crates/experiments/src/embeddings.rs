@@ -46,7 +46,8 @@ pub fn fig7(h: &Harness) -> Figure {
     let pca = Pca::fit(&emb, emb.cols().min(8));
     fig.notes.push(format!(
         "embedding effective rank: {} dims capture 90% of variance (r = {})",
-        pca.effective_rank(0.9).map_or_else(|| ">8".to_string(), |k| k.to_string()),
+        pca.effective_rank(0.9)
+            .map_or_else(|| ">8".to_string(), |k| k.to_string()),
         emb.cols()
     ));
     fig
@@ -79,8 +80,7 @@ pub fn fig12bc(h: &Harness) -> Figure {
             .collect()
     };
     let p_runtime = neighborhood_purity(&pe.p, &to_idx(&runtime_labels), 5);
-    let chance_runtime =
-        pitot_analysis::cluster::chance_purity(&to_idx(&runtime_labels));
+    let chance_runtime = pitot_analysis::cluster::chance_purity(&to_idx(&runtime_labels));
     let p_class = neighborhood_purity(&pe.p, &to_idx(&class_labels), 5);
     let chance_class = pitot_analysis::cluster::chance_purity(&to_idx(&class_labels));
     fig.notes.push(format!(
@@ -121,7 +121,12 @@ pub fn fig12d(h: &Harness) -> Figure {
             metric: "mean interference slowdown".into(),
             points: pts
                 .into_iter()
-                .map(|(x, y)| Point { x, mean: y, two_se: 0.0, replicates: vec![y] })
+                .map(|(x, y)| Point {
+                    x,
+                    mean: y,
+                    two_se: 0.0,
+                    replicates: vec![y],
+                })
                 .collect(),
         });
     }
@@ -133,7 +138,8 @@ pub fn fig12d(h: &Harness) -> Figure {
     // The paper's claim is a monotone trend on log-log axes; Spearman tests
     // monotonicity directly and is insensitive to the heavy-tailed scale.
     let rho = spearman(&norms, &slows);
-    fig.notes.push(format!("Spearman rank correlation: ρ = {rho:.3}"));
+    fig.notes
+        .push(format!("Spearman rank correlation: ρ = {rho:.3}"));
     fig
 }
 
@@ -167,12 +173,7 @@ fn measured_mean_slowdown(h: &Harness) -> HashMap<usize, f32> {
         .collect()
 }
 
-fn scatter_series<S: AsRef<str>>(
-    fig: &mut Figure,
-    coords: &Matrix,
-    labels: &[S],
-    metric: &str,
-) {
+fn scatter_series<S: AsRef<str>>(fig: &mut Figure, coords: &Matrix, labels: &[S], metric: &str) {
     let mut by_label: HashMap<String, Vec<(f32, f32)>> = HashMap::new();
     for (i, l) in labels.iter().enumerate() {
         by_label
@@ -189,7 +190,12 @@ fn scatter_series<S: AsRef<str>>(
             metric: metric.to_string(),
             points: pts
                 .into_iter()
-                .map(|(x, y)| Point { x, mean: y, two_se: 0.0, replicates: vec![y] })
+                .map(|(x, y)| Point {
+                    x,
+                    mean: y,
+                    two_se: 0.0,
+                    replicates: vec![y],
+                })
                 .collect(),
         });
     }

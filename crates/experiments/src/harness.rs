@@ -53,7 +53,14 @@ impl Harness {
         };
         let testbed = Testbed::generate(&testbed_cfg);
         let dataset = testbed.collect_dataset();
-        Self { scale, testbed, dataset, replicates, fractions, eval_cap }
+        Self {
+            scale,
+            testbed,
+            dataset,
+            replicates,
+            fractions,
+            eval_cap,
+        }
     }
 
     /// Base Pitot configuration at this scale.
@@ -121,22 +128,26 @@ impl Harness {
 
     /// Test indices *without* interference, capped for evaluation.
     pub fn test_without_interference(&self, split: &Split) -> Vec<usize> {
-        self.cap(split
-            .test
-            .iter()
-            .copied()
-            .filter(|&i| self.dataset.observations[i].interferers.is_empty())
-            .collect())
+        self.cap(
+            split
+                .test
+                .iter()
+                .copied()
+                .filter(|&i| self.dataset.observations[i].interferers.is_empty())
+                .collect(),
+        )
     }
 
     /// Test indices *with* interference, capped for evaluation.
     pub fn test_with_interference(&self, split: &Split) -> Vec<usize> {
-        self.cap(split
-            .test
-            .iter()
-            .copied()
-            .filter(|&i| !self.dataset.observations[i].interferers.is_empty())
-            .collect())
+        self.cap(
+            split
+                .test
+                .iter()
+                .copied()
+                .filter(|&i| !self.dataset.observations[i].interferers.is_empty())
+                .collect(),
+        )
     }
 
     fn cap(&self, idx: Vec<usize>) -> Vec<usize> {

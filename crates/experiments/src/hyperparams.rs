@@ -83,8 +83,7 @@ pub fn fig10_row(h: &Harness, sweep: Sweep) -> Figure {
             let mut reps_by_mode: Vec<Vec<f32>> = vec![Vec::new(); 4];
             for rep in 0..h.replicates {
                 let split = h.split(fraction, rep);
-                let trained =
-                    pitot::train(&h.dataset, &split, &cfg.clone().with_seed(rep as u64));
+                let trained = pitot::train(&h.dataset, &split, &cfg.clone().with_seed(rep as u64));
                 let test: Vec<usize> = {
                     let mut t = h.test_without_interference(&split);
                     t.extend(h.test_with_interference(&split));
@@ -141,8 +140,7 @@ mod tests {
 
     #[test]
     fn sweep_labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
-            Sweep::ALL.iter().map(|s| s.label()).collect();
+        let labels: std::collections::HashSet<_> = Sweep::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), 4);
     }
 }

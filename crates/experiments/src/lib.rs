@@ -19,11 +19,11 @@ pub mod harness;
 pub mod hyperparams;
 pub mod methods;
 pub mod online;
+pub mod optimizer_cmp;
 pub mod orchestration;
 pub mod report;
 pub mod shift;
 pub mod uncertainty;
-pub mod optimizer_cmp;
 
 pub use harness::{Harness, Scale};
 pub use methods::{Method, PitotPredictor};

@@ -58,10 +58,14 @@ pub fn ext_online(h: &Harness) -> Figure {
         for (a, &adapt_frac) in ADAPT_FRACTIONS.iter().enumerate() {
             let arrival =
                 device_arrival(&h.dataset, &h.testbed, device, 0.5, adapt_frac, rep as u64);
-            let test: Vec<usize> = if h.eval_cap > 0 && arrival.new_device_test.len() > h.eval_cap
-            {
+            let test: Vec<usize> = if h.eval_cap > 0 && arrival.new_device_test.len() > h.eval_cap {
                 let stride = arrival.new_device_test.len().div_ceil(h.eval_cap);
-                arrival.new_device_test.iter().copied().step_by(stride).collect()
+                arrival
+                    .new_device_test
+                    .iter()
+                    .copied()
+                    .step_by(stride)
+                    .collect()
             } else {
                 arrival.new_device_test.clone()
             };
@@ -80,10 +84,7 @@ pub fn ext_online(h: &Harness) -> Figure {
 
     for (label, pts) in [
         ("stale (no update)", stale_pts),
-        (
-            "fine-tune (warm start)",
-            tuned_pts,
-        ),
+        ("fine-tune (warm start)", tuned_pts),
         ("retrain (from scratch)", retrain_pts),
     ] {
         fig.series.push(Series {
@@ -126,15 +127,16 @@ mod tests {
 
         // At the largest adapt fraction the ordering must be clear.
         let last = ADAPT_FRACTIONS.len() - 1;
-        let (s, t, r) = (stale.points[last].mean, tuned.points[last].mean, retrain.points[last].mean);
+        let (s, t, r) = (
+            stale.points[last].mean,
+            tuned.points[last].mean,
+            retrain.points[last].mean,
+        );
         assert!(
             t < s,
             "fine-tuning must beat the stale model on a new device: tuned {t} vs stale {s}"
         );
         // Fine-tuning at 1/8 the budget should land within 2x of retraining.
-        assert!(
-            t < r * 2.0 + 0.05,
-            "fine-tune {t} too far from retrain {r}"
-        );
+        assert!(t < r * 2.0 + 0.05, "fine-tune {t} too far from retrain {r}");
     }
 }

@@ -14,8 +14,11 @@ use crate::report::{Figure, Point, Series};
 use pitot::OptimizerKind;
 
 /// The optimizers compared.
-const OPTIMIZERS: [OptimizerKind; 3] =
-    [OptimizerKind::AdaMax, OptimizerKind::Adam, OptimizerKind::SgdMomentum];
+const OPTIMIZERS: [OptimizerKind; 3] = [
+    OptimizerKind::AdaMax,
+    OptimizerKind::Adam,
+    OptimizerKind::SgdMomentum,
+];
 
 /// Extension figure: MAPE (with/without interference) per optimizer, plus
 /// the best validation loss reached.
@@ -61,9 +64,8 @@ pub fn ext_optimizer(h: &Harness) -> Figure {
             points: vec![Point::from_replicates(0.5, best_val)],
         });
     }
-    fig.notes.push(
-        "SGD runs at 10x the base rate; Adam/AdaMax at the paper's 1e-3".into(),
-    );
+    fig.notes
+        .push("SGD runs at 10x the base rate; Adam/AdaMax at the paper's 1e-3".into());
     fig
 }
 

@@ -68,13 +68,14 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
     let pitot_point = PitotPredictor::new(&trained, &h.dataset);
 
     let mut comparison = PolicyComparison::new();
-    let mut run = |label: &str, policy: &mut PlacementPolicy, pred: &dyn RuntimePredictor| -> SimReport {
-        let report = ClusterSim::new(&h.testbed)
-            .restrict_to(&site)
-            .run(&jobs, policy, pred);
-        comparison.push(label, report.clone());
-        report
-    };
+    let mut run =
+        |label: &str, policy: &mut PlacementPolicy, pred: &dyn RuntimePredictor| -> SimReport {
+            let report = ClusterSim::new(&h.testbed)
+                .restrict_to(&site)
+                .run(&jobs, policy, pred);
+            comparison.push(label, report.clone());
+            report
+        };
 
     let base_runs: Vec<(String, SimReport)> = vec![
         (
@@ -83,7 +84,11 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
         ),
         (
             "least-loaded".to_string(),
-            run("least-loaded / oracle", &mut PlacementPolicy::least_loaded(), &oracle),
+            run(
+                "least-loaded / oracle",
+                &mut PlacementPolicy::least_loaded(),
+                &oracle,
+            ),
         ),
         (
             "greedy / scaling (intf-blind)".to_string(),
@@ -95,11 +100,19 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
         ),
         (
             "greedy / pitot".to_string(),
-            run("greedy / pitot", &mut PlacementPolicy::greedy_fastest(), &pitot_point),
+            run(
+                "greedy / pitot",
+                &mut PlacementPolicy::greedy_fastest(),
+                &pitot_point,
+            ),
         ),
         (
             "deadline-aware / oracle".to_string(),
-            run("deadline-aware / oracle", &mut PlacementPolicy::deadline_aware(), &oracle),
+            run(
+                "deadline-aware / oracle",
+                &mut PlacementPolicy::deadline_aware(),
+                &oracle,
+            ),
         ),
     ];
 
@@ -108,13 +121,19 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
             label: label.clone(),
             panel: "policies".into(),
             metric: "violation rate".into(),
-            points: vec![Point::from_replicates(0.0, vec![report.violation_rate() as f32])],
+            points: vec![Point::from_replicates(
+                0.0,
+                vec![report.violation_rate() as f32],
+            )],
         });
         fig.series.push(Series {
             label: label.clone(),
             panel: "policies".into(),
             metric: "mean response (s)".into(),
-            points: vec![Point::from_replicates(0.0, vec![report.mean_response_s as f32])],
+            points: vec![Point::from_replicates(
+                0.0,
+                vec![report.mean_response_s as f32],
+            )],
         });
     }
 
@@ -129,8 +148,14 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
             &mut PlacementPolicy::deadline_aware(),
             &pred,
         );
-        viol_pts.push(Point::from_replicates(eps, vec![report.violation_rate() as f32]));
-        resp_pts.push(Point::from_replicates(eps, vec![report.mean_response_s as f32]));
+        viol_pts.push(Point::from_replicates(
+            eps,
+            vec![report.violation_rate() as f32],
+        ));
+        resp_pts.push(Point::from_replicates(
+            eps,
+            vec![report.mean_response_s as f32],
+        ));
     }
     fig.series.push(Series {
         label: "deadline-aware / pitot+conformal".into(),

@@ -20,7 +20,12 @@ pub struct Point {
 impl Point {
     /// Aggregates replicate measurements at position `x`.
     pub fn from_replicates(x: f32, values: Vec<f32>) -> Self {
-        Self { x, mean: mean(&values), two_se: 2.0 * stderr_of_mean(&values), replicates: values }
+        Self {
+            x,
+            mean: mean(&values),
+            two_se: 2.0 * stderr_of_mean(&values),
+            replicates: values,
+        }
     }
 }
 
@@ -53,7 +58,12 @@ pub struct Figure {
 impl Figure {
     /// Creates an empty figure.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        Self { id: id.into(), title: title.into(), series: Vec::new(), notes: Vec::new() }
+        Self {
+            id: id.into(),
+            title: title.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Prints the figure as uniform terminal rows.
@@ -74,7 +84,9 @@ impl Figure {
 
     /// Looks up a series by label and panel.
     pub fn series_for(&self, label: &str, panel: &str) -> Option<&Series> {
-        self.series.iter().find(|s| s.label == label && s.panel == panel)
+        self.series
+            .iter()
+            .find(|s| s.label == label && s.panel == panel)
     }
 }
 

@@ -44,15 +44,27 @@ fn fit_global(
     }
     let cal_preds = model.predict_log(dataset, &cal_idx);
     let sel_preds = model.predict_log(dataset, &sel_idx);
-    let cal_t: Vec<f32> =
-        cal_idx.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
-    let sel_t: Vec<f32> =
-        sel_idx.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+    let cal_t: Vec<f32> = cal_idx
+        .iter()
+        .map(|&i| dataset.observations[i].log_runtime())
+        .collect();
+    let sel_t: Vec<f32> = sel_idx
+        .iter()
+        .map(|&i| dataset.observations[i].log_runtime())
+        .collect();
     let zeros_cal = vec![0usize; cal_idx.len()];
     let zeros_sel = vec![0usize; sel_idx.len()];
     PooledConformal::fit(
-        &PredictionSet { predictions: &cal_preds, targets_log: &cal_t, pools: &zeros_cal },
-        &PredictionSet { predictions: &sel_preds, targets_log: &sel_t, pools: &zeros_sel },
+        &PredictionSet {
+            predictions: &cal_preds,
+            targets_log: &cal_t,
+            pools: &zeros_cal,
+        },
+        &PredictionSet {
+            predictions: &sel_preds,
+            targets_log: &sel_t,
+            pools: &zeros_sel,
+        },
         &model.quantile_levels(),
         HeadSelection::TightestOnValidation,
         epsilon,
@@ -69,10 +81,14 @@ fn coverage_with_pools(
     keyed: bool,
 ) -> f32 {
     let preds = model.predict_log(dataset, idx);
-    let targets: Vec<f32> =
-        idx.iter().map(|&i| dataset.observations[i].log_runtime()).collect();
+    let targets: Vec<f32> = idx
+        .iter()
+        .map(|&i| dataset.observations[i].log_runtime())
+        .collect();
     let pools: Vec<usize> = if keyed {
-        idx.iter().map(|&i| dataset.observations[i].interferers.len()).collect()
+        idx.iter()
+            .map(|&i| dataset.observations[i].interferers.len())
+            .collect()
     } else {
         vec![0usize; idx.len()]
     };
@@ -92,7 +108,10 @@ pub fn ext_shift(h: &Harness) -> Figure {
         "Pool-conditional coverage under interference-arity shift (extension)",
     );
     let eps = 0.1f32;
-    let cfg = PitotConfig { objective: Objective::paper_quantiles(), ..h.pitot_config() };
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        ..h.pitot_config()
+    };
 
     let mut pooled_cov: Vec<Vec<f32>> = vec![Vec::new(); SHIFTS.len()];
     let mut global_cov: Vec<Vec<f32>> = vec![Vec::new(); SHIFTS.len()];
@@ -100,8 +119,13 @@ pub fn ext_shift(h: &Harness) -> Figure {
         let split = h.split(0.5, rep);
         let trained = pitot::train(&h.dataset, &split, &cfg.clone().with_seed(rep as u64));
         let model = PitotPredictor(trained);
-        let pooled =
-            fit_bounds_generic(&model, &h.dataset, &split, eps, HeadSelection::TightestOnValidation);
+        let pooled = fit_bounds_generic(
+            &model,
+            &h.dataset,
+            &split,
+            eps,
+            HeadSelection::TightestOnValidation,
+        );
         let global = fit_global(&model, &h.dataset, &split, eps);
 
         for (s, (_, weights)) in SHIFTS.iter().enumerate() {
@@ -112,13 +136,19 @@ pub fn ext_shift(h: &Harness) -> Figure {
             } else {
                 shifted.test
             };
-            pooled_cov[s].push(coverage_with_pools(&model, &pooled, &h.dataset, &test, true));
-            global_cov[s].push(coverage_with_pools(&model, &global, &h.dataset, &test, false));
+            pooled_cov[s].push(coverage_with_pools(
+                &model, &pooled, &h.dataset, &test, true,
+            ));
+            global_cov[s].push(coverage_with_pools(
+                &model, &global, &h.dataset, &test, false,
+            ));
         }
     }
 
-    for (label, covs) in [("pooled (by arity)", pooled_cov), ("global (single pool)", global_cov)]
-    {
+    for (label, covs) in [
+        ("pooled (by arity)", pooled_cov),
+        ("global (single pool)", global_cov),
+    ] {
         fig.series.push(Series {
             label: label.into(),
             panel: format!("coverage at ε={eps}"),
@@ -131,7 +161,8 @@ pub fn ext_shift(h: &Harness) -> Figure {
         });
     }
     for (s, (name, w)) in SHIFTS.iter().enumerate() {
-        fig.notes.push(format!("x={s}: {name} (arity weights {w:?})"));
+        fig.notes
+            .push(format!("x={s}: {name} (arity weights {w:?})"));
     }
     fig.notes.push(format!("nominal coverage: {}", 1.0 - eps));
     fig
@@ -161,7 +192,10 @@ mod tests {
         let last = SHIFTS.len() - 1;
         let p_cov = pooled.points[last].mean;
         let g_cov = global.points[last].mean;
-        assert!(p_cov >= 0.85, "pooled coverage {p_cov} under worst-case shift");
+        assert!(
+            p_cov >= 0.85,
+            "pooled coverage {p_cov} under worst-case shift"
+        );
         assert!(
             g_cov < p_cov,
             "global calibration should break under shift: {g_cov} vs pooled {p_cov}"

@@ -14,9 +14,7 @@ use pitot_testbed::{split::Split, Dataset};
 pub fn epsilons(h: &Harness) -> Vec<f32> {
     match h.scale {
         crate::harness::Scale::Fast => vec![0.10, 0.08, 0.06, 0.04, 0.02],
-        crate::harness::Scale::Full => {
-            (1..=10).rev().map(|i| i as f32 / 100.0).collect()
-        }
+        crate::harness::Scale::Full => (1..=10).rev().map(|i| i as f32 / 100.0).collect(),
     }
 }
 
@@ -42,8 +40,16 @@ pub fn fit_bounds_generic(
     let (cal_t, cal_p) = targets_pools(dataset, &cal_idx);
     let (sel_t, sel_p) = targets_pools(dataset, &sel_idx);
     PooledConformal::fit(
-        &PredictionSet { predictions: &cal_preds, targets_log: &cal_t, pools: &cal_p },
-        &PredictionSet { predictions: &sel_preds, targets_log: &sel_t, pools: &sel_p },
+        &PredictionSet {
+            predictions: &cal_preds,
+            targets_log: &cal_t,
+            pools: &cal_p,
+        },
+        &PredictionSet {
+            predictions: &sel_preds,
+            targets_log: &sel_t,
+            pools: &sel_p,
+        },
         &model.quantile_levels(),
         selection,
         epsilon,
@@ -59,8 +65,11 @@ pub fn margin_on(
 ) -> f32 {
     let preds = model.predict_log(dataset, idx);
     let (targets, pools) = targets_pools(dataset, idx);
-    let bounds =
-        conformal.bounds_log(&PredictionSet { predictions: &preds, targets_log: &targets, pools: &pools });
+    let bounds = conformal.bounds_log(&PredictionSet {
+        predictions: &preds,
+        targets_log: &targets,
+        pools: &pools,
+    });
     overprovision_margin(&bounds, &targets)
 }
 
@@ -73,8 +82,11 @@ pub fn coverage_on(
 ) -> f32 {
     let preds = model.predict_log(dataset, idx);
     let (targets, pools) = targets_pools(dataset, idx);
-    let bounds =
-        conformal.bounds_log(&PredictionSet { predictions: &preds, targets_log: &targets, pools: &pools });
+    let bounds = conformal.bounds_log(&PredictionSet {
+        predictions: &preds,
+        targets_log: &targets,
+        pools: &pools,
+    });
     pitot_conformal::coverage(&bounds, &targets)
 }
 
@@ -89,12 +101,23 @@ fn targets_pools(dataset: &Dataset, idx: &[usize]) -> (Vec<f32>, Vec<usize>) {
 
 /// The three uncertainty strategies of Fig 5.
 fn fig5_strategies(h: &Harness) -> Vec<(String, PitotConfig, HeadSelection)> {
-    let quant = PitotConfig { objective: Objective::paper_quantiles(), ..h.pitot_config() };
+    let quant = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        ..h.pitot_config()
+    };
     let squared = h.pitot_config();
     vec![
-        ("Pitot".to_string(), quant.clone(), HeadSelection::TightestOnValidation),
+        (
+            "Pitot".to_string(),
+            quant.clone(),
+            HeadSelection::TightestOnValidation,
+        ),
         ("Naive CQR".to_string(), quant, HeadSelection::NaiveXi),
-        ("Non-quantile".to_string(), squared, HeadSelection::SingleHead),
+        (
+            "Non-quantile".to_string(),
+            squared,
+            HeadSelection::SingleHead,
+        ),
     ]
 }
 
@@ -154,9 +177,18 @@ fn tightness_vs_baselines(h: &Harness, fig: &mut Figure, fraction: f32) {
     });
     let methods: Vec<(Method, HeadSelection)> = vec![
         (quant_pitot, HeadSelection::TightestOnValidation),
-        (Method::NeuralNetwork(h.nn_config()), HeadSelection::SingleHead),
-        (Method::Attention(h.attention_config()), HeadSelection::SingleHead),
-        (Method::MatrixFactorization(h.mf_config()), HeadSelection::SingleHead),
+        (
+            Method::NeuralNetwork(h.nn_config()),
+            HeadSelection::SingleHead,
+        ),
+        (
+            Method::Attention(h.attention_config()),
+            HeadSelection::SingleHead,
+        ),
+        (
+            Method::MatrixFactorization(h.mf_config()),
+            HeadSelection::SingleHead,
+        ),
     ];
     for (method, selection) in methods {
         let mut pts_no: Vec<Vec<f32>> = vec![Vec::new(); eps_list.len()];
@@ -215,7 +247,10 @@ pub fn fig8(h: &Harness) -> Figure {
         "fig8",
         "Bound tightness by target quantile (ε = 0.05, without interference)",
     );
-    let cfg = PitotConfig { objective: Objective::paper_quantiles(), ..h.pitot_config() };
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        ..h.pitot_config()
+    };
     let xis = cfg.objective.xis();
     let eps = 0.05;
     let mut per_head: Vec<Vec<f32>> = vec![Vec::new(); xis.len()];
@@ -234,13 +269,16 @@ pub fn fig8(h: &Harness) -> Figure {
         let no_test = h.test_without_interference(&split);
         let cal_preds = model.predict_log(&h.dataset, &no_val);
         let test_preds = model.predict_log(&h.dataset, &no_test);
-        let cal_t: Vec<f32> =
-            no_val.iter().map(|&i| h.dataset.observations[i].log_runtime()).collect();
-        let test_t: Vec<f32> =
-            no_test.iter().map(|&i| h.dataset.observations[i].log_runtime()).collect();
+        let cal_t: Vec<f32> = no_val
+            .iter()
+            .map(|&i| h.dataset.observations[i].log_runtime())
+            .collect();
+        let test_t: Vec<f32> = no_test
+            .iter()
+            .map(|&i| h.dataset.observations[i].log_runtime())
+            .collect();
         for (hd, head_preds) in cal_preds.iter().enumerate() {
-            let scores: Vec<f32> =
-                head_preds.iter().zip(&cal_t).map(|(p, t)| t - p).collect();
+            let scores: Vec<f32> = head_preds.iter().zip(&cal_t).map(|(p, t)| t - p).collect();
             let gamma = calibrate_gamma(&scores, eps);
             let bounds: Vec<f32> = test_preds[hd].iter().map(|p| p + gamma).collect();
             per_head[hd].push(overprovision_margin(&bounds, &test_t));
@@ -273,9 +311,15 @@ pub fn fig8(h: &Harness) -> Figure {
 /// bounds at matched coverage. WCET typically over-covers and pays an
 /// order-of-magnitude larger overprovisioning margin.
 pub fn wcet_extension(h: &Harness) -> Figure {
-    let mut fig = Figure::new("ext-wcet", "WCET-style bounds vs conformal bounds (50% split)");
+    let mut fig = Figure::new(
+        "ext-wcet",
+        "WCET-style bounds vs conformal bounds (50% split)",
+    );
     let eps = 0.05;
-    let cfg = PitotConfig { objective: Objective::paper_quantiles(), ..h.pitot_config() };
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        ..h.pitot_config()
+    };
     let mut rows: Vec<(String, Vec<f32>, Vec<f32>)> = vec![
         ("Pitot conformal".into(), Vec::new(), Vec::new()),
         ("WCET x1.2".into(), Vec::new(), Vec::new()),
@@ -293,18 +337,23 @@ pub fn wcet_extension(h: &Harness) -> Figure {
             eps,
             HeadSelection::TightestOnValidation,
         );
-        rows[0].1.push(margin_on(&model, &conformal, &h.dataset, &no_idx));
-        rows[0].2.push(coverage_on(&model, &conformal, &h.dataset, &no_idx));
+        rows[0]
+            .1
+            .push(margin_on(&model, &conformal, &h.dataset, &no_idx));
+        rows[0]
+            .2
+            .push(coverage_on(&model, &conformal, &h.dataset, &no_idx));
         for (slot, factor) in [(1usize, 1.2f32), (2, 2.0)] {
-            let wcet =
-                pitot_baselines::WcetBaseline::from_split(&h.dataset, &split, factor);
+            let wcet = pitot_baselines::WcetBaseline::from_split(&h.dataset, &split, factor);
             let bounds = wcet.predict_log(&h.dataset, &no_idx)[0].clone();
             let targets: Vec<f32> = no_idx
                 .iter()
                 .map(|&i| h.dataset.observations[i].log_runtime())
                 .collect();
             rows[slot].1.push(overprovision_margin(&bounds, &targets));
-            rows[slot].2.push(pitot_conformal::coverage(&bounds, &targets));
+            rows[slot]
+                .2
+                .push(pitot_conformal::coverage(&bounds, &targets));
         }
     }
     for (label, margins, coverages) in rows {
@@ -336,10 +385,14 @@ mod tests {
         let split = h.split(0.5, 0);
         let mut cfg = h.mf_config();
         cfg.train.steps = 300;
-        let model =
-            Method::MatrixFactorization(cfg).train(&h.dataset, &split, 0);
-        let conformal =
-            fit_bounds_generic(model.as_ref(), &h.dataset, &split, 0.1, HeadSelection::SingleHead);
+        let model = Method::MatrixFactorization(cfg).train(&h.dataset, &split, 0);
+        let conformal = fit_bounds_generic(
+            model.as_ref(),
+            &h.dataset,
+            &split,
+            0.1,
+            HeadSelection::SingleHead,
+        );
         let idx = h.test_without_interference(&split);
         let cov = coverage_on(model.as_ref(), &conformal, &h.dataset, &idx);
         assert!(cov >= 0.85, "coverage {cov}");

@@ -25,12 +25,18 @@ fn env() -> &'static Env {
         cfg.objective = Objective::Quantiles(vec![0.5, 0.8, 0.9, 0.95]);
         cfg.steps = 600;
         let trained = train(&dataset, &split, &cfg);
-        Env { dataset, split, trained }
+        Env {
+            dataset,
+            split,
+            trained,
+        }
     })
 }
 
 fn log_targets(dataset: &Dataset, idx: &[usize]) -> Vec<f32> {
-    idx.iter().map(|&i| dataset.observations[i].log_runtime()).collect()
+    idx.iter()
+        .map(|&i| dataset.observations[i].log_runtime())
+        .collect()
 }
 
 fn test_subset(e: &Env, cap: usize) -> Vec<usize> {
@@ -157,9 +163,16 @@ fn coverage_curve_is_valid_across_epsilons() {
     let grid = [0.02f32, 0.05, 0.1, 0.2];
     let curve = CoverageCurve::evaluate(&grid, &test_t, |eps| {
         let sc = SplitConformal::fit(&cal_preds[0], &cal_t, eps);
-        test_preds[0].iter().map(|&p| sc.upper_bound_log(p)).collect()
+        test_preds[0]
+            .iter()
+            .map(|&p| sc.upper_bound_log(p))
+            .collect()
     });
-    assert!(curve.valid_everywhere(0.03), "coverages {:?}", curve.coverage);
+    assert!(
+        curve.valid_everywhere(0.03),
+        "coverages {:?}",
+        curve.coverage
+    );
     assert!(curve.calibration_error() < 0.05);
 }
 

@@ -43,7 +43,9 @@ fn end_to_end_accuracy_and_coverage() {
 fn interference_awareness_matters() {
     let (ds, split) = small();
     let mut aware_cfg = PitotConfig::tiny();
-    aware_cfg.steps = 500;
+    // 500 steps leaves the interference term undertrained and the ordering
+    // flips on some RNG streams; by 1500 steps the aware model wins cleanly.
+    aware_cfg.steps = 1500;
     let mut ignore_cfg = aware_cfg.clone();
     ignore_cfg.interference = InterferenceMode::Ignore;
 

@@ -26,7 +26,11 @@ fn env() -> &'static Env {
         cfg.objective = Objective::Quantiles(vec![0.5, 0.8, 0.9, 0.95]);
         cfg.steps = 600;
         let trained = train(&dataset, &split, &cfg);
-        Env { testbed, dataset, trained }
+        Env {
+            testbed,
+            dataset,
+            trained,
+        }
     })
 }
 
@@ -51,10 +55,14 @@ fn all_configurations_complete_under_load() {
         PlacementPolicy::greedy_fastest(),
         PlacementPolicy::deadline_aware(),
     ] {
-        for pred in [&oracle as &dyn pitot_orchestrator::RuntimePredictor, &pitot_pred] {
-            let report = ClusterSim::new(&e.testbed)
-                .restrict_to(&site)
-                .run(&jobs, &mut policy, pred);
+        for pred in [
+            &oracle as &dyn pitot_orchestrator::RuntimePredictor,
+            &pitot_pred,
+        ] {
+            let report =
+                ClusterSim::new(&e.testbed)
+                    .restrict_to(&site)
+                    .run(&jobs, &mut policy, pred);
             assert_eq!(report.completed, 150, "{} / {}", policy.name(), pred.name());
         }
     }
@@ -73,9 +81,11 @@ fn interference_awareness_reduces_violations() {
     let site = site(&e.testbed);
 
     let run = |pred: &dyn pitot_orchestrator::RuntimePredictor| {
-        ClusterSim::new(&e.testbed)
-            .restrict_to(&site)
-            .run(&jobs, &mut PlacementPolicy::greedy_fastest(), pred)
+        ClusterSim::new(&e.testbed).restrict_to(&site).run(
+            &jobs,
+            &mut PlacementPolicy::greedy_fastest(),
+            pred,
+        )
     };
     let blind = run(&scaling);
     let aware = run(&pitot_pred);

@@ -10,7 +10,10 @@ use pitot_testbed::{split::Split, DatasetStats, Testbed, TestbedConfig};
 /// collection must skip them and every model must still train.
 #[test]
 fn heavy_crash_rate_still_yields_a_trainable_dataset() {
-    let cfg = TestbedConfig { crash_rate: 0.5, ..TestbedConfig::small() };
+    let cfg = TestbedConfig {
+        crash_rate: 0.5,
+        ..TestbedConfig::small()
+    };
     let ds = Testbed::generate(&cfg).collect_dataset();
     let stats = DatasetStats::compute(&ds);
     assert!(stats.isolation_fill < 0.6, "crashes should leave holes");
@@ -30,7 +33,10 @@ fn heavy_crash_rate_still_yields_a_trainable_dataset() {
 #[test]
 fn zero_noise_floor_improves_error() {
     let noisy_cfg = TestbedConfig::small();
-    let clean_cfg = TestbedConfig { noise_scale: 0.0, ..TestbedConfig::small() };
+    let clean_cfg = TestbedConfig {
+        noise_scale: 0.0,
+        ..TestbedConfig::small()
+    };
     let mut pitot_cfg = PitotConfig::tiny();
     pitot_cfg.steps = 400;
 
@@ -59,7 +65,10 @@ fn zero_noise_floor_improves_error() {
 /// distribution without corrupting what remains.
 #[test]
 fn tight_timeout_truncates_the_tail() {
-    let cfg = TestbedConfig { timeout_s: 2.0, ..TestbedConfig::small() };
+    let cfg = TestbedConfig {
+        timeout_s: 2.0,
+        ..TestbedConfig::small()
+    };
     let ds = Testbed::generate(&cfg).collect_dataset();
     assert!(!ds.observations.is_empty());
     for o in &ds.observations {
@@ -86,14 +95,20 @@ fn conformal_with_minimal_calibration_data() {
     let cov = bounds.coverage(&trained, &ds, &test);
     // With a tiny calibration set the conservative rank over-covers; it must
     // never *under*-cover badly.
-    assert!(cov >= 0.8, "coverage {cov} collapsed with minimal calibration data");
+    assert!(
+        cov >= 0.8,
+        "coverage {cov} collapsed with minimal calibration data"
+    );
 }
 
 /// The workload-scale knob produces consistent catalogs at extremes.
 #[test]
 fn workload_scale_extremes_are_consistent() {
     for scale in [0.03f32, 1.0] {
-        let cfg = TestbedConfig { workload_scale: scale, ..TestbedConfig::small() };
+        let cfg = TestbedConfig {
+            workload_scale: scale,
+            ..TestbedConfig::small()
+        };
         let tb = Testbed::generate(&cfg);
         // Every suite keeps at least its 2-workload floor.
         assert!(tb.workloads().len() >= 12);
@@ -112,10 +127,16 @@ fn ablation_switch_matrix_is_nan_free() {
     let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
     let split = Split::stratified(&ds, 0.5, 0);
     let idx: Vec<usize> = split.test.iter().copied().take(100).collect();
-    for loss_space in [LossSpace::LogResidual, LossSpace::Log, LossSpace::NaiveProportional] {
-        for interference in
-            [InterferenceMode::Aware, InterferenceMode::Discard, InterferenceMode::Ignore]
-        {
+    for loss_space in [
+        LossSpace::LogResidual,
+        LossSpace::Log,
+        LossSpace::NaiveProportional,
+    ] {
+        for interference in [
+            InterferenceMode::Aware,
+            InterferenceMode::Discard,
+            InterferenceMode::Ignore,
+        ] {
             for (use_w, use_p) in [(true, false), (false, true), (false, false)] {
                 let mut cfg = PitotConfig::tiny();
                 cfg.steps = 40;

@@ -28,12 +28,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n×n` identity matrix.
@@ -73,11 +81,21 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix with entries drawn uniformly from `[lo, hi)`.
-    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Self {
+    pub fn uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        lo: f32,
+        hi: f32,
+        rng: &mut R,
+    ) -> Self {
         let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
         Self { rows, cols, data }
     }
@@ -171,8 +189,14 @@ impl Matrix {
 
     /// Copies column `c` into a new vector.
     pub fn col(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "column {c} out of bounds for {} columns", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "column {c} out of bounds for {} columns",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterates over rows as slices.
@@ -249,7 +273,8 @@ impl Matrix {
         assert!(start + cols <= self.cols, "column slice out of range");
         let mut out = Matrix::zeros(self.rows, cols);
         for r in 0..self.rows {
-            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + cols]);
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + cols]);
         }
         out
     }

@@ -208,7 +208,10 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn rowwise_dot(&self, other: &Matrix) -> Vec<f32> {
         assert_eq!(self.shape(), other.shape(), "rowwise_dot shape mismatch");
-        self.iter_rows().zip(other.iter_rows()).map(|(a, b)| dot(a, b)).collect()
+        self.iter_rows()
+            .zip(other.iter_rows())
+            .map(|(a, b)| dot(a, b))
+            .collect()
     }
 }
 
@@ -275,7 +278,10 @@ mod tests {
     fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
         assert_eq!(a.shape(), b.shape());
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{x} vs {y}"
+            );
         }
     }
 
@@ -292,7 +298,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let a = Matrix::randn(6, 9, &mut rng);
         let b = Matrix::randn(4, 9, &mut rng);
-        assert_close(&a.matmul_transpose(&b), &naive_matmul(&a, &b.transpose()), 1e-5);
+        assert_close(
+            &a.matmul_transpose(&b),
+            &naive_matmul(&a, &b.transpose()),
+            1e-5,
+        );
     }
 
     #[test]
@@ -300,7 +310,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let a = Matrix::randn(9, 6, &mut rng);
         let b = Matrix::randn(9, 4, &mut rng);
-        assert_close(&a.transpose_matmul(&b), &naive_matmul(&a.transpose(), &b), 1e-5);
+        assert_close(
+            &a.transpose_matmul(&b),
+            &naive_matmul(&a.transpose(), &b),
+            1e-5,
+        );
     }
 
     #[test]

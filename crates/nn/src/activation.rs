@@ -84,7 +84,7 @@ impl Activation {
     }
 }
 
-const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
 const GELU_COEFF: f32 = 0.044_715;
 
 /// GELU, tanh approximation (the form used by JAX's `gelu(approximate=True)`).

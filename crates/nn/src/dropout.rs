@@ -41,7 +41,12 @@ impl Dropout {
     /// and the mask needed by [`Dropout::backward`].
     pub fn forward<R: Rng + ?Sized>(&self, x: &Matrix, rng: &mut R) -> (Matrix, DropoutMask) {
         if self.p == 0.0 {
-            return (x.clone(), DropoutMask { mask: Matrix::full(x.rows(), x.cols(), 1.0) });
+            return (
+                x.clone(),
+                DropoutMask {
+                    mask: Matrix::full(x.rows(), x.cols(), 1.0),
+                },
+            );
         }
         let keep_scale = 1.0 / (1.0 - self.p);
         let mut mask = Matrix::zeros(x.rows(), x.cols());

@@ -43,7 +43,11 @@ impl LayerNorm {
     /// Panics if `dim` is zero.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "layer norm dimension must be positive");
-        Self { gamma: vec![1.0; dim], beta: vec![0.0; dim], eps: 1e-5 }
+        Self {
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            eps: 1e-5,
+        }
     }
 
     /// Feature dimension.
@@ -77,7 +81,13 @@ impl LayerNorm {
                 or[c] = self.gamma[c] * nr[c] + self.beta[c];
             }
         }
-        (out, LayerNormCache { normalized, inv_std })
+        (
+            out,
+            LayerNormCache {
+                normalized,
+                inv_std,
+            },
+        )
     }
 
     /// Inference-only forward pass.
@@ -90,12 +100,12 @@ impl LayerNorm {
     /// # Panics
     ///
     /// Panics if `d_out`'s shape differs from the cached activation's.
-    pub fn backward(
-        &self,
-        cache: &LayerNormCache,
-        d_out: &Matrix,
-    ) -> (Matrix, LayerNormGrads) {
-        assert_eq!(d_out.shape(), cache.normalized.shape(), "gradient shape mismatch");
+    pub fn backward(&self, cache: &LayerNormCache, d_out: &Matrix) -> (Matrix, LayerNormGrads) {
+        assert_eq!(
+            d_out.shape(),
+            cache.normalized.shape(),
+            "gradient shape mismatch"
+        );
         let (n, d) = d_out.shape();
         let mut d_gamma = vec![0.0f32; d];
         let mut d_beta = vec![0.0f32; d];
@@ -113,15 +123,20 @@ impl LayerNorm {
             // dx = (1/σ)(d x̂ − mean(d x̂) − x̂ · mean(d x̂ ⊙ x̂)).
             let dxh: Vec<f32> = (0..d).map(|c| self.gamma[c] * go[c]).collect();
             let mean_dxh: f32 = dxh.iter().sum::<f32>() / d as f32;
-            let mean_dxh_xh: f32 =
-                dxh.iter().zip(xh).map(|(a, b)| a * b).sum::<f32>() / d as f32;
+            let mean_dxh_xh: f32 = dxh.iter().zip(xh).map(|(a, b)| a * b).sum::<f32>() / d as f32;
             let is = cache.inv_std[r];
             let dr = dx.row_mut(r);
             for c in 0..d {
                 dr[c] = is * (dxh[c] - mean_dxh - xh[c] * mean_dxh_xh);
             }
         }
-        (dx, LayerNormGrads { gamma: d_gamma, beta: d_beta })
+        (
+            dx,
+            LayerNormGrads {
+                gamma: d_gamma,
+                beta: d_beta,
+            },
+        )
     }
 
     /// Mutable parameter blocks in optimizer order (γ then β).
@@ -185,7 +200,11 @@ mod tests {
         let loss = |flat: &[f32]| -> f32 {
             let xm = Matrix::from_vec(4, 6, flat.to_vec());
             let (y, _) = ln.forward(&xm);
-            y.as_slice().iter().zip(wts.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(wts.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
 
         let (_, cache) = ln.forward(&x);
@@ -222,7 +241,11 @@ mod tests {
                 }
                 let f = |l: &LayerNorm| -> f32 {
                     let (y, _) = l.forward(&x);
-                    y.as_slice().iter().zip(wts.as_slice()).map(|(a, b)| a * b).sum()
+                    y.as_slice()
+                        .iter()
+                        .zip(wts.as_slice())
+                        .map(|(a, b)| a * b)
+                        .sum()
                 };
                 let numeric = (f(&hi) - f(&lo)) / (2.0 * eps);
                 assert!(

@@ -48,5 +48,5 @@ pub use layernorm::{LayerNorm, LayerNormCache, LayerNormGrads};
 pub use linear::{Linear, LinearGrads};
 pub use loss::{pinball_loss, squared_loss, weighted_pinball_loss, weighted_squared_loss};
 pub use mlp::{Mlp, MlpCache, MlpGrads};
-pub use optim::{Adam, AdaMax, Optimizer, SgdMomentum};
+pub use optim::{AdaMax, Adam, Optimizer, SgdMomentum};
 pub use schedule::LrSchedule;

@@ -33,7 +33,10 @@ impl Linear {
         let std = (2.0 / in_dim.max(1) as f32).sqrt();
         let mut weight = Matrix::randn(in_dim, out_dim, rng);
         weight.scale(std);
-        Self { weight, bias: vec![0.0; out_dim] }
+        Self {
+            weight,
+            bias: vec![0.0; out_dim],
+        }
     }
 
     /// Input dimensionality.
@@ -80,7 +83,13 @@ impl Linear {
         let dx = dy.matmul_transpose(&self.weight);
         let dw = x.transpose_matmul(dy);
         let db = dy.sum_rows();
-        (dx, LinearGrads { weight: dw, bias: db })
+        (
+            dx,
+            LinearGrads {
+                weight: dw,
+                bias: db,
+            },
+        )
     }
 
     /// Mutable flat views of the parameters, in a stable order (weight, bias).
@@ -172,7 +181,7 @@ mod tests {
             assert!((num - grads.bias[j]).abs() < 1e-2, "db[{j}]");
         }
         // dx check.
-        for &(r, c) in &[(0usize, 0usize), (4, 3usize.min(3) - 1)] {
+        for &(r, c) in &[(0usize, 0usize), (4, 3 - 1)] {
             let mut xp = x.clone();
             xp[(r, c)] += h;
             let mut xm = x.clone();

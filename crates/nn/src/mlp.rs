@@ -51,12 +51,19 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new<R: Rng + ?Sized>(widths: &[usize], hidden_act: Activation, rng: &mut R) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
             .collect();
-        Self { layers, hidden_act, norms: None }
+        Self {
+            layers,
+            hidden_act,
+            norms: None,
+        }
     }
 
     /// Like [`Mlp::new`] with layer normalization between every hidden
@@ -192,14 +199,23 @@ impl Mlp {
         } else {
             Vec::new()
         };
-        (dy, MlpGrads { layers: grads.into_iter().map(Option::unwrap).collect(), norms })
+        (
+            dy,
+            MlpGrads {
+                layers: grads.into_iter().map(Option::unwrap).collect(),
+                norms,
+            },
+        )
     }
 
     /// Mutable flat parameter views in a stable order (layer 0 weight, bias,
     /// …, then layer-norm γ/β blocks when enabled).
     pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
-        let mut out: Vec<&mut [f32]> =
-            self.layers.iter_mut().flat_map(Linear::param_slices_mut).collect();
+        let mut out: Vec<&mut [f32]> = self
+            .layers
+            .iter_mut()
+            .flat_map(Linear::param_slices_mut)
+            .collect();
         if let Some(norms) = &mut self.norms {
             for n in norms {
                 out.extend(n.param_slices_mut());
@@ -229,10 +245,16 @@ impl MlpGrads {
     pub fn zeros_like(mlp: &Mlp) -> Self {
         let norms = mlp.norms.as_ref().map_or_else(Vec::new, |ns| {
             ns.iter()
-                .map(|n| LayerNormGrads { gamma: vec![0.0; n.dim()], beta: vec![0.0; n.dim()] })
+                .map(|n| LayerNormGrads {
+                    gamma: vec![0.0; n.dim()],
+                    beta: vec![0.0; n.dim()],
+                })
                 .collect()
         });
-        Self { layers: mlp.layers.iter().map(LinearGrads::zeros_like).collect(), norms }
+        Self {
+            layers: mlp.layers.iter().map(LinearGrads::zeros_like).collect(),
+            norms,
+        }
     }
 
     /// Accumulates another gradient set of identical shape.
@@ -258,8 +280,11 @@ impl MlpGrads {
 
     /// Flat gradient views matching [`Mlp::param_slices_mut`] order.
     pub fn grad_slices(&self) -> Vec<&[f32]> {
-        let mut out: Vec<&[f32]> =
-            self.layers.iter().flat_map(LinearGrads::grad_slices).collect();
+        let mut out: Vec<&[f32]> = self
+            .layers
+            .iter()
+            .flat_map(LinearGrads::grad_slices)
+            .collect();
         for n in &self.norms {
             out.push(&n.gamma);
             out.push(&n.beta);
@@ -339,7 +364,10 @@ mod tests {
             let mut xm = x.clone();
             xm[(r, c)] -= h;
             let num = (loss(&mlp, &xp) - loss(&mlp, &xm)) / (2.0 * h);
-            assert!((num - dx[(r, c)]).abs() < 2e-2 * (1.0 + num.abs()), "dx[{r},{c}]");
+            assert!(
+                (num - dx[(r, c)]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dx[{r},{c}]"
+            );
         }
     }
 
@@ -374,7 +402,11 @@ mod tests {
             let mut m = minus.param_slices_mut();
             for (bi, g) in g_slices.iter().enumerate() {
                 for k in 0..g.len() {
-                    let dir: f32 = if rand::Rng::gen_bool(&mut dir_rng, 0.5) { 1.0 } else { -1.0 };
+                    let dir: f32 = if rand::Rng::gen_bool(&mut dir_rng, 0.5) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     p[bi][k] += h * dir;
                     m[bi][k] -= h * dir;
                     analytic += (g[k] * dir) as f64;
@@ -424,7 +456,8 @@ mod tests {
         // has no `norms` key and must load as a norm-free MLP.
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let mlp = Mlp::new(&[3, 4, 2], Activation::Gelu, &mut rng);
-        let mut json: serde_json::Value = serde_json::from_str(&serde_json::to_string(&mlp).unwrap()).unwrap();
+        let mut json: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&mlp).unwrap()).unwrap();
         json.as_object_mut().unwrap().remove("norms");
         let restored: Mlp = serde_json::from_value(json).unwrap();
         assert!(!restored.has_layer_norm());
@@ -440,7 +473,10 @@ mod tests {
         let before = mlp.infer(&x).frobenius_norm();
         mlp.scale_output_layer(0.1);
         let after = mlp.infer(&x).frobenius_norm();
-        assert!((after - before * 0.1).abs() < 1e-4 * before, "{before} → {after}");
+        assert!(
+            (after - before * 0.1).abs() < 1e-4 * before,
+            "{before} → {after}"
+        );
     }
 
     #[test]

@@ -81,7 +81,15 @@ impl AdaMax {
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Self { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), u: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            u: Vec::new(),
+        }
     }
 
     /// Learning rate.
@@ -106,7 +114,11 @@ impl AdaMax {
             self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
             self.u = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "block count changed between steps");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "block count changed between steps"
+        );
         self.t += 1;
         // Bias correction only applies to the first moment in AdaMax.
         let lr_t = self.lr / (1.0 - self.beta1.powi(self.t as i32));
@@ -180,7 +192,15 @@ impl Adam {
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Self { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -191,7 +211,11 @@ impl Optimizer for Adam {
             self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
             self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "block count changed between steps");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "block count changed between steps"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
@@ -257,7 +281,12 @@ impl SgdMomentum {
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum outside [0,1)");
-        Self { lr, momentum, t: 0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            t: 0,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -267,7 +296,11 @@ impl Optimizer for SgdMomentum {
         if self.velocity.is_empty() {
             self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "block count changed between steps");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "block count changed between steps"
+        );
         self.t += 1;
         for ((p, g), vel) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
             assert_eq!(p.len(), g.len(), "param/grad length mismatch");
@@ -319,8 +352,10 @@ mod tests {
         let mut b = vec![-1.0f32; 2];
         let mut opt = AdaMax::new(0.1);
         for _ in 0..500 {
-            let (ga, gb): (Vec<f32>, Vec<f32>) =
-                (a.iter().map(|v| 2.0 * v).collect(), b.iter().map(|v| 2.0 * v).collect());
+            let (ga, gb): (Vec<f32>, Vec<f32>) = (
+                a.iter().map(|v| 2.0 * v).collect(),
+                b.iter().map(|v| 2.0 * v).collect(),
+            );
             opt.step(&mut [&mut a, &mut b], &[&ga, &gb]);
         }
         assert!(a.iter().all(|v| v.abs() < 1e-2));
@@ -407,7 +442,11 @@ mod tests {
         let mut x = vec![1.0f32, 1.0];
         let mut opt = Adam::new(0.05);
         for step in 0..600 {
-            let g = if step % 3 == 0 { vec![2.0 * x[0], 0.0] } else { vec![0.0, 2.0 * x[1]] };
+            let g = if step % 3 == 0 {
+                vec![2.0 * x[0], 0.0]
+            } else {
+                vec![0.0, 2.0 * x[1]]
+            };
             opt.step(&mut [&mut x], &[&g]);
         }
         assert!(x.iter().all(|v| v.abs() < 0.1), "converged to {x:?}");

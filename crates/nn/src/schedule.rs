@@ -55,21 +55,31 @@ impl LrSchedule {
                 assert!(factor > 0.0 && factor <= 1.0, "decay factor outside (0,1]");
                 base_lr * factor.powi((step / every) as i32)
             }
-            LrSchedule::Cosine { total_steps, min_frac } => {
+            LrSchedule::Cosine {
+                total_steps,
+                min_frac,
+            } => {
                 assert!(total_steps > 0, "cosine length must be positive");
                 assert!((0.0..=1.0).contains(&min_frac), "min_frac outside [0,1]");
                 let t = (step as f32 / total_steps as f32).min(1.0);
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
                 base_lr * (min_frac + (1.0 - min_frac) * cos)
             }
-            LrSchedule::WarmupCosine { warmup_steps, total_steps, min_frac } => {
+            LrSchedule::WarmupCosine {
+                warmup_steps,
+                total_steps,
+                min_frac,
+            } => {
                 assert!(warmup_steps <= total_steps, "warmup exceeds total");
                 if step < warmup_steps {
                     return base_lr * (step + 1) as f32 / warmup_steps as f32;
                 }
                 let rest = total_steps - warmup_steps;
-                LrSchedule::Cosine { total_steps: rest.max(1), min_frac }
-                    .at(step - warmup_steps, base_lr)
+                LrSchedule::Cosine {
+                    total_steps: rest.max(1),
+                    min_frac,
+                }
+                .at(step - warmup_steps, base_lr)
             }
         }
     }
@@ -89,7 +99,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let s = LrSchedule::StepDecay { every: 100, factor: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 100,
+            factor: 0.5,
+        };
         assert_eq!(s.at(0, 1.0), 1.0);
         assert_eq!(s.at(99, 1.0), 1.0);
         assert_eq!(s.at(100, 1.0), 0.5);
@@ -98,7 +111,10 @@ mod tests {
 
     #[test]
     fn cosine_starts_at_base_and_ends_at_min() {
-        let s = LrSchedule::Cosine { total_steps: 1000, min_frac: 0.1 };
+        let s = LrSchedule::Cosine {
+            total_steps: 1000,
+            min_frac: 0.1,
+        };
         assert!((s.at(0, 1.0) - 1.0).abs() < 1e-6);
         assert!((s.at(1000, 1.0) - 0.1).abs() < 1e-5);
         assert!((s.at(5000, 1.0) - 0.1).abs() < 1e-5, "holds at the floor");
@@ -108,7 +124,11 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly_then_anneals() {
-        let s = LrSchedule::WarmupCosine { warmup_steps: 10, total_steps: 110, min_frac: 0.0 };
+        let s = LrSchedule::WarmupCosine {
+            warmup_steps: 10,
+            total_steps: 110,
+            min_frac: 0.0,
+        };
         assert!((s.at(0, 1.0) - 0.1).abs() < 1e-6);
         assert!((s.at(4, 1.0) - 0.5).abs() < 1e-6);
         assert!((s.at(9, 1.0) - 1.0).abs() < 1e-6);

@@ -189,7 +189,10 @@ mod tests {
         let js = JobStream::generate(&tb, 2000, 3.0, 0);
         let span = js.jobs().last().unwrap().arrival_s;
         let mean = span / js.len() as f64;
-        assert!((2.4..=3.6).contains(&mean), "empirical mean inter-arrival {mean}");
+        assert!(
+            (2.4..=3.6).contains(&mean),
+            "empirical mean inter-arrival {mean}"
+        );
     }
 
     #[test]

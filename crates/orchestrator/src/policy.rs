@@ -61,27 +61,42 @@ pub struct PlacementPolicy {
 impl PlacementPolicy {
     /// Uniformly random placement.
     pub fn random(seed: u64) -> Self {
-        Self { kind: PolicyKind::Random, rng: ChaCha8Rng::seed_from_u64(seed) }
+        Self {
+            kind: PolicyKind::Random,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Fewest-co-residents placement.
     pub fn least_loaded() -> Self {
-        Self { kind: PolicyKind::LeastLoaded, rng: ChaCha8Rng::seed_from_u64(0) }
+        Self {
+            kind: PolicyKind::LeastLoaded,
+            rng: ChaCha8Rng::seed_from_u64(0),
+        }
     }
 
     /// Minimum-predicted-runtime placement.
     pub fn greedy_fastest() -> Self {
-        Self { kind: PolicyKind::GreedyFastest, rng: ChaCha8Rng::seed_from_u64(0) }
+        Self {
+            kind: PolicyKind::GreedyFastest,
+            rng: ChaCha8Rng::seed_from_u64(0),
+        }
     }
 
     /// Bound-driven deadline-feasible placement.
     pub fn deadline_aware() -> Self {
-        Self { kind: PolicyKind::DeadlineAware, rng: ChaCha8Rng::seed_from_u64(0) }
+        Self {
+            kind: PolicyKind::DeadlineAware,
+            rng: ChaCha8Rng::seed_from_u64(0),
+        }
     }
 
     /// Policy constructor from a kind (random policies get `seed`).
     pub fn of_kind(kind: PolicyKind, seed: u64) -> Self {
-        Self { kind, rng: ChaCha8Rng::seed_from_u64(seed) }
+        Self {
+            kind,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// The policy's strategy.
@@ -106,9 +121,7 @@ impl PlacementPolicy {
             return None;
         }
         match self.kind {
-            PolicyKind::Random => {
-                Some(candidates[self.rng.gen_range(0..candidates.len())])
-            }
+            PolicyKind::Random => Some(candidates[self.rng.gen_range(0..candidates.len())]),
             PolicyKind::LeastLoaded => candidates
                 .into_iter()
                 .min_by_key(|&p| view.platforms[p].running.len()),
@@ -213,19 +226,30 @@ mod tests {
     }
 
     fn job(deadline: f64) -> Job {
-        Job { id: 0, workload: 0, arrival_s: 0.0, deadline_s: deadline }
+        Job {
+            id: 0,
+            workload: 0,
+            arrival_s: 0.0,
+            deadline_s: deadline,
+        }
     }
 
     #[test]
     fn greedy_picks_fastest_platform() {
-        let pred = TablePredictor { runtime: vec![5.0, 1.0, 3.0], margin: 0.0 };
+        let pred = TablePredictor {
+            runtime: vec![5.0, 1.0, 3.0],
+            margin: 0.0,
+        };
         let mut policy = PlacementPolicy::greedy_fastest();
         assert_eq!(policy.place(&job(10.0), &empty_view(3), &pred), Some(1));
     }
 
     #[test]
     fn greedy_accounts_for_interference_via_predictor() {
-        let pred = TablePredictor { runtime: vec![1.0, 1.5], margin: 0.0 };
+        let pred = TablePredictor {
+            runtime: vec![1.0, 1.5],
+            margin: 0.0,
+        };
         let mut view = empty_view(2);
         // Platform 0 is nominally faster but has two co-residents (+2s).
         view.platforms[0].running = vec![7, 8];
@@ -237,7 +261,10 @@ mod tests {
 
     #[test]
     fn least_loaded_balances() {
-        let pred = TablePredictor { runtime: vec![1.0, 1.0], margin: 0.0 };
+        let pred = TablePredictor {
+            runtime: vec![1.0, 1.0],
+            margin: 0.0,
+        };
         let mut view = empty_view(2);
         view.platforms[0].running = vec![3];
         view.platforms[0].remaining_frac = vec![0.2];
@@ -250,7 +277,10 @@ mod tests {
     fn deadline_aware_respects_job_budget() {
         // Platform 0 is fast but its bound misses the deadline; platform 1 is
         // slower yet feasible.
-        let pred = TablePredictor { runtime: vec![4.0, 5.0], margin: 3.0 };
+        let pred = TablePredictor {
+            runtime: vec![4.0, 5.0],
+            margin: 3.0,
+        };
         // deadline 6: bound on p0 = 7 (infeasible), p1 = 8 (infeasible) →
         // falls back to smallest bound (p0).
         let mut policy = PlacementPolicy::deadline_aware();
@@ -261,7 +291,10 @@ mod tests {
 
     #[test]
     fn deadline_aware_protects_co_residents() {
-        let pred = TablePredictor { runtime: vec![1.0, 2.0], margin: 0.0 };
+        let pred = TablePredictor {
+            runtime: vec![1.0, 2.0],
+            margin: 0.0,
+        };
         let mut view = empty_view(2);
         // Platform 0 hosts a job that due in 1.1s with full work remaining;
         // adding ours would make its bound 1×(1+1 interferer)=2 > 1.1.
@@ -275,7 +308,10 @@ mod tests {
 
     #[test]
     fn all_policies_return_none_when_full() {
-        let pred = TablePredictor { runtime: vec![1.0], margin: 0.0 };
+        let pred = TablePredictor {
+            runtime: vec![1.0],
+            margin: 0.0,
+        };
         let mut view = empty_view(1);
         view.platforms[0].free_slots = 0;
         for mut policy in [
@@ -290,11 +326,16 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_in_seed() {
-        let pred = TablePredictor { runtime: vec![1.0; 8], margin: 0.0 };
+        let pred = TablePredictor {
+            runtime: vec![1.0; 8],
+            margin: 0.0,
+        };
         let view = empty_view(8);
         let picks = |seed| {
             let mut p = PlacementPolicy::random(seed);
-            (0..20).map(|_| p.place(&job(1.0), &view, &pred).unwrap()).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| p.place(&job(1.0), &view, &pred).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(picks(42), picks(42));
         assert_ne!(picks(42), picks(43));

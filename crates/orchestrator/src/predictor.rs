@@ -126,7 +126,10 @@ pub struct ScalingPredictor {
 impl ScalingPredictor {
     /// Wraps a fitted scaling baseline with no safety margin.
     pub fn new(scaling: ScalingBaseline) -> Self {
-        Self { scaling, safety: 1.0 }
+        Self {
+            scaling,
+            safety: 1.0,
+        }
     }
 
     /// Adds the classic ad-hoc overprovisioning factor (e.g. `2.0` doubles
@@ -332,7 +335,10 @@ mod tests {
         let o = &ds.observations[oi];
         let expected = trained.predict_runtime(&ds, &[oi])[0] as f64;
         let got = pred.predict_s(o.workload, o.platform as usize, &o.interferers);
-        assert!((got - expected).abs() / expected < 1e-4, "{got} vs {expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-4,
+            "{got} vs {expected}"
+        );
     }
 
     #[test]
@@ -356,6 +362,9 @@ mod tests {
                 above += 1;
             }
         }
-        assert!(above * 10 >= total * 8, "bounds above median only {above}/{total}");
+        assert!(
+            above * 10 >= total * 8,
+            "bounds above median only {above}/{total}"
+        );
     }
 }

@@ -23,7 +23,13 @@ impl JobOutcome {
     pub fn new(job: Job, platform: usize, completed_s: f64) -> Self {
         let response_s = completed_s - job.arrival_s;
         let violated = completed_s > job.due_s() + 1e-9;
-        Self { job, platform, completed_s, response_s, violated }
+        Self {
+            job,
+            platform,
+            completed_s,
+            response_s,
+            violated,
+        }
     }
 
     /// Slack at completion (positive = finished early).
@@ -69,7 +75,7 @@ impl SimReport {
             if completed == 0 {
                 0.0
             } else {
-                outcomes.iter().map(|o| f(o)).sum::<f64>() / completed as f64
+                outcomes.iter().map(f).sum::<f64>() / completed as f64
             }
         };
         let mean_response_s = mean(&|o| o.response_s);
@@ -79,7 +85,8 @@ impl SimReport {
         let p99_response_s = if responses.is_empty() {
             0.0
         } else {
-            responses[((responses.len() as f64 * 0.99).ceil() as usize).clamp(1, responses.len()) - 1]
+            responses
+                [((responses.len() as f64 * 0.99).ceil() as usize).clamp(1, responses.len()) - 1]
         };
         let platform_time = makespan_s * n_platforms as f64;
         Self {
@@ -88,9 +95,17 @@ impl SimReport {
             mean_response_s,
             p99_response_s,
             mean_slack_s,
-            utilization: if platform_time > 0.0 { busy_platform_time / platform_time } else { 0.0 },
+            utilization: if platform_time > 0.0 {
+                busy_platform_time / platform_time
+            } else {
+                0.0
+            },
             makespan_s,
-            throughput: if makespan_s > 0.0 { completed as f64 / makespan_s } else { 0.0 },
+            throughput: if makespan_s > 0.0 {
+                completed as f64 / makespan_s
+            } else {
+                0.0
+            },
             outcomes,
         }
     }
@@ -154,7 +169,12 @@ mod tests {
 
     fn outcome(id: usize, arrival: f64, deadline: f64, completed: f64) -> JobOutcome {
         JobOutcome::new(
-            Job { id, workload: 0, arrival_s: arrival, deadline_s: deadline },
+            Job {
+                id,
+                workload: 0,
+                arrival_s: arrival,
+                deadline_s: deadline,
+            },
             0,
             completed,
         )
@@ -185,8 +205,9 @@ mod tests {
 
     #[test]
     fn p99_is_near_the_max() {
-        let outcomes: Vec<JobOutcome> =
-            (0..100).map(|i| outcome(i, 0.0, 1000.0, (i + 1) as f64)).collect();
+        let outcomes: Vec<JobOutcome> = (0..100)
+            .map(|i| outcome(i, 0.0, 1000.0, (i + 1) as f64))
+            .collect();
         let r = SimReport::from_outcomes(outcomes, 100.0, 50.0, 1);
         assert!((r.p99_response_s - 99.0).abs() < 1e-9);
         assert!((r.mean_response_s - 50.5).abs() < 1e-9);
@@ -203,7 +224,10 @@ mod tests {
     #[test]
     fn comparison_table_renders_all_rows() {
         let mut cmp = PolicyComparison::new();
-        cmp.push("a", SimReport::from_outcomes(vec![outcome(0, 0.0, 1.0, 0.5)], 1.0, 0.5, 1));
+        cmp.push(
+            "a",
+            SimReport::from_outcomes(vec![outcome(0, 0.0, 1.0, 0.5)], 1.0, 0.5, 1),
+        );
         cmp.push("b", SimReport::from_outcomes(vec![], 0.0, 0.0, 1));
         let table = cmp.to_table();
         assert!(table.contains("a") && table.contains("b"));

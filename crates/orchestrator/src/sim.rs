@@ -108,7 +108,11 @@ impl<'a> ClusterSim<'a> {
     /// Panics if `capacity` is zero.
     pub fn with_capacity(testbed: &'a Testbed, capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { testbed, capacity, allowed: None }
+        Self {
+            testbed,
+            capacity,
+            allowed: None,
+        }
     }
 
     /// Restricts placement to the given platform indices — a deployment
@@ -120,7 +124,10 @@ impl<'a> ClusterSim<'a> {
     ///
     /// Panics if `platforms` is empty or contains an out-of-range index.
     pub fn restrict_to(mut self, platforms: &[usize]) -> Self {
-        assert!(!platforms.is_empty(), "site must contain at least one platform");
+        assert!(
+            !platforms.is_empty(),
+            "site must contain at least one platform"
+        );
         let n = self.testbed.platforms().len();
         let mut allowed = vec![false; n];
         for &p in platforms {
@@ -417,7 +424,11 @@ mod tests {
         let report = sim.run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
         assert_eq!(report.completed, 60);
         for o in &report.outcomes {
-            assert!(site.contains(&o.platform), "job escaped the site: {}", o.platform);
+            assert!(
+                site.contains(&o.platform),
+                "job escaped the site: {}",
+                o.platform
+            );
         }
     }
 

@@ -89,7 +89,10 @@ mod tests {
         assert_eq!(p.timeout_s, 30.0);
         let s = TestbedConfig::small();
         assert!(s.workload_scale < 1.0);
-        assert_eq!(TestbedConfig::default().sets_per_platform, p.sets_per_platform);
+        assert_eq!(
+            TestbedConfig::default().sets_per_platform,
+            p.sets_per_platform
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Microarch {
 
     /// Index into the one-hot encoding.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|m| *m == self).expect("member of ALL")
+        Self::ALL
+            .iter()
+            .position(|m| *m == self)
+            .expect("member of ALL")
     }
 
     /// Human-readable name (as `cpuinfo` would report it).
@@ -202,91 +205,403 @@ pub fn catalog() -> Vec<Device> {
     };
 
     // Intel x86. log_ips_per_ghz ≈ ln(1.3e9) ≈ 21.0 for a big OoO core.
-    push("NUC 8", "Intel", "i7-8650U", Skylake, X86Intel, 1.9,
-        (32, 32, 256, 64, 4, Some(8192), 16384), 21.0, 0.00, 0.00, 0.012, 0.035,
-        [3.2, 3.0, 2.5], 0.55);
-    push("NUC 4", "Intel", "i3-4010U", Haswell, X86Intel, 1.7,
-        (32, 32, 256, 64, 8, Some(3072), 8192), 20.8, 0.02, 0.05, 0.013, 0.04,
-        [2.6, 2.4, 2.2], 0.6);
-    push("Generic ITX", "Intel", "i7-4770TE", Haswell, X86Intel, 2.3,
-        (32, 32, 256, 64, 8, Some(8192), 16384), 20.85, 0.02, 0.03, 0.012, 0.035,
-        [3.0, 2.8, 2.4], 0.55);
-    push("Compute Stick", "Intel", "x5-Z8330", Silvermont, X86Intel, 1.44,
-        (24, 32, 1024, 64, 16, None, 2048), 20.0, 0.18, 0.22, 0.02, 0.07,
-        [1.2, 1.0, 0.9], 0.95);
-    push("NUC 11 (i5)", "Intel", "i5-1145G7", TigerLake, X86Intel, 2.6,
-        (48, 32, 1280, 64, 8, Some(8192), 16384), 21.2, -0.02, -0.02, 0.011, 0.03,
-        [3.6, 3.4, 2.6], 0.5);
-    push("NUC 11 (i7)", "Intel", "i7-1165G7", TigerLake, X86Intel, 2.8,
-        (48, 32, 1280, 64, 8, Some(12288), 32768), 21.25, -0.03, -0.03, 0.011, 0.03,
-        [3.8, 3.6, 2.7], 0.5);
-    push("Mini PC (N4020)", "Intel", "N4020", GoldmontPlus, X86Intel, 1.1,
-        (24, 32, 4096, 64, 16, None, 4096), 20.2, 0.15, 0.18, 0.018, 0.06,
-        [1.4, 1.3, 1.0], 0.9);
+    push(
+        "NUC 8",
+        "Intel",
+        "i7-8650U",
+        Skylake,
+        X86Intel,
+        1.9,
+        (32, 32, 256, 64, 4, Some(8192), 16384),
+        21.0,
+        0.00,
+        0.00,
+        0.012,
+        0.035,
+        [3.2, 3.0, 2.5],
+        0.55,
+    );
+    push(
+        "NUC 4",
+        "Intel",
+        "i3-4010U",
+        Haswell,
+        X86Intel,
+        1.7,
+        (32, 32, 256, 64, 8, Some(3072), 8192),
+        20.8,
+        0.02,
+        0.05,
+        0.013,
+        0.04,
+        [2.6, 2.4, 2.2],
+        0.6,
+    );
+    push(
+        "Generic ITX",
+        "Intel",
+        "i7-4770TE",
+        Haswell,
+        X86Intel,
+        2.3,
+        (32, 32, 256, 64, 8, Some(8192), 16384),
+        20.85,
+        0.02,
+        0.03,
+        0.012,
+        0.035,
+        [3.0, 2.8, 2.4],
+        0.55,
+    );
+    push(
+        "Compute Stick",
+        "Intel",
+        "x5-Z8330",
+        Silvermont,
+        X86Intel,
+        1.44,
+        (24, 32, 1024, 64, 16, None, 2048),
+        20.0,
+        0.18,
+        0.22,
+        0.02,
+        0.07,
+        [1.2, 1.0, 0.9],
+        0.95,
+    );
+    push(
+        "NUC 11 (i5)",
+        "Intel",
+        "i5-1145G7",
+        TigerLake,
+        X86Intel,
+        2.6,
+        (48, 32, 1280, 64, 8, Some(8192), 16384),
+        21.2,
+        -0.02,
+        -0.02,
+        0.011,
+        0.03,
+        [3.6, 3.4, 2.6],
+        0.5,
+    );
+    push(
+        "NUC 11 (i7)",
+        "Intel",
+        "i7-1165G7",
+        TigerLake,
+        X86Intel,
+        2.8,
+        (48, 32, 1280, 64, 8, Some(12288), 32768),
+        21.25,
+        -0.03,
+        -0.03,
+        0.011,
+        0.03,
+        [3.8, 3.6, 2.7],
+        0.5,
+    );
+    push(
+        "Mini PC (N4020)",
+        "Intel",
+        "N4020",
+        GoldmontPlus,
+        X86Intel,
+        1.1,
+        (24, 32, 4096, 64, 16, None, 4096),
+        20.2,
+        0.15,
+        0.18,
+        0.018,
+        0.06,
+        [1.4, 1.3, 1.0],
+        0.9,
+    );
 
     // AMD x86.
-    push("EliteDesk 805 G8", "AMD", "R5-5650G", Zen3, X86Amd, 3.9,
-        (32, 32, 512, 64, 8, Some(16384), 32768), 21.15, -0.02, -0.02, 0.011, 0.03,
-        [3.8, 3.6, 2.8], 0.5);
-    push("Mini PC (4500U)", "AMD", "R5-4500U", Zen2, X86Amd, 2.3,
-        (32, 32, 512, 64, 8, Some(8192), 16384), 21.0, 0.0, 0.0, 0.012, 0.035,
-        [3.2, 3.0, 2.4], 0.55);
-    push("Mini PC (3200U)", "AMD", "R3-3200U", Zen1, X86Amd, 2.6,
-        (32, 64, 512, 64, 8, Some(4096), 8192), 20.8, 0.04, 0.06, 0.013, 0.045,
-        [2.4, 2.2, 2.0], 0.65);
-    push("Mini PC (A6)", "AMD", "A6-1450", Jaguar, X86Amd, 1.0,
-        (32, 32, 2048, 64, 16, None, 4096), 20.1, 0.2, 0.2, 0.02, 0.07,
-        [1.1, 1.0, 0.9], 1.0);
+    push(
+        "EliteDesk 805 G8",
+        "AMD",
+        "R5-5650G",
+        Zen3,
+        X86Amd,
+        3.9,
+        (32, 32, 512, 64, 8, Some(16384), 32768),
+        21.15,
+        -0.02,
+        -0.02,
+        0.011,
+        0.03,
+        [3.8, 3.6, 2.8],
+        0.5,
+    );
+    push(
+        "Mini PC (4500U)",
+        "AMD",
+        "R5-4500U",
+        Zen2,
+        X86Amd,
+        2.3,
+        (32, 32, 512, 64, 8, Some(8192), 16384),
+        21.0,
+        0.0,
+        0.0,
+        0.012,
+        0.035,
+        [3.2, 3.0, 2.4],
+        0.55,
+    );
+    push(
+        "Mini PC (3200U)",
+        "AMD",
+        "R3-3200U",
+        Zen1,
+        X86Amd,
+        2.6,
+        (32, 64, 512, 64, 8, Some(4096), 8192),
+        20.8,
+        0.04,
+        0.06,
+        0.013,
+        0.045,
+        [2.4, 2.2, 2.0],
+        0.65,
+    );
+    push(
+        "Mini PC (A6)",
+        "AMD",
+        "A6-1450",
+        Jaguar,
+        X86Amd,
+        1.0,
+        (32, 32, 2048, 64, 16, None, 4096),
+        20.1,
+        0.2,
+        0.2,
+        0.02,
+        0.07,
+        [1.1, 1.0, 0.9],
+        1.0,
+    );
 
     // ARM A-class SBCs. Weaker cores (~ln(4e8) ≈ 19.8 per GHz for A72,
     // ~19.2 for A53/A55), small or absent L3, low memory bandwidth.
-    push("RPi 4 Rev 1.2", "Broadcom", "BCM2711", CortexA72, ArmAClass, 1.5,
-        (32, 48, 1024, 64, 16, None, 4096), 19.9, 0.25, 0.3, 0.02, 0.06,
-        [1.0, 0.9, 0.7], 1.15);
-    push("RPi 3B+ Rev 1.3", "Broadcom", "BCM2837B0", CortexA53, ArmAClass, 1.4,
-        (32, 32, 512, 64, 16, None, 1024), 19.2, 0.35, 0.4, 0.025, 0.08,
-        [0.7, 0.6, 0.5], 1.35);
-    push("Banana Pi M5", "Amlogic", "S905X3", CortexA55, ArmAClass, 2.0,
-        (32, 32, 512, 64, 16, None, 4096), 19.4, 0.3, 0.33, 0.022, 0.06,
-        [0.85, 0.75, 0.6], 1.25);
-    push("Le Potato", "Amlogic", "S905X", CortexA53, ArmAClass, 1.512,
-        (32, 32, 512, 64, 16, None, 2048), 19.2, 0.35, 0.4, 0.025, 0.075,
-        [0.7, 0.6, 0.5], 1.35);
-    push("Odroid C4", "Amlogic", "S905X3", CortexA55, ArmAClass, 2.0,
-        (32, 32, 512, 64, 16, None, 4096), 19.45, 0.3, 0.32, 0.022, 0.06,
-        [0.9, 0.8, 0.62], 1.25);
-    push("RockPro64", "RockChip", "RK3399", CortexA72, ArmAClass, 1.8,
-        (32, 48, 1024, 64, 16, None, 4096), 19.95, 0.24, 0.28, 0.02, 0.055,
-        [1.05, 0.95, 0.72], 1.12);
-    push("Rock Pi 4b", "RockChip", "RK3399", CortexA72, ArmAClass, 1.8,
-        (32, 48, 1024, 64, 16, None, 4096), 19.9, 0.25, 0.28, 0.02, 0.06,
-        [1.05, 0.95, 0.72], 1.12);
-    push("Renegade", "RockChip", "RK3328", CortexA53, ArmAClass, 1.4,
-        (32, 32, 256, 64, 16, None, 4096), 19.15, 0.36, 0.42, 0.026, 0.08,
-        [0.65, 0.55, 0.5], 1.4);
-    push("Orange Pi 3", "Allwinner", "H6", CortexA53, ArmAClass, 1.8,
-        (32, 32, 512, 64, 16, None, 2048), 19.25, 0.34, 0.38, 0.024, 0.07,
-        [0.75, 0.65, 0.55], 1.3);
-    push("i.MX 8M Mini EVK", "NXP", "i.MX8M Mini", CortexA53, ArmAClass, 1.8,
-        (32, 32, 512, 64, 16, None, 2048), 19.25, 0.34, 0.38, 0.024, 0.07,
-        [0.75, 0.65, 0.55], 1.3);
+    push(
+        "RPi 4 Rev 1.2",
+        "Broadcom",
+        "BCM2711",
+        CortexA72,
+        ArmAClass,
+        1.5,
+        (32, 48, 1024, 64, 16, None, 4096),
+        19.9,
+        0.25,
+        0.3,
+        0.02,
+        0.06,
+        [1.0, 0.9, 0.7],
+        1.15,
+    );
+    push(
+        "RPi 3B+ Rev 1.3",
+        "Broadcom",
+        "BCM2837B0",
+        CortexA53,
+        ArmAClass,
+        1.4,
+        (32, 32, 512, 64, 16, None, 1024),
+        19.2,
+        0.35,
+        0.4,
+        0.025,
+        0.08,
+        [0.7, 0.6, 0.5],
+        1.35,
+    );
+    push(
+        "Banana Pi M5",
+        "Amlogic",
+        "S905X3",
+        CortexA55,
+        ArmAClass,
+        2.0,
+        (32, 32, 512, 64, 16, None, 4096),
+        19.4,
+        0.3,
+        0.33,
+        0.022,
+        0.06,
+        [0.85, 0.75, 0.6],
+        1.25,
+    );
+    push(
+        "Le Potato",
+        "Amlogic",
+        "S905X",
+        CortexA53,
+        ArmAClass,
+        1.512,
+        (32, 32, 512, 64, 16, None, 2048),
+        19.2,
+        0.35,
+        0.4,
+        0.025,
+        0.075,
+        [0.7, 0.6, 0.5],
+        1.35,
+    );
+    push(
+        "Odroid C4",
+        "Amlogic",
+        "S905X3",
+        CortexA55,
+        ArmAClass,
+        2.0,
+        (32, 32, 512, 64, 16, None, 4096),
+        19.45,
+        0.3,
+        0.32,
+        0.022,
+        0.06,
+        [0.9, 0.8, 0.62],
+        1.25,
+    );
+    push(
+        "RockPro64",
+        "RockChip",
+        "RK3399",
+        CortexA72,
+        ArmAClass,
+        1.8,
+        (32, 48, 1024, 64, 16, None, 4096),
+        19.95,
+        0.24,
+        0.28,
+        0.02,
+        0.055,
+        [1.05, 0.95, 0.72],
+        1.12,
+    );
+    push(
+        "Rock Pi 4b",
+        "RockChip",
+        "RK3399",
+        CortexA72,
+        ArmAClass,
+        1.8,
+        (32, 48, 1024, 64, 16, None, 4096),
+        19.9,
+        0.25,
+        0.28,
+        0.02,
+        0.06,
+        [1.05, 0.95, 0.72],
+        1.12,
+    );
+    push(
+        "Renegade",
+        "RockChip",
+        "RK3328",
+        CortexA53,
+        ArmAClass,
+        1.4,
+        (32, 32, 256, 64, 16, None, 4096),
+        19.15,
+        0.36,
+        0.42,
+        0.026,
+        0.08,
+        [0.65, 0.55, 0.5],
+        1.4,
+    );
+    push(
+        "Orange Pi 3",
+        "Allwinner",
+        "H6",
+        CortexA53,
+        ArmAClass,
+        1.8,
+        (32, 32, 512, 64, 16, None, 2048),
+        19.25,
+        0.34,
+        0.38,
+        0.024,
+        0.07,
+        [0.75, 0.65, 0.55],
+        1.3,
+    );
+    push(
+        "i.MX 8M Mini EVK",
+        "NXP",
+        "i.MX8M Mini",
+        CortexA53,
+        ArmAClass,
+        1.8,
+        (32, 32, 512, 64, 16, None, 2048),
+        19.25,
+        0.34,
+        0.38,
+        0.024,
+        0.07,
+        [0.75, 0.65, 0.55],
+        1.3,
+    );
 
     // RISC-V SBC.
-    push("Starfive VF2", "SiFive", "U74", SifiveU74, RiscV, 1.5,
-        (32, 32, 2048, 64, 8, None, 8192), 19.5, 0.4, 0.35, 0.022, 0.06,
-        [0.9, 0.8, 0.6], 1.2);
+    push(
+        "Starfive VF2",
+        "SiFive",
+        "U74",
+        SifiveU74,
+        RiscV,
+        1.5,
+        (32, 32, 2048, 64, 8, None, 8192),
+        19.5,
+        0.4,
+        0.35,
+        0.022,
+        0.06,
+        [0.9, 0.8, 0.6],
+        1.2,
+    );
 
     // ARM M-class microcontroller: bare metal, no OS overhead, tiny memory,
     // effectively no shared-resource contention headroom.
-    push("Nucleo-F767ZI", "STMicro", "STM32F767ZI", CortexM7, ArmMClass, 0.216,
-        (16, 16, 0, 32, 4, None, 1), 19.6, 0.5, 0.2, 0.0, 0.02,
-        [0.35, 0.3, 0.25], 1.5);
+    push(
+        "Nucleo-F767ZI",
+        "STMicro",
+        "STM32F767ZI",
+        CortexM7,
+        ArmMClass,
+        0.216,
+        (16, 16, 0, 32, 4, None, 1),
+        19.6,
+        0.5,
+        0.2,
+        0.0,
+        0.02,
+        [0.35, 0.3, 0.25],
+        1.5,
+    );
 
     // Second RPi 4 unit implied by the paper's device count (24 devices but
     // 22 distinct Table 2 rows plus the NXP board the vendor list implies).
-    push("RPi 4 Rev 1.4", "Broadcom", "BCM2711", CortexA72, ArmAClass, 1.5,
-        (32, 48, 1024, 64, 16, None, 8192), 19.92, 0.25, 0.29, 0.02, 0.06,
-        [1.0, 0.9, 0.7], 1.15);
+    push(
+        "RPi 4 Rev 1.4",
+        "Broadcom",
+        "BCM2711",
+        CortexA72,
+        ArmAClass,
+        1.5,
+        (32, 48, 1024, 64, 16, None, 8192),
+        19.92,
+        0.25,
+        0.29,
+        0.02,
+        0.06,
+        [1.0, 0.9, 0.7],
+        1.15,
+    );
 
     devices
 }
@@ -316,7 +631,10 @@ mod tests {
     #[test]
     fn microcontroller_has_no_os_overhead() {
         let devices = catalog();
-        let mcu = devices.iter().find(|d| d.class == DeviceClass::ArmMClass).unwrap();
+        let mcu = devices
+            .iter()
+            .find(|d| d.class == DeviceClass::ArmMClass)
+            .unwrap();
         assert_eq!(mcu.os_overhead_s, 0.0);
         assert!(mcu.l3_kb.is_none());
     }

@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(f.workload.rows(), tb.workloads().len());
         assert_eq!(f.workload.cols(), crate::workload::opcode_count());
         assert_eq!(f.platform.rows(), tb.platforms().len());
-        assert_eq!(f.platform.cols(), Microarch::ALL.len() + tb.runtimes().len() + 9);
+        assert_eq!(
+            f.platform.cols(),
+            Microarch::ALL.len() + tb.runtimes().len() + 9
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ mod tests {
 
     fn tiny_dataset() -> Dataset {
         // Scale down for fast serialization tests.
-        let cfg = TestbedConfig { workload_scale: 0.05, sets_per_platform: 3, ..TestbedConfig::small() };
+        let cfg = TestbedConfig {
+            workload_scale: 0.05,
+            sets_per_platform: 3,
+            ..TestbedConfig::small()
+        };
         Testbed::generate(&cfg).collect_dataset()
     }
 
@@ -66,8 +70,14 @@ mod tests {
         assert_eq!(restored.observations, ds.observations);
         assert_eq!(restored.n_workloads, ds.n_workloads);
         assert_eq!(restored.n_platforms, ds.n_platforms);
-        assert_eq!(restored.workload_features.as_slice(), ds.workload_features.as_slice());
-        assert_eq!(restored.platform_features.as_slice(), ds.platform_features.as_slice());
+        assert_eq!(
+            restored.workload_features.as_slice(),
+            ds.workload_features.as_slice()
+        );
+        assert_eq!(
+            restored.platform_features.as_slice(),
+            ds.platform_features.as_slice()
+        );
         assert_eq!(restored.workload_suites, ds.workload_suites);
     }
 

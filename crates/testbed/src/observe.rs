@@ -74,7 +74,10 @@ impl Dataset {
 
     /// Count of observations with no interference.
     pub fn isolation_count(&self) -> usize {
-        self.observations.iter().filter(|o| o.interferers.is_empty()).count()
+        self.observations
+            .iter()
+            .filter(|o| o.interferers.is_empty())
+            .count()
     }
 
     /// Count of observations with at least one interferer.
@@ -177,7 +180,10 @@ impl Testbed {
             platform_features: feats.platform,
             n_workloads: workloads.len(),
             n_platforms,
-            workload_suites: workloads.iter().map(|w| w.suite.label().to_string()).collect(),
+            workload_suites: workloads
+                .iter()
+                .map(|w| w.suite.label().to_string())
+                .collect(),
         }
     }
 }
@@ -195,9 +201,14 @@ mod tests {
     fn has_all_interference_modes() {
         let ds = small_dataset();
         for k in 0..=MAX_INTERFERERS {
-            assert!(!ds.mode_indices(k).is_empty(), "no observations with {k} interferers");
+            assert!(
+                !ds.mode_indices(k).is_empty(),
+                "no observations with {k} interferers"
+            );
         }
-        let total: usize = (0..=MAX_INTERFERERS).map(|k| ds.mode_indices(k).len()).sum();
+        let total: usize = (0..=MAX_INTERFERERS)
+            .map(|k| ds.mode_indices(k).len())
+            .sum();
         assert_eq!(total, ds.observations.len());
     }
 
@@ -220,8 +231,14 @@ mod tests {
             w_seen[o.workload as usize] = true;
             p_seen[o.platform as usize] = true;
         }
-        assert!(w_seen.iter().all(|&b| b), "paper assumption: every workload observed");
-        assert!(p_seen.iter().all(|&b| b), "paper assumption: every platform observed");
+        assert!(
+            w_seen.iter().all(|&b| b),
+            "paper assumption: every workload observed"
+        );
+        assert!(
+            p_seen.iter().all(|&b| b),
+            "paper assumption: every platform observed"
+        );
     }
 
     #[test]

@@ -54,14 +54,15 @@ impl RuntimeConfig {
 /// Builds the 10 runtime configurations of Table 3.
 pub fn catalog() -> Vec<RuntimeConfig> {
     use RuntimeKind::*;
-    let mk = |family: &str, config: &str, kind, log_slowdown, dispatch_cost, fp_cost| RuntimeConfig {
-        family: family.to_string(),
-        config: config.to_string(),
-        kind,
-        log_slowdown,
-        dispatch_cost,
-        fp_cost,
-    };
+    let mk =
+        |family: &str, config: &str, kind, log_slowdown, dispatch_cost, fp_cost| RuntimeConfig {
+            family: family.to_string(),
+            config: config.to_string(),
+            kind,
+            log_slowdown,
+            dispatch_cost,
+            fp_cost,
+        };
     vec![
         // Interpreters: 10–40x slower than AOT, heavy dispatch cost.
         mk("Wasm3", "interpreter", Interpreter, 2.5, 0.9, 0.5),

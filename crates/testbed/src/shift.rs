@@ -103,7 +103,10 @@ pub fn device_arrival(
     adapt_fraction: f32,
     seed: u64,
 ) -> DeviceArrival {
-    assert!(device < testbed.devices().len(), "device index out of range");
+    assert!(
+        device < testbed.devices().len(),
+        "device index out of range"
+    );
     assert!(
         adapt_fraction > 0.0 && adapt_fraction < 1.0,
         "adapt fraction {adapt_fraction} outside (0,1)"
@@ -115,15 +118,15 @@ pub fn device_arrival(
         .filter(|(_, p)| p.device == device)
         .map(|(i, _)| i)
         .collect();
-    assert!(!new_platforms.is_empty(), "device {device} backs no platforms");
-    let is_new = |obs_idx: usize| {
-        new_platforms.contains(&(dataset.observations[obs_idx].platform as usize))
-    };
+    assert!(
+        !new_platforms.is_empty(),
+        "device {device} backs no platforms"
+    );
+    let is_new =
+        |obs_idx: usize| new_platforms.contains(&(dataset.observations[obs_idx].platform as usize));
 
     let base = Split::stratified(dataset, train_fraction, seed);
-    let strip = |v: &[usize]| -> Vec<usize> {
-        v.iter().copied().filter(|&i| !is_new(i)).collect()
-    };
+    let strip = |v: &[usize]| -> Vec<usize> { v.iter().copied().filter(|&i| !is_new(i)).collect() };
     let pretrain = Split {
         train: strip(&base.train),
         val: strip(&base.val),
@@ -132,9 +135,13 @@ pub fn device_arrival(
     };
 
     // All new-device observations, shuffled, split adapt/test.
-    let mut new_obs: Vec<usize> =
-        (0..dataset.observations.len()).filter(|&i| is_new(i)).collect();
-    assert!(new_obs.len() >= 10, "device {device} has too few observations");
+    let mut new_obs: Vec<usize> = (0..dataset.observations.len())
+        .filter(|&i| is_new(i))
+        .collect();
+    assert!(
+        new_obs.len() >= 10,
+        "device {device} has too few observations"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDE71_CEA0);
     new_obs.shuffle(&mut rng);
     let n_adapt = ((new_obs.len() as f32) * adapt_fraction).round().max(1.0) as usize;
@@ -143,8 +150,12 @@ pub fn device_arrival(
     // Fine-tuning needs validation data on the new device too: 80/20 it.
     let n_adapt_train = (adapt_obs.len() as f32 * 0.8).round().max(1.0) as usize;
     let mut adapt = pretrain.clone();
-    adapt.train.extend_from_slice(&adapt_obs[..n_adapt_train.min(adapt_obs.len())]);
-    adapt.val.extend_from_slice(&adapt_obs[n_adapt_train.min(adapt_obs.len())..]);
+    adapt
+        .train
+        .extend_from_slice(&adapt_obs[..n_adapt_train.min(adapt_obs.len())]);
+    adapt
+        .val
+        .extend_from_slice(&adapt_obs[n_adapt_train.min(adapt_obs.len())..]);
 
     DeviceArrival {
         pretrain,
@@ -180,7 +191,10 @@ mod tests {
         let n: f32 = (0..=3).map(count).sum();
         // Isolation should be ~10% of the shifted test set.
         let iso_frac = count(0) / n;
-        assert!((iso_frac - 0.1).abs() < 0.03, "isolation fraction {iso_frac}");
+        assert!(
+            (iso_frac - 0.1).abs() < 0.03,
+            "isolation fraction {iso_frac}"
+        );
         // Interference modes ~30% each.
         for k in 1..=3 {
             let f = count(k) / n;
@@ -223,7 +237,11 @@ mod tests {
         let (tb, ds) = setup();
         let arrival = device_arrival(&ds, &tb, 0, 0.5, 0.3, 0);
         let new_set: HashSet<usize> = arrival.new_platforms.iter().copied().collect();
-        for idx_set in [&arrival.pretrain.train, &arrival.pretrain.val, &arrival.pretrain.test] {
+        for idx_set in [
+            &arrival.pretrain.train,
+            &arrival.pretrain.val,
+            &arrival.pretrain.test,
+        ] {
             for &i in idx_set.iter() {
                 assert!(
                     !new_set.contains(&(ds.observations[i].platform as usize)),

@@ -52,7 +52,13 @@ impl Split {
             val.extend_from_slice(&pool[n_train..]);
             test.extend_from_slice(&idx[n_pool..]);
         }
-        Split { train, val, test, train_fraction, seed }
+        Split {
+            train,
+            val,
+            test,
+            train_fraction,
+            seed,
+        }
     }
 
     /// Observation indices in `self.train` with exactly `k` interferers.
@@ -121,7 +127,10 @@ mod tests {
         let ds = dataset();
         let split = Split::stratified(&ds, 0.1, 2);
         for k in 0..=MAX_INTERFERERS {
-            assert!(!split.train_mode(&ds, k).is_empty(), "mode {k} missing from train");
+            assert!(
+                !split.train_mode(&ds, k).is_empty(),
+                "mode {k} missing from train"
+            );
             let test_k = split
                 .test
                 .iter()

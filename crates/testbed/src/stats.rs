@@ -55,8 +55,7 @@ impl DatasetStats {
             w_seen[o.workload as usize] = true;
             p_seen[o.platform as usize] = true;
             if o.interferers.is_empty() {
-                cell_seen[o.workload as usize * dataset.n_platforms + o.platform as usize] =
-                    true;
+                cell_seen[o.workload as usize * dataset.n_platforms + o.platform as usize] = true;
             }
             min_rt = min_rt.min(o.runtime_s);
             max_rt = max_rt.max(o.runtime_s);
@@ -142,7 +141,11 @@ mod tests {
     fn totals_are_consistent() {
         let s = stats();
         assert_eq!(s.total(), s.per_mode[0] + s.interference_total());
-        assert!(s.per_mode.iter().all(|&n| n > 0), "all modes populated: {:?}", s.per_mode);
+        assert!(
+            s.per_mode.iter().all(|&n| n > 0),
+            "all modes populated: {:?}",
+            s.per_mode
+        );
     }
 
     #[test]
@@ -152,7 +155,11 @@ mod tests {
         assert_eq!(s.observed_workloads, 63); // small config scales 249 down
         assert!(s.observed_platforms >= 200);
         // Several orders of magnitude of runtime (Sec 3.2).
-        assert!(s.runtime_decades > 3.0, "only {:.1} decades", s.runtime_decades);
+        assert!(
+            s.runtime_decades > 3.0,
+            "only {:.1} decades",
+            s.runtime_decades
+        );
         // Crashes/timeouts leave holes but most cells observed (App C.3).
         assert!(s.isolation_fill > 0.7 && s.isolation_fill < 1.0);
     }

@@ -41,8 +41,8 @@ impl Testbed {
         // Workloads per suite, scaled.
         let mut workloads = Vec::new();
         for suite in Suite::ALL {
-            let count = ((suite.paper_count() as f32 * config.workload_scale).round() as usize)
-                .max(2);
+            let count =
+                ((suite.paper_count() as f32 * config.workload_scale).round() as usize).max(2);
             workloads.extend(workload::generate_suite(suite, count, &mut rng));
         }
 
@@ -54,9 +54,7 @@ impl Testbed {
         for (d, dev) in devices.iter().enumerate() {
             for (r, rt) in runtimes.iter().enumerate() {
                 let supported = match dev.class {
-                    DeviceClass::ArmMClass => {
-                        rt.family == "WAMR" && rt.kind == RuntimeKind::Aot
-                    }
+                    DeviceClass::ArmMClass => rt.family == "WAMR" && rt.kind == RuntimeKind::Aot,
                     DeviceClass::RiscV => rt.family == "WAMR" || rt.family == "Wasm3",
                     _ => {
                         !(dev.microarch == Microarch::CortexA72
@@ -65,12 +63,17 @@ impl Testbed {
                     }
                 };
                 if supported {
-                    platforms.push(Platform { device: d, runtime: r });
+                    platforms.push(Platform {
+                        device: d,
+                        runtime: r,
+                    });
                 }
             }
         }
 
-        let truth = GroundTruth::generate(&devices, &runtimes, &platforms, &workloads, config, &mut rng);
+        let truth = GroundTruth::generate(
+            &devices, &runtimes, &platforms, &workloads, config, &mut rng,
+        );
 
         Self {
             config: config.clone(),

@@ -89,7 +89,14 @@ impl GroundTruth {
                 dev.contention_capacity[2],
             ]);
             contention_scale.push(dev.contention_scale);
-            overhead_s.push(dev.os_overhead_s + if rt.kind == RuntimeKind::Jit { 0.05 } else { 0.0 });
+            overhead_s.push(
+                dev.os_overhead_s
+                    + if rt.kind == RuntimeKind::Jit {
+                        0.05
+                    } else {
+                        0.0
+                    },
+            );
             // Affinity loadings against workload traits
             // [fp_share, dispatch_share, mem_share, 1(small workload)]:
             affinity.push([
@@ -126,8 +133,7 @@ impl GroundTruth {
         let affinity: f32 = a.iter().zip(traits).map(|(x, t)| x * t).sum();
         let hidden = w.hidden * self.platform_hidden[pidx];
         let quirk = self.pair_quirk[widx * self.n_platforms + pidx];
-        let compute =
-            w.log_difficulty - self.platform_log_speed[pidx] + affinity + hidden + quirk;
+        let compute = w.log_difficulty - self.platform_log_speed[pidx] + affinity + hidden + quirk;
         // Fixed per-run overhead adds in linear space.
         (compute.exp() + self.overhead_s[pidx]).ln()
     }
@@ -139,12 +145,7 @@ impl GroundTruth {
     /// pressure beyond the platform's capacity through a soft threshold;
     /// the primary workload's sensitivity scales the result. This produces
     /// the near-zero mode plus heavy tail of paper Fig 1.
-    pub fn interference_log_slowdown(
-        &self,
-        w: &Workload,
-        set: &[&Workload],
-        pidx: usize,
-    ) -> f32 {
+    pub fn interference_log_slowdown(&self, w: &Workload, set: &[&Workload], pidx: usize) -> f32 {
         if set.is_empty() {
             return 0.0;
         }
@@ -238,7 +239,8 @@ mod tests {
             for widx in 0..ws.len().min(10) {
                 let base = truth.interference_log_slowdown(&ws[widx], &[], pidx);
                 assert_eq!(base, 0.0);
-                let one = truth.interference_log_slowdown(&ws[widx], &[&ws[(widx + 1) % ws.len()]], pidx);
+                let one =
+                    truth.interference_log_slowdown(&ws[widx], &[&ws[(widx + 1) % ws.len()]], pidx);
                 assert!(one >= 0.0);
                 let two = truth.interference_log_slowdown(
                     &ws[widx],
@@ -265,7 +267,11 @@ mod tests {
             let s = truth.interference_log_slowdown(&ws[set[0]], &others, pidx);
             max_slow = max_slow.max(s);
         }
-        assert!(max_slow > 5.0f32.ln(), "max slowdown only {:.2}x", max_slow.exp());
+        assert!(
+            max_slow > 5.0f32.ln(),
+            "max slowdown only {:.2}x",
+            max_slow.exp()
+        );
     }
 
     #[test]

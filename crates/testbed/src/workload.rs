@@ -70,16 +70,57 @@ impl Suite {
 /// dispatch, memory-heavy ones by `Device::mem_weakness` and memory-bandwidth
 /// contention.
 pub const OPCODE_GROUPS: [(&str, &[&str]); 10] = [
-    ("int_arith", &["i32.add", "i32.sub", "i32.and", "i32.or", "i32.xor", "i32.shl", "i64.add", "i64.sub"]),
-    ("int_muldiv", &["i32.mul", "i32.div_u", "i64.mul", "i64.div_u"]),
+    (
+        "int_arith",
+        &[
+            "i32.add", "i32.sub", "i32.and", "i32.or", "i32.xor", "i32.shl", "i64.add", "i64.sub",
+        ],
+    ),
+    (
+        "int_muldiv",
+        &["i32.mul", "i32.div_u", "i64.mul", "i64.div_u"],
+    ),
     ("fp32", &["f32.add", "f32.mul", "f32.div", "f32.sqrt"]),
-    ("fp64", &["f64.add", "f64.sub", "f64.mul", "f64.div", "f64.sqrt", "f64.abs"]),
-    ("load", &["i32.load", "i64.load", "f32.load", "f64.load", "i32.load8_u", "i32.load16_u"]),
-    ("store", &["i32.store", "i64.store", "f64.store", "i32.store8"]),
+    (
+        "fp64",
+        &[
+            "f64.add", "f64.sub", "f64.mul", "f64.div", "f64.sqrt", "f64.abs",
+        ],
+    ),
+    (
+        "load",
+        &[
+            "i32.load",
+            "i64.load",
+            "f32.load",
+            "f64.load",
+            "i32.load8_u",
+            "i32.load16_u",
+        ],
+    ),
+    (
+        "store",
+        &["i32.store", "i64.store", "f64.store", "i32.store8"],
+    ),
     ("branch", &["br", "br_if", "br_table", "if"]),
     ("call", &["call", "call_indirect", "return"]),
-    ("local", &["local.get", "local.set", "local.tee", "global.get", "global.set", "select"]),
-    ("compare", &["i32.eq", "i32.lt_s", "i32.gt_s", "i64.lt_u", "f64.lt", "f64.gt"]),
+    (
+        "local",
+        &[
+            "local.get",
+            "local.set",
+            "local.tee",
+            "global.get",
+            "global.set",
+            "select",
+        ],
+    ),
+    (
+        "compare",
+        &[
+            "i32.eq", "i32.lt_s", "i32.gt_s", "i64.lt_u", "f64.lt", "f64.gt",
+        ],
+    ),
 ];
 
 /// Total number of opcode features.
@@ -89,7 +130,10 @@ pub fn opcode_count() -> usize {
 
 /// Flat list of opcode names in feature order.
 pub fn opcode_names() -> Vec<&'static str> {
-    OPCODE_GROUPS.iter().flat_map(|(_, ops)| ops.iter().copied()).collect()
+    OPCODE_GROUPS
+        .iter()
+        .flat_map(|(_, ops)| ops.iter().copied())
+        .collect()
 }
 
 /// A benchmark workload.
@@ -216,8 +260,7 @@ pub fn generate_suite<R: Rng + ?Sized>(suite: Suite, count: usize, rng: &mut R) 
     (0..count)
         .map(|idx| {
             let shares = sample_shares(&p, rng);
-            let log_difficulty =
-                p.log_instr_mean + p.log_instr_std * sample_standard_normal(rng);
+            let log_difficulty = p.log_instr_mean + p.log_instr_std * sample_standard_normal(rng);
             let total_instr = (log_difficulty as f64).exp();
 
             // Distribute each group's instruction share across its opcodes
@@ -339,9 +382,19 @@ mod tests {
             .iter()
             .flat_map(|&s| generate_suite(s, s.paper_count(), &mut rng))
             .collect();
-        let min = all.iter().map(|w| w.log_difficulty).fold(f32::INFINITY, f32::min);
-        let max = all.iter().map(|w| w.log_difficulty).fold(f32::NEG_INFINITY, f32::max);
-        assert!(max - min > 2.0f32.ln() * 8.0, "span only {:.1} octaves", (max - min) / 2.0f32.ln());
+        let min = all
+            .iter()
+            .map(|w| w.log_difficulty)
+            .fold(f32::INFINITY, f32::min);
+        let max = all
+            .iter()
+            .map(|w| w.log_difficulty)
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(
+            max - min > 2.0f32.ln() * 8.0,
+            "span only {:.1} octaves",
+            (max - min) / 2.0f32.ln()
+        );
     }
 
     #[test]

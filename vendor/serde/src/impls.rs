@@ -1,0 +1,283 @@
+//! `Serialize` / `Deserialize` implementations for std types.
+
+use crate::json::{Error, Value};
+use crate::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v.as_f64().ok_or_else(|| Error::expected("number", v))?;
+                if n.fract() != 0.0 {
+                    return Err(Error::new(format!(
+                        "expected integer, found fractional number {n}"
+                    )));
+                }
+                // Range-check before the cast: `as` saturates, which would
+                // turn corrupt input into silently wrong numbers.
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::new(format!(
+                        "number {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                // Like serde_json, non-finite floats have no JSON form.
+                let x = *self as f64;
+                if x.is_finite() { Value::Number(x) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|n| n as $t)
+                    .ok_or_else(|| Error::expected("number", v))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+// ------------------------------------------------------- bool and strings
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let a = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        if a.len() != N {
+            return Err(Error::new(format!(
+                "expected array of length {N}, found {}",
+                a.len()
+            )));
+        }
+        let items: Vec<T> = a.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| Error::new("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                if a.len() != $n {
+                    return Err(Error::new(format!(
+                        "expected array of length {}, found {}",
+                        $n,
+                        a.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&a[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+// ------------------------------------------------------------------ maps
+
+/// Types usable as JSON object keys (JSON keys are always strings).
+pub trait JsonKey: Sized {
+    /// Renders the key as a string.
+    fn to_json_key(&self) -> String;
+    /// Parses the key back from a string.
+    fn from_json_key(s: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_json_key(&self) -> String {
+        self.clone()
+    }
+    fn from_json_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_json_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_json_key(s: &str) -> Result<Self, Error> {
+                s.parse()
+                    .map_err(|_| Error::new(format!("invalid integer map key `{s}`")))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_json_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_json_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: JsonKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_json_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_json_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+// ----------------------------------------------------------------- Value
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// Keep the Map alias (BTreeMap<String, Value>) covered via the generic
+// BTreeMap impls above; `Map` keys are `String`, so they already apply.

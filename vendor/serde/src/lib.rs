@@ -1,0 +1,29 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! This workspace builds without crates.io access, so the slice of serde the
+//! codebase relies on — `#[derive(Serialize, Deserialize)]`, the
+//! `#[serde(default)]` field attribute, and JSON round-trips through
+//! `serde_json` — is reimplemented here. The data model is JSON-only: types
+//! serialize directly into [`json::Value`] rather than through serde's
+//! visitor machinery. The derive macros live in the companion
+//! `serde_derive` shim and target these traits.
+
+pub mod json;
+
+mod impls;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// A type that can be represented as a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a JSON value.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}

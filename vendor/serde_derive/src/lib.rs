@@ -1,0 +1,463 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Hand-rolled over `proc_macro` (no `syn`/`quote` in the offline vendor
+//! tree). Supports what this workspace actually uses:
+//!
+//! - non-generic structs with named fields, honouring `#[serde(default)]`
+//!   (missing key → `Default::default()`) and implicit `Option` defaulting
+//!   (missing key → `None`);
+//! - non-generic enums with unit, tuple, and struct variants, in serde's
+//!   externally-tagged representation (`"Variant"`, `{"Variant": …}`).
+//!
+//! Anything else (generics, tuple structs, other `#[serde(...)]` attributes)
+//! panics at expansion time with a clear message rather than silently
+//! misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (JSON-value model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (JSON-value model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------------ parse
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim: `{name}` must have a brace-delimited body \
+             (tuple structs are unsupported), found {other:?}"
+        ),
+    };
+    match kw.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Scans a field's attributes; returns whether `#[serde(default)]` is among
+/// them and advances past all attributes.
+fn scan_field_attributes(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if let Some(TokenTree::Group(g)) = toks.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        let args = match inner.get(1) {
+                            Some(TokenTree::Group(a)) => a.stream().to_string(),
+                            _ => String::new(),
+                        };
+                        if args.trim() == "default" {
+                            has_default = true;
+                        } else {
+                            panic!(
+                                "serde_derive shim: unsupported attribute \
+                                 #[serde({args})] (only `default` is implemented)"
+                            );
+                        }
+                    }
+                }
+                *i += 1;
+            }
+        }
+    }
+    has_default
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let has_default = scan_field_attributes(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        // The type: consume tokens until a comma at angle-bracket depth 0,
+        // remembering the leading tokens so `Option` can be recognised even
+        // when written as a qualified path (`std::option::Option<T>`).
+        let mut depth = 0i32;
+        let mut lead_idents: Vec<String> = Vec::new();
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Ident(id) if depth == 0 => lead_idents.push(id.to_string()),
+                _ => {}
+            }
+            i += 1;
+        }
+        // Drop a `std`/`core`/`option` path prefix, then test the head ident.
+        let is_option = lead_idents
+            .iter()
+            .find(|s| !matches!(s.as_str(), "std" | "core" | "option"))
+            .is_some_and(|s| s == "Option")
+            || lead_idents.last().is_some_and(|s| s == "Option");
+        fields.push(Field {
+            name,
+            has_default,
+            is_option,
+        });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive shim: explicit discriminants are not supported");
+        }
+        variants.push(Variant { name, kind });
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Counts the comma-separated types in a tuple-variant payload.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+// -------------------------------------------------------------- generate
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut inserts = String::new();
+    for f in fields {
+        inserts.push_str(&format!(
+            "__m.insert(::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::serialize(&self.{n}));\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::json::Value {{\n\
+         let mut __m = ::serde::json::Map::new();\n\
+         {inserts}\
+         ::serde::json::Value::Object(__m)\n\
+         }}\n}}\n"
+    )
+}
+
+/// Expression reconstructing one field from object map `__obj`.
+fn field_expr(f: &Field) -> String {
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_owned()
+    } else if f.is_option {
+        "::std::option::Option::None".to_owned()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(\
+             ::serde::json::Error::missing_field(\"{}\"))",
+            f.name
+        )
+    };
+    format!(
+        "match __obj.get(\"{n}\") {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }}",
+        n = f.name
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!("{n}: {e},\n", n = f.name, e = field_expr(f)));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::json::Value) \
+         -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+         let __obj = __v.as_object()\
+         .ok_or_else(|| ::serde::json::Error::expected(\"object\", __v))?;\n\
+         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::json::Value::String(\
+                     ::std::string::String::from(\"{vn}\")),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vn}(__f0) => {{\n\
+                     let mut __m = ::serde::json::Map::new();\n\
+                     __m.insert(::std::string::String::from(\"{vn}\"), \
+                     ::serde::Serialize::serialize(__f0));\n\
+                     ::serde::json::Value::Object(__m)\n}}\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{\n\
+                     let mut __m = ::serde::json::Map::new();\n\
+                     __m.insert(::std::string::String::from(\"{vn}\"), \
+                     ::serde::json::Value::Array(vec![{elems}]));\n\
+                     ::serde::json::Value::Object(__m)\n}}\n",
+                    binds = binds.join(", "),
+                    elems = elems.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut inserts = String::new();
+                for f in fields {
+                    inserts.push_str(&format!(
+                        "__inner.insert(::std::string::String::from(\"{n}\"), \
+                         ::serde::Serialize::serialize({n}));\n",
+                        n = f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{\n\
+                     let mut __inner = ::serde::json::Map::new();\n\
+                     {inserts}\
+                     let mut __m = ::serde::json::Map::new();\n\
+                     __m.insert(::std::string::String::from(\"{vn}\"), \
+                     ::serde::json::Value::Object(__inner));\n\
+                     ::serde::json::Value::Object(__m)\n}}\n",
+                    binds = binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::json::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::deserialize(__val)?)),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::deserialize(&__arr[{k}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __arr = __val.as_array()\
+                     .ok_or_else(|| ::serde::json::Error::expected(\"array\", __val))?;\n\
+                     if __arr.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::json::Error::new(\
+                     \"wrong tuple-variant arity for `{vn}`\"));\n}}\n\
+                     ::std::result::Result::Ok({name}::{vn}({elems}))\n}}\n",
+                    elems = elems.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!("{n}: {e},\n", n = f.name, e = field_expr(f)));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __obj = __val.as_object()\
+                     .ok_or_else(|| ::serde::json::Error::expected(\"object\", __val))?;\n\
+                     ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::json::Value) \
+         -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+         match __v {{\n\
+         ::serde::json::Value::String(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::json::Error::new(\
+         format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+         }},\n\
+         ::serde::json::Value::Object(__m) if __m.len() == 1 => {{\n\
+         let (__tag, __val) = __m.iter().next().expect(\"len checked\");\n\
+         match __tag.as_str() {{\n\
+         {tagged_arms}\
+         __other => ::std::result::Result::Err(::serde::json::Error::new(\
+         format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+         }}\n}}\n\
+         __other => ::std::result::Result::Err(\
+         ::serde::json::Error::expected(\"enum {name}\", __other)),\n\
+         }}\n\
+         }}\n}}\n"
+    )
+}
