@@ -7,8 +7,8 @@
 //! pooled context into one interference multiplier.
 
 use crate::common::{sample_batch, BaselineConfig, LogPredictor};
-use pitot_linalg::{dot, Matrix};
-use pitot_nn::{squared_loss, Activation, AdaMax, Mlp};
+use pitot_linalg::{dot, Matrix, Scratch};
+use pitot_nn::{squared_loss, squared_loss_into, Activation, AdaMax, Mlp, MlpCache, MlpGrads};
 use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -156,71 +156,102 @@ impl AttentionNet {
             intercept,
         };
 
+        // Step buffers, allocated once and recycled every step.
+        let mut base_in = Matrix::zeros(0, 0);
+        let mut enc_in = Matrix::zeros(0, 0);
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        let mut base_cache = MlpCache::new();
+        let mut enc_cache = MlpCache::new();
+        let mut ctx_cache = MlpCache::new();
+        let mut g_base = MlpGrads::zeros_like(&model.base);
+        let mut g_enc = MlpGrads::zeros_like(&model.encoder);
+        let mut g_out = MlpGrads::zeros_like(&model.output);
+        let mut g_tmp_base = MlpGrads::zeros_like(&model.base);
+        let mut g_tmp_enc = MlpGrads::zeros_like(&model.encoder);
+        let mut g_tmp_out = MlpGrads::zeros_like(&model.output);
+        let mut scratch = Scratch::new();
+        let mut dx = Matrix::zeros(0, 0);
+        let mut d_ctx_out = Matrix::zeros(0, 0);
+        let mut d_context = Matrix::zeros(0, 0);
+        let mut preds: Vec<f32> = Vec::new();
+        let mut targets: Vec<f32> = Vec::new();
+        let mut d_pred: Vec<f32> = Vec::new();
+
         for step in 1..=config.train.steps {
-            let mut g_base: Option<pitot_nn::MlpGrads> = None;
-            let mut g_enc: Option<pitot_nn::MlpGrads> = None;
-            let mut g_out: Option<pitot_nn::MlpGrads> = None;
+            g_base.scale(0.0);
+            g_enc.scale(0.0);
+            g_out.scale(0.0);
 
             for (k, pool) in pools.iter().enumerate() {
                 if pool.is_empty() {
                     continue;
                 }
                 let batch = sample_batch(pool, config.train.batch_per_mode, &mut rng);
-                let (base_in, enc_in, spans) = Self::batch_inputs(dataset, &batch);
-                let (base_out, base_cache) = model.base.forward(&base_in);
-                let (enc_out, enc_cache) = model.encoder.forward(&enc_in);
-                let fwd = model.attend(&base_out, &enc_out, &spans);
-                let (ctx_out, ctx_cache) = model.output.forward(&fwd.context);
+                Self::batch_inputs_into(dataset, &batch, &mut base_in, &mut enc_in, &mut spans);
+                model.base.forward_with(&base_in, &mut base_cache);
+                model.encoder.forward_with(&enc_in, &mut enc_cache);
+                let fwd = model.attend(base_cache.output(), enc_cache.output(), &spans);
+                model.output.forward_with(&fwd.context, &mut ctx_cache);
+                let ctx_out = ctx_cache.output();
 
-                let preds: Vec<f32> = (0..batch.len())
-                    .map(|b| {
-                        let has = spans[b].1 > spans[b].0;
-                        fwd.preds[b] + if has { ctx_out[(b, 0)] } else { 0.0 }
-                    })
-                    .collect();
-                let targets: Vec<f32> = batch
-                    .iter()
-                    .map(|&i| dataset.observations[i].log_runtime())
-                    .collect();
-                let (_, mut d_pred) = squared_loss(&preds, &targets);
+                preds.clear();
+                preds.extend((0..batch.len()).map(|b| {
+                    let has = spans[b].1 > spans[b].0;
+                    fwd.preds[b] + if has { ctx_out[(b, 0)] } else { 0.0 }
+                }));
+                targets.clear();
+                targets.extend(batch.iter().map(|&i| dataset.observations[i].log_runtime()));
+                squared_loss_into(&preds, &targets, &mut d_pred);
                 for g in &mut d_pred {
                     *g *= weights[k];
                 }
 
                 // Output-network gradient (only rows with interferers).
-                let mut d_ctx_out = Matrix::zeros(batch.len(), 1);
+                d_ctx_out.resize(batch.len(), 1);
+                d_ctx_out.fill(0.0);
                 for (b, &(lo, hi)) in spans.iter().enumerate() {
                     if hi > lo {
                         d_ctx_out[(b, 0)] = d_pred[b];
                     }
                 }
-                let (d_context, go) = model.output.backward(&ctx_cache, &d_ctx_out);
+                model.output.backward_with(
+                    &ctx_cache,
+                    &d_ctx_out,
+                    &mut d_context,
+                    &mut g_tmp_out,
+                    &mut scratch,
+                );
 
                 // Backprop the attention mechanism into base & encoder outputs.
                 let (d_base_out, d_enc_out) =
                     model.attend_backward(&fwd, &d_context, &d_pred, &spans);
-                let (_, gb) = model.base.backward(&base_cache, &d_base_out);
-                let (_, ge) = model.encoder.backward(&enc_cache, &d_enc_out);
-
-                for (acc, g) in [(&mut g_base, gb), (&mut g_enc, ge), (&mut g_out, go)] {
-                    match acc {
-                        None => *acc = Some(g),
-                        Some(a) => a.accumulate(&g),
-                    }
-                }
+                model.base.backward_with(
+                    &base_cache,
+                    &d_base_out,
+                    &mut dx,
+                    &mut g_tmp_base,
+                    &mut scratch,
+                );
+                model.encoder.backward_with(
+                    &enc_cache,
+                    &d_enc_out,
+                    &mut dx,
+                    &mut g_tmp_enc,
+                    &mut scratch,
+                );
+                g_base.accumulate(&g_tmp_base);
+                g_enc.accumulate(&g_tmp_enc);
+                g_out.accumulate(&g_tmp_out);
             }
 
-            let gb = g_base.expect("isolation mode always present");
-            let ge = g_enc.unwrap_or_else(|| pitot_nn::MlpGrads::zeros_like(&model.encoder));
-            let go = g_out.unwrap_or_else(|| pitot_nn::MlpGrads::zeros_like(&model.output));
-            let g_data: Vec<Vec<f32>> = gb
+            // One optimizer step over all three networks (accumulators stay
+            // zeroed for networks that saw no data this step).
+            let g_refs: Vec<&[f32]> = g_base
                 .grad_slices()
                 .into_iter()
-                .chain(ge.grad_slices())
-                .chain(go.grad_slices())
-                .map(|s| s.to_vec())
+                .chain(g_enc.grad_slices())
+                .chain(g_out.grad_slices())
                 .collect();
-            let g_refs: Vec<&[f32]> = g_data.iter().map(|g| g.as_slice()).collect();
             let mut params = model.base.param_slices_mut();
             params.extend(model.encoder.param_slices_mut());
             params.extend(model.output.param_slices_mut());
@@ -245,15 +276,31 @@ impl AttentionNet {
     }
 
     fn batch_inputs(dataset: &Dataset, batch: &[usize]) -> (Matrix, Matrix, Vec<(usize, usize)>) {
+        let mut base_in = Matrix::zeros(0, 0);
+        let mut enc_in = Matrix::zeros(0, 0);
+        let mut spans = Vec::new();
+        Self::batch_inputs_into(dataset, batch, &mut base_in, &mut enc_in, &mut spans);
+        (base_in, enc_in, spans)
+    }
+
+    /// [`AttentionNet::batch_inputs`] into reusable buffers.
+    fn batch_inputs_into(
+        dataset: &Dataset,
+        batch: &[usize],
+        base_in: &mut Matrix,
+        enc_in: &mut Matrix,
+        spans: &mut Vec<(usize, usize)>,
+    ) {
         let wf = dataset.workload_features.cols();
         let pf = dataset.platform_features.cols();
-        let mut base_in = Matrix::zeros(batch.len(), wf + pf);
+        base_in.resize(batch.len(), wf + pf);
         let total: usize = batch
             .iter()
             .map(|&i| dataset.observations[i].interferers.len())
             .sum();
-        let mut enc_in = Matrix::zeros(total.max(1), wf + pf);
-        let mut spans = Vec::with_capacity(batch.len());
+        enc_in.resize(total.max(1), wf + pf);
+        enc_in.fill(0.0);
+        spans.clear();
         let mut row = 0;
         for (b, &oi) in batch.iter().enumerate() {
             let o = &dataset.observations[oi];
@@ -270,7 +317,6 @@ impl AttentionNet {
             }
             spans.push((start, row));
         }
-        (base_in, enc_in, spans)
     }
 
     /// Attention forward pass over already-computed network outputs.

@@ -126,12 +126,15 @@ impl InductiveMc {
         let mut b = Matrix::randn(zp.cols(), r, &mut rng);
         b.scale(0.05);
 
+        // Projected-feature buffers, reused across sweeps.
+        let mut v = Matrix::zeros(0, 0);
+        let mut u = Matrix::zeros(0, 0);
         for _ in 0..config.sweeps {
             // Solve A with B fixed: φ = x ⊗ (Bᵀz).
-            let v = zp.matmul(&b); // Np × r
+            zp.matmul_into(&b, &mut v); // Np × r
             a = ridge_solve_factor(&xw, &v, &wl, &pl, &targets, r, config.lambda).unwrap_or(a);
             // Solve B with A fixed (swap roles).
-            let u = xw.matmul(&a); // Nw × r
+            xw.matmul_into(&a, &mut u); // Nw × r
             b = ridge_solve_factor(&zp, &u, &pl, &wl, &targets, r, config.lambda).unwrap_or(b);
         }
 

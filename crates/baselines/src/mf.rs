@@ -105,31 +105,35 @@ impl MatrixFactorization {
         // MF sees a single mode, so it gets the full combined batch size.
         let batch_size = config.train.batch_per_mode * 4;
 
+        // Step buffers, allocated once and recycled every step.
+        let mut dw = Matrix::zeros(w.rows(), w.cols());
+        let mut dp = Matrix::zeros(p.rows(), p.cols());
+        let mut preds: Vec<f32> = Vec::with_capacity(batch_size);
+        let mut targets: Vec<f32> = Vec::with_capacity(batch_size);
+        let mut d_pred: Vec<f32> = Vec::new();
+
         for step in 1..=config.train.steps {
             let batch = sample_batch(&pool, batch_size, &mut rng);
-            let preds: Vec<f32> = batch
-                .iter()
-                .map(|&i| {
-                    let o = &dataset.observations[i];
-                    intercept
-                        + pitot_linalg::dot(w.row(o.workload as usize), p.row(o.platform as usize))
-                })
-                .collect();
-            let targets: Vec<f32> = batch
-                .iter()
-                .map(|&i| dataset.observations[i].log_runtime())
-                .collect();
-            let (_, d_pred) = squared_loss(&preds, &targets);
+            preds.clear();
+            preds.extend(batch.iter().map(|&i| {
+                let o = &dataset.observations[i];
+                intercept
+                    + pitot_linalg::dot(w.row(o.workload as usize), p.row(o.platform as usize))
+            }));
+            targets.clear();
+            targets.extend(batch.iter().map(|&i| dataset.observations[i].log_runtime()));
+            pitot_nn::squared_loss_into(&preds, &targets, &mut d_pred);
 
-            let mut dw = Matrix::zeros(w.rows(), w.cols());
-            let mut dp = Matrix::zeros(p.rows(), p.cols());
+            dw.fill(0.0);
+            dp.fill(0.0);
             for (b, &i) in batch.iter().enumerate() {
                 let o = &dataset.observations[i];
                 let (wi, pj) = (o.workload as usize, o.platform as usize);
                 let g = d_pred[b];
-                let w_row: Vec<f32> = w.row(wi).to_vec();
+                // `w`/`p` are only read while `dw`/`dp` are written, so the
+                // embedding rows can be borrowed directly.
                 pitot_linalg::axpy_slice(g, p.row(pj), dw.row_mut(wi));
-                pitot_linalg::axpy_slice(g, &w_row, dp.row_mut(pj));
+                pitot_linalg::axpy_slice(g, w.row(wi), dp.row_mut(pj));
             }
             opt.step(
                 &mut [w.as_mut_slice(), p.as_mut_slice()],

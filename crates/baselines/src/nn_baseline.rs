@@ -7,8 +7,8 @@
 //! (multiplicative in linear space).
 
 use crate::common::{sample_batch, BaselineConfig, LogPredictor};
-use pitot_linalg::Matrix;
-use pitot_nn::{squared_loss, Activation, AdaMax, Mlp};
+use pitot_linalg::{Matrix, Scratch};
+use pitot_nn::{squared_loss, squared_loss_into, Activation, AdaMax, Mlp, MlpCache, MlpGrads};
 use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -121,71 +121,89 @@ impl NeuralNetwork {
         let mut opt = AdaMax::new(config.train.learning_rate);
         let mut best: Option<(f32, Mlp, Mlp)> = None;
 
+        // Step buffers, allocated once and recycled every step.
+        let mut base_in = Matrix::zeros(0, 0);
+        let mut intf_in = Matrix::zeros(0, 0);
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        let mut base_cache = MlpCache::new();
+        let mut intf_cache = MlpCache::new();
+        let mut g_base = MlpGrads::zeros_like(&base);
+        let mut g_intf = MlpGrads::zeros_like(&interference);
+        let mut g_base_tmp = MlpGrads::zeros_like(&base);
+        let mut g_intf_tmp = MlpGrads::zeros_like(&interference);
+        let mut scratch = Scratch::new();
+        let mut dx = Matrix::zeros(0, 0);
+        let mut d_base = Matrix::zeros(0, 0);
+        let mut d_intf = Matrix::zeros(0, 0);
+        let mut preds: Vec<f32> = Vec::new();
+        let mut targets: Vec<f32> = Vec::new();
+        let mut d_pred: Vec<f32> = Vec::new();
+
         for step in 1..=config.train.steps {
-            let mut base_grads = None;
-            let mut intf_grads = None;
+            g_base.scale(0.0);
+            g_intf.scale(0.0);
 
             for (k, pool) in pools.iter().enumerate() {
                 if pool.is_empty() {
                     continue;
                 }
                 let batch = sample_batch(pool, config.train.batch_per_mode, &mut rng);
-                let (base_in, intf_in, spans) = Self::batch_inputs(dataset, &batch);
-                let (base_out, base_cache) = base.forward(&base_in);
-                let (preds, intf_out, intf_cache) = if k > 0 {
-                    let (io, ic) = interference.forward(&intf_in);
-                    let preds = Self::combine(intercept, &base_out, &io, &spans);
-                    (preds, Some(io), Some(ic))
+                Self::batch_inputs_into(dataset, &batch, &mut base_in, &mut intf_in, &mut spans);
+                base.forward_with(&base_in, &mut base_cache);
+                let with_intf = k > 0;
+                if with_intf {
+                    interference.forward_with(&intf_in, &mut intf_cache);
+                    Self::combine_into(
+                        intercept,
+                        base_cache.output(),
+                        intf_cache.output(),
+                        &spans,
+                        &mut preds,
+                    );
                 } else {
-                    let preds: Vec<f32> =
-                        base_out.as_slice().iter().map(|b| intercept + b).collect();
-                    (preds, None, None)
-                };
-                let targets: Vec<f32> = batch
-                    .iter()
-                    .map(|&i| dataset.observations[i].log_runtime())
-                    .collect();
-                let (_, mut d_pred) = squared_loss(&preds, &targets);
+                    preds.clear();
+                    preds.extend(base_cache.output().as_slice().iter().map(|b| intercept + b));
+                }
+                targets.clear();
+                targets.extend(batch.iter().map(|&i| dataset.observations[i].log_runtime()));
+                squared_loss_into(&preds, &targets, &mut d_pred);
                 for g in &mut d_pred {
                     *g *= weights[k];
                 }
 
                 // Base network gradient: one output row per observation.
-                let d_base = Matrix::from_vec(batch.len(), 1, d_pred.clone());
-                let (_, g_base) = base.backward(&base_cache, &d_base);
-                match &mut base_grads {
-                    None => base_grads = Some(g_base),
-                    Some(acc) => acc.accumulate(&g_base),
-                }
+                d_base.resize(batch.len(), 1);
+                d_base.as_mut_slice().copy_from_slice(&d_pred);
+                base.backward_with(&base_cache, &d_base, &mut dx, &mut g_base_tmp, &mut scratch);
+                g_base.accumulate(&g_base_tmp);
                 // Interference network gradient: the multiplier of every
                 // interferer of observation b receives d_pred[b].
-                if let (Some(io), Some(ic)) = (&intf_out, &intf_cache) {
-                    let mut d_intf = Matrix::zeros(io.rows(), 1);
+                if with_intf {
+                    d_intf.resize(intf_cache.output().rows(), 1);
+                    d_intf.fill(0.0);
                     for (b, span) in spans.iter().enumerate() {
                         for r in span.0..span.1 {
                             d_intf[(r, 0)] = d_pred[b];
                         }
                     }
-                    let (_, g_intf) = interference.backward(ic, &d_intf);
-                    match &mut intf_grads {
-                        None => intf_grads = Some(g_intf),
-                        Some(acc) => acc.accumulate(&g_intf),
-                    }
+                    interference.backward_with(
+                        &intf_cache,
+                        &d_intf,
+                        &mut dx,
+                        &mut g_intf_tmp,
+                        &mut scratch,
+                    );
+                    g_intf.accumulate(&g_intf_tmp);
                 }
             }
 
-            // One optimizer step over both networks (zero grads if a network
-            // saw no data this step).
-            let g_base = base_grads.expect("isolation mode always present");
-            let g_intf =
-                intf_grads.unwrap_or_else(|| pitot_nn::MlpGrads::zeros_like(&interference));
-            let g_data: Vec<Vec<f32>> = g_base
+            // One optimizer step over both networks (a network that saw no
+            // data this step keeps its zeroed gradient accumulator).
+            let g_refs: Vec<&[f32]> = g_base
                 .grad_slices()
                 .into_iter()
                 .chain(g_intf.grad_slices())
-                .map(|s| s.to_vec())
                 .collect();
-            let g_refs: Vec<&[f32]> = g_data.iter().map(|g| g.as_slice()).collect();
             let mut params = base.param_slices_mut();
             params.extend(interference.param_slices_mut());
             opt.step(&mut params, &g_refs);
@@ -227,15 +245,31 @@ impl NeuralNetwork {
     /// Builds base inputs (`B × (wf+pf)`), interference inputs (one row per
     /// interferer), and per-observation row spans into the latter.
     fn batch_inputs(dataset: &Dataset, batch: &[usize]) -> (Matrix, Matrix, Vec<(usize, usize)>) {
+        let mut base_in = Matrix::zeros(0, 0);
+        let mut intf_in = Matrix::zeros(0, 0);
+        let mut spans = Vec::new();
+        Self::batch_inputs_into(dataset, batch, &mut base_in, &mut intf_in, &mut spans);
+        (base_in, intf_in, spans)
+    }
+
+    /// [`NeuralNetwork::batch_inputs`] into reusable buffers.
+    fn batch_inputs_into(
+        dataset: &Dataset,
+        batch: &[usize],
+        base_in: &mut Matrix,
+        intf_in: &mut Matrix,
+        spans: &mut Vec<(usize, usize)>,
+    ) {
         let wf = dataset.workload_features.cols();
         let pf = dataset.platform_features.cols();
-        let mut base_in = Matrix::zeros(batch.len(), wf + pf);
+        base_in.resize(batch.len(), wf + pf);
         let total_intf: usize = batch
             .iter()
             .map(|&i| dataset.observations[i].interferers.len())
             .sum();
-        let mut intf_in = Matrix::zeros(total_intf.max(1), 2 * wf + pf);
-        let mut spans = Vec::with_capacity(batch.len());
+        intf_in.resize(total_intf.max(1), 2 * wf + pf);
+        intf_in.fill(0.0);
+        spans.clear();
         let mut row = 0;
         for (b, &oi) in batch.iter().enumerate() {
             let o = &dataset.observations[oi];
@@ -254,7 +288,6 @@ impl NeuralNetwork {
             }
             spans.push((start, row));
         }
-        (base_in, intf_in, spans)
     }
 
     fn combine(
@@ -263,17 +296,26 @@ impl NeuralNetwork {
         intf_out: &Matrix,
         spans: &[(usize, usize)],
     ) -> Vec<f32> {
-        spans
-            .iter()
-            .enumerate()
-            .map(|(b, &(lo, hi))| {
-                let mut pred = intercept + base_out[(b, 0)];
-                for r in lo..hi {
-                    pred += intf_out[(r, 0)];
-                }
-                pred
-            })
-            .collect()
+        let mut out = Vec::new();
+        Self::combine_into(intercept, base_out, intf_out, spans, &mut out);
+        out
+    }
+
+    fn combine_into(
+        intercept: f32,
+        base_out: &Matrix,
+        intf_out: &Matrix,
+        spans: &[(usize, usize)],
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        out.extend(spans.iter().enumerate().map(|(b, &(lo, hi))| {
+            let mut pred = intercept + base_out[(b, 0)];
+            for r in lo..hi {
+                pred += intf_out[(r, 0)];
+            }
+            pred
+        }));
     }
 }
 

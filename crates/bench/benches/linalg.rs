@@ -1,0 +1,120 @@
+//! Kernel-layer benches: the blocked/FMA-dispatched products against the
+//! naive reference triple loops, at the exact shapes the Pitot training
+//! step runs (tower batches over the small-testbed entity counts), plus the
+//! elementwise activation maps and the slice primitives.
+//!
+//! Element throughput is reported as FLOP/s (each product element-step is a
+//! multiply-add, counted as 2 FLOPs). `PITOT_BENCH_JSON=path` dumps the
+//! figures machine-readably; `BENCH_linalg.json` in the repo root records
+//! the before/after trajectory for this layer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pitot_linalg::{reference, Matrix};
+use pitot_nn::Activation;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Training-step shapes: `(m, k, n)` for the platform tower at the small
+/// testbed (220 platforms), the workload tower (63 workloads), and a
+/// batch-512 slab.
+const SHAPES: [(usize, usize, usize); 4] = [
+    (220, 52, 128),
+    (220, 128, 128),
+    (220, 128, 160),
+    (512, 128, 160),
+];
+
+fn products(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    for (m, k, n) in SHAPES {
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        let mut out = Matrix::zeros(m, n);
+        let flops = (2 * m * k * n) as u64;
+
+        let mut group = c.benchmark_group(&format!("matmul/{m}x{k}x{n}"));
+        group
+            .sample_size(20)
+            .throughput(Throughput::Elements(flops));
+        group.bench_function("blocked", |bch| bch.iter(|| a.matmul_into(&b, &mut out)));
+        group.bench_function("reference", |bch| {
+            bch.iter(|| black_box(reference::matmul(&a, &b)))
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group(&format!("matmul_transpose/{m}x{k}x{n}"));
+        group
+            .sample_size(20)
+            .throughput(Throughput::Elements(flops));
+        group.bench_function("blocked", |bch| {
+            bch.iter(|| a.matmul_transpose_into(&bt, &mut out))
+        });
+        group.bench_function("reference", |bch| {
+            bch.iter(|| black_box(reference::matmul_transpose(&a, &bt)))
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group(&format!("transpose_matmul/{m}x{k}x{n}"));
+        group
+            .sample_size(20)
+            .throughput(Throughput::Elements(flops));
+        group.bench_function("blocked", |bch| {
+            bch.iter(|| at.transpose_matmul_into(&b, &mut out))
+        });
+        group.bench_function("reference", |bch| {
+            bch.iter(|| black_box(reference::transpose_matmul(&at, &b)))
+        });
+        group.finish();
+    }
+}
+
+fn elementwise(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let x = Matrix::randn(220, 128, &mut rng);
+    let mut buf = x.clone();
+    let elems = (220 * 128) as u64;
+
+    let mut group = c.benchmark_group("elementwise/220x128");
+    group
+        .sample_size(20)
+        .throughput(Throughput::Elements(elems));
+    group.bench_function("gelu_inplace", |bch| {
+        bch.iter(|| {
+            buf.copy_from(&x);
+            Activation::Gelu.apply_matrix_inplace(&mut buf);
+        })
+    });
+    group.bench_function("gelu_backward_inplace", |bch| {
+        bch.iter(|| {
+            buf.copy_from(&x);
+            Activation::Gelu.backward_matrix_inplace(&x, &mut buf);
+        })
+    });
+    group.bench_function("map_allocating", |bch| {
+        bch.iter(|| black_box(x.map(|v| v * 1.5 + 0.1)))
+    });
+    group.finish();
+}
+
+fn primitives(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let a = Matrix::randn(1, 128, &mut rng);
+    let b = Matrix::randn(1, 128, &mut rng);
+    let mut y = vec![0.0f32; 128];
+
+    let mut group = c.benchmark_group("primitives/128");
+    group.sample_size(20).throughput(Throughput::Elements(256));
+    group.bench_function("dot", |bch| {
+        bch.iter(|| black_box(pitot_linalg::dot(a.row(0), b.row(0))))
+    });
+    group.bench_function("axpy", |bch| {
+        bch.iter(|| pitot_linalg::axpy_slice(0.5, a.row(0), &mut y))
+    });
+    group.finish();
+}
+
+criterion_group!(linalg, products, elementwise, primitives);
+criterion_main!(linalg);

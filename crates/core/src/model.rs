@@ -30,7 +30,11 @@ pub struct PitotModel {
 }
 
 /// Dense tower outputs plus backprop caches for one forward pass.
-#[derive(Debug, Clone)]
+///
+/// Reusable: feed the same instance to [`PitotModel::forward_towers_with`]
+/// every training step and all buffers (tower inputs, MLP caches, outputs)
+/// are recycled in place.
+#[derive(Debug, Clone, Default)]
 pub struct TowerOutputs {
     /// Workload embeddings, `Nw × r·n_heads` (head-major column blocks).
     pub w: Matrix,
@@ -39,6 +43,16 @@ pub struct TowerOutputs {
     pub p_full: Matrix,
     cache_w: MlpCache,
     cache_p: MlpCache,
+    /// Reused concatenated tower inputs (`[features | φ]`).
+    input_w: Matrix,
+    input_p: Matrix,
+}
+
+impl TowerOutputs {
+    /// Creates an empty instance; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Gradients with respect to all model parameters for one step.
@@ -52,6 +66,19 @@ pub struct BatchGrads {
     pub phi_w: Matrix,
     /// Gradients of the learned platform features.
     pub phi_p: Matrix,
+}
+
+impl BatchGrads {
+    /// Zeroed gradient buffers shaped like `model`'s parameters, for reuse
+    /// across [`PitotModel::backward_towers_with`] calls.
+    pub fn zeros_like(model: &PitotModel) -> Self {
+        Self {
+            fw: MlpGrads::zeros_like(&model.fw),
+            fp: MlpGrads::zeros_like(&model.fp),
+            phi_w: Matrix::zeros(model.phi_w.rows(), model.phi_w.cols()),
+            phi_p: Matrix::zeros(model.phi_p.rows(), model.phi_p.cols()),
+        }
+    }
 }
 
 /// Decoded platform embeddings (for interpretation / Fig 12).
@@ -193,26 +220,40 @@ impl PitotModel {
         }
     }
 
+    fn tower_input_into(features: &Matrix, phi: &Matrix, use_features: bool, out: &mut Matrix) {
+        if use_features {
+            features.hcat_into(phi, out);
+        } else {
+            out.copy_from(phi);
+        }
+    }
+
     /// Runs both towers over every entity, returning outputs plus caches.
     pub fn forward_towers(&self, dataset: &Dataset) -> TowerOutputs {
-        let input_w = Self::tower_input(
+        let mut towers = TowerOutputs::new();
+        self.forward_towers_with(dataset, &mut towers);
+        towers
+    }
+
+    /// Runs both towers into a reusable [`TowerOutputs`]: the per-step dense
+    /// pass of training (paper App B.3), allocation-free once warm.
+    pub fn forward_towers_with(&self, dataset: &Dataset, towers: &mut TowerOutputs) {
+        Self::tower_input_into(
             &dataset.workload_features,
             &self.phi_w,
             self.config.use_workload_features,
+            &mut towers.input_w,
         );
-        let input_p = Self::tower_input(
+        Self::tower_input_into(
             &dataset.platform_features,
             &self.phi_p,
             self.config.use_platform_features,
+            &mut towers.input_p,
         );
-        let (w, cache_w) = self.fw.forward(&input_w);
-        let (p_full, cache_p) = self.fp.forward(&input_p);
-        TowerOutputs {
-            w,
-            p_full,
-            cache_w,
-            cache_p,
-        }
+        self.fw.forward_with(&towers.input_w, &mut towers.cache_w);
+        self.fp.forward_with(&towers.input_p, &mut towers.cache_p);
+        towers.w.copy_from(towers.cache_w.output());
+        towers.p_full.copy_from(towers.cache_p.output());
     }
 
     /// Inference-only tower pass (no caches).
@@ -244,6 +285,24 @@ impl PitotModel {
         self.predict_each(w, p_full, idx.iter().map(|&oi| &dataset.observations[oi]))
     }
 
+    /// [`PitotModel::predict`] into reusable per-head buffers (cleared and
+    /// refilled; inner vectors keep their capacity across steps).
+    pub fn predict_into(
+        &self,
+        w: &Matrix,
+        p_full: &Matrix,
+        dataset: &Dataset,
+        idx: &[usize],
+        out: &mut Vec<Vec<f32>>,
+    ) {
+        self.predict_each_into(
+            w,
+            p_full,
+            idx.iter().map(|&oi| &dataset.observations[oi]),
+            out,
+        );
+    }
+
     /// Predicts the residual `ŷ` for each head over arbitrary observations.
     ///
     /// Only the index fields of each observation are read (`workload`,
@@ -254,13 +313,31 @@ impl PitotModel {
     where
         I: IntoIterator<Item = &'a Observation>,
     {
+        let mut out = Vec::new();
+        self.predict_each_into(w, p_full, obs, &mut out);
+        out
+    }
+
+    /// [`PitotModel::predict_each`] into reusable per-head buffers.
+    pub fn predict_each_into<'a, I>(
+        &self,
+        w: &Matrix,
+        p_full: &Matrix,
+        obs: I,
+        out: &mut Vec<Vec<f32>>,
+    ) where
+        I: IntoIterator<Item = &'a Observation>,
+    {
         let n_heads = self.n_heads();
         let r = self.config.embed_dim;
         let s = self.config.interference_types;
         let aware = self.config.interference == InterferenceMode::Aware;
         let act = self.config.interference_activation;
 
-        let mut out = vec![Vec::new(); n_heads];
+        out.resize_with(n_heads, Vec::new);
+        for head in out.iter_mut() {
+            head.clear();
+        }
         for o in obs {
             let i = o.workload as usize;
             let j = o.platform as usize;
@@ -296,7 +373,6 @@ impl PitotModel {
                 head_out.push(pred);
             }
         }
-        out
     }
 
     /// Accumulates output-side gradients for a batch into `d_w` / `d_p`
@@ -322,6 +398,8 @@ impl PitotModel {
         let aware = self.config.interference == InterferenceMode::Aware;
         let act = self.config.interference_activation;
 
+        // One interferer-sum buffer for the whole batch; refilled per use.
+        let mut wk_sum = vec![0.0f32; r];
         for (b, &oi) in idx.iter().enumerate() {
             let o = &dataset.observations[oi];
             let i = o.workload as usize;
@@ -332,20 +410,15 @@ impl PitotModel {
                     continue;
                 }
                 let head = h * r..(h + 1) * r;
-                // Copy the rows we read to avoid aliasing the rows we write.
-                let w_i: Vec<f32> = towers.w.row(i)[head.clone()].to_vec();
-                let p_row: Vec<f32> = towers.p_full.row(j).to_vec();
+                // `towers` is read-only while `d_w`/`d_p` are written, so
+                // the embedding rows can be borrowed directly.
+                let w_i = &towers.w.row(i)[head.clone()];
+                let p_row = towers.p_full.row(j);
                 let p_j = &p_row[..r];
 
                 // d p_j += g · w_i ; d w_i += g · p_j.
-                {
-                    let dpr = d_p.row_mut(j);
-                    axpy(&mut dpr[..r], g, &w_i);
-                }
-                {
-                    let dwr = d_w.row_mut(i);
-                    axpy(&mut dwr[head.clone()], g, p_j);
-                }
+                axpy(&mut d_p.row_mut(j)[..r], g, w_i);
+                axpy(&mut d_w.row_mut(i)[head.clone()], g, p_j);
 
                 if aware && !o.interferers.is_empty() {
                     for t in 0..s {
@@ -359,30 +432,21 @@ impl PitotModel {
                             m_t += dot(w_k, vg_t);
                         }
                         let a_t = act.apply(m_t);
-                        let s_t = dot(&w_i, vs_t);
+                        let s_t = dot(w_i, vs_t);
 
                         // d w_i += g · a_t · v_s ; d v_s += g · a_t · w_i.
-                        {
-                            let dwr = d_w.row_mut(i);
-                            axpy(&mut dwr[head.clone()], g * a_t, vs_t);
-                        }
-                        {
-                            let dpr = d_p.row_mut(j);
-                            axpy(&mut dpr[vs_rng], g * a_t, &w_i);
-                        }
+                        axpy(&mut d_w.row_mut(i)[head.clone()], g * a_t, vs_t);
+                        axpy(&mut d_p.row_mut(j)[vs_rng], g * a_t, w_i);
                         // Chain through the activation.
                         let dm = g * s_t * act.derivative(m_t);
                         if dm != 0.0 {
                             // d v_g += dm · Σ_k w_k ; d w_k += dm · v_g.
-                            let mut wk_sum = vec![0.0f32; r];
+                            wk_sum.fill(0.0);
                             for &k in &o.interferers {
-                                let w_k: Vec<f32> = towers.w.row(k as usize)[head.clone()].to_vec();
-                                axpy(&mut wk_sum, 1.0, &w_k);
-                                let dwk = d_w.row_mut(k as usize);
-                                axpy(&mut dwk[head.clone()], dm, vg_t);
+                                axpy(&mut wk_sum, 1.0, &towers.w.row(k as usize)[head.clone()]);
+                                axpy(&mut d_w.row_mut(k as usize)[head.clone()], dm, vg_t);
                             }
-                            let dpr = d_p.row_mut(j);
-                            axpy(&mut dpr[vg_rng], dm, &wk_sum);
+                            axpy(&mut d_p.row_mut(j)[vg_rng], dm, &wk_sum);
                         }
                     }
                 }
@@ -393,18 +457,43 @@ impl PitotModel {
     /// Backpropagates accumulated output gradients through both towers,
     /// returning the full parameter gradients.
     pub fn backward_towers(&self, towers: &TowerOutputs, d_w: &Matrix, d_p: &Matrix) -> BatchGrads {
+        let mut grads = BatchGrads::zeros_like(self);
+        let mut scratch = pitot_linalg::Scratch::new();
+        self.backward_towers_with(towers, d_w, d_p, &mut grads, &mut scratch);
+        grads
+    }
+
+    /// [`PitotModel::backward_towers`] into reusable gradient buffers
+    /// (shaped by [`BatchGrads::zeros_like`]); intermediate matrices recycle
+    /// through `scratch`, so the steady-state step is allocation-free.
+    pub fn backward_towers_with(
+        &self,
+        towers: &TowerOutputs,
+        d_w: &Matrix,
+        d_p: &Matrix,
+        grads: &mut BatchGrads,
+        scratch: &mut pitot_linalg::Scratch,
+    ) {
         let q = self.config.learned_features;
-        let (d_in_w, fw_grads) = self.fw.backward(&towers.cache_w, d_w);
-        let (d_in_p, fp_grads) = self.fp.backward(&towers.cache_p, d_p);
+        let mut d_in_w = scratch.take_matrix(0, 0);
+        let mut d_in_p = scratch.take_matrix(0, 0);
+        self.fw
+            .backward_with(&towers.cache_w, d_w, &mut d_in_w, &mut grads.fw, scratch);
+        self.fp
+            .backward_with(&towers.cache_p, d_p, &mut d_in_p, &mut grads.fp, scratch);
         // φ gradients are the trailing q columns of the input gradients.
-        let phi_w = d_in_w.columns(self.workload_feature_dim.min(d_in_w.cols()), q);
-        let phi_p = d_in_p.columns(self.platform_feature_dim.min(d_in_p.cols()), q);
-        BatchGrads {
-            fw: fw_grads,
-            fp: fp_grads,
-            phi_w,
-            phi_p,
-        }
+        d_in_w.columns_into(
+            self.workload_feature_dim.min(d_in_w.cols()),
+            q,
+            &mut grads.phi_w,
+        );
+        d_in_p.columns_into(
+            self.platform_feature_dim.min(d_in_p.cols()),
+            q,
+            &mut grads.phi_p,
+        );
+        scratch.recycle_matrix(d_in_w);
+        scratch.recycle_matrix(d_in_p);
     }
 
     /// Zeroed gradient buffers shaped like the tower outputs.

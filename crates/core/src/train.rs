@@ -8,9 +8,10 @@
 //! validation set and the best checkpoint is retained.
 
 use crate::config::{InterferenceMode, LossSpace, Objective, PitotConfig};
-use crate::model::PitotModel;
+use crate::model::{BatchGrads, PitotModel, TowerOutputs};
 use crate::scaling::ScalingBaseline;
-use pitot_nn::{pinball_loss, squared_loss};
+use pitot_linalg::{Matrix, Scratch};
+use pitot_nn::{pinball_loss, pinball_loss_into, squared_loss, squared_loss_into, Optimizer};
 use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
 use rand::{seq::SliceRandom, Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -118,33 +119,20 @@ pub fn train_from(
 
     let mut best: Option<(f32, PitotModel)> = None;
     let mut history = Vec::new();
+    let mut bufs = StepBuffers::new(&model, dataset);
 
     for step in 1..=config.steps {
-        let towers = model.forward_towers(dataset);
-        let (mut d_w, mut d_p) = model.zero_output_grads(dataset);
-
-        for (k, pool) in mode_pools.iter().enumerate() {
-            if pool.is_empty() || mode_weights[k] == 0.0 {
-                continue;
-            }
-            let batch: Vec<usize> = (0..config.batch_per_mode)
-                .map(|_| pool[rng.gen_range(0..pool.len())])
-                .collect();
-            let targets: Vec<f32> = batch
-                .iter()
-                .map(|&i| model.residual_target(&dataset.observations[i], &scaling))
-                .collect();
-            let preds = model.predict(&towers.w, &towers.p_full, dataset, &batch);
-            let d_pred = loss_gradients(config, &preds, &targets, mode_weights[k]);
-            model.accumulate_grads(&towers, dataset, &batch, &d_pred, &mut d_w, &mut d_p);
-        }
-
-        let grads = model.backward_towers(&towers, &d_w, &d_p);
-        let grad_slices = model.grad_slices(&grads);
-        // Split borrows: clone the gradient data out before borrowing params.
-        let grad_data: Vec<Vec<f32>> = grad_slices.iter().map(|g| g.to_vec()).collect();
-        let grad_refs: Vec<&[f32]> = grad_data.iter().map(|g| g.as_slice()).collect();
-        opt.step(&mut model.param_slices_mut(), &grad_refs);
+        training_step(
+            &mut model,
+            dataset,
+            &scaling,
+            config,
+            &mode_pools,
+            &mode_weights,
+            &mut rng,
+            opt.as_mut(),
+            &mut bufs,
+        );
 
         if step % config.eval_every == 0 || step == config.steps {
             let val_loss = evaluate_loss(&model, &scaling, dataset, &val_idx, config);
@@ -165,6 +153,109 @@ pub fn train_from(
     }
 }
 
+/// Reusable buffers for one optimizer step.
+///
+/// Every matrix, gradient block, and index vector the step needs is
+/// allocated once here and recycled in place, so the steady-state training
+/// step performs **zero matrix allocations** (asserted by the
+/// `steady_state_steps_are_matrix_alloc_free` test below via
+/// `pitot_linalg::alloc_count`).
+struct StepBuffers {
+    towers: TowerOutputs,
+    d_w: Matrix,
+    d_p: Matrix,
+    grads: BatchGrads,
+    scratch: Scratch,
+    batch: Vec<usize>,
+    targets: Vec<f32>,
+    preds: Vec<Vec<f32>>,
+    d_pred: Vec<Vec<f32>>,
+}
+
+impl StepBuffers {
+    fn new(model: &PitotModel, dataset: &Dataset) -> Self {
+        let (d_w, d_p) = model.zero_output_grads(dataset);
+        Self {
+            towers: TowerOutputs::new(),
+            d_w,
+            d_p,
+            grads: BatchGrads::zeros_like(model),
+            scratch: Scratch::new(),
+            batch: Vec::new(),
+            targets: Vec::new(),
+            preds: Vec::new(),
+            d_pred: Vec::new(),
+        }
+    }
+}
+
+/// One full optimizer step: dense tower pass, per-mode batches, output-side
+/// gradient accumulation, tower backprop, parameter update. All working
+/// memory lives in `bufs`.
+#[allow(clippy::too_many_arguments)]
+fn training_step<R: Rng + ?Sized>(
+    model: &mut PitotModel,
+    dataset: &Dataset,
+    scaling: &ScalingBaseline,
+    config: &PitotConfig,
+    mode_pools: &[Vec<usize>],
+    mode_weights: &[f32; MAX_INTERFERERS + 1],
+    rng: &mut R,
+    opt: &mut dyn Optimizer,
+    bufs: &mut StepBuffers,
+) {
+    model.forward_towers_with(dataset, &mut bufs.towers);
+    bufs.d_w.fill(0.0);
+    bufs.d_p.fill(0.0);
+
+    for (k, pool) in mode_pools.iter().enumerate() {
+        if pool.is_empty() || mode_weights[k] == 0.0 {
+            continue;
+        }
+        bufs.batch.clear();
+        bufs.batch
+            .extend((0..config.batch_per_mode).map(|_| pool[rng.gen_range(0..pool.len())]));
+        bufs.targets.clear();
+        bufs.targets.extend(
+            bufs.batch
+                .iter()
+                .map(|&i| model.residual_target(&dataset.observations[i], scaling)),
+        );
+        model.predict_into(
+            &bufs.towers.w,
+            &bufs.towers.p_full,
+            dataset,
+            &bufs.batch,
+            &mut bufs.preds,
+        );
+        loss_gradients_into(
+            config,
+            &bufs.preds,
+            &bufs.targets,
+            mode_weights[k],
+            &mut bufs.d_pred,
+        );
+        model.accumulate_grads(
+            &bufs.towers,
+            dataset,
+            &bufs.batch,
+            &bufs.d_pred,
+            &mut bufs.d_w,
+            &mut bufs.d_p,
+        );
+    }
+
+    model.backward_towers_with(
+        &bufs.towers,
+        &bufs.d_w,
+        &bufs.d_p,
+        &mut bufs.grads,
+        &mut bufs.scratch,
+    );
+    let grad_refs = model.grad_slices(&bufs.grads);
+    opt.step(&mut model.param_slices_mut(), &grad_refs);
+}
+
 /// Per-mode objective weights (paper App B.3 / D.2): isolation gets 1.0,
 /// interference modes share β equally.
 fn mode_weights(config: &PitotConfig) -> [f32; MAX_INTERFERERS + 1] {
@@ -181,36 +272,34 @@ fn mode_weights(config: &PitotConfig) -> [f32; MAX_INTERFERERS + 1] {
     w
 }
 
-/// Computes `∂L/∂ŷ` per head for a batch, scaled by the mode weight.
-fn loss_gradients(
+/// Computes `∂L/∂ŷ` per head for a batch, scaled by the mode weight, into
+/// reusable per-head buffers.
+fn loss_gradients_into(
     config: &PitotConfig,
     preds: &[Vec<f32>],
     targets: &[f32],
     weight: f32,
-) -> Vec<Vec<f32>> {
+    out: &mut Vec<Vec<f32>>,
+) {
     let head_scale = weight / preds.len() as f32;
+    out.resize_with(preds.len(), Vec::new);
     match &config.objective {
-        Objective::Squared => preds
-            .iter()
-            .map(|p| {
-                let (_, mut g) = squared_loss(p, targets);
-                for v in &mut g {
+        Objective::Squared => {
+            for (p, g) in preds.iter().zip(out.iter_mut()) {
+                squared_loss_into(p, targets, g);
+                for v in g.iter_mut() {
                     *v *= head_scale;
                 }
-                g
-            })
-            .collect(),
-        Objective::Quantiles(xis) => preds
-            .iter()
-            .zip(xis)
-            .map(|(p, &xi)| {
-                let (_, mut g) = pinball_loss(p, targets, xi);
-                for v in &mut g {
+            }
+        }
+        Objective::Quantiles(xis) => {
+            for ((p, &xi), g) in preds.iter().zip(xis).zip(out.iter_mut()) {
+                pinball_loss_into(p, targets, xi, g);
+                for v in g.iter_mut() {
                     *v *= head_scale;
                 }
-                g
-            })
-            .collect(),
+            }
+        }
     }
 }
 
@@ -578,6 +667,61 @@ mod tests {
         b.sort_by(f32::total_cmp);
         assert_eq!(a, b);
     }
+
+    #[test]
+    fn steady_state_steps_are_matrix_alloc_free() {
+        // After a short warmup (buffers sized, optimizer moments allocated),
+        // the training step must recycle every matrix buffer: the counter in
+        // pitot_linalg::alloc_count stays at zero across further steps.
+        let (ds, split) = setup();
+        let cfg = PitotConfig::tiny();
+        let mut model = PitotModel::new(&cfg, &ds);
+        let scaling = ScalingBaseline::fit(&ds, &split.train);
+        let mut opt = cfg.optimizer.build(cfg.learning_rate);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mode_pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
+            .map(|k| split.train_mode(&ds, k))
+            .collect();
+        let weights = mode_weights(&cfg);
+        let mut bufs = StepBuffers::new(&model, &ds);
+
+        for _ in 0..3 {
+            training_step(
+                &mut model,
+                &ds,
+                &scaling,
+                &cfg,
+                &mode_pools,
+                &weights,
+                &mut rng,
+                opt.as_mut(),
+                &mut bufs,
+            );
+        }
+        pitot_linalg::alloc_count::reset();
+        for _ in 0..5 {
+            training_step(
+                &mut model,
+                &ds,
+                &scaling,
+                &cfg,
+                &mode_pools,
+                &weights,
+                &mut rng,
+                opt.as_mut(),
+                &mut bufs,
+            );
+        }
+        assert_eq!(
+            pitot_linalg::alloc_count::matrix_allocs(),
+            0,
+            "steady-state training steps must not allocate matrix buffers"
+        );
+    }
+
+    use crate::PitotModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn determinism_under_fixed_seed() {

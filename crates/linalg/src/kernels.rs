@@ -1,0 +1,896 @@
+//! Cache-blocked, allocation-free matrix-product kernels.
+//!
+//! These are the production kernels behind [`Matrix::matmul`],
+//! [`Matrix::matmul_transpose`], and [`Matrix::transpose_matmul`]; the
+//! `*_into` entry points write into caller-owned buffers so hot loops can
+//! run without touching the allocator.
+//!
+//! # Design
+//!
+//! - **Row-major microkernel, MR = 4.** Products are computed four output
+//!   rows at a time: the inner loop streams one row of the right-hand
+//!   operand while feeding four independent accumulator rows, which both
+//!   quarters the B-operand traffic and gives the autovectorizer four
+//!   independent FMA streams.
+//! - **k-blocking, KC = 256.** The shared dimension is tiled so the working
+//!   set of the right-hand operand stays cache-resident for large inputs.
+//! - **Row-parallel dispatch.** Output rows are split over the
+//!   [`crate::par`] pool when a chunk is worth at least ~64 kFLOPs
+//!   ([`GRAIN_FLOPS`]); smaller products run inline.
+//! - **AVX2+FMA fast path, dispatched at runtime.** The workspace builds
+//!   for baseline x86-64 (SSE2), so each chunk kernel has a clone compiled
+//!   with `#[target_feature(enable = "avx2,fma")]` — same source, wider
+//!   vectors plus fused multiply-adds — selected per process via CPU
+//!   feature detection. Non-x86 targets always use the portable path.
+//! - **Bitwise determinism per machine.** For every output element the
+//!   accumulation order over the shared dimension is ascending regardless
+//!   of blocking or thread count, so results are identical across
+//!   `PITOT_THREADS` settings. (Blocking never splits an element's sum
+//!   across threads — only across sequential `KC` tiles.) Across *machines*
+//!   the FMA path's fused rounding (and the 8-wide dot) can differ in the
+//!   last bits from the portable path, which is why correctness tests pin
+//!   kernels to the reference with a relative tolerance.
+//!
+//! There is deliberately no `if a == 0.0 {{ continue; }}` sparsity skip: on
+//! dense data the branch misprediction costs more than the multiply it
+//! saves, and it blocks vectorization of the surrounding loop. No call site
+//! in this workspace feeds genuinely sparse matrices through these products
+//! (the sparse-ish feature rows in `pitot-baselines` use their own AXPY
+//! loops), so there is no dedicated sparse entry point either.
+
+use crate::ops::dot;
+use crate::par::{self, SendPtr};
+use crate::Matrix;
+use std::ops::Range;
+
+/// Output rows per microkernel pass.
+const MR: usize = 4;
+/// Shared-dimension blocking factor.
+const KC: usize = 256;
+/// Minimum useful FLOPs per parallel chunk; below this, stay serial.
+const GRAIN_FLOPS: usize = 1 << 16;
+
+/// Smallest number of output rows worth shipping to another thread for a
+/// product with `2·k·n` FLOPs per row.
+fn min_rows(k: usize, n: usize) -> usize {
+    (GRAIN_FLOPS / (2 * k * n).max(1)).max(MR)
+}
+
+/// `out = a · b`, resizing `out` as needed (no allocation when the caller's
+/// buffer already has capacity).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    out.resize(m, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    let ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+    par::parallel_for(m, min_rows(k, n), |rows| {
+        // SAFETY: `parallel_for` hands out disjoint row ranges, so each
+        // chunk owns a disjoint window of the output buffer.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(ptr.get().add(rows.start * n), rows.len() * n)
+        };
+        matmul_chunk(a_s, b_s, chunk, rows, k, n);
+    });
+}
+
+/// Whether the runtime-dispatched AVX2+FMA code paths are usable on this
+/// machine. The workspace builds for baseline x86-64 (SSE2), so the wide
+/// paths are compiled separately behind `#[target_feature]` and selected
+/// once per process.
+pub fn fma_dispatch() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Serial blocked kernel for `out_chunk = a[rows] · b`, dispatching to the
+/// wide code path when available.
+fn matmul_chunk(a: &[f32], b: &[f32], out: &mut [f32], rows: Range<usize>, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_dispatch() {
+        // SAFETY: feature presence checked at runtime by `fma_dispatch`.
+        unsafe { matmul_chunk_fma(a, b, out, rows, k, n) };
+        return;
+    }
+    // The portable AXPY-style kernel accumulates into `out` and needs it
+    // zeroed; the register-tile FMA kernel assigns every element instead.
+    out.fill(0.0);
+    matmul_chunk_body(a, b, out, rows, k, n);
+}
+
+/// Explicit-intrinsics register-tile kernel for `out_chunk = a[rows] · b`:
+/// 4 rows × 16 columns of C held in eight FMA accumulator registers across
+/// the whole k loop, so the inner loop does two B loads and four A
+/// broadcasts per eight FMAs and never touches C memory. The accumulation
+/// order over k is ascending, identical to the portable path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_chunk_fma(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut i = rows.start;
+    while i + 4 <= rows.end {
+        let a0 = ap.add(i * k);
+        let a1 = ap.add((i + 1) * k);
+        let a2 = ap.add((i + 2) * k);
+        let a3 = ap.add((i + 3) * k);
+        let ob = (i - rows.start) * n;
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut c00 = _mm256_setzero_ps();
+            let mut c01 = _mm256_setzero_ps();
+            let mut c10 = _mm256_setzero_ps();
+            let mut c11 = _mm256_setzero_ps();
+            let mut c20 = _mm256_setzero_ps();
+            let mut c21 = _mm256_setzero_ps();
+            let mut c30 = _mm256_setzero_ps();
+            let mut c31 = _mm256_setzero_ps();
+            for p in 0..k {
+                let vb0 = _mm256_loadu_ps(bp.add(p * n + j));
+                let vb1 = _mm256_loadu_ps(bp.add(p * n + j + 8));
+                let va0 = _mm256_set1_ps(*a0.add(p));
+                c00 = _mm256_fmadd_ps(va0, vb0, c00);
+                c01 = _mm256_fmadd_ps(va0, vb1, c01);
+                let va1 = _mm256_set1_ps(*a1.add(p));
+                c10 = _mm256_fmadd_ps(va1, vb0, c10);
+                c11 = _mm256_fmadd_ps(va1, vb1, c11);
+                let va2 = _mm256_set1_ps(*a2.add(p));
+                c20 = _mm256_fmadd_ps(va2, vb0, c20);
+                c21 = _mm256_fmadd_ps(va2, vb1, c21);
+                let va3 = _mm256_set1_ps(*a3.add(p));
+                c30 = _mm256_fmadd_ps(va3, vb0, c30);
+                c31 = _mm256_fmadd_ps(va3, vb1, c31);
+            }
+            _mm256_storeu_ps(op.add(ob + j), c00);
+            _mm256_storeu_ps(op.add(ob + j + 8), c01);
+            _mm256_storeu_ps(op.add(ob + n + j), c10);
+            _mm256_storeu_ps(op.add(ob + n + j + 8), c11);
+            _mm256_storeu_ps(op.add(ob + 2 * n + j), c20);
+            _mm256_storeu_ps(op.add(ob + 2 * n + j + 8), c21);
+            _mm256_storeu_ps(op.add(ob + 3 * n + j), c30);
+            _mm256_storeu_ps(op.add(ob + 3 * n + j + 8), c31);
+            j += 16;
+        }
+        while j < n {
+            for (r, a_row) in [a0, a1, a2, a3].into_iter().enumerate() {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s = (*a_row.add(p)).mul_add(*bp.add(p * n + j), s);
+                }
+                *op.add(ob + r * n + j) = s;
+            }
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < rows.end {
+        let a_row = ap.add(i * k);
+        let ob = (i - rows.start) * n;
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut c0 = _mm256_setzero_ps();
+            for p in 0..k {
+                let vb = _mm256_loadu_ps(bp.add(p * n + j));
+                let va = _mm256_set1_ps(*a_row.add(p));
+                c0 = _mm256_fmadd_ps(va, vb, c0);
+            }
+            _mm256_storeu_ps(op.add(ob + j), c0);
+            j += 8;
+        }
+        while j < n {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s = (*a_row.add(p)).mul_add(*bp.add(p * n + j), s);
+            }
+            *op.add(ob + j) = s;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+#[inline(always)]
+fn matmul_chunk_body(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let mut i = rows.start;
+        while i + MR <= rows.end {
+            let base = (i - rows.start) * n;
+            let slab = &mut out[base..base + MR * n];
+            let (r0, rest) = slab.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            for p in kb..kend {
+                let a0 = a[i * k + p];
+                let a1 = a[(i + 1) * k + p];
+                let a2 = a[(i + 2) * k + p];
+                let a3 = a[(i + 3) * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (j, &bv) in b_row.iter().enumerate() {
+                    r0[j] += a0 * bv;
+                    r1[j] += a1 * bv;
+                    r2[j] += a2 * bv;
+                    r3[j] += a3 * bv;
+                }
+            }
+            i += MR;
+        }
+        while i < rows.end {
+            let base = (i - rows.start) * n;
+            let row = &mut out[base..base + n];
+            for p in kb..kend {
+                let av = a[i * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+            i += 1;
+        }
+        kb = kend;
+    }
+}
+
+/// `out = a · bᵀ`, resizing `out` as needed.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_transpose_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transpose: {}x{} · ({}x{})ᵀ",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    out.resize(m, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    let ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+    par::parallel_for(m, min_rows(k, n), |rows| {
+        // SAFETY: disjoint row windows (see `matmul_into`).
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(ptr.get().add(rows.start * n), rows.len() * n)
+        };
+        matmul_transpose_chunk(a_s, b_s, chunk, rows, k, n);
+    });
+}
+
+/// Serial kernel for `out_chunk = a[rows] · bᵀ` (row-against-row dot
+/// products), dispatching to the wide code path when available.
+fn matmul_transpose_chunk(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_dispatch() {
+        // SAFETY: feature presence checked at runtime by `fma_dispatch`.
+        unsafe { matmul_transpose_chunk_fma(a, b, out, rows, k, n) };
+        return;
+    }
+    matmul_transpose_chunk_body(a, b, out, rows, k, n);
+}
+
+/// Horizontal sum of one AVX register, in a fixed reduction order that
+/// [`reduce8`] mirrors exactly (see its docs for why).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn hsum256(v: std::arch::x86_64::__m256) -> f32 {
+    use std::arch::x86_64::*;
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    _mm_cvtss_f32(s)
+}
+
+/// Explicit-intrinsics panel kernel: 2 a-rows × 4 b-rows of dot products
+/// per pass (eight FMA accumulator registers sharing every operand load),
+/// j-loop outermost so the four b-rows stay L1-resident while the a-rows
+/// stream past. Autovectorization never produces this shape from the
+/// portable dot loop — the multi-row register reuse is exactly what a
+/// dot-product kernel needs to stop being load-bound.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn matmul_transpose_chunk_fma(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let k8 = k - k % 8;
+    let mut j = 0;
+    while j + 4 <= n {
+        let b0 = bp.add(j * k);
+        let b1 = bp.add((j + 1) * k);
+        let b2 = bp.add((j + 2) * k);
+        let b3 = bp.add((j + 3) * k);
+        let mut i = rows.start;
+        while i + 2 <= rows.end {
+            let a0 = ap.add(i * k);
+            let a1 = ap.add((i + 1) * k);
+            let mut acc00 = _mm256_setzero_ps();
+            let mut acc01 = _mm256_setzero_ps();
+            let mut acc02 = _mm256_setzero_ps();
+            let mut acc03 = _mm256_setzero_ps();
+            let mut acc10 = _mm256_setzero_ps();
+            let mut acc11 = _mm256_setzero_ps();
+            let mut acc12 = _mm256_setzero_ps();
+            let mut acc13 = _mm256_setzero_ps();
+            let mut p = 0;
+            while p < k8 {
+                let va0 = _mm256_loadu_ps(a0.add(p));
+                let va1 = _mm256_loadu_ps(a1.add(p));
+                let vb0 = _mm256_loadu_ps(b0.add(p));
+                let vb1 = _mm256_loadu_ps(b1.add(p));
+                let vb2 = _mm256_loadu_ps(b2.add(p));
+                let vb3 = _mm256_loadu_ps(b3.add(p));
+                acc00 = _mm256_fmadd_ps(va0, vb0, acc00);
+                acc01 = _mm256_fmadd_ps(va0, vb1, acc01);
+                acc02 = _mm256_fmadd_ps(va0, vb2, acc02);
+                acc03 = _mm256_fmadd_ps(va0, vb3, acc03);
+                acc10 = _mm256_fmadd_ps(va1, vb0, acc10);
+                acc11 = _mm256_fmadd_ps(va1, vb1, acc11);
+                acc12 = _mm256_fmadd_ps(va1, vb2, acc12);
+                acc13 = _mm256_fmadd_ps(va1, vb3, acc13);
+                p += 8;
+            }
+            let mut d = [
+                [
+                    hsum256(acc00),
+                    hsum256(acc01),
+                    hsum256(acc02),
+                    hsum256(acc03),
+                ],
+                [
+                    hsum256(acc10),
+                    hsum256(acc11),
+                    hsum256(acc12),
+                    hsum256(acc13),
+                ],
+            ];
+            while p < k {
+                let x0 = *a0.add(p);
+                let x1 = *a1.add(p);
+                d[0][0] = x0.mul_add(*b0.add(p), d[0][0]);
+                d[0][1] = x0.mul_add(*b1.add(p), d[0][1]);
+                d[0][2] = x0.mul_add(*b2.add(p), d[0][2]);
+                d[0][3] = x0.mul_add(*b3.add(p), d[0][3]);
+                d[1][0] = x1.mul_add(*b0.add(p), d[1][0]);
+                d[1][1] = x1.mul_add(*b1.add(p), d[1][1]);
+                d[1][2] = x1.mul_add(*b2.add(p), d[1][2]);
+                d[1][3] = x1.mul_add(*b3.add(p), d[1][3]);
+                p += 1;
+            }
+            let base = (i - rows.start) * n + j;
+            out[base..base + 4].copy_from_slice(&d[0]);
+            out[base + n..base + n + 4].copy_from_slice(&d[1]);
+            i += 2;
+        }
+        if i < rows.end {
+            let a_row = &a[i * k..(i + 1) * k];
+            let base = (i - rows.start) * n + j;
+            out[base] = dot8_fma(a_row, &b[j * k..(j + 1) * k]);
+            out[base + 1] = dot8_fma(a_row, &b[(j + 1) * k..(j + 2) * k]);
+            out[base + 2] = dot8_fma(a_row, &b[(j + 2) * k..(j + 3) * k]);
+            out[base + 3] = dot8_fma(a_row, &b[(j + 3) * k..(j + 4) * k]);
+        }
+        j += 4;
+    }
+    while j < n {
+        let b_row = &b[j * k..(j + 1) * k];
+        for i in rows.clone() {
+            let a_row = &a[i * k..(i + 1) * k];
+            out[(i - rows.start) * n + j] = dot8_fma(a_row, b_row);
+        }
+        j += 1;
+    }
+}
+
+/// Portable matmul-transpose chunk (non-FMA machines).
+#[inline(always)]
+fn matmul_transpose_chunk_body(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    for i in rows.clone() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[(i - rows.start) * n..(i - rows.start) * n + n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = dot(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Reduces one 8-lane accumulator to a scalar in a fixed pairwise order.
+///
+/// The association **must match [`hsum256`]** exactly (`lo+hi`, then
+/// `movehl`, then the final lane add): which of the two reductions a given
+/// output row takes depends on how `parallel_for` paired the rows, so any
+/// divergence would make `matmul_transpose` results vary with
+/// `PITOT_THREADS` — violating the kernel layer's determinism guarantee
+/// (covered by the `*_row_partitioning_is_bitwise_identical` tests).
+#[inline(always)]
+fn reduce8(acc: [f32; 8]) -> f32 {
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
+
+/// FMA-dispatched dot product entry used by [`crate::ops::dot`]; returns
+/// `None` when the wide path is unavailable and the caller should use its
+/// portable loop.
+#[inline]
+pub(crate) fn dot_fast(a: &[f32], b: &[f32]) -> Option<f32> {
+    #[cfg(target_arch = "x86_64")]
+    if fma_dispatch() {
+        // SAFETY: feature presence checked at runtime by `fma_dispatch`.
+        return Some(unsafe { dot8_fma_entry(a, b) });
+    }
+    let _ = (a, b);
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot8_fma_entry(a: &[f32], b: &[f32]) -> f32 {
+    dot8_fma(a, b)
+}
+
+/// FMA-dispatched AXPY entry used by [`crate::ops::axpy_slice`]; returns
+/// `false` when the wide path is unavailable.
+#[inline]
+pub(crate) fn axpy_fast(alpha: f32, x: &[f32], y: &mut [f32]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if fma_dispatch() {
+        // SAFETY: feature presence checked at runtime by `fma_dispatch`.
+        unsafe { axpy_fma_entry(alpha, x, y) };
+        return true;
+    }
+    let _ = (alpha, x, y);
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_fma_entry(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv = alpha.mul_add(xv, *yv);
+    }
+}
+
+/// Single 8-wide dot product for the FMA path (column tails).
+#[inline(always)]
+fn dot8_fma(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    for (av, bv) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+        for l in 0..8 {
+            acc[l] = av[l].mul_add(bv[l], acc[l]);
+        }
+    }
+    let mut s = reduce8(acc);
+    let tail = a.len() - a.len() % 8;
+    for t in tail..a.len() {
+        s = a[t].mul_add(b[t], s);
+    }
+    s
+}
+
+/// `out = aᵀ · b`, resizing `out` as needed.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn transpose_matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "transpose_matmul: ({}x{})ᵀ · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    out.resize(m, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let (a_s, b_s) = (a.as_slice(), b.as_slice());
+    let ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+    par::parallel_for(m, min_rows(k, n), |rows| {
+        // SAFETY: disjoint row windows (see `matmul_into`).
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(ptr.get().add(rows.start * n), rows.len() * n)
+        };
+        transpose_matmul_chunk(a_s, b_s, chunk, rows, k, m, n);
+    });
+}
+
+/// Serial blocked kernel for `out_chunk = aᵀ[rows] · b`; `rows` ranges over
+/// columns of `a` (= rows of the output). Dispatches to the wide code path
+/// when available.
+fn transpose_matmul_chunk(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_dispatch() {
+        // SAFETY: feature presence checked at runtime by `fma_dispatch`.
+        unsafe { transpose_matmul_chunk_fma(a, b, out, rows, k, m, n) };
+        return;
+    }
+    // The portable kernel accumulates into `out` and needs it zeroed; the
+    // register-tile FMA kernel assigns every element instead.
+    out.fill(0.0);
+    transpose_matmul_chunk_body(a, b, out, rows, k, m, n);
+}
+
+/// Register-tile kernel for `out_chunk = aᵀ[rows] · b` (see
+/// [`matmul_chunk_fma`]); identical structure, with the A broadcasts read
+/// down a column of `a` (stride `m`, adjacent within each 4-row group).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn transpose_matmul_chunk_fma(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut i = rows.start;
+    while i + 4 <= rows.end {
+        let ob = (i - rows.start) * n;
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut c00 = _mm256_setzero_ps();
+            let mut c01 = _mm256_setzero_ps();
+            let mut c10 = _mm256_setzero_ps();
+            let mut c11 = _mm256_setzero_ps();
+            let mut c20 = _mm256_setzero_ps();
+            let mut c21 = _mm256_setzero_ps();
+            let mut c30 = _mm256_setzero_ps();
+            let mut c31 = _mm256_setzero_ps();
+            for p in 0..k {
+                let vb0 = _mm256_loadu_ps(bp.add(p * n + j));
+                let vb1 = _mm256_loadu_ps(bp.add(p * n + j + 8));
+                let arow = ap.add(p * m + i);
+                let va0 = _mm256_set1_ps(*arow);
+                c00 = _mm256_fmadd_ps(va0, vb0, c00);
+                c01 = _mm256_fmadd_ps(va0, vb1, c01);
+                let va1 = _mm256_set1_ps(*arow.add(1));
+                c10 = _mm256_fmadd_ps(va1, vb0, c10);
+                c11 = _mm256_fmadd_ps(va1, vb1, c11);
+                let va2 = _mm256_set1_ps(*arow.add(2));
+                c20 = _mm256_fmadd_ps(va2, vb0, c20);
+                c21 = _mm256_fmadd_ps(va2, vb1, c21);
+                let va3 = _mm256_set1_ps(*arow.add(3));
+                c30 = _mm256_fmadd_ps(va3, vb0, c30);
+                c31 = _mm256_fmadd_ps(va3, vb1, c31);
+            }
+            _mm256_storeu_ps(op.add(ob + j), c00);
+            _mm256_storeu_ps(op.add(ob + j + 8), c01);
+            _mm256_storeu_ps(op.add(ob + n + j), c10);
+            _mm256_storeu_ps(op.add(ob + n + j + 8), c11);
+            _mm256_storeu_ps(op.add(ob + 2 * n + j), c20);
+            _mm256_storeu_ps(op.add(ob + 2 * n + j + 8), c21);
+            _mm256_storeu_ps(op.add(ob + 3 * n + j), c30);
+            _mm256_storeu_ps(op.add(ob + 3 * n + j + 8), c31);
+            j += 16;
+        }
+        while j < n {
+            for r in 0..4 {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s = (*ap.add(p * m + i + r)).mul_add(*bp.add(p * n + j), s);
+                }
+                *op.add(ob + r * n + j) = s;
+            }
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < rows.end {
+        let ob = (i - rows.start) * n;
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut c0 = _mm256_setzero_ps();
+            for p in 0..k {
+                let vb = _mm256_loadu_ps(bp.add(p * n + j));
+                let va = _mm256_set1_ps(*ap.add(p * m + i));
+                c0 = _mm256_fmadd_ps(va, vb, c0);
+            }
+            _mm256_storeu_ps(op.add(ob + j), c0);
+            j += 8;
+        }
+        while j < n {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s = (*ap.add(p * m + i)).mul_add(*bp.add(p * n + j), s);
+            }
+            *op.add(ob + j) = s;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+#[inline(always)]
+fn transpose_matmul_chunk_body(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KC).min(k);
+        let mut i = rows.start;
+        while i + MR <= rows.end {
+            let base = (i - rows.start) * n;
+            let slab = &mut out[base..base + MR * n];
+            let (r0, rest) = slab.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            for p in kb..kend {
+                let a0 = a[p * m + i];
+                let a1 = a[p * m + i + 1];
+                let a2 = a[p * m + i + 2];
+                let a3 = a[p * m + i + 3];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (j, &bv) in b_row.iter().enumerate() {
+                    r0[j] += a0 * bv;
+                    r1[j] += a1 * bv;
+                    r2[j] += a2 * bv;
+                    r3[j] += a3 * bv;
+                }
+            }
+            i += MR;
+        }
+        while i < rows.end {
+            let base = (i - rows.start) * n;
+            let row = &mut out[base..base + n];
+            for p in kb..kend {
+                let av = a[p * m + i];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+            i += 1;
+        }
+        kb = kend;
+    }
+}
+
+/// Parallel in-place map over a flat buffer (used by the big elementwise
+/// activation maps).
+pub(crate) fn par_map_slice<F>(data: &mut [f32], min_chunk: usize, f: F)
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    let len = data.len();
+    let ptr = SendPtr::new(data.as_mut_ptr());
+    par::parallel_for(len, min_chunk, |range| {
+        // SAFETY: disjoint index ranges over one allocation.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(ptr.get().add(range.start), range.len()) };
+        for v in chunk {
+            *v = f(*v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn close(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+                "{x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_match_reference_on_odd_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (9, 300, 2),
+            (33, 17, 65),
+        ] {
+            let a = Matrix::randn(m, k, &mut rng);
+            let b = Matrix::randn(k, n, &mut rng);
+            let mut out = Matrix::zeros(0, 0);
+            matmul_into(&a, &b, &mut out);
+            close(&out, &reference::matmul(&a, &b));
+
+            let bt = Matrix::randn(n, k, &mut rng);
+            matmul_transpose_into(&a, &bt, &mut out);
+            close(&out, &reference::matmul_transpose(&a, &bt));
+
+            let at = Matrix::randn(k, m, &mut rng);
+            transpose_matmul_into(&at, &b, &mut out);
+            close(&out, &reference::transpose_matmul(&at, &b));
+        }
+    }
+
+    #[test]
+    fn into_reuses_capacity_without_allocating() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = Matrix::randn(16, 8, &mut rng);
+        let b = Matrix::randn(8, 12, &mut rng);
+        let mut out = Matrix::zeros(16, 12);
+        crate::alloc_count::reset();
+        matmul_into(&a, &b, &mut out);
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(crate::alloc_count::matrix_allocs(), 0);
+    }
+
+    /// Computes `chunk_fn` over `0..m` both as one chunk and as every
+    /// two-way split, asserting the bits agree. This is what makes results
+    /// independent of `PITOT_THREADS`: whatever the pool's row partition,
+    /// every output element sees the same arithmetic. Splits at odd offsets
+    /// matter — they shift which rows land in the paired/4-row microkernel
+    /// paths versus the leftover-row paths.
+    fn assert_split_invariant(
+        m: usize,
+        n: usize,
+        chunk_fn: impl Fn(&mut [f32], Range<usize>),
+        label: &str,
+    ) {
+        let mut whole = vec![0.0f32; m * n];
+        chunk_fn(&mut whole, 0..m);
+        for split in 1..m {
+            let mut lo = vec![0.0f32; split * n];
+            let mut hi = vec![0.0f32; (m - split) * n];
+            chunk_fn(&mut lo, 0..split);
+            chunk_fn(&mut hi, split..m);
+            lo.extend_from_slice(&hi);
+            assert_eq!(lo, whole, "{label}: split at {split}");
+        }
+    }
+
+    #[test]
+    fn matmul_row_partitioning_is_bitwise_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let (m, k, n) = (13, 37, 9);
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        assert_split_invariant(
+            m,
+            n,
+            |out, rows| matmul_chunk(a.as_slice(), b.as_slice(), out, rows, k, n),
+            "matmul",
+        );
+    }
+
+    #[test]
+    fn matmul_transpose_row_partitioning_is_bitwise_identical() {
+        // Regression test: the FMA path's paired-row kernel reduces its
+        // accumulators via hsum256 while leftover odd rows go through
+        // dot8_fma/reduce8, and which path a row takes depends on the
+        // split. The two reductions must associate identically or results
+        // vary with thread count. k deliberately not a multiple of 8 and n
+        // not a multiple of 4 so the scalar tails are exercised too.
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let (m, k, n) = (13, 37, 9);
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(n, k, &mut rng);
+        assert_split_invariant(
+            m,
+            n,
+            |out, rows| matmul_transpose_chunk(a.as_slice(), b.as_slice(), out, rows, k, n),
+            "matmul_transpose",
+        );
+    }
+
+    #[test]
+    fn transpose_matmul_row_partitioning_is_bitwise_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let (m, k, n) = (13, 37, 9);
+        let a = Matrix::randn(k, m, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        assert_split_invariant(
+            m,
+            n,
+            |out, rows| transpose_matmul_chunk(a.as_slice(), b.as_slice(), out, rows, k, m, n),
+            "transpose_matmul",
+        );
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        let mut out = Matrix::zeros(7, 7);
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out.shape(), (0, 3));
+
+        // Empty shared dimension: the product is defined and all-zero.
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut out = Matrix::full(2, 3, 9.0);
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out, Matrix::zeros(2, 3));
+    }
+}

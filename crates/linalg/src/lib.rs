@@ -5,9 +5,14 @@
 //! manually-differentiated two-tower model needs (`A·B`, `A·Bᵀ`, `Aᵀ·B`,
 //! elementwise maps, row/column reductions) plus random-fill helpers.
 //!
-//! The design goal is *predictable* performance on a single CPU core rather
-//! than peak throughput: kernels are written so the inner loops are
-//! contiguous-slice dot products or AXPYs that rustc autovectorizes.
+//! The kernel layer ([`kernels`]) provides cache-blocked, row-parallel
+//! products with `*_into` variants that write into caller-owned buffers;
+//! [`Scratch`] recycles those buffers so steady-state training loops run
+//! allocation-free (verified via [`alloc_count`]). Parallelism comes from a
+//! tiny hand-rolled pool ([`par`]) sized by the `PITOT_THREADS` environment
+//! variable; results are bitwise identical across thread counts. The
+//! [`reference`] module keeps the naive triple loops as the oracle the
+//! blocked kernels are property-tested against.
 //!
 //! # Examples
 //!
@@ -18,14 +23,30 @@
 //! let b = Matrix::eye(2);
 //! let c = a.matmul(&b);
 //! assert_eq!(c, a);
+//!
+//! // Allocation-free form for hot loops:
+//! let mut out = Matrix::zeros(2, 2);
+//! a.matmul_into(&b, &mut out);
+//! assert_eq!(out, a);
 //! ```
 
+pub mod alloc_count;
+// The kernel layer and its thread pool are the workspace's only sanctioned
+// `unsafe`: lending disjoint output-row windows to pool workers. Everything
+// else in the tree stays under the workspace-wide `unsafe_code = "deny"`.
+#[allow(unsafe_code)]
+pub mod kernels;
 mod matrix;
 mod ops;
+#[allow(unsafe_code)]
+pub mod par;
+pub mod reference;
+mod scratch;
 mod solve;
 mod stats;
 
 pub use matrix::Matrix;
 pub use ops::{axpy_slice, dot};
+pub use scratch::Scratch;
 pub use solve::{cholesky, solve_spd, solve_spd_multi};
 pub use stats::{mean, percentile, quantile_higher, stderr_of_mean, variance};

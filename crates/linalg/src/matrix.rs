@@ -18,16 +18,39 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.cols(), 3);
 /// assert_eq!(m[(1, 2)], 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
 }
 
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        crate::alloc_count::record_len(self.data.len());
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.copy_from(source);
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0×0` matrix (no heap allocation).
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        crate::alloc_count::record_len(rows * cols);
         Self {
             rows,
             cols,
@@ -37,6 +60,7 @@ impl Matrix {
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        crate::alloc_count::record_len(rows * cols);
         Self {
             rows,
             cols,
@@ -76,6 +100,7 @@ impl Matrix {
     pub fn from_rows(rows: &[&[f32]]) -> Self {
         let r = rows.len();
         let c = rows.first().map_or(0, |row| row.len());
+        crate::alloc_count::record_len(r * c);
         let mut data = Vec::with_capacity(r * c);
         for row in rows {
             assert_eq!(row.len(), c, "ragged rows");
@@ -96,6 +121,7 @@ impl Matrix {
         hi: f32,
         rng: &mut R,
     ) -> Self {
+        crate::alloc_count::record_len(rows * cols);
         let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
         Self { rows, cols, data }
     }
@@ -103,6 +129,7 @@ impl Matrix {
     /// Creates a matrix with standard-normal entries (Box–Muller; no extra deps).
     pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
         let n = rows * cols;
+        crate::alloc_count::record_len(n);
         let mut data = Vec::with_capacity(n);
         while data.len() < n {
             // Box–Muller transform produces pairs of independent normals.
@@ -163,6 +190,63 @@ impl Matrix {
     /// Consumes the matrix, returning its backing buffer.
     pub fn into_vec(self) -> Vec<f32> {
         self.data
+    }
+
+    /// Reshapes the matrix to `rows × cols`, reusing the backing buffer when
+    /// its capacity suffices (the usual case in warm hot loops).
+    ///
+    /// Entry values are **unspecified** after a resize; callers are expected
+    /// to overwrite them (every `*_into` kernel does).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        if len > self.data.capacity() {
+            crate::alloc_count::record_len(len);
+        }
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Sets every entry to `value` without reallocating.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Makes `self` an entrywise copy of `other`, reusing the backing buffer
+    /// when possible.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// In-place [`Matrix::hcat`]: `out = [self | other]` without allocating
+    /// when `out` has capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hcat_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "row mismatch in hcat");
+        out.resize(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+    }
+
+    /// In-place [`Matrix::columns`]: copies the `cols`-wide slab starting at
+    /// column `start` into `out` without allocating when `out` has capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the matrix width.
+    pub fn columns_into(&self, start: usize, cols: usize, out: &mut Matrix) {
+        assert!(start + cols <= self.cols, "column slice out of range");
+        out.resize(self.rows, cols);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + cols]);
+        }
     }
 
     /// Borrows row `r` as a contiguous slice.

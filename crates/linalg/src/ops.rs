@@ -10,38 +10,27 @@ use crate::Matrix;
 impl Matrix {
     /// `self · other` (standard matrix product).
     ///
-    /// The kernel iterates `i, k, j` so the inner loop is an AXPY over the
-    /// contiguous output row — the cache-friendly ordering for row-major data.
+    /// Delegates to the cache-blocked, row-parallel kernel layer in
+    /// [`crate::kernels`]; see that module for the blocking and determinism
+    /// story. Hot loops should prefer [`Matrix::matmul_into`].
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols(),
-            other.rows(),
-            "matmul: {}x{} · {}x{}",
-            self.rows(),
-            self.cols(),
-            other.rows(),
-            other.cols()
-        );
-        let (m, k, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        crate::kernels::matmul_into(self, other, &mut out);
         out
+    }
+
+    /// `self · other` into a caller-owned buffer (see
+    /// [`crate::kernels::matmul_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::kernels::matmul_into(self, other, out);
     }
 
     /// `self · otherᵀ`.
@@ -53,25 +42,19 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols(),
-            other.cols(),
-            "matmul_transpose: {}x{} · ({}x{})ᵀ",
-            self.rows(),
-            self.cols(),
-            other.rows(),
-            other.cols()
-        );
-        let (m, n) = (self.rows(), other.rows());
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                *o = dot(a_row, other.row(j));
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        crate::kernels::matmul_transpose_into(self, other, &mut out);
         out
+    }
+
+    /// `self · otherᵀ` into a caller-owned buffer (see
+    /// [`crate::kernels::matmul_transpose_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::kernels::matmul_transpose_into(self, other, out);
     }
 
     /// `selfᵀ · other`.
@@ -83,31 +66,19 @@ impl Matrix {
     ///
     /// Panics if `self.rows() != other.rows()`.
     pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows(),
-            other.rows(),
-            "transpose_matmul: ({}x{})ᵀ · {}x{}",
-            self.rows(),
-            self.cols(),
-            other.rows(),
-            other.cols()
-        );
-        let (k, m, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Matrix::zeros(m, n);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate().take(m) {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        crate::kernels::transpose_matmul_into(self, other, &mut out);
         out
+    }
+
+    /// `selfᵀ · other` into a caller-owned buffer (see
+    /// [`crate::kernels::transpose_matmul_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::kernels::transpose_matmul_into(self, other, out);
     }
 
     /// Elementwise map into a new matrix.
@@ -123,6 +94,27 @@ impl Matrix {
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
         for v in self.as_mut_slice() {
             *v = f(*v);
+        }
+    }
+
+    /// Elementwise map in place, split over the [`crate::par`] thread pool
+    /// for large matrices. The closure must be `Sync`; results are identical
+    /// to [`Matrix::map_inplace`] for pure closures.
+    pub fn par_map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        // ~8k elements per chunk keeps dispatch overhead below the map cost
+        // even for cheap closures.
+        crate::kernels::par_map_slice(self.as_mut_slice(), 8192, f);
+    }
+
+    /// Elementwise binary combine in place (`self[i] = f(self[i], other[i])`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip_map_inplace(&mut self, other: &Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        for (o, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *o = f(*o, b);
         }
     }
 
@@ -176,13 +168,20 @@ impl Matrix {
 
     /// Sum over rows, producing one value per column.
     pub fn sum_rows(&self) -> Vec<f32> {
-        let mut out = vec![0.0; self.cols()];
+        let mut out = Vec::new();
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Sum over rows into a caller-owned vector (resized to `cols`).
+    pub fn sum_rows_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols(), 0.0);
         for r in 0..self.rows() {
             for (o, &v) in out.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Sum over columns, producing one value per row.
@@ -224,6 +223,9 @@ impl Matrix {
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
+    if let Some(s) = crate::kernels::dot_fast(a, b) {
+        return s;
+    }
     // Four accumulators break the dependency chain so the loop vectorizes.
     let mut acc = [0.0f32; 4];
     let chunks = a.len() / 4;
@@ -249,6 +251,9 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 pub fn axpy_slice(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
+    if crate::kernels::axpy_fast(alpha, x, y) {
+        return;
+    }
     for (yv, &xv) in y.iter_mut().zip(x) {
         *yv += alpha * xv;
     }

@@ -1,0 +1,72 @@
+//! Naive reference kernels: the oracle the blocked kernels are tested
+//! against, and the "before" side of the kernel benchmarks.
+//!
+//! These are deliberately the simplest possible triple loops — no blocking,
+//! no unrolling, no parallelism — so their correctness is inspectable at a
+//! glance. They allocate their outputs and are O(m·k·n) with poor cache
+//! behaviour; never call them from production paths.
+
+use crate::Matrix;
+
+/// `a · b` by the textbook i-j-k triple loop.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "reference matmul shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s += a[(i, p)] * b[(p, j)];
+            }
+            out[(i, j)] = s;
+        }
+    }
+    out
+}
+
+/// `a · bᵀ` by the textbook triple loop.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_transpose(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "reference matmul_transpose shape");
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s += a[(i, p)] * b[(j, p)];
+            }
+            out[(i, j)] = s;
+        }
+    }
+    out
+}
+
+/// `aᵀ · b` by the textbook triple loop.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn transpose_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "reference transpose_matmul shape");
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s += a[(p, i)] * b[(p, j)];
+            }
+            out[(i, j)] = s;
+        }
+    }
+    out
+}

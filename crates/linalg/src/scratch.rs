@@ -1,0 +1,110 @@
+//! A reusable buffer arena for allocation-free hot loops.
+//!
+//! [`Scratch`] recycles `Vec<f32>` backing stores between uses: the first
+//! pass through a training step allocates, every later pass serves the same
+//! buffers back. Buffers are matched by capacity (first fit), so a loop that
+//! takes and recycles the same shapes settles into zero allocations.
+//!
+//! ```
+//! use pitot_linalg::{Matrix, Scratch};
+//!
+//! let mut scratch = Scratch::new();
+//! let m = scratch.take_matrix(4, 8); // fresh allocation
+//! scratch.recycle_matrix(m);
+//! pitot_linalg::alloc_count::reset();
+//! let m = scratch.take_matrix(8, 4); // same 32-float buffer, reshaped
+//! assert_eq!(pitot_linalg::alloc_count::matrix_allocs(), 0);
+//! assert_eq!(m.shape(), (8, 4));
+//! # drop(m);
+//! ```
+
+use crate::{alloc_count, Matrix};
+
+/// A pool of recycled `f32` buffers.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    free: Vec<Vec<f32>>,
+}
+
+impl Scratch {
+    /// Creates an empty arena.
+    pub const fn new() -> Self {
+        Self { free: Vec::new() }
+    }
+
+    /// Takes a zeroed buffer of exactly `len` floats, reusing a recycled
+    /// allocation when one is large enough.
+    pub fn take_vec(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = match self.free.iter().position(|b| b.capacity() >= len) {
+            Some(i) => self.free.swap_remove(i),
+            None => {
+                alloc_count::record_len(len);
+                Vec::with_capacity(len)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Takes a zeroed `rows × cols` matrix backed by a recycled buffer.
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_vec(rows * cols))
+    }
+
+    /// Returns a buffer to the arena for reuse.
+    pub fn recycle_vec(&mut self, v: Vec<f32>) {
+        if v.capacity() > 0 {
+            self.free.push(v);
+        }
+    }
+
+    /// Returns a matrix's backing buffer to the arena for reuse.
+    pub fn recycle_matrix(&mut self, m: Matrix) {
+        self.recycle_vec(m.into_vec());
+    }
+
+    /// Number of buffers currently parked in the arena.
+    pub fn parked(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroes_recycled_contents() {
+        let mut s = Scratch::new();
+        let mut m = s.take_matrix(2, 2);
+        m.fill(7.0);
+        s.recycle_matrix(m);
+        let again = s.take_matrix(2, 2);
+        assert_eq!(again.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn first_fit_reuses_larger_buffers() {
+        let mut s = Scratch::new();
+        let big = s.take_vec(100);
+        s.recycle_vec(big);
+        alloc_count::reset();
+        let small = s.take_vec(10);
+        assert_eq!(alloc_count::matrix_allocs(), 0);
+        assert_eq!(small.len(), 10);
+        assert_eq!(s.parked(), 0);
+    }
+
+    #[test]
+    fn undersized_buffers_are_not_matched() {
+        let mut s = Scratch::new();
+        s.recycle_vec(vec![0.0; 4]);
+        alloc_count::reset();
+        let v = s.take_vec(16);
+        assert_eq!(alloc_count::matrix_allocs(), 1);
+        assert_eq!(v.len(), 16);
+        // The too-small buffer stays parked for a later fit.
+        assert_eq!(s.parked(), 1);
+    }
+}

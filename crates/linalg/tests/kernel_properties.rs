@@ -1,0 +1,116 @@
+//! Property tests pinning the blocked/parallel kernels to the naive
+//! reference oracle in `pitot_linalg::reference`.
+//!
+//! Shapes are drawn from ranges that include every degenerate class the
+//! kernels special-case: empty (`0×n`, `m×0`, shared dimension 0), `1×1`,
+//! tall-skinny, and short-wide. The tolerance is relative at `1e-4`, loose
+//! enough for f32 re-association headroom even though today's kernels are
+//! bitwise order-preserving.
+
+use pitot_linalg::{reference, Matrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn assert_close(got: &Matrix, want: &Matrix) {
+    assert_eq!(got.shape(), want.shape(), "shape mismatch");
+    for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+        assert!(
+            (x - y).abs() <= 1e-4 * (1.0 + x.abs().max(y.abs())),
+            "kernel {x} vs reference {y}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_reference(
+        m in 0usize..12, k in 0usize..40, n in 0usize..20, seed in 0u64..10_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        // Start from a dirty, wrongly-shaped buffer: `_into` must fully
+        // overwrite and reshape it.
+        let mut out = Matrix::full(3, 3, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_close(&out, &reference::matmul(&a, &b));
+        assert_close(&a.matmul(&b), &reference::matmul(&a, &b));
+    }
+
+    #[test]
+    fn matmul_transpose_matches_reference(
+        m in 0usize..12, k in 0usize..40, n in 0usize..20, seed in 0u64..10_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(n, k, &mut rng);
+        let mut out = Matrix::full(2, 5, f32::NAN);
+        a.matmul_transpose_into(&b, &mut out);
+        assert_close(&out, &reference::matmul_transpose(&a, &b));
+    }
+
+    #[test]
+    fn transpose_matmul_matches_reference(
+        m in 0usize..12, k in 0usize..40, n in 0usize..20, seed in 0u64..10_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::randn(k, m, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        let mut out = Matrix::full(1, 1, f32::NAN);
+        a.transpose_matmul_into(&b, &mut out);
+        assert_close(&out, &reference::transpose_matmul(&a, &b));
+    }
+
+    #[test]
+    fn tall_and_wide_shapes_cross_the_blocking_factors(
+        tall in 200usize..600, thin in 1usize..4, seed in 0u64..100,
+    ) {
+        // Exercise shared dimensions beyond KC = 256 and row counts beyond
+        // any parallel grain, in both orientations.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::randn(tall, thin, &mut rng);
+        let b = Matrix::randn(thin, tall.min(64), &mut rng);
+        assert_close(&a.matmul(&b), &reference::matmul(&a, &b));
+
+        let c = Matrix::randn(thin, tall, &mut rng);
+        let d = Matrix::randn(tall, thin + 2, &mut rng);
+        // Shared dimension `tall` > KC tiles across k-blocks.
+        assert_close(&c.matmul(&d), &reference::matmul(&c, &d));
+        let ct = Matrix::randn(tall, thin, &mut rng);
+        assert_close(
+            &ct.transpose_matmul(&d),
+            &reference::transpose_matmul(&ct, &d),
+        );
+        let e = Matrix::randn(thin + 1, tall, &mut rng);
+        let f = Matrix::randn(thin + 3, tall, &mut rng);
+        assert_close(
+            &e.matmul_transpose(&f),
+            &reference::matmul_transpose(&e, &f),
+        );
+    }
+
+    #[test]
+    fn one_by_one_is_scalar_multiplication(x in -10.0f32..10.0, y in -10.0f32..10.0) {
+        let a = Matrix::full(1, 1, x);
+        let b = Matrix::full(1, 1, y);
+        for product in [a.matmul(&b), a.matmul_transpose(&b), a.transpose_matmul(&b)] {
+            prop_assert!((product[(0, 0)] - x * y).abs() <= 1e-5 * (1.0 + (x * y).abs()));
+        }
+    }
+}
+
+#[test]
+fn empty_shapes_produce_empty_or_zero_outputs() {
+    // 0×n · n×p = 0×p.
+    let a = Matrix::zeros(0, 4);
+    let b = Matrix::zeros(4, 3);
+    assert_eq!(a.matmul(&b).shape(), (0, 3));
+    // m×0 · 0×p is a defined all-zero product.
+    let a = Matrix::zeros(2, 0);
+    let b = Matrix::zeros(0, 3);
+    assert_eq!(a.matmul(&b), Matrix::zeros(2, 3));
+    assert_eq!(b.transpose_matmul(&b), Matrix::zeros(3, 3));
+    let c = Matrix::zeros(5, 0);
+    assert_eq!(a.matmul_transpose(&c), Matrix::zeros(2, 5));
+}

@@ -46,7 +46,10 @@ pub use dropout::{Dropout, DropoutMask};
 pub use grad_check::{grad_check, numerical_grad};
 pub use layernorm::{LayerNorm, LayerNormCache, LayerNormGrads};
 pub use linear::{Linear, LinearGrads};
-pub use loss::{pinball_loss, squared_loss, weighted_pinball_loss, weighted_squared_loss};
+pub use loss::{
+    pinball_loss, pinball_loss_into, squared_loss, squared_loss_into, weighted_pinball_loss,
+    weighted_squared_loss,
+};
 pub use mlp::{Mlp, MlpCache, MlpGrads};
 pub use optim::{AdaMax, Adam, Optimizer, SgdMomentum};
 pub use schedule::LrSchedule;

@@ -65,9 +65,20 @@ impl Linear {
     ///
     /// Panics if `x.cols() != self.in_dim()`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.weight);
-        y.add_row_broadcast(&self.bias);
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// Forward pass into a caller-owned buffer: allocation-free once the
+    /// buffer has capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.weight, out);
+        out.add_row_broadcast(&self.bias);
     }
 
     /// Backward pass given the cached input `x` and upstream gradient `dy`.
@@ -78,18 +89,27 @@ impl Linear {
     ///
     /// Panics if shapes are inconsistent with the forward pass.
     pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (Matrix, LinearGrads) {
+        let mut dx = Matrix::zeros(0, 0);
+        let mut grads = LinearGrads {
+            weight: Matrix::zeros(0, 0),
+            bias: Vec::new(),
+        };
+        self.backward_into(x, dy, &mut dx, &mut grads);
+        (dx, grads)
+    }
+
+    /// Backward pass into caller-owned buffers (`dx` and `grads` are
+    /// overwritten): allocation-free once the buffers have capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with the forward pass.
+    pub fn backward_into(&self, x: &Matrix, dy: &Matrix, dx: &mut Matrix, grads: &mut LinearGrads) {
         assert_eq!(dy.cols(), self.out_dim(), "upstream gradient width");
         assert_eq!(x.rows(), dy.rows(), "batch size mismatch");
-        let dx = dy.matmul_transpose(&self.weight);
-        let dw = x.transpose_matmul(dy);
-        let db = dy.sum_rows();
-        (
-            dx,
-            LinearGrads {
-                weight: dw,
-                bias: db,
-            },
-        )
+        dy.matmul_transpose_into(&self.weight, dx);
+        x.transpose_matmul_into(dy, &mut grads.weight);
+        dy.sum_rows_into(&mut grads.bias);
     }
 
     /// Mutable flat views of the parameters, in a stable order (weight, bias).

@@ -11,8 +11,30 @@
 ///
 /// Panics if lengths differ or the batch is empty.
 pub fn squared_loss(pred: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
-    let w = vec![1.0; pred.len()];
-    weighted_squared_loss(pred, target, &w)
+    let mut grad = Vec::new();
+    let loss = squared_loss_into(pred, target, &mut grad);
+    (loss, grad)
+}
+
+/// [`squared_loss`] into a reusable gradient buffer (cleared and refilled);
+/// the uniform-weight case needs no weight vector at all.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the batch is empty.
+pub fn squared_loss_into(pred: &[f32], target: &[f32], grad: &mut Vec<f32>) -> f32 {
+    assert_eq!(pred.len(), target.len(), "pred/target length mismatch");
+    assert!(!pred.is_empty(), "total weight must be positive");
+    let inv = 1.0 / pred.len() as f32;
+    grad.clear();
+    grad.resize(pred.len(), 0.0);
+    let mut loss = 0.0;
+    for (g, (&p, &t)) in grad.iter_mut().zip(pred.iter().zip(target)) {
+        let e = p - t;
+        loss += e * e;
+        *g = 2.0 * e * inv;
+    }
+    loss * inv
 }
 
 /// Weighted squared error `Σ wᵢ(predᵢ − targetᵢ)² / Σ wᵢ` and its gradient.
@@ -45,8 +67,35 @@ pub fn weighted_squared_loss(pred: &[f32], target: &[f32], weight: &[f32]) -> (f
 ///
 /// Panics if lengths differ, the batch is empty, or `xi ∉ (0, 1)`.
 pub fn pinball_loss(pred: &[f32], target: &[f32], xi: f32) -> (f32, Vec<f32>) {
-    let w = vec![1.0; pred.len()];
-    weighted_pinball_loss(pred, target, xi, &w)
+    let mut grad = Vec::new();
+    let loss = pinball_loss_into(pred, target, xi, &mut grad);
+    (loss, grad)
+}
+
+/// [`pinball_loss`] into a reusable gradient buffer (cleared and refilled).
+///
+/// # Panics
+///
+/// Panics if lengths differ, the batch is empty, or `xi ∉ (0, 1)`.
+pub fn pinball_loss_into(pred: &[f32], target: &[f32], xi: f32, grad: &mut Vec<f32>) -> f32 {
+    assert_eq!(pred.len(), target.len(), "pred/target length mismatch");
+    assert!(xi > 0.0 && xi < 1.0, "target quantile {xi} outside (0,1)");
+    assert!(!pred.is_empty(), "total weight must be positive");
+    let inv = 1.0 / pred.len() as f32;
+    grad.clear();
+    grad.resize(pred.len(), 0.0);
+    let mut loss = 0.0;
+    for (g, (&p, &t)) in grad.iter_mut().zip(pred.iter().zip(target)) {
+        let diff = t - p; // positive ⇒ under-prediction
+        if diff > 0.0 {
+            loss += xi * diff;
+            *g = -xi * inv;
+        } else {
+            loss += (1.0 - xi) * (-diff);
+            *g = (1.0 - xi) * inv;
+        }
+    }
+    loss * inv
 }
 
 /// Weighted pinball loss; see [`pinball_loss`].

@@ -2,7 +2,7 @@
 //! activations, optionally layer-normalized.
 
 use crate::{Activation, LayerNorm, LayerNormCache, LayerNormGrads, Linear, LinearGrads};
-use pitot_linalg::Matrix;
+use pitot_linalg::{Matrix, Scratch};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +23,11 @@ pub struct Mlp {
 }
 
 /// Forward-pass cache: everything `Mlp::backward` needs.
-#[derive(Debug, Clone)]
+///
+/// Reusable: pass the same cache to [`Mlp::forward_with`] every step and the
+/// buffers are recycled in place, making the steady-state forward pass
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
 pub struct MlpCache {
     /// `inputs[i]` is the input to layer `i` (post-activation of layer `i−1`).
     inputs: Vec<Matrix>,
@@ -33,6 +37,24 @@ pub struct MlpCache {
     pre: Vec<Matrix>,
     /// Per-hidden-layer layer-norm caches (empty when norms are disabled).
     ln: Vec<LayerNormCache>,
+}
+
+impl MlpCache {
+    /// Creates an empty cache; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The network output of the last [`Mlp::forward_with`] pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has run yet.
+    pub fn output(&self) -> &Matrix {
+        self.pre
+            .last()
+            .expect("no forward pass has filled this cache")
+    }
 }
 
 /// Gradients for every layer of an [`Mlp`].
@@ -127,43 +149,53 @@ impl Mlp {
     ///
     /// Panics if `x.cols() != self.in_dim()`.
     pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCache) {
+        let mut cache = MlpCache::new();
+        self.forward_with(x, &mut cache);
+        (cache.output().clone(), cache)
+    }
+
+    /// Forward pass into a reusable cache; the output is at
+    /// [`MlpCache::output`]. Allocation-free once the cache buffers have
+    /// capacity (except on the optional layer-norm path, which still
+    /// allocates its per-step statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward_with(&self, x: &Matrix, cache: &mut MlpCache) {
         let n = self.layers.len();
-        let mut inputs = Vec::with_capacity(n);
-        let mut pre = Vec::with_capacity(n);
-        let mut ln = Vec::new();
-        let mut cur = x.clone();
+        cache.inputs.resize_with(n, || Matrix::zeros(0, 0));
+        cache.pre.resize_with(n, || Matrix::zeros(0, 0));
+        cache.ln.clear();
+        cache.inputs[0].copy_from(x);
         for (i, layer) in self.layers.iter().enumerate() {
-            inputs.push(cur.clone());
-            let mut z = layer.forward(&cur);
+            layer.forward_into(&cache.inputs[i], &mut cache.pre[i]);
             if i + 1 < n {
                 if let Some(norms) = &self.norms {
-                    let (zn, cache) = norms[i].forward(&z);
-                    ln.push(cache);
-                    z = zn;
+                    let (zn, ln_cache) = norms[i].forward(&cache.pre[i]);
+                    cache.pre[i] = zn;
+                    cache.ln.push(ln_cache);
                 }
-                cur = self.hidden_act.apply_matrix(&z);
-            } else {
-                cur = z.clone();
+                self.hidden_act
+                    .apply_matrix_into(&cache.pre[i], &mut cache.inputs[i + 1]);
             }
-            pre.push(z);
         }
-        (cur, MlpCache { inputs, pre, ln })
     }
 
     /// Output without building a cache (inference path).
     pub fn infer(&self, x: &Matrix) -> Matrix {
         let n = self.layers.len();
         let mut cur = x.clone();
+        let mut next = Matrix::zeros(0, 0);
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut z = layer.forward(&cur);
+            layer.forward_into(&cur, &mut next);
             if i + 1 < n {
                 if let Some(norms) = &self.norms {
-                    z = norms[i].infer(&z);
+                    next = norms[i].infer(&next);
                 }
-                cur = self.hidden_act.apply_matrix(&z);
-            } else {
-                cur = z;
+                self.hidden_act.apply_matrix_inplace(&mut next);
             }
+            std::mem::swap(&mut cur, &mut next);
         }
         cur
     }
@@ -175,37 +207,62 @@ impl Mlp {
     ///
     /// Panics if `d_out` does not match the cached forward shapes.
     pub fn backward(&self, cache: &MlpCache, d_out: &Matrix) -> (Matrix, MlpGrads) {
+        let mut grads = MlpGrads::zeros_like(self);
+        let mut dx = Matrix::zeros(0, 0);
+        let mut scratch = Scratch::new();
+        self.backward_with(cache, d_out, &mut dx, &mut grads, &mut scratch);
+        (dx, grads)
+    }
+
+    /// Backward pass into caller-owned buffers: `dx` receives the input
+    /// gradient, `grads` (shaped by [`MlpGrads::zeros_like`]) is overwritten,
+    /// and intermediate layer gradients recycle through `scratch`.
+    /// Allocation-free once every buffer is warm (layer-norm path excepted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_out` does not match the cached forward shapes or `grads`
+    /// is shaped for a different network.
+    pub fn backward_with(
+        &self,
+        cache: &MlpCache,
+        d_out: &Matrix,
+        dx: &mut Matrix,
+        grads: &mut MlpGrads,
+        scratch: &mut Scratch,
+    ) {
         let n = self.layers.len();
-        let mut grads: Vec<Option<LinearGrads>> = (0..n).map(|_| None).collect();
-        let mut ln_grads: Vec<Option<LayerNormGrads>> =
-            (0..n.saturating_sub(1)).map(|_| None).collect();
-        let mut dy = d_out.clone();
+        assert_eq!(grads.layers.len(), n, "gradient blocks per layer");
+        if self.norms.is_some() {
+            assert_eq!(grads.norms.len(), n - 1, "layer-norm gradient blocks");
+        }
+        let mut dy = scratch.take_matrix(d_out.rows(), d_out.cols());
+        dy.copy_from(d_out);
         for i in (0..n).rev() {
             // The hidden activation sits *after* layer i for all but the last.
             if i + 1 < n {
-                dy = self.hidden_act.backward_matrix(&cache.pre[i], &dy);
+                self.hidden_act
+                    .backward_matrix_inplace(&cache.pre[i], &mut dy);
                 if let Some(norms) = &self.norms {
                     let (dz, g) = norms[i].backward(&cache.ln[i], &dy);
-                    ln_grads[i] = Some(g);
-                    dy = dz;
+                    grads.norms[i] = g;
+                    dy.copy_from(&dz);
                 }
             }
-            let (dx, g) = self.layers[i].backward(&cache.inputs[i], &dy);
-            grads[i] = Some(g);
-            dy = dx;
+            if i > 0 {
+                let mut dx_i = scratch.take_matrix(dy.rows(), self.layers[i].in_dim());
+                self.layers[i].backward_into(
+                    &cache.inputs[i],
+                    &dy,
+                    &mut dx_i,
+                    &mut grads.layers[i],
+                );
+                scratch.recycle_matrix(std::mem::replace(&mut dy, dx_i));
+            } else {
+                self.layers[0].backward_into(&cache.inputs[0], &dy, dx, &mut grads.layers[0]);
+            }
         }
-        let norms = if self.norms.is_some() {
-            ln_grads.into_iter().map(Option::unwrap).collect()
-        } else {
-            Vec::new()
-        };
-        (
-            dy,
-            MlpGrads {
-                layers: grads.into_iter().map(Option::unwrap).collect(),
-                norms,
-            },
-        )
+        scratch.recycle_matrix(dy);
     }
 
     /// Mutable flat parameter views in a stable order (layer 0 weight, bias,

@@ -4,10 +4,25 @@
 //! [`criterion_group!`], [`criterion_main!`], benchmark groups with
 //! `sample_size`/`throughput`, and `Bencher::iter` — with a simple
 //! wall-clock measurement loop instead of criterion's statistical engine.
-//! Each benchmark runs a short warmup, then a bounded number of timed
-//! samples, and prints mean time per iteration (plus throughput when set).
+//!
+//! Each benchmark runs a calibrated warm-up phase, then a bounded number of
+//! timed samples, and reports the **mean, median, and standard deviation**
+//! of the per-sample ns/iter figures (plus throughput when set). Results
+//! also accumulate in a process-global registry; when the
+//! `PITOT_BENCH_JSON` environment variable names a path, `criterion_main!`
+//! dumps the registry there as machine-readable JSON so perf runs leave an
+//! artifact next to the human-readable output.
+//!
+//! Environment knobs (all optional):
+//!
+//! - `PITOT_BENCH_JSON`: path to write the JSON report to.
+//! - `PITOT_BENCH_BUDGET_MS`: soft cap on measurement time per benchmark
+//!   (default 500 ms). CI smoke runs set this low.
+//! - `PITOT_BENCH_WARMUP_MS`: warm-up time per benchmark (default
+//!   `budget / 5`).
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export so `criterion::black_box` callers work.
@@ -24,19 +39,45 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One benchmark's summary statistics, as recorded in the JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    stddev_ns: f64,
+    samples: usize,
+    total_iters: u64,
+    throughput: Option<(&'static str, u64)>,
+}
+
+static REGISTRY: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn env_ms(name: &str, default: Duration) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(default, Duration::from_millis)
+}
+
 /// Top-level benchmark driver.
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
     /// Soft cap on total measurement time per benchmark.
     budget: Duration,
+    /// Warm-up time per benchmark before any sample is recorded.
+    warmup: Duration,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let budget = env_ms("PITOT_BENCH_BUDGET_MS", Duration::from_millis(500));
+        let warmup = env_ms("PITOT_BENCH_WARMUP_MS", budget / 5);
         Criterion {
             sample_size: 10,
-            budget: Duration::from_millis(500),
+            budget,
+            warmup,
         }
     }
 }
@@ -53,7 +94,14 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(&name.into(), None, self.sample_size, self.budget, f);
+        run_bench(
+            &name.into(),
+            None,
+            self.sample_size,
+            self.budget,
+            self.warmup,
+            f,
+        );
         self
     }
 
@@ -63,6 +111,7 @@ impl Criterion {
             name: name.to_owned(),
             sample_size: self.sample_size,
             budget: self.budget,
+            warmup: self.warmup,
             throughput: None,
             _parent: self,
         }
@@ -74,6 +123,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     budget: Duration,
+    warmup: Duration,
     throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
@@ -97,7 +147,14 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, name.into());
-        run_bench(&full, self.throughput, self.sample_size, self.budget, f);
+        run_bench(
+            &full,
+            self.throughput,
+            self.sample_size,
+            self.budget,
+            self.warmup,
+            f,
+        );
         self
     }
 
@@ -123,53 +180,175 @@ impl Bencher {
     }
 }
 
+fn run_once<F>(f: &mut F, iters: u64) -> Duration
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed.max(Duration::from_nanos(1))
+}
+
 fn run_bench<F>(
     name: &str,
     throughput: Option<Throughput>,
     samples: usize,
     budget: Duration,
+    warmup: Duration,
     mut f: F,
 ) where
     F: FnMut(&mut Bencher),
 {
-    // Warmup: one iteration, which also calibrates per-iteration cost.
-    let mut b = Bencher {
-        iters: 1,
-        elapsed: Duration::ZERO,
-    };
-    let start = Instant::now();
-    f(&mut b);
-    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Warm-up: run with doubling iteration counts until the warm-up time is
+    // spent. This both brings caches/branch predictors to steady state and
+    // calibrates the per-iteration cost for the sampling phase.
+    let warm_start = Instant::now();
+    let mut iters = 1u64;
+    let mut per_iter = run_once(&mut f, iters);
+    while warm_start.elapsed() < warmup {
+        iters = (iters * 2).min(1_000_000);
+        let elapsed = run_once(&mut f, iters);
+        per_iter = elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+        if iters == 1_000_000 {
+            break;
+        }
+    }
+    let per_iter = per_iter.max(Duration::from_nanos(1));
 
-    // Pick an iteration count so one sample stays within budget/samples.
-    let per_sample = budget / samples.max(1) as u32;
+    // Sampling: pick an iteration count so one sample stays within
+    // budget/samples, then record per-sample mean ns/iter.
+    let per_sample = budget / u32::try_from(samples.max(1)).unwrap_or(u32::MAX);
     let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
 
+    let start = Instant::now();
+    let mut sample_means: Vec<f64> = Vec::with_capacity(samples);
     let mut total = Duration::ZERO;
     let mut total_iters = 0u64;
     for _ in 0..samples {
-        let mut b = Bencher {
-            iters,
-            elapsed: Duration::ZERO,
-        };
-        f(&mut b);
-        total += b.elapsed;
+        let elapsed = run_once(&mut f, iters);
+        sample_means.push(elapsed.as_nanos() as f64 / iters as f64);
+        total += elapsed;
         total_iters += iters;
         if start.elapsed() > budget {
             break;
         }
     }
+
     let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    let mut sorted = sample_means.clone();
+    sorted.sort_by(f64::total_cmp);
+    let median_ns = if sorted.is_empty() {
+        mean_ns
+    } else if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    let sample_mean = sample_means.iter().sum::<f64>() / sample_means.len().max(1) as f64;
+    let stddev_ns = if sample_means.len() > 1 {
+        (sample_means
+            .iter()
+            .map(|m| (m - sample_mean) * (m - sample_mean))
+            .sum::<f64>()
+            / (sample_means.len() - 1) as f64)
+            .sqrt()
+    } else {
+        0.0
+    };
+
+    let stats = format!(
+        "{mean_ns:>14.1} ns/iter  median {median_ns:>12.1}  σ {stddev_ns:>10.1}  ({} samples)",
+        sample_means.len()
+    );
     match throughput {
         Some(Throughput::Elements(n)) => {
             let rate = n as f64 / (mean_ns / 1e9);
-            println!("bench {name:<50} {mean_ns:>14.1} ns/iter  {rate:>12.1} elem/s");
+            println!("bench {name:<50} {stats}  {rate:>12.1} elem/s");
         }
         Some(Throughput::Bytes(n)) => {
             let rate = n as f64 / (mean_ns / 1e9);
-            println!("bench {name:<50} {mean_ns:>14.1} ns/iter  {rate:>12.1} B/s");
+            println!("bench {name:<50} {stats}  {rate:>12.1} B/s");
         }
-        None => println!("bench {name:<50} {mean_ns:>14.1} ns/iter"),
+        None => println!("bench {name:<50} {stats}"),
+    }
+
+    REGISTRY.lock().unwrap().push(BenchRecord {
+        name: name.to_owned(),
+        mean_ns,
+        median_ns,
+        stddev_ns,
+        samples: sample_means.len(),
+        total_iters,
+        throughput: throughput.map(|t| match t {
+            Throughput::Elements(n) => ("elements", n),
+            Throughput::Bytes(n) => ("bytes", n),
+        }),
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes the accumulated benchmark records as JSON to the path named by
+/// `PITOT_BENCH_JSON`, if set. Called automatically by [`criterion_main!`];
+/// a no-op (returning `None`) when the variable is absent. Returns the path
+/// written to on success.
+pub fn write_json_report() -> Option<String> {
+    let path = std::env::var("PITOT_BENCH_JSON").ok()?;
+    if path.is_empty() {
+        return None;
+    }
+    let records = REGISTRY.lock().unwrap();
+    let mut out = String::from("{\n");
+    let threads = std::env::var("PITOT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    out.push_str(&format!(
+        "  \"meta\": {{\"threads\": {threads}, \"available_parallelism\": {}}},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let tp = match r.throughput {
+            Some((unit, n)) => {
+                format!(", \"throughput\": {{\"unit\": \"{unit}\", \"per_iter\": {n}}}")
+            }
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"stddev_ns\": {:.1}, \"samples\": {}, \"total_iters\": {}{}}}{}\n",
+            json_escape(&r.name),
+            r.mean_ns,
+            r.median_ns,
+            r.stddev_ns,
+            r.samples,
+            r.total_iters,
+            tp,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => {
+            eprintln!("bench JSON report written to {path}");
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("failed to write bench JSON report to {path}: {e}");
+            None
+        }
     }
 }
 
@@ -190,12 +369,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main` that runs the given groups.
+/// Declares the bench `main` that runs the given groups, then dumps the
+/// JSON report when `PITOT_BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            let _ = $crate::write_json_report();
         }
     };
 }
