@@ -8,7 +8,10 @@
 
 use crate::common::{sample_batch, BaselineConfig, LogPredictor};
 use pitot_linalg::{dot, Matrix, Scratch};
-use pitot_nn::{squared_loss, squared_loss_into, Activation, AdaMax, Mlp, MlpCache, MlpGrads};
+use pitot_nn::{
+    squared_loss, squared_loss_into, Activation, AdaMax, GradPlane, Mlp, MlpCache,
+    ParamStoreBuilder,
+};
 use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -67,6 +70,8 @@ impl AttentionConfig {
 /// A trained attention baseline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AttentionNet {
+    /// Flat parameter plane holding all three networks.
+    store: pitot_nn::ParamStore,
     /// `[x_w, x_p] → [pred, query]`.
     base: Mlp,
     /// `[x_k, x_p] → [key, value]`.
@@ -108,11 +113,14 @@ impl AttentionNet {
         enc_widths.push(2 * d);
         let out_widths = vec![d, config.output_hidden, 1];
 
-        let mut base = Mlp::new(&base_widths, Activation::Gelu, &mut rng);
-        let encoder = Mlp::new(&enc_widths, Activation::Gelu, &mut rng);
-        let mut output = Mlp::new(&out_widths, Activation::Gelu, &mut rng);
-        base.scale_output_layer(0.3);
-        output.scale_output_layer(0.1);
+        // All three networks share one flat parameter plane.
+        let mut builder = ParamStoreBuilder::new();
+        let base = Mlp::new(&base_widths, Activation::Gelu, &mut rng, &mut builder);
+        let encoder = Mlp::new(&enc_widths, Activation::Gelu, &mut rng, &mut builder);
+        let output = Mlp::new(&out_widths, Activation::Gelu, &mut rng, &mut builder);
+        let mut store = builder.finish();
+        base.scale_output_layer(store.params_mut(), 0.3);
+        output.scale_output_layer(store.params_mut(), 0.1);
 
         let pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
             .map(|k| split.train_mode(dataset, k))
@@ -149,6 +157,7 @@ impl AttentionNet {
         let mut opt = AdaMax::new(config.train.learning_rate);
         let mut best: Option<(f32, Self)> = None;
         let mut model = Self {
+            store,
             base,
             encoder,
             output,
@@ -163,12 +172,8 @@ impl AttentionNet {
         let mut base_cache = MlpCache::new();
         let mut enc_cache = MlpCache::new();
         let mut ctx_cache = MlpCache::new();
-        let mut g_base = MlpGrads::zeros_like(&model.base);
-        let mut g_enc = MlpGrads::zeros_like(&model.encoder);
-        let mut g_out = MlpGrads::zeros_like(&model.output);
-        let mut g_tmp_base = MlpGrads::zeros_like(&model.base);
-        let mut g_tmp_enc = MlpGrads::zeros_like(&model.encoder);
-        let mut g_tmp_out = MlpGrads::zeros_like(&model.output);
+        let mut g_acc = GradPlane::zeros_like(&model.store);
+        let mut g_tmp = GradPlane::zeros_like(&model.store);
         let mut scratch = Scratch::new();
         let mut dx = Matrix::zeros(0, 0);
         let mut d_ctx_out = Matrix::zeros(0, 0);
@@ -178,9 +183,7 @@ impl AttentionNet {
         let mut d_pred: Vec<f32> = Vec::new();
 
         for step in 1..=config.train.steps {
-            g_base.scale(0.0);
-            g_enc.scale(0.0);
-            g_out.scale(0.0);
+            g_acc.clear();
 
             for (k, pool) in pools.iter().enumerate() {
                 if pool.is_empty() {
@@ -188,10 +191,16 @@ impl AttentionNet {
                 }
                 let batch = sample_batch(pool, config.train.batch_per_mode, &mut rng);
                 Self::batch_inputs_into(dataset, &batch, &mut base_in, &mut enc_in, &mut spans);
-                model.base.forward_with(&base_in, &mut base_cache);
-                model.encoder.forward_with(&enc_in, &mut enc_cache);
+                model
+                    .base
+                    .forward_with(model.store.params(), &base_in, &mut base_cache);
+                model
+                    .encoder
+                    .forward_with(model.store.params(), &enc_in, &mut enc_cache);
                 let fwd = model.attend(base_cache.output(), enc_cache.output(), &spans);
-                model.output.forward_with(&fwd.context, &mut ctx_cache);
+                model
+                    .output
+                    .forward_with(model.store.params(), &fwd.context, &mut ctx_cache);
                 let ctx_out = ctx_cache.output();
 
                 preds.clear();
@@ -215,47 +224,41 @@ impl AttentionNet {
                     }
                 }
                 model.output.backward_with(
+                    model.store.params(),
                     &ctx_cache,
                     &d_ctx_out,
                     &mut d_context,
-                    &mut g_tmp_out,
+                    g_tmp.as_mut_slice(),
                     &mut scratch,
                 );
+                g_acc.accumulate_range(model.output.range(), &g_tmp, 1.0);
 
                 // Backprop the attention mechanism into base & encoder outputs.
                 let (d_base_out, d_enc_out) =
                     model.attend_backward(&fwd, &d_context, &d_pred, &spans);
                 model.base.backward_with(
+                    model.store.params(),
                     &base_cache,
                     &d_base_out,
                     &mut dx,
-                    &mut g_tmp_base,
+                    g_tmp.as_mut_slice(),
                     &mut scratch,
                 );
+                g_acc.accumulate_range(model.base.range(), &g_tmp, 1.0);
                 model.encoder.backward_with(
+                    model.store.params(),
                     &enc_cache,
                     &d_enc_out,
                     &mut dx,
-                    &mut g_tmp_enc,
+                    g_tmp.as_mut_slice(),
                     &mut scratch,
                 );
-                g_base.accumulate(&g_tmp_base);
-                g_enc.accumulate(&g_tmp_enc);
-                g_out.accumulate(&g_tmp_out);
+                g_acc.accumulate_range(model.encoder.range(), &g_tmp, 1.0);
             }
 
-            // One optimizer step over all three networks (accumulators stay
-            // zeroed for networks that saw no data this step).
-            let g_refs: Vec<&[f32]> = g_base
-                .grad_slices()
-                .into_iter()
-                .chain(g_enc.grad_slices())
-                .chain(g_out.grad_slices())
-                .collect();
-            let mut params = model.base.param_slices_mut();
-            params.extend(model.encoder.param_slices_mut());
-            params.extend(model.output.param_slices_mut());
-            opt.step(&mut params, &g_refs);
+            // One fused optimizer step over the whole plane (a network that
+            // saw no data this step keeps its zeroed gradient window).
+            opt.step(&mut [model.store.params_mut()], &[g_acc.as_slice()]);
 
             if (step % config.train.eval_every == 0 || step == config.train.steps)
                 && !val.is_empty()
@@ -407,14 +410,14 @@ impl AttentionNet {
 impl LogPredictor for AttentionNet {
     fn predict_log(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
         let (base_in, enc_in, spans) = Self::batch_inputs(dataset, idx);
-        let base_out = self.base.infer(&base_in);
+        let base_out = self.base.infer(self.store.params(), &base_in);
         let has_intf = spans.iter().any(|&(lo, hi)| hi > lo);
         if !has_intf {
             return vec![base_out.col(0).iter().map(|b| self.intercept + b).collect()];
         }
-        let enc_out = self.encoder.infer(&enc_in);
+        let enc_out = self.encoder.infer(self.store.params(), &enc_in);
         let fwd = self.attend(&base_out, &enc_out, &spans);
-        let ctx_out = self.output.infer(&fwd.context);
+        let ctx_out = self.output.infer(self.store.params(), &fwd.context);
         let preds = (0..idx.len())
             .map(|b| {
                 let has = spans[b].1 > spans[b].0;
@@ -455,8 +458,8 @@ mod tests {
         let idx = vec![ds.mode_indices(3)[0]];
         let (base_in, enc_in, spans) = AttentionNet::batch_inputs(&ds, &idx);
         let fwd = model.attend(
-            &model.base.infer(&base_in),
-            &model.encoder.infer(&enc_in),
+            &model.base.infer(model.store.params(), &base_in),
+            &model.encoder.infer(model.store.params(), &enc_in),
             &spans,
         );
         let s: f32 = fwd.attn[0].iter().sum();
@@ -483,11 +486,12 @@ mod tests {
         };
 
         // Analytic gradients for the base network.
+        let params = model.store.params();
         let (base_in, enc_in, spans) = AttentionNet::batch_inputs(&ds, &idx);
-        let (base_out, base_cache) = model.base.forward(&base_in);
-        let (enc_out, enc_cache) = model.encoder.forward(&enc_in);
+        let (base_out, base_cache) = model.base.forward(params, &base_in);
+        let (enc_out, enc_cache) = model.encoder.forward(params, &enc_in);
         let fwd = model.attend(&base_out, &enc_out, &spans);
-        let (ctx_out, ctx_cache) = model.output.forward(&fwd.context);
+        let (ctx_out, ctx_cache) = model.output.forward(params, &fwd.context);
         let preds: Vec<f32> = (0..idx.len())
             .map(|b| fwd.preds[b] + ctx_out[(b, 0)])
             .collect();
@@ -496,12 +500,19 @@ mod tests {
         for (b, g) in d_pred.iter().enumerate() {
             d_ctx_out[(b, 0)] = *g;
         }
-        let (d_context, _go) = model.output.backward(&ctx_cache, &d_ctx_out);
+        let mut grads = GradPlane::zeros_like(&model.store);
+        let d_context = model
+            .output
+            .backward(params, &ctx_cache, &d_ctx_out, grads.as_mut_slice());
         let (d_base_out, d_enc_out) = model.attend_backward(&fwd, &d_context, &d_pred, &spans);
-        let (_, gb) = model.base.backward(&base_cache, &d_base_out);
-        let (_, ge) = model.encoder.backward(&enc_cache, &d_enc_out);
+        model
+            .base
+            .backward(params, &base_cache, &d_base_out, grads.as_mut_slice());
+        model
+            .encoder
+            .backward(params, &enc_cache, &d_enc_out, grads.as_mut_slice());
 
-        // Directional derivative over base + encoder parameters. The step
+        // Directional derivative over base + encoder plane windows. The step
         // must be small: with ~7k parameters perturbed at once, the total
         // displacement is eps·√7000 and curvature error grows with its
         // square.
@@ -510,22 +521,14 @@ mod tests {
         let mut minus = model.clone();
         let mut analytic = 0.0f64;
         {
-            let gs: Vec<&[f32]> = gb
-                .grad_slices()
-                .into_iter()
-                .chain(ge.grad_slices())
-                .collect();
-            let mut ps = plus.base.param_slices_mut();
-            ps.extend(plus.encoder.param_slices_mut());
-            let mut ms = minus.base.param_slices_mut();
-            ms.extend(minus.encoder.param_slices_mut());
-            for (bi, g) in gs.iter().enumerate() {
-                for k in 0..g.len() {
-                    let dir = if (bi + k) % 2 == 0 { 1.0 } else { -1.0 };
-                    ps[bi][k] += eps * dir;
-                    ms[bi][k] -= eps * dir;
-                    analytic += (g[k] * dir) as f64;
-                }
+            let window = model.base.range().join(model.encoder.range());
+            let ps = plus.store.params_mut();
+            let ms = minus.store.params_mut();
+            for k in window.as_range() {
+                let dir = if k % 2 == 0 { 1.0 } else { -1.0 };
+                ps[k] += eps * dir;
+                ms[k] -= eps * dir;
+                analytic += (grads.as_slice()[k] * dir) as f64;
             }
         }
         let numeric = ((loss_of(&plus) - loss_of(&minus)) / (2.0 * eps)) as f64;

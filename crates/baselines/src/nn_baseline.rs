@@ -8,7 +8,10 @@
 
 use crate::common::{sample_batch, BaselineConfig, LogPredictor};
 use pitot_linalg::{Matrix, Scratch};
-use pitot_nn::{squared_loss, squared_loss_into, Activation, AdaMax, Mlp, MlpCache, MlpGrads};
+use pitot_nn::{
+    squared_loss, squared_loss_into, Activation, AdaMax, GradPlane, Mlp, MlpCache, ParamStore,
+    ParamStoreBuilder,
+};
 use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -58,6 +61,8 @@ impl NnConfig {
 /// A trained neural-network baseline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NeuralNetwork {
+    /// Flat parameter plane holding both networks.
+    store: ParamStore,
     base: Mlp,
     interference: Mlp,
     intercept: f32,
@@ -81,10 +86,14 @@ impl NeuralNetwork {
         intf_widths.extend_from_slice(&config.hidden);
         intf_widths.push(1);
 
-        let mut base = Mlp::new(&base_widths, Activation::Gelu, &mut rng);
-        let mut interference = Mlp::new(&intf_widths, Activation::Gelu, &mut rng);
-        base.scale_output_layer(0.3);
-        interference.scale_output_layer(0.1);
+        // Both networks share one flat parameter plane; their windows are
+        // disjoint, so one fused optimizer step updates everything.
+        let mut builder = ParamStoreBuilder::new();
+        let base = Mlp::new(&base_widths, Activation::Gelu, &mut rng, &mut builder);
+        let interference = Mlp::new(&intf_widths, Activation::Gelu, &mut rng, &mut builder);
+        let mut store = builder.finish();
+        base.scale_output_layer(store.params_mut(), 0.3);
+        interference.scale_output_layer(store.params_mut(), 0.1);
 
         let pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
             .map(|k| split.train_mode(dataset, k))
@@ -119,7 +128,7 @@ impl NeuralNetwork {
             .collect();
 
         let mut opt = AdaMax::new(config.train.learning_rate);
-        let mut best: Option<(f32, Mlp, Mlp)> = None;
+        let mut best: Option<(f32, ParamStore)> = None;
 
         // Step buffers, allocated once and recycled every step.
         let mut base_in = Matrix::zeros(0, 0);
@@ -127,10 +136,8 @@ impl NeuralNetwork {
         let mut spans: Vec<(usize, usize)> = Vec::new();
         let mut base_cache = MlpCache::new();
         let mut intf_cache = MlpCache::new();
-        let mut g_base = MlpGrads::zeros_like(&base);
-        let mut g_intf = MlpGrads::zeros_like(&interference);
-        let mut g_base_tmp = MlpGrads::zeros_like(&base);
-        let mut g_intf_tmp = MlpGrads::zeros_like(&interference);
+        let mut g_acc = GradPlane::zeros_like(&store);
+        let mut g_tmp = GradPlane::zeros_like(&store);
         let mut scratch = Scratch::new();
         let mut dx = Matrix::zeros(0, 0);
         let mut d_base = Matrix::zeros(0, 0);
@@ -140,8 +147,7 @@ impl NeuralNetwork {
         let mut d_pred: Vec<f32> = Vec::new();
 
         for step in 1..=config.train.steps {
-            g_base.scale(0.0);
-            g_intf.scale(0.0);
+            g_acc.clear();
 
             for (k, pool) in pools.iter().enumerate() {
                 if pool.is_empty() {
@@ -149,10 +155,10 @@ impl NeuralNetwork {
                 }
                 let batch = sample_batch(pool, config.train.batch_per_mode, &mut rng);
                 Self::batch_inputs_into(dataset, &batch, &mut base_in, &mut intf_in, &mut spans);
-                base.forward_with(&base_in, &mut base_cache);
+                base.forward_with(store.params(), &base_in, &mut base_cache);
                 let with_intf = k > 0;
                 if with_intf {
-                    interference.forward_with(&intf_in, &mut intf_cache);
+                    interference.forward_with(store.params(), &intf_in, &mut intf_cache);
                     Self::combine_into(
                         intercept,
                         base_cache.output(),
@@ -174,8 +180,15 @@ impl NeuralNetwork {
                 // Base network gradient: one output row per observation.
                 d_base.resize(batch.len(), 1);
                 d_base.as_mut_slice().copy_from_slice(&d_pred);
-                base.backward_with(&base_cache, &d_base, &mut dx, &mut g_base_tmp, &mut scratch);
-                g_base.accumulate(&g_base_tmp);
+                base.backward_with(
+                    store.params(),
+                    &base_cache,
+                    &d_base,
+                    &mut dx,
+                    g_tmp.as_mut_slice(),
+                    &mut scratch,
+                );
+                g_acc.accumulate_range(base.range(), &g_tmp, 1.0);
                 // Interference network gradient: the multiplier of every
                 // interferer of observation b receives d_pred[b].
                 if with_intf {
@@ -187,31 +200,26 @@ impl NeuralNetwork {
                         }
                     }
                     interference.backward_with(
+                        store.params(),
                         &intf_cache,
                         &d_intf,
                         &mut dx,
-                        &mut g_intf_tmp,
+                        g_tmp.as_mut_slice(),
                         &mut scratch,
                     );
-                    g_intf.accumulate(&g_intf_tmp);
+                    g_acc.accumulate_range(interference.range(), &g_tmp, 1.0);
                 }
             }
 
-            // One optimizer step over both networks (a network that saw no
-            // data this step keeps its zeroed gradient accumulator).
-            let g_refs: Vec<&[f32]> = g_base
-                .grad_slices()
-                .into_iter()
-                .chain(g_intf.grad_slices())
-                .collect();
-            let mut params = base.param_slices_mut();
-            params.extend(interference.param_slices_mut());
-            opt.step(&mut params, &g_refs);
+            // One fused optimizer step over the whole plane (a network that
+            // saw no data this step keeps its zeroed gradient window).
+            opt.step(&mut [store.params_mut()], &[g_acc.as_slice()]);
 
             if (step % config.train.eval_every == 0 || step == config.train.steps)
                 && !val.is_empty()
             {
                 let model = Self {
+                    store: store.clone(),
                     base: base.clone(),
                     interference: interference.clone(),
                     intercept,
@@ -222,23 +230,21 @@ impl NeuralNetwork {
                     .map(|&i| dataset.observations[i].log_runtime())
                     .collect();
                 let (loss, _) = squared_loss(&preds[0], &targets);
-                if best.as_ref().is_none_or(|(b, _, _)| loss < *b) {
-                    best = Some((loss, base.clone(), interference.clone()));
+                if best.as_ref().is_none_or(|(b, _)| loss < *b) {
+                    best = Some((loss, model.store));
                 }
             }
         }
 
-        match best {
-            Some((_, b, i)) => Self {
-                base: b,
-                interference: i,
-                intercept,
-            },
-            None => Self {
-                base,
-                interference,
-                intercept,
-            },
+        let store = match best {
+            Some((_, s)) => s,
+            None => store,
+        };
+        Self {
+            store,
+            base,
+            interference,
+            intercept,
         }
     }
 
@@ -322,10 +328,10 @@ impl NeuralNetwork {
 impl LogPredictor for NeuralNetwork {
     fn predict_log(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
         let (base_in, intf_in, spans) = Self::batch_inputs(dataset, idx);
-        let base_out = self.base.infer(&base_in);
+        let base_out = self.base.infer(self.store.params(), &base_in);
         let has_intf = spans.iter().any(|&(lo, hi)| hi > lo);
         let preds = if has_intf {
-            let intf_out = self.interference.infer(&intf_in);
+            let intf_out = self.interference.infer(self.store.params(), &intf_in);
             Self::combine(self.intercept, &base_out, &intf_out, &spans)
         } else {
             base_out

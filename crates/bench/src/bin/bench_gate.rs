@@ -1,0 +1,192 @@
+//! Bench regression gate: diffs fresh `BENCH_*.ci.json` medians against a
+//! committed baseline and fails on regression.
+//!
+//! CI runners and the container the committed baselines were measured on
+//! run at different absolute speeds, so comparing raw medians across
+//! machines would fire on every hardware change. The gate instead compares
+//! the *shape* of the profile: it computes the per-benchmark fresh/baseline
+//! ratio, takes the median ratio as the machine-speed factor, and flags any
+//! benchmark whose ratio exceeds that factor by more than the threshold —
+//! i.e. a benchmark that got slower *relative to everything else*. A
+//! uniform machine-speed change passes; one kernel regressing by >25%
+//! fails.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baseline BENCH_training.json --fresh BENCH_training.ci.json \
+//!            [--max-regression 0.25] [--min-common 3]
+//! ```
+//!
+//! Two guards keep the gate from flaking on noisy runners: sub-microsecond
+//! benches (timer-quantization-dominated) are never judged, and each
+//! benchmark's threshold widens by three times the relative standard
+//! deviation its baseline recorded — a benchmark that is 8% noisy at rest
+//! gets a 25% + 24% allowance, while a stable one is held near 25%.
+//!
+//! Baselines may be either the criterion-shim dump format
+//! (`{"benches": [{"name", "median_ns", …}]}`) or the committed
+//! before/after format (the `"after"` section, `name → {"median_ns": …}`).
+//! Exit status: 0 = pass, 1 = regression, 2 = usage/parse error.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Default maximum relative regression versus the machine-speed-normalized
+/// baseline (the ROADMAP's requested 25%).
+const DEFAULT_MAX_REGRESSION: f64 = 0.25;
+/// Below this many common benchmarks the median ratio is too noisy to
+/// normalize with, and the gate refuses to judge.
+const DEFAULT_MIN_COMMON: usize = 3;
+
+/// `(median_ns, relative stddev)` per benchmark.
+fn median_map(v: &Value) -> BTreeMap<String, (f64, f64)> {
+    let mut out = BTreeMap::new();
+    let insert = |out: &mut BTreeMap<String, (f64, f64)>, name: &str, rec: &Value| {
+        if let Some(med) = rec
+            .get("median_ns")
+            .or_else(|| rec.get("mean_ns"))
+            .and_then(Value::as_f64)
+        {
+            let rel_std = rec
+                .get("stddev_ns")
+                .and_then(Value::as_f64)
+                .map_or(0.0, |sd| sd / med.max(1e-9));
+            out.insert(name.to_string(), (med, rel_std));
+        }
+    };
+    // Shim dump format: {"benches": [{"name": …, "median_ns": …}]}.
+    if let Some(benches) = v.get("benches").and_then(Value::as_array) {
+        for b in benches {
+            if let Some(name) = b.get("name").and_then(Value::as_str) {
+                insert(&mut out, name, b);
+            }
+        }
+        return out;
+    }
+    // Committed before/after format: use the "after" section.
+    if let Some(after) = v.get("after").and_then(Value::as_object) {
+        for (name, rec) in after {
+            insert(&mut out, name, rec);
+        }
+    }
+    out
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, (f64, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let map = median_map(&v);
+    if map.is_empty() {
+        return Err(format!("{path}: no benchmark medians found"));
+    }
+    Ok(map)
+}
+
+fn run() -> Result<bool, String> {
+    let mut baseline_path = None;
+    let mut fresh_path = None;
+    let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut min_common = DEFAULT_MIN_COMMON;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |what: &str| args.next().ok_or(format!("{what} needs a value"));
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(grab("--baseline")?),
+            "--fresh" => fresh_path = Some(grab("--fresh")?),
+            "--max-regression" => {
+                max_regression = grab("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?;
+            }
+            "--min-common" => {
+                min_common = grab("--min-common")?
+                    .parse()
+                    .map_err(|e| format!("--min-common: {e}"))?;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let baseline = load(&baseline_path.ok_or("--baseline is required")?)?;
+    let fresh = load(&fresh_path.ok_or("--fresh is required")?)?;
+
+    let mut common: Vec<(&str, f64, f64)> = baseline
+        .iter()
+        .filter_map(|(name, &(base, rel_std))| {
+            // Sub-microsecond benches are dominated by timer quantization
+            // and cannot be judged through a ratio; leave them to human
+            // eyes in the uploaded artifacts.
+            if base < 1_000.0 {
+                println!("bench_gate: skipping sub-µs benchmark {name} ({base:.1} ns)");
+                return None;
+            }
+            fresh.get(name).map(|&(f, fresh_rel_std)| {
+                let noise = rel_std.max(fresh_rel_std);
+                (name.as_str(), f / base.max(1e-9), noise)
+            })
+        })
+        .collect();
+    if common.len() < min_common {
+        println!(
+            "bench_gate: only {} common benchmarks (need {min_common}); skipping judgement",
+            common.len()
+        );
+        return Ok(true);
+    }
+
+    // Machine-speed factor: the median fresh/baseline ratio.
+    let speed = {
+        let mut ratios: Vec<f64> = common.iter().map(|&(_, r, _)| r).collect();
+        ratios.sort_by(f64::total_cmp);
+        let n = ratios.len();
+        if n % 2 == 1 {
+            ratios[n / 2]
+        } else {
+            0.5 * (ratios[n / 2 - 1] + ratios[n / 2])
+        }
+    };
+
+    common.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let mut failed = false;
+    println!(
+        "bench_gate: machine-speed factor {speed:.3} over {} benchmarks",
+        common.len()
+    );
+    println!(
+        "{:<55} {:>10} {:>12} {:>10}",
+        "benchmark", "ratio", "normalized", "allowed"
+    );
+    for (name, ratio, noise) in &common {
+        let normalized = ratio / speed;
+        let allowed = 1.0 + max_regression + 3.0 * noise;
+        let flag = if normalized > allowed {
+            failed = true;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("{name:<55} {ratio:>9.3}x {normalized:>11.3}x {allowed:>9.3}x{flag}");
+    }
+    if failed {
+        println!(
+            "bench_gate: FAIL — at least one benchmark regressed more than {:.0}% \
+             relative to the machine-normalized baseline",
+            max_regression * 100.0
+        );
+    } else {
+        println!("bench_gate: PASS");
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -53,6 +53,7 @@ mod mondrian;
 mod pooled;
 mod rearrange;
 mod scaled;
+mod scores;
 mod split_conformal;
 mod two_sided;
 
@@ -65,5 +66,6 @@ pub use mondrian::MondrianConformal;
 pub use pooled::{HeadSelection, PoolCalibration, PooledConformal, PredictionSet};
 pub use rearrange::{crossing_rate, rearrange_heads};
 pub use scaled::{head_spread, ScaledConformal, MIN_SCALE};
+pub use scores::{upper_scores, ScoredCalibration, SweepCalibration};
 pub use split_conformal::{calibrate_gamma, SplitConformal};
 pub use two_sided::{interval_coverage, mean_interval_factor, Interval, TwoSidedCqr};

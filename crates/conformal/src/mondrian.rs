@@ -67,20 +67,35 @@ impl MondrianConformal {
         miscoverage: f32,
         min_group: usize,
     ) -> Self {
-        assert!(!predictions_log.is_empty(), "empty calibration set");
         assert_eq!(
             predictions_log.len(),
             targets_log.len(),
             "prediction/target mismatch"
         );
-        assert_eq!(groups.len(), targets_log.len(), "group/target mismatch");
-
         let all_scores: Vec<f32> = predictions_log
             .iter()
             .zip(targets_log)
             .map(|(p, t)| t - p)
             .collect();
-        let fallback = calibrate_gamma(&all_scores, miscoverage);
+        Self::from_scores(&all_scores, groups, miscoverage, min_group)
+    }
+
+    /// Calibrates per-group offsets directly from precomputed scores
+    /// `sᵢ = yᵢ − ŷᵢ` (one fresh predict pass serves every variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty/mismatched inputs or `miscoverage ∉ (0, 1)`.
+    pub fn from_scores(
+        all_scores: &[f32],
+        groups: &[u64],
+        miscoverage: f32,
+        min_group: usize,
+    ) -> Self {
+        assert!(!all_scores.is_empty(), "empty calibration set");
+        assert_eq!(groups.len(), all_scores.len(), "group/score mismatch");
+
+        let fallback = calibrate_gamma(all_scores, miscoverage);
 
         let mut by_group: BTreeMap<u64, Vec<f32>> = BTreeMap::new();
         for (i, &g) in groups.iter().enumerate() {

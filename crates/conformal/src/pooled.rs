@@ -12,6 +12,7 @@
 //!    selected (naive CQR would instead fix ξ = 1 − ε).
 
 use crate::metrics::overprovision_margin;
+use crate::scores::ScoredCalibration;
 use crate::split_conformal::calibrate_gamma;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -123,10 +124,18 @@ impl PooledConformal {
 
         // Global fallback calibration over all pools.
         let all_idx: Vec<usize> = (0..calibration.targets_log.len()).collect();
+        let gamma_global = |head: usize| {
+            let scores: Vec<f32> = all_idx
+                .iter()
+                .map(|&i| calibration.targets_log[i] - calibration.predictions[head][i])
+                .collect();
+            calibrate_gamma(&scores, miscoverage)
+        };
+        let n_heads = calibration.predictions.len();
         let fallback = Self::calibrate_pool(
-            calibration,
+            n_heads,
+            &gamma_global,
             validation,
-            &all_idx,
             &validation_indices_for(selection, validation, None),
             xis,
             selection,
@@ -144,12 +153,81 @@ impl PooledConformal {
                 continue; // fallback covers this pool
             }
             let val_idx = validation_indices_for(selection, validation, Some(key));
+            let gamma_pool = |head: usize| {
+                let scores: Vec<f32> = cal_idx
+                    .iter()
+                    .map(|&i| calibration.targets_log[i] - calibration.predictions[head][i])
+                    .collect();
+                calibrate_gamma(&scores, miscoverage)
+            };
             pools.insert(
                 key,
                 Self::calibrate_pool(
-                    calibration,
+                    n_heads,
+                    &gamma_pool,
                     validation,
-                    &cal_idx,
+                    &val_idx,
+                    xis,
+                    selection,
+                    miscoverage,
+                ),
+            );
+        }
+
+        Self {
+            miscoverage,
+            pools,
+            fallback,
+        }
+    }
+
+    /// [`PooledConformal::fit`] consuming a [`ScoredCalibration`]: the
+    /// calibration side reduces to rank lookups in pre-sorted score slices,
+    /// so an ε-sweep (or a variant comparison) pays for prediction and
+    /// sorting once. The head-selection semantics are identical to
+    /// [`PooledConformal::fit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`PooledConformal::fit`].
+    pub fn fit_scored(
+        calibration: &ScoredCalibration,
+        validation: &PredictionSet<'_>,
+        xis: &[f32],
+        selection: HeadSelection,
+        miscoverage: f32,
+    ) -> Self {
+        assert!(miscoverage > 0.0 && miscoverage < 1.0);
+        let n_heads = calibration.n_heads();
+        assert_eq!(xis.len(), n_heads, "one training quantile per head");
+        if selection == HeadSelection::TightestOnValidation {
+            validation.validate();
+        }
+
+        let gamma_global = |head: usize| calibration.gamma(None, head, miscoverage);
+        let fallback = Self::calibrate_pool(
+            n_heads,
+            &gamma_global,
+            validation,
+            &validation_indices_for(selection, validation, None),
+            xis,
+            selection,
+            miscoverage,
+        );
+
+        let mut pools = BTreeMap::new();
+        for (key, size) in calibration.pool_sizes() {
+            if size < Self::MIN_POOL {
+                continue; // fallback covers this pool
+            }
+            let val_idx = validation_indices_for(selection, validation, Some(key));
+            let gamma_pool = |head: usize| calibration.gamma(Some(key), head, miscoverage);
+            pools.insert(
+                key,
+                Self::calibrate_pool(
+                    n_heads,
+                    &gamma_pool,
+                    validation,
                     &val_idx,
                     xis,
                     selection,
@@ -166,23 +244,14 @@ impl PooledConformal {
     }
 
     fn calibrate_pool(
-        calibration: &PredictionSet<'_>,
+        n_heads: usize,
+        gamma_for: &dyn Fn(usize) -> f32,
         validation: &PredictionSet<'_>,
-        cal_idx: &[usize],
         val_idx: &[usize],
         xis: &[f32],
         selection: HeadSelection,
         miscoverage: f32,
     ) -> PoolCalibration {
-        let n_heads = calibration.predictions.len();
-        let gamma_for = |head: usize| {
-            let scores: Vec<f32> = cal_idx
-                .iter()
-                .map(|&i| calibration.targets_log[i] - calibration.predictions[head][i])
-                .collect();
-            calibrate_gamma(&scores, miscoverage)
-        };
-
         match selection {
             HeadSelection::SingleHead => PoolCalibration {
                 head: 0,
@@ -438,6 +507,43 @@ mod tests {
         let mt = overprovision_margin(&tight.bounds_log(&test), &tt);
         let mn = overprovision_margin(&naive.bounds_log(&test), &tt);
         assert!(mt <= mn * 1.05, "tightest {mt} vs naive {mn}");
+    }
+
+    #[test]
+    fn fit_scored_is_bitwise_identical_to_fit() {
+        // The precomputed-score path must select the same heads and emit the
+        // same offsets as the from-scratch fit, at every ε and selection.
+        let (cp, ct, cpool) = scenario(21, 2000);
+        let (vp, vt, vpool) = scenario(22, 2000);
+        let cal = PredictionSet {
+            predictions: &cp,
+            targets_log: &ct,
+            pools: &cpool,
+        };
+        let val = PredictionSet {
+            predictions: &vp,
+            targets_log: &vt,
+            pools: &vpool,
+        };
+        let scored = ScoredCalibration::new(&cal);
+        for selection in [
+            HeadSelection::SingleHead,
+            HeadSelection::NaiveXi,
+            HeadSelection::TightestOnValidation,
+        ] {
+            for eps in [0.02f32, 0.1, 0.3] {
+                let direct = PooledConformal::fit(&cal, &val, &xis(), selection, eps);
+                let via_scores = PooledConformal::fit_scored(&scored, &val, &xis(), selection, eps);
+                assert_eq!(
+                    direct.fallback, via_scores.fallback,
+                    "{selection:?} eps {eps}: fallback"
+                );
+                assert_eq!(
+                    direct.pools, via_scores.pools,
+                    "{selection:?} eps {eps}: pools"
+                );
+            }
+        }
     }
 
     #[test]

@@ -73,6 +73,19 @@ impl ScaledConformal {
         }
     }
 
+    /// Calibrates directly from precomputed *scaled* scores
+    /// `sᵢ = (yᵢ − ŷᵢ)/σ̂ᵢ` (dispersions already divided out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scaled_scores` is empty or `miscoverage ∉ (0, 1)`.
+    pub fn from_scores(scaled_scores: &[f32], miscoverage: f32) -> Self {
+        Self {
+            gamma: calibrate_gamma(scaled_scores, miscoverage),
+            miscoverage,
+        }
+    }
+
     /// The calibrated normalized offset γ.
     pub fn offset(&self) -> f32 {
         self.gamma

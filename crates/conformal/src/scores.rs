@@ -1,0 +1,279 @@
+//! Precomputed nonconformity scores.
+//!
+//! Every calibration strategy in this crate starts from the same quantity:
+//! the upper-bound nonconformity score `sᵢ = yᵢ − ŷᵢ` per head. Re-deriving
+//! those scores (and the predictions behind them) once per variant and per
+//! miscoverage level is what made the post-training calibrate phase scale
+//! with `variants × ε-levels` — exactly the cost conformalized matrix
+//! completion identifies as the practical bottleneck. This module computes
+//! the scores **once** (chunk-parallel over the `pitot_linalg::par` pool),
+//! partitions and sorts them once, and lets every downstream fit — split,
+//! scaled, Mondrian, pooled CQR — consume the precomputed slices: fitting
+//! at one more ε becomes a rank lookup instead of a fresh predict + sort.
+
+use crate::pooled::PredictionSet;
+use pitot_linalg::{par, quantile_higher_sorted};
+use std::collections::BTreeMap;
+
+/// Computes per-head upper-bound scores `s[h][i] = targets[i] − preds[h][i]`,
+/// chunk-parallel over observations.
+///
+/// Results are bitwise identical across `PITOT_THREADS` (each element is
+/// computed independently).
+///
+/// # Panics
+///
+/// Panics if any head's length differs from `targets`.
+pub fn upper_scores(preds: &[Vec<f32>], targets: &[f32]) -> Vec<Vec<f32>> {
+    preds
+        .iter()
+        .enumerate()
+        .map(|(h, head)| {
+            assert_eq!(head.len(), targets.len(), "head {h} length mismatch");
+            let mut out = vec![0.0f32; targets.len()];
+            par::parallel_for_rows(&mut out, 1, 4096, |start, chunk| {
+                for (i, s) in chunk.iter_mut().enumerate() {
+                    let k = start + i;
+                    *s = targets[k] - head[k];
+                }
+            });
+            out
+        })
+        .collect()
+}
+
+/// One calibration set's scores, partitioned by pool and sorted — computed
+/// once, consumed by every `(variant, ε)` fit.
+#[derive(Debug, Clone)]
+pub struct ScoredCalibration {
+    /// Per head: every score, ascending.
+    global_sorted: Vec<Vec<f32>>,
+    /// Pool key → per-head ascending scores for that pool.
+    pool_sorted: BTreeMap<usize, Vec<Vec<f32>>>,
+    n: usize,
+}
+
+impl ScoredCalibration {
+    /// Scores, partitions, and sorts a calibration set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty or internally inconsistent.
+    pub fn new(calibration: &PredictionSet<'_>) -> Self {
+        assert!(
+            !calibration.targets_log.is_empty(),
+            "cannot calibrate on an empty set"
+        );
+        let scores = upper_scores(calibration.predictions, calibration.targets_log);
+        let n_heads = scores.len();
+
+        let mut pool_sorted: BTreeMap<usize, Vec<Vec<f32>>> = BTreeMap::new();
+        for (i, &pool) in calibration.pools.iter().enumerate() {
+            let per_head = pool_sorted
+                .entry(pool)
+                .or_insert_with(|| vec![Vec::new(); n_heads]);
+            for (h, head_scores) in scores.iter().enumerate() {
+                per_head[h].push(head_scores[i]);
+            }
+        }
+        let mut global_sorted = scores;
+        for head in &mut global_sorted {
+            head.sort_by(|a, b| a.total_cmp(b));
+        }
+        for per_head in pool_sorted.values_mut() {
+            for head in per_head.iter_mut() {
+                head.sort_by(|a, b| a.total_cmp(b));
+            }
+        }
+        Self {
+            global_sorted,
+            pool_sorted,
+            n: calibration.targets_log.len(),
+        }
+    }
+
+    /// Number of calibration observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the calibration set is empty (never true for a constructed
+    /// instance).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of heads.
+    pub fn n_heads(&self) -> usize {
+        self.global_sorted.len()
+    }
+
+    /// Pool keys present, with their observation counts.
+    pub fn pool_sizes(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pool_sorted.iter().map(|(&k, v)| (k, v[0].len()))
+    }
+
+    /// Conformal offset γ for one head at miscoverage `eps`, over the whole
+    /// set (`pool = None`) or one pool — a rank lookup in the pre-sorted
+    /// scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is absent, the head is out of range, or
+    /// `eps ∉ (0, 1)`.
+    pub fn gamma(&self, pool: Option<usize>, head: usize, eps: f32) -> f32 {
+        assert!(eps > 0.0 && eps < 1.0, "miscoverage {eps} outside (0,1)");
+        let sorted = match pool {
+            None => &self.global_sorted[head],
+            Some(key) => &self.pool_sorted.get(&key).expect("unknown pool")[head],
+        };
+        quantile_higher_sorted(sorted, 1.0 - eps)
+    }
+
+    /// The full sorted score slice for one head (global pool), e.g. for a
+    /// split-conformal sweep via
+    /// [`crate::SplitConformal::from_sorted_scores`].
+    pub fn sorted_scores(&self, head: usize) -> &[f32] {
+        &self.global_sorted[head]
+    }
+}
+
+/// A fully prepared ε-sweep calibration: the pre-scored calibration half
+/// plus an owned copy of the selection half's predictions.
+///
+/// This is the one shared contract behind `TrainedPitot::calibration` (core)
+/// and the experiment harness's generic-predictor path: both predict their
+/// holdout halves once, hand the data here, and fit pooled CQR at any
+/// number of miscoverage levels without touching a model again.
+#[derive(Debug, Clone)]
+pub struct SweepCalibration {
+    scored: ScoredCalibration,
+    sel_preds: Vec<Vec<f32>>,
+    sel_targets: Vec<f32>,
+    sel_pools: Vec<usize>,
+    xis: Vec<f32>,
+}
+
+impl SweepCalibration {
+    /// Scores the calibration set and takes ownership of the selection
+    /// half. `xis` gives each head's training quantile (for
+    /// [`HeadSelection::NaiveXi`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration set is empty or internally inconsistent.
+    pub fn new(
+        calibration: &PredictionSet<'_>,
+        sel_preds: Vec<Vec<f32>>,
+        sel_targets: Vec<f32>,
+        sel_pools: Vec<usize>,
+        xis: Vec<f32>,
+    ) -> Self {
+        Self {
+            scored: ScoredCalibration::new(calibration),
+            sel_preds,
+            sel_targets,
+            sel_pools,
+            xis,
+        }
+    }
+
+    /// Fits pooled CQR at one miscoverage level from the precomputed
+    /// scores — a rank lookup plus head selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ (0, 1)`.
+    pub fn fit(&self, epsilon: f32, selection: HeadSelection) -> PooledConformal {
+        PooledConformal::fit_scored(
+            &self.scored,
+            &PredictionSet {
+                predictions: &self.sel_preds,
+                targets_log: &self.sel_targets,
+                pools: &self.sel_pools,
+            },
+            &self.xis,
+            selection,
+            epsilon,
+        )
+    }
+
+    /// The pre-sorted calibration scores.
+    pub fn scored(&self) -> &ScoredCalibration {
+        &self.scored
+    }
+}
+
+use crate::pooled::{HeadSelection, PooledConformal};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split_conformal::calibrate_gamma;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn synthetic(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let preds: Vec<Vec<f32>> = (0..3)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let targets: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.5)).collect();
+        let pools: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        (preds, targets, pools)
+    }
+
+    #[test]
+    fn scores_match_serial_subtraction() {
+        let (preds, targets, _) = synthetic(501, 1);
+        let scores = upper_scores(&preds, &targets);
+        for (h, head) in scores.iter().enumerate() {
+            for (i, &s) in head.iter().enumerate() {
+                assert_eq!(s, targets[i] - preds[h][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_gammas_match_unsorted_calibration() {
+        let (preds, targets, pools) = synthetic(400, 2);
+        let set = PredictionSet {
+            predictions: &preds,
+            targets_log: &targets,
+            pools: &pools,
+        };
+        let scored = ScoredCalibration::new(&set);
+        let raw = upper_scores(&preds, &targets);
+        for eps in [0.02f32, 0.1, 0.25] {
+            for h in 0..3 {
+                assert_eq!(scored.gamma(None, h, eps), calibrate_gamma(&raw[h], eps));
+                for pool in 0..3usize {
+                    let pool_scores: Vec<f32> = (0..targets.len())
+                        .filter(|&i| pools[i] == pool)
+                        .map(|i| raw[h][i])
+                        .collect();
+                    assert_eq!(
+                        scored.gamma(Some(pool), h, eps),
+                        calibrate_gamma(&pool_scores, eps),
+                        "pool {pool} head {h} eps {eps}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_sizes_partition_the_set() {
+        let (preds, targets, pools) = synthetic(301, 3);
+        let set = PredictionSet {
+            predictions: &preds,
+            targets_log: &targets,
+            pools: &pools,
+        };
+        let scored = ScoredCalibration::new(&set);
+        let total: usize = scored.pool_sizes().map(|(_, n)| n).sum();
+        assert_eq!(total, 301);
+        assert_eq!(scored.len(), 301);
+        assert_eq!(scored.n_heads(), 3);
+    }
+}

@@ -58,6 +58,35 @@ impl SplitConformal {
         }
     }
 
+    /// Calibrates directly from precomputed scores `sᵢ = yᵢ − ŷᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` is empty or `miscoverage ∉ (0, 1)`.
+    pub fn from_scores(scores: &[f32], miscoverage: f32) -> Self {
+        Self {
+            gamma: calibrate_gamma(scores, miscoverage),
+            miscoverage,
+        }
+    }
+
+    /// Calibrates from an already-sorted score slice (rank lookup only) —
+    /// the ε-sweep entry point over a `ScoredCalibration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sorted` is empty or `miscoverage ∉ (0, 1)`.
+    pub fn from_sorted_scores(sorted: &[f32], miscoverage: f32) -> Self {
+        assert!(
+            miscoverage > 0.0 && miscoverage < 1.0,
+            "miscoverage {miscoverage} outside (0,1)"
+        );
+        Self {
+            gamma: pitot_linalg::quantile_higher_sorted(sorted, 1.0 - miscoverage),
+            miscoverage,
+        }
+    }
+
     /// The calibrated offset γ.
     pub fn offset(&self) -> f32 {
         self.gamma

@@ -46,7 +46,7 @@ mod uncertainty;
 
 pub use config::{InterferenceMode, LossSpace, Objective, OptimizerKind, PitotConfig};
 pub use eval::{mape, mape_by_mode};
-pub use model::{BatchGrads, PitotModel, PlatformEmbeddings, TowerOutputs};
+pub use model::{PitotModel, PlatformEmbeddings, TowerOutputs};
 pub use scaling::ScalingBaseline;
-pub use train::{train, TowerCache, TrainProgress, TrainedPitot};
-pub use uncertainty::RuntimeBounds;
+pub use train::{train, train_from, TowerCache, TrainContext, TrainProgress, TrainedPitot};
+pub use uncertainty::{RuntimeBounds, RuntimeCalibration};

@@ -6,25 +6,34 @@
 //! note (App B.3), *all* entity embeddings are computed densely every step
 //! and gathered by index — the entity sets are small (hundreds), so this is
 //! far cheaper than per-sample tower evaluation at batch size 2048.
+//!
+//! Every trainable scalar — both towers and both φ tables — lives in one
+//! flat [`ParamStore`] plane; the layers hold window descriptors into it.
+//! Gradients land in a [`GradPlane`] of identical layout, so the optimizer
+//! step is a single fused pass over contiguous buffers.
 
 use crate::config::{InterferenceMode, PitotConfig};
-use pitot_linalg::Matrix;
-use pitot_nn::{Activation, Mlp, MlpCache, MlpGrads};
+use pitot_linalg::{MatRef, Matrix};
+use pitot_nn::{Activation, GradPlane, Mlp, MlpCache, ParamRange, ParamStore, ParamStoreBuilder};
 use pitot_testbed::{Dataset, Observation};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-/// The two-tower model parameters.
+/// The two-tower model: architecture descriptors plus the flat parameter
+/// plane they view.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PitotModel {
     config: PitotConfig,
+    store: ParamStore,
     fw: Mlp,
     fp: Mlp,
-    /// Learned workload features φ_w (`Nw × q`).
-    phi_w: Matrix,
-    /// Learned platform features φ_p (`Np × q`).
-    phi_p: Matrix,
+    /// Learned workload features φ_w (`Nw × q` window of the plane).
+    phi_w: ParamRange,
+    /// Learned platform features φ_p (`Np × q` window of the plane).
+    phi_p: ParamRange,
+    n_workloads: usize,
+    n_platforms: usize,
     workload_feature_dim: usize,
     platform_feature_dim: usize,
 }
@@ -52,32 +61,6 @@ impl TowerOutputs {
     /// Creates an empty instance; buffers are sized on first use.
     pub fn new() -> Self {
         Self::default()
-    }
-}
-
-/// Gradients with respect to all model parameters for one step.
-#[derive(Debug, Clone)]
-pub struct BatchGrads {
-    /// Workload-tower MLP gradients.
-    pub fw: MlpGrads,
-    /// Platform-tower MLP gradients.
-    pub fp: MlpGrads,
-    /// Gradients of the learned workload features.
-    pub phi_w: Matrix,
-    /// Gradients of the learned platform features.
-    pub phi_p: Matrix,
-}
-
-impl BatchGrads {
-    /// Zeroed gradient buffers shaped like `model`'s parameters, for reuse
-    /// across [`PitotModel::backward_towers_with`] calls.
-    pub fn zeros_like(model: &PitotModel) -> Self {
-        Self {
-            fw: MlpGrads::zeros_like(&model.fw),
-            fp: MlpGrads::zeros_like(&model.fp),
-            phi_w: Matrix::zeros(model.phi_w.rows(), model.phi_w.cols()),
-            phi_p: Matrix::zeros(model.phi_p.rows(), model.phi_p.cols()),
-        }
     }
 }
 
@@ -133,32 +116,35 @@ impl PitotModel {
         p_widths.extend_from_slice(&config.hidden);
         p_widths.push(r * (1 + 2 * s));
 
-        let build = |widths: &[usize], rng: &mut ChaCha8Rng| {
+        let mut builder = ParamStoreBuilder::new();
+        let build = |widths: &[usize], rng: &mut ChaCha8Rng, b: &mut ParamStoreBuilder| {
             if config.tower_layer_norm {
-                Mlp::with_layer_norm(widths, Activation::Gelu, rng)
+                Mlp::with_layer_norm(widths, Activation::Gelu, rng, b)
             } else {
-                Mlp::new(widths, Activation::Gelu, rng)
+                Mlp::new(widths, Activation::Gelu, rng, b)
             }
         };
-        let mut fw = build(&w_widths, &mut rng);
-        let mut fp = build(&p_widths, &mut rng);
+        let fw = build(&w_widths, &mut rng, &mut builder);
+        let fp = build(&p_widths, &mut rng, &mut builder);
+        // φ starts small so early training is driven by side information.
+        let phi_w = builder.alloc_randn(dataset.n_workloads * q, 0.1, &mut rng);
+        let phi_p = builder.alloc_randn(dataset.n_platforms * q, 0.1, &mut rng);
+        let mut store = builder.finish();
         // Start both towers near zero so early predictions stay close to the
         // scaling baseline; the inner product of two ~N(0, 0.3²·r) embeddings
         // is then a mild residual instead of several nats.
-        fw.scale_output_layer(0.3);
-        fp.scale_output_layer(0.3);
-        // φ starts small so early training is driven by side information.
-        let mut phi_w = Matrix::randn(dataset.n_workloads, q, &mut rng);
-        phi_w.scale(0.1);
-        let mut phi_p = Matrix::randn(dataset.n_platforms, q, &mut rng);
-        phi_p.scale(0.1);
+        fw.scale_output_layer(store.params_mut(), 0.3);
+        fp.scale_output_layer(store.params_mut(), 0.3);
 
         Self {
             config: config.clone(),
+            store,
             fw,
             fp,
             phi_w,
             phi_p,
+            n_workloads: dataset.n_workloads,
+            n_platforms: dataset.n_platforms,
             workload_feature_dim: wf,
             platform_feature_dim: pf,
         }
@@ -209,22 +195,37 @@ impl PitotModel {
 
     /// Total scalar parameter count (paper reports ≈111k at r=32, 2×128).
     pub fn param_count(&self) -> usize {
-        self.fw.param_count() + self.fp.param_count() + self.phi_w.len() + self.phi_p.len()
+        self.store.len()
     }
 
-    fn tower_input(features: &Matrix, phi: &Matrix, use_features: bool) -> Matrix {
-        if use_features {
-            features.hcat(phi)
-        } else {
-            phi.clone()
-        }
+    /// The flat parameter plane.
+    pub fn store(&self) -> &ParamStore {
+        &self.store
     }
 
-    fn tower_input_into(features: &Matrix, phi: &Matrix, use_features: bool, out: &mut Matrix) {
+    /// The flat parameter plane, mutably (the optimizer's single block).
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        self.store.params_mut()
+    }
+
+    /// The learned workload features as an `Nw × q` view.
+    pub fn phi_w(&self) -> MatRef<'_> {
+        self.store
+            .matrix(self.phi_w, self.n_workloads, self.config.learned_features)
+    }
+
+    /// The learned platform features as an `Np × q` view.
+    pub fn phi_p(&self) -> MatRef<'_> {
+        self.store
+            .matrix(self.phi_p, self.n_platforms, self.config.learned_features)
+    }
+
+    fn tower_input_into(features: &Matrix, phi: MatRef<'_>, use_features: bool, out: &mut Matrix) {
         if use_features {
-            features.hcat_into(phi, out);
+            features.hcat_view_into(phi, out);
         } else {
-            out.copy_from(phi);
+            out.resize(phi.rows(), phi.cols());
+            out.as_mut_slice().copy_from_slice(phi.as_slice());
         }
     }
 
@@ -240,35 +241,44 @@ impl PitotModel {
     pub fn forward_towers_with(&self, dataset: &Dataset, towers: &mut TowerOutputs) {
         Self::tower_input_into(
             &dataset.workload_features,
-            &self.phi_w,
+            self.phi_w(),
             self.config.use_workload_features,
             &mut towers.input_w,
         );
         Self::tower_input_into(
             &dataset.platform_features,
-            &self.phi_p,
+            self.phi_p(),
             self.config.use_platform_features,
             &mut towers.input_p,
         );
-        self.fw.forward_with(&towers.input_w, &mut towers.cache_w);
-        self.fp.forward_with(&towers.input_p, &mut towers.cache_p);
+        self.fw
+            .forward_with(self.store.params(), &towers.input_w, &mut towers.cache_w);
+        self.fp
+            .forward_with(self.store.params(), &towers.input_p, &mut towers.cache_p);
         towers.w.copy_from(towers.cache_w.output());
         towers.p_full.copy_from(towers.cache_p.output());
     }
 
     /// Inference-only tower pass (no caches).
     pub fn infer_towers(&self, dataset: &Dataset) -> (Matrix, Matrix) {
-        let input_w = Self::tower_input(
+        let mut input_w = Matrix::zeros(0, 0);
+        let mut input_p = Matrix::zeros(0, 0);
+        Self::tower_input_into(
             &dataset.workload_features,
-            &self.phi_w,
+            self.phi_w(),
             self.config.use_workload_features,
+            &mut input_w,
         );
-        let input_p = Self::tower_input(
+        Self::tower_input_into(
             &dataset.platform_features,
-            &self.phi_p,
+            self.phi_p(),
             self.config.use_platform_features,
+            &mut input_p,
         );
-        (self.fw.infer(&input_w), self.fp.infer(&input_p))
+        (
+            self.fw.infer(self.store.params(), &input_w),
+            self.fp.infer(self.store.params(), &input_p),
+        )
     }
 
     /// Predicts the residual `ŷ` for each head and each listed observation.
@@ -303,6 +313,60 @@ impl PitotModel {
         );
     }
 
+    /// The per-observation prediction kernel: evaluates every head for one
+    /// observation, emitting `(head, value)` pairs.
+    ///
+    /// Bounds are asserted here so every public entry point shares the same
+    /// catalog checks.
+    #[inline]
+    fn predict_obs(
+        &self,
+        w: &Matrix,
+        p_full: &Matrix,
+        o: &Observation,
+        mut emit: impl FnMut(usize, f32),
+    ) {
+        let n_heads = self.n_heads();
+        let r = self.config.embed_dim;
+        let s = self.config.interference_types;
+        let aware = self.config.interference == InterferenceMode::Aware;
+        let act = self.config.interference_activation;
+
+        let i = o.workload as usize;
+        let j = o.platform as usize;
+        assert!(
+            i < w.rows(),
+            "workload index {i} outside the trained catalog"
+        );
+        assert!(
+            j < p_full.rows(),
+            "platform index {j} outside the trained catalog"
+        );
+        assert!(
+            o.interferers.iter().all(|&k| (k as usize) < w.rows()),
+            "interferer index outside the trained catalog"
+        );
+        let p_row = p_full.row(j);
+        let p_j = &p_row[..r];
+        for h in 0..n_heads {
+            let w_i = &w.row(i)[h * r..(h + 1) * r];
+            let mut pred = dot(w_i, p_j);
+            if aware && !o.interferers.is_empty() {
+                for t in 0..s {
+                    let vs_t = &p_row[r + t * r..r + (t + 1) * r];
+                    let vg_t = &p_row[r + s * r + t * r..r + s * r + (t + 1) * r];
+                    let mut m_t = 0.0;
+                    for &k in &o.interferers {
+                        let w_k = &w.row(k as usize)[h * r..(h + 1) * r];
+                        m_t += dot(w_k, vg_t);
+                    }
+                    pred += dot(w_i, vs_t) * act.apply(m_t);
+                }
+            }
+            emit(h, pred);
+        }
+    }
+
     /// Predicts the residual `ŷ` for each head over arbitrary observations.
     ///
     /// Only the index fields of each observation are read (`workload`,
@@ -329,6 +393,62 @@ impl PitotModel {
         I: IntoIterator<Item = &'a Observation>,
     {
         let n_heads = self.n_heads();
+        out.resize_with(n_heads, Vec::new);
+        for head in out.iter_mut() {
+            head.clear();
+        }
+        for o in obs {
+            self.predict_obs(w, p_full, o, |h, pred| out[h].push(pred));
+        }
+    }
+
+    /// Batched residual prediction, row-parallel over observations: fills
+    /// `out` as an `obs.len() × n_heads` matrix (one row per observation).
+    ///
+    /// Observations are independent, so rows are split over the
+    /// [`pitot_linalg::par`] pool and results are bitwise identical across
+    /// `PITOT_THREADS`. This is the entry point for the post-training
+    /// predict/evaluate/calibrate pipeline; reuse `out` across calls to keep
+    /// the path allocation-free.
+    pub fn predict_batch_into(
+        &self,
+        w: &Matrix,
+        p_full: &Matrix,
+        obs: &[&Observation],
+        out: &mut Matrix,
+    ) {
+        let n_heads = self.n_heads();
+        out.resize(obs.len(), n_heads);
+        if obs.is_empty() {
+            return;
+        }
+        // ~64 rows per chunk: each row is a few hundred FLOPs minimum, so
+        // this keeps dispatch overhead well under the chunk cost.
+        pitot_linalg::par::parallel_for_rows(out.as_mut_slice(), n_heads, 64, |start, chunk| {
+            for (b, row) in chunk.chunks_exact_mut(n_heads).enumerate() {
+                self.predict_obs(w, p_full, obs[start + b], |h, pred| row[h] = pred);
+            }
+        });
+    }
+
+    /// [`PitotModel::predict_into`] that additionally records the
+    /// interference inner products — `m_t = Σ_k ⟨w_k, v_g⟩` and
+    /// `s_t = ⟨w_i, v_s⟩` per (observation, head, type) — into `mcache`, so
+    /// the matching [`PitotModel::accumulate_grads_cached`] call skips
+    /// recomputing every interferer dot product. Both passes evaluate the
+    /// identical arithmetic, so gradients are bitwise equal to the uncached
+    /// path (asserted by the `cached_interference_path_is_bitwise_identical`
+    /// test).
+    pub(crate) fn predict_into_cached(
+        &self,
+        w: &Matrix,
+        p_full: &Matrix,
+        dataset: &Dataset,
+        idx: &[usize],
+        out: &mut Vec<Vec<f32>>,
+        mcache: &mut Vec<f32>,
+    ) {
+        let n_heads = self.n_heads();
         let r = self.config.embed_dim;
         let s = self.config.interference_types;
         let aware = self.config.interference == InterferenceMode::Aware;
@@ -338,16 +458,15 @@ impl PitotModel {
         for head in out.iter_mut() {
             head.clear();
         }
-        for o in obs {
+        mcache.clear();
+        mcache.resize(idx.len() * n_heads * s * 2, 0.0);
+        for (b, &oi) in idx.iter().enumerate() {
+            let o = &dataset.observations[oi];
             let i = o.workload as usize;
             let j = o.platform as usize;
             assert!(
-                i < w.rows(),
-                "workload index {i} outside the trained catalog"
-            );
-            assert!(
-                j < p_full.rows(),
-                "platform index {j} outside the trained catalog"
+                i < w.rows() && j < p_full.rows(),
+                "entity index outside the trained catalog"
             );
             assert!(
                 o.interferers.iter().all(|&k| (k as usize) < w.rows()),
@@ -367,10 +486,85 @@ impl PitotModel {
                             let w_k = &w.row(k as usize)[h * r..(h + 1) * r];
                             m_t += dot(w_k, vg_t);
                         }
-                        pred += dot(w_i, vs_t) * act.apply(m_t);
+                        let s_t = dot(w_i, vs_t);
+                        let slot = ((b * n_heads + h) * s + t) * 2;
+                        mcache[slot] = m_t;
+                        mcache[slot + 1] = s_t;
+                        pred += s_t * act.apply(m_t);
                     }
                 }
                 head_out.push(pred);
+            }
+        }
+    }
+
+    /// [`PitotModel::accumulate_grads`] consuming the inner products
+    /// recorded by [`PitotModel::predict_into_cached`] for the same batch.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn accumulate_grads_cached(
+        &self,
+        towers: &TowerOutputs,
+        dataset: &Dataset,
+        idx: &[usize],
+        d_pred: &[Vec<f32>],
+        d_w: &mut Matrix,
+        d_p: &mut Matrix,
+        mcache: &[f32],
+    ) {
+        let n_heads = self.n_heads();
+        assert_eq!(d_pred.len(), n_heads, "one gradient vector per head");
+        let r = self.config.embed_dim;
+        let s = self.config.interference_types;
+        let aware = self.config.interference == InterferenceMode::Aware;
+        let act = self.config.interference_activation;
+        assert_eq!(
+            mcache.len(),
+            idx.len() * n_heads * s * 2,
+            "stale interference cache"
+        );
+
+        let mut wk_sum = vec![0.0f32; r];
+        for (b, &oi) in idx.iter().enumerate() {
+            let o = &dataset.observations[oi];
+            let i = o.workload as usize;
+            let j = o.platform as usize;
+            for h in 0..n_heads {
+                let g = d_pred[h][b];
+                if g == 0.0 {
+                    continue;
+                }
+                let head = h * r..(h + 1) * r;
+                let w_i = &towers.w.row(i)[head.clone()];
+                let p_row = towers.p_full.row(j);
+                let p_j = &p_row[..r];
+
+                axpy(&mut d_p.row_mut(j)[..r], g, w_i);
+                axpy(&mut d_w.row_mut(i)[head.clone()], g, p_j);
+
+                if aware && !o.interferers.is_empty() {
+                    for t in 0..s {
+                        let vs_rng = r + t * r..r + (t + 1) * r;
+                        let vg_rng = r + s * r + t * r..r + s * r + (t + 1) * r;
+                        let vs_t = &p_row[vs_rng.clone()];
+                        let vg_t = &p_row[vg_rng.clone()];
+                        let slot = ((b * n_heads + h) * s + t) * 2;
+                        let m_t = mcache[slot];
+                        let s_t = mcache[slot + 1];
+                        let a_t = act.apply(m_t);
+
+                        axpy(&mut d_w.row_mut(i)[head.clone()], g * a_t, vs_t);
+                        axpy(&mut d_p.row_mut(j)[vs_rng], g * a_t, w_i);
+                        let dm = g * s_t * act.derivative(m_t);
+                        if dm != 0.0 {
+                            wk_sum.fill(0.0);
+                            for &k in &o.interferers {
+                                axpy(&mut wk_sum, 1.0, &towers.w.row(k as usize)[head.clone()]);
+                                axpy(&mut d_w.row_mut(k as usize)[head.clone()], dm, vg_t);
+                            }
+                            axpy(&mut d_p.row_mut(j)[vg_rng], dm, &wk_sum);
+                        }
+                    }
+                }
             }
         }
     }
@@ -455,43 +649,58 @@ impl PitotModel {
     }
 
     /// Backpropagates accumulated output gradients through both towers,
-    /// returning the full parameter gradients.
-    pub fn backward_towers(&self, towers: &TowerOutputs, d_w: &Matrix, d_p: &Matrix) -> BatchGrads {
-        let mut grads = BatchGrads::zeros_like(self);
+    /// returning the full parameter-plane gradients.
+    pub fn backward_towers(&self, towers: &TowerOutputs, d_w: &Matrix, d_p: &Matrix) -> GradPlane {
+        let mut grads = GradPlane::zeros_like(&self.store);
         let mut scratch = pitot_linalg::Scratch::new();
         self.backward_towers_with(towers, d_w, d_p, &mut grads, &mut scratch);
         grads
     }
 
-    /// [`PitotModel::backward_towers`] into reusable gradient buffers
-    /// (shaped by [`BatchGrads::zeros_like`]); intermediate matrices recycle
-    /// through `scratch`, so the steady-state step is allocation-free.
+    /// [`PitotModel::backward_towers`] into a reusable gradient plane
+    /// (shaped by [`GradPlane::zeros_like`] over [`PitotModel::store`]);
+    /// intermediate matrices recycle through `scratch`, so the steady-state
+    /// step is allocation-free.
     pub fn backward_towers_with(
         &self,
         towers: &TowerOutputs,
         d_w: &Matrix,
         d_p: &Matrix,
-        grads: &mut BatchGrads,
+        grads: &mut GradPlane,
         scratch: &mut pitot_linalg::Scratch,
     ) {
         let q = self.config.learned_features;
+        let params = self.store.params();
         let mut d_in_w = scratch.take_matrix(0, 0);
         let mut d_in_p = scratch.take_matrix(0, 0);
-        self.fw
-            .backward_with(&towers.cache_w, d_w, &mut d_in_w, &mut grads.fw, scratch);
-        self.fp
-            .backward_with(&towers.cache_p, d_p, &mut d_in_p, &mut grads.fp, scratch);
-        // φ gradients are the trailing q columns of the input gradients.
-        d_in_w.columns_into(
-            self.workload_feature_dim.min(d_in_w.cols()),
-            q,
-            &mut grads.phi_w,
+        // Only the φ columns of the tower-input gradient feed trainable
+        // parameters (side-information columns are data), so the first
+        // layer's dy·Wᵀ product is restricted to that window and the result
+        // IS the φ gradient, copied straight into the plane.
+        self.fw.backward_with_dx_cols(
+            params,
+            &towers.cache_w,
+            d_w,
+            &mut d_in_w,
+            grads.as_mut_slice(),
+            scratch,
+            self.workload_feature_dim..self.workload_feature_dim + q,
         );
-        d_in_p.columns_into(
-            self.platform_feature_dim.min(d_in_p.cols()),
-            q,
-            &mut grads.phi_p,
+        self.fp.backward_with_dx_cols(
+            params,
+            &towers.cache_p,
+            d_p,
+            &mut d_in_p,
+            grads.as_mut_slice(),
+            scratch,
+            self.platform_feature_dim..self.platform_feature_dim + q,
         );
+        grads
+            .slice_mut(self.phi_w)
+            .copy_from_slice(d_in_w.as_slice());
+        grads
+            .slice_mut(self.phi_p)
+            .copy_from_slice(d_in_p.as_slice());
         scratch.recycle_matrix(d_in_w);
         scratch.recycle_matrix(d_in_p);
     }
@@ -505,24 +714,6 @@ impl PitotModel {
             Matrix::zeros(dataset.n_workloads, r * n_heads),
             Matrix::zeros(dataset.n_platforms, r * (1 + 2 * s)),
         )
-    }
-
-    /// Mutable parameter blocks in optimizer order.
-    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
-        let mut out = self.fw.param_slices_mut();
-        out.extend(self.fp.param_slices_mut());
-        out.push(self.phi_w.as_mut_slice());
-        out.push(self.phi_p.as_mut_slice());
-        out
-    }
-
-    /// Gradient blocks matching [`PitotModel::param_slices_mut`] order.
-    pub fn grad_slices<'a>(&self, grads: &'a BatchGrads) -> Vec<&'a [f32]> {
-        let mut out = grads.fw.grad_slices();
-        out.extend(grads.fp.grad_slices());
-        out.push(grads.phi_w.as_slice());
-        out.push(grads.phi_p.as_slice());
-        out
     }
 
     /// Workload embeddings for head `h` (`Nw × r`), for interpretation
@@ -632,8 +823,66 @@ mod tests {
         assert_eq!(a, b, "ignore-mode must not see interferers");
     }
 
-    /// Full-model gradient check: perturb every parameter block a little and
-    /// compare the analytic directional derivative with finite differences.
+    #[test]
+    fn cached_interference_path_is_bitwise_identical() {
+        // predict_into_cached + accumulate_grads_cached must produce exactly
+        // the predictions and gradients of the uncached pair: the cache only
+        // moves the inner products, never changes the arithmetic.
+        let (ds, mut cfg) = setup();
+        cfg.objective = Objective::Quantiles(vec![0.5, 0.9]);
+        let model = PitotModel::new(&cfg, &ds);
+        let towers = model.forward_towers(&ds);
+        let mut idx = ds.mode_indices(0)[..8].to_vec();
+        idx.extend_from_slice(&ds.mode_indices(3)[..8]);
+
+        let mut plain = Vec::new();
+        model.predict_into(&towers.w, &towers.p_full, &ds, &idx, &mut plain);
+        let mut cached = Vec::new();
+        let mut mcache = Vec::new();
+        model.predict_into_cached(
+            &towers.w,
+            &towers.p_full,
+            &ds,
+            &idx,
+            &mut cached,
+            &mut mcache,
+        );
+        assert_eq!(plain, cached, "cached predictions diverged");
+
+        let d_pred: Vec<Vec<f32>> = plain
+            .iter()
+            .map(|head| head.iter().map(|p| p * 0.1 + 0.01).collect())
+            .collect();
+        let (mut dw_a, mut dp_a) = model.zero_output_grads(&ds);
+        model.accumulate_grads(&towers, &ds, &idx, &d_pred, &mut dw_a, &mut dp_a);
+        let (mut dw_b, mut dp_b) = model.zero_output_grads(&ds);
+        model.accumulate_grads_cached(&towers, &ds, &idx, &d_pred, &mut dw_b, &mut dp_b, &mcache);
+        assert_eq!(dw_a, dw_b, "cached d_w diverged");
+        assert_eq!(dp_a, dp_b, "cached d_p diverged");
+    }
+
+    #[test]
+    fn batch_prediction_matches_serial_bitwise() {
+        let (ds, mut cfg) = setup();
+        cfg.objective = Objective::Quantiles(vec![0.5, 0.9]);
+        let model = PitotModel::new(&cfg, &ds);
+        let towers = model.forward_towers(&ds);
+        let idx: Vec<usize> = (0..200.min(ds.observations.len())).collect();
+        let serial = model.predict(&towers.w, &towers.p_full, &ds, &idx);
+        let obs: Vec<&Observation> = idx.iter().map(|&i| &ds.observations[i]).collect();
+        let mut batch = Matrix::zeros(0, 0);
+        model.predict_batch_into(&towers.w, &towers.p_full, &obs, &mut batch);
+        assert_eq!(batch.shape(), (idx.len(), 2));
+        for (b, _) in idx.iter().enumerate() {
+            for h in 0..2 {
+                assert_eq!(batch[(b, h)], serial[h][b], "obs {b} head {h}");
+            }
+        }
+    }
+
+    /// Full-model gradient check: perturb every plane entry a little along a
+    /// random direction and compare the analytic directional derivative with
+    /// finite differences.
     #[test]
     fn gradients_match_finite_differences() {
         let (ds, mut cfg) = setup();
@@ -672,27 +921,24 @@ mod tests {
         model.accumulate_grads(&towers, &ds, &idx, &d_pred, &mut d_w, &mut d_p);
         let grads = model.backward_towers(&towers, &d_w, &d_p);
 
-        // Directional derivative along a random direction per block.
-        let blocks = model.grad_slices(&grads);
+        // Directional derivative along a random direction over the plane.
         let mut m_plus = model.clone();
         let mut m_minus = model.clone();
         let eps = 1e-2f32;
         let mut analytic_dir = 0.0f64;
         {
             let mut rng = ChaCha8Rng::seed_from_u64(42);
-            let mut plus = m_plus.param_slices_mut();
-            let mut minus = m_minus.param_slices_mut();
-            for (bi, g) in blocks.iter().enumerate() {
-                for k in 0..g.len() {
-                    let dir: f32 = if rand::Rng::gen_bool(&mut rng, 0.5) {
-                        1.0
-                    } else {
-                        -1.0
-                    };
-                    plus[bi][k] += eps * dir;
-                    minus[bi][k] -= eps * dir;
-                    analytic_dir += (g[k] * dir) as f64;
-                }
+            let plus = m_plus.params_mut();
+            let minus = m_minus.params_mut();
+            for (k, g) in grads.as_slice().iter().enumerate() {
+                let dir: f32 = if rand::Rng::gen_bool(&mut rng, 0.5) {
+                    1.0
+                } else {
+                    -1.0
+                };
+                plus[k] += eps * dir;
+                minus[k] -= eps * dir;
+                analytic_dir += (g * dir) as f64;
             }
         }
         let numeric_dir = ((loss_of(&m_plus) - loss_of(&m_minus)) / (2.0 * eps)) as f64;
@@ -731,6 +977,20 @@ mod tests {
         big_cfg.hidden = vec![64, 64];
         let big = PitotModel::new(&big_cfg, &ds).param_count();
         assert!(big > small);
+    }
+
+    #[test]
+    fn params_live_in_one_contiguous_plane() {
+        let (ds, cfg) = setup();
+        let model = PitotModel::new(&cfg, &ds);
+        let q = cfg.learned_features;
+        // Towers first, then both φ tables, with no gaps.
+        assert_eq!(model.fw.range().offset, 0);
+        assert_eq!(model.fp.range().offset, model.fw.range().len);
+        assert_eq!(model.phi_w.offset, model.fp.range().end());
+        assert_eq!(model.phi_w.len, ds.n_workloads * q);
+        assert_eq!(model.phi_p.offset, model.phi_w.end());
+        assert_eq!(model.phi_p.end(), model.store.len());
     }
 
     #[test]

@@ -39,51 +39,60 @@ impl ScalingBaseline {
     ///
     /// Panics if no interference-free training observation exists.
     pub fn fit(dataset: &Dataset, train_idx: &[usize]) -> Self {
-        let obs: Vec<&Observation> = train_idx
-            .iter()
-            .map(|&i| &dataset.observations[i])
-            .filter(|o| o.interferers.is_empty())
-            .collect();
+        // Hoist the fit set into flat (workload, platform, log runtime)
+        // arrays once: the sweeps below traverse the set 2·SWEEPS times, and
+        // recomputing `ln(runtime)` plus chasing `Observation` pointers on
+        // every pass used to dominate the per-`train()` fixed setup.
+        let mut ws: Vec<u32> = Vec::new();
+        let mut ps: Vec<u32> = Vec::new();
+        let mut ys: Vec<f32> = Vec::new();
+        for &i in train_idx {
+            let o = &dataset.observations[i];
+            if o.interferers.is_empty() {
+                ws.push(o.workload);
+                ps.push(o.platform);
+                ys.push(o.log_runtime());
+            }
+        }
         assert!(
-            !obs.is_empty(),
+            !ys.is_empty(),
             "scaling baseline needs at least one interference-free observation"
         );
 
         let n_w = dataset.n_workloads;
         let n_p = dataset.n_platforms;
-        let intercept =
-            (obs.iter().map(|o| o.log_runtime() as f64).sum::<f64>() / obs.len() as f64) as f32;
+        let intercept = (ys.iter().map(|&y| y as f64).sum::<f64>() / ys.len() as f64) as f32;
 
         let mut w = vec![0.0f32; n_w];
         let mut p = vec![0.0f32; n_p];
         let mut w_count = vec![0u32; n_w];
         let mut p_count = vec![0u32; n_p];
-        for o in &obs {
-            w_count[o.workload as usize] += 1;
-            p_count[o.platform as usize] += 1;
+        for (&wi, &pj) in ws.iter().zip(&ps) {
+            w_count[wi as usize] += 1;
+            p_count[pj as usize] += 1;
         }
 
+        let mut acc_w = vec![0.0f64; n_w];
+        let mut acc_p = vec![0.0f64; n_p];
         for _ in 0..Self::SWEEPS {
             // Update workload terms: w̄_i = mean(y − μ − p̄_j) (Eq 14).
-            let mut acc = vec![0.0f64; n_w];
-            for o in &obs {
-                acc[o.workload as usize] +=
-                    (o.log_runtime() - intercept - p[o.platform as usize]) as f64;
+            acc_w.fill(0.0);
+            for ((&wi, &pj), &y) in ws.iter().zip(&ps).zip(&ys) {
+                acc_w[wi as usize] += (y - intercept - p[pj as usize]) as f64;
             }
             for i in 0..n_w {
                 if w_count[i] > 0 {
-                    w[i] = (acc[i] / w_count[i] as f64) as f32;
+                    w[i] = (acc_w[i] / w_count[i] as f64) as f32;
                 }
             }
             // Update platform terms symmetrically.
-            let mut acc = vec![0.0f64; n_p];
-            for o in &obs {
-                acc[o.platform as usize] +=
-                    (o.log_runtime() - intercept - w[o.workload as usize]) as f64;
+            acc_p.fill(0.0);
+            for ((&wi, &pj), &y) in ws.iter().zip(&ps).zip(&ys) {
+                acc_p[pj as usize] += (y - intercept - w[wi as usize]) as f64;
             }
             for j in 0..n_p {
                 if p_count[j] > 0 {
-                    p[j] = (acc[j] / p_count[j] as f64) as f32;
+                    p[j] = (acc_p[j] / p_count[j] as f64) as f32;
                 }
             }
         }

@@ -6,13 +6,19 @@
 //! and the interference objective weight β is split equally across modes.
 //! Every `eval_every` steps the model is evaluated on (a sample of) the
 //! validation set and the best checkpoint is retained.
+//!
+//! The loop is split into a [`TrainContext`] (scaling fit, model init,
+//! pools, cached residual targets — the fixed per-`train()` setup) and
+//! [`TrainContext::fit`] / [`TrainContext::resume`] which run optimizer
+//! steps. Warm-start and fine-tune runs build the context once and keep
+//! stepping, amortizing the setup cost that otherwise dominates short runs.
 
 use crate::config::{InterferenceMode, LossSpace, Objective, PitotConfig};
-use crate::model::{BatchGrads, PitotModel, TowerOutputs};
+use crate::model::{PitotModel, TowerOutputs};
 use crate::scaling::ScalingBaseline;
 use pitot_linalg::{Matrix, Scratch};
-use pitot_nn::{pinball_loss, pinball_loss_into, squared_loss, squared_loss_into, Optimizer};
-use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
+use pitot_nn::{pinball_loss_into, squared_loss_into, GradPlane, Optimizer};
+use pitot_testbed::{split::Split, Dataset, Observation, MAX_INTERFERERS};
 use rand::{seq::SliceRandom, Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -56,10 +62,9 @@ pub struct TrainedPitot {
 /// Panics if the split has no usable training data for the configured
 /// interference mode.
 pub fn train(dataset: &Dataset, split: &Split, config: &PitotConfig) -> TrainedPitot {
-    config.validate();
-    let model = PitotModel::new(config, dataset);
-    let scaling = ScalingBaseline::fit(dataset, &split.train);
-    train_from(model, scaling, dataset, split, config)
+    let mut ctx = TrainContext::new(dataset, split, config);
+    ctx.fit(dataset);
+    ctx.finish()
 }
 
 /// Continues training from an existing model state (online learning: the
@@ -75,101 +80,41 @@ pub fn train(dataset: &Dataset, split: &Split, config: &PitotConfig) -> TrainedP
 /// Panics if the split has no usable training data for the configured
 /// interference mode.
 pub fn train_from(
-    mut model: PitotModel,
+    model: PitotModel,
     scaling: ScalingBaseline,
     dataset: &Dataset,
     split: &Split,
     config: &PitotConfig,
 ) -> TrainedPitot {
-    config.validate();
-    let mut opt = config.optimizer.build(config.learning_rate);
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(0x7EA1_BA7C));
-
-    // Mode index pools. Mode 0 = isolation; modes 1..=3 = k interferers.
-    let mode_pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
-        .map(|k| match config.interference {
-            InterferenceMode::Discard if k > 0 => Vec::new(),
-            _ => split.train_mode(dataset, k),
-        })
-        .collect();
-    assert!(
-        !mode_pools[0].is_empty(),
-        "no interference-free training observations in split"
-    );
-    let mode_weights = mode_weights(config);
-
-    // Validation sample (capped for single-core speed), per mode.
-    let val_idx = {
-        let mut per_mode: Vec<usize> = Vec::new();
-        let mut by_mode: Vec<Vec<usize>> = (0..=MAX_INTERFERERS).map(|_| Vec::new()).collect();
-        for &i in &split.val {
-            by_mode[dataset.observations[i].interferers.len()].push(i);
-        }
-        for pool in &mut by_mode {
-            pool.shuffle(&mut rng);
-            let cap = if config.val_cap == 0 {
-                pool.len()
-            } else {
-                config.val_cap
-            };
-            per_mode.extend(pool.iter().take(cap));
-        }
-        per_mode
-    };
-
-    let mut best: Option<(f32, PitotModel)> = None;
-    let mut history = Vec::new();
-    let mut bufs = StepBuffers::new(&model, dataset);
-
-    for step in 1..=config.steps {
-        training_step(
-            &mut model,
-            dataset,
-            &scaling,
-            config,
-            &mode_pools,
-            &mode_weights,
-            &mut rng,
-            opt.as_mut(),
-            &mut bufs,
-        );
-
-        if step % config.eval_every == 0 || step == config.steps {
-            let val_loss = evaluate_loss(&model, &scaling, dataset, &val_idx, config);
-            history.push(TrainProgress { step, val_loss });
-            let better = best.as_ref().is_none_or(|(b, _)| val_loss < *b);
-            if better {
-                best = Some((val_loss, model.clone()));
-            }
-        }
-    }
-
-    let (_, best_model) = best.expect("at least one evaluation ran");
-    TrainedPitot {
-        model: best_model,
-        scaling,
-        history,
-        split: split.clone(),
-    }
+    let mut ctx = TrainContext::warm_start(model, scaling, dataset, split, config);
+    ctx.fit(dataset);
+    ctx.finish()
 }
 
 /// Reusable buffers for one optimizer step.
 ///
-/// Every matrix, gradient block, and index vector the step needs is
+/// Every matrix, gradient plane, and index vector the step needs is
 /// allocated once here and recycled in place, so the steady-state training
-/// step performs **zero matrix allocations** (asserted by the
+/// step — forward, backward, **and the fused AdaMax update** — performs
+/// **zero matrix/plane allocations** (asserted by the
 /// `steady_state_steps_are_matrix_alloc_free` test below via
 /// `pitot_linalg::alloc_count`).
 struct StepBuffers {
     towers: TowerOutputs,
     d_w: Matrix,
     d_p: Matrix,
-    grads: BatchGrads,
+    grads: GradPlane,
     scratch: Scratch,
     batch: Vec<usize>,
     targets: Vec<f32>,
     preds: Vec<Vec<f32>>,
     d_pred: Vec<Vec<f32>>,
+    /// Interference inner products shared between predict and gradient
+    /// accumulation within one mode batch.
+    mcache: Vec<f32>,
+    /// Batched prediction buffer for validation evaluation.
+    eval_preds: Matrix,
+    eval_obs: Vec<(usize, usize)>,
 }
 
 impl StepBuffers {
@@ -179,24 +124,233 @@ impl StepBuffers {
             towers: TowerOutputs::new(),
             d_w,
             d_p,
-            grads: BatchGrads::zeros_like(model),
+            grads: GradPlane::zeros_like(model.store()),
             scratch: Scratch::new(),
             batch: Vec::new(),
             targets: Vec::new(),
             preds: Vec::new(),
             d_pred: Vec::new(),
+            mcache: Vec::new(),
+            eval_preds: Matrix::zeros(0, 0),
+            eval_obs: Vec::new(),
+        }
+    }
+}
+
+/// Everything a training run sets up **once**: the initialized model, the
+/// scaling baseline, per-mode batch pools, the validation sample, cached
+/// residual targets, optimizer state, and all step buffers.
+///
+/// [`TrainContext::fit`] runs the configured step budget;
+/// [`TrainContext::resume`] keeps stepping (same RNG stream, same optimizer
+/// moments), so `fit(a)` followed by `resume(b)` takes exactly the same
+/// **parameter trajectory** as one `fit(a + b)` run (asserted bitwise by
+/// `resume_matches_fresh_training_bitwise`). Checkpoint *evaluations*
+/// differ at the boundary: every `fit`/`resume` call ends with one, so the
+/// split run may retain a boundary-step checkpoint the fused run never
+/// evaluated — evaluation reads the model without touching it, so the
+/// trajectory itself is unaffected.
+pub struct TrainContext {
+    model: PitotModel,
+    scaling: ScalingBaseline,
+    config: PitotConfig,
+    opt: Box<dyn Optimizer>,
+    rng: ChaCha8Rng,
+    mode_pools: Vec<Vec<usize>>,
+    mode_weights: [f32; MAX_INTERFERERS + 1],
+    val_idx: Vec<usize>,
+    /// `residual_targets[i]` is the training target for observation `i`
+    /// under the configured loss space — precomputed once so the hot loop
+    /// never recomputes `ln` per sample.
+    residual_targets: Vec<f32>,
+    bufs: StepBuffers,
+    history: Vec<TrainProgress>,
+    best: Option<(f32, PitotModel)>,
+    step: usize,
+    split: Split,
+}
+
+impl TrainContext {
+    /// Fixed setup for a from-scratch run: fits the scaling baseline,
+    /// initializes the model, and prepares every reusable buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split has no usable training data for the configured
+    /// interference mode.
+    pub fn new(dataset: &Dataset, split: &Split, config: &PitotConfig) -> Self {
+        config.validate();
+        let model = PitotModel::new(config, dataset);
+        let scaling = ScalingBaseline::fit(dataset, &split.train);
+        Self::warm_start(model, scaling, dataset, split, config)
+    }
+
+    /// Fixed setup around an existing model + baseline (warm start / online
+    /// update). The baseline is kept as given so the residual space stays
+    /// comparable across updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split has no usable training data for the configured
+    /// interference mode.
+    pub fn warm_start(
+        model: PitotModel,
+        scaling: ScalingBaseline,
+        dataset: &Dataset,
+        split: &Split,
+        config: &PitotConfig,
+    ) -> Self {
+        config.validate();
+        let opt = config.optimizer.build(config.learning_rate);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(0x7EA1_BA7C));
+
+        // Mode index pools. Mode 0 = isolation; modes 1..=3 = k interferers.
+        let mode_pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
+            .map(|k| match config.interference {
+                InterferenceMode::Discard if k > 0 => Vec::new(),
+                _ => split.train_mode(dataset, k),
+            })
+            .collect();
+        assert!(
+            !mode_pools[0].is_empty(),
+            "no interference-free training observations in split"
+        );
+        let mode_weights = mode_weights(config);
+
+        // Validation sample (capped for single-core speed), per mode.
+        let val_idx = {
+            let mut per_mode: Vec<usize> = Vec::new();
+            let mut by_mode: Vec<Vec<usize>> = (0..=MAX_INTERFERERS).map(|_| Vec::new()).collect();
+            for &i in &split.val {
+                by_mode[dataset.observations[i].interferers.len()].push(i);
+            }
+            for pool in &mut by_mode {
+                pool.shuffle(&mut rng);
+                let cap = if config.val_cap == 0 {
+                    pool.len()
+                } else {
+                    config.val_cap
+                };
+                per_mode.extend(pool.iter().take(cap));
+            }
+            per_mode
+        };
+
+        let residual_targets = dataset
+            .observations
+            .iter()
+            .map(|o| model.residual_target(o, &scaling))
+            .collect();
+
+        let bufs = StepBuffers::new(&model, dataset);
+        Self {
+            model,
+            scaling,
+            config: config.clone(),
+            opt,
+            rng,
+            mode_pools,
+            mode_weights,
+            val_idx,
+            residual_targets,
+            bufs,
+            history: Vec::new(),
+            best: None,
+            step: 0,
+            split: split.clone(),
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.step
+    }
+
+    /// The model in its *current* (last-step) state — not the
+    /// best-validation checkpoint, which [`TrainContext::finish`] selects.
+    pub fn model(&self) -> &PitotModel {
+        &self.model
+    }
+
+    /// Runs the configured step budget (`config.steps`), evaluating every
+    /// `eval_every` steps. No-op if the budget has already been consumed.
+    pub fn fit(&mut self, dataset: &Dataset) {
+        let target = self.config.steps.max(self.step);
+        self.run_until(dataset, target);
+    }
+
+    /// Continues training for `extra_steps` more steps — same RNG stream,
+    /// same optimizer moments, identical parameter trajectory to a fresh
+    /// run of the combined budget (plus one extra checkpoint evaluation at
+    /// the boundary step; see the type-level docs). The online-update
+    /// path: no scaling refit, no buffer reallocation, no model re-init.
+    pub fn resume(&mut self, dataset: &Dataset, extra_steps: usize) {
+        let target = self.step + extra_steps;
+        self.run_until(dataset, target);
+    }
+
+    fn run_until(&mut self, dataset: &Dataset, target: usize) {
+        while self.step < target {
+            self.step += 1;
+            training_step(
+                &mut self.model,
+                dataset,
+                &self.residual_targets,
+                &self.config,
+                &self.mode_pools,
+                &self.mode_weights,
+                &mut self.rng,
+                self.opt.as_mut(),
+                &mut self.bufs,
+            );
+
+            if self.step.is_multiple_of(self.config.eval_every) || self.step == target {
+                let val_loss = evaluate_loss_cached(
+                    &self.model,
+                    &self.residual_targets,
+                    dataset,
+                    &self.val_idx,
+                    &self.config,
+                    &mut self.bufs.towers,
+                    &mut self.bufs.eval_preds,
+                    &mut self.bufs.eval_obs,
+                );
+                self.history.push(TrainProgress {
+                    step: self.step,
+                    val_loss,
+                });
+                let better = self.best.as_ref().is_none_or(|(b, _)| val_loss < *b);
+                if better {
+                    self.best = Some((val_loss, self.model.clone()));
+                }
+            }
+        }
+    }
+
+    /// Packages the best-validation checkpoint (falling back to the current
+    /// model if no evaluation has run) into a [`TrainedPitot`].
+    pub fn finish(&self) -> TrainedPitot {
+        let model = match &self.best {
+            Some((_, m)) => m.clone(),
+            None => self.model.clone(),
+        };
+        TrainedPitot {
+            model,
+            scaling: self.scaling.clone(),
+            history: self.history.clone(),
+            split: self.split.clone(),
         }
     }
 }
 
 /// One full optimizer step: dense tower pass, per-mode batches, output-side
-/// gradient accumulation, tower backprop, parameter update. All working
-/// memory lives in `bufs`.
+/// gradient accumulation, tower backprop, fused parameter-plane update. All
+/// working memory lives in `bufs`.
 #[allow(clippy::too_many_arguments)]
 fn training_step<R: Rng + ?Sized>(
     model: &mut PitotModel,
     dataset: &Dataset,
-    scaling: &ScalingBaseline,
+    residual_targets: &[f32],
     config: &PitotConfig,
     mode_pools: &[Vec<usize>],
     mode_weights: &[f32; MAX_INTERFERERS + 1],
@@ -216,17 +370,15 @@ fn training_step<R: Rng + ?Sized>(
         bufs.batch
             .extend((0..config.batch_per_mode).map(|_| pool[rng.gen_range(0..pool.len())]));
         bufs.targets.clear();
-        bufs.targets.extend(
-            bufs.batch
-                .iter()
-                .map(|&i| model.residual_target(&dataset.observations[i], scaling)),
-        );
-        model.predict_into(
+        bufs.targets
+            .extend(bufs.batch.iter().map(|&i| residual_targets[i]));
+        model.predict_into_cached(
             &bufs.towers.w,
             &bufs.towers.p_full,
             dataset,
             &bufs.batch,
             &mut bufs.preds,
+            &mut bufs.mcache,
         );
         loss_gradients_into(
             config,
@@ -235,13 +387,14 @@ fn training_step<R: Rng + ?Sized>(
             mode_weights[k],
             &mut bufs.d_pred,
         );
-        model.accumulate_grads(
+        model.accumulate_grads_cached(
             &bufs.towers,
             dataset,
             &bufs.batch,
             &bufs.d_pred,
             &mut bufs.d_w,
             &mut bufs.d_p,
+            &bufs.mcache,
         );
     }
 
@@ -252,8 +405,7 @@ fn training_step<R: Rng + ?Sized>(
         &mut bufs.grads,
         &mut bufs.scratch,
     );
-    let grad_refs = model.grad_slices(&bufs.grads);
-    opt.step(&mut model.param_slices_mut(), &grad_refs);
+    opt.step(&mut [model.params_mut()], &[bufs.grads.as_slice()]);
 }
 
 /// Per-mode objective weights (paper App B.3 / D.2): isolation gets 1.0,
@@ -303,49 +455,83 @@ fn loss_gradients_into(
     }
 }
 
-/// Weighted loss over an index set (used for validation checkpointing).
-pub(crate) fn evaluate_loss(
+/// Weighted loss over an index set (validation checkpointing): one tower
+/// pass into the reusable step buffers, one row-parallel batched
+/// prediction, then per-mode mean losses accumulated in a single sweep over
+/// cached residual targets.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_loss_cached(
     model: &PitotModel,
-    scaling: &ScalingBaseline,
+    residual_targets: &[f32],
     dataset: &Dataset,
     idx: &[usize],
     config: &PitotConfig,
+    towers: &mut TowerOutputs,
+    preds: &mut Matrix,
+    obs_buf: &mut Vec<(usize, usize)>,
 ) -> f32 {
     if idx.is_empty() {
         return f32::INFINITY;
     }
-    let (w, p_full) = model.infer_towers(dataset);
+    // Reuses the training tower buffers; the next step overwrites them with
+    // a fresh dense pass anyway.
+    model.forward_towers_with(dataset, towers);
+    {
+        let obs: Vec<&Observation> = idx.iter().map(|&i| &dataset.observations[i]).collect();
+        model.predict_batch_into(&towers.w, &towers.p_full, &obs, preds);
+    }
+    // (mode, observation-index) pairs, reused across evaluations.
+    obs_buf.clear();
+    obs_buf.extend(
+        idx.iter()
+            .map(|&i| (dataset.observations[i].interferers.len(), i)),
+    );
+
     let weights = mode_weights(config);
+    let n_heads = model.n_heads();
+    let xis = match &config.objective {
+        Objective::Squared => Vec::new(),
+        Objective::Quantiles(x) => x.clone(),
+    };
     let mut total = 0.0f32;
     let mut total_w = 0.0f32;
     for k in 0..=MAX_INTERFERERS {
-        let mode_idx: Vec<usize> = idx
-            .iter()
-            .copied()
-            .filter(|&i| dataset.observations[i].interferers.len() == k)
-            .collect();
-        if mode_idx.is_empty() || weights[k] == 0.0 {
+        if weights[k] == 0.0 {
             continue;
         }
-        let targets: Vec<f32> = mode_idx
-            .iter()
-            .map(|&i| model.residual_target(&dataset.observations[i], scaling))
-            .collect();
-        let preds = model.predict(&w, &p_full, dataset, &mode_idx);
-        let mut mode_loss = 0.0;
-        match &config.objective {
-            Objective::Squared => {
-                for head in &preds {
-                    mode_loss += squared_loss(head, &targets).0;
-                }
+        let mut mode_loss = 0.0f64;
+        let mut count = 0usize;
+        for (b, &(mode, oi)) in obs_buf.iter().enumerate() {
+            if mode != k {
+                continue;
             }
-            Objective::Quantiles(xis) => {
-                for (head, &xi) in preds.iter().zip(xis) {
-                    mode_loss += pinball_loss(head, &targets, xi).0;
-                }
+            count += 1;
+            let target = residual_targets[oi];
+            let row = preds.row(b);
+            for (h, &p) in row.iter().enumerate() {
+                let e = p - target;
+                let l = match &config.objective {
+                    Objective::Squared => e * e,
+                    Objective::Quantiles(_) => {
+                        let xi = xis[h];
+                        if e >= 0.0 {
+                            // prediction above target: weight (1 − ξ).
+                            (1.0 - xi) * e
+                        } else {
+                            -xi * e
+                        }
+                    }
+                };
+                mode_loss += l as f64;
             }
         }
-        total += weights[k] * mode_loss / preds.len() as f32;
+        if count == 0 {
+            continue;
+        }
+        // Mean over the mode's observations, then mean over heads — matching
+        // the training objective's reduction.
+        let mode_mean = (mode_loss / count as f64) as f32 / n_heads as f32;
+        total += weights[k] * mode_mean;
         total_w += weights[k];
     }
     if total_w > 0.0 {
@@ -371,7 +557,9 @@ impl TrainedPitot {
         cfg.steps = steps;
         cfg.eval_every = cfg.eval_every.min(steps.max(1));
         let scaling = self.scaling.extend(dataset, &split.train);
-        train_from(self.model.clone(), scaling, dataset, split, &cfg)
+        let mut ctx = TrainContext::warm_start(self.model.clone(), scaling, dataset, split, &cfg);
+        ctx.fit(dataset);
+        ctx.finish()
     }
 
     /// Serializes the full trained state (model, baseline, history, split)
@@ -392,7 +580,8 @@ impl TrainedPitot {
     /// Per-head log-runtime predictions for the given observations.
     ///
     /// For the default log-residual loss this is `log C̄ + ŷ`; the other loss
-    /// spaces are mapped back to log runtime accordingly.
+    /// spaces are mapped back to log runtime accordingly. Observations are
+    /// processed row-parallel over the `pitot_linalg::par` pool.
     pub fn predict_log_runtime(&self, dataset: &Dataset, idx: &[usize]) -> Vec<Vec<f32>> {
         let towers = self.tower_cache(dataset);
         let obs: Vec<&pitot_testbed::Observation> =
@@ -415,38 +604,56 @@ impl TrainedPitot {
     /// observations, using a pre-computed [`TowerCache`].
     ///
     /// Only the index fields of each observation are read, so callers may
-    /// construct "what if" queries that were never measured.
+    /// construct "what if" queries that were never measured. The batch is
+    /// row-parallelized over the `pitot_linalg::par` pool; results are
+    /// bitwise identical across `PITOT_THREADS`.
     pub fn predict_log_runtime_cached(
         &self,
         towers: &TowerCache,
         obs: &[&pitot_testbed::Observation],
     ) -> Vec<Vec<f32>> {
-        let residuals = self
-            .model
-            .predict_each(&towers.w, &towers.p_full, obs.iter().copied());
         let cfg = self.model.config();
-        let mut out: Vec<Vec<f32>> = residuals
-            .into_iter()
-            .map(|head| {
-                head.into_iter()
-                    .zip(obs)
-                    .map(|(y, o)| {
-                        let base = self
-                            .scaling
-                            .log_baseline(o.workload as usize, o.platform as usize);
-                        match cfg.loss_space {
-                            LossSpace::LogResidual => base + y,
-                            LossSpace::Log => y,
-                            LossSpace::NaiveProportional => {
-                                // ŷ is a linear-space ratio; clamp to stay in
-                                // the log domain.
-                                base + y.max(1e-6).ln()
-                            }
+        let n_heads = self.model.n_heads();
+        let mut batch = Matrix::zeros(0, 0);
+        self.model
+            .predict_batch_into(&towers.w, &towers.p_full, obs, &mut batch);
+        // Map residuals to log runtime in the same parallel shape: each row
+        // depends only on its own observation's baseline.
+        {
+            let scaling = &self.scaling;
+            pitot_linalg::par::parallel_for_rows(
+                batch.as_mut_slice(),
+                n_heads.max(1),
+                64,
+                |start, chunk| {
+                    for (b, row) in chunk.chunks_exact_mut(n_heads.max(1)).enumerate() {
+                        let o = obs[start + b];
+                        let base = scaling.log_baseline(o.workload as usize, o.platform as usize);
+                        for y in row.iter_mut() {
+                            *y = match cfg.loss_space {
+                                LossSpace::LogResidual => base + *y,
+                                LossSpace::Log => *y,
+                                LossSpace::NaiveProportional => {
+                                    // ŷ is a linear-space ratio; clamp to stay
+                                    // in the log domain.
+                                    base + y.max(1e-6).ln()
+                                }
+                            };
                         }
-                    })
-                    .collect()
-            })
+                    }
+                },
+            );
+        }
+        // Transpose into the per-head layout downstream consumers use.
+        let mut out: Vec<Vec<f32>> = (0..n_heads)
+            .map(|_| Vec::with_capacity(obs.len()))
             .collect();
+        for b in 0..obs.len() {
+            let row = batch.row(b);
+            for (h, head) in out.iter_mut().enumerate() {
+                head.push(row[h]);
+            }
+        }
         if cfg.rearrange_quantiles {
             pitot_conformal::rearrange_heads(&mut out);
         }
@@ -617,6 +824,32 @@ mod tests {
     }
 
     #[test]
+    fn resume_matches_fresh_training_bitwise() {
+        // fit(a) + resume(b) must take exactly the same parameter trajectory
+        // as one fit(a + b) run: same RNG stream, same optimizer moments,
+        // same evaluation side effects on the model (none).
+        let (ds, split) = setup();
+        let mut cfg = PitotConfig::tiny();
+        cfg.steps = 90;
+
+        let mut split_run = TrainContext::new(&ds, &split, &cfg);
+        split_run.fit(&ds); // 90 steps
+        split_run.resume(&ds, 70); // 70 more
+
+        let mut cfg_full = cfg.clone();
+        cfg_full.steps = 160;
+        let mut full_run = TrainContext::new(&ds, &split, &cfg_full);
+        full_run.fit(&ds);
+
+        assert_eq!(split_run.steps_taken(), full_run.steps_taken());
+        assert_eq!(
+            split_run.model().store().params(),
+            full_run.model().store().params(),
+            "warm-start resume diverged from the fresh run"
+        );
+    }
+
+    #[test]
     fn layer_normalized_towers_train() {
         let (ds, split) = setup();
         let mut cfg = PitotConfig::tiny();
@@ -670,58 +903,42 @@ mod tests {
 
     #[test]
     fn steady_state_steps_are_matrix_alloc_free() {
-        // After a short warmup (buffers sized, optimizer moments allocated),
-        // the training step must recycle every matrix buffer: the counter in
-        // pitot_linalg::alloc_count stays at zero across further steps.
+        // After a short warmup (buffers sized, optimizer moment planes
+        // allocated), the training step must recycle every buffer: the
+        // counter in pitot_linalg::alloc_count — which also tracks the
+        // parameter/gradient/moment planes via record_buffer — stays at zero
+        // across further steps. This covers the FULL optimizer step:
+        // forward, backward, and the fused AdaMax plane update. (Validation
+        // evaluation is excluded: it runs once per eval_every steps on the
+        // inference path, which sizes its own buffers per call.)
         let (ds, split) = setup();
         let cfg = PitotConfig::tiny();
-        let mut model = PitotModel::new(&cfg, &ds);
-        let scaling = ScalingBaseline::fit(&ds, &split.train);
-        let mut opt = cfg.optimizer.build(cfg.learning_rate);
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let mode_pools: Vec<Vec<usize>> = (0..=MAX_INTERFERERS)
-            .map(|k| split.train_mode(&ds, k))
-            .collect();
-        let weights = mode_weights(&cfg);
-        let mut bufs = StepBuffers::new(&model, &ds);
+        let mut ctx = TrainContext::new(&ds, &split, &cfg);
 
-        for _ in 0..3 {
-            training_step(
-                &mut model,
-                &ds,
-                &scaling,
-                &cfg,
-                &mode_pools,
-                &weights,
-                &mut rng,
-                opt.as_mut(),
-                &mut bufs,
-            );
-        }
+        let raw_steps = |ctx: &mut TrainContext, n: usize| {
+            for _ in 0..n {
+                training_step(
+                    &mut ctx.model,
+                    &ds,
+                    &ctx.residual_targets,
+                    &ctx.config,
+                    &ctx.mode_pools,
+                    &ctx.mode_weights,
+                    &mut ctx.rng,
+                    ctx.opt.as_mut(),
+                    &mut ctx.bufs,
+                );
+            }
+        };
+        raw_steps(&mut ctx, 3); // warmup: sizes every buffer, allocates moments
         pitot_linalg::alloc_count::reset();
-        for _ in 0..5 {
-            training_step(
-                &mut model,
-                &ds,
-                &scaling,
-                &cfg,
-                &mode_pools,
-                &weights,
-                &mut rng,
-                opt.as_mut(),
-                &mut bufs,
-            );
-        }
+        raw_steps(&mut ctx, 5);
         assert_eq!(
             pitot_linalg::alloc_count::matrix_allocs(),
             0,
-            "steady-state training steps must not allocate matrix buffers"
+            "steady-state training steps must not allocate matrix or plane buffers"
         );
     }
-
-    use crate::PitotModel;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn determinism_under_fixed_seed() {

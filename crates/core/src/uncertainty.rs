@@ -7,7 +7,7 @@
 
 use crate::train::TrainedPitot;
 use pitot_conformal::{
-    coverage, overprovision_margin, HeadSelection, PooledConformal, PredictionSet,
+    coverage, overprovision_margin, HeadSelection, PooledConformal, PredictionSet, SweepCalibration,
 };
 use pitot_testbed::Dataset;
 
@@ -17,23 +17,39 @@ pub struct RuntimeBounds {
     conformal: PooledConformal,
 }
 
-impl TrainedPitot {
-    /// Fits conformal upper bounds at miscoverage `epsilon` using the
-    /// model's validation split.
-    ///
-    /// `selection` picks between the paper's method
-    /// ([`HeadSelection::TightestOnValidation`]), naive CQR, and plain split
-    /// conformal for single-head models.
+/// One model's calibration data, prepared once: the holdout is predicted a
+/// single time, nonconformity scores are partitioned and sorted, and every
+/// subsequent [`RuntimeCalibration::fit`] — any miscoverage level, any head
+/// selection — reduces to rank lookups plus head selection. This is what
+/// makes an ε-sweep (every uncertainty figure) pay for prediction once
+/// instead of once per point.
+#[derive(Debug, Clone)]
+pub struct RuntimeCalibration {
+    sweep: SweepCalibration,
+}
+
+impl RuntimeCalibration {
+    /// Fits bounds at one miscoverage level from the precomputed scores.
     ///
     /// # Panics
     ///
-    /// Panics if the validation split is empty or `epsilon ∉ (0, 1)`.
-    pub fn fit_bounds(
-        &self,
-        dataset: &Dataset,
-        epsilon: f32,
-        selection: HeadSelection,
-    ) -> RuntimeBounds {
+    /// Panics if `epsilon ∉ (0, 1)`.
+    pub fn fit(&self, epsilon: f32, selection: HeadSelection) -> RuntimeBounds {
+        RuntimeBounds {
+            conformal: self.sweep.fit(epsilon, selection),
+        }
+    }
+}
+
+impl TrainedPitot {
+    /// Prepares the model's conformal calibration data: predicts the
+    /// validation holdout once (calibration + selection halves) and
+    /// pre-sorts the nonconformity scores per pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the validation split is empty.
+    pub fn calibration(&self, dataset: &Dataset) -> RuntimeCalibration {
         assert!(
             !self.split.val.is_empty(),
             "validation split required for calibration"
@@ -46,24 +62,42 @@ impl TrainedPitot {
         let cal_preds = self.predict_log_runtime(dataset, &cal_idx);
         let sel_preds = self.predict_log_runtime(dataset, &sel_idx);
         let (cal_t, cal_pool) = targets_and_pools(dataset, &cal_idx);
-        let (sel_t, sel_pool) = targets_and_pools(dataset, &sel_idx);
+        let (sel_targets, sel_pools) = targets_and_pools(dataset, &sel_idx);
 
-        let conformal = PooledConformal::fit(
-            &PredictionSet {
-                predictions: &cal_preds,
-                targets_log: &cal_t,
-                pools: &cal_pool,
-            },
-            &PredictionSet {
-                predictions: &sel_preds,
-                targets_log: &sel_t,
-                pools: &sel_pool,
-            },
-            &self.model.config().objective.xis(),
-            selection,
-            epsilon,
-        );
-        RuntimeBounds { conformal }
+        RuntimeCalibration {
+            sweep: SweepCalibration::new(
+                &PredictionSet {
+                    predictions: &cal_preds,
+                    targets_log: &cal_t,
+                    pools: &cal_pool,
+                },
+                sel_preds,
+                sel_targets,
+                sel_pools,
+                self.model.config().objective.xis(),
+            ),
+        }
+    }
+
+    /// Fits conformal upper bounds at miscoverage `epsilon` using the
+    /// model's validation split.
+    ///
+    /// `selection` picks between the paper's method
+    /// ([`HeadSelection::TightestOnValidation`]), naive CQR, and plain split
+    /// conformal for single-head models. Callers fitting several miscoverage
+    /// levels should prepare [`TrainedPitot::calibration`] once and call
+    /// [`RuntimeCalibration::fit`] per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the validation split is empty or `epsilon ∉ (0, 1)`.
+    pub fn fit_bounds(
+        &self,
+        dataset: &Dataset,
+        epsilon: f32,
+        selection: HeadSelection,
+    ) -> RuntimeBounds {
+        self.calibration(dataset).fit(epsilon, selection)
     }
 }
 

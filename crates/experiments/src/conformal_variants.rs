@@ -19,7 +19,7 @@
 use crate::harness::Harness;
 use crate::methods::PitotPredictor;
 use crate::report::{Figure, Point, Series};
-use crate::uncertainty::{epsilons, fit_bounds_generic, margin_on};
+use crate::uncertainty::{epsilons, EvalSet, PredictorCalibration};
 use pitot::{Objective, PitotConfig};
 use pitot_baselines::LogPredictor;
 use pitot_conformal::{
@@ -39,102 +39,125 @@ struct VariantEval {
     cov_all: f32,
 }
 
-fn eval_variants(
-    model: &dyn LogPredictor,
-    dataset: &Dataset,
-    split: &pitot_testbed::split::Split,
-    eps: f32,
-    no_idx: &[usize],
-    with_idx: &[usize],
-) -> Vec<(&'static str, VariantEval)> {
-    // Calibration half of the holdout (same interleave as the paper path).
-    let cal_idx: Vec<usize> = split.val.iter().copied().step_by(2).collect();
-    let cal_preds = model.predict_log(dataset, &cal_idx);
-    let cal_t: Vec<f32> = cal_idx
-        .iter()
-        .map(|&i| dataset.observations[i].log_runtime())
-        .collect();
+/// One replicate's predictions and precomputed scores, shared by every
+/// `(variant, ε)` pair: the calibration half is predicted and scored once,
+/// the test sets are predicted once, and each fit below is a quantile
+/// lookup over the appropriate score slice.
+struct VariantData {
+    calib: PredictorCalibration,
+    /// Sorted median-head scores `t − p` (split conformal sweep).
+    median_scores_sorted: Vec<f32>,
+    /// Spread-normalized median-head scores (scaled conformal sweep).
+    scaled_scores: Vec<f32>,
+    eval_no: EvalSet,
+    eval_with: EvalSet,
+    eval_all: EvalSet,
+}
 
-    let eval_bounds =
-        |bound_for: &dyn Fn(&[Vec<f32>], usize) -> f32, idx: &[usize]| -> (f32, f32) {
-            let preds = model.predict_log(dataset, idx);
-            let targets: Vec<f32> = idx
-                .iter()
-                .map(|&i| dataset.observations[i].log_runtime())
-                .collect();
-            let bounds: Vec<f32> = (0..idx.len()).map(|b| bound_for(&preds, b)).collect();
-            (
-                overprovision_margin(&bounds, &targets),
-                coverage(&bounds, &targets),
-            )
-        };
-
-    let mut out = Vec::new();
-
-    // 1. Pooled CQR (the paper).
-    let pooled = fit_bounds_generic(
-        model,
-        dataset,
-        split,
-        eps,
-        HeadSelection::TightestOnValidation,
-    );
-    {
-        let all_idx: Vec<usize> = no_idx.iter().chain(with_idx).copied().collect();
-        let m_no = margin_on(model, &pooled, dataset, no_idx);
-        let m_with = margin_on(model, &pooled, dataset, with_idx);
-        let cov = crate::uncertainty::coverage_on(model, &pooled, dataset, &all_idx);
-        out.push((
-            "pooled CQR (paper)",
-            VariantEval {
-                margin_no: m_no,
-                margin_with: m_with,
-                cov_all: cov,
-            },
-        ));
-    }
-
-    // 2. Scaled conformal: dispersion = hi-head − median-head spread.
-    {
+impl VariantData {
+    fn prepare(
+        model: &dyn LogPredictor,
+        dataset: &Dataset,
+        split: &pitot_testbed::split::Split,
+        no_idx: &[usize],
+        with_idx: &[usize],
+    ) -> Self {
+        // Calibration half of the holdout (same interleave as the paper path).
+        let cal_idx: Vec<usize> = split.val.iter().copied().step_by(2).collect();
+        let cal_preds = model.predict_log(dataset, &cal_idx);
+        let cal_t: Vec<f32> = cal_idx
+            .iter()
+            .map(|&i| dataset.observations[i].log_runtime())
+            .collect();
+        let mut median_scores_sorted: Vec<f32> = cal_preds[MEDIAN_HEAD]
+            .iter()
+            .zip(&cal_t)
+            .map(|(p, t)| t - p)
+            .collect();
         let disp_cal = head_spread(&cal_preds[MEDIAN_HEAD], &cal_preds[HI_HEAD]);
-        let scaled = ScaledConformal::fit(&cal_preds[MEDIAN_HEAD], &disp_cal, &cal_t, eps);
-        let bound_for = |preds: &[Vec<f32>], b: usize| {
-            let d = (preds[HI_HEAD][b] - preds[MEDIAN_HEAD][b]).max(pitot_conformal::MIN_SCALE);
-            scaled.upper_bound_log(preds[MEDIAN_HEAD][b], d)
-        };
-        let (m_no, _) = eval_bounds(&bound_for, no_idx);
-        let (m_with, _) = eval_bounds(&bound_for, with_idx);
+        let scaled_scores: Vec<f32> = median_scores_sorted
+            .iter()
+            .zip(&disp_cal)
+            .map(|(s, d)| s / d.max(pitot_conformal::MIN_SCALE))
+            .collect();
+        median_scores_sorted.sort_by(f32::total_cmp);
+
         let all_idx: Vec<usize> = no_idx.iter().chain(with_idx).copied().collect();
-        let (_, cov) = eval_bounds(&bound_for, &all_idx);
-        out.push((
-            "scaled conformal (CQR-r)",
-            VariantEval {
-                margin_no: m_no,
-                margin_with: m_with,
-                cov_all: cov,
-            },
-        ));
+        Self {
+            calib: PredictorCalibration::prepare(model, dataset, split),
+            median_scores_sorted,
+            scaled_scores,
+            eval_no: EvalSet::prepare(model, dataset, no_idx),
+            eval_with: EvalSet::prepare(model, dataset, with_idx),
+            eval_all: EvalSet::prepare(model, dataset, &all_idx),
+        }
     }
 
-    // 3. Plain split conformal on the median head.
-    {
-        let sc = SplitConformal::fit(&cal_preds[MEDIAN_HEAD], &cal_t, eps);
-        let bound_for = |preds: &[Vec<f32>], b: usize| sc.upper_bound_log(preds[MEDIAN_HEAD][b]);
-        let (m_no, _) = eval_bounds(&bound_for, no_idx);
-        let (m_with, _) = eval_bounds(&bound_for, with_idx);
-        let all_idx: Vec<usize> = no_idx.iter().chain(with_idx).copied().collect();
-        let (_, cov) = eval_bounds(&bound_for, &all_idx);
-        out.push((
-            "split conformal (median head)",
-            VariantEval {
-                margin_no: m_no,
-                margin_with: m_with,
-                cov_all: cov,
-            },
-        ));
-    }
+    fn eval_variants(&self, eps: f32) -> Vec<(&'static str, VariantEval)> {
+        let eval_bounds =
+            |bound_for: &dyn Fn(&[Vec<f32>], usize) -> f32, set: &EvalSet| -> (f32, f32) {
+                let bounds: Vec<f32> = (0..set.len()).map(|b| bound_for(set.preds(), b)).collect();
+                (
+                    overprovision_margin(&bounds, set.targets()),
+                    coverage(&bounds, set.targets()),
+                )
+            };
 
-    out
+        let mut out = Vec::new();
+
+        // 1. Pooled CQR (the paper).
+        {
+            let pooled = self.calib.fit(eps, HeadSelection::TightestOnValidation);
+            out.push((
+                "pooled CQR (paper)",
+                VariantEval {
+                    margin_no: self.eval_no.margin(&pooled),
+                    margin_with: self.eval_with.margin(&pooled),
+                    cov_all: self.eval_all.coverage(&pooled),
+                },
+            ));
+        }
+
+        // 2. Scaled conformal: dispersion = hi-head − median-head spread.
+        {
+            let scaled = ScaledConformal::from_scores(&self.scaled_scores, eps);
+            let bound_for = |preds: &[Vec<f32>], b: usize| {
+                let d = (preds[HI_HEAD][b] - preds[MEDIAN_HEAD][b]).max(pitot_conformal::MIN_SCALE);
+                scaled.upper_bound_log(preds[MEDIAN_HEAD][b], d)
+            };
+            let (m_no, _) = eval_bounds(&bound_for, &self.eval_no);
+            let (m_with, _) = eval_bounds(&bound_for, &self.eval_with);
+            let (_, cov) = eval_bounds(&bound_for, &self.eval_all);
+            out.push((
+                "scaled conformal (CQR-r)",
+                VariantEval {
+                    margin_no: m_no,
+                    margin_with: m_with,
+                    cov_all: cov,
+                },
+            ));
+        }
+
+        // 3. Plain split conformal on the median head.
+        {
+            let sc = SplitConformal::from_sorted_scores(&self.median_scores_sorted, eps);
+            let bound_for =
+                |preds: &[Vec<f32>], b: usize| sc.upper_bound_log(preds[MEDIAN_HEAD][b]);
+            let (m_no, _) = eval_bounds(&bound_for, &self.eval_no);
+            let (m_with, _) = eval_bounds(&bound_for, &self.eval_with);
+            let (_, cov) = eval_bounds(&bound_for, &self.eval_all);
+            out.push((
+                "split conformal (median head)",
+                VariantEval {
+                    margin_no: m_no,
+                    margin_with: m_with,
+                    cov_all: cov,
+                },
+            ));
+        }
+
+        out
+    }
 }
 
 /// Extension figure: tightness/coverage of conformal variants at the 50%
@@ -167,8 +190,9 @@ pub fn ext_conformal_variants(h: &Harness) -> Figure {
         let no_idx = h.test_without_interference(&split);
         let with_idx = h.test_with_interference(&split);
 
+        let data = VariantData::prepare(&model, &h.dataset, &split, &no_idx, &with_idx);
         for (e, &eps) in eps_list.iter().enumerate() {
-            let results = eval_variants(&model, &h.dataset, &split, eps, &no_idx, &with_idx);
+            let results = data.eval_variants(eps);
             for (v, (label, ev)) in results.into_iter().enumerate() {
                 debug_assert_eq!(label, labels[v]);
                 margins_no[v][e].push(ev.margin_no);

@@ -7,6 +7,7 @@ use pitot::{Objective, PitotConfig};
 use pitot_baselines::LogPredictor;
 use pitot_conformal::{
     calibrate_gamma, overprovision_margin, HeadSelection, PooledConformal, PredictionSet,
+    SweepCalibration,
 };
 use pitot_testbed::{split::Split, Dataset};
 
@@ -18,9 +19,115 @@ pub fn epsilons(h: &Harness) -> Vec<f32> {
     }
 }
 
+/// One predictor's calibration data, prepared once per replicate: the
+/// holdout halves are predicted a single time and the nonconformity scores
+/// pre-sorted per pool, so fitting at every miscoverage level of a sweep is
+/// a rank lookup plus head selection (mirrors
+/// `TrainedPitot::calibration`).
+pub struct PredictorCalibration {
+    sweep: SweepCalibration,
+}
+
+impl PredictorCalibration {
+    /// Predicts the calibration/selection halves of `split.val` once and
+    /// pre-sorts the scores.
+    ///
+    /// The val list is ordered by interference mode: interleave so both
+    /// halves contain every calibration pool.
+    pub fn prepare(model: &dyn LogPredictor, dataset: &Dataset, split: &Split) -> Self {
+        let cal_idx: Vec<usize> = split.val.iter().copied().step_by(2).collect();
+        let mut sel_idx: Vec<usize> = split.val.iter().copied().skip(1).step_by(2).collect();
+        if sel_idx.is_empty() {
+            sel_idx = cal_idx.clone();
+        }
+        let cal_preds = model.predict_log(dataset, &cal_idx);
+        let sel_preds = model.predict_log(dataset, &sel_idx);
+        let (cal_t, cal_p) = targets_pools(dataset, &cal_idx);
+        let (sel_targets, sel_pools) = targets_pools(dataset, &sel_idx);
+        Self {
+            sweep: SweepCalibration::new(
+                &PredictionSet {
+                    predictions: &cal_preds,
+                    targets_log: &cal_t,
+                    pools: &cal_p,
+                },
+                sel_preds,
+                sel_targets,
+                sel_pools,
+                model.quantile_levels(),
+            ),
+        }
+    }
+
+    /// Fits pooled CQR at one miscoverage level from the precomputed scores.
+    pub fn fit(&self, epsilon: f32, selection: HeadSelection) -> PooledConformal {
+        self.sweep.fit(epsilon, selection)
+    }
+}
+
+/// A test set predicted once, for repeated margin/coverage evaluation
+/// against different calibrations.
+pub struct EvalSet {
+    preds: Vec<Vec<f32>>,
+    targets: Vec<f32>,
+    pools: Vec<usize>,
+}
+
+impl EvalSet {
+    /// Predicts `idx` once.
+    pub fn prepare(model: &dyn LogPredictor, dataset: &Dataset, idx: &[usize]) -> Self {
+        let preds = model.predict_log(dataset, idx);
+        let (targets, pools) = targets_pools(dataset, idx);
+        Self {
+            preds,
+            targets,
+            pools,
+        }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Per-head predictions (head-major).
+    pub fn preds(&self) -> &[Vec<f32>] {
+        &self.preds
+    }
+
+    /// Log-space targets.
+    pub fn targets(&self) -> &[f32] {
+        &self.targets
+    }
+
+    /// Overprovisioning margin of `conformal` on this set.
+    pub fn margin(&self, conformal: &PooledConformal) -> f32 {
+        overprovision_margin(&self.bounds(conformal), &self.targets)
+    }
+
+    /// Empirical coverage of `conformal` on this set.
+    pub fn coverage(&self, conformal: &PooledConformal) -> f32 {
+        pitot_conformal::coverage(&self.bounds(conformal), &self.targets)
+    }
+
+    fn bounds(&self, conformal: &PooledConformal) -> Vec<f32> {
+        conformal.bounds_log(&PredictionSet {
+            predictions: &self.preds,
+            targets_log: &self.targets,
+            pools: &self.pools,
+        })
+    }
+}
+
 /// Fits pooled conformal bounds for any predictor, splitting the validation
 /// half into calibration and selection halves (mirrors
-/// `TrainedPitot::fit_bounds`).
+/// `TrainedPitot::fit_bounds`). Sweeps over miscoverage levels should use
+/// [`PredictorCalibration`] directly to predict once.
 pub fn fit_bounds_generic(
     model: &dyn LogPredictor,
     dataset: &Dataset,
@@ -28,32 +135,7 @@ pub fn fit_bounds_generic(
     epsilon: f32,
     selection: HeadSelection,
 ) -> PooledConformal {
-    // The val list is ordered by interference mode: interleave so both
-    // halves contain every calibration pool.
-    let cal_idx: Vec<usize> = split.val.iter().copied().step_by(2).collect();
-    let mut sel_idx: Vec<usize> = split.val.iter().copied().skip(1).step_by(2).collect();
-    if sel_idx.is_empty() {
-        sel_idx = cal_idx.clone();
-    }
-    let cal_preds = model.predict_log(dataset, &cal_idx);
-    let sel_preds = model.predict_log(dataset, &sel_idx);
-    let (cal_t, cal_p) = targets_pools(dataset, &cal_idx);
-    let (sel_t, sel_p) = targets_pools(dataset, &sel_idx);
-    PooledConformal::fit(
-        &PredictionSet {
-            predictions: &cal_preds,
-            targets_log: &cal_t,
-            pools: &cal_p,
-        },
-        &PredictionSet {
-            predictions: &sel_preds,
-            targets_log: &sel_t,
-            pools: &sel_p,
-        },
-        &model.quantile_levels(),
-        selection,
-        epsilon,
-    )
+    PredictorCalibration::prepare(model, dataset, split).fit(epsilon, selection)
 }
 
 /// Overprovisioning margin of calibrated bounds over `idx`.
@@ -63,14 +145,7 @@ pub fn margin_on(
     dataset: &Dataset,
     idx: &[usize],
 ) -> f32 {
-    let preds = model.predict_log(dataset, idx);
-    let (targets, pools) = targets_pools(dataset, idx);
-    let bounds = conformal.bounds_log(&PredictionSet {
-        predictions: &preds,
-        targets_log: &targets,
-        pools: &pools,
-    });
-    overprovision_margin(&bounds, &targets)
+    EvalSet::prepare(model, dataset, idx).margin(conformal)
 }
 
 /// Empirical coverage of calibrated bounds over `idx`.
@@ -80,14 +155,7 @@ pub fn coverage_on(
     dataset: &Dataset,
     idx: &[usize],
 ) -> f32 {
-    let preds = model.predict_log(dataset, idx);
-    let (targets, pools) = targets_pools(dataset, idx);
-    let bounds = conformal.bounds_log(&PredictionSet {
-        predictions: &preds,
-        targets_log: &targets,
-        pools: &pools,
-    });
-    pitot_conformal::coverage(&bounds, &targets)
+    EvalSet::prepare(model, dataset, idx).coverage(conformal)
 }
 
 fn targets_pools(dataset: &Dataset, idx: &[usize]) -> (Vec<f32>, Vec<usize>) {
@@ -134,12 +202,15 @@ pub fn fig5(h: &Harness) -> Figure {
             let split = h.split(0.5, rep);
             let trained = pitot::train(&h.dataset, &split, &cfg.clone().with_seed(rep as u64));
             let model = PitotPredictor(trained);
-            let no_idx = h.test_without_interference(&split);
-            let with_idx = h.test_with_interference(&split);
+            // Predict calibration and test sets once; every ε reuses them.
+            let calib = PredictorCalibration::prepare(&model, &h.dataset, &split);
+            let eval_no =
+                EvalSet::prepare(&model, &h.dataset, &h.test_without_interference(&split));
+            let eval_with = EvalSet::prepare(&model, &h.dataset, &h.test_with_interference(&split));
             for (e, &eps) in eps_list.iter().enumerate() {
-                let conformal = fit_bounds_generic(&model, &h.dataset, &split, eps, selection);
-                pts_no[e].push(margin_on(&model, &conformal, &h.dataset, &no_idx));
-                pts_with[e].push(margin_on(&model, &conformal, &h.dataset, &with_idx));
+                let conformal = calib.fit(eps, selection);
+                pts_no[e].push(eval_no.margin(&conformal));
+                pts_with[e].push(eval_with.margin(&conformal));
             }
         }
         push_eps_series(&mut fig, &label, &eps_list, pts_no, pts_with);
@@ -196,13 +267,21 @@ fn tightness_vs_baselines(h: &Harness, fig: &mut Figure, fraction: f32) {
         for rep in 0..h.replicates {
             let split = h.split(fraction, rep);
             let model = method.train(&h.dataset, &split, rep as u64);
-            let no_idx = h.test_without_interference(&split);
-            let with_idx = h.test_with_interference(&split);
+            let calib = PredictorCalibration::prepare(model.as_ref(), &h.dataset, &split);
+            let eval_no = EvalSet::prepare(
+                model.as_ref(),
+                &h.dataset,
+                &h.test_without_interference(&split),
+            );
+            let eval_with = EvalSet::prepare(
+                model.as_ref(),
+                &h.dataset,
+                &h.test_with_interference(&split),
+            );
             for (e, &eps) in eps_list.iter().enumerate() {
-                let conformal =
-                    fit_bounds_generic(model.as_ref(), &h.dataset, &split, eps, selection);
-                pts_no[e].push(margin_on(model.as_ref(), &conformal, &h.dataset, &no_idx));
-                pts_with[e].push(margin_on(model.as_ref(), &conformal, &h.dataset, &with_idx));
+                let conformal = calib.fit(eps, selection);
+                pts_no[e].push(eval_no.margin(&conformal));
+                pts_with[e].push(eval_with.margin(&conformal));
             }
         }
         let label = format!("{} @ {:.0}%", method.label(), fraction * 100.0);

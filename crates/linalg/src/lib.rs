@@ -45,8 +45,11 @@ mod scratch;
 mod solve;
 mod stats;
 
-pub use matrix::Matrix;
+pub use kernels::{adamax_update, scale_add};
+pub use matrix::{fill_randn, MatRef, Matrix};
 pub use ops::{axpy_slice, dot};
 pub use scratch::Scratch;
 pub use solve::{cholesky, solve_spd, solve_spd_multi};
-pub use stats::{mean, percentile, quantile_higher, stderr_of_mean, variance};
+pub use stats::{
+    mean, percentile, quantile_higher, quantile_higher_sorted, stderr_of_mean, variance,
+};

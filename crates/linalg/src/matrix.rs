@@ -364,6 +364,140 @@ impl Matrix {
     }
 }
 
+/// A borrowed row-major matrix view over a plain slice.
+///
+/// This is how the flat parameter plane is consumed: a layer's weight block
+/// lives as a contiguous window of one shared buffer, and the kernels accept
+/// `MatRef` operands so no `Matrix` needs to own (or copy) the block. Cheap
+/// to copy; shape-checked at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct MatRef<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// Wraps a flat row-major slice as a `rows × cols` view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[inline]
+    pub fn new(data: &'a [f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "slice of length {} cannot view a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { data, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The backing flat row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        self.data
+    }
+
+    /// Borrows row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies the view into an owned matrix.
+    pub fn to_matrix(&self) -> Matrix {
+        crate::alloc_count::record_len(self.data.len());
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.to_vec(),
+        }
+    }
+}
+
+impl Matrix {
+    /// Borrows the whole matrix as a [`MatRef`] view.
+    #[inline]
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef {
+            data: &self.data,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// [`Matrix::hcat_into`] with a view right-hand side:
+    /// `out = [self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn hcat_view_into(&self, other: MatRef<'_>, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows(), "row mismatch in hcat");
+        out.resize(self.rows, self.cols + other.cols());
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+    }
+
+    /// [`Matrix::columns_into`] writing into a pre-sized flat buffer
+    /// (row-major `rows × cols`), e.g. a window of a gradient plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column range exceeds the width or `out` has the wrong
+    /// length.
+    pub fn columns_into_buf(&self, start: usize, cols: usize, out: &mut [f32]) {
+        assert!(start + cols <= self.cols, "column slice out of range");
+        assert_eq!(out.len(), self.rows * cols, "output buffer length");
+        for (r, dst) in out.chunks_exact_mut(cols.max(1)).enumerate() {
+            dst.copy_from_slice(&self.row(r)[start..start + cols]);
+        }
+    }
+}
+
+/// Fills a slice with standard-normal entries (the same Box–Muller stream
+/// [`Matrix::randn`] uses), for initializing windows of a flat parameter
+/// plane in place.
+pub fn fill_randn<R: Rng + ?Sized>(out: &mut [f32], rng: &mut R) {
+    let n = out.len();
+    let mut i = 0;
+    while i < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        out[i] = r * theta.cos();
+        i += 1;
+        if i < n {
+            out[i] = r * theta.sin();
+            i += 1;
+        }
+    }
+}
+
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
 

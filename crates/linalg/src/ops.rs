@@ -184,6 +184,22 @@ impl Matrix {
         }
     }
 
+    /// Sum over rows into a pre-sized flat buffer (one value per column),
+    /// e.g. a bias-gradient window of a gradient plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.cols()`.
+    pub fn sum_rows_into_buf(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols(), "output buffer length");
+        out.fill(0.0);
+        for r in 0..self.rows() {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+    }
+
     /// Sum over columns, producing one value per row.
     pub fn sum_cols(&self) -> Vec<f32> {
         self.iter_rows().map(|row| row.iter().sum()).collect()

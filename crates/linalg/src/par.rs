@@ -194,6 +194,46 @@ where
     }
 }
 
+/// Splits a flat row-major buffer into disjoint row-aligned chunks and runs
+/// `body` over them, possibly in parallel.
+///
+/// `body(first_row, chunk)` receives the index of the chunk's first row and
+/// a mutable window covering whole rows. This is the safe entry point other
+/// crates use for row-parallel writes (batched prediction, score
+/// computation) without touching `unsafe` themselves; every chunk covers a
+/// disjoint window, so results are bitwise identical across `PITOT_THREADS`
+/// whenever `body` computes rows independently.
+///
+/// # Panics
+///
+/// Panics if `row_width == 0` or the buffer length is not a whole number of
+/// rows; propagates panics from `body`.
+pub fn parallel_for_rows<F>(data: &mut [f32], row_width: usize, min_rows: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(row_width > 0, "row width must be positive");
+    assert_eq!(
+        data.len() % row_width,
+        0,
+        "buffer length {} is not a whole number of {row_width}-wide rows",
+        data.len()
+    );
+    let total = data.len() / row_width;
+    let ptr = SendPtr::new(data.as_mut_ptr());
+    parallel_for(total, min_rows.max(1), |rows| {
+        // SAFETY: `parallel_for` hands out disjoint row ranges, so each
+        // chunk owns a disjoint window of the buffer.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(
+                ptr.get().add(rows.start * row_width),
+                rows.len() * row_width,
+            )
+        };
+        body(rows.start, chunk);
+    });
+}
+
 /// A raw pointer to a mutable slice that may be sent across the pool.
 ///
 /// Used by kernels to hand each chunk its disjoint window of the output

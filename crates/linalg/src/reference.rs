@@ -50,6 +50,33 @@ pub fn matmul_transpose(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// Scalar AdaMax update, element by element — the oracle for the fused
+/// [`crate::adamax_update`] kernel. Same recurrences, no fusion, no SIMD.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn adamax_update(
+    p: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    u: &mut [f32],
+    lr_t: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+) {
+    assert_eq!(p.len(), g.len(), "reference adamax length mismatch");
+    assert_eq!(p.len(), m.len(), "reference adamax length mismatch");
+    assert_eq!(p.len(), u.len(), "reference adamax length mismatch");
+    for i in 0..p.len() {
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+        u[i] = (beta2 * u[i]).max(g[i].abs());
+        p[i] -= lr_t * m[i] / (u[i] + eps);
+    }
+}
+
 /// `aᵀ · b` by the textbook triple loop.
 ///
 /// # Panics

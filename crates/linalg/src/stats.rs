@@ -57,10 +57,26 @@ pub fn percentile(xs: &[f32], p: f32) -> f32 {
 ///
 /// Panics if `xs` is empty or `p` is outside `[0, 1]`.
 pub fn quantile_higher(xs: &[f32], p: f32) -> f32 {
-    assert!(!xs.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&p), "quantile level {p} outside [0,1]");
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
+    quantile_higher_sorted(&sorted, p)
+}
+
+/// [`quantile_higher`] over an already-sorted slice: no copy, no re-sort.
+///
+/// Calibration sweeps that evaluate many miscoverage levels over one score
+/// set sort once and look ranks up through this entry point.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p ∉ [0, 1]`; debug-asserts sortedness.
+pub fn quantile_higher_sorted(sorted: &[f32], p: f32) -> f32 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "quantile level {p} outside [0,1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1] || w[1].is_nan()),
+        "quantile_higher_sorted requires ascending input"
+    );
     let n = sorted.len();
     let k = (((n + 1) as f32) * p).ceil() as usize; // 1-indexed rank
     let k = k.clamp(1, n);

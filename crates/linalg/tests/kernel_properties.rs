@@ -7,7 +7,7 @@
 //! enough for f32 re-association headroom even though today's kernels are
 //! bitwise order-preserving.
 
-use pitot_linalg::{reference, Matrix};
+use pitot_linalg::{reference, MatRef, Matrix};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -96,6 +96,131 @@ proptest! {
         let b = Matrix::full(1, 1, y);
         for product in [a.matmul(&b), a.matmul_transpose(&b), a.transpose_matmul(&b)] {
             prop_assert!((product[(0, 0)] - x * y).abs() <= 1e-5 * (1.0 + (x * y).abs()));
+        }
+    }
+
+    /// The view entry points (flat-plane windows) are the same kernels as
+    /// the `Matrix` entry points — bitwise, not approximately.
+    #[test]
+    fn view_kernels_are_bitwise_identical_to_matrix_kernels(
+        m in 1usize..10, k in 1usize..24, n in 1usize..12, seed in 0u64..5_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        let mut via_matrix = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut via_matrix);
+        let mut via_view = Matrix::zeros(0, 0);
+        pitot_linalg::kernels::matmul_view_into(
+            MatRef::new(a.as_slice(), m, k),
+            MatRef::new(b.as_slice(), k, n),
+            &mut via_view,
+        );
+        prop_assert_eq!(via_matrix.as_slice(), via_view.as_slice());
+
+        let at = Matrix::randn(k, m, &mut rng);
+        let mut grads = vec![f32::NAN; m * n];
+        pitot_linalg::kernels::transpose_matmul_buf(at.view(), b.view(), &mut grads);
+        let mut want = Matrix::zeros(0, 0);
+        at.transpose_matmul_into(&b, &mut want);
+        prop_assert_eq!(want.as_slice(), &grads[..]);
+    }
+
+    /// The fused (possibly SIMD) AdaMax kernel tracks the scalar oracle
+    /// over multiple consecutive steps, including the moment state.
+    #[test]
+    fn fused_adamax_matches_scalar_reference(
+        len in 1usize..200, steps in 1usize..6, seed in 0u64..5_000, lr in 1e-4f32..0.1,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let init = Matrix::randn(1, len, &mut rng);
+        let (mut p_f, mut m_f, mut u_f) =
+            (init.as_slice().to_vec(), vec![0.0f32; len], vec![0.0f32; len]);
+        let (mut p_r, mut m_r, mut u_r) = (p_f.clone(), m_f.clone(), u_f.clone());
+        for t in 1..=steps {
+            let g = Matrix::randn(1, len, &mut rng);
+            let lr_t = lr / (1.0 - 0.9f32.powi(t as i32));
+            pitot_linalg::adamax_update(
+                &mut p_f, g.as_slice(), &mut m_f, &mut u_f, lr_t, 0.9, 0.999, 1e-8,
+            );
+            reference::adamax_update(
+                &mut p_r, g.as_slice(), &mut m_r, &mut u_r, lr_t, 0.9, 0.999, 1e-8,
+            );
+        }
+        for ((pf, pr), (uf, ur)) in p_f.iter().zip(&p_r).zip(u_f.iter().zip(&u_r)) {
+            prop_assert!(
+                (pf - pr).abs() <= 1e-5 * (1.0 + pf.abs().max(pr.abs())),
+                "param {} vs reference {}", pf, pr
+            );
+            prop_assert!(*uf >= 0.0 && (uf - ur).abs() <= 1e-5 * (1.0 + ur.abs()));
+        }
+    }
+
+    /// AdaMax steps are bounded by lr_t regardless of gradient scale — the
+    /// defining property of the infinity-norm moment.
+    #[test]
+    fn fused_adamax_step_is_bounded(
+        len in 1usize..64, scale in 1.0f32..1e6, seed in 0u64..2_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut p = vec![0.0f32; len];
+        let (mut m, mut u) = (vec![0.0f32; len], vec![0.0f32; len]);
+        let mut g = Matrix::randn(1, len, &mut rng).into_vec();
+        for v in &mut g {
+            *v *= scale;
+        }
+        let lr_t = 0.001 / (1.0 - 0.9f32);
+        pitot_linalg::adamax_update(&mut p, &g, &mut m, &mut u, lr_t, 0.9, 0.999, 1e-8);
+        for v in &p {
+            prop_assert!(v.abs() <= lr_t * 1.001, "step {} exceeds bound {}", v, lr_t);
+        }
+    }
+
+    /// The vectorized GELU maps track the scalar polynomial to float
+    /// precision, and chunk-aligned parallelism keeps them bitwise stable
+    /// for any buffer length (vector body + scalar tail).
+    #[test]
+    fn gelu_maps_match_scalar_reference(len in 0usize..200, seed in 0u64..2_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pre = {
+            let mut v = Matrix::randn(1, len, &mut rng).into_vec();
+            for x in &mut v {
+                *x *= 3.0;
+            }
+            v
+        };
+        let mut fwd = pre.clone();
+        pitot_linalg::kernels::gelu_map(&mut fwd);
+        for (&y, &x) in fwd.iter().zip(&pre) {
+            let want = pitot_linalg::kernels::gelu_f32(x);
+            prop_assert!((y - want).abs() <= 1e-5 * (1.0 + want.abs()), "gelu({x}): {y} vs {want}");
+        }
+
+        let dy0 = Matrix::randn(1, len, &mut rng).into_vec();
+        let mut dy = dy0.clone();
+        pitot_linalg::kernels::gelu_backward_map(&pre, &mut dy);
+        for ((&g, &g0), &x) in dy.iter().zip(&dy0).zip(&pre) {
+            let want = g0 * pitot_linalg::kernels::gelu_grad_f32(x);
+            // Saturated inputs cancel to gradients near zero through
+            // (1 − tanh²)·x, where the fused-vs-unfused tanh difference is
+            // amplified by |x|; 2e-4 still flags any real polynomial defect
+            // (a wrong coefficient shifts results by ≥1e-2).
+            prop_assert!((g - want).abs() <= 2e-4 * (1.0 + want.abs()), "gelu'({x})");
+        }
+    }
+
+    #[test]
+    fn scale_add_matches_scalar(
+        len in 0usize..128, beta in -2.0f32..2.0, alpha in -2.0f32..2.0, seed in 0u64..2_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x = Matrix::randn(1, len, &mut rng).into_vec();
+        let y0 = Matrix::randn(1, len, &mut rng).into_vec();
+        let mut y = y0.clone();
+        pitot_linalg::scale_add(&mut y, beta, &x, alpha);
+        for i in 0..len {
+            let want = beta * y0[i] + alpha * x[i];
+            prop_assert!((y[i] - want).abs() <= 1e-5 * (1.0 + want.abs()));
         }
     }
 }

@@ -76,10 +76,15 @@ impl Activation {
     /// Applies the activation elementwise in place (use when the
     /// pre-activation is dead afterwards, e.g. inference).
     ///
-    /// Large maps are split over the `pitot-linalg` thread pool — GELU and
-    /// tanh are transcendental, so the per-element cost dwarfs dispatch.
+    /// GELU and tanh route through the vectorized (AVX2+FMA-dispatched)
+    /// maps in `pitot_linalg::kernels`; the cheap piecewise-linear variants
+    /// stay on the generic parallel map.
     pub fn apply_matrix_inplace(self, x: &mut Matrix) {
-        x.par_map_inplace(|v| self.apply(v));
+        match self {
+            Activation::Gelu => pitot_linalg::kernels::gelu_map(x.as_mut_slice()),
+            Activation::Tanh => pitot_linalg::kernels::tanh_map(x.as_mut_slice()),
+            _ => x.par_map_inplace(|v| self.apply(v)),
+        }
     }
 
     /// Applies the activation elementwise into a caller-owned buffer:
@@ -106,57 +111,22 @@ impl Activation {
     ///
     /// Panics if shapes differ.
     pub fn backward_matrix_inplace(self, x: &Matrix, dy: &mut Matrix) {
-        dy.zip_map_inplace(x, |g, pre| g * self.derivative(pre));
+        match self {
+            Activation::Gelu => {
+                assert_eq!(x.shape(), dy.shape(), "gelu backward shape mismatch");
+                pitot_linalg::kernels::gelu_backward_map(x.as_slice(), dy.as_mut_slice());
+            }
+            _ => dy.zip_map_inplace(x, |g, pre| g * self.derivative(pre)),
+        }
     }
 }
 
-const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-const GELU_COEFF: f32 = 0.044_715;
-
-/// Rational-polynomial tanh (the classic 13/6-degree float approximation
-/// used by Eigen and the ML runtimes), accurate to a few ulps on the
-/// clamped range.
-///
-/// libm's `tanhf` is a scalar call that cannot vectorize; with GELU on
-/// every hidden unit it dominated the tower forward pass (≈70% of a dense
-/// tower refresh in profiling). This form is straight-line arithmetic, so
-/// the elementwise activation loops autovectorize.
-#[inline(always)]
-fn fast_tanh(x: f32) -> f32 {
-    // Beyond this |x| the float result is indistinguishable from ±1.
-    const CLAMP: f32 = 7.998_811_7;
-    let x = x.clamp(-CLAMP, CLAMP);
-    const A1: f32 = 4.893_524_6e-3;
-    const A3: f32 = 6.372_619_3e-4;
-    const A5: f32 = 1.485_722_4e-5;
-    const A7: f32 = 5.122_297_1e-8;
-    const A9: f32 = -8.604_672e-11;
-    const A11: f32 = 2.000_188e-13;
-    const A13: f32 = -2.760_768_5e-16;
-    const B0: f32 = 4.893_525e-3;
-    const B2: f32 = 2.268_434_6e-3;
-    const B4: f32 = 1.185_347_1e-4;
-    const B6: f32 = 1.198_258_4e-6;
-    let x2 = x * x;
-    let p = ((((((A13 * x2 + A11) * x2 + A9) * x2 + A7) * x2 + A5) * x2 + A3) * x2) + A1;
-    let q = ((B6 * x2 + B4) * x2 + B2) * x2 + B0;
-    x * (p / q)
-}
-
-/// GELU, tanh approximation (the form used by JAX's `gelu(approximate=True)`).
-#[inline]
-fn gelu(x: f32) -> f32 {
-    let inner = SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x);
-    0.5 * x * (1.0 + fast_tanh(inner))
-}
-
-#[inline]
-fn gelu_derivative(x: f32) -> f32 {
-    let u = SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x);
-    let t = fast_tanh(u);
-    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEFF * x * x);
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
-}
+// The scalar rational-tanh GELU family lives in `pitot_linalg::kernels`
+// next to its vectorized counterparts so both evaluate one polynomial
+// definition; these thin wrappers keep this module's call sites readable.
+use pitot_linalg::kernels::{
+    gelu_f32 as gelu, gelu_grad_f32 as gelu_derivative, tanh_f32 as fast_tanh,
+};
 
 #[cfg(test)]
 mod tests {

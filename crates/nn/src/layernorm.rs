@@ -1,4 +1,5 @@
-//! Layer normalization with manual backprop.
+//! Layer normalization with manual backprop, parameterized by windows of
+//! the flat parameter plane.
 //!
 //! Normalizes each row (one sample's activations) to zero mean and unit
 //! variance, then applies a learned affine `γ ⊙ x̂ + β`. Available to the
@@ -6,15 +7,19 @@
 //! like every layer in this crate its backward pass is verified against
 //! finite differences.
 
+use crate::store::{ParamRange, ParamStoreBuilder};
 use pitot_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// A layer-normalization layer over feature dimension `dim`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `γ` and `β` are windows of the shared [`crate::ParamStore`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LayerNorm {
-    gamma: Vec<f32>,
-    beta: Vec<f32>,
+    gamma: ParamRange,
+    beta: ParamRange,
     eps: f32,
+    dim: usize,
 }
 
 /// Cached statistics from a forward pass.
@@ -26,33 +31,31 @@ pub struct LayerNormCache {
     inv_std: Vec<f32>,
 }
 
-/// Parameter gradients from a backward pass.
-#[derive(Debug, Clone)]
-pub struct LayerNormGrads {
-    /// ∂L/∂γ.
-    pub gamma: Vec<f32>,
-    /// ∂L/∂β.
-    pub beta: Vec<f32>,
-}
-
 impl LayerNorm {
-    /// Identity-initialized layer norm (`γ = 1`, `β = 0`).
+    /// Allocates an identity-initialized layer norm (`γ = 1`, `β = 0`) in
+    /// `store`.
     ///
     /// # Panics
     ///
     /// Panics if `dim` is zero.
-    pub fn new(dim: usize) -> Self {
+    pub fn new(dim: usize, store: &mut ParamStoreBuilder) -> Self {
         assert!(dim > 0, "layer norm dimension must be positive");
         Self {
-            gamma: vec![1.0; dim],
-            beta: vec![0.0; dim],
+            gamma: store.alloc_full(dim, 1.0),
+            beta: store.alloc(dim),
             eps: 1e-5,
+            dim,
         }
     }
 
     /// Feature dimension.
     pub fn dim(&self) -> usize {
-        self.gamma.len()
+        self.dim
+    }
+
+    /// The plane window covering γ then β.
+    pub fn range(&self) -> ParamRange {
+        self.gamma.join(self.beta)
     }
 
     /// Forward pass; returns the output and the backprop cache.
@@ -60,8 +63,10 @@ impl LayerNorm {
     /// # Panics
     ///
     /// Panics if `x.cols() != dim`.
-    pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
-        assert_eq!(x.cols(), self.dim(), "input width mismatch");
+    pub fn forward(&self, params: &[f32], x: &Matrix) -> (Matrix, LayerNormCache) {
+        assert_eq!(x.cols(), self.dim, "input width mismatch");
+        let gamma = &params[self.gamma.as_range()];
+        let beta = &params[self.beta.as_range()];
         let (n, d) = x.shape();
         let mut normalized = Matrix::zeros(n, d);
         let mut out = Matrix::zeros(n, d);
@@ -78,7 +83,7 @@ impl LayerNorm {
             }
             let or = out.row_mut(r);
             for c in 0..d {
-                or[c] = self.gamma[c] * nr[c] + self.beta[c];
+                or[c] = gamma[c] * nr[c] + beta[c];
             }
         }
         (
@@ -91,37 +96,56 @@ impl LayerNorm {
     }
 
     /// Inference-only forward pass.
-    pub fn infer(&self, x: &Matrix) -> Matrix {
-        self.forward(x).0
+    pub fn infer(&self, params: &[f32], x: &Matrix) -> Matrix {
+        self.forward(params, x).0
     }
 
-    /// Backward pass: returns `∂L/∂x` and the parameter gradients.
+    /// Backward pass: returns `∂L/∂x`; `∂L/∂γ` and `∂L/∂β` are written
+    /// (overwriting) into this layer's windows of the gradient plane.
     ///
     /// # Panics
     ///
     /// Panics if `d_out`'s shape differs from the cached activation's.
-    pub fn backward(&self, cache: &LayerNormCache, d_out: &Matrix) -> (Matrix, LayerNormGrads) {
+    pub fn backward(
+        &self,
+        params: &[f32],
+        cache: &LayerNormCache,
+        d_out: &Matrix,
+        grads: &mut [f32],
+    ) -> Matrix {
         assert_eq!(
             d_out.shape(),
             cache.normalized.shape(),
             "gradient shape mismatch"
         );
+        let gamma = &params[self.gamma.as_range()];
         let (n, d) = d_out.shape();
-        let mut d_gamma = vec![0.0f32; d];
-        let mut d_beta = vec![0.0f32; d];
         let mut dx = Matrix::zeros(n, d);
+        grads[self.gamma.as_range()].fill(0.0);
+        grads[self.beta.as_range()].fill(0.0);
 
+        let mut dxh = vec![0.0f32; d];
         for r in 0..n {
             let go = d_out.row(r);
             let xh = cache.normalized.row(r);
             // Affine gradients.
-            for c in 0..d {
-                d_gamma[c] += go[c] * xh[c];
-                d_beta[c] += go[c];
+            {
+                let d_gamma = &mut grads[self.gamma.as_range()];
+                for c in 0..d {
+                    d_gamma[c] += go[c] * xh[c];
+                }
+            }
+            {
+                let d_beta = &mut grads[self.beta.as_range()];
+                for c in 0..d {
+                    d_beta[c] += go[c];
+                }
             }
             // d x̂ = γ ⊙ d_out; then the standard LN input gradient:
             // dx = (1/σ)(d x̂ − mean(d x̂) − x̂ · mean(d x̂ ⊙ x̂)).
-            let dxh: Vec<f32> = (0..d).map(|c| self.gamma[c] * go[c]).collect();
+            for c in 0..d {
+                dxh[c] = gamma[c] * go[c];
+            }
             let mean_dxh: f32 = dxh.iter().sum::<f32>() / d as f32;
             let mean_dxh_xh: f32 = dxh.iter().zip(xh).map(|(a, b)| a * b).sum::<f32>() / d as f32;
             let is = cache.inv_std[r];
@@ -130,18 +154,7 @@ impl LayerNorm {
                 dr[c] = is * (dxh[c] - mean_dxh - xh[c] * mean_dxh_xh);
             }
         }
-        (
-            dx,
-            LayerNormGrads {
-                gamma: d_gamma,
-                beta: d_beta,
-            },
-        )
-    }
-
-    /// Mutable parameter blocks in optimizer order (γ then β).
-    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
-        vec![self.gamma.as_mut_slice(), self.beta.as_mut_slice()]
+        dx
     }
 }
 
@@ -149,15 +162,22 @@ impl LayerNorm {
 mod tests {
     use super::*;
     use crate::grad_check::numerical_grad;
+    use crate::store::{GradPlane, ParamStore};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    fn build(dim: usize) -> (LayerNorm, ParamStore) {
+        let mut b = ParamStoreBuilder::new();
+        let ln = LayerNorm::new(dim, &mut b);
+        (ln, b.finish())
+    }
 
     #[test]
     fn output_rows_are_normalized_at_identity_params() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let x = Matrix::randn(6, 16, &mut rng);
-        let ln = LayerNorm::new(16);
-        let (y, _) = ln.forward(&x);
+        let (ln, store) = build(16);
+        let (y, _) = ln.forward(store.params(), &x);
         for r in 0..6 {
             let row = y.row(r);
             let mean: f32 = row.iter().sum::<f32>() / 16.0;
@@ -176,9 +196,9 @@ mod tests {
         for v in x5.as_mut_slice() {
             *v *= 5.0;
         }
-        let ln = LayerNorm::new(8);
-        let (a, _) = ln.forward(&x);
-        let (b, _) = ln.forward(&x5);
+        let (ln, store) = build(8);
+        let (a, _) = ln.forward(store.params(), &x);
+        let (b, _) = ln.forward(store.params(), &x5);
         for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((u - v).abs() < 1e-4, "{u} vs {v}");
         }
@@ -188,18 +208,18 @@ mod tests {
     fn input_gradient_matches_finite_differences() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let x = Matrix::randn(4, 6, &mut rng);
-        let mut ln = LayerNorm::new(6);
+        let (ln, mut store) = build(6);
         // Non-trivial affine parameters.
-        for (i, g) in ln.gamma.iter_mut().enumerate() {
+        for (i, g) in store.slice_mut(ln.gamma).iter_mut().enumerate() {
             *g = 1.0 + 0.1 * i as f32;
         }
-        ln.beta[2] = 0.5;
+        store.slice_mut(ln.beta)[2] = 0.5;
 
         // Loss = sum of outputs weighted by a fixed random matrix.
         let wts = Matrix::randn(4, 6, &mut rng);
         let loss = |flat: &[f32]| -> f32 {
             let xm = Matrix::from_vec(4, 6, flat.to_vec());
-            let (y, _) = ln.forward(&xm);
+            let (y, _) = ln.forward(store.params(), &xm);
             y.as_slice()
                 .iter()
                 .zip(wts.as_slice())
@@ -207,8 +227,9 @@ mod tests {
                 .sum()
         };
 
-        let (_, cache) = ln.forward(&x);
-        let (dx, _) = ln.backward(&cache, &wts);
+        let (_, cache) = ln.forward(store.params(), &x);
+        let mut grads = GradPlane::zeros_like(&store);
+        let dx = ln.backward(store.params(), &cache, &wts, grads.as_mut_slice());
         let num = numerical_grad(x.as_slice(), 1e-2, loss);
         for (a, n) in dx.as_slice().iter().zip(&num) {
             assert!(
@@ -222,45 +243,40 @@ mod tests {
     fn parameter_gradients_match_finite_differences() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let x = Matrix::randn(5, 4, &mut rng);
-        let ln = LayerNorm::new(4);
+        let (ln, store) = build(4);
         let wts = Matrix::randn(5, 4, &mut rng);
-        let (_, cache) = ln.forward(&x);
-        let (_, grads) = ln.backward(&cache, &wts);
+        let (_, cache) = ln.forward(store.params(), &x);
+        let mut grads = GradPlane::zeros_like(&store);
+        ln.backward(store.params(), &cache, &wts, grads.as_mut_slice());
 
         let eps = 1e-2f32;
-        for c in 0..4 {
-            for (block, analytic) in [(0usize, grads.gamma[c]), (1, grads.beta[c])] {
-                let mut lo = ln.clone();
-                let mut hi = ln.clone();
-                if block == 0 {
-                    lo.gamma[c] -= eps;
-                    hi.gamma[c] += eps;
-                } else {
-                    lo.beta[c] -= eps;
-                    hi.beta[c] += eps;
-                }
-                let f = |l: &LayerNorm| -> f32 {
-                    let (y, _) = l.forward(&x);
-                    y.as_slice()
-                        .iter()
-                        .zip(wts.as_slice())
-                        .map(|(a, b)| a * b)
-                        .sum()
-                };
-                let numeric = (f(&hi) - f(&lo)) / (2.0 * eps);
-                assert!(
-                    (analytic - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
-                    "block {block} col {c}: analytic {analytic} vs numeric {numeric}"
-                );
-            }
+        let f = |params: &[f32]| -> f32 {
+            let (y, _) = ln.forward(params, &x);
+            y.as_slice()
+                .iter()
+                .zip(wts.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for k in 0..store.len() {
+            let mut hi = store.clone();
+            hi.params_mut()[k] += eps;
+            let mut lo = store.clone();
+            lo.params_mut()[k] -= eps;
+            let numeric = (f(hi.params()) - f(lo.params())) / (2.0 * eps);
+            let analytic = grads.as_slice()[k];
+            assert!(
+                (analytic - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "plane[{k}]: analytic {analytic} vs numeric {numeric}"
+            );
         }
     }
 
     #[test]
     fn constant_rows_stay_finite() {
         let x = Matrix::full(2, 8, 3.0);
-        let ln = LayerNorm::new(8);
-        let (y, _) = ln.forward(&x);
+        let (ln, store) = build(8);
+        let (y, _) = ln.forward(store.params(), &x);
         assert!(y.as_slice().iter().all(|v| v.is_finite()));
     }
 
@@ -268,6 +284,7 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn rejects_wrong_width() {
         let x = Matrix::zeros(2, 3);
-        LayerNorm::new(4).forward(&x);
+        let (ln, store) = build(4);
+        ln.forward(store.params(), &x);
     }
 }

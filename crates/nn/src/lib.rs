@@ -5,10 +5,14 @@
 //! This crate instead provides *manually differentiated* layers whose
 //! backward passes are verified against finite differences in the test suite:
 //!
-//! - [`Linear`]: dense layer with cached-input backprop,
+//! - [`ParamStore`]: the **flat parameter plane** — every trainable scalar
+//!   of a model in one contiguous buffer, with a matching [`GradPlane`] and
+//!   contiguous AdaMax moment planes,
+//! - [`Linear`]: dense layer viewing windows of the plane,
 //! - [`Activation`]: GELU / leaky-ReLU / ReLU / tanh / identity,
 //! - [`Mlp`]: a stack of linears with hidden activations,
-//! - [`AdaMax`]: the l∞ Adam variant the paper trains with (App B.3),
+//! - [`AdaMax`]: the l∞ Adam variant the paper trains with (App B.3), fused
+//!   into a single SIMD pass over the planes,
 //! - loss functions: squared error and the pinball (quantile) loss of Eq 13,
 //! - [`grad_check`]: finite-difference gradient checking used across the
 //!   workspace's tests.
@@ -17,18 +21,22 @@
 //!
 //! ```
 //! use pitot_linalg::Matrix;
-//! use pitot_nn::{Activation, Mlp, AdaMax};
+//! use pitot_nn::{Activation, AdaMax, GradPlane, Mlp, ParamStoreBuilder};
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let mut mlp = Mlp::new(&[4, 16, 2], Activation::Gelu, &mut rng);
+//! let mut builder = ParamStoreBuilder::new();
+//! let mlp = Mlp::new(&[4, 16, 2], Activation::Gelu, &mut rng, &mut builder);
+//! let mut store = builder.finish();
 //! let x = Matrix::randn(8, 4, &mut rng);
-//! let (y, cache) = mlp.forward(&x);
+//! let (y, cache) = mlp.forward(store.params(), &x);
 //! assert_eq!(y.shape(), (8, 2));
-//! // Backprop a dummy gradient and take one optimizer step.
-//! let (_dx, grads) = mlp.backward(&cache, &Matrix::full(8, 2, 1.0));
+//! // Backprop a dummy gradient and take one fused optimizer step over the
+//! // whole plane.
+//! let mut grads = GradPlane::zeros_like(&store);
+//! mlp.backward(store.params(), &cache, &Matrix::full(8, 2, 1.0), grads.as_mut_slice());
 //! let mut opt = AdaMax::new(1e-3);
-//! opt.step(&mut mlp.param_slices_mut(), &grads.grad_slices());
+//! opt.step(&mut [store.params_mut()], &[grads.as_slice()]);
 //! ```
 
 mod activation;
@@ -40,16 +48,18 @@ mod loss;
 mod mlp;
 mod optim;
 mod schedule;
+mod store;
 
 pub use activation::Activation;
 pub use dropout::{Dropout, DropoutMask};
 pub use grad_check::{grad_check, numerical_grad};
-pub use layernorm::{LayerNorm, LayerNormCache, LayerNormGrads};
-pub use linear::{Linear, LinearGrads};
+pub use layernorm::{LayerNorm, LayerNormCache};
+pub use linear::Linear;
 pub use loss::{
     pinball_loss, pinball_loss_into, squared_loss, squared_loss_into, weighted_pinball_loss,
     weighted_squared_loss,
 };
-pub use mlp::{Mlp, MlpCache, MlpGrads};
+pub use mlp::{Mlp, MlpCache};
 pub use optim::{AdaMax, Adam, Optimizer, SgdMomentum};
 pub use schedule::LrSchedule;
+pub use store::{GradPlane, ParamRange, ParamStore, ParamStoreBuilder};

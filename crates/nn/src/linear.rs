@@ -1,62 +1,84 @@
-//! Dense (fully-connected) layer with manual backprop.
+//! Dense (fully-connected) layer with manual backprop, parameterized by
+//! windows of the flat parameter plane.
 
-use pitot_linalg::Matrix;
+use crate::store::{ParamRange, ParamStoreBuilder};
+use pitot_linalg::{kernels, MatRef, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A dense layer computing `y = x·W + b` with `W ∈ R^{in×out}`.
 ///
-/// The backward pass is a method on the layer taking the cached input; the
-/// caller owns caching so a layer can be reused across several forward passes
-/// in one step (as the two-tower model does for quantile heads).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The layer owns no data: `W` and `b` are [`ParamRange`] windows of a
+/// [`crate::ParamStore`], so every forward/backward method takes the plane
+/// (`params: &[f32]`) and gradient writes land directly in the matching
+/// window of a [`crate::GradPlane`]. The caller owns input caching so a
+/// layer can be reused across several forward passes in one step.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Linear {
-    weight: Matrix,
-    bias: Vec<f32>,
-}
-
-/// Gradients for a [`Linear`] layer, shaped like the layer itself.
-#[derive(Debug, Clone)]
-pub struct LinearGrads {
-    /// Gradient of the loss with respect to the weight matrix.
-    pub weight: Matrix,
-    /// Gradient of the loss with respect to the bias vector.
-    pub bias: Vec<f32>,
+    weight: ParamRange,
+    bias: ParamRange,
+    in_dim: usize,
+    out_dim: usize,
 }
 
 impl Linear {
-    /// Creates a layer with He-initialized weights and zero bias.
+    /// Allocates a layer in `store` with He-initialized weights and zero
+    /// bias.
     ///
     /// He initialization (`σ = √(2/fan_in)`) keeps activations well-scaled
     /// under ReLU-family and GELU nonlinearities.
-    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+        store: &mut ParamStoreBuilder,
+    ) -> Self {
         let std = (2.0 / in_dim.max(1) as f32).sqrt();
-        let mut weight = Matrix::randn(in_dim, out_dim, rng);
-        weight.scale(std);
+        let weight = store.alloc_randn(in_dim * out_dim, std, rng);
+        let bias = store.alloc(out_dim);
         Self {
             weight,
-            bias: vec![0.0; out_dim],
+            bias,
+            in_dim,
+            out_dim,
         }
     }
 
     /// Input dimensionality.
     pub fn in_dim(&self) -> usize {
-        self.weight.rows()
+        self.in_dim
     }
 
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
-        self.weight.cols()
+        self.out_dim
     }
 
-    /// The weight matrix.
-    pub fn weight(&self) -> &Matrix {
-        &self.weight
+    /// The weight window viewed as an `in × out` matrix.
+    #[inline]
+    pub fn weight<'a>(&self, params: &'a [f32]) -> MatRef<'a> {
+        MatRef::new(&params[self.weight.as_range()], self.in_dim, self.out_dim)
     }
 
-    /// The bias vector.
-    pub fn bias(&self) -> &[f32] {
-        &self.bias
+    /// The bias window.
+    #[inline]
+    pub fn bias<'a>(&self, params: &'a [f32]) -> &'a [f32] {
+        &params[self.bias.as_range()]
+    }
+
+    /// The plane window covering the whole layer (weight then bias).
+    pub fn range(&self) -> ParamRange {
+        self.weight.join(self.bias)
+    }
+
+    /// The weight window descriptor.
+    pub fn weight_range(&self) -> ParamRange {
+        self.weight
+    }
+
+    /// The bias window descriptor.
+    pub fn bias_range(&self) -> ParamRange {
+        self.bias
     }
 
     /// Forward pass: `y = x·W + b`.
@@ -64,9 +86,9 @@ impl Linear {
     /// # Panics
     ///
     /// Panics if `x.cols() != self.in_dim()`.
-    pub fn forward(&self, x: &Matrix) -> Matrix {
+    pub fn forward(&self, params: &[f32], x: &Matrix) -> Matrix {
         let mut y = Matrix::zeros(0, 0);
-        self.forward_into(x, &mut y);
+        self.forward_into(params, x, &mut y);
         y
     }
 
@@ -76,160 +98,135 @@ impl Linear {
     /// # Panics
     ///
     /// Panics if `x.cols() != self.in_dim()`.
-    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
-        x.matmul_into(&self.weight, out);
-        out.add_row_broadcast(&self.bias);
+    pub fn forward_into(&self, params: &[f32], x: &Matrix, out: &mut Matrix) {
+        kernels::matmul_view_into(x.view(), self.weight(params), out);
+        out.add_row_broadcast(self.bias(params));
     }
 
-    /// Backward pass given the cached input `x` and upstream gradient `dy`.
-    ///
-    /// Returns `(dx, grads)` where `dx = dy·Wᵀ`, `dW = xᵀ·dy`, `db = Σ_rows dy`.
+    /// Backward pass given the cached input `x` and upstream gradient `dy`:
+    /// `dx = dy·Wᵀ` is written into `dx`, while `dW = xᵀ·dy` and
+    /// `db = Σ_rows dy` are written (overwriting) into this layer's windows
+    /// of the gradient plane. Allocation-free once `dx` has capacity.
     ///
     /// # Panics
     ///
     /// Panics if shapes are inconsistent with the forward pass.
-    pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (Matrix, LinearGrads) {
-        let mut dx = Matrix::zeros(0, 0);
-        let mut grads = LinearGrads {
-            weight: Matrix::zeros(0, 0),
-            bias: Vec::new(),
-        };
-        self.backward_into(x, dy, &mut dx, &mut grads);
-        (dx, grads)
+    pub fn backward_into(
+        &self,
+        params: &[f32],
+        x: &Matrix,
+        dy: &Matrix,
+        dx: &mut Matrix,
+        grads: &mut [f32],
+    ) {
+        self.backward_into_dx_cols(params, x, dy, dx, grads, 0..self.in_dim);
     }
 
-    /// Backward pass into caller-owned buffers (`dx` and `grads` are
-    /// overwritten): allocation-free once the buffers have capacity.
+    /// [`Linear::backward_into`] computing the input gradient only for the
+    /// input columns `dx_cols` (`dx` gets `dx_cols.len()` columns).
+    ///
+    /// Callers that need just a window of the input gradient — e.g. the
+    /// learned-feature columns of a tower input — skip the rest of the
+    /// `dy·Wᵀ` product entirely: the weight rows for a column window are a
+    /// contiguous slab of the parameter plane.
     ///
     /// # Panics
     ///
-    /// Panics if shapes are inconsistent with the forward pass.
-    pub fn backward_into(&self, x: &Matrix, dy: &Matrix, dx: &mut Matrix, grads: &mut LinearGrads) {
-        assert_eq!(dy.cols(), self.out_dim(), "upstream gradient width");
+    /// Panics if shapes are inconsistent or the window exceeds the input
+    /// width.
+    pub fn backward_into_dx_cols(
+        &self,
+        params: &[f32],
+        x: &Matrix,
+        dy: &Matrix,
+        dx: &mut Matrix,
+        grads: &mut [f32],
+        dx_cols: std::ops::Range<usize>,
+    ) {
+        assert_eq!(dy.cols(), self.out_dim, "upstream gradient width");
         assert_eq!(x.rows(), dy.rows(), "batch size mismatch");
-        dy.matmul_transpose_into(&self.weight, dx);
-        x.transpose_matmul_into(dy, &mut grads.weight);
-        dy.sum_rows_into(&mut grads.bias);
-    }
-
-    /// Mutable flat views of the parameters, in a stable order (weight, bias).
-    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
-        vec![self.weight.as_mut_slice(), &mut self.bias]
+        assert!(dx_cols.end <= self.in_dim, "dx column window out of range");
+        let w_window = MatRef::new(
+            &params[self.weight.offset + dx_cols.start * self.out_dim
+                ..self.weight.offset + dx_cols.end * self.out_dim],
+            dx_cols.len(),
+            self.out_dim,
+        );
+        kernels::matmul_transpose_view_into(dy.view(), w_window, dx);
+        kernels::transpose_matmul_buf(x.view(), dy.view(), &mut grads[self.weight.as_range()]);
+        dy.sum_rows_into_buf(&mut grads[self.bias.as_range()]);
     }
 
     /// Number of scalar parameters.
     pub fn param_count(&self) -> usize {
-        self.weight.len() + self.bias.len()
-    }
-}
-
-impl LinearGrads {
-    /// Zero gradients shaped like `layer`.
-    pub fn zeros_like(layer: &Linear) -> Self {
-        Self {
-            weight: Matrix::zeros(layer.in_dim(), layer.out_dim()),
-            bias: vec![0.0; layer.out_dim()],
-        }
-    }
-
-    /// Accumulates another gradient of identical shape.
-    ///
-    /// # Panics
-    ///
-    /// Panics if shapes differ.
-    pub fn accumulate(&mut self, other: &LinearGrads) {
-        self.weight.axpy(1.0, &other.weight);
-        for (b, o) in self.bias.iter_mut().zip(&other.bias) {
-            *b += o;
-        }
-    }
-
-    /// Flat views of the gradients, matching [`Linear::param_slices_mut`] order.
-    pub fn grad_slices(&self) -> Vec<&[f32]> {
-        vec![self.weight.as_slice(), &self.bias]
-    }
-
-    /// Scales all gradients by `alpha`.
-    pub fn scale(&mut self, alpha: f32) {
-        self.weight.scale(alpha);
-        for b in &mut self.bias {
-            *b *= alpha;
-        }
+        self.weight.len + self.bias.len
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::{GradPlane, ParamStore};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
+    fn build(in_dim: usize, out_dim: usize, seed: u64) -> (Linear, ParamStore) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = ParamStoreBuilder::new();
+        let layer = Linear::new(in_dim, out_dim, &mut rng, &mut b);
+        (layer, b.finish())
+    }
+
     #[test]
     fn forward_shapes_and_bias() {
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let mut layer = Linear::new(3, 2, &mut rng);
-        layer.param_slices_mut()[1].copy_from_slice(&[1.0, -1.0]);
-        let y = layer.forward(&Matrix::zeros(4, 3));
+        let (layer, mut store) = build(3, 2, 0);
+        store
+            .slice_mut(layer.bias_range())
+            .copy_from_slice(&[1.0, -1.0]);
+        let y = layer.forward(store.params(), &Matrix::zeros(4, 3));
         assert_eq!(y.shape(), (4, 2));
         assert_eq!(y.row(0), &[1.0, -1.0]);
     }
 
     #[test]
     fn backward_matches_finite_differences() {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let layer = Linear::new(4, 3, &mut rng);
+        let (layer, store) = build(4, 3, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
         let x = Matrix::randn(5, 4, &mut rng);
-        // Loss = sum(y) so dy = ones; check dW and db numerically.
+        // Loss = sum(y) so dy = ones; check dW, db, and dx numerically.
         let dy = Matrix::full(5, 3, 1.0);
-        let (dx, grads) = layer.backward(&x, &dy);
+        let mut dx = Matrix::zeros(0, 0);
+        let mut grads = GradPlane::zeros_like(&store);
+        layer.backward_into(store.params(), &x, &dy, &mut dx, grads.as_mut_slice());
 
         let h = 1e-2f32;
-        // dW check at a few entries.
-        for &(i, j) in &[(0usize, 0usize), (2, 1), (3, 2)] {
-            let mut lp = layer.clone();
-            lp.weight[(i, j)] += h;
-            let mut lm = layer.clone();
-            lm.weight[(i, j)] -= h;
-            let num = (lp.forward(&x).sum() - lm.forward(&x).sum()) / (2.0 * h);
-            assert!((num - grads.weight[(i, j)]).abs() < 1e-2, "dW[{i},{j}]");
-        }
-        // db check.
-        for j in 0..3 {
-            let mut lp = layer.clone();
-            lp.bias[j] += h;
-            let num = (lp.forward(&x).sum() - layer.forward(&x).sum()) / h;
-            assert!((num - grads.bias[j]).abs() < 1e-2, "db[{j}]");
+        let loss = |params: &[f32], x: &Matrix| layer.forward(params, x).sum();
+        // dW and db at a few plane offsets.
+        for &k in &[0usize, 5, 11, 12, 13] {
+            let mut plus = store.clone();
+            plus.params_mut()[k] += h;
+            let mut minus = store.clone();
+            minus.params_mut()[k] -= h;
+            let num = (loss(plus.params(), &x) - loss(minus.params(), &x)) / (2.0 * h);
+            let ana = grads.as_slice()[k];
+            assert!((num - ana).abs() < 1e-2, "plane[{k}]: {num} vs {ana}");
         }
         // dx check.
-        for &(r, c) in &[(0usize, 0usize), (4, 3 - 1)] {
+        for &(r, c) in &[(0usize, 0usize), (4, 3)] {
             let mut xp = x.clone();
             xp[(r, c)] += h;
             let mut xm = x.clone();
             xm[(r, c)] -= h;
-            let num = (layer.forward(&xp).sum() - layer.forward(&xm).sum()) / (2.0 * h);
+            let num = (loss(store.params(), &xp) - loss(store.params(), &xm)) / (2.0 * h);
             assert!((num - dx[(r, c)]).abs() < 1e-2, "dx[{r},{c}]");
         }
     }
 
     #[test]
-    fn grads_accumulate() {
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let layer = Linear::new(2, 2, &mut rng);
-        let x = Matrix::randn(3, 2, &mut rng);
-        let dy = Matrix::full(3, 2, 1.0);
-        let (_, g1) = layer.backward(&x, &dy);
-        let mut acc = LinearGrads::zeros_like(&layer);
-        acc.accumulate(&g1);
-        acc.accumulate(&g1);
-        for (a, b) in acc.weight.as_slice().iter().zip(g1.weight.as_slice()) {
-            assert!((a - 2.0 * b).abs() < 1e-6);
-        }
-    }
-
-    #[test]
-    fn param_count() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let layer = Linear::new(10, 5, &mut rng);
+    fn param_count_and_ranges() {
+        let (layer, store) = build(10, 5, 3);
         assert_eq!(layer.param_count(), 55);
+        assert_eq!(store.len(), 55);
+        assert_eq!(layer.range(), ParamRange { offset: 0, len: 55 });
     }
 }

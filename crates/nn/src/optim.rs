@@ -10,6 +10,14 @@
 //! ordered list of mutable flat slices with matching gradient slices, and
 //! state buffers are allocated lazily on the first step. The registration
 //! order must stay stable across steps.
+//!
+//! Models built on the flat [`crate::ParamStore`] pass exactly **one**
+//! block (the whole plane), so the AdaMax moments become two contiguous
+//! planes mirroring the parameter layout and each step is a single fused
+//! grad-read → moment-update → weight-write pass through
+//! [`pitot_linalg::adamax_update`] (AVX2+FMA behind the runtime dispatch).
+//! Multi-block callers (the matrix-factorization baselines) go through the
+//! same fused kernel once per block.
 
 use serde::{Deserialize, Serialize};
 
@@ -111,8 +119,20 @@ impl AdaMax {
     pub fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
         assert_eq!(params.len(), grads.len(), "param/grad block count mismatch");
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
-            self.u = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.m = params
+                .iter()
+                .map(|p| {
+                    pitot_linalg::alloc_count::record_buffer(p.len());
+                    vec![0.0; p.len()]
+                })
+                .collect();
+            self.u = params
+                .iter()
+                .map(|p| {
+                    pitot_linalg::alloc_count::record_buffer(p.len());
+                    vec![0.0; p.len()]
+                })
+                .collect();
         }
         assert_eq!(
             self.m.len(),
@@ -129,11 +149,7 @@ impl AdaMax {
         {
             assert_eq!(p.len(), g.len(), "param/grad length mismatch");
             assert_eq!(p.len(), m.len(), "block shape changed between steps");
-            for i in 0..p.len() {
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
-                u[i] = (self.beta2 * u[i]).max(g[i].abs());
-                p[i] -= lr_t * m[i] / (u[i] + self.eps);
-            }
+            pitot_linalg::adamax_update(p, g, m, u, lr_t, self.beta1, self.beta2, self.eps);
         }
     }
 }
@@ -305,10 +321,8 @@ impl Optimizer for SgdMomentum {
         for ((p, g), vel) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
             assert_eq!(p.len(), g.len(), "param/grad length mismatch");
             assert_eq!(p.len(), vel.len(), "block shape changed between steps");
-            for i in 0..p.len() {
-                vel[i] = self.momentum * vel[i] - self.lr * g[i];
-                p[i] += vel[i];
-            }
+            pitot_linalg::scale_add(vel, self.momentum, g, -self.lr);
+            pitot_linalg::axpy_slice(1.0, vel, p);
         }
     }
 

@@ -1,0 +1,319 @@
+//! The flat parameter plane.
+//!
+//! Every trainable scalar of a model lives in **one contiguous buffer**, a
+//! [`ParamStore`], and each layer holds [`ParamRange`] descriptors (offset
+//! plus length) into it instead of owning scattered matrices. Gradients
+//! live in a [`GradPlane`] with the *same layout*, and the AdaMax moments
+//! allocated by [`crate::AdaMax`] mirror the layout again, so one optimizer
+//! step is a single fused pass over four parallel planes
+//! ([`pitot_linalg::adamax_update`]) rather than a per-layer scalar loop.
+//!
+//! Ranges are handed out by a [`ParamStoreBuilder`] during model
+//! construction; once [`ParamStoreBuilder::finish`] seals the store, the
+//! layout is fixed. Serialization keeps only the flat buffer (descriptors
+//! are reconstructed from the architecture), so checkpoints are a single
+//! `Vec<f32>`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pitot_nn::{ParamStore, ParamStoreBuilder};
+//!
+//! let mut b = ParamStoreBuilder::new();
+//! let w = b.alloc(6);
+//! let bias = b.alloc_full(2, 1.0);
+//! let store: ParamStore = b.finish();
+//! assert_eq!(store.len(), 8);
+//! assert_eq!(store.slice(bias), &[1.0, 1.0]);
+//! assert_eq!(store.slice(w).len(), 6);
+//! ```
+
+use pitot_linalg::MatRef;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A window of the flat parameter plane (offset + length).
+///
+/// Copyable descriptor; the actual data lives in the [`ParamStore`] (or the
+/// matching [`GradPlane`] / moment planes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamRange {
+    /// First element of the window in the plane.
+    pub offset: usize,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl ParamRange {
+    /// The window as an index range.
+    #[inline]
+    pub fn as_range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+
+    /// One element past the window.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+
+    /// The smallest window covering both `self` and `other`.
+    pub fn join(&self, other: ParamRange) -> ParamRange {
+        let offset = self.offset.min(other.offset);
+        ParamRange {
+            offset,
+            len: self.end().max(other.end()) - offset,
+        }
+    }
+}
+
+/// Allocates windows of the future parameter plane during model
+/// construction.
+#[derive(Debug, Default)]
+pub struct ParamStoreBuilder {
+    data: Vec<f32>,
+}
+
+impl ParamStoreBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Elements allocated so far (the offset the next window will get).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Allocates a zero-initialized window.
+    pub fn alloc(&mut self, len: usize) -> ParamRange {
+        self.alloc_full(len, 0.0)
+    }
+
+    /// Allocates a window filled with `value`.
+    pub fn alloc_full(&mut self, len: usize, value: f32) -> ParamRange {
+        let offset = self.data.len();
+        self.data.resize(offset + len, value);
+        ParamRange { offset, len }
+    }
+
+    /// Allocates a window of normal draws scaled by `std` (He/Xavier-style
+    /// initialization directly into the plane).
+    pub fn alloc_randn<R: Rng + ?Sized>(
+        &mut self,
+        len: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> ParamRange {
+        let range = self.alloc(len);
+        let slab = &mut self.data[range.as_range()];
+        pitot_linalg::fill_randn(slab, rng);
+        for v in slab {
+            *v *= std;
+        }
+        range
+    }
+
+    /// Seals the layout into an immutable-shape store.
+    pub fn finish(self) -> ParamStore {
+        pitot_linalg::alloc_count::record_buffer(self.data.len());
+        ParamStore { data: self.data }
+    }
+}
+
+/// The sealed flat parameter plane: one contiguous `Vec<f32>` holding every
+/// trainable scalar of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamStore {
+    data: Vec<f32>,
+}
+
+impl ParamStore {
+    /// Total number of parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The whole plane.
+    #[inline]
+    pub fn params(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The whole plane, mutably (the optimizer's single parameter block).
+    #[inline]
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One window of the plane.
+    #[inline]
+    pub fn slice(&self, range: ParamRange) -> &[f32] {
+        &self.data[range.as_range()]
+    }
+
+    /// One window of the plane, mutably.
+    #[inline]
+    pub fn slice_mut(&mut self, range: ParamRange) -> &mut [f32] {
+        &mut self.data[range.as_range()]
+    }
+
+    /// A window viewed as a `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.len != rows * cols`.
+    #[inline]
+    pub fn matrix(&self, range: ParamRange, rows: usize, cols: usize) -> MatRef<'_> {
+        MatRef::new(self.slice(range), rows, cols)
+    }
+}
+
+/// A gradient plane with the same layout as a [`ParamStore`].
+///
+/// Allocated once per training loop and recycled in place; accumulation and
+/// scaling run through the fused elementwise kernels.
+#[derive(Debug, Clone)]
+pub struct GradPlane {
+    data: Vec<f32>,
+}
+
+impl GradPlane {
+    /// A zeroed plane matching `store`'s layout.
+    pub fn zeros_like(store: &ParamStore) -> Self {
+        pitot_linalg::alloc_count::record_buffer(store.len());
+        Self {
+            data: vec![0.0; store.len()],
+        }
+    }
+
+    /// Total number of gradient entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the plane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The whole plane (the optimizer's single gradient block).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The whole plane, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One window of the plane.
+    #[inline]
+    pub fn slice(&self, range: ParamRange) -> &[f32] {
+        &self.data[range.as_range()]
+    }
+
+    /// One window of the plane, mutably.
+    #[inline]
+    pub fn slice_mut(&mut self, range: ParamRange) -> &mut [f32] {
+        &mut self.data[range.as_range()]
+    }
+
+    /// Zeroes the whole plane.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// `self[range] += alpha · other[range]` — accumulate one model's window
+    /// from a scratch plane (multi-network training loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planes have different layouts.
+    pub fn accumulate_range(&mut self, range: ParamRange, other: &GradPlane, alpha: f32) {
+        assert_eq!(self.data.len(), other.data.len(), "plane layout mismatch");
+        pitot_linalg::axpy_slice(
+            alpha,
+            &other.data[range.as_range()],
+            &mut self.data[range.as_range()],
+        );
+    }
+
+    /// Scales the whole plane by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn builder_allocates_contiguously() {
+        let mut b = ParamStoreBuilder::new();
+        let a = b.alloc(3);
+        let c = b.alloc_full(2, 0.5);
+        assert_eq!(a, ParamRange { offset: 0, len: 3 });
+        assert_eq!(c, ParamRange { offset: 3, len: 2 });
+        let store = b.finish();
+        assert_eq!(store.params(), &[0.0, 0.0, 0.0, 0.5, 0.5]);
+        assert_eq!(a.join(c), ParamRange { offset: 0, len: 5 });
+    }
+
+    #[test]
+    fn randn_windows_are_scaled() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut b = ParamStoreBuilder::new();
+        let r = b.alloc_randn(1000, 0.1, &mut rng);
+        let store = b.finish();
+        let std = {
+            let s = store.slice(r);
+            let mean: f32 = s.iter().sum::<f32>() / s.len() as f32;
+            (s.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / s.len() as f32).sqrt()
+        };
+        assert!((std - 0.1).abs() < 0.02, "std {std}");
+    }
+
+    #[test]
+    fn grad_plane_accumulates_ranges() {
+        let mut b = ParamStoreBuilder::new();
+        let lo = b.alloc(2);
+        let hi = b.alloc(2);
+        let store = b.finish();
+        let mut acc = GradPlane::zeros_like(&store);
+        let mut tmp = GradPlane::zeros_like(&store);
+        tmp.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        acc.accumulate_range(lo, &tmp, 1.0);
+        acc.accumulate_range(hi, &tmp, 0.5);
+        assert_eq!(acc.as_slice(), &[1.0, 2.0, 1.5, 2.0]);
+        acc.scale(2.0);
+        assert_eq!(acc.as_slice(), &[2.0, 4.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn store_serde_round_trip() {
+        let mut b = ParamStoreBuilder::new();
+        b.alloc_full(3, 1.5);
+        let store = b.finish();
+        let json = serde_json::to_string(&store).unwrap();
+        let back: ParamStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(store, back);
+    }
+}

@@ -315,9 +315,39 @@ pub fn write_json_report() -> Option<String> {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    // Host provenance: enough to tell a 1-core container run from a
+    // multi-core CI runner and an AVX2 machine from a baseline-SSE2 one
+    // when comparing JSON dumps across commits.
+    let avx2_fma = {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    };
+    let git_rev = std::env::var("GITHUB_SHA")
+        .ok()
+        .or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
     out.push_str(&format!(
-        "  \"meta\": {{\"threads\": {threads}, \"available_parallelism\": {}}},\n",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
+        "  \"meta\": {{\"threads\": {threads}, \"available_parallelism\": {}, \
+         \"avx2_fma_dispatch\": {avx2_fma}, \"arch\": \"{}\", \"os\": \"{}\", \
+         \"git_rev\": \"{}\"}},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        json_escape(&git_rev),
     ));
     out.push_str("  \"benches\": [\n");
     for (i, r) in records.iter().enumerate() {
