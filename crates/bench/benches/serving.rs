@@ -1,0 +1,139 @@
+//! Serving-layer cost: event throughput of the streaming loop and the
+//! latency of a sliding-window conformal refresh.
+//!
+//! The serving story only holds if recalibrating per observation is cheap —
+//! the whole point of `pitot_conformal::WindowedScores` is that a refresh
+//! is rank lookups over incrementally maintained sorted slices instead of a
+//! re-score + re-sort. This bench records:
+//!
+//! - `serving/stream_2k_events`: a mixed observation/query stream through a
+//!   full server (window 512, refresh every observation, micro-batch 16) —
+//!   the headline events/sec figure;
+//! - `serving/refresh_tightest_1k`: one observation + refresh on a full
+//!   1024-window server under `TightestOnValidation` head selection (the
+//!   most expensive refresh configuration);
+//! - `serving/refresh_p50` / `serving/refresh_p99`: tail percentiles over
+//!   individual refresh latencies, recorded via
+//!   `criterion::record_external` so the regression gate judges the tail,
+//!   not just the mean.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pitot::{Objective, PitotConfig, TrainedPitot};
+use pitot_bench::Fixture;
+use pitot_conformal::HeadSelection;
+use pitot_serve::{Event, PitotServer, ServeConfig};
+use std::hint::black_box;
+
+fn trained(f: &Fixture) -> TrainedPitot {
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        steps: 60,
+        eval_every: 60,
+        ..PitotConfig::paper()
+    };
+    pitot::train(&f.dataset, &f.split, &cfg)
+}
+
+/// A mixed event stream over the test split: 3 observations per query,
+/// queries micro-batched by the server.
+fn build_events(f: &Fixture, n: usize) -> Vec<Event> {
+    (0..n)
+        .map(|t| {
+            let o = &f.dataset.observations[f.split.test[t % f.split.test.len()]];
+            if t % 4 == 3 {
+                Event::Query {
+                    id: t as u64,
+                    workload: o.workload,
+                    platform: o.platform,
+                    interferers: o.interferers.clone(),
+                }
+            } else {
+                Event::Observe(o.clone())
+            }
+        })
+        .collect()
+}
+
+/// Events/sec through a serving instance refreshing on every observation.
+fn stream_throughput(c: &mut Criterion) {
+    let f = Fixture::small();
+    let t = trained(&f);
+    let mut cfg = ServeConfig::at(0.1);
+    cfg.window = 512;
+    cfg.refresh_every = 1;
+    cfg.microbatch = 16;
+    let mut server = PitotServer::new(t, f.dataset.clone(), cfg);
+    server.seed_calibration(&f.split.val);
+
+    let events = build_events(&f, 2000);
+    // The server lives across iterations (its clock must stay monotone).
+    let mut t0 = 0.0f64;
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("stream_2k_events", |b| {
+        b.iter(|| {
+            let mut answered = 0usize;
+            for (dt, ev) in events.iter().enumerate() {
+                answered += server
+                    .on_event(t0 + dt as f64, ev.clone())
+                    .predictions
+                    .len();
+            }
+            t0 += events.len() as f64;
+            black_box(server.flush());
+            black_box(answered)
+        })
+    });
+    group.finish();
+    // Keep the latency record from this run out of the percentile bench.
+    drop(server);
+}
+
+/// One observation + refresh on a full window under the most expensive
+/// selection policy, plus tail percentiles of the individual refreshes.
+fn refresh_latency(c: &mut Criterion) {
+    let f = Fixture::small();
+    let t = trained(&f);
+    let mut cfg = ServeConfig::at(0.1);
+    cfg.window = 1024;
+    cfg.refresh_every = 1;
+    cfg.selection = HeadSelection::TightestOnValidation;
+    let mut server = PitotServer::new(t, f.dataset.clone(), cfg);
+    server.seed_calibration(&f.split.val);
+    // Fill the window completely before measuring.
+    for (dt, &i) in f.split.test.iter().take(1024).enumerate() {
+        server.on_event(dt as f64, Event::Observe(f.dataset.observations[i].clone()));
+    }
+
+    let mut t0 = 2048.0f64;
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_function("refresh_tightest_1k", |b| {
+        b.iter(|| {
+            let i = f.split.test[(t0 as usize) % f.split.test.len()];
+            let fb = server.on_event(t0, Event::Observe(f.dataset.observations[i].clone()));
+            t0 += 1.0;
+            black_box(fb)
+        })
+    });
+    group.finish();
+
+    // Tail percentiles over every refresh this bench performed.
+    let mut lat: Vec<u64> = std::mem::take(&mut server.stats_mut().refresh_ns);
+    lat.sort_unstable();
+    if !lat.is_empty() {
+        let pct = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize] as f64;
+        let mean = lat.iter().sum::<u64>() as f64 / lat.len() as f64;
+        let var = lat
+            .iter()
+            .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+            .sum::<f64>()
+            / lat.len().max(1) as f64;
+        criterion::record_external("serving/refresh_p50", pct(0.50), var.sqrt(), lat.len());
+        criterion::record_external("serving/refresh_p99", pct(0.99), var.sqrt(), lat.len());
+    }
+}
+
+criterion_group!(serving, stream_throughput, refresh_latency);
+criterion_main!(serving);

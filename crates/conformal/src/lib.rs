@@ -30,6 +30,12 @@
 //! - [`CoverageCurve`] and friends: diagnostics for marginal, per-group, and
 //!   worst-group coverage.
 //!
+//! For online serving, [`WindowedScores`] maintains a sliding-window
+//! calibration set incrementally — per-event binary-search edits of the
+//! pre-sorted score slices, bitwise identical to re-scoring the window from
+//! scratch — so a streaming service can refresh its bounds per observation
+//! at rank-lookup cost.
+//!
 //! All calibration happens in log-runtime space; since `exp` is monotone the
 //! coverage guarantee transfers to linear space unchanged.
 //!
@@ -45,6 +51,10 @@
 //! assert!(cal.offset() >= 0.1);
 //! assert!(cal.upper_bound_log(0.5) >= 0.6);
 //! ```
+
+// Every public item in this crate is part of the documented conformal API;
+// keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
 
 mod diagnostics;
 mod jackknife;
@@ -66,6 +76,6 @@ pub use mondrian::MondrianConformal;
 pub use pooled::{HeadSelection, PoolCalibration, PooledConformal, PredictionSet};
 pub use rearrange::{crossing_rate, rearrange_heads};
 pub use scaled::{head_spread, ScaledConformal, MIN_SCALE};
-pub use scores::{upper_scores, ScoredCalibration, SweepCalibration};
+pub use scores::{upper_scores, ScoredCalibration, SweepCalibration, WindowedScores};
 pub use split_conformal::{calibrate_gamma, SplitConformal};
 pub use two_sided::{interval_coverage, mean_interval_factor, Interval, TwoSidedCqr};

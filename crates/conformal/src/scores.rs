@@ -44,7 +44,10 @@ pub fn upper_scores(preds: &[Vec<f32>], targets: &[f32]) -> Vec<Vec<f32>> {
 
 /// One calibration set's scores, partitioned by pool and sorted — computed
 /// once, consumed by every `(variant, ε)` fit.
-#[derive(Debug, Clone)]
+///
+/// Equality is elementwise over the sorted score slices, so two instances
+/// compare equal exactly when every downstream rank lookup agrees bitwise.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoredCalibration {
     /// Per head: every score, ascending.
     global_sorted: Vec<Vec<f32>>,
@@ -136,6 +139,181 @@ impl ScoredCalibration {
     pub fn sorted_scores(&self, head: usize) -> &[f32] {
         &self.global_sorted[head]
     }
+}
+
+/// A sliding-window calibration set maintained incrementally.
+///
+/// Online serving recalibrates on the most recent `capacity` observations
+/// (the moving calibration set of Gui et al.'s conformalized matrix
+/// completion): every arriving observation pushes one score per head and
+/// evicts the oldest once the window is full. Rather than re-scoring and
+/// re-sorting the whole window per event, this type keeps the same sorted
+/// global/per-pool slices a [`ScoredCalibration`] holds and edits them in
+/// place — one binary-search insert plus one binary-search remove per head
+/// per event, `O(heads · log n)` comparisons instead of an
+/// `O(heads · n log n)` re-sort.
+///
+/// The maintained state is **bitwise identical** to
+/// `ScoredCalibration::new` on the current window contents (property-tested
+/// below), so every downstream `fit_scored` — and therefore every served
+/// bound — is exactly what a from-scratch refit would produce.
+#[derive(Debug, Clone)]
+pub struct WindowedScores {
+    capacity: usize,
+    /// Oldest-first ring of `(per-head scores, pool)` entries.
+    ring: std::collections::VecDeque<(Vec<f32>, usize)>,
+    /// The incrementally maintained sorted view.
+    scored: ScoredCalibration,
+}
+
+impl WindowedScores {
+    /// An empty window holding at most `capacity` observations with
+    /// `n_heads` scores each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `n_heads` is zero.
+    pub fn new(capacity: usize, n_heads: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        assert!(n_heads > 0, "at least one head required");
+        Self {
+            capacity,
+            // Pre-size modest windows; effectively unbounded ones grow.
+            ring: std::collections::VecDeque::with_capacity(capacity.min(4096) + 1),
+            scored: ScoredCalibration {
+                global_sorted: vec![Vec::new(); n_heads],
+                pool_sorted: BTreeMap::new(),
+                n: 0,
+            },
+        }
+    }
+
+    /// Observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.scored.n
+    }
+
+    /// Whether the window holds no observations yet.
+    pub fn is_empty(&self) -> bool {
+        self.scored.n == 0
+    }
+
+    /// Whether the window has reached capacity (pushes now evict).
+    pub fn is_full(&self) -> bool {
+        self.scored.n == self.capacity
+    }
+
+    /// Maximum number of observations retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of heads per observation.
+    pub fn n_heads(&self) -> usize {
+        self.scored.global_sorted.len()
+    }
+
+    /// Pushes one observation given its per-head log-space predictions and
+    /// its log-space target, evicting the oldest observation if the window
+    /// is full. Returns the evicted entry's pool key, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_preds` does not match the head count.
+    pub fn push(&mut self, head_preds: &[f32], target_log: f32, pool: usize) -> Option<usize> {
+        let scores: Vec<f32> = head_preds.iter().map(|p| target_log - p).collect();
+        self.push_scores(scores, pool)
+    }
+
+    /// [`WindowedScores::push`] with precomputed scores `s[h] = y − ŷ[h]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` does not match the head count.
+    pub fn push_scores(&mut self, scores: Vec<f32>, pool: usize) -> Option<usize> {
+        let n_heads = self.n_heads();
+        assert_eq!(scores.len(), n_heads, "score/head count mismatch");
+        let evicted = if self.scored.n == self.capacity {
+            let (old_scores, old_pool) = self.ring.pop_front().expect("full window is non-empty");
+            self.remove_sorted(&old_scores, old_pool);
+            Some(old_pool)
+        } else {
+            None
+        };
+
+        for (h, &s) in scores.iter().enumerate() {
+            insert_sorted(&mut self.scored.global_sorted[h], s);
+        }
+        let per_pool = self
+            .scored
+            .pool_sorted
+            .entry(pool)
+            .or_insert_with(|| vec![Vec::new(); n_heads]);
+        for (h, &s) in scores.iter().enumerate() {
+            insert_sorted(&mut per_pool[h], s);
+        }
+        self.ring.push_back((scores, pool));
+        self.scored.n += 1;
+        evicted
+    }
+
+    /// The maintained sorted-score view, ready for
+    /// [`crate::PooledConformal::fit_scored`] or
+    /// [`crate::SplitConformal::from_sorted_scores`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty (an empty calibration set has no
+    /// quantiles).
+    pub fn scored(&self) -> &ScoredCalibration {
+        assert!(!self.is_empty(), "cannot calibrate on an empty window");
+        &self.scored
+    }
+
+    /// Oldest-first iterator over the window's `(scores, pool)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&[f32], usize)> + '_ {
+        self.ring.iter().map(|(s, p)| (s.as_slice(), *p))
+    }
+
+    fn remove_sorted(&mut self, scores: &[f32], pool: usize) {
+        self.scored.n -= 1;
+        for (h, &s) in scores.iter().enumerate() {
+            remove_sorted(&mut self.scored.global_sorted[h], s);
+        }
+        let emptied = {
+            let per_pool = self
+                .scored
+                .pool_sorted
+                .get_mut(&pool)
+                .expect("evicted entry's pool is present");
+            for (h, &s) in scores.iter().enumerate() {
+                remove_sorted(&mut per_pool[h], s);
+            }
+            per_pool[0].is_empty()
+        };
+        // `ScoredCalibration::new` only creates keys for pools present in
+        // the set; drop emptied pools so the views stay identical.
+        if emptied {
+            self.scored.pool_sorted.remove(&pool);
+        }
+    }
+}
+
+/// Inserts `s` keeping `v` ascending under `total_cmp` (ties appended after
+/// their equals, matching a stable sort of equal float bits).
+fn insert_sorted(v: &mut Vec<f32>, s: f32) {
+    let i = v.partition_point(|x| x.total_cmp(&s).is_le());
+    v.insert(i, s);
+}
+
+/// Removes one occurrence of `s` from ascending `v`.
+fn remove_sorted(v: &mut Vec<f32>, s: f32) {
+    let i = v.partition_point(|x| x.total_cmp(&s).is_lt());
+    debug_assert!(
+        i < v.len() && v[i].total_cmp(&s).is_eq(),
+        "evicted score missing from sorted slice"
+    );
+    v.remove(i);
 }
 
 /// A fully prepared ε-sweep calibration: the pre-scored calibration half
@@ -260,6 +438,109 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// From-scratch [`ScoredCalibration`] over the last `window` entries of
+    /// a `(preds, target, pool)` stream.
+    fn scratch_over_window(
+        stream: &[(Vec<f32>, f32, usize)],
+        window: usize,
+    ) -> Option<ScoredCalibration> {
+        let tail = &stream[stream.len().saturating_sub(window)..];
+        if tail.is_empty() {
+            return None;
+        }
+        let n_heads = tail[0].0.len();
+        let preds: Vec<Vec<f32>> = (0..n_heads)
+            .map(|h| tail.iter().map(|(p, _, _)| p[h]).collect())
+            .collect();
+        let targets: Vec<f32> = tail.iter().map(|(_, t, _)| *t).collect();
+        let pools: Vec<usize> = tail.iter().map(|(_, _, p)| *p).collect();
+        Some(ScoredCalibration::new(&PredictionSet {
+            predictions: &preds,
+            targets_log: &targets,
+            pools: &pools,
+        }))
+    }
+
+    proptest::proptest! {
+        /// After EVERY push of a random stream — duplicate scores, a
+        /// drifting pool mix, a window smaller than the stream — the
+        /// incrementally maintained view must equal a from-scratch
+        /// [`ScoredCalibration::new`] on the same window contents, bitwise
+        /// (elementwise PartialEq over the sorted slices).
+        #[test]
+        fn windowed_refresh_is_bitwise_identical_to_scratch_fit(
+            seed in 0u64..40,
+            window in 1usize..40,
+            n in 1usize..120,
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37));
+            let n_heads = 1 + (seed as usize % 3);
+            let mut win = WindowedScores::new(window, n_heads);
+            let mut stream: Vec<(Vec<f32>, f32, usize)> = Vec::new();
+            for i in 0..n {
+                // Quantized values force duplicate scores; the pool mix
+                // drifts so pools appear and empty out over the stream.
+                let preds: Vec<f32> = (0..n_heads)
+                    .map(|_| (rng.gen_range(-8i32..8) as f32) * 0.25)
+                    .collect();
+                let target = (rng.gen_range(-8i32..8) as f32) * 0.25;
+                let pool = if i < n / 2 { i % 2 } else { 2 + i % 2 };
+                win.push(&preds, target, pool);
+                stream.push((preds, target, pool));
+
+                let scratch = scratch_over_window(&stream, window).unwrap();
+                proptest::prop_assert_eq!(win.scored(), &scratch, "diverged after push {}", i);
+            }
+            proptest::prop_assert_eq!(win.len(), window.min(n));
+            proptest::prop_assert_eq!(win.is_full(), n >= window);
+        }
+    }
+
+    #[test]
+    fn windowed_gammas_match_scratch_after_eviction() {
+        // End-to-end: the γ a served bound would use is identical whether
+        // the window was maintained incrementally or rebuilt from scratch.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut win = WindowedScores::new(64, 2);
+        let mut stream = Vec::new();
+        for i in 0..300 {
+            let preds = vec![rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)];
+            let target = rng.gen_range(-1.0f32..1.5);
+            let pool = i % 3;
+            win.push(&preds, target, pool);
+            stream.push((preds, target, pool));
+        }
+        let scratch = scratch_over_window(&stream, 64).unwrap();
+        for eps in [0.02f32, 0.1, 0.3] {
+            for h in 0..2 {
+                assert_eq!(
+                    win.scored().gamma(None, h, eps),
+                    scratch.gamma(None, h, eps)
+                );
+                for pool in 0..3 {
+                    assert_eq!(
+                        win.scored().gamma(Some(pool), h, eps),
+                        scratch.gamma(Some(pool), h, eps)
+                    );
+                }
+            }
+        }
+        // The ring preserves arrival order of the survivors.
+        let tail = &stream[stream.len() - 64..];
+        for ((got, pool), want) in win.entries().zip(tail) {
+            let want_scores: Vec<f32> = want.0.iter().map(|p| want.1 - p).collect();
+            assert_eq!(got, want_scores.as_slice());
+            assert_eq!(pool, want.2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_refuses_to_calibrate() {
+        let win = WindowedScores::new(8, 1);
+        let _ = win.scored();
     }
 
     #[test]

@@ -431,6 +431,32 @@ impl PitotModel {
         });
     }
 
+    /// [`PitotModel::predict_batch_into`] addressing observations by
+    /// dataset index. Checkpoint evaluation calls this once per checkpoint;
+    /// indexing directly into the dataset avoids materializing a fresh
+    /// `Vec<&Observation>` per call, keeping the eval path allocation-free
+    /// once its output buffer is sized.
+    pub fn predict_batch_indices_into(
+        &self,
+        w: &Matrix,
+        p_full: &Matrix,
+        dataset: &Dataset,
+        idx: &[usize],
+        out: &mut Matrix,
+    ) {
+        let n_heads = self.n_heads();
+        out.resize(idx.len(), n_heads);
+        if idx.is_empty() {
+            return;
+        }
+        pitot_linalg::par::parallel_for_rows(out.as_mut_slice(), n_heads, 64, |start, chunk| {
+            for (b, row) in chunk.chunks_exact_mut(n_heads).enumerate() {
+                let obs = &dataset.observations[idx[start + b]];
+                self.predict_obs(w, p_full, obs, |h, pred| row[h] = pred);
+            }
+        });
+    }
+
     /// [`PitotModel::predict_into`] that additionally records the
     /// interference inner products — `m_t = Σ_k ⟨w_k, v_g⟩` and
     /// `s_t = ⟨w_i, v_s⟩` per (observation, head, type) — into `mcache`, so

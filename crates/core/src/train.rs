@@ -18,7 +18,7 @@ use crate::model::{PitotModel, TowerOutputs};
 use crate::scaling::ScalingBaseline;
 use pitot_linalg::{Matrix, Scratch};
 use pitot_nn::{pinball_loss_into, squared_loss_into, GradPlane, Optimizer};
-use pitot_testbed::{split::Split, Dataset, Observation, MAX_INTERFERERS};
+use pitot_testbed::{split::Split, Dataset, MAX_INTERFERERS};
 use rand::{seq::SliceRandom, Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -163,6 +163,9 @@ pub struct TrainContext {
     /// under the configured loss space — precomputed once so the hot loop
     /// never recomputes `ln` per sample.
     residual_targets: Vec<f32>,
+    /// Per-head training quantiles, cached so checkpoint evaluation does
+    /// not clone the objective's ξ vector once per checkpoint.
+    eval_xis: Vec<f32>,
     bufs: StepBuffers,
     history: Vec<TrainProgress>,
     best: Option<(f32, PitotModel)>,
@@ -243,6 +246,7 @@ impl TrainContext {
             .collect();
 
         let bufs = StepBuffers::new(&model, dataset);
+        let eval_xis = config.objective.xis();
         Self {
             model,
             scaling,
@@ -253,6 +257,7 @@ impl TrainContext {
             mode_weights,
             val_idx,
             residual_targets,
+            eval_xis,
             bufs,
             history: Vec::new(),
             best: None,
@@ -270,6 +275,23 @@ impl TrainContext {
     /// best-validation checkpoint, which [`TrainContext::finish`] selects.
     pub fn model(&self) -> &PitotModel {
         &self.model
+    }
+
+    /// The configuration this context was built with (`config.steps` is the
+    /// [`TrainContext::fit`] budget; [`TrainContext::resume`] ignores it).
+    pub fn config(&self) -> &PitotConfig {
+        &self.config
+    }
+
+    /// The scaling baseline the residual space is anchored to (fixed for
+    /// the lifetime of the context).
+    pub fn scaling(&self) -> &ScalingBaseline {
+        &self.scaling
+    }
+
+    /// The split the context draws batches and checkpoints from.
+    pub fn split(&self) -> &Split {
+        &self.split
     }
 
     /// Runs the configured step budget (`config.steps`), evaluating every
@@ -311,6 +333,7 @@ impl TrainContext {
                     dataset,
                     &self.val_idx,
                     &self.config,
+                    &self.eval_xis,
                     &mut self.bufs.towers,
                     &mut self.bufs.eval_preds,
                     &mut self.bufs.eval_obs,
@@ -458,7 +481,10 @@ fn loss_gradients_into(
 /// Weighted loss over an index set (validation checkpointing): one tower
 /// pass into the reusable step buffers, one row-parallel batched
 /// prediction, then per-mode mean losses accumulated in a single sweep over
-/// cached residual targets.
+/// cached residual targets. Every buffer (towers, prediction matrix, the
+/// mode/index pair list, the ξ vector) is caller-owned and recycled, so a
+/// steady-state checkpoint evaluation allocates nothing (asserted by
+/// `steady_state_steps_are_matrix_alloc_free`).
 #[allow(clippy::too_many_arguments)]
 fn evaluate_loss_cached(
     model: &PitotModel,
@@ -466,6 +492,7 @@ fn evaluate_loss_cached(
     dataset: &Dataset,
     idx: &[usize],
     config: &PitotConfig,
+    xis: &[f32],
     towers: &mut TowerOutputs,
     preds: &mut Matrix,
     obs_buf: &mut Vec<(usize, usize)>,
@@ -476,10 +503,7 @@ fn evaluate_loss_cached(
     // Reuses the training tower buffers; the next step overwrites them with
     // a fresh dense pass anyway.
     model.forward_towers_with(dataset, towers);
-    {
-        let obs: Vec<&Observation> = idx.iter().map(|&i| &dataset.observations[i]).collect();
-        model.predict_batch_into(&towers.w, &towers.p_full, &obs, preds);
-    }
+    model.predict_batch_indices_into(&towers.w, &towers.p_full, dataset, idx, preds);
     // (mode, observation-index) pairs, reused across evaluations.
     obs_buf.clear();
     obs_buf.extend(
@@ -489,10 +513,6 @@ fn evaluate_loss_cached(
 
     let weights = mode_weights(config);
     let n_heads = model.n_heads();
-    let xis = match &config.objective {
-        Objective::Squared => Vec::new(),
-        Objective::Quantiles(x) => x.clone(),
-    };
     let mut total = 0.0f32;
     let mut total_w = 0.0f32;
     for k in 0..=MAX_INTERFERERS {
@@ -907,10 +927,12 @@ mod tests {
         // allocated), the training step must recycle every buffer: the
         // counter in pitot_linalg::alloc_count — which also tracks the
         // parameter/gradient/moment planes via record_buffer — stays at zero
-        // across further steps. This covers the FULL optimizer step:
-        // forward, backward, and the fused AdaMax plane update. (Validation
-        // evaluation is excluded: it runs once per eval_every steps on the
-        // inference path, which sizes its own buffers per call.)
+        // across further steps. This covers the FULL optimizer step
+        // (forward, backward, and the fused AdaMax plane update) AND a
+        // checkpoint evaluation: the eval path indexes the dataset directly
+        // (`predict_batch_indices_into`) and reuses the step buffers'
+        // prediction matrix and mode/index list, so once sized it allocates
+        // nothing either.
         let (ds, split) = setup();
         let cfg = PitotConfig::tiny();
         let mut ctx = TrainContext::new(&ds, &split, &cfg);
@@ -930,14 +952,31 @@ mod tests {
                 );
             }
         };
+        let checkpoint_eval = |ctx: &mut TrainContext| {
+            evaluate_loss_cached(
+                &ctx.model,
+                &ctx.residual_targets,
+                &ds,
+                &ctx.val_idx,
+                &ctx.config,
+                &ctx.eval_xis,
+                &mut ctx.bufs.towers,
+                &mut ctx.bufs.eval_preds,
+                &mut ctx.bufs.eval_obs,
+            )
+        };
         raw_steps(&mut ctx, 3); // warmup: sizes every buffer, allocates moments
+        let warm_loss = checkpoint_eval(&mut ctx); // warmup: sizes eval buffers
         pitot_linalg::alloc_count::reset();
         raw_steps(&mut ctx, 5);
+        let loss = checkpoint_eval(&mut ctx);
         assert_eq!(
             pitot_linalg::alloc_count::matrix_allocs(),
             0,
-            "steady-state training steps must not allocate matrix or plane buffers"
+            "steady-state training steps + checkpoint eval must not allocate \
+             matrix or plane buffers"
         );
+        assert!(warm_loss.is_finite() && loss.is_finite());
     }
 
     #[test]

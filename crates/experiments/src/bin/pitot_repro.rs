@@ -11,8 +11,9 @@
 //!   fig7 fig12                    embedding interpretation
 //!   summary                       Sec 5.3 headline numbers
 //!   orchestration shift online    extension studies (placement, pool
-//!   conformal optimizer           robustness, online learning, conformal
-//!                                 variants, optimizer ablation)
+//!   serving conformal optimizer   robustness, online learning, streaming
+//!                                 recalibration, conformal variants,
+//!                                 optimizer ablation)
 //!   all                           everything above
 //! ```
 //!
@@ -22,7 +23,7 @@
 
 use pitot_experiments::{
     ablations, baseline_cmp, baselines_ext, conformal_variants, dataset_report, embeddings,
-    hyperparams, online, optimizer_cmp, orchestration, shift, uncertainty,
+    hyperparams, online, optimizer_cmp, orchestration, serving, shift, uncertainty,
 };
 use pitot_experiments::{Figure, Harness, Scale};
 use std::path::PathBuf;
@@ -86,6 +87,7 @@ fn main() {
         "orchestration",
         "shift",
         "online",
+        "serving",
         "conformal",
         "optimizer",
         "baselines",
@@ -129,6 +131,7 @@ fn main() {
             "baselines" => vec![baselines_ext::ext_baselines(&harness)],
             "shift" => vec![shift::ext_shift(&harness)],
             "online" => vec![online::ext_online(&harness)],
+            "serving" => vec![serving::ext_serving(&harness)],
             "conformal" => vec![conformal_variants::ext_conformal_variants(&harness)],
             "optimizer" => vec![optimizer_cmp::ext_optimizer(&harness)],
             other => {

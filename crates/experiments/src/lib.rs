@@ -22,6 +22,7 @@ pub mod online;
 pub mod optimizer_cmp;
 pub mod orchestration;
 pub mod report;
+pub mod serving;
 pub mod shift;
 pub mod uncertainty;
 

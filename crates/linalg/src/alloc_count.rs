@@ -1,7 +1,7 @@
 //! Matrix-allocation counter for no-alloc regression tests.
 //!
 //! Every code path in this crate that takes a fresh heap buffer for matrix
-//! data calls [`record`]; hot-path tests reset the counter, run a
+//! data calls `record`; hot-path tests reset the counter, run a
 //! steady-state window, and assert it stayed at zero. The counter is
 //! thread-local, which is exactly right for those tests: the training loop
 //! under test runs on one thread, and the kernel pool never allocates.

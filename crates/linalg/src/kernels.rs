@@ -16,7 +16,7 @@
 //!   set of the right-hand operand stays cache-resident for large inputs.
 //! - **Row-parallel dispatch.** Output rows are split over the
 //!   [`crate::par`] pool when a chunk is worth at least ~64 kFLOPs
-//!   ([`GRAIN_FLOPS`]); smaller products run inline.
+//!   (`GRAIN_FLOPS`); smaller products run inline.
 //! - **AVX2+FMA fast path, dispatched at runtime.** The workspace builds
 //!   for baseline x86-64 (SSE2), so each chunk kernel has a clone compiled
 //!   with `#[target_feature(enable = "avx2,fma")]` — same source, wider

@@ -11,7 +11,7 @@
 //! allocation-free (verified via [`alloc_count`]). Parallelism comes from a
 //! tiny hand-rolled pool ([`par`]) sized by the `PITOT_THREADS` environment
 //! variable; results are bitwise identical across thread counts. The
-//! [`reference`] module keeps the naive triple loops as the oracle the
+//! [`mod@reference`] module keeps the naive triple loops as the oracle the
 //! blocked kernels are property-tested against.
 //!
 //! # Examples

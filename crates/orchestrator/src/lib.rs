@@ -45,6 +45,14 @@
 //! let report = sim.run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
 //! assert_eq!(report.completed, 50);
 //! ```
+//!
+//! For the *online* story — completions streaming back into a predictor
+//! that recalibrates mid-run — see [`ClusterSim::run_with_observer`] and
+//! the `pitot-serve` crate built on top of it.
+
+// Every public item in this crate is part of the documented orchestration
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
 
 mod job;
 mod policy;

@@ -18,7 +18,7 @@ use crate::job::{Job, JobStream};
 use crate::policy::PlacementPolicy;
 use crate::predictor::RuntimePredictor;
 use crate::report::{JobOutcome, SimReport};
-use pitot_testbed::{Testbed, Workload};
+use pitot_testbed::{Observation, Testbed, Workload, MAX_INTERFERERS};
 use std::collections::VecDeque;
 
 /// Default per-platform co-location capacity. Matches the data-collection
@@ -38,6 +38,10 @@ pub struct RunningJob {
     pub total_work: f64,
     /// Absolute time the job started executing.
     pub started_s: f64,
+    /// Workloads co-resident on the platform when this job was placed — the
+    /// interferer set the placement decision was predicted against, and the
+    /// one an observation logged at completion reports.
+    pub interferers_at_start: Vec<u32>,
 }
 
 impl RunningJob {
@@ -157,6 +161,34 @@ impl<'a> ClusterSim<'a> {
         policy: &mut PlacementPolicy,
         predictor: &dyn RuntimePredictor,
     ) -> SimReport {
+        self.run_with_observer(stream, policy, predictor, &mut |_, _| {})
+    }
+
+    /// [`ClusterSim::run`] that additionally reports every completed job
+    /// back as an [`Observation`] — the closed serving loop: the predictor
+    /// places jobs, the cluster executes them, and realized runtimes flow
+    /// back so an online predictor (e.g. `pitot-serve`) can recalibrate its
+    /// bounds and fine-tune its model mid-stream.
+    ///
+    /// The observation's `interferers` are the co-residents *at placement
+    /// time* (what the predictor was actually asked about, truncated to the
+    /// training envelope of [`MAX_INTERFERERS`]) and its `runtime_s` is the
+    /// realized wall-clock execution time — co-residency churn between
+    /// placement and completion lands in the measurement noise, exactly as
+    /// it would for a real orchestrator's logs. The observer runs at the
+    /// completion's simulation time (second argument), before queued jobs
+    /// are drained, so feedback is available to the very next placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`ClusterSim::run`].
+    pub fn run_with_observer(
+        &mut self,
+        stream: &JobStream,
+        policy: &mut PlacementPolicy,
+        predictor: &dyn RuntimePredictor,
+        observer: &mut dyn FnMut(Observation, f64),
+    ) -> SimReport {
         let n_platforms = self.testbed.platforms().len();
         let mut running: Vec<Vec<RunningJob>> = vec![Vec::new(); n_platforms];
         let mut pending: VecDeque<Job> = VecDeque::new();
@@ -207,6 +239,17 @@ impl<'a> ClusterSim<'a> {
                     while slot < jobs.len() {
                         if jobs[slot].remaining_work <= 1e-12 {
                             let done = jobs.swap_remove(slot);
+                            let mut interferers = done.interferers_at_start;
+                            interferers.truncate(MAX_INTERFERERS);
+                            observer(
+                                Observation {
+                                    workload: done.job.workload,
+                                    platform: pidx as u32,
+                                    interferers,
+                                    runtime_s: (now - done.started_s).max(1e-6) as f32,
+                                },
+                                now,
+                            );
                             outcomes.push(JobOutcome::new(done.job, pidx, now));
                         } else {
                             slot += 1;
@@ -253,11 +296,13 @@ impl<'a> ClusterSim<'a> {
         match policy.place(&job, &view, predictor) {
             Some(pidx) if running[pidx].len() < self.capacity && self.is_allowed(pidx) => {
                 let work = self.sample_work(&job, pidx);
+                let interferers_at_start = running[pidx].iter().map(|r| r.job.workload).collect();
                 running[pidx].push(RunningJob {
                     job,
                     remaining_work: work,
                     total_work: work,
                     started_s: now,
+                    interferers_at_start,
                 });
                 true
             }
@@ -437,6 +482,71 @@ mod tests {
     fn restriction_rejects_bad_platform() {
         let tb = setup();
         let _ = ClusterSim::new(&tb).restrict_to(&[usize::MAX]);
+    }
+
+    #[test]
+    fn observer_sees_every_completion_with_valid_observations() {
+        let tb = setup();
+        let jobs = JobStream::generate(&tb, 80, 0.05, 11);
+        let oracle = OraclePredictor::new(&tb);
+        // A three-platform site under a bursty stream forces co-location.
+        let mut sim = ClusterSim::new(&tb).restrict_to(&[0, 1, 2]);
+        let mut seen: Vec<Observation> = Vec::new();
+        let mut last_t = 0.0f64;
+        let report = sim.run_with_observer(
+            &jobs,
+            &mut PlacementPolicy::least_loaded(),
+            &oracle,
+            &mut |obs, now| {
+                assert!(now >= last_t, "observer times must be monotone");
+                last_t = now;
+                seen.push(obs);
+            },
+        );
+        assert_eq!(seen.len(), report.completed);
+        let n_platforms = tb.platforms().len() as u32;
+        let n_workloads = tb.workloads().len() as u32;
+        let mut with_interference = 0usize;
+        for o in &seen {
+            assert!(o.workload < n_workloads);
+            assert!(o.platform < n_platforms);
+            assert!(o.interferers.len() <= MAX_INTERFERERS);
+            assert!(o.runtime_s > 0.0 && o.runtime_s.is_finite());
+            if !o.interferers.is_empty() {
+                with_interference += 1;
+            }
+        }
+        // A bursty stream on a loaded cluster must co-locate sometimes —
+        // otherwise the closed loop never exercises interference feedback.
+        assert!(with_interference > 0, "no co-located completions observed");
+    }
+
+    #[test]
+    fn observer_side_effects_do_not_perturb_the_simulation() {
+        // The observer is a pure tap: whatever it does with the
+        // observations it receives, the simulation's outcomes must be
+        // identical to a run with a no-op observer.
+        let tb = setup();
+        let jobs = JobStream::generate(&tb, 60, 0.5, 12);
+        let oracle = OraclePredictor::new(&tb);
+        let a = ClusterSim::new(&tb).run_with_observer(
+            &jobs,
+            &mut PlacementPolicy::greedy_fastest(),
+            &oracle,
+            &mut |_, _| {},
+        );
+        let mut sink: Vec<(Observation, f64)> = Vec::new();
+        let b = ClusterSim::new(&tb).run_with_observer(
+            &jobs,
+            &mut PlacementPolicy::greedy_fastest(),
+            &oracle,
+            &mut |obs, now| sink.push((obs, now)),
+        );
+        assert_eq!(sink.len(), a.completed);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.violations, b.violations);
+        assert!((a.mean_response_s - b.mean_response_s).abs() < 1e-12);
+        assert!((a.makespan_s - b.makespan_s).abs() < 1e-12);
     }
 
     #[test]

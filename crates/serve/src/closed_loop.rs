@@ -1,0 +1,131 @@
+//! Closing the loop with the placement simulator.
+
+use crate::server::{Event, PitotServer};
+use pitot_orchestrator::{ClusterSim, JobStream, PlacementPolicy, RuntimePredictor, SimReport};
+use pitot_testbed::Testbed;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One memoized query: the key it was asked under and its answer.
+struct MemoizedAnswer {
+    /// Server event count when the answer was computed (any consumed event
+    /// may change the served model or calibration).
+    events: usize,
+    workload: u32,
+    platform: usize,
+    interferers: Vec<u32>,
+    prediction: crate::Prediction,
+}
+
+/// [`RuntimePredictor`] view of a shared [`PitotServer`]: placement
+/// policies query the server's live model and live calibration, so every
+/// refresh or fine-tune the serving loop performs changes the very next
+/// placement decision.
+///
+/// Queries go through [`PitotServer::query_now`] (the synchronous
+/// single-query path — a policy needs its answer mid-decision, so the
+/// micro-batch is bypassed). One [`crate::Prediction`] carries both the
+/// point estimate and the bound, and policies typically ask for both per
+/// candidate platform, so the last answer is memoized: the
+/// `predict_s`/`bound_s` pair for one candidate costs one prediction pass.
+/// The memo is invalidated whenever the server consumes an event (an
+/// observation may have refreshed the calibration or fine-tuned the
+/// model).
+pub struct ServingPredictor {
+    server: Rc<RefCell<PitotServer>>,
+    last: RefCell<Option<MemoizedAnswer>>,
+    name: String,
+}
+
+impl ServingPredictor {
+    /// Wraps a shared server handle.
+    pub fn new(server: Rc<RefCell<PitotServer>>) -> Self {
+        Self {
+            server,
+            last: RefCell::new(None),
+            name: "pitot-serve".to_string(),
+        }
+    }
+
+    fn answer(&self, workload: u32, platform: usize, interferers: &[u32]) -> crate::Prediction {
+        let mut server = self.server.borrow_mut();
+        let events = server.stats().events;
+        let mut last = self.last.borrow_mut();
+        if let Some(memo) = last.as_ref() {
+            if memo.events == events
+                && memo.workload == workload
+                && memo.platform == platform
+                && memo.interferers == interferers
+            {
+                return memo.prediction.clone();
+            }
+        }
+        let prediction = server.query_now(workload, platform as u32, interferers);
+        *last = Some(MemoizedAnswer {
+            events,
+            workload,
+            platform,
+            interferers: interferers.to_vec(),
+            prediction: prediction.clone(),
+        });
+        prediction
+    }
+}
+
+impl RuntimePredictor for ServingPredictor {
+    fn predict_s(&self, workload: u32, platform: usize, interferers: &[u32]) -> f64 {
+        f64::from(self.answer(workload, platform, interferers).point_s)
+    }
+
+    fn bound_s(&self, workload: u32, platform: usize, interferers: &[u32]) -> f64 {
+        f64::from(self.answer(workload, platform, interferers).bound_s)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for ServingPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingPredictor")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Runs the placement simulator closed-loop against a serving instance:
+/// the server's calibrated bounds drive placements, and every completion
+/// streams back into the server as an [`Event::Observe`] at its completion
+/// time — recalibrating (and possibly fine-tuning) the predictor mid-run.
+///
+/// `site` optionally restricts placement to a platform subset (a realistic
+/// edge site, where co-location pressure makes interference matter).
+/// Returns the simulator's report; serving-side effects (coverage,
+/// refreshes, fine-tunes) are on the server's [`PitotServer::stats`].
+///
+/// # Panics
+///
+/// Panics as [`ClusterSim::run`] does, or if the server handle is already
+/// mutably borrowed.
+pub fn run_closed_loop(
+    testbed: &Testbed,
+    stream: &JobStream,
+    policy: &mut PlacementPolicy,
+    server: &Rc<RefCell<PitotServer>>,
+    site: Option<&[usize]>,
+) -> SimReport {
+    let predictor = ServingPredictor::new(Rc::clone(server));
+    let mut sim = match site {
+        Some(platforms) => ClusterSim::new(testbed).restrict_to(platforms),
+        None => ClusterSim::new(testbed),
+    };
+    sim.run_with_observer(stream, policy, &predictor, &mut |obs, now| {
+        let mut server = server.borrow_mut();
+        // The simulation clock starts at 0; if the server already served an
+        // earlier session (warm-up queries, a previous run), keep its clock
+        // monotone by clamping.
+        let at = now.max(server.now_s());
+        server.on_event(at, Event::Observe(obs));
+    })
+}

@@ -1,0 +1,144 @@
+//! Serving-loop configuration.
+
+use pitot_conformal::HeadSelection;
+
+/// Knobs for a [`crate::PitotServer`].
+///
+/// The defaults serve bounds at the given miscoverage with a 512-observation
+/// sliding window refreshed on every arrival, micro-batches of 16 queries,
+/// arity-keyed calibration pools, and fine-tuning disabled (set
+/// [`ServeConfig::fine_tune_steps`] to opt in).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Target miscoverage ε of the served upper bounds.
+    pub epsilon: f32,
+    /// Sliding calibration window capacity (observations retained).
+    pub window: usize,
+    /// Conformal refresh cadence: refit the served calibration after this
+    /// many observations (1 = every arrival; refreshes are rank lookups
+    /// over the incrementally maintained window, so 1 is affordable).
+    pub refresh_every: usize,
+    /// Queries buffered before a batched prediction pass answers them all.
+    pub microbatch: usize,
+    /// Key calibration pools by interference arity (the paper's pooling);
+    /// `false` uses one global pool — e.g. to isolate the effect of
+    /// windowing in comparisons.
+    pub pool_by_arity: bool,
+    /// Quantile-head selection policy for the served calibration. With
+    /// [`HeadSelection::TightestOnValidation`] the window doubles as the
+    /// selection set (a streaming approximation of the paper's dedicated
+    /// selection half).
+    pub selection: HeadSelection,
+    /// Rolling prequential-coverage window the drift detector watches.
+    pub drift_window: usize,
+    /// Binomial-slack multiplier: drift fires when rolling coverage falls
+    /// below `1 − ε − z·√(ε(1−ε)/n)`.
+    pub drift_z: f32,
+    /// Minimum monitored observations before drift can fire.
+    pub drift_min: usize,
+    /// Optimizer steps per drift-triggered warm-start fine-tune
+    /// (`0` disables fine-tuning; recalibration alone still runs).
+    pub fine_tune_steps: usize,
+    /// Streamed observations retained as the fine-tune training pool. The
+    /// server's dataset copy is compacted to the most recent
+    /// `fine_tune_retain.max(window)` arrivals once it exceeds that bound,
+    /// so a long-lived server's memory stays bounded; older observations
+    /// are forgotten (the model has already absorbed them through earlier
+    /// fine-tunes).
+    pub fine_tune_retain: usize,
+    /// Minimum observations between fine-tunes (lets the refreshed
+    /// calibration and monitor re-fill before judging the updated model).
+    pub fine_tune_cooldown: usize,
+    /// Rebuild the training context (folding newly arrived observations
+    /// into the batch pools) once the arrived set has grown by this factor
+    /// since the last build; between rebuilds, fine-tunes are pure
+    /// [`pitot::TrainContext::resume`] calls.
+    pub rebuild_growth: f32,
+}
+
+impl ServeConfig {
+    /// Defaults at miscoverage `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ (0, 1)`.
+    pub fn at(epsilon: f32) -> Self {
+        let cfg = Self {
+            epsilon,
+            window: 512,
+            refresh_every: 1,
+            microbatch: 16,
+            pool_by_arity: true,
+            selection: HeadSelection::NaiveXi,
+            drift_window: 256,
+            drift_z: 3.0,
+            drift_min: 64,
+            fine_tune_steps: 0,
+            fine_tune_retain: 8192,
+            fine_tune_cooldown: 256,
+            rebuild_growth: 1.5,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range ε, a zero window/cadence/micro-batch, or a
+    /// rebuild growth factor below 1.
+    pub fn validate(&self) {
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "epsilon {} outside (0,1)",
+            self.epsilon
+        );
+        assert!(self.window > 0, "window must be positive");
+        assert!(self.refresh_every > 0, "refresh cadence must be positive");
+        assert!(self.microbatch > 0, "micro-batch size must be positive");
+        assert!(self.drift_window > 0, "drift window must be positive");
+        assert!(self.drift_z >= 0.0, "drift z must be non-negative");
+        assert!(
+            self.fine_tune_retain > 0,
+            "fine-tune retention must be positive"
+        );
+        assert!(
+            self.rebuild_growth >= 1.0,
+            "rebuild growth factor must be ≥ 1"
+        );
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::at(0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ServeConfig::default().validate();
+        ServeConfig::at(0.05).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1)")]
+    fn rejects_bad_epsilon() {
+        let _ = ServeConfig::at(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let c = ServeConfig {
+            window: 0,
+            ..ServeConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,183 @@
+//! Rolling coverage/width monitoring and the drift trigger.
+
+use std::collections::VecDeque;
+
+/// Rolling prequential monitor over the served bounds.
+///
+/// Each arriving observation is first judged against the *currently served*
+/// bound (prequential: predict, then reveal), and the outcome — covered or
+/// not, plus the bound's log-space width — enters a fixed-size ring. The
+/// monitor answers two questions built on the `pitot_conformal`
+/// diagnostics' coverage notion:
+///
+/// - [`CoverageMonitor::coverage`]: the rolling empirical coverage;
+/// - [`CoverageMonitor::undercovering`]: whether that coverage has fallen
+///   below the target by more than binomial sampling slack — the signal
+///   that the *model* has drifted faster than the calibration window can
+///   absorb and a warm-start fine-tune is warranted.
+///
+/// A stationary stream stays inside the slack with probability controlled
+/// by the `z` multiplier, so fine-tunes fire on genuine shift rather than
+/// noise.
+#[derive(Debug, Clone)]
+pub struct CoverageMonitor {
+    epsilon: f32,
+    z: f32,
+    min_n: usize,
+    cap: usize,
+    hits: VecDeque<bool>,
+    covered: usize,
+    widths: VecDeque<f32>,
+    width_sum: f64,
+}
+
+impl CoverageMonitor {
+    /// Monitor targeting coverage `1 − epsilon` over the last `cap`
+    /// observations, firing below `z` binomial standard deviations once at
+    /// least `min_n` observations are buffered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ (0, 1)` or `cap == 0`.
+    pub fn new(epsilon: f32, cap: usize, z: f32, min_n: usize) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon outside (0,1)");
+        assert!(cap > 0, "monitor window must be positive");
+        Self {
+            epsilon,
+            z,
+            min_n,
+            cap,
+            hits: VecDeque::with_capacity(cap + 1),
+            covered: 0,
+            widths: VecDeque::with_capacity(cap + 1),
+            width_sum: 0.0,
+        }
+    }
+
+    /// Records one prequential outcome: whether the served bound covered
+    /// the realized runtime, and the bound's log-space width (bound minus
+    /// point prediction).
+    pub fn push(&mut self, covered: bool, width_log: f32) {
+        if self.hits.len() == self.cap {
+            if self.hits.pop_front() == Some(true) {
+                self.covered -= 1;
+            }
+            if let Some(w) = self.widths.pop_front() {
+                self.width_sum -= f64::from(w);
+            }
+        }
+        self.hits.push_back(covered);
+        if covered {
+            self.covered += 1;
+        }
+        self.widths.push_back(width_log);
+        self.width_sum += f64::from(width_log);
+    }
+
+    /// Observations currently monitored.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Whether nothing has been monitored yet.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Rolling empirical coverage (`NaN` while empty).
+    pub fn coverage(&self) -> f32 {
+        if self.hits.is_empty() {
+            f32::NAN
+        } else {
+            self.covered as f32 / self.hits.len() as f32
+        }
+    }
+
+    /// Rolling mean log-space bound width (`NaN` while empty).
+    pub fn mean_width_log(&self) -> f32 {
+        if self.widths.is_empty() {
+            f32::NAN
+        } else {
+            (self.width_sum / self.widths.len() as f64) as f32
+        }
+    }
+
+    /// Whether rolling coverage sits below target by more than binomial
+    /// slack: `coverage < 1 − ε − z·√(ε(1−ε)/n)`. Always `false` before
+    /// `min_n` observations.
+    pub fn undercovering(&self) -> bool {
+        let n = self.hits.len();
+        if n < self.min_n.max(1) {
+            return false;
+        }
+        let slack = self.z * (self.epsilon * (1.0 - self.epsilon) / n as f32).sqrt();
+        self.coverage() < 1.0 - self.epsilon - slack
+    }
+
+    /// Clears the monitor — called after a fine-tune so the updated model
+    /// is judged on fresh outcomes only.
+    pub fn reset(&mut self) {
+        self.hits.clear();
+        self.covered = 0;
+        self.widths.clear();
+        self.width_sum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_hit_rate_does_not_fire() {
+        let mut m = CoverageMonitor::new(0.1, 200, 3.0, 50);
+        // Exactly the target rate: 9 covered out of every 10.
+        for i in 0..400 {
+            m.push(i % 10 != 0, 0.5);
+        }
+        assert!(!m.undercovering(), "coverage {} fired", m.coverage());
+        assert!((m.coverage() - 0.9).abs() < 0.02);
+        assert!((m.mean_width_log() - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sustained_undercoverage_fires() {
+        let mut m = CoverageMonitor::new(0.1, 200, 3.0, 50);
+        for i in 0..200 {
+            m.push(i % 10 != 0, 0.5);
+        }
+        // Shift: only 60% covered from now on.
+        for i in 0..200 {
+            m.push(i % 5 < 3, 0.5);
+        }
+        assert!(m.undercovering(), "coverage {} did not fire", m.coverage());
+    }
+
+    #[test]
+    fn does_not_fire_before_min_n() {
+        let mut m = CoverageMonitor::new(0.1, 200, 3.0, 50);
+        for _ in 0..49 {
+            m.push(false, 0.1);
+        }
+        assert!(!m.undercovering());
+        m.push(false, 0.1);
+        assert!(m.undercovering());
+    }
+
+    #[test]
+    fn ring_evicts_and_reset_clears() {
+        let mut m = CoverageMonitor::new(0.2, 4, 2.0, 1);
+        for _ in 0..4 {
+            m.push(false, 1.0);
+        }
+        for _ in 0..4 {
+            m.push(true, 2.0);
+        }
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.coverage(), 1.0);
+        assert!((m.mean_width_log() - 2.0).abs() < 1e-6);
+        m.reset();
+        assert!(m.is_empty());
+        assert!(m.coverage().is_nan());
+    }
+}

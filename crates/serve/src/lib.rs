@@ -1,0 +1,73 @@
+//! Online serving for Pitot: streaming predictions with sliding-window
+//! conformal recalibration.
+//!
+//! The paper's deployment story is an edge orchestrator consuming calibrated
+//! runtime bounds *as new observations stream in* (Sec 1; the Conclusion
+//! names efficient online updates as the main extension). This crate closes
+//! that loop on top of the enablers the rest of the workspace provides:
+//!
+//! - **Streaming events on a simulated clock.** A [`PitotServer`] consumes
+//!   [`Event`]s — arriving [`pitot_testbed::Observation`]s and placement
+//!   queries — at monotone simulated timestamps, fully deterministically:
+//!   the same event sequence always produces bitwise-identical predictions.
+//! - **Micro-batched queries.** Queries buffer until
+//!   [`ServeConfig::microbatch`] of them are pending (or a flush), then are
+//!   answered in one row-parallel `predict_batch_into` pass over the cached
+//!   tower outputs.
+//! - **A sliding calibration window.** Every observation's nonconformity
+//!   scores enter a [`pitot_conformal::WindowedScores`] ring (the moving
+//!   calibration set of Gui et al.'s *conformalized matrix completion*);
+//!   refreshing the served [`pitot_conformal::PooledConformal`] is a rank
+//!   lookup over the incrementally maintained sorted slices, cheap enough to
+//!   run once per observation.
+//! - **Drift-triggered warm-start fine-tunes.** A rolling coverage monitor
+//!   ([`CoverageMonitor`], binomial-slack test) watches prequential coverage
+//!   of the served bounds; when it degrades beyond sampling noise the server
+//!   fine-tunes its model in place via [`pitot::TrainContext::resume`] — no
+//!   setup cost, no scaling refit — then re-scores the window under the
+//!   updated model.
+//! - **A closed loop with the placement simulator.**
+//!   [`run_closed_loop`] drives
+//!   [`pitot_orchestrator::ClusterSim::run_with_observer`]: the server's
+//!   bounds place jobs, realized runtimes stream back as observations, and
+//!   the calibration window tracks the deployment distribution instead of a
+//!   frozen holdout.
+//!
+//! # Examples
+//!
+//! ```
+//! use pitot::{train, Objective, PitotConfig};
+//! use pitot_serve::{Event, PitotServer, ServeConfig};
+//! use pitot_testbed::{split::Split, Testbed, TestbedConfig};
+//!
+//! let testbed = Testbed::generate(&TestbedConfig::small());
+//! let dataset = testbed.collect_dataset();
+//! let split = Split::stratified(&dataset, 0.6, 0);
+//! let mut cfg = PitotConfig::tiny();
+//! cfg.objective = Objective::Quantiles(vec![0.5, 0.9]);
+//! cfg.steps = 120;
+//! let trained = train(&dataset, &split, &cfg);
+//!
+//! let mut server = PitotServer::new(trained, dataset.clone(), ServeConfig::at(0.1));
+//! server.seed_calibration(&split.val);
+//! // Stream: an observation arrives, then a query is answered.
+//! let obs = dataset.observations[split.test[0]].clone();
+//! let fb = server.on_event(1.0, Event::Observe(obs)).observed.unwrap();
+//! assert!(fb.bound_log.is_finite());
+//! let out = server.on_event(2.0, Event::Flush);
+//! assert!(out.predictions.is_empty()); // nothing was queued yet
+//! ```
+
+// Every public item in this crate is part of the documented serving API;
+// keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
+mod closed_loop;
+mod config;
+mod drift;
+mod server;
+
+pub use closed_loop::{run_closed_loop, ServingPredictor};
+pub use config::ServeConfig;
+pub use drift::CoverageMonitor;
+pub use server::{Event, ObservedFeedback, PitotServer, Prediction, ServeResponse, ServeStats};

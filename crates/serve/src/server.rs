@@ -1,0 +1,744 @@
+//! The streaming prediction server.
+
+use crate::config::ServeConfig;
+use crate::drift::CoverageMonitor;
+use pitot::{TowerCache, TrainContext, TrainedPitot};
+use pitot_conformal::{HeadSelection, PooledConformal, PredictionSet, WindowedScores};
+use pitot_testbed::{split::Split, Dataset, Observation, MAX_INTERFERERS};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// One input to the serving loop, delivered at a simulated timestamp.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A measured runtime arrives from the cluster (a completed job, a
+    /// benchmark rerun, a telemetry sample).
+    Observe(Observation),
+    /// A placement question: "how long will `workload` take on `platform`
+    /// next to `interferers`?" Queries micro-batch; the answer is returned
+    /// from the event that fills the batch (or a [`Event::Flush`]).
+    Query {
+        /// Caller-chosen correlation id, echoed on the answer.
+        id: u64,
+        /// Workload catalog index.
+        workload: u32,
+        /// Platform catalog index.
+        platform: u32,
+        /// Workloads co-resident on the platform.
+        interferers: Vec<u32>,
+    },
+    /// Answers all buffered queries now, regardless of batch fill.
+    Flush,
+}
+
+/// A served prediction: point estimate plus calibrated upper bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The query's correlation id.
+    pub id: u64,
+    /// Point estimate in seconds (head 0: the median / squared head).
+    pub point_s: f32,
+    /// Runtime budget in seconds sufficient with probability `1 − ε`.
+    pub bound_s: f32,
+    /// Calibration pool the bound came from.
+    pub pool: usize,
+}
+
+/// Prequential feedback for one arriving observation: how the bound served
+/// *before* seeing the runtime fared against it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedFeedback {
+    /// Whether the served bound covered the realized runtime.
+    pub covered: bool,
+    /// The served log-space bound.
+    pub bound_log: f32,
+    /// The realized log runtime.
+    pub target_log: f32,
+    /// Whether this arrival triggered a conformal refresh.
+    pub refreshed: bool,
+    /// Whether this arrival triggered a warm-start fine-tune.
+    pub fine_tuned: bool,
+}
+
+/// What one [`PitotServer::on_event`] call produced.
+#[derive(Debug, Clone, Default)]
+pub struct ServeResponse {
+    /// Answers released by this event (non-empty when a micro-batch filled
+    /// or a flush ran).
+    pub predictions: Vec<Prediction>,
+    /// Present iff the event was an observation.
+    pub observed: Option<ObservedFeedback>,
+}
+
+/// Counters and latency records for a serving session.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Events consumed.
+    pub events: usize,
+    /// Observations consumed.
+    pub observations: usize,
+    /// Queries answered.
+    pub queries: usize,
+    /// Conformal refreshes performed.
+    pub refreshes: usize,
+    /// Warm-start fine-tunes performed.
+    pub fine_tunes: usize,
+    /// Prequentially covered observations (served bound ≥ realized runtime).
+    pub covered: usize,
+    /// Observations judged prequentially (denominator for coverage).
+    pub bounded: usize,
+    /// Wall-clock nanoseconds of recent conformal refreshes, in order
+    /// (drain with `std::mem::take` for percentile reporting). Retention is
+    /// bounded at [`ServeStats::REFRESH_LATENCY_RETAIN`] — once full, the
+    /// older half is dropped — so a long-lived server with a per-arrival
+    /// refresh cadence does not grow without bound.
+    pub refresh_ns: Vec<u64>,
+}
+
+impl ServeStats {
+    /// Maximum refresh latencies retained in [`ServeStats::refresh_ns`].
+    pub const REFRESH_LATENCY_RETAIN: usize = 65_536;
+
+    /// Prequential empirical coverage over the whole session (`NaN` before
+    /// any observation).
+    pub fn coverage(&self) -> f32 {
+        if self.bounded == 0 {
+            f32::NAN
+        } else {
+            self.covered as f32 / self.bounded as f32
+        }
+    }
+}
+
+/// One window entry's raw material, kept so the window can serve as a
+/// selection set and be re-scored after a fine-tune.
+#[derive(Debug, Clone)]
+struct WindowEntry {
+    preds: Vec<f32>,
+    target_log: f32,
+    pool: usize,
+    /// Index into the server's (growing) dataset; `None` when fine-tuning
+    /// is disabled and arrivals are not recorded.
+    obs_idx: Option<usize>,
+}
+
+/// The streaming prediction service (see the crate docs for the full
+/// architecture).
+///
+/// Owns its model, a growing copy of the dataset (arrivals are appended so
+/// fine-tunes can train on them), the cached tower outputs, the sliding
+/// calibration window, and the currently served calibration. Everything is
+/// deterministic: the same event sequence yields bitwise-identical
+/// predictions and fine-tune trajectories.
+pub struct PitotServer {
+    cfg: ServeConfig,
+    dataset: Dataset,
+    /// Observation count of the dataset the server was built with; streamed
+    /// arrivals are appended after this index (and compacted back to it).
+    base_len: usize,
+    trained: TrainedPitot,
+    towers: TowerCache,
+    xis: Vec<f32>,
+    window: WindowedScores,
+    raw: VecDeque<WindowEntry>,
+    conformal: Option<PooledConformal>,
+    monitor: CoverageMonitor,
+    ctx: Option<TrainContext>,
+    ctx_seen: usize,
+    /// Dataset indices of streamed observations (fine-tune pool).
+    seen: Vec<usize>,
+    seen_isolation: usize,
+    since_refresh: usize,
+    since_tune: usize,
+    batch: Vec<(u64, Observation)>,
+    now_s: f64,
+    stats: ServeStats,
+}
+
+impl std::fmt::Debug for PitotServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PitotServer")
+            .field("epsilon", &self.cfg.epsilon)
+            .field("window_len", &self.window.len())
+            .field("has_conformal", &self.conformal.is_some())
+            .field("has_ctx", &self.ctx.is_some())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PitotServer {
+    /// Minimum streamed isolation observations before a fine-tune may run
+    /// (the training loop requires a non-empty isolation batch pool).
+    pub const MIN_FINE_TUNE_ISOLATION: usize = 8;
+
+    /// Builds a server around a trained model and the dataset it will
+    /// stream against. The calibration window starts empty — prime it with
+    /// [`PitotServer::seed_calibration`] (or let arriving observations fill
+    /// it; until the first refresh, bounds fall back to the highest
+    /// quantile head, uncalibrated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn new(trained: TrainedPitot, dataset: Dataset, cfg: ServeConfig) -> Self {
+        cfg.validate();
+        let towers = trained.tower_cache(&dataset);
+        let xis = trained.model.config().objective.xis();
+        let n_heads = trained.model.n_heads();
+        let window = WindowedScores::new(cfg.window, n_heads);
+        let monitor =
+            CoverageMonitor::new(cfg.epsilon, cfg.drift_window, cfg.drift_z, cfg.drift_min);
+        let since_tune = cfg.fine_tune_cooldown;
+        let base_len = dataset.observations.len();
+        Self {
+            cfg,
+            dataset,
+            base_len,
+            trained,
+            towers,
+            xis,
+            window,
+            raw: VecDeque::new(),
+            conformal: None,
+            monitor,
+            ctx: None,
+            ctx_seen: 0,
+            seen: Vec::new(),
+            seen_isolation: 0,
+            since_refresh: 0,
+            since_tune,
+            batch: Vec::new(),
+            now_s: f64::NEG_INFINITY,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Primes the calibration window from existing dataset indices (e.g.
+    /// the trained split's validation half) and fits the first served
+    /// calibration. Seeded entries do not count as streamed observations:
+    /// they neither feed the drift monitor nor join the fine-tune pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty or contains an out-of-range index.
+    pub fn seed_calibration(&mut self, idx: &[usize]) {
+        assert!(!idx.is_empty(), "cannot seed from an empty index set");
+        // Seed from the window-capacity *suffix* so the most recent
+        // capacity-many entries of `idx` survive.
+        let tail = &idx[idx.len().saturating_sub(self.cfg.window)..];
+        let obs: Vec<&Observation> = tail
+            .iter()
+            .map(|&i| &self.dataset.observations[i])
+            .collect();
+        let preds = self.trained.predict_log_runtime_cached(&self.towers, &obs);
+        // Materialize per-entry data first: `obs` borrows the dataset, and
+        // the push below needs `&mut self`.
+        let entries: Vec<(usize, Vec<f32>, f32, usize)> = tail
+            .iter()
+            .zip(&obs)
+            .enumerate()
+            .map(|(j, (&i, o))| {
+                let head_preds: Vec<f32> = preds.iter().map(|h| h[j]).collect();
+                (
+                    i,
+                    head_preds,
+                    o.log_runtime(),
+                    self.pool_key(o.interferers.len()),
+                )
+            })
+            .collect();
+        drop(obs);
+        for (i, head_preds, target_log, pool) in entries {
+            self.window_push(head_preds, target_log, pool, Some(i));
+        }
+        self.refresh();
+    }
+
+    /// Pushes one entry into the sliding window and its raw mirror. The raw
+    /// ring's eviction is driven by [`WindowedScores::push`]'s return value,
+    /// so the two rings cannot drift apart.
+    fn window_push(
+        &mut self,
+        preds: Vec<f32>,
+        target_log: f32,
+        pool: usize,
+        obs_idx: Option<usize>,
+    ) {
+        let evicted = self.window.push(&preds, target_log, pool);
+        self.raw.push_back(WindowEntry {
+            preds,
+            target_log,
+            pool,
+            obs_idx,
+        });
+        if evicted.is_some() {
+            self.raw.pop_front();
+        }
+        // The raw mirror and the score window must never drift apart (the
+        // selection set and the rescore path both read `raw`); two length
+        // reads per push are cheap enough to check unconditionally.
+        assert_eq!(self.raw.len(), self.window.len());
+    }
+
+    /// Consumes one event at simulated time `at_s` (must be monotone
+    /// non-decreasing across calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock runs backwards, an observation/query references
+    /// an out-of-catalog workload, platform, or interferer, or an observed
+    /// runtime is not positive and finite (its log-space score would
+    /// silently poison the calibration window as NaN).
+    pub fn on_event(&mut self, at_s: f64, event: Event) -> ServeResponse {
+        assert!(
+            at_s >= self.now_s,
+            "simulated clock ran backwards: {at_s} after {}",
+            self.now_s
+        );
+        self.now_s = at_s;
+        self.stats.events += 1;
+        match event {
+            Event::Observe(obs) => {
+                self.check_catalog(obs.workload, obs.platform, &obs.interferers);
+                assert!(
+                    obs.runtime_s > 0.0 && obs.runtime_s.is_finite(),
+                    "observed runtime {} is not a positive finite duration",
+                    obs.runtime_s
+                );
+                self.stats.observations += 1;
+                let fb = self.observe(obs);
+                ServeResponse {
+                    predictions: Vec::new(),
+                    observed: Some(fb),
+                }
+            }
+            Event::Query {
+                id,
+                workload,
+                platform,
+                interferers,
+            } => {
+                self.check_catalog(workload, platform, &interferers);
+                self.batch.push((
+                    id,
+                    Observation {
+                        workload,
+                        platform,
+                        interferers,
+                        runtime_s: 1.0, // unused by prediction
+                    },
+                ));
+                let predictions = if self.batch.len() >= self.cfg.microbatch {
+                    self.flush_batch()
+                } else {
+                    Vec::new()
+                };
+                ServeResponse {
+                    predictions,
+                    observed: None,
+                }
+            }
+            Event::Flush => ServeResponse {
+                predictions: self.flush_batch(),
+                observed: None,
+            },
+        }
+    }
+
+    /// Answers one query immediately, bypassing the micro-batch — the
+    /// synchronous path a placement policy uses mid-decision. Identical
+    /// arithmetic to the batched path (a batch of one); counted in
+    /// [`ServeStats::queries`] like any batched answer.
+    pub fn query_now(&mut self, workload: u32, platform: u32, interferers: &[u32]) -> Prediction {
+        let obs = Observation {
+            workload,
+            platform,
+            interferers: interferers.to_vec(),
+            runtime_s: 1.0, // unused by prediction
+        };
+        let preds = self
+            .trained
+            .predict_log_runtime_cached(&self.towers, &[&obs]);
+        let head_preds: Vec<f32> = preds.iter().map(|h| h[0]).collect();
+        self.stats.queries += 1;
+        self.prediction_from_heads(0, &head_preds, interferers.len())
+    }
+
+    /// Forces the pending micro-batch out (also triggered by
+    /// [`Event::Flush`] and by the batch filling).
+    pub fn flush(&mut self) -> Vec<Prediction> {
+        self.flush_batch()
+    }
+
+    /// Session counters and latency records.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Mutable session counters (e.g. to drain
+    /// [`ServeStats::refresh_ns`] for percentile reporting).
+    pub fn stats_mut(&mut self) -> &mut ServeStats {
+        &mut self.stats
+    }
+
+    /// The currently served model.
+    pub fn trained(&self) -> &TrainedPitot {
+        &self.trained
+    }
+
+    /// The currently served calibration (absent until the window first
+    /// refreshes).
+    pub fn conformal(&self) -> Option<&PooledConformal> {
+        self.conformal.as_ref()
+    }
+
+    /// Rolling prequential coverage over the drift monitor's window.
+    pub fn rolling_coverage(&self) -> f32 {
+        self.monitor.coverage()
+    }
+
+    /// Observations currently in the calibration window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The server's (growing) dataset copy.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The simulated clock's current position (`-∞` before any event).
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    fn check_catalog(&self, workload: u32, platform: u32, interferers: &[u32]) {
+        assert!(
+            (workload as usize) < self.dataset.n_workloads,
+            "workload {workload} outside the catalog"
+        );
+        assert!(
+            (platform as usize) < self.dataset.n_platforms,
+            "platform {platform} outside the catalog"
+        );
+        for &k in interferers {
+            assert!(
+                (k as usize) < self.dataset.n_workloads,
+                "interferer {k} outside the catalog"
+            );
+        }
+    }
+
+    fn pool_key(&self, arity: usize) -> usize {
+        if self.cfg.pool_by_arity {
+            arity.min(MAX_INTERFERERS)
+        } else {
+            0
+        }
+    }
+
+    /// Log-space `(point, bound)` for one observation's head predictions.
+    /// Before the first refresh the bound falls back to the highest head —
+    /// conservative but uncalibrated.
+    fn bound_from_heads(&self, head_preds: &[f32], pool: usize) -> (f32, f32) {
+        let point = head_preds[0];
+        let bound = match &self.conformal {
+            Some(c) => c.bound_log(head_preds, pool),
+            None => *head_preds.last().expect("at least one head"),
+        };
+        (point, bound)
+    }
+
+    fn prediction_from_heads(&self, id: u64, head_preds: &[f32], arity: usize) -> Prediction {
+        let pool = self.pool_key(arity);
+        let (point, bound) = self.bound_from_heads(head_preds, pool);
+        Prediction {
+            id,
+            point_s: point.exp(),
+            bound_s: bound.exp(),
+            pool,
+        }
+    }
+
+    fn flush_batch(&mut self) -> Vec<Prediction> {
+        if self.batch.is_empty() {
+            return Vec::new();
+        }
+        let batch = std::mem::take(&mut self.batch);
+        let obs: Vec<&Observation> = batch.iter().map(|(_, o)| o).collect();
+        // One row-parallel pass answers the whole micro-batch.
+        let preds = self.trained.predict_log_runtime_cached(&self.towers, &obs);
+        let out: Vec<Prediction> = batch
+            .iter()
+            .enumerate()
+            .map(|(j, (id, o))| {
+                let head_preds: Vec<f32> = preds.iter().map(|h| h[j]).collect();
+                self.prediction_from_heads(*id, &head_preds, o.interferers.len())
+            })
+            .collect();
+        self.stats.queries += out.len();
+        out
+    }
+
+    fn observe(&mut self, obs: Observation) -> ObservedFeedback {
+        // 1. Prequential judgement against the *currently served* bound.
+        let preds = self
+            .trained
+            .predict_log_runtime_cached(&self.towers, &[&obs]);
+        let head_preds: Vec<f32> = preds.iter().map(|h| h[0]).collect();
+        let pool = self.pool_key(obs.interferers.len());
+        let (point_log, bound_log) = self.bound_from_heads(&head_preds, pool);
+        let target_log = obs.log_runtime();
+        let covered = target_log <= bound_log;
+        self.monitor.push(covered, bound_log - point_log);
+        self.stats.bounded += 1;
+        if covered {
+            self.stats.covered += 1;
+        }
+
+        // 2. Record the arrival for fine-tuning (when enabled).
+        let obs_idx = if self.cfg.fine_tune_steps > 0 {
+            if obs.interferers.is_empty() {
+                self.seen_isolation += 1;
+            }
+            self.dataset.observations.push(obs);
+            let i = self.dataset.observations.len() - 1;
+            self.seen.push(i);
+            Some(i)
+        } else {
+            None
+        };
+
+        // 3. Slide the calibration window, then bound the fine-tune pool.
+        self.window_push(head_preds, target_log, pool, obs_idx);
+        self.maybe_compact_streamed();
+
+        // 4. Refresh the served calibration on cadence.
+        self.since_refresh += 1;
+        let refreshed = if self.since_refresh >= self.cfg.refresh_every {
+            self.refresh();
+            true
+        } else {
+            false
+        };
+
+        // 5. Fine-tune when the monitor says the model itself drifted.
+        self.since_tune += 1;
+        let fine_tuned = self.should_fine_tune() && self.fine_tune();
+
+        ObservedFeedback {
+            covered,
+            bound_log,
+            target_log,
+            refreshed,
+            fine_tuned,
+        }
+    }
+
+    /// Refits the served calibration from the window — rank lookups over
+    /// the incrementally maintained sorted scores.
+    fn refresh(&mut self) {
+        self.since_refresh = 0;
+        if self.window.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        // Head-major selection-set view of the window (only consulted by
+        // TightestOnValidation, for which the window doubles as the
+        // selection set — a streaming approximation of the paper's
+        // dedicated selection half).
+        let n_heads = self.window.n_heads();
+        let (sel_preds, sel_targets, sel_pools) =
+            if self.cfg.selection == HeadSelection::TightestOnValidation {
+                let mut p: Vec<Vec<f32>> = vec![Vec::with_capacity(self.raw.len()); n_heads];
+                let mut t = Vec::with_capacity(self.raw.len());
+                let mut k = Vec::with_capacity(self.raw.len());
+                for e in &self.raw {
+                    for (h, v) in e.preds.iter().enumerate() {
+                        p[h].push(*v);
+                    }
+                    t.push(e.target_log);
+                    k.push(e.pool);
+                }
+                (p, t, k)
+            } else {
+                (vec![Vec::new(); n_heads], Vec::new(), Vec::new())
+            };
+        let conformal = PooledConformal::fit_scored(
+            self.window.scored(),
+            &PredictionSet {
+                predictions: &sel_preds,
+                targets_log: &sel_targets,
+                pools: &sel_pools,
+            },
+            &self.xis,
+            self.cfg.selection,
+            self.cfg.epsilon,
+        );
+        self.conformal = Some(conformal);
+        self.stats.refreshes += 1;
+        if self.stats.refresh_ns.len() >= ServeStats::REFRESH_LATENCY_RETAIN {
+            // Amortized O(1): drop the older half once the buffer fills.
+            self.stats
+                .refresh_ns
+                .drain(..ServeStats::REFRESH_LATENCY_RETAIN / 2);
+        }
+        self.stats
+            .refresh_ns
+            .push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    fn should_fine_tune(&self) -> bool {
+        self.cfg.fine_tune_steps > 0
+            && self.since_tune >= self.cfg.fine_tune_cooldown
+            && self.seen_isolation >= Self::MIN_FINE_TUNE_ISOLATION
+            && self.monitor.undercovering()
+    }
+
+    /// The fine-tune pool's retention bound (never below the calibration
+    /// window, whose members must keep valid dataset indices).
+    fn retain_bound(&self) -> usize {
+        self.cfg.fine_tune_retain.max(self.cfg.window)
+    }
+
+    /// Keeps the server's memory bounded for long-lived sessions: once the
+    /// streamed fine-tune pool reaches twice its retention bound, the older
+    /// half of the appended observations is dropped from the dataset copy
+    /// and every retained index is shifted down (amortized O(1) per
+    /// event). The training context is invalidated — its cached residual
+    /// targets and batch pools reference pre-compaction indices — and is
+    /// rebuilt by the next fine-tune.
+    fn maybe_compact_streamed(&mut self) {
+        let bound = self.retain_bound();
+        if self.cfg.fine_tune_steps == 0 || self.seen.len() < bound.saturating_mul(2) {
+            return;
+        }
+        let dropped = self.seen.len() - bound;
+        // Streamed arrivals are appended in order, so `seen` is exactly
+        // `base_len..base_len + n`: compaction is one contiguous drain.
+        self.dataset
+            .observations
+            .drain(self.base_len..self.base_len + dropped);
+        self.seen = (self.base_len..self.base_len + bound).collect();
+        self.seen_isolation = self
+            .seen
+            .iter()
+            .filter(|&&i| self.dataset.observations[i].interferers.is_empty())
+            .count();
+        for e in &mut self.raw {
+            if let Some(idx) = &mut e.obs_idx {
+                if *idx >= self.base_len {
+                    // Window members are among the most recent `window` ≤
+                    // `bound` arrivals, so every one of them survived.
+                    debug_assert!(*idx >= self.base_len + dropped);
+                    *idx -= dropped;
+                }
+            }
+        }
+        self.ctx = None;
+        self.ctx_seen = 0;
+    }
+
+    /// Warm-start fine-tune on the streamed observations: reuse (or
+    /// rebuild) the [`TrainContext`] and [`TrainContext::resume`] for the
+    /// configured budget, then refresh towers, re-score the window under
+    /// the updated model, and restart the drift monitor. Returns whether a
+    /// fine-tune actually ran (it is deferred while the trainable history —
+    /// streamed observations *older than the calibration window* — is still
+    /// too thin to train on).
+    fn fine_tune(&mut self) -> bool {
+        self.since_tune = 0;
+        let need_rebuild = match &self.ctx {
+            None => true,
+            Some(_) => self.seen.len() as f32 >= self.ctx_seen as f32 * self.cfg.rebuild_growth,
+        };
+        if need_rebuild {
+            let split = self.online_split();
+            let train_isolation = split
+                .train
+                .iter()
+                .filter(|&&i| self.dataset.observations[i].interferers.is_empty())
+                .count();
+            if train_isolation < Self::MIN_FINE_TUNE_ISOLATION {
+                // Not enough pre-window history yet; recalibration alone
+                // carries the stream until it accumulates. No fine-tune
+                // ran, so don't burn a full cooldown — retry once another
+                // drift-window's worth of arrivals is in.
+                self.since_tune = self
+                    .cfg
+                    .fine_tune_cooldown
+                    .saturating_sub(self.cfg.drift_min.max(1));
+                return false;
+            }
+            // Frozen offsets for known entities keep the residual space —
+            // and the calibration window — comparable across updates; new
+            // entities get proper baseline offsets.
+            let scaling = self.trained.scaling.extend(&self.dataset, &split.train);
+            let mut cfg = self.trained.model.config().clone();
+            cfg.steps = self.cfg.fine_tune_steps;
+            cfg.eval_every = cfg.eval_every.min(self.cfg.fine_tune_steps.max(1));
+            self.ctx = Some(TrainContext::warm_start(
+                self.trained.model.clone(),
+                scaling,
+                &self.dataset,
+                &split,
+                &cfg,
+            ));
+            self.ctx_seen = self.seen.len();
+        }
+        let ctx = self.ctx.as_mut().expect("context just ensured");
+        ctx.resume(&self.dataset, self.cfg.fine_tune_steps);
+        self.trained = ctx.finish();
+        self.towers = self.trained.tower_cache(&self.dataset);
+        self.stats.fine_tunes += 1;
+        self.rescore_window();
+        self.refresh();
+        self.monitor.reset();
+        true
+    }
+
+    /// Split over the streamed observations. The current calibration
+    /// window — the most recent `cfg.window` arrivals — is held **out** of
+    /// training: after the update those points re-score the served bounds,
+    /// and training on them would bias their residuals small (in-sample
+    /// scores ⇒ too-tight γ, voiding the calibration-never-trains
+    /// separation). They double as the checkpoint-validation sample
+    /// instead. Because the split is frozen at context build and the
+    /// window only moves forward, later `resume()` calls on the same
+    /// context can never train on a current window member either.
+    fn online_split(&self) -> Split {
+        let held_out = self.seen.len().min(self.cfg.window);
+        let cut = self.seen.len() - held_out;
+        Split {
+            train: self.seen[..cut].to_vec(),
+            val: self.seen[cut..].to_vec(),
+            test: Vec::new(),
+            train_fraction: 1.0,
+            seed: self.trained.split.seed,
+        }
+    }
+
+    /// Re-predicts every window member under the (updated) model so the
+    /// window's scores match the model that will serve them.
+    fn rescore_window(&mut self) {
+        if self.raw.is_empty() {
+            return;
+        }
+        let obs: Vec<&Observation> = self
+            .raw
+            .iter()
+            .map(|e| {
+                let i = e.obs_idx.expect("fine-tune path records dataset indices");
+                &self.dataset.observations[i]
+            })
+            .collect();
+        let preds = self.trained.predict_log_runtime_cached(&self.towers, &obs);
+        let mut window = WindowedScores::new(self.cfg.window, self.window.n_heads());
+        for (j, e) in self.raw.iter_mut().enumerate() {
+            e.preds = preds.iter().map(|h| h[j]).collect();
+            window.push(&e.preds, e.target_log, e.pool);
+        }
+        self.window = window;
+    }
+}

@@ -289,6 +289,30 @@ fn run_bench<F>(
     });
 }
 
+/// Records an externally measured benchmark figure into the registry (and
+/// prints it like a bench line), for quantities the timing loop cannot
+/// express — e.g. tail latencies: a bench measures per-event latencies
+/// itself, computes p50/p99, and records each as its own named entry so
+/// JSON reports and regression gates treat them like any other benchmark.
+///
+/// `value_ns` lands in both `mean_ns` and `median_ns`; `stddev_ns` should
+/// carry the dispersion of the underlying samples so variance-aware gates
+/// widen their thresholds accordingly.
+pub fn record_external(name: &str, value_ns: f64, stddev_ns: f64, samples: usize) {
+    println!(
+        "bench {name:<50} {value_ns:>14.1} ns/iter  median {value_ns:>12.1}  σ {stddev_ns:>10.1}  ({samples} samples, external)"
+    );
+    REGISTRY.lock().unwrap().push(BenchRecord {
+        name: name.to_owned(),
+        mean_ns: value_ns,
+        median_ns: value_ns,
+        stddev_ns,
+        samples,
+        total_iters: samples as u64,
+        throughput: None,
+    });
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {

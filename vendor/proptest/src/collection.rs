@@ -3,7 +3,7 @@
 use crate::{Strategy, TestRng};
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification for [`vec`]: a fixed size or a range of sizes.
+/// Length specification for [`fn@vec`]: a fixed size or a range of sizes.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
