@@ -16,6 +16,10 @@
 //! - [`quality`]: silhouette and trustworthiness scores that make "the
 //!   t-SNE shows clusters" a measurable statement.
 
+// Every public item in this crate is part of the documented workspace
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
 pub mod cluster;
 pub mod correlation;
 pub mod histogram;

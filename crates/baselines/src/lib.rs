@@ -30,6 +30,10 @@
 //! same [`LogPredictor`] surface so the experiment harness can calibrate
 //! them with split conformal prediction.
 
+// Every public item in this crate is part of the documented baseline-predictor
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
 mod attention;
 mod common;
 mod imc;

@@ -4,6 +4,10 @@
 //! figure at a reduced-but-structurally-identical scale, so `cargo bench`
 //! doubles as a smoke test of every experiment path.
 
+// Every public item in this crate is part of the documented workspace
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
 use pitot_testbed::{split::Split, Dataset, Testbed, TestbedConfig};
 
 /// A small shared dataset + split fixture.

@@ -34,7 +34,12 @@
 //! calibration set incrementally — per-event binary-search edits of the
 //! pre-sorted score slices, bitwise identical to re-scoring the window from
 //! scratch — so a streaming service can refresh its bounds per observation
-//! at rank-lookup cost.
+//! at rank-lookup cost. For multi-replica serving, [`MergeableWindow`]
+//! snapshots replica windows into a CRDT of sorted-run segments whose merge
+//! is commutative, associative, idempotent, and bitwise identical to a
+//! from-scratch calibration on the union of the live windows — the
+//! statistical basis being that exchangeable splits of the calibration set
+//! preserve the coverage guarantee.
 //!
 //! All calibration happens in log-runtime space; since `exp` is monotone the
 //! coverage guarantee transfers to linear space unchanged.
@@ -58,6 +63,7 @@
 
 mod diagnostics;
 mod jackknife;
+mod merge;
 mod metrics;
 mod mondrian;
 mod pooled;
@@ -71,6 +77,7 @@ pub use diagnostics::{
     calibration_error, conditional_coverage, worst_group_coverage, CoverageCurve,
 };
 pub use jackknife::{round_robin_folds, CvPlus};
+pub use merge::MergeableWindow;
 pub use metrics::{coverage, overprovision_margin};
 pub use mondrian::MondrianConformal;
 pub use pooled::{HeadSelection, PoolCalibration, PooledConformal, PredictionSet};

@@ -1,0 +1,452 @@
+//! Mergeable calibration-window summaries for multi-replica serving.
+//!
+//! A fleet of edge sites feeding one conformal predictor cannot ship every
+//! observation to a central calibrator — but it does not have to. Under
+//! exchangeable splits of the calibration set (the assumption conformalized
+//! matrix completion already makes, Gui et al. 2023), the union of
+//! per-replica calibration windows is itself a valid calibration set, so a
+//! coordinator only needs each replica's *sorted score summary* to fit a
+//! fleet-level [`crate::PooledConformal`].
+//!
+//! [`MergeableWindow`] is that summary: a state-based CRDT of sorted-run
+//! segments keyed by replica id. Each segment carries the replica's
+//! [`WindowedScores::clock`] — the count of observations ever pushed — and
+//! merging keeps, per replica, the segment with the larger clock. Because a
+//! window's contents are a pure function of its stream prefix, a newer
+//! snapshot *fully supersedes* an older one from the same replica: entries
+//! evicted between two snapshots simply do not appear in the newer segment,
+//! so eviction needs **no tombstones**. The merge is therefore
+//! commutative, associative, and idempotent (property-tested below), and a
+//! coordinator can combine summaries in any order, at any cadence, over any
+//! gossip topology, and always converge to the same fleet state.
+//!
+//! [`MergeableWindow::to_scored`] lowers the merged summary to a
+//! [`ScoredCalibration`] via linear merges of the pre-sorted segments —
+//! **bitwise identical** to a from-scratch `ScoredCalibration::new` on the
+//! union of the live replica windows (property-tested below), so a
+//! fleet-level fit sees exactly the calibration set a centralized server
+//! would have built.
+
+use crate::scores::{ScoredCalibration, WindowedScores};
+use std::collections::BTreeMap;
+
+/// One replica's live window contents at snapshot time: pre-sorted global
+/// and per-pool score runs plus the eviction clock that orders snapshots.
+#[derive(Debug, Clone, PartialEq)]
+struct ReplicaRun {
+    /// The replica window's [`WindowedScores::clock`] at snapshot time.
+    clock: u64,
+    /// Live observations in the snapshot.
+    n: usize,
+    /// Per head: the replica's live scores, ascending.
+    global: Vec<Vec<f32>>,
+    /// Pool key → per-head ascending scores (only pools with live entries).
+    pools: BTreeMap<usize, Vec<Vec<f32>>>,
+}
+
+/// A mergeable summary of one or more replica calibration windows
+/// (see the module docs for the protocol).
+///
+/// Equality is elementwise over the contained sorted runs, so two summaries
+/// compare equal exactly when they would lower to bitwise-identical
+/// [`ScoredCalibration`]s *and* carry the same replica clocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeableWindow {
+    n_heads: usize,
+    /// Replica id → that replica's latest known run.
+    runs: BTreeMap<u64, ReplicaRun>,
+}
+
+impl MergeableWindow {
+    /// The merge identity: a summary that has heard from no replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_heads` is zero.
+    pub fn empty(n_heads: usize) -> Self {
+        assert!(n_heads > 0, "at least one head required");
+        Self {
+            n_heads,
+            runs: BTreeMap::new(),
+        }
+    }
+
+    /// Snapshots one replica window under the given replica id.
+    ///
+    /// The snapshot is a copy of the window's already-sorted score slices —
+    /// `O(window)` with no comparisons — plus its eviction clock. An empty
+    /// window yields a valid (empty) run that a later snapshot from the
+    /// same replica supersedes.
+    pub fn snapshot(replica: u64, window: &WindowedScores) -> Self {
+        let mut runs = BTreeMap::new();
+        runs.insert(
+            replica,
+            ReplicaRun {
+                clock: window.clock(),
+                n: window.len(),
+                global: window.scored.global_sorted.clone(),
+                pools: window.scored.pool_sorted.clone(),
+            },
+        );
+        Self {
+            n_heads: window.n_heads(),
+            runs,
+        }
+    }
+
+    /// Number of heads per observation.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Total live observations across every known replica.
+    pub fn len(&self) -> usize {
+        self.runs.values().map(|r| r.n).sum()
+    }
+
+    /// Whether no live observation is known (no replicas, or all empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replica ids this summary has heard from, with their clocks.
+    pub fn replicas(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.runs.iter().map(|(&id, r)| (id, r.clock))
+    }
+
+    /// The clock of the run held for `replica`, if any — lets a
+    /// coordinator skip snapshotting replicas whose windows have not
+    /// advanced since the last merge.
+    pub fn replica_clock(&self, replica: u64) -> Option<u64> {
+        self.runs.get(&replica).map(|r| r.clock)
+    }
+
+    /// CRDT join: keeps, per replica id, the run with the larger eviction
+    /// clock (ties keep either — a clock determines the window contents, so
+    /// equal clocks carry equal runs). Commutative, associative, and
+    /// idempotent; [`MergeableWindow::empty`] is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands disagree on head count.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.absorb(other);
+        out
+    }
+
+    /// In-place [`MergeableWindow::merge`]: upserts only `other`'s
+    /// newer-clocked runs, never copying the runs already held — the form
+    /// a coordinator accumulating one snapshot per replica per round wants
+    /// (`O(other)` per call, not `O(self + other)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands disagree on head count.
+    pub fn absorb(&mut self, other: &Self) {
+        assert_eq!(
+            self.n_heads, other.n_heads,
+            "cannot merge summaries with different head counts"
+        );
+        for (&id, run) in &other.runs {
+            match self.runs.get(&id) {
+                Some(existing) if existing.clock >= run.clock => {}
+                _ => {
+                    self.runs.insert(id, run.clone());
+                }
+            }
+        }
+    }
+
+    /// Lowers the summary to a [`ScoredCalibration`] over the union of
+    /// every known replica's live window — linear merges of the pre-sorted
+    /// segments, bitwise identical to `ScoredCalibration::new` on the same
+    /// union (property-tested).
+    ///
+    /// The result is ready for [`crate::PooledConformal::fit_scored`];
+    /// fitting at any ε is then a rank lookup, exactly as on a
+    /// single-replica window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary holds no live observations (an empty
+    /// calibration set has no quantiles).
+    pub fn to_scored(&self) -> ScoredCalibration {
+        assert!(
+            !self.is_empty(),
+            "cannot calibrate on an empty fleet summary"
+        );
+        let mut global_sorted = vec![Vec::new(); self.n_heads];
+        let mut pool_sorted: BTreeMap<usize, Vec<Vec<f32>>> = BTreeMap::new();
+        for run in self.runs.values() {
+            for (h, head) in run.global.iter().enumerate() {
+                global_sorted[h] = merge_sorted(&global_sorted[h], head);
+            }
+            for (&pool, per_head) in &run.pools {
+                let acc = pool_sorted
+                    .entry(pool)
+                    .or_insert_with(|| vec![Vec::new(); self.n_heads]);
+                for (h, head) in per_head.iter().enumerate() {
+                    acc[h] = merge_sorted(&acc[h], head);
+                }
+            }
+        }
+        ScoredCalibration {
+            global_sorted,
+            pool_sorted,
+            n: self.len(),
+        }
+    }
+}
+
+/// Merges two ascending (under `total_cmp`) runs into one, taking from the
+/// left run on ties so equal float bits stay contiguous. The result is the
+/// sorted multiset union — identical to sorting the concatenation.
+fn merge_sorted(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if b[j].total_cmp(&a[i]).is_lt() {
+            out.push(b[j]);
+            j += 1;
+        } else {
+            out.push(a[i]);
+            i += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pooled::PredictionSet;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// One synthetic replica stream: `(per-head preds, target, pool)`
+    /// entries. Quantized values force duplicate scores across replicas —
+    /// the shards of one fleet observe the same catalog, so identical
+    /// scores on different replicas are the common case, not a corner.
+    fn stream(seed: u64, n: usize, n_heads: usize) -> Vec<(Vec<f32>, f32, usize)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0xA5A5).wrapping_add(1));
+        (0..n)
+            .map(|i| {
+                let preds: Vec<f32> = (0..n_heads)
+                    .map(|_| (rng.gen_range(-8i32..8) as f32) * 0.25)
+                    .collect();
+                let target = (rng.gen_range(-8i32..8) as f32) * 0.25;
+                let pool = i % 3;
+                (preds, target, pool)
+            })
+            .collect()
+    }
+
+    /// Feeds a stream through a fresh window of the given capacity.
+    fn window_of(entries: &[(Vec<f32>, f32, usize)], cap: usize, n_heads: usize) -> WindowedScores {
+        let mut w = WindowedScores::new(cap, n_heads);
+        for (p, t, k) in entries {
+            w.push(p, *t, *k);
+        }
+        w
+    }
+
+    /// From-scratch [`ScoredCalibration`] on the union of the replicas'
+    /// *live* (post-eviction) window tails.
+    fn scratch_union(replicas: &[&WindowedScores], n_heads: usize) -> ScoredCalibration {
+        let mut preds: Vec<Vec<f32>> = vec![Vec::new(); n_heads];
+        let mut targets = Vec::new();
+        let mut pools = Vec::new();
+        for w in replicas {
+            for (scores, pool) in w.entries() {
+                // Reconstruct a (pred, target) pair with exactly these
+                // score bits: s = 0.0 − (−s).
+                for (h, &s) in scores.iter().enumerate() {
+                    preds[h].push(-s);
+                }
+                targets.push(0.0);
+                pools.push(pool);
+            }
+        }
+        ScoredCalibration::new(&PredictionSet {
+            predictions: &preds,
+            targets_log: &targets,
+            pools: &pools,
+        })
+    }
+
+    proptest::proptest! {
+        /// The headline identity: merging any number of replica snapshots
+        /// (different stream lengths, window capacities smaller than the
+        /// streams, duplicate score values across shards) lowers to a
+        /// [`ScoredCalibration`] bitwise identical to a from-scratch fit on
+        /// the union of the live windows.
+        #[test]
+        fn merged_summary_is_bitwise_identical_to_scratch_union(
+            seed in 0u64..30,
+            n_replicas in 1usize..5,
+            cap in 1usize..40,
+        ) {
+            let n_heads = 1 + (seed as usize % 3);
+            let windows: Vec<WindowedScores> = (0..n_replicas)
+                .map(|r| {
+                    // Lengths straddle the capacity so some replicas have
+                    // evicted and others have not (or are still empty).
+                    let n = (seed as usize + r * 13) % (2 * cap + 1);
+                    window_of(&stream(seed * 31 + r as u64, n, n_heads), cap, n_heads)
+                })
+                .collect();
+            let mut merged = MergeableWindow::empty(n_heads);
+            for (r, w) in windows.iter().enumerate() {
+                merged.absorb(&MergeableWindow::snapshot(r as u64, w));
+            }
+            let live: usize = windows.iter().map(|w| w.len()).sum();
+            proptest::prop_assert_eq!(merged.len(), live);
+            if live > 0 {
+                let refs: Vec<&WindowedScores> = windows.iter().collect();
+                let scratch = scratch_union(&refs, n_heads);
+                proptest::prop_assert_eq!(&merged.to_scored(), &scratch);
+            }
+        }
+
+        /// Merge is commutative and associative over snapshots of
+        /// *different ages of the same replicas* — the out-of-order,
+        /// duplicated delivery a real coordinator sees.
+        #[test]
+        fn merge_is_commutative_and_associative(
+            seed in 0u64..30,
+            cap in 1usize..24,
+        ) {
+            let n_heads = 1 + (seed as usize % 2);
+            // Three summaries drawn from two replicas at different clocks:
+            // a and c are older/newer snapshots of replica 0.
+            let s0 = stream(seed, 2 * cap + 3, n_heads);
+            let mut w0 = WindowedScores::new(cap, n_heads);
+            for (p, t, k) in &s0[..cap.min(s0.len())] {
+                w0.push(p, *t, *k);
+            }
+            let a = MergeableWindow::snapshot(0, &w0);
+            for (p, t, k) in &s0[cap.min(s0.len())..] {
+                w0.push(p, *t, *k);
+            }
+            let c = MergeableWindow::snapshot(0, &w0);
+            let w1 = window_of(&stream(seed + 77, cap + 2, n_heads), cap, n_heads);
+            let b = MergeableWindow::snapshot(1, &w1);
+
+            proptest::prop_assert_eq!(a.merge(&b), b.merge(&a));
+            proptest::prop_assert_eq!(a.merge(&c), c.merge(&a));
+            proptest::prop_assert_eq!(
+                a.merge(&b).merge(&c),
+                a.merge(&b.merge(&c))
+            );
+            // Idempotence, and identity of the empty summary.
+            let ab = a.merge(&b);
+            proptest::prop_assert_eq!(ab.merge(&ab.clone()), ab.clone());
+            proptest::prop_assert_eq!(
+                ab.merge(&MergeableWindow::empty(n_heads)),
+                ab
+            );
+        }
+    }
+
+    #[test]
+    fn single_replica_summary_is_the_window_itself() {
+        let n_heads = 2;
+        let w = window_of(&stream(5, 40, n_heads), 16, n_heads);
+        let merged = MergeableWindow::snapshot(9, &w);
+        assert_eq!(&merged.to_scored(), w.scored());
+    }
+
+    #[test]
+    fn empty_replicas_merge_as_identity() {
+        let n_heads = 2;
+        let w = window_of(&stream(6, 20, n_heads), 8, n_heads);
+        let full = MergeableWindow::snapshot(0, &w);
+        let empty_win = WindowedScores::new(8, n_heads);
+        let empty = MergeableWindow::snapshot(1, &empty_win);
+        let merged = full.merge(&empty);
+        assert_eq!(merged.len(), w.len());
+        assert_eq!(&merged.to_scored(), w.scored());
+        // Either way around.
+        assert_eq!(&empty.merge(&full).to_scored(), w.scored());
+    }
+
+    #[test]
+    fn newer_snapshot_supersedes_after_eviction() {
+        // Snapshot a replica, let it evict every original entry, snapshot
+        // again: the merge of both must equal the newer snapshot alone —
+        // evicted entries leave no tombstones and no residue.
+        let n_heads = 2;
+        let s = stream(7, 30, n_heads);
+        let mut w = WindowedScores::new(8, n_heads);
+        for (p, t, k) in &s[..10] {
+            w.push(p, *t, *k);
+        }
+        let old = MergeableWindow::snapshot(3, &w);
+        for (p, t, k) in &s[10..] {
+            w.push(p, *t, *k);
+        }
+        let new = MergeableWindow::snapshot(3, &w);
+        let merged = old.merge(&new);
+        assert_eq!(merged, new);
+        assert_eq!(&merged.to_scored(), w.scored());
+        // Stale delivery after the fact changes nothing.
+        assert_eq!(merged.merge(&old), new);
+    }
+
+    #[test]
+    fn duplicate_scores_across_shards_merge_cleanly() {
+        // Two shards observing identical quantized values: every score in
+        // shard A also appears in shard B. The union must keep both copies.
+        let n_heads = 1;
+        let entries: Vec<(Vec<f32>, f32, usize)> = (0..12)
+            .map(|i| (vec![(i % 3) as f32 * 0.5], 1.0, i % 2))
+            .collect();
+        let wa = window_of(&entries, 16, n_heads);
+        let wb = window_of(&entries, 16, n_heads);
+        let merged = MergeableWindow::snapshot(0, &wa).merge(&MergeableWindow::snapshot(1, &wb));
+        assert_eq!(merged.len(), 24);
+        let scored = merged.to_scored();
+        assert_eq!(scored.len(), 24);
+        assert_eq!(&scored, &scratch_union(&[&wa, &wb], n_heads));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fleet summary")]
+    fn empty_summary_refuses_to_calibrate() {
+        let _ = MergeableWindow::empty(1).to_scored();
+    }
+
+    #[test]
+    #[should_panic(expected = "different head counts")]
+    fn mismatched_head_counts_refuse_to_merge() {
+        let _ = MergeableWindow::empty(1).merge(&MergeableWindow::empty(2));
+    }
+
+    #[test]
+    fn fleet_gammas_match_centralized_window() {
+        // End-to-end: γ from the merged fleet summary equals γ from a
+        // from-scratch calibration on the union — the bound a coordinator
+        // serves is exactly the centralized one.
+        let n_heads = 3;
+        let wa = window_of(&stream(11, 90, n_heads), 64, n_heads);
+        let wb = window_of(&stream(12, 50, n_heads), 64, n_heads);
+        let merged = MergeableWindow::snapshot(0, &wa)
+            .merge(&MergeableWindow::snapshot(1, &wb))
+            .to_scored();
+        let scratch = scratch_union(&[&wa, &wb], n_heads);
+        for eps in [0.05f32, 0.1, 0.3] {
+            for h in 0..n_heads {
+                assert_eq!(merged.gamma(None, h, eps), scratch.gamma(None, h, eps));
+                for pool in 0..3 {
+                    assert_eq!(
+                        merged.gamma(Some(pool), h, eps),
+                        scratch.gamma(Some(pool), h, eps)
+                    );
+                }
+            }
+        }
+    }
+}

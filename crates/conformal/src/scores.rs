@@ -50,10 +50,10 @@ pub fn upper_scores(preds: &[Vec<f32>], targets: &[f32]) -> Vec<Vec<f32>> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoredCalibration {
     /// Per head: every score, ascending.
-    global_sorted: Vec<Vec<f32>>,
+    pub(crate) global_sorted: Vec<Vec<f32>>,
     /// Pool key → per-head ascending scores for that pool.
-    pool_sorted: BTreeMap<usize, Vec<Vec<f32>>>,
-    n: usize,
+    pub(crate) pool_sorted: BTreeMap<usize, Vec<Vec<f32>>>,
+    pub(crate) n: usize,
 }
 
 impl ScoredCalibration {
@@ -163,7 +163,10 @@ pub struct WindowedScores {
     /// Oldest-first ring of `(per-head scores, pool)` entries.
     ring: std::collections::VecDeque<(Vec<f32>, usize)>,
     /// The incrementally maintained sorted view.
-    scored: ScoredCalibration,
+    pub(crate) scored: ScoredCalibration,
+    /// Total pushes ever (a monotone per-window logical clock; see
+    /// [`WindowedScores::clock`]).
+    pub(crate) clock: u64,
 }
 
 impl WindowedScores {
@@ -185,7 +188,37 @@ impl WindowedScores {
                 pool_sorted: BTreeMap::new(),
                 n: 0,
             },
+            clock: 0,
         }
+    }
+
+    /// Total observations ever pushed (not just currently retained): a
+    /// monotone logical clock. Because pushes are the only mutation and
+    /// each push also performs any due eviction, a window's contents are a
+    /// pure function of its stream prefix of length `clock` — which is what
+    /// lets [`crate::MergeableWindow`] snapshots supersede one another
+    /// without tombstones.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the clock to `to` without pushing, for rebuilds that
+    /// replace the window's contents wholesale (e.g. re-scoring every entry
+    /// under a fine-tuned model): bumping the rebuilt window past the old
+    /// one's clock makes its [`crate::MergeableWindow`] snapshots supersede
+    /// every snapshot of the pre-rebuild state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not strictly greater than the current clock (a
+    /// stale clock would let old snapshots shadow the rebuilt window).
+    pub fn advance_clock(&mut self, to: u64) {
+        assert!(
+            to > self.clock,
+            "clock must advance: {to} is not past {}",
+            self.clock
+        );
+        self.clock = to;
     }
 
     /// Observations currently in the window.
@@ -254,6 +287,7 @@ impl WindowedScores {
         }
         self.ring.push_back((scores, pool));
         self.scored.n += 1;
+        self.clock += 1;
         evicted
     }
 

@@ -37,6 +37,10 @@
 //! println!("test MAPE: {:.1}%", 100.0 * mape);
 //! ```
 
+// Every public item in this crate is part of the documented core prediction
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
 mod config;
 mod eval;
 mod model;

@@ -1,0 +1,99 @@
+//! Fleet quickstart: shard an event stream over multiple serving replicas,
+//! merge their calibration windows into one fleet-level conformal fit, and
+//! let the bounds drive SLO-aware admission.
+//!
+//! ```sh
+//! cargo run --release -p pitot-experiments --example fleet
+//! ```
+
+use pitot::{train, Objective, PitotConfig};
+use pitot_serve::{AdmissionConfig, DeadlineQuery, FleetConfig, FleetServer, ServeConfig};
+use pitot_testbed::{split::Split, Testbed, TestbedConfig};
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. Cluster, history, model — as in the quickstart.
+    let testbed = Testbed::generate(&TestbedConfig::small());
+    let dataset = testbed.collect_dataset();
+    let split = Split::stratified(&dataset, 0.6, 0);
+    let config = PitotConfig {
+        objective: Objective::Quantiles(vec![0.5, 0.8, 0.9, 0.95]),
+        ..PitotConfig::fast()
+    };
+    let trained = train(&dataset, &split, &config);
+
+    // 2. Stand up a 3-replica fleet: disjoint event shards, per-replica
+    //    windows of 128, a coordinator merge every 16 observations, and
+    //    deadline admission by the conformal upper edge.
+    let epsilon = 0.1;
+    let mut serve = ServeConfig::at(epsilon);
+    serve.window = 128;
+    let cfg = FleetConfig {
+        serve,
+        replicas: 3,
+        merge_every: 16,
+        admission: AdmissionConfig::default(),
+    };
+    let mut fleet = FleetServer::new(trained, &dataset, cfg);
+    fleet.seed_calibration(&split.val);
+    println!(
+        "fleet up: {} replicas, fleet calibration installed after seeding",
+        fleet.n_replicas()
+    );
+
+    // 3. Stream 400 events: each issues a deadline query (admitted or shed
+    //    by the bound), then the realized runtime flows back into the
+    //    shard's window; every 16th observation triggers a merge round.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut stream = split.test.clone();
+    stream.shuffle(&mut rng);
+    stream.truncate(400);
+    for (t, &i) in stream.iter().enumerate() {
+        let o = dataset.observations[i].clone();
+        let deadline_s = f64::from(o.runtime_s) * rng.gen_range(0.75..3.0);
+        let out = fleet.deadline_query(DeadlineQuery {
+            id: t as u64,
+            workload: o.workload,
+            platform: o.platform,
+            interferers: o.interferers.clone(),
+            deadline_s,
+        });
+        fleet.resolve(t as u64, f64::from(o.runtime_s));
+        if t < 4 {
+            println!(
+                "  query {t}: bound {:.3}s vs deadline {:.3}s → {:?} (replica {})",
+                out.prediction.bound_s, deadline_s, out.decision, out.replica
+            );
+        }
+        fleet.observe(t as f64, o);
+    }
+
+    // 4. Fleet-wide accounting: coverage of the merged calibration and how
+    //    the admission decisions scored against realized runtimes.
+    let stats = fleet.stats();
+    println!(
+        "\nafter {} observations across the fleet:",
+        stats.observations
+    );
+    println!(
+        "  {} merge rounds, prequential coverage {:.3} (nominal {:.2})",
+        stats.merges,
+        stats.coverage(),
+        1.0 - epsilon
+    );
+    println!(
+        "  admission: {} admitted / {} shed (shed rate {:.2})",
+        stats.admission.admitted,
+        stats.admission.shed(),
+        stats.admission.shed_rate()
+    );
+    println!(
+        "  SLO attainment among admitted: {:.3}; sheds that would have missed: {}/{}",
+        stats.admission.attainment(),
+        stats.admission.shed_would_have_missed,
+        stats.admission.shed()
+    );
+    assert!(stats.coverage() > 0.8, "fleet coverage degenerated");
+    assert!(stats.merges > 0, "coordinator never merged");
+}

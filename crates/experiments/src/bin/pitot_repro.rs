@@ -11,8 +11,9 @@
 //!   fig7 fig12                    embedding interpretation
 //!   summary                       Sec 5.3 headline numbers
 //!   orchestration shift online    extension studies (placement, pool
-//!   serving conformal optimizer   robustness, online learning, streaming
-//!                                 recalibration, conformal variants,
+//!   serving fleet conformal       robustness, online learning, streaming
+//!   optimizer                     recalibration, multi-replica fleet
+//!                                 serving, conformal variants,
 //!                                 optimizer ablation)
 //!   all                           everything above
 //! ```
@@ -22,7 +23,7 @@
 //! uniform rows and written to `<out>/<id>.json`.
 
 use pitot_experiments::{
-    ablations, baseline_cmp, baselines_ext, conformal_variants, dataset_report, embeddings,
+    ablations, baseline_cmp, baselines_ext, conformal_variants, dataset_report, embeddings, fleet,
     hyperparams, online, optimizer_cmp, orchestration, serving, shift, uncertainty,
 };
 use pitot_experiments::{Figure, Harness, Scale};
@@ -88,6 +89,7 @@ fn main() {
         "shift",
         "online",
         "serving",
+        "fleet",
         "conformal",
         "optimizer",
         "baselines",
@@ -132,6 +134,7 @@ fn main() {
             "shift" => vec![shift::ext_shift(&harness)],
             "online" => vec![online::ext_online(&harness)],
             "serving" => vec![serving::ext_serving(&harness)],
+            "fleet" => vec![fleet::ext_fleet(&harness)],
             "conformal" => vec![conformal_variants::ext_conformal_variants(&harness)],
             "optimizer" => vec![optimizer_cmp::ext_optimizer(&harness)],
             other => {

@@ -1,0 +1,303 @@
+//! Multi-replica serving under drift: merged windows and SLO-aware
+//! admission (extension).
+//!
+//! `ext-serving` established that a *single* sliding-window server recovers
+//! coverage under the arity-shift + e^0.3 runtime-drift stream. This
+//! experiment scales that result out: the same drift stream is sharded over
+//! N replica servers (disjoint event streams, as in a fleet of edge sites),
+//! each replica keeps only its local window, and a coordinator merges
+//! window summaries (`pitot_conformal::MergeableWindow`) every
+//! `merge_every` observations into one fleet-level calibration — the merged
+//! fit is bitwise identical to a centralized fit on the union, so the only
+//! degrees of freedom are *staleness* (merge cadence) and *effective window
+//! size* (replicas × per-replica window).
+//!
+//! Alongside coverage, every event also issues a deadline query: the fleet
+//! admits or sheds it by the conformal bound's upper edge
+//! (`pitot_serve::AdmissionQueue`), and the decision is scored against the
+//! realized (drifted) runtime. Honest bounds translate directly into SLO
+//! attainment among admitted jobs — the control-decision payoff of keeping
+//! the fleet calibrated.
+//!
+//! Expected shape: all fleet arms dip after the shift and recover as
+//! shifted scores displace warm ones; more replicas recover a touch slower
+//! (bigger union window) but average away per-shard noise, and sparser
+//! merge cadences lag by at most one cadence. SLO attainment tracks
+//! coverage; shed rate spikes during the dip (bounds widen) and settles.
+
+use crate::harness::Harness;
+use crate::report::{Figure, Point, Series};
+use crate::serving::{segment_coverage, weighted_stream, DRIFT_LOG, SEGMENTS, SHIFT_MIX, WARM_MIX};
+use pitot::{Objective, PitotConfig};
+use pitot_conformal::HeadSelection;
+use pitot_serve::{AdmissionConfig, DeadlineQuery, FleetConfig, FleetServer, ServeConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// `(replicas, merge cadence)` sweep: replica count at a fixed cadence,
+/// cadence at a fixed replica count.
+const ARMS: [(usize, usize); 5] = [(1, 32), (2, 32), (4, 32), (2, 8), (2, 128)];
+
+/// Deadline multiplier range on the realized runtime: below 1 the job is
+/// infeasible by ground truth (an honest bound should shed it), well above
+/// 1 it is comfortable.
+const DEADLINE_MULT: (f32, f32) = (0.75, 3.0);
+
+/// Per-replica sliding window (the fleet calibration set holds
+/// `replicas × WINDOW` scores).
+const WINDOW: usize = 256;
+
+fn fleet_config(eps: f32, replicas: usize, merge_every: usize) -> FleetConfig {
+    let mut serve = ServeConfig::at(eps);
+    serve.window = WINDOW;
+    // One global pool, as in ext-serving: the comparison isolates the
+    // window protocol; arity pooling is measured by ext-shift.
+    serve.pool_by_arity = false;
+    serve.selection = HeadSelection::NaiveXi;
+    serve.fine_tune_steps = 0;
+    FleetConfig {
+        serve,
+        replicas,
+        merge_every,
+        admission: AdmissionConfig::default(),
+    }
+}
+
+/// One arm's per-segment outcomes over the shifted stream.
+struct ArmOutcome {
+    covered: Vec<bool>,
+    slo_met: Vec<bool>,
+    admitted: Vec<bool>,
+}
+
+fn run_arm(
+    fleet: &mut FleetServer,
+    h: &Harness,
+    stream: &[usize],
+    rng: &mut ChaCha8Rng,
+) -> ArmOutcome {
+    let mut covered = Vec::with_capacity(stream.len());
+    let mut slo_met = Vec::with_capacity(stream.len());
+    let mut admitted = Vec::with_capacity(stream.len());
+    for (t, &i) in stream.iter().enumerate() {
+        let mut obs = h.dataset.observations[i].clone();
+        obs.runtime_s *= DRIFT_LOG.exp();
+        // 1. An SLO query for this job, decided on the *current* fleet
+        //    calibration (prequential, like the coverage judgement).
+        let mult = rng.gen_range(DEADLINE_MULT.0..DEADLINE_MULT.1);
+        let deadline_s = f64::from(obs.runtime_s) * f64::from(mult);
+        let out = fleet.deadline_query(DeadlineQuery {
+            id: t as u64,
+            workload: obs.workload,
+            platform: obs.platform,
+            interferers: obs.interferers.clone(),
+            deadline_s,
+        });
+        let was_admitted = out.decision.admitted();
+        fleet.resolve(t as u64, f64::from(obs.runtime_s));
+        admitted.push(was_admitted);
+        slo_met.push(was_admitted && f64::from(obs.runtime_s) <= deadline_s);
+        // 2. The realized runtime streams back as an observation.
+        let (_, fb) = fleet.observe(t as f64, obs);
+        covered.push(fb.covered);
+    }
+    ArmOutcome {
+        covered,
+        slo_met,
+        admitted,
+    }
+}
+
+/// Per-segment SLO attainment: fraction of *admitted* queries in each
+/// segment that met their deadline.
+fn segment_attainment(met: &[bool], admitted: &[bool]) -> Vec<f32> {
+    let seg = admitted.len().div_ceil(SEGMENTS).max(1);
+    met.chunks(seg)
+        .zip(admitted.chunks(seg))
+        .map(|(m, a)| {
+            let n = a.iter().filter(|&&x| x).count();
+            if n == 0 {
+                f32::NAN
+            } else {
+                m.iter().filter(|&&x| x).count() as f32 / n as f32
+            }
+        })
+        .collect()
+}
+
+/// Extension figure: coverage and SLO attainment over the shifted stream
+/// for a fleet of merged-window replicas (replica count × merge cadence
+/// sweep) at ε = 0.1.
+pub fn ext_fleet(h: &Harness) -> Figure {
+    let mut fig = Figure::new(
+        "ext-fleet",
+        "Multi-replica merged-window serving under arity shift + runtime drift (extension)",
+    );
+    let eps = 0.1f32;
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        ..h.pitot_config()
+    };
+    let (warm_n, shift_n) = match h.scale {
+        crate::harness::Scale::Fast => (600usize, 1600usize),
+        crate::harness::Scale::Full => (1500, 4000),
+    };
+
+    // label → (per-segment coverages, per-segment attainments, shed rates).
+    struct ArmAgg {
+        label: String,
+        cov: Vec<Vec<f32>>,
+        slo: Vec<Vec<f32>>,
+        shed: Vec<f32>,
+    }
+    let mut arms: Vec<ArmAgg> = ARMS
+        .iter()
+        .map(|&(r, c)| ArmAgg {
+            label: format!("replicas={r} merge={c}"),
+            cov: vec![Vec::new(); SEGMENTS],
+            slo: vec![Vec::new(); SEGMENTS],
+            shed: Vec::new(),
+        })
+        .collect();
+
+    for rep in 0..h.replicates {
+        let split = h.split(0.5, rep);
+        let trained = pitot::train(&h.dataset, &split, &cfg.clone().with_seed(rep as u64));
+        let mut rng = ChaCha8Rng::seed_from_u64(0xF1EE_7000 ^ rep as u64);
+        let warm = weighted_stream(&h.dataset, &split.test, &WARM_MIX, warm_n, &mut rng);
+        let shifted = weighted_stream(&h.dataset, &split.test, &SHIFT_MIX, shift_n, &mut rng);
+
+        for (a, &(replicas, merge_every)) in ARMS.iter().enumerate() {
+            let mut fleet = FleetServer::new(
+                trained.clone(),
+                &h.dataset,
+                fleet_config(eps, replicas, merge_every),
+            );
+            fleet.seed_calibration(&warm);
+            let mut arm_rng =
+                ChaCha8Rng::seed_from_u64((0x0DEA_D11E * (a as u64 + 1)) ^ rep as u64);
+            let out = run_arm(&mut fleet, h, &shifted, &mut arm_rng);
+            for (s, cov) in segment_coverage(&out.covered).into_iter().enumerate() {
+                arms[a].cov[s].push(cov);
+            }
+            for (s, slo) in segment_attainment(&out.slo_met, &out.admitted)
+                .into_iter()
+                .enumerate()
+            {
+                if slo.is_finite() {
+                    arms[a].slo[s].push(slo);
+                }
+            }
+            arms[a].shed.push(fleet.stats().admission.shed_rate());
+        }
+    }
+
+    for arm in arms {
+        fig.series.push(Series {
+            label: arm.label.clone(),
+            panel: format!("coverage over shifted stream (ε={eps})"),
+            metric: "empirical coverage".into(),
+            points: arm
+                .cov
+                .into_iter()
+                .enumerate()
+                .map(|(s, values)| Point::from_replicates(s as f32, values))
+                .collect(),
+        });
+        fig.series.push(Series {
+            label: arm.label.clone(),
+            panel: "SLO attainment among admitted".into(),
+            metric: "attainment".into(),
+            points: arm
+                .slo
+                .into_iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(s, values)| Point::from_replicates(s as f32, values))
+                .collect(),
+        });
+        fig.series.push(Series {
+            label: arm.label,
+            panel: "shed rate (whole stream)".into(),
+            metric: "fraction shed".into(),
+            points: vec![Point::from_replicates(0.0, arm.shed)],
+        });
+    }
+    fig.notes.push(format!(
+        "stream: {warm_n} warm events seed the replicas round-robin, then {shift_n} shifted \
+         events (arity weights {SHIFT_MIX:?}, runtimes slowed by e^{DRIFT_LOG}) are sharded by \
+         (workload, platform) hash; every event also issues a deadline query \
+         (deadline = realized runtime × U{DEADLINE_MULT:?}) admitted/shed by the conformal \
+         upper edge"
+    ));
+    fig.notes.push(format!(
+        "per-replica window {WINDOW}, one global calibration pool; the merged fleet fit is \
+         bitwise identical to a centralized fit on the union of replica windows, so arms \
+         differ only in staleness (merge cadence) and union size (replica count)"
+    ));
+    fig.notes.push(format!("nominal coverage: {}", 1.0 - eps));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    #[test]
+    fn fleet_recovers_coverage_and_attains_slos_under_drift() {
+        let h = Harness::new(Scale::Fast);
+        let fig = ext_fleet(&h);
+        let cov_panel = format!("coverage over shifted stream (ε={})", 0.1);
+        let last_cov = |label: &str| {
+            fig.series_for(label, &cov_panel)
+                .unwrap_or_else(|| panic!("{label} missing"))
+                .points
+                .last()
+                .expect("segments present")
+                .mean
+        };
+        // Acceptance: ≥ 0.88 coverage at ε = 0.1 by the end of the drift
+        // stream for every multi-replica arm (the windows have fully
+        // turned over to shifted scores by the final segment).
+        for label in [
+            "replicas=2 merge=32",
+            "replicas=4 merge=32",
+            "replicas=2 merge=8",
+        ] {
+            let cov = last_cov(label);
+            assert!(
+                cov >= 0.88,
+                "{label}: final-segment coverage {cov} below 0.88"
+            );
+        }
+        // The single-replica arm is the ext-serving baseline: the fleet
+        // arms must match it within noise (merging costs no validity).
+        let single = last_cov("replicas=1 merge=32");
+        let two = last_cov("replicas=2 merge=32");
+        assert!(
+            (single - two).abs() < 0.08,
+            "1-replica {single} vs 2-replica {two} diverge beyond noise"
+        );
+        // SLO attainment among admitted queries must end near/above
+        // nominal: the admission decision inherits the bound's calibration.
+        let slo = fig
+            .series_for("replicas=2 merge=32", "SLO attainment among admitted")
+            .expect("slo series")
+            .points
+            .last()
+            .expect("slo points")
+            .mean;
+        assert!(slo >= 0.85, "final SLO attainment {slo} too low");
+        // Admission must be doing real work: some sheds, not everything.
+        let shed = fig
+            .series_for("replicas=2 merge=32", "shed rate (whole stream)")
+            .expect("shed series")
+            .points[0]
+            .mean;
+        assert!(
+            (0.02..0.6).contains(&shed),
+            "shed rate {shed} outside plausible band"
+        );
+    }
+}

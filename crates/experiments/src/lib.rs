@@ -9,12 +9,17 @@
 //! ([`harness::Scale::Fast`]) or paper ([`harness::Scale::Full`]) scale; the
 //! output format is identical so results are comparable across scales.
 
+// Every public item in this crate is part of the documented workspace
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
 pub mod ablations;
 pub mod baseline_cmp;
 pub mod baselines_ext;
 pub mod conformal_variants;
 pub mod dataset_report;
 pub mod embeddings;
+pub mod fleet;
 pub mod harness;
 pub mod hyperparams;
 pub mod methods;

@@ -34,22 +34,22 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Warm-phase arity weights (calibration-like: isolation-heavy).
-const WARM_MIX: [f32; MAX_INTERFERERS + 1] = [3.0, 1.0, 1.0, 1.0];
+pub(crate) const WARM_MIX: [f32; MAX_INTERFERERS + 1] = [3.0, 1.0, 1.0, 1.0];
 /// Shifted-phase arity weights (worst case: everything 4-way co-located).
-const SHIFT_MIX: [f32; MAX_INTERFERERS + 1] = [0.0, 0.0, 0.0, 1.0];
+pub(crate) const SHIFT_MIX: [f32; MAX_INTERFERERS + 1] = [0.0, 0.0, 0.0, 1.0];
 /// Log-space slowdown of the shifted phase: every observed runtime grows by
 /// `e^DRIFT_LOG` (~35%), modelling the sustained-co-location degradation a
 /// deployment accumulates after its calibration snapshot.
-const DRIFT_LOG: f32 = 0.3;
+pub(crate) const DRIFT_LOG: f32 = 0.3;
 /// Post-shift stream segments reported as coverage-over-time points.
-const SEGMENTS: usize = 8;
+pub(crate) const SEGMENTS: usize = 8;
 
 /// `(window size, refresh cadence)` sweep.
 const ARMS: [(usize, usize); 4] = [(256, 1), (256, 32), (1024, 1), (1024, 32)];
 
 /// Samples `n` observation indices from `idx`, drawing interference arities
 /// according to `weights` (with replacement — a stream re-measures).
-fn weighted_stream(
+pub(crate) fn weighted_stream(
     dataset: &Dataset,
     idx: &[usize],
     weights: &[f32; MAX_INTERFERERS + 1],
@@ -111,7 +111,7 @@ fn run_arm(
 }
 
 /// Mean coverage of each of [`SEGMENTS`] equal slices of `covered`.
-fn segment_coverage(covered: &[bool]) -> Vec<f32> {
+pub(crate) fn segment_coverage(covered: &[bool]) -> Vec<f32> {
     let seg = covered.len().div_ceil(SEGMENTS).max(1);
     covered
         .chunks(seg)

@@ -30,6 +30,10 @@
 //! assert_eq!(out, a);
 //! ```
 
+// Every public item in this crate is part of the documented kernel-layer
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
 pub mod alloc_count;
 // The kernel layer and its thread pool are the workspace's only sanctioned
 // `unsafe`: lending disjoint output-row windows to pool workers. Everything

@@ -39,6 +39,10 @@
 //! opt.step(&mut [store.params_mut()], &[grads.as_slice()]);
 //! ```
 
+// Every public item in this crate is part of the documented layer/optimizer
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
 mod activation;
 mod dropout;
 mod grad_check;

@@ -72,12 +72,34 @@ impl ParamRange {
 #[derive(Debug, Default)]
 pub struct ParamStoreBuilder {
     data: Vec<f32>,
+    /// When set, [`ParamStoreBuilder::alloc_randn`] copies window values
+    /// from this plane instead of drawing fresh normals. Shared (`Rc`) so
+    /// a caller-side cache hands the plane over without copying it.
+    prefill: Option<std::rc::Rc<[f32]>>,
 }
 
 impl ParamStoreBuilder {
     /// An empty builder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A builder that *replays* a previously built plane: every
+    /// [`ParamStoreBuilder::alloc_randn`] window copies its values from
+    /// `plane` (at the same offsets) instead of drawing and scaling fresh
+    /// normals. Callers cache the finished plane of an earlier identical
+    /// construction and skip the Box–Muller fill entirely — layout code
+    /// runs unchanged, so the resulting windows are bitwise identical to a
+    /// fresh build by construction.
+    ///
+    /// The replayed plane must come from an identical allocation sequence;
+    /// windows are checked to stay in bounds, and [`ParamStoreBuilder::finish`]
+    /// asserts the layouts ended at the same length.
+    pub fn prefilled(plane: std::rc::Rc<[f32]>) -> Self {
+        Self {
+            data: Vec::with_capacity(plane.len()),
+            prefill: Some(plane),
+        }
     }
 
     /// Elements allocated so far (the offset the next window will get).
@@ -110,6 +132,17 @@ impl ParamStoreBuilder {
         std: f32,
         rng: &mut R,
     ) -> ParamRange {
+        if let Some(plane) = &self.prefill {
+            let offset = self.data.len();
+            assert!(
+                offset + len <= plane.len(),
+                "replayed window [{offset}, {}) exceeds the prefill plane ({})",
+                offset + len,
+                plane.len()
+            );
+            self.data.extend_from_slice(&plane[offset..offset + len]);
+            return ParamRange { offset, len };
+        }
         let range = self.alloc(len);
         let slab = &mut self.data[range.as_range()];
         pitot_linalg::fill_randn(slab, rng);
@@ -120,7 +153,20 @@ impl ParamStoreBuilder {
     }
 
     /// Seals the layout into an immutable-shape store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prefill plane (see [`ParamStoreBuilder::prefilled`]) was
+    /// supplied and its length differs from the built layout — the replayed
+    /// construction diverged from the original.
     pub fn finish(self) -> ParamStore {
+        if let Some(plane) = &self.prefill {
+            assert_eq!(
+                plane.len(),
+                self.data.len(),
+                "replayed layout diverged from the prefill plane"
+            );
+        }
         pitot_linalg::alloc_count::record_buffer(self.data.len());
         ParamStore { data: self.data }
     }

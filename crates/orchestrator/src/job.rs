@@ -105,6 +105,29 @@ impl JobStream {
         &self.jobs
     }
 
+    /// Partitions the stream into `shards` disjoint sub-streams,
+    /// round-robin by arrival order. Each shard preserves arrival order and
+    /// job ids, the shards' unions reconstruct the original stream exactly,
+    /// and every shard sees the same workload mix in expectation — the
+    /// partitioning a multi-replica serving fleet consumes (one shard per
+    /// replica site).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn partition(&self, shards: usize) -> Vec<JobStream> {
+        assert!(shards > 0, "at least one shard required");
+        let mut out: Vec<JobStream> = (0..shards)
+            .map(|_| JobStream {
+                jobs: Vec::with_capacity(self.jobs.len().div_ceil(shards)),
+            })
+            .collect();
+        for (i, job) in self.jobs.iter().enumerate() {
+            out[i % shards].jobs.push(job.clone());
+        }
+        out
+    }
+
     /// Number of jobs in the stream.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -171,6 +194,40 @@ mod tests {
                 j.deadline_s
             );
         }
+    }
+
+    #[test]
+    fn partition_is_disjoint_order_preserving_and_complete() {
+        let (_, js) = stream();
+        let shards = js.partition(3);
+        assert_eq!(shards.len(), 3);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, js.len());
+        // Sizes balanced within one.
+        for s in &shards {
+            assert!(s.len().abs_diff(js.len() / 3) <= 1);
+        }
+        // Disjoint ids, arrival order preserved per shard.
+        let mut seen = vec![false; js.len()];
+        for s in &shards {
+            let mut last = 0.0f64;
+            for j in s.jobs() {
+                assert!(!seen[j.id], "job {} in two shards", j.id);
+                seen[j.id] = true;
+                assert!(j.arrival_s >= last);
+                last = j.arrival_s;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every job lands in some shard");
+        // One shard is the identity partition.
+        assert_eq!(js.partition(1)[0].jobs(), js.jobs());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        let (_, js) = stream();
+        let _ = js.partition(0);
     }
 
     #[test]

@@ -146,6 +146,31 @@ impl<'a> ClusterSim<'a> {
         self.allowed.as_ref().is_none_or(|a| a[pidx])
     }
 
+    /// Partitions `n_platforms` into `sites` disjoint round-robin platform
+    /// sets, each suitable for [`ClusterSim::restrict_to`]. Round-robin
+    /// (rather than contiguous) assignment spreads each device class over
+    /// every site, so per-site hardware mixes stay comparable — the
+    /// multi-site layout a serving fleet shards its replicas over (one
+    /// [`ClusterSim`] per site, one serving replica per site, disjoint
+    /// completion streams by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is zero or exceeds `n_platforms` (a site must hold
+    /// at least one platform).
+    pub fn partition_sites(n_platforms: usize, sites: usize) -> Vec<Vec<usize>> {
+        assert!(sites > 0, "at least one site required");
+        assert!(
+            sites <= n_platforms,
+            "{sites} sites cannot partition {n_platforms} platforms"
+        );
+        let mut out = vec![Vec::with_capacity(n_platforms.div_ceil(sites)); sites];
+        for p in 0..n_platforms {
+            out[p % sites].push(p);
+        }
+        out
+    }
+
     /// Replays `stream` under `policy` + `predictor`, returning the report.
     ///
     /// Deterministic: work sampling uses a seed derived from the job id.
@@ -457,6 +482,28 @@ mod tests {
             fast.mean_response_s,
             rand.mean_response_s
         );
+    }
+
+    #[test]
+    fn site_partition_is_disjoint_balanced_and_complete() {
+        let sites = ClusterSim::partition_sites(10, 3);
+        assert_eq!(sites.len(), 3);
+        let mut seen = [false; 10];
+        for site in &sites {
+            assert!(!site.is_empty());
+            assert!(site.len().abs_diff(10 / 3) <= 1);
+            for &p in site {
+                assert!(!seen[p], "platform {p} in two sites");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Each site feeds restrict_to directly.
+        let tb = setup();
+        let n = tb.platforms().len();
+        for site in ClusterSim::partition_sites(n, 2) {
+            let _ = ClusterSim::new(&tb).restrict_to(&site);
+        }
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! SLO-aware admission control driven by conformal upper bounds.
+//!
+//! This is the first place the served intervals themselves make a control
+//! decision rather than just being reported: a query arrives carrying a
+//! deadline, and the admission queue compares the deadline against the
+//! *conformal upper edge* of the predicted runtime. If even the calibrated
+//! worst case fits the budget, the query is admitted — and the coverage
+//! guarantee transfers directly: among admitted jobs, at most ≈ε should
+//! overrun their deadlines (plus whatever queueing the admission bound did
+//! not model). If the bound does not fit, the job is shed *before* it burns
+//! cluster time it cannot pay back, which is exactly the C-Koordinator-style
+//! interference-aware QoS argument for large co-located clusters.
+//!
+//! The queue also enforces a backlog cap: admitted-but-unresolved work is
+//! bounded, so a burst cannot pile unbounded latency behind an honest
+//! per-job feasibility check. Memory is bounded on both sides: admitted
+//! records are capped by the backlog, and shed audit records — which may
+//! never see a realized runtime, since shed jobs are never executed — are
+//! retained FIFO up to [`AdmissionConfig::max_shed_pending`].
+
+use std::collections::BTreeMap;
+
+/// Admission-control knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Safety margin in seconds added to the conformal bound before the
+    /// deadline comparison (models dispatch/queueing overhead the runtime
+    /// bound itself does not include).
+    pub slack_s: f64,
+    /// Maximum admitted-but-unresolved queries; beyond it, queries are shed
+    /// with [`ShedReason::QueueFull`] regardless of feasibility.
+    pub max_backlog: usize,
+    /// Maximum *shed* decisions retained for the would-have-met/missed
+    /// audit. A shed query is never executed, so in a real deployment its
+    /// realized runtime may simply never arrive — without a bound the
+    /// pending map would grow by one entry per unresolved shed forever.
+    /// Oldest shed records are dropped FIFO past this cap (their audit is
+    /// forfeited; counted in [`AdmissionStats::shed_unaudited`]).
+    pub max_shed_pending: usize,
+}
+
+impl AdmissionConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite slack, or a zero backlog cap.
+    pub fn validate(&self) {
+        assert!(
+            self.slack_s.is_finite() && self.slack_s >= 0.0,
+            "admission slack {} must be a non-negative finite duration",
+            self.slack_s
+        );
+        assert!(self.max_backlog > 0, "backlog cap must be positive");
+        assert!(
+            self.max_shed_pending > 0,
+            "shed retention cap must be positive"
+        );
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            slack_s: 0.0,
+            max_backlog: 1024,
+            max_shed_pending: 4096,
+        }
+    }
+}
+
+/// Why a query was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The conformal upper bound (plus slack) exceeds the deadline: even
+    /// the calibrated worst case cannot meet the SLO.
+    DeadlineInfeasible,
+    /// The admitted backlog is at capacity.
+    QueueFull,
+}
+
+/// One admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The query was admitted: its bound fits the deadline and backlog.
+    Admit,
+    /// The query was shed.
+    Shed(ShedReason),
+}
+
+impl AdmissionDecision {
+    /// Whether the decision admitted the query.
+    pub fn admitted(&self) -> bool {
+        matches!(self, AdmissionDecision::Admit)
+    }
+}
+
+/// Counters over a session of admission decisions and their resolutions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries admitted.
+    pub admitted: usize,
+    /// Queries shed because the bound exceeded the deadline.
+    pub shed_infeasible: usize,
+    /// Queries shed because the backlog was full.
+    pub shed_queue_full: usize,
+    /// Admitted queries whose realized runtime met the deadline.
+    pub slo_met: usize,
+    /// Admitted queries whose realized runtime overran the deadline.
+    pub slo_missed: usize,
+    /// Infeasibility-shed queries that would in fact have met their
+    /// deadline (work the conservatism of the bound gave up). Only
+    /// [`ShedReason::DeadlineInfeasible`] sheds feed this audit — a
+    /// [`ShedReason::QueueFull`] shed says nothing about the bound.
+    pub shed_would_have_met: usize,
+    /// Infeasibility-shed queries that would indeed have missed (sheds the
+    /// bound got right).
+    pub shed_would_have_missed: usize,
+    /// Shed queries whose audit record was evicted before a realized
+    /// runtime arrived (see [`AdmissionConfig::max_shed_pending`]).
+    pub shed_unaudited: usize,
+}
+
+impl AdmissionStats {
+    /// Total decisions taken.
+    pub fn decisions(&self) -> usize {
+        self.admitted + self.shed()
+    }
+
+    /// Total queries shed, for any reason.
+    pub fn shed(&self) -> usize {
+        self.shed_infeasible + self.shed_queue_full
+    }
+
+    /// Fraction of decisions that shed the query (`NaN` before any
+    /// decision).
+    pub fn shed_rate(&self) -> f32 {
+        if self.decisions() == 0 {
+            f32::NAN
+        } else {
+            self.shed() as f32 / self.decisions() as f32
+        }
+    }
+
+    /// SLO attainment among *resolved admitted* queries: the fraction that
+    /// finished within their deadline (`NaN` before any resolution). With
+    /// an honest ε-calibrated bound this should sit near `1 − ε` or above
+    /// (bounds are one-sided: jobs that finish early also attain).
+    pub fn attainment(&self) -> f32 {
+        let n = self.slo_met + self.slo_missed;
+        if n == 0 {
+            f32::NAN
+        } else {
+            self.slo_met as f32 / n as f32
+        }
+    }
+}
+
+/// One tracked query awaiting its realized runtime.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    /// Decision sequence number — distinguishes a reused query id's fresh
+    /// record from a stale `shed_order` entry for the same id.
+    seq: u64,
+    decision: AdmissionDecision,
+    deadline_s: f64,
+}
+
+/// The admission queue: decides admit/shed per query and scores decisions
+/// once realized runtimes arrive.
+///
+/// Deterministic: decisions depend only on the supplied bound, deadline,
+/// and the queue's own state.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    cfg: AdmissionConfig,
+    stats: AdmissionStats,
+    pending: BTreeMap<u64, Pending>,
+    /// Shed `(id, seq)` pairs in decision order, for FIFO eviction of
+    /// stale audit records (may reference already-resolved decisions;
+    /// eviction skips entries whose seq no longer matches).
+    shed_order: std::collections::VecDeque<(u64, u64)>,
+    next_seq: u64,
+    backlog: usize,
+}
+
+impl AdmissionQueue {
+    /// An empty queue under the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            stats: AdmissionStats::default(),
+            pending: BTreeMap::new(),
+            shed_order: std::collections::VecDeque::new(),
+            next_seq: 0,
+            backlog: 0,
+        }
+    }
+
+    /// Decides one query: admit iff the backlog has room and
+    /// `bound_s + slack_s ≤ deadline_s`. The decision is recorded under
+    /// `id` for later [`AdmissionQueue::resolve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already pending, or `bound_s`/`deadline_s` is not
+    /// finite.
+    pub fn decide(&mut self, id: u64, bound_s: f64, deadline_s: f64) -> AdmissionDecision {
+        assert!(bound_s.is_finite(), "bound {bound_s} must be finite");
+        assert!(
+            deadline_s.is_finite(),
+            "deadline {deadline_s} must be finite"
+        );
+        assert!(
+            !self.pending.contains_key(&id),
+            "query id {id} is already pending"
+        );
+        let decision = if self.backlog >= self.cfg.max_backlog {
+            self.stats.shed_queue_full += 1;
+            AdmissionDecision::Shed(ShedReason::QueueFull)
+        } else if bound_s + self.cfg.slack_s <= deadline_s {
+            self.stats.admitted += 1;
+            self.backlog += 1;
+            AdmissionDecision::Admit
+        } else {
+            self.stats.shed_infeasible += 1;
+            AdmissionDecision::Shed(ShedReason::DeadlineInfeasible)
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(
+            id,
+            Pending {
+                seq,
+                decision,
+                deadline_s,
+            },
+        );
+        if !decision.admitted() {
+            // Shed queries are never executed, so their realized runtime
+            // may never arrive: bound how many audit records we hold.
+            self.shed_order.push_back((id, seq));
+            while self.shed_order.len() > self.cfg.max_shed_pending {
+                let (old_id, old_seq) = self.shed_order.pop_front().expect("non-empty queue");
+                // The decision may have been resolved already, and the id
+                // may even have been reused since — only the *same* still
+                // pending shed record counts as evicted.
+                if let Some(p) = self.pending.get(&old_id) {
+                    if p.seq == old_seq {
+                        self.pending.remove(&old_id);
+                        self.stats.shed_unaudited += 1;
+                    }
+                }
+            }
+        }
+        decision
+    }
+
+    /// Scores a pending decision against the realized runtime: admitted
+    /// queries count toward SLO attainment, infeasibility-shed queries
+    /// toward the would-have-met/missed audit (a queue-full shed says
+    /// nothing about the bound and is not audited). Returns whether the
+    /// query had been admitted, or `None` if `id` was never decided (or
+    /// already resolved).
+    pub fn resolve(&mut self, id: u64, realized_s: f64) -> Option<bool> {
+        let p = self.pending.remove(&id)?;
+        let met = realized_s <= p.deadline_s;
+        match p.decision {
+            AdmissionDecision::Admit => {
+                self.backlog -= 1;
+                if met {
+                    self.stats.slo_met += 1;
+                } else {
+                    self.stats.slo_missed += 1;
+                }
+            }
+            AdmissionDecision::Shed(ShedReason::DeadlineInfeasible) => {
+                if met {
+                    self.stats.shed_would_have_met += 1;
+                } else {
+                    self.stats.shed_would_have_missed += 1;
+                }
+            }
+            AdmissionDecision::Shed(ShedReason::QueueFull) => {}
+        }
+        Some(p.decision.admitted())
+    }
+
+    /// Decision counters so far.
+    pub fn stats(&self) -> &AdmissionStats {
+        &self.stats
+    }
+
+    /// Admitted-but-unresolved queries.
+    pub fn backlog(&self) -> usize {
+        self.backlog
+    }
+
+    /// Queries decided but not yet resolved (admitted or shed).
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_bounds_admit_and_resolve() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        assert_eq!(q.decide(1, 2.0, 5.0), AdmissionDecision::Admit);
+        assert_eq!(q.backlog(), 1);
+        assert_eq!(q.resolve(1, 3.0), Some(true));
+        assert_eq!(q.backlog(), 0);
+        assert_eq!(q.stats().slo_met, 1);
+        assert_eq!(q.stats().attainment(), 1.0);
+    }
+
+    #[test]
+    fn infeasible_bounds_shed_and_audit() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        assert_eq!(
+            q.decide(1, 6.0, 5.0),
+            AdmissionDecision::Shed(ShedReason::DeadlineInfeasible)
+        );
+        // The bound was conservative: the job would have made it.
+        assert_eq!(q.resolve(1, 4.0), Some(false));
+        assert_eq!(q.stats().shed_would_have_met, 1);
+        // A correct shed.
+        q.decide(2, 9.0, 5.0);
+        q.resolve(2, 8.0);
+        assert_eq!(q.stats().shed_would_have_missed, 1);
+        assert_eq!(q.stats().shed_rate(), 1.0);
+    }
+
+    #[test]
+    fn queue_full_sheds_are_not_bound_audited() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            max_backlog: 1,
+            ..AdmissionConfig::default()
+        });
+        q.decide(1, 1.0, 5.0); // fills the backlog
+        assert_eq!(
+            q.decide(2, 1.0, 5.0),
+            AdmissionDecision::Shed(ShedReason::QueueFull)
+        );
+        // A capacity shed of a feasible query must not read as bound
+        // conservatism.
+        assert_eq!(q.resolve(2, 1.0), Some(false));
+        assert_eq!(q.stats().shed_would_have_met, 0);
+        assert_eq!(q.stats().shed_would_have_missed, 0);
+        assert_eq!(q.stats().shed_queue_full, 1);
+    }
+
+    #[test]
+    fn reused_ids_do_not_evict_fresh_shed_records() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            max_shed_pending: 2,
+            ..AdmissionConfig::default()
+        });
+        // Shed id 7, resolve it (stale entry for seq 1 stays in the FIFO),
+        // then legally reuse id 7 for a fresh shed.
+        q.decide(7, 9.0, 5.0);
+        assert_eq!(q.resolve(7, 1.0), Some(false));
+        q.decide(7, 9.0, 5.0);
+        // One more shed pushes the stale (7, old-seq) entry past the cap:
+        // it must be skipped (seq mismatch), not matched against the fresh
+        // id-7 record — only 2 audit records are actually live.
+        q.decide(8, 9.0, 5.0);
+        assert_eq!(q.stats().shed_unaudited, 0);
+        assert_eq!(q.resolve(7, 1.0), Some(false), "fresh record survived");
+        assert_eq!(q.stats().shed_would_have_met, 2);
+    }
+
+    #[test]
+    fn backlog_cap_sheds_even_feasible_queries() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            max_backlog: 2,
+            ..AdmissionConfig::default()
+        });
+        q.decide(1, 1.0, 5.0);
+        q.decide(2, 1.0, 5.0);
+        assert_eq!(
+            q.decide(3, 1.0, 5.0),
+            AdmissionDecision::Shed(ShedReason::QueueFull)
+        );
+        // Resolving frees a slot.
+        q.resolve(1, 1.0);
+        assert_eq!(q.decide(4, 1.0, 5.0), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn slack_tightens_the_feasibility_check() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            slack_s: 1.0,
+            ..AdmissionConfig::default()
+        });
+        assert_eq!(
+            q.decide(1, 4.5, 5.0),
+            AdmissionDecision::Shed(ShedReason::DeadlineInfeasible)
+        );
+        assert_eq!(q.decide(2, 4.0, 5.0), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn unknown_resolutions_are_ignored() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        assert_eq!(q.resolve(42, 1.0), None);
+        q.decide(1, 1.0, 2.0);
+        assert_eq!(q.resolve(1, 1.0), Some(true));
+        assert_eq!(q.resolve(1, 1.0), None, "double resolve is a no-op");
+    }
+
+    #[test]
+    fn shed_audit_records_are_bounded() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            max_shed_pending: 4,
+            ..AdmissionConfig::default()
+        });
+        // 10 infeasible queries, never resolved: only the 4 newest audit
+        // records survive; the rest are counted unaudited.
+        for id in 0..10u64 {
+            q.decide(id, 9.0, 5.0);
+        }
+        assert_eq!(q.pending(), 4);
+        assert_eq!(q.stats().shed_unaudited, 6);
+        // Evicted ids resolve as unknown; retained ones still audit.
+        assert_eq!(q.resolve(0, 1.0), None);
+        assert_eq!(q.resolve(9, 1.0), Some(false));
+        assert_eq!(q.stats().shed_would_have_met, 1);
+        // Admitted queries are never evicted by the shed cap.
+        q.decide(100, 1.0, 5.0);
+        for id in 200..220u64 {
+            q.decide(id, 9.0, 5.0);
+        }
+        assert_eq!(q.resolve(100, 1.0), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "already pending")]
+    fn duplicate_ids_are_rejected() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        q.decide(1, 1.0, 2.0);
+        q.decide(1, 1.0, 2.0);
+    }
+}

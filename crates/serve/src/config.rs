@@ -116,6 +116,76 @@ impl Default for ServeConfig {
     }
 }
 
+/// Knobs for a [`crate::FleetServer`]: per-replica serving config plus the
+/// coordinator's merge cadence and admission policy.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Per-replica serving configuration. The replica-local refresh cadence
+    /// is ignored (the coordinator owns every refresh); `window` is the
+    /// *per-replica* window, so the fleet calibration set holds up to
+    /// `replicas × window` observations.
+    pub serve: ServeConfig,
+    /// Number of replica servers (disjoint event shards).
+    pub replicas: usize,
+    /// Coordinator merge cadence: merge replica summaries and reinstall the
+    /// fleet calibration after this many fleet-wide observations.
+    pub merge_every: usize,
+    /// SLO-aware admission policy for deadline queries.
+    pub admission: crate::admission::AdmissionConfig,
+}
+
+impl FleetConfig {
+    /// Defaults at miscoverage `epsilon` with the given replica count:
+    /// per-replica windows of 256 and a merge every 32 observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ (0, 1)` or `replicas` is zero.
+    pub fn at(epsilon: f32, replicas: usize) -> Self {
+        let mut serve = ServeConfig::at(epsilon);
+        serve.window = 256;
+        let cfg = Self {
+            serve,
+            replicas,
+            merge_every: 32,
+            admission: crate::admission::AdmissionConfig::default(),
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid serve or admission config, a zero replica
+    /// count or merge cadence, the
+    /// [`HeadSelection::TightestOnValidation`] policy — the coordinator
+    /// fits on merged score summaries and has no fleet-wide selection set,
+    /// so fleets must use [`HeadSelection::SingleHead`] or
+    /// [`HeadSelection::NaiveXi`] — or enabled fine-tuning: a replica
+    /// fine-tune refits its served calibration from the local window alone
+    /// (and diverges its model from its peers'), which would silently
+    /// replace the installed fleet calibration between merges. Per-site
+    /// models sharing the window protocol are a future multi-model-routing
+    /// direction, not supported here.
+    pub fn validate(&self) {
+        self.serve.validate();
+        self.admission.validate();
+        assert!(self.replicas > 0, "at least one replica required");
+        assert!(self.merge_every > 0, "merge cadence must be positive");
+        assert!(
+            self.serve.selection != HeadSelection::TightestOnValidation,
+            "fleet calibration has no selection set; use SingleHead or NaiveXi"
+        );
+        assert!(
+            self.serve.fine_tune_steps == 0,
+            "per-replica fine-tuning would override the fleet calibration; \
+             keep fine_tune_steps = 0 in fleet mode"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +209,27 @@ mod tests {
             window: 0,
             ..ServeConfig::default()
         };
+        c.validate();
+    }
+
+    #[test]
+    fn fleet_defaults_validate() {
+        FleetConfig::at(0.1, 4).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no selection set")]
+    fn fleet_rejects_tightest_selection() {
+        let mut c = FleetConfig::at(0.1, 2);
+        c.serve.selection = HeadSelection::TightestOnValidation;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fine_tune_steps = 0 in fleet mode")]
+    fn fleet_rejects_fine_tuning() {
+        let mut c = FleetConfig::at(0.1, 2);
+        c.serve.fine_tune_steps = 10;
         c.validate();
     }
 }

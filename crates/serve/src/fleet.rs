@@ -1,0 +1,468 @@
+//! Multi-replica serving: sharded replicas, one fleet calibration.
+//!
+//! The deployment the paper sketches is a *fleet* of edge sites feeding one
+//! conformal predictor. A single [`crate::PitotServer`] cannot be that
+//! predictor — each site sees only its own completions — but the merge
+//! protocol of [`pitot_conformal::MergeableWindow`] makes the fleet view
+//! cheap: every replica keeps its local sliding window, the coordinator
+//! merges window *summaries* (sorted-run segments, no raw observations) on
+//! a cadence, fits one fleet-level [`pitot_conformal::PooledConformal`] on
+//! the union — bitwise identical to what a centralized server holding all
+//! the windows would fit — and installs it back into every replica. Validity
+//! rests on the same exchangeability-of-splits argument that justifies the
+//! moving calibration set in the first place: the union of per-replica
+//! windows is just another split of the fleet's recent history.
+//!
+//! On top of the merged calibration sits SLO-aware admission
+//! ([`crate::AdmissionQueue`]): queries carry deadlines and are admitted or
+//! shed by the conformal bound's upper edge — the first place the intervals
+//! drive a control decision instead of being reported.
+//!
+//! Everything stays deterministic: sharding is a pure hash, merges happen on
+//! a fixed observation cadence, and one event sequence yields one output
+//! sequence regardless of replica count (each replica's stream is disjoint).
+
+use crate::admission::{AdmissionDecision, AdmissionQueue};
+use crate::config::FleetConfig;
+use crate::server::{ObservedFeedback, PitotServer, Prediction};
+use pitot::TrainedPitot;
+use pitot_conformal::{MergeableWindow, PooledConformal, PredictionSet};
+use pitot_testbed::{Dataset, Observation};
+
+/// A placement question with an SLO attached: "will `workload` on
+/// `platform` next to `interferers` finish within `deadline_s` seconds?"
+#[derive(Debug, Clone)]
+pub struct DeadlineQuery {
+    /// Caller-chosen correlation id (must be unique among unresolved
+    /// queries; echoed on the outcome and used by
+    /// [`FleetServer::resolve`]).
+    pub id: u64,
+    /// Workload catalog index.
+    pub workload: u32,
+    /// Platform catalog index.
+    pub platform: u32,
+    /// Workloads co-resident on the platform.
+    pub interferers: Vec<u32>,
+    /// Relative deadline budget in seconds.
+    pub deadline_s: f64,
+}
+
+/// What the fleet decided for one deadline query.
+#[derive(Debug, Clone)]
+pub struct AdmissionOutcome {
+    /// The query's correlation id.
+    pub id: u64,
+    /// Replica that answered the query.
+    pub replica: usize,
+    /// Admit or shed (with the reason).
+    pub decision: AdmissionDecision,
+    /// The prediction the decision was made on; `prediction.bound_s` is the
+    /// conformal upper edge compared against the deadline.
+    pub prediction: Prediction,
+}
+
+/// Aggregated fleet counters: per-replica serving stats summed, plus the
+/// coordinator's own merge and admission records.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetStats {
+    /// Observations consumed across all replicas.
+    pub observations: usize,
+    /// Queries answered across all replicas.
+    pub queries: usize,
+    /// Prequentially covered observations (served bound ≥ realized).
+    pub covered: usize,
+    /// Observations judged prequentially.
+    pub bounded: usize,
+    /// Coordinator merge rounds performed.
+    pub merges: usize,
+    /// Admission decision counters.
+    pub admission: crate::admission::AdmissionStats,
+}
+
+impl FleetStats {
+    /// Fleet-wide prequential coverage (`NaN` before any observation).
+    pub fn coverage(&self) -> f32 {
+        if self.bounded == 0 {
+            f32::NAN
+        } else {
+            self.covered as f32 / self.bounded as f32
+        }
+    }
+}
+
+/// The sharded serving layer: N replica [`PitotServer`]s on disjoint event
+/// streams, one merged fleet calibration, and SLO-aware admission (see the
+/// module docs).
+pub struct FleetServer {
+    cfg: FleetConfig,
+    replicas: Vec<PitotServer>,
+    /// The coordinator's converged view of every replica window.
+    merged: MergeableWindow,
+    fleet_conformal: Option<PooledConformal>,
+    admission: AdmissionQueue,
+    xis: Vec<f32>,
+    since_merge: usize,
+    merges: usize,
+}
+
+impl std::fmt::Debug for FleetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetServer")
+            .field("replicas", &self.replicas.len())
+            .field("merges", &self.merges)
+            .field("has_fleet_conformal", &self.fleet_conformal.is_some())
+            .field("admission", self.admission.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetServer {
+    /// Builds a fleet of `cfg.replicas` servers around clones of one
+    /// trained model and dataset. Each replica's local refresh cadence is
+    /// overridden to "never": the coordinator owns every calibration
+    /// refresh, so replicas serve exactly the fleet-level bounds between
+    /// merges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`FleetConfig::validate`]).
+    pub fn new(trained: TrainedPitot, dataset: &Dataset, cfg: FleetConfig) -> Self {
+        cfg.validate();
+        let mut serve_cfg = cfg.serve.clone();
+        // The coordinator owns refresh: local refits must never overwrite
+        // an installed fleet calibration between merges.
+        serve_cfg.refresh_every = usize::MAX;
+        let xis = trained.model.config().objective.xis();
+        let replicas: Vec<PitotServer> = (0..cfg.replicas)
+            .map(|_| PitotServer::new(trained.clone(), dataset.clone(), serve_cfg.clone()))
+            .collect();
+        let n_heads = trained.model.n_heads();
+        let admission = AdmissionQueue::new(cfg.admission.clone());
+        Self {
+            cfg,
+            replicas,
+            merged: MergeableWindow::empty(n_heads),
+            fleet_conformal: None,
+            admission,
+            xis,
+            since_merge: 0,
+            merges: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The replica a `(workload, platform)` pair is sharded to: a pure
+    /// deterministic hash, so one entity's events always land on the same
+    /// replica (disjoint streams by construction).
+    pub fn shard_for(&self, workload: u32, platform: u32) -> usize {
+        // Fibonacci hashing over the packed pair; any fixed mixing works,
+        // it only has to be deterministic and reasonably balanced.
+        let key = (u64::from(workload) << 32) | u64::from(platform);
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 33) % self.replicas.len() as u64) as usize
+    }
+
+    /// Seeds every replica's calibration window from disjoint round-robin
+    /// shards of `idx` (e.g. the trained split's validation half), then
+    /// runs an immediate merge so the fleet starts on a fleet-level
+    /// calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty or contains an out-of-range index.
+    pub fn seed_calibration(&mut self, idx: &[usize]) {
+        assert!(!idx.is_empty(), "cannot seed from an empty index set");
+        let n = self.replicas.len();
+        let mut shards: Vec<Vec<usize>> = vec![Vec::with_capacity(idx.len().div_ceil(n)); n];
+        for (i, &v) in idx.iter().enumerate() {
+            shards[i % n].push(v);
+        }
+        for (replica, shard) in self.replicas.iter_mut().zip(&shards) {
+            if !shard.is_empty() {
+                replica.seed_calibration(shard);
+            }
+        }
+        self.merge_now();
+    }
+
+    /// Routes one observation to its shard at simulated time `at_s` (must
+    /// be monotone non-decreasing per replica). Returns the shard index and
+    /// the replica's prequential feedback. Every
+    /// [`FleetConfig::merge_every`]-th observation triggers a coordinator
+    /// merge + fleet-wide install.
+    pub fn observe(&mut self, at_s: f64, obs: Observation) -> (usize, ObservedFeedback) {
+        let r = self.shard_for(obs.workload, obs.platform);
+        (r, self.observe_at(r, at_s, obs))
+    }
+
+    /// [`FleetServer::observe`] with an explicit replica — for callers that
+    /// partition streams themselves (per-site deployments where the shard
+    /// is the site).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range, or as
+    /// [`PitotServer::on_event`] panics.
+    pub fn observe_at(&mut self, replica: usize, at_s: f64, obs: Observation) -> ObservedFeedback {
+        let fb = self.replicas[replica]
+            .on_event(at_s, crate::server::Event::Observe(obs))
+            .observed
+            .expect("observation events produce feedback");
+        self.since_merge += 1;
+        if self.since_merge >= self.cfg.merge_every {
+            self.merge_now();
+        }
+        fb
+    }
+
+    /// Answers one deadline query and decides admission by the conformal
+    /// upper edge: admit iff `bound_s + slack ≤ deadline_s` and the backlog
+    /// has room. The decision is recorded; report the realized runtime via
+    /// [`FleetServer::resolve`] to score it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.id` is already pending, or on an out-of-catalog
+    /// workload/platform/interferer.
+    pub fn deadline_query(&mut self, q: DeadlineQuery) -> AdmissionOutcome {
+        let replica = self.shard_for(q.workload, q.platform);
+        let prediction = self.replicas[replica].query_now(q.workload, q.platform, &q.interferers);
+        let decision = self
+            .admission
+            .decide(q.id, f64::from(prediction.bound_s), q.deadline_s);
+        AdmissionOutcome {
+            id: q.id,
+            replica,
+            decision,
+            prediction,
+        }
+    }
+
+    /// Reports the realized runtime of a decided query, scoring its
+    /// admission decision (SLO met/missed for admitted queries,
+    /// would-have-met/missed audit for shed ones). Returns whether the
+    /// query had been admitted, or `None` for an unknown id.
+    pub fn resolve(&mut self, id: u64, realized_s: f64) -> Option<bool> {
+        self.admission.resolve(id, realized_s)
+    }
+
+    /// Runs a coordinator merge round now: absorbs every replica's window
+    /// summary into the converged fleet view, fits the fleet calibration on
+    /// the union, and installs it into every replica. A no-op (beyond
+    /// resetting the cadence) while every window is still empty.
+    pub fn merge_now(&mut self) {
+        self.since_merge = 0;
+        for (r, replica) in self.replicas.iter().enumerate() {
+            // Skip replicas whose windows have not advanced since the
+            // last merge: their held run is already current, and a
+            // snapshot would deep-copy the sorted slices for nothing.
+            if self.merged.replica_clock(r as u64) == Some(replica.window_clock()) {
+                continue;
+            }
+            self.merged.absorb(&replica.window_summary(r as u64));
+        }
+        if self.merged.is_empty() {
+            return;
+        }
+        let scored = self.merged.to_scored();
+        // Fleet head selection never uses a validation set (FleetConfig
+        // rejects TightestOnValidation), so an empty selection set is fine.
+        let empty_preds: Vec<Vec<f32>> = vec![Vec::new(); self.merged.n_heads()];
+        let conformal = PooledConformal::fit_scored(
+            &scored,
+            &PredictionSet {
+                predictions: &empty_preds,
+                targets_log: &[],
+                pools: &[],
+            },
+            &self.xis,
+            self.cfg.serve.selection,
+            self.cfg.serve.epsilon,
+        );
+        for replica in &mut self.replicas {
+            replica.install_calibration(conformal.clone());
+        }
+        self.fleet_conformal = Some(conformal);
+        self.merges += 1;
+    }
+
+    /// The currently installed fleet-level calibration (absent until the
+    /// first merge finds a non-empty window).
+    pub fn fleet_conformal(&self) -> Option<&PooledConformal> {
+        self.fleet_conformal.as_ref()
+    }
+
+    /// One replica's server (e.g. for its local stats or window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn replica(&self, replica: usize) -> &PitotServer {
+        &self.replicas[replica]
+    }
+
+    /// Aggregated counters across replicas plus coordinator-side records.
+    pub fn stats(&self) -> FleetStats {
+        let mut s = FleetStats {
+            merges: self.merges,
+            admission: *self.admission.stats(),
+            ..FleetStats::default()
+        };
+        for r in &self.replicas {
+            let rs = r.stats();
+            s.observations += rs.observations;
+            s.queries += rs.queries;
+            s.covered += rs.covered;
+            s.bounded += rs.bounded;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::AdmissionConfig;
+    use pitot::{train, Objective, PitotConfig};
+    use pitot_conformal::HeadSelection;
+    use pitot_testbed::{split::Split, Testbed, TestbedConfig};
+    use rand::{seq::SliceRandom, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn fixture() -> (Dataset, Split, TrainedPitot) {
+        let testbed = Testbed::generate(&TestbedConfig::small());
+        let dataset = testbed.collect_dataset();
+        let split = Split::stratified(&dataset, 0.6, 0);
+        let mut cfg = PitotConfig::tiny();
+        cfg.objective = Objective::Quantiles(vec![0.5, 0.8, 0.9, 0.95]);
+        cfg.steps = 300;
+        let trained = train(&dataset, &split, &cfg);
+        (dataset, split, trained)
+    }
+
+    fn fleet_cfg(replicas: usize, merge_every: usize) -> FleetConfig {
+        let mut serve = ServeConfig::at(0.1);
+        serve.window = 128;
+        serve.selection = HeadSelection::NaiveXi;
+        FleetConfig {
+            serve,
+            replicas,
+            merge_every,
+            admission: AdmissionConfig::default(),
+        }
+    }
+
+    #[test]
+    fn fleet_matches_centralized_calibration_bitwise() {
+        // A 3-replica fleet and a 1-replica "fleet" (same total window
+        // budget) fed the same stream must install the identical
+        // calibration whenever their union windows coincide — here the
+        // windows are large enough that nothing evicts, so after a merge
+        // at the same point the union is literally the same set.
+        let (dataset, split, trained) = fixture();
+        let mut fleet = FleetServer::new(trained.clone(), &dataset, fleet_cfg(3, usize::MAX));
+        let mut single = FleetServer::new(trained, &dataset, fleet_cfg(1, usize::MAX));
+
+        let mut idx = split.test.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        idx.shuffle(&mut rng);
+        idx.truncate(100);
+        for (t, &i) in idx.iter().enumerate() {
+            let obs = dataset.observations[i].clone();
+            fleet.observe(t as f64, obs.clone());
+            single.observe(t as f64, obs);
+        }
+        fleet.merge_now();
+        single.merge_now();
+        let (a, b) = (
+            fleet.fleet_conformal().expect("fleet calibrated"),
+            single.fleet_conformal().expect("single calibrated"),
+        );
+        assert_eq!(a.pool_calibrations(), b.pool_calibrations());
+        for pool in 0..4 {
+            assert_eq!(a.calibration_for(pool), b.calibration_for(pool));
+        }
+    }
+
+    #[test]
+    fn shards_are_disjoint_and_stable() {
+        let (dataset, split, trained) = fixture();
+        let fleet = FleetServer::new(trained, &dataset, fleet_cfg(4, 32));
+        for &i in split.test.iter().take(200) {
+            let o = &dataset.observations[i];
+            let r = fleet.shard_for(o.workload, o.platform);
+            assert!(r < 4);
+            assert_eq!(r, fleet.shard_for(o.workload, o.platform));
+        }
+    }
+
+    #[test]
+    fn admission_sheds_infeasible_deadlines_and_scores_them() {
+        let (dataset, split, trained) = fixture();
+        let mut fleet = FleetServer::new(trained, &dataset, fleet_cfg(2, 64));
+        fleet.seed_calibration(&split.val);
+
+        let mut admitted = 0usize;
+        let mut shed = 0usize;
+        for (j, &i) in split.test.iter().take(120).enumerate() {
+            let o = &dataset.observations[i];
+            // Alternate generous and impossible budgets.
+            let deadline = if j % 2 == 0 {
+                f64::from(o.runtime_s) * 50.0
+            } else {
+                f64::from(o.runtime_s) * 1e-4
+            };
+            let out = fleet.deadline_query(DeadlineQuery {
+                id: j as u64,
+                workload: o.workload,
+                platform: o.platform,
+                interferers: o.interferers.clone(),
+                deadline_s: deadline,
+            });
+            if out.decision.admitted() {
+                admitted += 1;
+            } else {
+                shed += 1;
+            }
+            assert_eq!(
+                fleet.resolve(j as u64, f64::from(o.runtime_s)),
+                Some(out.decision.admitted())
+            );
+        }
+        assert!(admitted > 0, "generous deadlines should admit");
+        assert!(shed > 0, "impossible deadlines should shed");
+        let stats = fleet.stats();
+        assert_eq!(stats.admission.decisions(), 120);
+        // Every impossible deadline was a correct shed; generous ones that
+        // were admitted should overwhelmingly attain.
+        assert!(stats.admission.shed_would_have_missed > 0);
+        assert!(
+            stats.admission.attainment() > 0.9,
+            "attainment {} too low for 50x budgets",
+            stats.admission.attainment()
+        );
+    }
+
+    #[test]
+    fn merge_cadence_counts_rounds() {
+        let (dataset, split, trained) = fixture();
+        let mut fleet = FleetServer::new(trained, &dataset, fleet_cfg(2, 10));
+        for (t, &i) in split.test.iter().take(35).enumerate() {
+            fleet.observe(t as f64, dataset.observations[i].clone());
+        }
+        // 35 observations at cadence 10 → 3 merge rounds.
+        assert_eq!(fleet.stats().merges, 3);
+        assert!(fleet.fleet_conformal().is_some());
+        assert_eq!(fleet.stats().observations, 35);
+        assert_eq!(
+            fleet.stats().coverage(),
+            fleet.stats().covered as f32 / 35.0
+        );
+    }
+}

@@ -32,6 +32,16 @@
 //!   bounds place jobs, realized runtimes stream back as observations, and
 //!   the calibration window tracks the deployment distribution instead of a
 //!   frozen holdout.
+//! - **Multi-replica fleets.** A [`FleetServer`] shards disjoint event
+//!   streams over N replica servers; a coordinator merges their window
+//!   summaries ([`pitot_conformal::MergeableWindow`], a CRDT of sorted-run
+//!   segments) on a cadence and installs one fleet-level calibration —
+//!   bitwise identical to what a centralized server holding the union
+//!   would fit.
+//! - **SLO-aware admission.** Deadline-carrying queries are admitted or
+//!   shed by the conformal bound's upper edge ([`AdmissionQueue`]): the
+//!   first place the served intervals drive a control decision, with
+//!   shed/admit decisions recorded and scored against realized runtimes.
 //!
 //! # Examples
 //!
@@ -62,12 +72,18 @@
 // keep it that way (CI builds rustdoc with `-D warnings`).
 #![deny(missing_docs)]
 
+mod admission;
 mod closed_loop;
 mod config;
 mod drift;
+mod fleet;
 mod server;
 
+pub use admission::{
+    AdmissionConfig, AdmissionDecision, AdmissionQueue, AdmissionStats, ShedReason,
+};
 pub use closed_loop::{run_closed_loop, ServingPredictor};
-pub use config::ServeConfig;
+pub use config::{FleetConfig, ServeConfig};
 pub use drift::CoverageMonitor;
+pub use fleet::{AdmissionOutcome, DeadlineQuery, FleetServer, FleetStats};
 pub use server::{Event, ObservedFeedback, PitotServer, Prediction, ServeResponse, ServeStats};

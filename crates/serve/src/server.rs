@@ -3,7 +3,9 @@
 use crate::config::ServeConfig;
 use crate::drift::CoverageMonitor;
 use pitot::{TowerCache, TrainContext, TrainedPitot};
-use pitot_conformal::{HeadSelection, PooledConformal, PredictionSet, WindowedScores};
+use pitot_conformal::{
+    HeadSelection, MergeableWindow, PooledConformal, PredictionSet, WindowedScores,
+};
 use pitot_testbed::{split::Split, Dataset, Observation, MAX_INTERFERERS};
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -393,6 +395,32 @@ impl PitotServer {
         self.conformal.as_ref()
     }
 
+    /// Replaces the served calibration with an externally fitted one — the
+    /// install path a fleet coordinator uses after merging replica windows
+    /// (see [`crate::FleetServer`]). The local window keeps accumulating;
+    /// a later local refresh (if the refresh cadence ever fires) would
+    /// overwrite this, so fleet deployments set
+    /// [`ServeConfig::refresh_every`] beyond the stream length and let the
+    /// coordinator own every refresh.
+    pub fn install_calibration(&mut self, conformal: PooledConformal) {
+        self.conformal = Some(conformal);
+    }
+
+    /// Snapshots the server's calibration window as a mergeable summary
+    /// under the given replica id — the message a replica sends its fleet
+    /// coordinator. Cost is a copy of the sorted slices; no re-sorting.
+    pub fn window_summary(&self, replica: u64) -> MergeableWindow {
+        MergeableWindow::snapshot(replica, &self.window)
+    }
+
+    /// The calibration window's logical clock (advances on every push and
+    /// on wholesale rebuilds): a coordinator compares it against the clock
+    /// of its last-merged snapshot to skip re-snapshotting an unchanged
+    /// window.
+    pub fn window_clock(&self) -> u64 {
+        self.window.clock()
+    }
+
     /// Rolling prequential coverage over the drift monitor's window.
     pub fn rolling_coverage(&self) -> f32 {
         self.monitor.coverage()
@@ -739,6 +767,10 @@ impl PitotServer {
             e.preds = preds.iter().map(|h| h[j]).collect();
             window.push(&e.preds, e.target_log, e.pool);
         }
+        // The rebuilt window must supersede the old one in any fleet
+        // coordinator's merged view: advance its clock past every snapshot
+        // taken of the pre-rescore state.
+        window.advance_clock(self.window.clock() + 1);
         self.window = window;
     }
 }

@@ -41,19 +41,33 @@ impl DeviceClass {
 /// CPU microarchitecture (one-hot encoded platform feature; 14 in the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Microarch {
+    /// Intel Skylake (desktop/server x86).
     Skylake,
+    /// Intel Haswell (desktop x86).
     Haswell,
+    /// Intel Silvermont (low-power Atom x86).
     Silvermont,
+    /// Intel Tiger Lake (mobile x86).
     TigerLake,
+    /// Intel Goldmont Plus (low-power Atom x86).
     GoldmontPlus,
+    /// AMD Zen 3 x86.
     Zen3,
+    /// AMD Zen 2 x86.
     Zen2,
+    /// AMD Zen 1 x86.
     Zen1,
+    /// AMD Jaguar (low-power x86).
     Jaguar,
+    /// ARM Cortex-A72 (performance A-class).
     CortexA72,
+    /// ARM Cortex-A53 (efficiency A-class).
     CortexA53,
+    /// ARM Cortex-A55 (efficiency A-class).
     CortexA55,
+    /// SiFive U74 (RISC-V application core).
     SifiveU74,
+    /// ARM Cortex-M7 (bare-metal microcontroller).
     CortexM7,
 }
 

@@ -34,6 +34,10 @@
 //! assert_eq!(dataset.workload_features.rows(), testbed.workloads().len());
 //! ```
 
+// Every public item in this crate is part of the documented workspace
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
 mod config;
 mod device;
 mod features;
