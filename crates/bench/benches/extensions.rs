@@ -13,7 +13,7 @@ use pitot_conformal::{
     head_spread, HeadSelection, MondrianConformal, PooledConformal, PredictionSet, ScaledConformal,
     TwoSidedCqr,
 };
-use pitot_orchestrator::{ClusterSim, JobStream, OraclePredictor, PitotPredictor, PlacementPolicy};
+use pitot_orchestrator::{BaselinePolicy, ClusterSim, JobStream, OraclePredictor, PitotPredictor};
 use std::hint::black_box;
 
 fn quantile_model(f: &Fixture) -> pitot::TrainedPitot {
@@ -38,7 +38,7 @@ fn orchestration_episode(c: &mut Criterion) {
         b.iter(|| {
             let report = ClusterSim::new(&f.testbed).restrict_to(&site).run(
                 black_box(&jobs),
-                &mut PlacementPolicy::deadline_aware(),
+                &mut BaselinePolicy::deadline_aware(),
                 &pred,
             );
             black_box(report.violations)

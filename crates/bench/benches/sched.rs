@@ -1,0 +1,117 @@
+//! Placement-layer cost: what one risk-scored decision costs, and what the
+//! whole conformal closed loop sustains.
+//!
+//! `ConformalGreedy` reads the model twice per resident per candidate (the
+//! with/without interference delta) plus once for the arriving job, so a
+//! decision on a loaded site is a few dozen prediction passes — this bench
+//! pins that cost so the policy stays viable at per-arrival rates:
+//!
+//! - `sched/place_conformal_12x3`: one `ConformalGreedy` decision over a
+//!   12-platform view with 3 residents each, against the trained model's
+//!   conformal bounds (the per-arrival control-plane cost);
+//! - `sched/place_point_12x3`: the same scan reading the point estimate
+//!   (isolates the bound head's overhead);
+//! - `sched/closed_loop_200`: 200 jobs through `ClusterSim` with a live
+//!   `PitotServer` behind `ServingPredictor` — every completion streams
+//!   back and recalibrates, so the elem/s is the jobs/sec headline for the
+//!   full conformal scheduling loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pitot::{Objective, PitotConfig, TrainedPitot};
+use pitot_bench::Fixture;
+use pitot_conformal::HeadSelection;
+use pitot_orchestrator::{
+    ClusterSim, ClusterView, Job, JobStream, PitotPredictor, PlacementPolicy, PlatformLoad,
+};
+use pitot_sched::{ConformalGreedy, PointGreedy};
+use pitot_serve::{Event, PitotServer, ServeConfig, ServingPredictor};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn trained(f: &Fixture) -> TrainedPitot {
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        steps: 60,
+        eval_every: 60,
+        ..PitotConfig::paper()
+    };
+    pitot::train(&f.dataset, &f.split, &cfg)
+}
+
+/// A loaded 12-platform view: 3 residents per platform, one free slot.
+fn loaded_view(n_workloads: usize) -> ClusterView {
+    ClusterView {
+        now_s: 0.0,
+        platforms: (0..12)
+            .map(|p| PlatformLoad {
+                running: (0..3).map(|r| ((p * 3 + r) % n_workloads) as u32).collect(),
+                remaining_frac: vec![0.8, 0.5, 0.2],
+                due_s: vec![1e9; 3],
+                free_slots: 1,
+            })
+            .collect(),
+    }
+}
+
+/// Per-decision cost of the risk scan against the real model.
+fn place_decision(c: &mut Criterion) {
+    let f = Fixture::small();
+    let t = trained(&f);
+    let bounds = t.fit_bounds(&f.dataset, 0.1, HeadSelection::TightestOnValidation);
+    let pred = PitotPredictor::with_bounds(&t, &f.dataset, bounds);
+    let view = loaded_view(f.dataset.n_workloads);
+    let job = Job {
+        id: 0,
+        workload: 0,
+        arrival_s: 0.0,
+        deadline_s: 1e9,
+    };
+
+    let mut group = c.benchmark_group("sched");
+    group.bench_function("place_conformal_12x3", |b| {
+        let mut policy = ConformalGreedy::new();
+        b.iter(|| black_box(policy.place(&job, &view, &pred)))
+    });
+    group.bench_function("place_point_12x3", |b| {
+        let mut policy = PointGreedy::new();
+        b.iter(|| black_box(policy.place(&job, &view, &pred)))
+    });
+    group.finish();
+}
+
+/// Jobs/sec through the full conformal scheduling loop: placement reads
+/// live calibrated bounds, completions stream back as observations.
+fn closed_loop(c: &mut Criterion) {
+    let f = Fixture::small();
+    let t = trained(&f);
+    let jobs = JobStream::generate_with_deadlines(&f.testbed, 200, 0.05, (1.3, 3.0), 7);
+    let site: Vec<usize> = (0..6).collect();
+
+    let mut group = c.benchmark_group("sched");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.jobs().len() as u64));
+    group.bench_function("closed_loop_200", |b| {
+        b.iter(|| {
+            let mut serve_cfg = ServeConfig::at(0.1);
+            serve_cfg.window = 256;
+            let mut server = PitotServer::new(t.clone(), f.dataset.clone(), serve_cfg);
+            server.seed_calibration(&f.split.val);
+            let server = Rc::new(RefCell::new(server));
+            let predictor = ServingPredictor::new(Rc::clone(&server));
+            let mut policy = ConformalGreedy::new();
+            let report = ClusterSim::new(&f.testbed)
+                .restrict_to(&site)
+                .run_with_observer(&jobs, &mut policy, &predictor, &mut |obs, now| {
+                    let mut srv = server.borrow_mut();
+                    let at = now.max(srv.now_s());
+                    srv.on_event(at, Event::Observe(obs));
+                });
+            black_box(report.completed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(sched, place_decision, closed_loop);
+criterion_main!(sched);

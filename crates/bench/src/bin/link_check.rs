@@ -1,0 +1,204 @@
+//! `link_check`: fail CI when a relative markdown link is broken.
+//!
+//! Scans the operator-facing documentation set — `README.md`,
+//! `ARCHITECTURE.md`, and everything under `docs/` — for inline markdown
+//! links (`[text](target)`), resolves every relative target against the
+//! linking file's directory, and exits nonzero listing any target that
+//! does not exist. External links (`http(s)://`, `mailto:`) and pure
+//! in-page anchors (`#...`) are skipped; a `path#fragment` target is
+//! checked for the path only.
+//!
+//! ```sh
+//! cargo run --release -p pitot-bench --bin link_check
+//! ```
+//!
+//! Optional arguments are alternate root directories (default: the current
+//! directory), so the checker works from any workspace checkout layout.
+
+use std::path::{Path, PathBuf};
+
+/// One extracted link: the target text and the byte offset it started at
+/// (for error messages).
+#[derive(Debug, PartialEq, Eq)]
+struct Link {
+    target: String,
+    line: usize,
+}
+
+/// Extracts inline markdown link targets `[text](target)` from `src`,
+/// skipping fenced code blocks (``` ... ```), where bracket-paren
+/// sequences are code, not links.
+fn extract_links(src: &str) -> Vec<Link> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in src.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(rel_end) = line[start..].find(')') {
+                    let target = line[start..start + rel_end].trim();
+                    // Reference-style images/titles: drop a ` "title"` tail.
+                    let target = target.split_whitespace().next().unwrap_or("");
+                    if !target.is_empty() {
+                        links.push(Link {
+                            target: target.to_string(),
+                            line: lineno + 1,
+                        });
+                    }
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// True when the target is out of scope for a filesystem check: external
+/// URLs and pure in-page anchors.
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+/// Resolves a relative target (minus any `#fragment`) against the linking
+/// file's directory and reports whether it exists.
+fn target_exists(doc: &Path, target: &str) -> bool {
+    let path_part = target.split('#').next().unwrap_or("");
+    let base = match doc.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    base.join(path_part).exists()
+}
+
+/// The documentation set under `root`: README, ARCHITECTURE, and `docs/`.
+fn doc_set(root: &Path) -> Vec<PathBuf> {
+    let mut docs = Vec::new();
+    for name in ["README.md", "ARCHITECTURE.md"] {
+        let p = root.join(name);
+        if p.exists() {
+            docs.push(p);
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        let mut under: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "md"))
+            .collect();
+        under.sort();
+        docs.extend(under);
+    }
+    docs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        vec![PathBuf::from(".")]
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+
+    let mut checked = 0usize;
+    let mut broken: Vec<String> = Vec::new();
+    for root in &roots {
+        for doc in doc_set(root) {
+            let src = std::fs::read_to_string(&doc)
+                .unwrap_or_else(|e| panic!("read {}: {e}", doc.display()));
+            for link in extract_links(&src) {
+                if is_external(&link.target) {
+                    continue;
+                }
+                checked += 1;
+                if !target_exists(&doc, &link.target) {
+                    broken.push(format!(
+                        "{}:{}: broken relative link `{}`",
+                        doc.display(),
+                        link.line,
+                        link.target
+                    ));
+                }
+            }
+        }
+    }
+
+    if broken.is_empty() {
+        println!("link_check: {checked} relative links OK");
+    } else {
+        for b in &broken {
+            eprintln!("{b}");
+        }
+        eprintln!(
+            "link_check: {} broken of {checked} relative links",
+            broken.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_inline_links_with_line_numbers() {
+        let src = "see [a](docs/A.md) and [b](B.md#sec)\nplain line\n[c](https://x.y)";
+        let links = extract_links(src);
+        assert_eq!(links.len(), 3);
+        assert_eq!(links[0].target, "docs/A.md");
+        assert_eq!(links[0].line, 1);
+        assert_eq!(links[1].target, "B.md#sec");
+        assert_eq!(links[2].line, 3);
+    }
+
+    #[test]
+    fn skips_fenced_code_blocks() {
+        let src = "```rust\nlet x = v[i](arg);\n```\n[real](R.md)";
+        let links = extract_links(src);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].target, "R.md");
+    }
+
+    #[test]
+    fn classifies_external_and_anchor_targets() {
+        assert!(is_external("https://example.com"));
+        assert!(is_external("http://example.com"));
+        assert!(is_external("mailto:a@b.c"));
+        assert!(is_external("#section"));
+        assert!(!is_external("docs/SCHEDULING.md"));
+        assert!(!is_external("../README.md"));
+    }
+
+    #[test]
+    fn resolves_targets_relative_to_the_linking_file() {
+        let dir = std::env::temp_dir().join("pitot_link_check_test");
+        let docs = dir.join("docs");
+        std::fs::create_dir_all(&docs).unwrap();
+        std::fs::write(dir.join("README.md"), "[x](docs/X.md)").unwrap();
+        std::fs::write(docs.join("X.md"), "[up](../README.md#top)").unwrap();
+
+        assert!(target_exists(&dir.join("README.md"), "docs/X.md"));
+        assert!(target_exists(&docs.join("X.md"), "../README.md#top"));
+        assert!(!target_exists(&dir.join("README.md"), "docs/MISSING.md"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fragment_only_path_resolves_to_the_containing_directory() {
+        // `path#frag` keeps only the path; an empty path joins to the base
+        // dir, which exists — consistent with anchors being skipped.
+        assert!(target_exists(Path::new("README.md"), "#only-frag"));
+    }
+}

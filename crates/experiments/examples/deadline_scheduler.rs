@@ -17,7 +17,7 @@
 use pitot::{train, Objective, PitotConfig};
 use pitot_conformal::HeadSelection;
 use pitot_orchestrator::{
-    ClusterSim, JobStream, OraclePredictor, PitotPredictor, PlacementPolicy, PolicyComparison,
+    BaselinePolicy, ClusterSim, JobStream, OraclePredictor, PitotPredictor, PolicyComparison,
     ScalingPredictor,
 };
 use pitot_testbed::{split::Split, Testbed, TestbedConfig};
@@ -59,7 +59,7 @@ fn main() {
 
     let mut table = PolicyComparison::new();
     let mut run = |label: &str,
-                   mut policy: PlacementPolicy,
+                   mut policy: BaselinePolicy,
                    pred: &dyn pitot_orchestrator::RuntimePredictor| {
         let report = ClusterSim::new(&testbed)
             .restrict_to(&site)
@@ -67,30 +67,30 @@ fn main() {
         table.push(label, report);
     };
 
-    run("random / oracle", PlacementPolicy::random(1), &oracle);
+    run("random / oracle", BaselinePolicy::random(1), &oracle);
     run(
         "least-loaded / oracle",
-        PlacementPolicy::least_loaded(),
+        BaselinePolicy::least_loaded(),
         &oracle,
     );
     run(
         "greedy / scaling (intf-blind)",
-        PlacementPolicy::greedy_fastest(),
+        BaselinePolicy::greedy_fastest(),
         &scaling,
     );
     run(
         "greedy / pitot",
-        PlacementPolicy::greedy_fastest(),
+        BaselinePolicy::greedy_fastest(),
         &pitot_point,
     );
     run(
         &format!("deadline-aware / pitot+conformal ε={epsilon}"),
-        PlacementPolicy::deadline_aware(),
+        BaselinePolicy::deadline_aware(),
         &pitot_bounds,
     );
     run(
         "deadline-aware / oracle (floor)",
-        PlacementPolicy::deadline_aware(),
+        BaselinePolicy::deadline_aware(),
         &oracle,
     );
 

@@ -8,7 +8,7 @@
 //! ```
 
 use pitot::{train, Objective, PitotConfig};
-use pitot_orchestrator::{JobStream, PlacementPolicy};
+use pitot_orchestrator::{BaselinePolicy, JobStream};
 use pitot_serve::{run_closed_loop, Event, PitotServer, ServeConfig};
 use pitot_testbed::{split::Split, Testbed, TestbedConfig};
 use std::cell::RefCell;
@@ -71,7 +71,7 @@ fn main() {
     let report = run_closed_loop(
         &testbed,
         &jobs,
-        &mut PlacementPolicy::deadline_aware(),
+        &mut BaselinePolicy::deadline_aware(),
         &server,
         Some(&site),
     );

@@ -11,10 +11,10 @@
 //!   fig7 fig12                    embedding interpretation
 //!   summary                       Sec 5.3 headline numbers
 //!   orchestration shift online    extension studies (placement, pool
-//!   serving fleet conformal       robustness, online learning, streaming
-//!   optimizer                     recalibration, multi-replica fleet
-//!                                 serving, conformal variants,
-//!                                 optimizer ablation)
+//!   serving fleet sched           robustness, online learning, streaming
+//!   conformal optimizer           recalibration, multi-replica fleet
+//!                                 serving, conformal placement,
+//!                                 conformal variants, optimizer ablation)
 //!   all                           everything above
 //! ```
 //!
@@ -24,7 +24,7 @@
 
 use pitot_experiments::{
     ablations, baseline_cmp, baselines_ext, conformal_variants, dataset_report, embeddings, fleet,
-    hyperparams, online, optimizer_cmp, orchestration, serving, shift, uncertainty,
+    hyperparams, online, optimizer_cmp, orchestration, sched, serving, shift, uncertainty,
 };
 use pitot_experiments::{Figure, Harness, Scale};
 use std::path::PathBuf;
@@ -90,6 +90,7 @@ fn main() {
         "online",
         "serving",
         "fleet",
+        "sched",
         "conformal",
         "optimizer",
         "baselines",
@@ -135,6 +136,7 @@ fn main() {
             "online" => vec![online::ext_online(&harness)],
             "serving" => vec![serving::ext_serving(&harness)],
             "fleet" => vec![fleet::ext_fleet(&harness)],
+            "sched" => vec![sched::ext_sched(&harness)],
             "conformal" => vec![conformal_variants::ext_conformal_variants(&harness)],
             "optimizer" => vec![optimizer_cmp::ext_optimizer(&harness)],
             other => {

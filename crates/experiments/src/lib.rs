@@ -27,6 +27,7 @@ pub mod online;
 pub mod optimizer_cmp;
 pub mod orchestration;
 pub mod report;
+pub mod sched;
 pub mod serving;
 pub mod shift;
 pub mod uncertainty;

@@ -20,8 +20,8 @@ use crate::report::{Figure, Point, Series};
 use pitot::{Objective, PitotConfig};
 use pitot_conformal::HeadSelection;
 use pitot_orchestrator::{
-    ClusterSim, JobStream, OraclePredictor, PitotPredictor, PlacementPolicy, PolicyComparison,
-    RuntimePredictor, ScalingPredictor, SimReport,
+    BaselinePolicy, ClusterSim, JobStream, OraclePredictor, PitotPredictor, PlacementPolicy,
+    PolicyComparison, RuntimePredictor, ScalingPredictor, SimReport,
 };
 
 /// Jobs per simulation at each harness scale.
@@ -69,7 +69,7 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
 
     let mut comparison = PolicyComparison::new();
     let mut run =
-        |label: &str, policy: &mut PlacementPolicy, pred: &dyn RuntimePredictor| -> SimReport {
+        |label: &str, policy: &mut dyn PlacementPolicy, pred: &dyn RuntimePredictor| -> SimReport {
             let report = ClusterSim::new(&h.testbed)
                 .restrict_to(&site)
                 .run(&jobs, policy, pred);
@@ -80,13 +80,13 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
     let base_runs: Vec<(String, SimReport)> = vec![
         (
             "random".to_string(),
-            run("random / oracle", &mut PlacementPolicy::random(1), &oracle),
+            run("random / oracle", &mut BaselinePolicy::random(1), &oracle),
         ),
         (
             "least-loaded".to_string(),
             run(
                 "least-loaded / oracle",
-                &mut PlacementPolicy::least_loaded(),
+                &mut BaselinePolicy::least_loaded(),
                 &oracle,
             ),
         ),
@@ -94,7 +94,7 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
             "greedy / scaling (intf-blind)".to_string(),
             run(
                 "greedy / scaling (intf-blind)",
-                &mut PlacementPolicy::greedy_fastest(),
+                &mut BaselinePolicy::greedy_fastest(),
                 &scaling_pred,
             ),
         ),
@@ -102,7 +102,7 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
             "greedy / pitot".to_string(),
             run(
                 "greedy / pitot",
-                &mut PlacementPolicy::greedy_fastest(),
+                &mut BaselinePolicy::greedy_fastest(),
                 &pitot_point,
             ),
         ),
@@ -110,7 +110,7 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
             "deadline-aware / oracle".to_string(),
             run(
                 "deadline-aware / oracle",
-                &mut PlacementPolicy::deadline_aware(),
+                &mut BaselinePolicy::deadline_aware(),
                 &oracle,
             ),
         ),
@@ -145,7 +145,7 @@ pub fn ext_orchestration(h: &Harness) -> Figure {
         let pred = PitotPredictor::with_bounds(&trained, &h.dataset, bounds);
         let report = run(
             &format!("deadline-aware / pitot+conformal ε={eps}"),
-            &mut PlacementPolicy::deadline_aware(),
+            &mut BaselinePolicy::deadline_aware(),
             &pred,
         );
         viol_pts.push(Point::from_replicates(

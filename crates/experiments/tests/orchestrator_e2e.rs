@@ -4,8 +4,8 @@
 use pitot::{train, Objective, PitotConfig};
 use pitot_conformal::HeadSelection;
 use pitot_orchestrator::{
-    ClusterSim, JobStream, OraclePredictor, PitotPredictor, PlacementPolicy, RuntimePredictor,
-    ScalingPredictor,
+    BaselinePolicy, ClusterSim, JobStream, OraclePredictor, PitotPredictor, PlacementPolicy,
+    RuntimePredictor, ScalingPredictor,
 };
 use pitot_testbed::{split::Split, Testbed, TestbedConfig};
 use std::sync::OnceLock;
@@ -50,10 +50,10 @@ fn all_configurations_complete_under_load() {
     let site = site(&e.testbed);
 
     for mut policy in [
-        PlacementPolicy::random(3),
-        PlacementPolicy::least_loaded(),
-        PlacementPolicy::greedy_fastest(),
-        PlacementPolicy::deadline_aware(),
+        BaselinePolicy::random(3),
+        BaselinePolicy::least_loaded(),
+        BaselinePolicy::greedy_fastest(),
+        BaselinePolicy::deadline_aware(),
     ] {
         for pred in [
             &oracle as &dyn pitot_orchestrator::RuntimePredictor,
@@ -83,7 +83,7 @@ fn interference_awareness_reduces_violations() {
     let run = |pred: &dyn pitot_orchestrator::RuntimePredictor| {
         ClusterSim::new(&e.testbed).restrict_to(&site).run(
             &jobs,
-            &mut PlacementPolicy::greedy_fastest(),
+            &mut BaselinePolicy::greedy_fastest(),
             pred,
         )
     };
@@ -116,7 +116,7 @@ fn conformal_budgets_bound_violations() {
     let jobs = JobStream::generate_with_deadlines(&e.testbed, 250, 0.02, (1.3, 3.0), 3);
     let report = ClusterSim::new(&e.testbed)
         .restrict_to(&site(&e.testbed))
-        .run(&jobs, &mut PlacementPolicy::deadline_aware(), &pred);
+        .run(&jobs, &mut BaselinePolicy::deadline_aware(), &pred);
     // The guarantee is per accepted placement at placement-time co-location;
     // queueing and post-placement arrivals add slack, so assert 2ε.
     assert!(

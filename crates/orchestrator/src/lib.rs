@@ -18,8 +18,10 @@
 //!   ([`OraclePredictor`]), via the scaling baseline alone
 //!   ([`ScalingPredictor`]), or via a trained Pitot model with optional
 //!   conformal bounds ([`PitotPredictor`]);
-//! - a [`PlacementPolicy`] turns predictions into placement decisions
-//!   (random / least-loaded / greedy-fastest / deadline-aware);
+//! - a [`PlacementPolicy`] (the pluggable trait) turns predictions into
+//!   placement decisions; [`BaselinePolicy`] ships the built-in family
+//!   (random / least-loaded / greedy-fastest / deadline-aware), and the
+//!   `pitot-sched` crate adds conformal risk-scoring policies;
 //! - [`ClusterSim`] replays the stream against the testbed's ground truth
 //!   with a rate-based interference model: co-located jobs slow each other
 //!   down exactly as the data-collection physics dictate, so a policy that
@@ -35,14 +37,14 @@
 //! # Examples
 //!
 //! ```
-//! use pitot_orchestrator::{ClusterSim, JobStream, OraclePredictor, PlacementPolicy};
+//! use pitot_orchestrator::{BaselinePolicy, ClusterSim, JobStream, OraclePredictor};
 //! use pitot_testbed::{Testbed, TestbedConfig};
 //!
 //! let testbed = Testbed::generate(&TestbedConfig::small());
 //! let jobs = JobStream::generate(&testbed, 50, 4.0, 0);
 //! let oracle = OraclePredictor::new(&testbed);
 //! let mut sim = ClusterSim::new(&testbed);
-//! let report = sim.run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+//! let report = sim.run(&jobs, &mut BaselinePolicy::greedy_fastest(), &oracle);
 //! assert_eq!(report.completed, 50);
 //! ```
 //!
@@ -61,7 +63,7 @@ mod report;
 mod sim;
 
 pub use job::{Job, JobStream};
-pub use policy::{PlacementPolicy, PolicyKind};
+pub use policy::{BaselinePolicy, PlacementPolicy, PolicyKind};
 pub use predictor::{OraclePredictor, PitotPredictor, RuntimePredictor, ScalingPredictor};
 pub use report::{PolicyComparison, SimReport};
 pub use sim::{ClusterSim, ClusterView, PlatformLoad, RunningJob, DEFAULT_CAPACITY};

@@ -1,19 +1,24 @@
 //! Placement policies: from load balancing to deadline-aware budgeting.
 //!
-//! All policies observe the same [`ClusterView`] and [`RuntimePredictor`];
-//! how much of that information they use is the experimental variable:
+//! [`PlacementPolicy`] is the pluggable decision interface the simulator
+//! drives: given a job, a [`ClusterView`], and a [`RuntimePredictor`], pick
+//! a platform. The built-in [`BaselinePolicy`] family covers the spectrum of
+//! how much information a policy uses:
 //!
-//! - [`PlacementPolicy::random`] ignores everything (the lower bar);
-//! - [`PlacementPolicy::least_loaded`] balances co-location counts without
+//! - [`BaselinePolicy::random`] ignores everything (the lower bar);
+//! - [`BaselinePolicy::least_loaded`] balances co-location counts without
 //!   predictions (what naive orchestrators do);
-//! - [`PlacementPolicy::greedy_fastest`] minimizes the *predicted* runtime
+//! - [`BaselinePolicy::greedy_fastest`] minimizes the *predicted* runtime
 //!   given current co-residents — latency-optimal if predictions were exact;
-//! - [`PlacementPolicy::deadline_aware`] uses runtime *bounds*: it only
+//! - [`BaselinePolicy::deadline_aware`] uses runtime *bounds*: it only
 //!   considers platforms where the bound fits the job's deadline and where
 //!   adding the job does not push any co-resident's bounded completion past
 //!   its own deadline, then picks the feasible platform with the smallest
 //!   bound. With Pitot's conformal bounds at miscoverage ε, each accepted
 //!   placement misses its deadline with probability ≲ ε.
+//!
+//! Richer risk-scoring policies (interference-delta-aware conformal
+//! placement) live in the `pitot-sched` crate and implement the same trait.
 //!
 //! Contract: a policy returns `None` only when no platform has a free slot.
 //! If nothing is feasible the deadline-aware policy degrades to the smallest
@@ -24,6 +29,48 @@ use crate::predictor::RuntimePredictor;
 use crate::sim::ClusterView;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// A pluggable placement strategy.
+///
+/// Implementations are stateful (`&mut self`) so randomized policies can
+/// carry their RNG and tracing wrappers can record decisions; determinism is
+/// still required — the same sequence of `place` calls on a fresh policy
+/// must yield the same decisions, independent of wall clock, thread count,
+/// or allocation addresses. The simulator relies on this to keep whole runs
+/// bitwise-reproducible.
+///
+/// Contract: return `None` only when no candidate platform has a free slot
+/// (see [`ClusterView::with_capacity`]); returning `None` while the cluster
+/// is idle deadlocks the pending queue and panics the simulator.
+pub trait PlacementPolicy {
+    /// Chooses a platform for `job`, or `None` if every platform is full.
+    fn place(
+        &mut self,
+        job: &Job,
+        view: &ClusterView,
+        predictor: &dyn RuntimePredictor,
+    ) -> Option<usize>;
+
+    /// Display name (used in reports and the simulator's deadlock panic).
+    fn name(&self) -> &str;
+}
+
+// Boxed policies are policies too, so `Box<dyn PlacementPolicy>` lineups
+// compose with generic wrappers (e.g. tracing) without unboxing.
+impl<P: PlacementPolicy + ?Sized> PlacementPolicy for Box<P> {
+    fn place(
+        &mut self,
+        job: &Job,
+        view: &ClusterView,
+        predictor: &dyn RuntimePredictor,
+    ) -> Option<usize> {
+        (**self).place(job, view, predictor)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
 
 /// The placement strategies compared in the orchestration experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,14 +98,14 @@ impl PolicyKind {
     }
 }
 
-/// A stateful placement policy (randomized policies carry their RNG).
+/// The built-in baseline policies (randomized kinds carry their RNG).
 #[derive(Debug, Clone)]
-pub struct PlacementPolicy {
+pub struct BaselinePolicy {
     kind: PolicyKind,
     rng: ChaCha8Rng,
 }
 
-impl PlacementPolicy {
+impl BaselinePolicy {
     /// Uniformly random placement.
     pub fn random(seed: u64) -> Self {
         Self {
@@ -102,36 +149,6 @@ impl PlacementPolicy {
     /// The policy's strategy.
     pub fn kind(&self) -> PolicyKind {
         self.kind
-    }
-
-    /// Display name.
-    pub fn name(&self) -> &'static str {
-        self.kind.name()
-    }
-
-    /// Chooses a platform for `job`, or `None` if every platform is full.
-    pub fn place(
-        &mut self,
-        job: &Job,
-        view: &ClusterView,
-        predictor: &dyn RuntimePredictor,
-    ) -> Option<usize> {
-        let candidates = view.with_capacity();
-        if candidates.is_empty() {
-            return None;
-        }
-        match self.kind {
-            PolicyKind::Random => Some(candidates[self.rng.gen_range(0..candidates.len())]),
-            PolicyKind::LeastLoaded => candidates
-                .into_iter()
-                .min_by_key(|&p| view.platforms[p].running.len()),
-            PolicyKind::GreedyFastest => candidates.into_iter().min_by(|&a, &b| {
-                let ra = predictor.predict_s(job.workload, a, &view.platforms[a].running);
-                let rb = predictor.predict_s(job.workload, b, &view.platforms[b].running);
-                ra.total_cmp(&rb)
-            }),
-            PolicyKind::DeadlineAware => Self::place_deadline_aware(job, view, predictor),
-        }
     }
 
     /// Deadline-aware placement: feasibility for the new job *and* for every
@@ -181,6 +198,36 @@ impl PlacementPolicy {
         }
 
         best_feasible.or(best_any).map(|(_, p)| p)
+    }
+}
+
+impl PlacementPolicy for BaselinePolicy {
+    fn place(
+        &mut self,
+        job: &Job,
+        view: &ClusterView,
+        predictor: &dyn RuntimePredictor,
+    ) -> Option<usize> {
+        let candidates = view.with_capacity();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.kind {
+            PolicyKind::Random => Some(candidates[self.rng.gen_range(0..candidates.len())]),
+            PolicyKind::LeastLoaded => candidates
+                .into_iter()
+                .min_by_key(|&p| view.platforms[p].running.len()),
+            PolicyKind::GreedyFastest => candidates.into_iter().min_by(|&a, &b| {
+                let ra = predictor.predict_s(job.workload, a, &view.platforms[a].running);
+                let rb = predictor.predict_s(job.workload, b, &view.platforms[b].running);
+                ra.total_cmp(&rb)
+            }),
+            PolicyKind::DeadlineAware => Self::place_deadline_aware(job, view, predictor),
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.kind.name()
     }
 }
 
@@ -240,7 +287,7 @@ mod tests {
             runtime: vec![5.0, 1.0, 3.0],
             margin: 0.0,
         };
-        let mut policy = PlacementPolicy::greedy_fastest();
+        let mut policy = BaselinePolicy::greedy_fastest();
         assert_eq!(policy.place(&job(10.0), &empty_view(3), &pred), Some(1));
     }
 
@@ -255,7 +302,7 @@ mod tests {
         view.platforms[0].running = vec![7, 8];
         view.platforms[0].remaining_frac = vec![0.5, 0.5];
         view.platforms[0].due_s = vec![100.0, 100.0];
-        let mut policy = PlacementPolicy::greedy_fastest();
+        let mut policy = BaselinePolicy::greedy_fastest();
         assert_eq!(policy.place(&job(10.0), &view, &pred), Some(1));
     }
 
@@ -269,7 +316,7 @@ mod tests {
         view.platforms[0].running = vec![3];
         view.platforms[0].remaining_frac = vec![0.2];
         view.platforms[0].due_s = vec![9.0];
-        let mut policy = PlacementPolicy::least_loaded();
+        let mut policy = BaselinePolicy::least_loaded();
         assert_eq!(policy.place(&job(10.0), &view, &pred), Some(1));
     }
 
@@ -283,7 +330,7 @@ mod tests {
         };
         // deadline 6: bound on p0 = 7 (infeasible), p1 = 8 (infeasible) →
         // falls back to smallest bound (p0).
-        let mut policy = PlacementPolicy::deadline_aware();
+        let mut policy = BaselinePolicy::deadline_aware();
         assert_eq!(policy.place(&job(6.0), &empty_view(2), &pred), Some(0));
         // deadline 7.5: p0 bound 7 feasible, p1 bound 8 infeasible.
         assert_eq!(policy.place(&job(7.5), &empty_view(2), &pred), Some(0));
@@ -301,7 +348,7 @@ mod tests {
         view.platforms[0].running = vec![5];
         view.platforms[0].remaining_frac = vec![1.0];
         view.platforms[0].due_s = vec![1.1];
-        let mut policy = PlacementPolicy::deadline_aware();
+        let mut policy = BaselinePolicy::deadline_aware();
         // Our job fits both (deadline 10), but platform 0 would break job 5.
         assert_eq!(policy.place(&job(10.0), &view, &pred), Some(1));
     }
@@ -315,10 +362,10 @@ mod tests {
         let mut view = empty_view(1);
         view.platforms[0].free_slots = 0;
         for mut policy in [
-            PlacementPolicy::random(0),
-            PlacementPolicy::least_loaded(),
-            PlacementPolicy::greedy_fastest(),
-            PlacementPolicy::deadline_aware(),
+            BaselinePolicy::random(0),
+            BaselinePolicy::least_loaded(),
+            BaselinePolicy::greedy_fastest(),
+            BaselinePolicy::deadline_aware(),
         ] {
             assert_eq!(policy.place(&job(1.0), &view, &pred), None);
         }
@@ -332,7 +379,7 @@ mod tests {
         };
         let view = empty_view(8);
         let picks = |seed| {
-            let mut p = PlacementPolicy::random(seed);
+            let mut p = BaselinePolicy::random(seed);
             (0..20)
                 .map(|_| p.place(&job(1.0), &view, &pred).unwrap())
                 .collect::<Vec<_>>()

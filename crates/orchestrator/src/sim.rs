@@ -97,6 +97,11 @@ pub struct ClusterSim<'a> {
     /// When set, only these platforms accept jobs (an edge *site* within the
     /// full catalog; disallowed platforms surface zero free slots).
     allowed: Option<Vec<bool>>,
+    /// Multiplier on every sampled isolation runtime (1.0 = the testbed's
+    /// ground truth). Lets experiments inject covariate drift — e.g. the
+    /// serving experiments' `e^0.3` runtime shift — into the closed loop
+    /// without regenerating the testbed.
+    work_scale: f64,
 }
 
 impl<'a> ClusterSim<'a> {
@@ -116,7 +121,24 @@ impl<'a> ClusterSim<'a> {
             testbed,
             capacity,
             allowed: None,
+            work_scale: 1.0,
         }
+    }
+
+    /// Scales every sampled isolation runtime by `scale` — drift injection
+    /// for closed-loop experiments (e.g. `scale = e^0.3` reproduces the
+    /// serving experiments' runtime shift inside the simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn with_work_scale(mut self, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "work scale must be finite and positive, got {scale}"
+        );
+        self.work_scale = scale;
+        self
     }
 
     /// Restricts placement to the given platform indices — a deployment
@@ -183,7 +205,7 @@ impl<'a> ClusterSim<'a> {
     pub fn run(
         &mut self,
         stream: &JobStream,
-        policy: &mut PlacementPolicy,
+        policy: &mut dyn PlacementPolicy,
         predictor: &dyn RuntimePredictor,
     ) -> SimReport {
         self.run_with_observer(stream, policy, predictor, &mut |_, _| {})
@@ -210,7 +232,7 @@ impl<'a> ClusterSim<'a> {
     pub fn run_with_observer(
         &mut self,
         stream: &JobStream,
-        policy: &mut PlacementPolicy,
+        policy: &mut dyn PlacementPolicy,
         predictor: &dyn RuntimePredictor,
         observer: &mut dyn FnMut(Observation, f64),
     ) -> SimReport {
@@ -313,7 +335,7 @@ impl<'a> ClusterSim<'a> {
         &self,
         job: Job,
         running: &mut [Vec<RunningJob>],
-        policy: &mut PlacementPolicy,
+        policy: &mut dyn PlacementPolicy,
         predictor: &dyn RuntimePredictor,
         now: f64,
     ) -> bool {
@@ -347,6 +369,7 @@ impl<'a> ClusterSim<'a> {
             .truth()
             .sample_log_runtime(w, job.workload as usize, &[], &[], pidx, &mut rng)
             .exp() as f64
+            * self.work_scale
     }
 
     /// Progress rate of each job on `pidx` given its current co-residents.
@@ -414,6 +437,7 @@ impl<'a> ClusterSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::BaselinePolicy;
     use crate::predictor::OraclePredictor;
     use pitot_testbed::TestbedConfig;
 
@@ -427,7 +451,7 @@ mod tests {
         let jobs = JobStream::generate(&tb, 120, 1.0, 0);
         let oracle = OraclePredictor::new(&tb);
         let mut sim = ClusterSim::new(&tb);
-        let report = sim.run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        let report = sim.run(&jobs, &mut BaselinePolicy::greedy_fastest(), &oracle);
         assert_eq!(report.completed, 120);
         assert!(report.makespan_s >= jobs.jobs().last().unwrap().arrival_s);
     }
@@ -438,7 +462,7 @@ mod tests {
         let jobs = JobStream::generate(&tb, 60, 0.5, 1);
         let oracle = OraclePredictor::new(&tb);
         let mut sim = ClusterSim::new(&tb);
-        let report = sim.run(&jobs, &mut PlacementPolicy::least_loaded(), &oracle);
+        let report = sim.run(&jobs, &mut BaselinePolicy::least_loaded(), &oracle);
         for o in &report.outcomes {
             assert!(o.response_s > 0.0 && o.response_s.is_finite());
             assert!(o.completed_s >= 0.0);
@@ -453,7 +477,7 @@ mod tests {
         let jobs = JobStream::generate(&tb, 40, 1e-6, 2);
         let oracle = OraclePredictor::new(&tb);
         let mut sim = ClusterSim::with_capacity(&tb, 1);
-        let report = sim.run(&jobs, &mut PlacementPolicy::random(7), &oracle);
+        let report = sim.run(&jobs, &mut BaselinePolicy::random(7), &oracle);
         assert_eq!(report.completed, 40);
     }
 
@@ -462,8 +486,8 @@ mod tests {
         let tb = setup();
         let jobs = JobStream::generate(&tb, 50, 1.0, 3);
         let oracle = OraclePredictor::new(&tb);
-        let a = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
-        let b = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        let a = ClusterSim::new(&tb).run(&jobs, &mut BaselinePolicy::greedy_fastest(), &oracle);
+        let b = ClusterSim::new(&tb).run(&jobs, &mut BaselinePolicy::greedy_fastest(), &oracle);
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.violations, b.violations);
         assert!((a.mean_response_s - b.mean_response_s).abs() < 1e-12);
@@ -474,8 +498,8 @@ mod tests {
         let tb = setup();
         let jobs = JobStream::generate(&tb, 150, 0.8, 4);
         let oracle = OraclePredictor::new(&tb);
-        let fast = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
-        let rand = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::random(1), &oracle);
+        let fast = ClusterSim::new(&tb).run(&jobs, &mut BaselinePolicy::greedy_fastest(), &oracle);
+        let rand = ClusterSim::new(&tb).run(&jobs, &mut BaselinePolicy::random(1), &oracle);
         assert!(
             fast.mean_response_s < rand.mean_response_s,
             "greedy {} should beat random {}",
@@ -513,7 +537,7 @@ mod tests {
         let jobs = JobStream::generate(&tb, 60, 0.2, 9);
         let oracle = OraclePredictor::new(&tb);
         let mut sim = ClusterSim::new(&tb).restrict_to(&site);
-        let report = sim.run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        let report = sim.run(&jobs, &mut BaselinePolicy::greedy_fastest(), &oracle);
         assert_eq!(report.completed, 60);
         for o in &report.outcomes {
             assert!(
@@ -542,7 +566,7 @@ mod tests {
         let mut last_t = 0.0f64;
         let report = sim.run_with_observer(
             &jobs,
-            &mut PlacementPolicy::least_loaded(),
+            &mut BaselinePolicy::least_loaded(),
             &oracle,
             &mut |obs, now| {
                 assert!(now >= last_t, "observer times must be monotone");
@@ -578,14 +602,14 @@ mod tests {
         let oracle = OraclePredictor::new(&tb);
         let a = ClusterSim::new(&tb).run_with_observer(
             &jobs,
-            &mut PlacementPolicy::greedy_fastest(),
+            &mut BaselinePolicy::greedy_fastest(),
             &oracle,
             &mut |_, _| {},
         );
         let mut sink: Vec<(Observation, f64)> = Vec::new();
         let b = ClusterSim::new(&tb).run_with_observer(
             &jobs,
-            &mut PlacementPolicy::greedy_fastest(),
+            &mut BaselinePolicy::greedy_fastest(),
             &oracle,
             &mut |obs, now| sink.push((obs, now)),
         );
@@ -601,7 +625,7 @@ mod tests {
         let tb = setup();
         let jobs = JobStream::generate(&tb, 80, 0.5, 5);
         let oracle = OraclePredictor::new(&tb);
-        let report = ClusterSim::new(&tb).run(&jobs, &mut PlacementPolicy::least_loaded(), &oracle);
+        let report = ClusterSim::new(&tb).run(&jobs, &mut BaselinePolicy::least_loaded(), &oracle);
         assert!(report.utilization >= 0.0 && report.utilization <= 1.0);
         assert!(report.utilization > 0.0);
     }

@@ -2,7 +2,7 @@
 //! capacity must drain completely, respect deadlines accounting, and keep the
 //! simulator's bookkeeping consistent.
 
-use pitot_orchestrator::{ClusterSim, JobStream, OraclePredictor, PlacementPolicy, PolicyKind};
+use pitot_orchestrator::{BaselinePolicy, ClusterSim, JobStream, OraclePredictor, PolicyKind};
 use pitot_testbed::{Testbed, TestbedConfig};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -12,14 +12,14 @@ fn shared_testbed() -> &'static Testbed {
     TB.get_or_init(|| Testbed::generate(&TestbedConfig::small()))
 }
 
-fn policy_of(idx: usize, seed: u64) -> PlacementPolicy {
+fn policy_of(idx: usize, seed: u64) -> BaselinePolicy {
     let kind = [
         PolicyKind::Random,
         PolicyKind::LeastLoaded,
         PolicyKind::GreedyFastest,
         PolicyKind::DeadlineAware,
     ][idx % 4];
-    PlacementPolicy::of_kind(kind, seed)
+    BaselinePolicy::of_kind(kind, seed)
 }
 
 proptest! {
@@ -60,7 +60,7 @@ proptest! {
         let jobs = JobStream::generate(tb, n, 1.0, seed);
         let oracle = OraclePredictor::new(tb);
         let mut sim = ClusterSim::new(tb);
-        let report = sim.run(&jobs, &mut PlacementPolicy::greedy_fastest(), &oracle);
+        let report = sim.run(&jobs, &mut BaselinePolicy::greedy_fastest(), &oracle);
         let truth = tb.truth();
         for o in &report.outcomes {
             let w = &tb.workloads()[o.job.workload as usize];
@@ -84,9 +84,9 @@ proptest! {
         let tb = shared_testbed();
         let long = JobStream::generate(tb, 2 * n, 1.0, seed);
         let oracle = OraclePredictor::new(tb);
-        let full = ClusterSim::new(tb).run(&long, &mut PlacementPolicy::least_loaded(), &oracle);
+        let full = ClusterSim::new(tb).run(&long, &mut BaselinePolicy::least_loaded(), &oracle);
         let short = JobStream::generate(tb, n, 1.0, seed);
-        let half = ClusterSim::new(tb).run(&short, &mut PlacementPolicy::least_loaded(), &oracle);
+        let half = ClusterSim::new(tb).run(&short, &mut BaselinePolicy::least_loaded(), &oracle);
         prop_assert!(half.makespan_s <= full.makespan_s + 1e-9);
     }
 }

@@ -1,0 +1,51 @@
+//! Conformal risk-minimizing placement: acting on the interval edge.
+//!
+//! The paper's thesis is that calibrated runtime intervals are trustworthy
+//! enough to *act* on. `pitot-serve` already acts on them for admission
+//! (should this job run at all?); this crate acts on them for **placement**
+//! (where should it run?). Every policy here implements the
+//! [`PlacementPolicy`] trait from `pitot-orchestrator`, so the simulator's
+//! `run_with_observer` / `pitot-serve`'s `run_closed_loop` drive them
+//! unchanged — completions stream back into the sliding calibration window
+//! mid-run, and the very next decision sees the recalibrated bounds.
+//!
+//! The policy lineup, ordered by how much of the prediction they use:
+//!
+//! - [`Random`] — ignores everything (the lower bar);
+//! - [`LeastLoaded`] — balances co-location counts, prediction-free;
+//! - [`PointGreedy`] — minimizes own predicted runtime plus the predicted
+//!   interference delta induced on residents, read at the **point**
+//!   estimate;
+//! - [`ConformalGreedy`] — the same risk structure read at the conformal
+//!   **upper edge**: at miscoverage ε the realized runtime exceeds the
+//!   edge with probability ≲ ε, so the argmin placement bounds risk
+//!   rather than hoping the point estimate was right.
+//!
+//! Scoring lives in [`risk`] ([`risk::placement_risk`] /
+//! [`risk::risk_argmin`]) and is shared by both greedy policies; the
+//! induced-delta term reuses the model's interference dot-product path by
+//! querying the resident's runtime with and without the new arrival in its
+//! interferer set.
+//!
+//! Determinism: placement decisions are bitwise-identical across
+//! `PITOT_THREADS` settings (the scorer is a pure argmin over a snapshot;
+//! randomized policies are seeded). [`Traced`] wraps any policy, records
+//! the decision sequence, and folds it into a [`Traced::digest`] that CI
+//! compares across processes with different thread counts; property tests
+//! pin [`ConformalGreedy`] to a brute-force oracle.
+
+// Every public item in this crate is part of the documented scheduling
+// API; keep it that way (CI builds rustdoc with `-D warnings`).
+#![deny(missing_docs)]
+
+mod policies;
+pub mod risk;
+mod trace;
+
+pub use policies::{ConformalGreedy, LeastLoaded, PointGreedy, Random};
+pub use risk::Signal;
+pub use trace::Traced;
+
+// Re-export the trait so downstream code can depend on `pitot-sched`
+// alone for policy work.
+pub use pitot_orchestrator::PlacementPolicy;

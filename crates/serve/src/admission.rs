@@ -17,8 +17,22 @@
 //! records are capped by the backlog, and shed audit records — which may
 //! never see a realized runtime, since shed jobs are never executed — are
 //! retained FIFO up to [`AdmissionConfig::max_shed_pending`].
+//!
+//! With [`AdmissionConfig::queue_concurrency`] set, the feasibility check
+//! is *queueing-aware*: a job behind a backlog does not start immediately,
+//! so its deadline must cover the expected backlog drain time **plus** its
+//! own bounded runtime. The drain estimate is `backlog × (EWMA of realized
+//! admitted runtimes) / concurrency` — deterministic, updated only on
+//! [`AdmissionQueue::resolve`]. Sheds this check causes carry their own
+//! [`ShedReason::QueueWaitInfeasible`] tag and a separate audit, so
+//! operators can attribute lost work to queueing pressure vs the runtime
+//! bound itself.
 
 use std::collections::BTreeMap;
+
+/// EWMA smoothing factor for the realized-runtime estimate feeding the
+/// queue-wait model (weight on the newest resolved runtime).
+const RUNTIME_EWMA_ALPHA: f64 = 0.2;
 
 /// Admission-control knobs.
 #[derive(Debug, Clone)]
@@ -37,6 +51,15 @@ pub struct AdmissionConfig {
     /// Oldest shed records are dropped FIFO past this cap (their audit is
     /// forfeited; counted in [`AdmissionStats::shed_unaudited`]).
     pub max_shed_pending: usize,
+    /// Effective service concurrency the backlog drains at, for the
+    /// queueing-aware feasibility check: a backlog of `b` jobs is expected
+    /// to take `b × mean-runtime / queue_concurrency` seconds to drain,
+    /// and a query is shed with [`ShedReason::QueueWaitInfeasible`] when
+    /// `bound + slack + expected-wait` overruns its deadline even though
+    /// the bound alone fits. `0` disables queue-wait modeling (the
+    /// default): feasibility then compares `bound + slack` against the
+    /// deadline exactly as before.
+    pub queue_concurrency: usize,
 }
 
 impl AdmissionConfig {
@@ -48,14 +71,26 @@ impl AdmissionConfig {
     pub fn validate(&self) {
         assert!(
             self.slack_s.is_finite() && self.slack_s >= 0.0,
-            "admission slack {} must be a non-negative finite duration",
+            "AdmissionConfig.slack_s = {} is invalid: the admission safety \
+             margin must be a non-negative finite duration in seconds \
+             (0.0 disables the margin)",
             self.slack_s
         );
-        assert!(self.max_backlog > 0, "backlog cap must be positive");
+        assert!(
+            self.max_backlog > 0,
+            "AdmissionConfig.max_backlog = 0 is invalid: the backlog cap \
+             must be at least 1 admitted-but-unresolved query (use a large \
+             value like the default 1024 to effectively disable shedding \
+             on backlog)"
+        );
         assert!(
             self.max_shed_pending > 0,
-            "shed retention cap must be positive"
+            "AdmissionConfig.max_shed_pending = 0 is invalid: the shed \
+             audit retention cap must be at least 1 record (use a large \
+             value like the default 4096 to audit more sheds)"
         );
+        // queue_concurrency: any value is valid; 0 disables the queue-wait
+        // model.
     }
 }
 
@@ -65,6 +100,7 @@ impl Default for AdmissionConfig {
             slack_s: 0.0,
             max_backlog: 1024,
             max_shed_pending: 4096,
+            queue_concurrency: 0,
         }
     }
 }
@@ -73,8 +109,13 @@ impl Default for AdmissionConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShedReason {
     /// The conformal upper bound (plus slack) exceeds the deadline: even
-    /// the calibrated worst case cannot meet the SLO.
+    /// the calibrated worst case cannot meet the SLO, regardless of
+    /// queueing.
     DeadlineInfeasible,
+    /// The bound alone fits the deadline, but not after the expected
+    /// backlog drain time (see [`AdmissionConfig::queue_concurrency`]):
+    /// the job is runnable, just not *startable* soon enough.
+    QueueWaitInfeasible,
     /// The admitted backlog is at capacity.
     QueueFull,
 }
@@ -102,6 +143,9 @@ pub struct AdmissionStats {
     pub admitted: usize,
     /// Queries shed because the bound exceeded the deadline.
     pub shed_infeasible: usize,
+    /// Queries shed because the bound fit but the expected queue wait
+    /// pushed the completion past the deadline.
+    pub shed_queue_wait: usize,
     /// Queries shed because the backlog was full.
     pub shed_queue_full: usize,
     /// Admitted queries whose realized runtime met the deadline.
@@ -116,6 +160,13 @@ pub struct AdmissionStats {
     /// Infeasibility-shed queries that would indeed have missed (sheds the
     /// bound got right).
     pub shed_would_have_missed: usize,
+    /// Queue-wait-shed queries whose realized *runtime* alone fit the
+    /// deadline — work lost to queueing pressure, not to the bound
+    /// (attribution: tune capacity/backlog, not ε).
+    pub shed_wait_would_have_met: usize,
+    /// Queue-wait-shed queries whose realized runtime alone would have
+    /// missed anyway (the wait estimate only confirmed a lost cause).
+    pub shed_wait_would_have_missed: usize,
     /// Shed queries whose audit record was evicted before a realized
     /// runtime arrived (see [`AdmissionConfig::max_shed_pending`]).
     pub shed_unaudited: usize,
@@ -129,7 +180,7 @@ impl AdmissionStats {
 
     /// Total queries shed, for any reason.
     pub fn shed(&self) -> usize {
-        self.shed_infeasible + self.shed_queue_full
+        self.shed_infeasible + self.shed_queue_wait + self.shed_queue_full
     }
 
     /// Fraction of decisions that shed the query (`NaN` before any
@@ -182,6 +233,11 @@ pub struct AdmissionQueue {
     shed_order: std::collections::VecDeque<(u64, u64)>,
     next_seq: u64,
     backlog: usize,
+    /// EWMA of realized runtimes of *admitted* resolutions — the service
+    /// time estimate feeding [`AdmissionQueue::expected_queue_wait_s`].
+    /// `None` until the first admitted resolution (no wait is charged
+    /// before the queue has seen any service time).
+    runtime_ewma_s: Option<f64>,
 }
 
 impl AdmissionQueue {
@@ -199,12 +255,33 @@ impl AdmissionQueue {
             shed_order: std::collections::VecDeque::new(),
             next_seq: 0,
             backlog: 0,
+            runtime_ewma_s: None,
+        }
+    }
+
+    /// Expected time for the current backlog to drain, in seconds: backlog
+    /// × EWMA of realized admitted runtimes / configured concurrency. Zero
+    /// while queue-wait modeling is disabled
+    /// ([`AdmissionConfig::queue_concurrency`] = 0), the backlog is empty,
+    /// or no admitted query has resolved yet.
+    pub fn expected_queue_wait_s(&self) -> f64 {
+        if self.cfg.queue_concurrency == 0 || self.backlog == 0 {
+            return 0.0;
+        }
+        match self.runtime_ewma_s {
+            Some(ewma) => self.backlog as f64 * ewma / self.cfg.queue_concurrency as f64,
+            None => 0.0,
         }
     }
 
     /// Decides one query: admit iff the backlog has room and
-    /// `bound_s + slack_s ≤ deadline_s`. The decision is recorded under
-    /// `id` for later [`AdmissionQueue::resolve`].
+    /// `bound_s + slack_s + expected_queue_wait_s ≤ deadline_s` (the wait
+    /// term is zero unless [`AdmissionConfig::queue_concurrency`] enables
+    /// the queueing model). A shed is tagged by which term broke
+    /// feasibility: the bound alone ([`ShedReason::DeadlineInfeasible`])
+    /// or only the added wait ([`ShedReason::QueueWaitInfeasible`]). The
+    /// decision is recorded under `id` for later
+    /// [`AdmissionQueue::resolve`].
     ///
     /// # Panics
     ///
@@ -220,16 +297,20 @@ impl AdmissionQueue {
             !self.pending.contains_key(&id),
             "query id {id} is already pending"
         );
+        let budget = bound_s + self.cfg.slack_s;
         let decision = if self.backlog >= self.cfg.max_backlog {
             self.stats.shed_queue_full += 1;
             AdmissionDecision::Shed(ShedReason::QueueFull)
-        } else if bound_s + self.cfg.slack_s <= deadline_s {
+        } else if budget > deadline_s {
+            self.stats.shed_infeasible += 1;
+            AdmissionDecision::Shed(ShedReason::DeadlineInfeasible)
+        } else if budget + self.expected_queue_wait_s() > deadline_s {
+            self.stats.shed_queue_wait += 1;
+            AdmissionDecision::Shed(ShedReason::QueueWaitInfeasible)
+        } else {
             self.stats.admitted += 1;
             self.backlog += 1;
             AdmissionDecision::Admit
-        } else {
-            self.stats.shed_infeasible += 1;
-            AdmissionDecision::Shed(ShedReason::DeadlineInfeasible)
         };
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -262,11 +343,13 @@ impl AdmissionQueue {
     }
 
     /// Scores a pending decision against the realized runtime: admitted
-    /// queries count toward SLO attainment, infeasibility-shed queries
-    /// toward the would-have-met/missed audit (a queue-full shed says
-    /// nothing about the bound and is not audited). Returns whether the
-    /// query had been admitted, or `None` if `id` was never decided (or
-    /// already resolved).
+    /// queries count toward SLO attainment (and update the service-time
+    /// EWMA behind the queue-wait model), infeasibility-shed queries
+    /// toward the runtime-bound audit, queue-wait-shed queries toward
+    /// their own audit (a queue-full shed says nothing about either
+    /// estimate and is not audited). Returns whether the query had been
+    /// admitted, or `None` if `id` was never decided (or already
+    /// resolved).
     pub fn resolve(&mut self, id: u64, realized_s: f64) -> Option<bool> {
         let p = self.pending.remove(&id)?;
         let met = realized_s <= p.deadline_s;
@@ -278,12 +361,28 @@ impl AdmissionQueue {
                 } else {
                     self.stats.slo_missed += 1;
                 }
+                if realized_s.is_finite() && realized_s >= 0.0 {
+                    self.runtime_ewma_s = Some(match self.runtime_ewma_s {
+                        Some(ewma) => ewma + RUNTIME_EWMA_ALPHA * (realized_s - ewma),
+                        None => realized_s,
+                    });
+                }
             }
             AdmissionDecision::Shed(ShedReason::DeadlineInfeasible) => {
                 if met {
                     self.stats.shed_would_have_met += 1;
                 } else {
                     self.stats.shed_would_have_missed += 1;
+                }
+            }
+            AdmissionDecision::Shed(ShedReason::QueueWaitInfeasible) => {
+                // `realized_s` is the counterfactual *runtime* (no queue
+                // wait included): "met" here means the job was lost to
+                // queueing pressure alone, not to its own runtime.
+                if met {
+                    self.stats.shed_wait_would_have_met += 1;
+                } else {
+                    self.stats.shed_wait_would_have_missed += 1;
                 }
             }
             AdmissionDecision::Shed(ShedReason::QueueFull) => {}
@@ -440,6 +539,93 @@ mod tests {
             q.decide(id, 9.0, 5.0);
         }
         assert_eq!(q.resolve(100, 1.0), Some(true));
+    }
+
+    #[test]
+    fn queue_wait_model_sheds_and_audits_separately() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            queue_concurrency: 1,
+            ..AdmissionConfig::default()
+        });
+        // No service time observed yet: the wait model charges nothing.
+        assert_eq!(q.expected_queue_wait_s(), 0.0);
+        assert_eq!(q.decide(1, 2.0, 5.0), AdmissionDecision::Admit);
+        assert_eq!(q.resolve(1, 4.0), Some(true));
+        // EWMA seeded at 4.0s; two admitted jobs build a backlog worth 8s
+        // of expected drain.
+        assert_eq!(q.decide(2, 2.0, 100.0), AdmissionDecision::Admit);
+        assert_eq!(q.decide(3, 2.0, 100.0), AdmissionDecision::Admit);
+        assert!((q.expected_queue_wait_s() - 8.0).abs() < 1e-9);
+        // Bound 2.0 fits deadline 5.0 on its own, but not behind 8s of
+        // backlog: shed, attributed to queue wait — not to the bound.
+        assert_eq!(
+            q.decide(4, 2.0, 5.0),
+            AdmissionDecision::Shed(ShedReason::QueueWaitInfeasible)
+        );
+        assert_eq!(q.stats().shed_queue_wait, 1);
+        assert_eq!(q.stats().shed_infeasible, 0);
+        // Its runtime alone would have met: lost to queueing pressure.
+        assert_eq!(q.resolve(4, 2.0), Some(false));
+        assert_eq!(q.stats().shed_wait_would_have_met, 1);
+        assert_eq!(q.stats().shed_would_have_met, 0);
+        // A bound that misses the deadline outright still reads as a
+        // runtime-infeasible shed, even with a backlog.
+        assert_eq!(
+            q.decide(5, 9.0, 5.0),
+            AdmissionDecision::Shed(ShedReason::DeadlineInfeasible)
+        );
+        // Draining the backlog restores admission at the same deadline.
+        q.resolve(2, 4.0);
+        q.resolve(3, 4.0);
+        assert_eq!(q.expected_queue_wait_s(), 0.0);
+        assert_eq!(q.decide(6, 2.0, 5.0), AdmissionDecision::Admit);
+        assert_eq!(q.stats().shed(), 2);
+    }
+
+    #[test]
+    fn queue_wait_is_zero_when_disabled() {
+        // Default config (queue_concurrency = 0): resolution history never
+        // produces a wait charge, so decisions match the pre-queueing
+        // behavior exactly.
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        for id in 0..20u64 {
+            assert_eq!(q.decide(id, 4.9, 5.0), AdmissionDecision::Admit);
+        }
+        for id in 0..10u64 {
+            q.resolve(id, 4.9);
+        }
+        assert_eq!(q.expected_queue_wait_s(), 0.0);
+        assert_eq!(q.decide(100, 4.9, 5.0), AdmissionDecision::Admit);
+        assert_eq!(q.stats().shed_queue_wait, 0);
+    }
+
+    #[test]
+    fn config_errors_name_field_and_value() {
+        use std::panic::catch_unwind;
+        let message = |cfg: AdmissionConfig| -> String {
+            let err = catch_unwind(move || cfg.validate()).expect_err("must panic");
+            err.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .expect("panic carries a message")
+        };
+        let m = message(AdmissionConfig {
+            slack_s: -1.0,
+            ..AdmissionConfig::default()
+        });
+        assert!(m.contains("AdmissionConfig.slack_s"), "{m}");
+        assert!(m.contains("-1"), "{m}");
+        let m = message(AdmissionConfig {
+            max_backlog: 0,
+            ..AdmissionConfig::default()
+        });
+        assert!(m.contains("AdmissionConfig.max_backlog"), "{m}");
+        assert!(m.contains("1024"), "names the sane default: {m}");
+        let m = message(AdmissionConfig {
+            max_shed_pending: 0,
+            ..AdmissionConfig::default()
+        });
+        assert!(m.contains("AdmissionConfig.max_shed_pending"), "{m}");
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl std::fmt::Debug for ServingPredictor {
 pub fn run_closed_loop(
     testbed: &Testbed,
     stream: &JobStream,
-    policy: &mut PlacementPolicy,
+    policy: &mut dyn PlacementPolicy,
     server: &Rc<RefCell<PitotServer>>,
     site: Option<&[usize]>,
 ) -> SimReport {

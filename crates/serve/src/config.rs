@@ -91,21 +91,52 @@ impl ServeConfig {
     pub fn validate(&self) {
         assert!(
             self.epsilon > 0.0 && self.epsilon < 1.0,
-            "epsilon {} outside (0,1)",
+            "ServeConfig.epsilon = {} is outside (0,1): the target \
+             miscoverage must be a strict probability (typical values: \
+             0.05, 0.1, 0.2)",
             self.epsilon
         );
-        assert!(self.window > 0, "window must be positive");
-        assert!(self.refresh_every > 0, "refresh cadence must be positive");
-        assert!(self.microbatch > 0, "micro-batch size must be positive");
-        assert!(self.drift_window > 0, "drift window must be positive");
-        assert!(self.drift_z >= 0.0, "drift z must be non-negative");
+        assert!(
+            self.window > 0,
+            "ServeConfig.window = 0 is invalid: the sliding calibration \
+             window must retain at least 1 observation (default: 512)"
+        );
+        assert!(
+            self.refresh_every > 0,
+            "ServeConfig.refresh_every = 0 is invalid: the conformal \
+             refresh cadence must be at least 1 observation (1 = refresh \
+             on every arrival, the default)"
+        );
+        assert!(
+            self.microbatch > 0,
+            "ServeConfig.microbatch = 0 is invalid: the micro-batch must \
+             hold at least 1 query (1 = no batching; default: 16)"
+        );
+        assert!(
+            self.drift_window > 0,
+            "ServeConfig.drift_window = 0 is invalid: the drift detector's \
+             rolling coverage window must hold at least 1 observation \
+             (default: 256)"
+        );
+        assert!(
+            self.drift_z >= 0.0,
+            "ServeConfig.drift_z = {} is invalid: the binomial-slack \
+             multiplier must be non-negative (0.0 = fire on any dip below \
+             1 − ε; default: 3.0)",
+            self.drift_z
+        );
         assert!(
             self.fine_tune_retain > 0,
-            "fine-tune retention must be positive"
+            "ServeConfig.fine_tune_retain = 0 is invalid: the fine-tune \
+             training pool must retain at least 1 observation (default: \
+             8192; to disable fine-tuning set fine_tune_steps = 0 instead)"
         );
         assert!(
             self.rebuild_growth >= 1.0,
-            "rebuild growth factor must be ≥ 1"
+            "ServeConfig.rebuild_growth = {} is invalid: the context \
+             rebuild factor must be ≥ 1 (1.0 = rebuild on every fine-tune; \
+             default: 1.5)",
+            self.rebuild_growth
         );
     }
 }
@@ -172,16 +203,31 @@ impl FleetConfig {
     pub fn validate(&self) {
         self.serve.validate();
         self.admission.validate();
-        assert!(self.replicas > 0, "at least one replica required");
-        assert!(self.merge_every > 0, "merge cadence must be positive");
+        assert!(
+            self.replicas > 0,
+            "FleetConfig.replicas = 0 is invalid: a fleet needs at least 1 \
+             replica server (default: 4)"
+        );
+        assert!(
+            self.merge_every > 0,
+            "FleetConfig.merge_every = 0 is invalid: the coordinator merge \
+             cadence must be at least 1 fleet-wide observation (default: 32)"
+        );
         assert!(
             self.serve.selection != HeadSelection::TightestOnValidation,
-            "fleet calibration has no selection set; use SingleHead or NaiveXi"
+            "FleetConfig.serve.selection = TightestOnValidation is not \
+             supported in fleet mode: the coordinator fits on merged score \
+             summaries and has no selection set; use HeadSelection::SingleHead \
+             or HeadSelection::NaiveXi instead"
         );
         assert!(
             self.serve.fine_tune_steps == 0,
-            "per-replica fine-tuning would override the fleet calibration; \
-             keep fine_tune_steps = 0 in fleet mode"
+            "FleetConfig.serve.fine_tune_steps = {} is not supported in \
+             fleet mode: a per-replica fine-tune would silently override \
+             the installed fleet calibration between merges; keep \
+             fine_tune_steps = 0 in fleet mode (single-server PitotServer \
+             supports fine-tuning)",
+            self.serve.fine_tune_steps
         );
     }
 }
@@ -203,7 +249,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window must be positive")]
+    #[should_panic(expected = "ServeConfig.window = 0 is invalid")]
     fn rejects_zero_window() {
         let c = ServeConfig {
             window: 0,
@@ -231,5 +277,76 @@ mod tests {
         let mut c = FleetConfig::at(0.1, 2);
         c.serve.fine_tune_steps = 10;
         c.validate();
+    }
+
+    /// Validation messages must name the offending field, show its value,
+    /// and point at the allowed alternatives — an operator reading the
+    /// panic alone should know what to change.
+    #[test]
+    fn validation_messages_name_field_value_and_alternatives() {
+        use std::panic::catch_unwind;
+        fn message<F: FnOnce() + std::panic::UnwindSafe>(f: F) -> String {
+            let err = catch_unwind(f).expect_err("must panic");
+            err.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .expect("panic carries a message")
+        }
+
+        let m = message(|| {
+            let mut c = FleetConfig::at(0.1, 2);
+            c.serve.selection = HeadSelection::TightestOnValidation;
+            c.validate();
+        });
+        assert!(m.contains("FleetConfig.serve.selection"), "field: {m}");
+        assert!(m.contains("TightestOnValidation"), "offending value: {m}");
+        assert!(
+            m.contains("HeadSelection::SingleHead") && m.contains("HeadSelection::NaiveXi"),
+            "alternatives: {m}"
+        );
+
+        let m = message(|| {
+            let mut c = FleetConfig::at(0.1, 2);
+            c.serve.fine_tune_steps = 10;
+            c.validate();
+        });
+        assert!(
+            m.contains("FleetConfig.serve.fine_tune_steps"),
+            "field: {m}"
+        );
+        assert!(m.contains("10"), "offending value: {m}");
+        assert!(m.contains("fine_tune_steps = 0"), "fix: {m}");
+
+        let m = message(|| {
+            let mut c = FleetConfig::at(0.1, 2);
+            c.replicas = 0;
+            c.validate();
+        });
+        assert!(m.contains("FleetConfig.replicas = 0"), "{m}");
+
+        let m = message(|| {
+            let mut c = FleetConfig::at(0.1, 2);
+            c.merge_every = 0;
+            c.validate();
+        });
+        assert!(m.contains("FleetConfig.merge_every = 0"), "{m}");
+
+        let m = message(|| {
+            let _ = ServeConfig::at(1.5);
+        });
+        assert!(m.contains("ServeConfig.epsilon = 1.5"), "{m}");
+        assert!(
+            m.contains("0.05") || m.contains("0.1"),
+            "typical values: {m}"
+        );
+
+        let m = message(|| {
+            let c = ServeConfig {
+                rebuild_growth: 0.5,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.rebuild_growth = 0.5"), "{m}");
     }
 }

@@ -4,7 +4,7 @@
 
 use pitot::{train, Objective, PitotConfig, TrainedPitot};
 use pitot_conformal::HeadSelection;
-use pitot_orchestrator::{JobStream, PlacementPolicy};
+use pitot_orchestrator::{BaselinePolicy, JobStream};
 use pitot_serve::{run_closed_loop, Event, PitotServer, ServeConfig};
 use pitot_testbed::{split::Split, Dataset, Testbed, TestbedConfig};
 use rand::{seq::SliceRandom, SeedableRng};
@@ -334,7 +334,7 @@ fn closed_loop_feeds_every_completion_back() {
     let report = run_closed_loop(
         &tb,
         &jobs,
-        &mut PlacementPolicy::deadline_aware(),
+        &mut BaselinePolicy::deadline_aware(),
         &server,
         Some(&site),
     );
