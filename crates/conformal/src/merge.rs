@@ -44,6 +44,11 @@ struct ReplicaRun {
     pools: BTreeMap<usize, Vec<Vec<f32>>>,
 }
 
+/// One reconstructed window entry for crash-recovery replay: the per-head
+/// nonconformity scores of a single slot plus its calibration pool (the
+/// element type of [`MergeableWindow::replica_entries`]).
+pub type ReplayEntry = (Vec<f32>, usize);
+
 /// A mergeable summary of one or more replica calibration windows
 /// (see the module docs for the protocol).
 ///
@@ -156,6 +161,37 @@ impl MergeableWindow {
                 }
             }
         }
+    }
+
+    /// Reconstructs the `(per-head scores, pool)` entries of one replica's
+    /// held run, with the run's clock — the replay message a coordinator
+    /// hands a crash-recovering replica so it can rejoin *warm* instead of
+    /// serving off an empty window (see `PitotServer::restore_window` in
+    /// `pitot-serve`).
+    ///
+    /// Entries are regrouped positionally: within each pool, the rank-`j`
+    /// scores of every head form one entry. That pairing is generally not
+    /// the original per-observation grouping (the summary keeps per-head
+    /// sorted runs, not observations), but it preserves the per-pool
+    /// per-head score *multisets* exactly — so a window rebuilt by pushing
+    /// these entries lowers to sorted views bitwise identical to the run it
+    /// was reconstructed from. Arrival order within the rebuilt window is
+    /// synthetic (pool-major), so post-restore evictions may retire
+    /// different entries than the pre-crash window would have; calibration
+    /// validity is unaffected (any window subset is an exchangeable split).
+    ///
+    /// Returns `None` if this summary holds no run for `replica`.
+    pub fn replica_entries(&self, replica: u64) -> Option<(u64, Vec<ReplayEntry>)> {
+        let run = self.runs.get(&replica)?;
+        let mut entries = Vec::with_capacity(run.n);
+        for (&pool, per_head) in &run.pools {
+            let m = per_head[0].len();
+            for j in 0..m {
+                entries.push((per_head.iter().map(|h| h[j]).collect::<Vec<f32>>(), pool));
+            }
+        }
+        debug_assert_eq!(entries.len(), run.n);
+        Some((run.clock, entries))
     }
 
     /// Lowers the summary to a [`ScoredCalibration`] over the union of
@@ -411,6 +447,35 @@ mod tests {
         let scored = merged.to_scored();
         assert_eq!(scored.len(), 24);
         assert_eq!(&scored, &scratch_union(&[&wa, &wb], n_heads));
+    }
+
+    proptest::proptest! {
+        /// Crash-recovery replay: a window rebuilt by pushing
+        /// [`MergeableWindow::replica_entries`] lowers to sorted views
+        /// bitwise identical to the run it was reconstructed from, and
+        /// carries enough clock to supersede stale snapshots once advanced.
+        #[test]
+        fn replica_entries_rebuild_bitwise_identical_window(
+            seed in 0u64..25,
+            cap in 1usize..32,
+            n in 1usize..70,
+        ) {
+            let n_heads = 1 + (seed as usize % 3);
+            let w = window_of(&stream(seed * 7 + 3, n, n_heads), cap, n_heads);
+            let summary = MergeableWindow::snapshot(4, &w);
+            let (clock, entries) = summary.replica_entries(4).expect("run held");
+            proptest::prop_assert_eq!(clock, w.clock());
+            proptest::prop_assert_eq!(entries.len(), w.len());
+            let mut rebuilt = WindowedScores::new(cap, n_heads);
+            for (scores, pool) in entries {
+                rebuilt.push_scores(scores, pool);
+            }
+            if !w.is_empty() {
+                proptest::prop_assert_eq!(rebuilt.scored(), w.scored());
+            }
+            proptest::prop_assert!(rebuilt.clock() <= clock);
+            proptest::prop_assert_eq!(summary.replica_entries(9), None);
+        }
     }
 
     #[test]

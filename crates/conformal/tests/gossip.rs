@@ -1,0 +1,214 @@
+//! Gossip convergence over arbitrary merge topologies.
+//!
+//! PR 5 proved the `MergeableWindow` CRDT converges when a *coordinator*
+//! merges every replica's snapshot (a star). Degraded-mode fleet serving
+//! (coordinator outages) relies on a stronger claim: replicas exchanging
+//! summaries *pairwise*, over any connected topology, in any order,
+//! converge to exactly the state the coordinator would hold — and lower to
+//! a calibration bitwise identical to the coordinator's `to_scored()` on
+//! the union of live windows. These tests exercise ring, star, and seeded
+//! random connected topologies, plus supersession of stale runs mid-gossip.
+
+use pitot_conformal::{MergeableWindow, WindowedScores};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One synthetic replica stream with quantized values (duplicate scores
+/// across replicas are the common fleet case, not a corner).
+fn stream(seed: u64, n: usize, n_heads: usize) -> Vec<(Vec<f32>, f32, usize)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x5DEE).wrapping_add(11));
+    (0..n)
+        .map(|i| {
+            let preds: Vec<f32> = (0..n_heads)
+                .map(|_| (rng.gen_range(-8i32..8) as f32) * 0.25)
+                .collect();
+            let target = (rng.gen_range(-8i32..8) as f32) * 0.25;
+            (preds, target, i % 3)
+        })
+        .collect()
+}
+
+fn window_of(entries: &[(Vec<f32>, f32, usize)], cap: usize, n_heads: usize) -> WindowedScores {
+    let mut w = WindowedScores::new(cap, n_heads);
+    for (p, t, k) in entries {
+        w.push(p, *t, *k);
+    }
+    w
+}
+
+/// The coordinator's view: every replica snapshot absorbed into one state.
+fn coordinator_state(windows: &[WindowedScores]) -> MergeableWindow {
+    let n_heads = windows[0].n_heads();
+    let mut merged = MergeableWindow::empty(n_heads);
+    for (r, w) in windows.iter().enumerate() {
+        merged.absorb(&MergeableWindow::snapshot(r as u64, w));
+    }
+    merged
+}
+
+/// Runs `rounds` of pairwise gossip over the given edges: each edge merges
+/// both endpoint states into their join (state-based CRDT exchange). Edges
+/// are processed in order within a round — the schedule a deterministic
+/// fault-injected fleet uses.
+fn gossip(states: &mut [MergeableWindow], edges: &[(usize, usize)], rounds: usize) {
+    for _ in 0..rounds {
+        for &(i, j) in edges {
+            let joined = states[i].merge(&states[j]);
+            states[i] = joined.clone();
+            states[j] = joined;
+        }
+    }
+}
+
+/// Asserts every node's gossip state equals the coordinator's, both as CRDT
+/// state and (when non-empty) as the lowered calibration, bitwise.
+fn assert_converged(states: &[MergeableWindow], coordinator: &MergeableWindow) {
+    for (i, s) in states.iter().enumerate() {
+        assert_eq!(s, coordinator, "node {i} diverged from the coordinator");
+        if !coordinator.is_empty() {
+            assert_eq!(s.to_scored(), coordinator.to_scored(), "node {i} scored");
+        }
+    }
+}
+
+fn ring_edges(n: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|i| (i, (i + 1) % n)).collect()
+}
+
+fn star_edges(n: usize) -> Vec<(usize, usize)> {
+    (1..n).map(|i| (0, i)).collect()
+}
+
+/// A seeded random connected topology: a random spanning tree (node `i`
+/// attaches to a uniform earlier node) plus a few extra random edges.
+fn random_connected_edges(n: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x60551);
+    let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (rng.gen_range(0..i), i)).collect();
+    for _ in 0..n / 2 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    edges
+}
+
+proptest::proptest! {
+    /// The headline claim: pairwise gossip over ring, star, and random
+    /// connected topologies converges every node to the coordinator's
+    /// state — and therefore to its `to_scored()` on the union of live
+    /// windows, bitwise. `n` rounds bound the propagation diameter of any
+    /// connected topology on `n` nodes.
+    #[test]
+    fn gossip_converges_to_coordinator_on_any_connected_topology(
+        seed in 0u64..20,
+        n in 2usize..7,
+        cap in 1usize..24,
+    ) {
+        let n_heads = 1 + (seed as usize % 3);
+        let windows: Vec<WindowedScores> = (0..n)
+            .map(|r| {
+                // Lengths straddle the capacity: some replicas evicted,
+                // some partial, some still empty.
+                let len = (seed as usize + r * 17) % (2 * cap + 1);
+                window_of(&stream(seed * 41 + r as u64, len, n_heads), cap, n_heads)
+            })
+            .collect();
+        let coordinator = coordinator_state(&windows);
+
+        for edges in [
+            ring_edges(n),
+            star_edges(n),
+            random_connected_edges(n, seed * 131 + n as u64),
+        ] {
+            let mut states: Vec<MergeableWindow> = windows
+                .iter()
+                .enumerate()
+                .map(|(r, w)| MergeableWindow::snapshot(r as u64, w))
+                .collect();
+            gossip(&mut states, &edges, n);
+            assert_converged(&states, &coordinator);
+        }
+    }
+
+    /// Supersession through gossip: after convergence one replica keeps
+    /// observing (evicting old entries), re-snapshots into its own state,
+    /// and gossip re-converges to the *new* union — stale runs of that
+    /// replica vanish everywhere without tombstones.
+    #[test]
+    fn gossip_propagates_newer_snapshots(
+        seed in 0u64..20,
+        n in 2usize..6,
+        cap in 2usize..16,
+    ) {
+        let n_heads = 1 + (seed as usize % 2);
+        let streams: Vec<Vec<(Vec<f32>, f32, usize)>> = (0..n)
+            .map(|r| stream(seed * 59 + r as u64, 2 * cap + 3, n_heads))
+            .collect();
+        let mut windows: Vec<WindowedScores> = streams
+            .iter()
+            .map(|s| window_of(&s[..cap], cap, n_heads))
+            .collect();
+        let edges = ring_edges(n);
+        let mut states: Vec<MergeableWindow> = windows
+            .iter()
+            .enumerate()
+            .map(|(r, w)| MergeableWindow::snapshot(r as u64, w))
+            .collect();
+        gossip(&mut states, &edges, n);
+        assert_converged(&states, &coordinator_state(&windows));
+
+        // Replica 0 advances past its old snapshot (full eviction churn).
+        for (p, t, k) in &streams[0][cap..] {
+            windows[0].push(p, *t, *k);
+        }
+        states[0].absorb(&MergeableWindow::snapshot(0, &windows[0]));
+        gossip(&mut states, &edges, n);
+        let coordinator = coordinator_state(&windows);
+        assert_converged(&states, &coordinator);
+        // The stale run is gone everywhere: every node holds replica 0 at
+        // its new clock.
+        for s in &states {
+            proptest::prop_assert_eq!(s.replica_clock(0), Some(windows[0].clock()));
+        }
+    }
+}
+
+/// Gossip with a dead node excluded (its edges removed) still converges the
+/// *live* nodes to the coordinator's fit on the union of live windows —
+/// the exact guarantee degraded-mode serving leans on during an outage
+/// with a crashed replica.
+#[test]
+fn gossip_excluding_dead_node_converges_live_union() {
+    let n_heads = 2;
+    let n = 5;
+    let dead = 2usize;
+    let windows: Vec<WindowedScores> = (0..n)
+        .map(|r| window_of(&stream(77 + r as u64, 20, n_heads), 8, n_heads))
+        .collect();
+    let live: Vec<usize> = (0..n).filter(|&r| r != dead).collect();
+    // Ring over the live nodes only.
+    let edges: Vec<(usize, usize)> = live
+        .iter()
+        .enumerate()
+        .map(|(k, &r)| (r, live[(k + 1) % live.len()]))
+        .collect();
+    let mut states: Vec<MergeableWindow> = windows
+        .iter()
+        .enumerate()
+        .map(|(r, w)| MergeableWindow::snapshot(r as u64, w))
+        .collect();
+    gossip(&mut states, &edges, n);
+    // Coordinator over live windows only.
+    let mut coordinator = MergeableWindow::empty(n_heads);
+    for &r in &live {
+        coordinator.absorb(&MergeableWindow::snapshot(r as u64, &windows[r]));
+    }
+    for &r in &live {
+        assert_eq!(&states[r], &coordinator, "live node {r}");
+        assert_eq!(states[r].to_scored(), coordinator.to_scored());
+    }
+    // The dead node never heard anything beyond itself.
+    assert_eq!(states[dead].replicas().count(), 1);
+}

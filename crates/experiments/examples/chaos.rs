@@ -1,0 +1,128 @@
+//! Chaos quickstart: run a replica fleet through a coordinator outage, a
+//! replica crash with warm rejoin, and lossy merge rounds — and watch the
+//! degradation ladder (fleet calibration → gossip → widened stale
+//! fallback) keep the bounds honest.
+//!
+//! ```sh
+//! cargo run --release -p pitot-experiments --example chaos
+//! ```
+//!
+//! The final line prints `digest=<16 hex digits>` — an FNV-1a hash of
+//! every admission decision, failover flag, and served bound. For a fixed
+//! fault seed the digest is bitwise identical regardless of
+//! `PITOT_THREADS`; CI runs this example twice at different thread counts
+//! and diffs the two lines.
+
+use pitot::{train, Objective, PitotConfig};
+use pitot_serve::{
+    AdmissionConfig, DeadlineQuery, FaultPlan, FleetConfig, FleetServer, ServeConfig,
+};
+use pitot_testbed::{split::Split, Testbed, TestbedConfig};
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. Cluster, history, model — as in the fleet quickstart.
+    let testbed = Testbed::generate(&TestbedConfig::small());
+    let dataset = testbed.collect_dataset();
+    let split = Split::stratified(&dataset, 0.6, 0);
+    let config = PitotConfig {
+        objective: Objective::Quantiles(vec![0.5, 0.8, 0.9, 0.95]),
+        ..PitotConfig::fast()
+    };
+    let trained = train(&dataset, &split, &config);
+
+    // 2. A 3-replica fleet with a deterministic fault schedule keyed to
+    //    the fleet-wide observation counter: the coordinator is dark over
+    //    [120, 260), replica 1 crashes at 150 and rejoins warm at 230
+    //    (inside the outage), and 10% of merge summaries are dropped
+    //    (retried with backoff) throughout. Staleness fallback is armed
+    //    as the ladder's last rung.
+    let epsilon = 0.1;
+    let mut serve = ServeConfig::at(epsilon);
+    serve.window = 128;
+    serve.staleness_threshold = serve.drift_min;
+    let cfg = FleetConfig {
+        serve,
+        replicas: 3,
+        merge_every: 16,
+        admission: AdmissionConfig::default(),
+    };
+    let plan = FaultPlan::none(0xC4A0_5EED)
+        .coordinator_outage(120, 260)
+        .crash(1, 150, 230)
+        .drop_summaries(0.10);
+    let mut fleet = FleetServer::with_faults(trained, &dataset, cfg, plan);
+    fleet.seed_calibration(&split.val);
+    println!("fleet up: 3 replicas, outage [120, 260), crash replica 1 @ 150 → rejoin 230");
+
+    // 3. Stream 400 events through the faults: every event issues a
+    //    deadline query (failing over if its home shard is down), then
+    //    the realized runtime flows back in — unless its replica is down,
+    //    in which case the observation is lost and audited as such.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut stream = split.test.clone();
+    stream.shuffle(&mut rng);
+    stream.truncate(400);
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let fnv = |bytes: &[u8], d: &mut u64| {
+        for &b in bytes {
+            *d ^= u64::from(b);
+            *d = d.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for (t, &i) in stream.iter().enumerate() {
+        let o = dataset.observations[i].clone();
+        let deadline_s = f64::from(o.runtime_s) * rng.gen_range(0.75..3.0);
+        let out = fleet.deadline_query(DeadlineQuery {
+            id: t as u64,
+            workload: o.workload,
+            platform: o.platform,
+            interferers: o.interferers.clone(),
+            deadline_s,
+        });
+        fnv(
+            &[u8::from(out.decision.admitted()), u8::from(out.failover)],
+            &mut digest,
+        );
+        fnv(&out.prediction.bound_s.to_bits().to_le_bytes(), &mut digest);
+        fleet.resolve(t as u64, f64::from(o.runtime_s));
+        let (_, fb) = fleet.observe(t as f64, o);
+        fnv(&[fb.map_or(2, |f| u8::from(f.covered))], &mut digest);
+    }
+
+    // 4. The degraded-window audit attributes every loss to its fault.
+    let stats = fleet.stats();
+    println!(
+        "\nafter {} fleet observations (+{} lost to the crash):",
+        stats.observations, stats.lost_observations
+    );
+    println!(
+        "  coverage {:.3} (nominal {:.2}); {} merges, {} skipped installs, {} gossip rounds",
+        stats.coverage(),
+        1.0 - epsilon,
+        stats.merges,
+        stats.skipped_installs,
+        stats.gossip_rounds
+    );
+    println!(
+        "  faults: {} failover queries, {} dropped summaries ({} retried, {} giveups), {} warm rejoin(s)",
+        stats.failover_queries,
+        stats.dropped_summaries,
+        stats.retried_summaries,
+        stats.merge_giveups,
+        stats.recoveries
+    );
+    for (k, w) in fleet.degraded_audit().iter().enumerate() {
+        println!(
+            "  degraded window {k}: {:?} obs [{}, {:?}) — {} judged, coverage {:.3}, {} lost, {} degraded decisions, {} shed",
+            w.cause, w.from_obs, w.until_obs, w.bounded, w.coverage(), w.lost_observations, w.degraded_decisions, w.shed
+        );
+    }
+
+    assert_eq!(stats.recoveries, 1, "replica 1 must rejoin warm");
+    assert!(stats.gossip_rounds > 0, "the outage must trigger gossip");
+    assert!(stats.coverage() > 0.8, "chaos collapsed coverage");
+    // The CI-diffed replayability witness — keep this the last line.
+    println!("digest={digest:016x}");
+}

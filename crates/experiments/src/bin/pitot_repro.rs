@@ -11,8 +11,9 @@
 //!   fig7 fig12                    embedding interpretation
 //!   summary                       Sec 5.3 headline numbers
 //!   orchestration shift online    extension studies (placement, pool
-//!   serving fleet sched           robustness, online learning, streaming
+//!   serving fleet chaos sched     robustness, online learning, streaming
 //!   conformal optimizer           recalibration, multi-replica fleet
+//!                                 serving, fault-injected degraded-mode
 //!                                 serving, conformal placement,
 //!                                 conformal variants, optimizer ablation)
 //!   all                           everything above
@@ -23,8 +24,8 @@
 //! uniform rows and written to `<out>/<id>.json`.
 
 use pitot_experiments::{
-    ablations, baseline_cmp, baselines_ext, conformal_variants, dataset_report, embeddings, fleet,
-    hyperparams, online, optimizer_cmp, orchestration, sched, serving, shift, uncertainty,
+    ablations, baseline_cmp, baselines_ext, chaos, conformal_variants, dataset_report, embeddings,
+    fleet, hyperparams, online, optimizer_cmp, orchestration, sched, serving, shift, uncertainty,
 };
 use pitot_experiments::{Figure, Harness, Scale};
 use std::path::PathBuf;
@@ -90,6 +91,7 @@ fn main() {
         "online",
         "serving",
         "fleet",
+        "chaos",
         "sched",
         "conformal",
         "optimizer",
@@ -136,6 +138,7 @@ fn main() {
             "online" => vec![online::ext_online(&harness)],
             "serving" => vec![serving::ext_serving(&harness)],
             "fleet" => vec![fleet::ext_fleet(&harness)],
+            "chaos" => vec![chaos::ext_chaos(&harness)],
             "sched" => vec![sched::ext_sched(&harness)],
             "conformal" => vec![conformal_variants::ext_conformal_variants(&harness)],
             "optimizer" => vec![optimizer_cmp::ext_optimizer(&harness)],

@@ -99,7 +99,7 @@ fn run_arm(
         slo_met.push(was_admitted && f64::from(obs.runtime_s) <= deadline_s);
         // 2. The realized runtime streams back as an observation.
         let (_, fb) = fleet.observe(t as f64, obs);
-        covered.push(fb.covered);
+        covered.push(fb.expect("ext-fleet runs without faults").covered);
     }
     ArmOutcome {
         covered,

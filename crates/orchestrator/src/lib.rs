@@ -27,7 +27,12 @@
 //!   down exactly as the data-collection physics dictate, so a policy that
 //!   ignores interference pays for it;
 //! - [`SimReport`] aggregates deadline violations, response times, and
-//!   utilization.
+//!   utilization;
+//! - [`SiteFault`] windows ([`ClusterSim::with_site_faults`]) schedule
+//!   fail-stop platform outages mid-run: running jobs are killed and
+//!   re-queued (counted as [`SimReport::preemptions`]), and the platform
+//!   offers no slots until its restore time — the cluster-side half of the
+//!   fault-injection story (`pitot_serve::FaultPlan` is the serving half).
 //!
 //! The headline experiment (`pitot-repro orchestration`): a deadline-aware
 //! policy driven by Pitot's conformal bounds at miscoverage ε keeps the
@@ -66,4 +71,4 @@ pub use job::{Job, JobStream};
 pub use policy::{BaselinePolicy, PlacementPolicy, PolicyKind};
 pub use predictor::{OraclePredictor, PitotPredictor, RuntimePredictor, ScalingPredictor};
 pub use report::{PolicyComparison, SimReport};
-pub use sim::{ClusterSim, ClusterView, PlatformLoad, RunningJob, DEFAULT_CAPACITY};
+pub use sim::{ClusterSim, ClusterView, PlatformLoad, RunningJob, SiteFault, DEFAULT_CAPACITY};

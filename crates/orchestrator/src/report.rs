@@ -57,6 +57,10 @@ pub struct SimReport {
     pub makespan_s: f64,
     /// Completed jobs per second of makespan.
     pub throughput: f64,
+    /// Jobs killed and re-queued by a site failure
+    /// ([`crate::ClusterSim::with_site_faults`]); zero in fault-free runs.
+    #[serde(default)]
+    pub preemptions: usize,
     /// Per-job outcomes (arrival order not guaranteed).
     pub outcomes: Vec<JobOutcome>,
 }
@@ -106,6 +110,7 @@ impl SimReport {
             } else {
                 0.0
             },
+            preemptions: 0,
             outcomes,
         }
     }

@@ -27,6 +27,20 @@ use std::collections::VecDeque;
 /// interference arities they saw.
 pub const DEFAULT_CAPACITY: usize = 4;
 
+/// A scheduled failure window for one platform: the platform goes dark at
+/// `at_s` (every job running there is killed and re-queued) and accepts
+/// placements again from `restore_s` on. Pure data on the simulated clock —
+/// the same plan always produces the same run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteFault {
+    /// Platform index that fails.
+    pub platform: usize,
+    /// Simulated time the failure begins.
+    pub at_s: f64,
+    /// Simulated time the platform accepts jobs again (must exceed `at_s`).
+    pub restore_s: f64,
+}
+
 /// A job currently executing on some platform.
 #[derive(Debug, Clone)]
 pub struct RunningJob {
@@ -102,6 +116,8 @@ pub struct ClusterSim<'a> {
     /// serving experiments' `e^0.3` runtime shift — into the closed loop
     /// without regenerating the testbed.
     work_scale: f64,
+    /// Scheduled platform failure windows (validated, per-platform disjoint).
+    faults: Vec<SiteFault>,
 }
 
 impl<'a> ClusterSim<'a> {
@@ -122,6 +138,7 @@ impl<'a> ClusterSim<'a> {
             capacity,
             allowed: None,
             work_scale: 1.0,
+            faults: Vec::new(),
         }
     }
 
@@ -161,6 +178,58 @@ impl<'a> ClusterSim<'a> {
             allowed[p] = true;
         }
         self.allowed = Some(allowed);
+        self
+    }
+
+    /// Injects scheduled platform failures into the run: at each fault's
+    /// `at_s` the platform goes dark, every job running there is killed and
+    /// pushed back to the head of the pending queue (fail-stop: progress is
+    /// lost, the re-placed job restarts from scratch, possibly elsewhere),
+    /// and the platform offers zero free slots until `restore_s`. Preempted
+    /// jobs are counted in [`SimReport::preemptions`]. Fault transitions are
+    /// ordinary simulation events, so runs stay deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault names a platform outside the testbed, has an empty
+    /// window (`restore_s <= at_s`), has a non-finite or negative `at_s`, or
+    /// overlaps another fault window on the same platform.
+    pub fn with_site_faults(mut self, faults: Vec<SiteFault>) -> Self {
+        let n = self.testbed.platforms().len();
+        for (k, f) in faults.iter().enumerate() {
+            assert!(
+                f.platform < n,
+                "SiteFault[{k}].platform = {} is outside the testbed; valid indices: 0..{n}",
+                f.platform
+            );
+            assert!(
+                f.at_s.is_finite() && f.at_s >= 0.0,
+                "SiteFault[{k}].at_s = {} must be a finite simulated time ≥ 0",
+                f.at_s
+            );
+            assert!(
+                f.restore_s.is_finite() && f.restore_s > f.at_s,
+                "SiteFault[{k}].restore_s = {} does not end a failure that begins at at_s = {}; \
+                 a fault window must be non-empty (use restore_s > at_s)",
+                f.restore_s,
+                f.at_s
+            );
+        }
+        let mut by_platform: Vec<(usize, f64, f64)> = faults
+            .iter()
+            .map(|f| (f.platform, f.at_s, f.restore_s))
+            .collect();
+        by_platform.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite times"));
+        for w in by_platform.windows(2) {
+            let (p0, a0, r0) = w[0];
+            let (p1, a1, _) = w[1];
+            assert!(
+                p0 != p1 || a1 >= r0,
+                "SiteFault windows [{a0}, {r0}) and [{a1}, ..) on platform {p0} overlap; \
+                 fault windows for one platform must be disjoint (merge them or stagger restore_s)"
+            );
+        }
+        self.faults = faults;
         self
     }
 
@@ -242,18 +311,49 @@ impl<'a> ClusterSim<'a> {
         let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(stream.len());
         let mut busy_platform_time = 0.0f64;
         let mut now = 0.0f64;
+        let mut preemptions = 0usize;
+
+        // Fault windows become ordinary simulation events: (time, platform,
+        // goes_down), time-sorted, consumed once each.
+        let mut transitions: Vec<(f64, usize, bool)> = self
+            .faults
+            .iter()
+            .flat_map(|f| [(f.at_s, f.platform, true), (f.restore_s, f.platform, false)])
+            .collect();
+        transitions.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut next_tr = 0usize;
+        let mut down = vec![false; n_platforms];
 
         let mut arrivals = stream.jobs().iter().peekable();
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum Kind {
+            Fault,
+            Arrival,
+            Completion,
+        }
 
         loop {
             let next_arrival = arrivals.peek().map(|j| j.arrival_s);
             let next_completion = self.earliest_completion(&running, now);
+            let next_fault = transitions.get(next_tr).map(|t| t.0);
 
-            let (event_time, is_arrival) = match (next_arrival, next_completion) {
-                (Some(a), Some((c, _, _))) if a <= c => (a, true),
-                (Some(a), None) => (a, true),
-                (_, Some((c, _, _))) => (c, false),
-                (None, None) => break,
+            // Earliest event wins; on ties faults apply first (an arrival at
+            // the instant a platform dies must see it dark), then arrivals.
+            let mut event: Option<(f64, Kind)> = None;
+            for (t, kind) in [
+                (next_fault, Kind::Fault),
+                (next_arrival, Kind::Arrival),
+                (next_completion.map(|(c, _, _)| c), Kind::Completion),
+            ] {
+                if let Some(t) = t {
+                    if event.is_none_or(|(bt, _)| t < bt) {
+                        event = Some((t, kind));
+                    }
+                }
+            }
+            let Some((event_time, kind)) = event else {
+                break;
             };
 
             // Advance all running jobs to the event time.
@@ -274,51 +374,89 @@ impl<'a> ClusterSim<'a> {
                 now = event_time;
             }
 
-            if is_arrival {
-                let job = arrivals.next().expect("peeked arrival").clone();
-                if !self.try_place(job.clone(), &mut running, policy, predictor, now) {
-                    pending.push_back(job);
-                }
-            } else {
-                // Complete every job that has (numerically) finished.
-                for (pidx, jobs) in running.iter_mut().enumerate() {
-                    let mut slot = 0;
-                    while slot < jobs.len() {
-                        if jobs[slot].remaining_work <= 1e-12 {
-                            let done = jobs.swap_remove(slot);
-                            let mut interferers = done.interferers_at_start;
-                            interferers.truncate(MAX_INTERFERERS);
-                            observer(
-                                Observation {
-                                    workload: done.job.workload,
-                                    platform: pidx as u32,
-                                    interferers,
-                                    runtime_s: (now - done.started_s).max(1e-6) as f32,
-                                },
-                                now,
-                            );
-                            outcomes.push(JobOutcome::new(done.job, pidx, now));
+            match kind {
+                Kind::Fault => {
+                    let (_, pidx, goes_down) = transitions[next_tr];
+                    next_tr += 1;
+                    down[pidx] = goes_down;
+                    if goes_down {
+                        // Fail-stop: kill everything on the platform and
+                        // re-queue at the head (oldest preempted job first)
+                        // so recovery placement prefers them.
+                        let killed = std::mem::take(&mut running[pidx]);
+                        preemptions += killed.len();
+                        for rj in killed.into_iter().rev() {
+                            pending.push_front(rj.job);
+                        }
+                    }
+                    // Either way capacity changed somewhere (preempted jobs
+                    // may fit elsewhere; a restore opens fresh slots).
+                    while let Some(job) = pending.front() {
+                        let job = job.clone();
+                        if self.try_place(job, &mut running, policy, predictor, now, &down) {
+                            pending.pop_front();
                         } else {
-                            slot += 1;
+                            break;
                         }
                     }
                 }
-                // Drain the FIFO queue while the head job places.
-                while let Some(job) = pending.front() {
-                    let job = job.clone();
-                    if self.try_place(job, &mut running, policy, predictor, now) {
-                        pending.pop_front();
-                    } else {
-                        break;
+                Kind::Arrival => {
+                    let job = arrivals.next().expect("peeked arrival").clone();
+                    if !self.try_place(job.clone(), &mut running, policy, predictor, now, &down) {
+                        pending.push_back(job);
+                    }
+                }
+                Kind::Completion => {
+                    // Complete every job that has (numerically) finished.
+                    for (pidx, jobs) in running.iter_mut().enumerate() {
+                        let mut slot = 0;
+                        while slot < jobs.len() {
+                            if jobs[slot].remaining_work <= 1e-12 {
+                                let done = jobs.swap_remove(slot);
+                                let mut interferers = done.interferers_at_start;
+                                interferers.truncate(MAX_INTERFERERS);
+                                observer(
+                                    Observation {
+                                        workload: done.job.workload,
+                                        platform: pidx as u32,
+                                        interferers,
+                                        runtime_s: (now - done.started_s).max(1e-6) as f32,
+                                    },
+                                    now,
+                                );
+                                outcomes.push(JobOutcome::new(done.job, pidx, now));
+                            } else {
+                                slot += 1;
+                            }
+                        }
+                    }
+                    // Drain the FIFO queue while the head job places.
+                    while let Some(job) = pending.front() {
+                        let job = job.clone();
+                        if self.try_place(job, &mut running, policy, predictor, now, &down) {
+                            pending.pop_front();
+                        } else {
+                            break;
+                        }
                     }
                 }
             }
 
-            // Deadlock guard: an idle cluster must accept the queue head.
+            // Deadlock guard: an idle cluster must accept the queue head —
+            // unless a fault transition is still pending, in which case the
+            // queue legitimately waits for a platform to come back.
             if pending.front().is_some()
                 && arrivals.peek().is_none()
                 && running.iter().all(|r| r.is_empty())
+                && next_tr >= transitions.len()
             {
+                assert!(
+                    down.iter()
+                        .enumerate()
+                        .any(|(p, &d)| !d && self.is_allowed(p)),
+                    "fault plan leaves every allowed platform dark with jobs still queued; \
+                     add a SiteFault restore_s before the last arrival drains"
+                );
                 panic!(
                     "policy {} refused to place job {} on an idle cluster",
                     policy.name(),
@@ -327,7 +465,9 @@ impl<'a> ClusterSim<'a> {
             }
         }
 
-        SimReport::from_outcomes(outcomes, now, busy_platform_time, n_platforms)
+        let mut report = SimReport::from_outcomes(outcomes, now, busy_platform_time, n_platforms);
+        report.preemptions = preemptions;
+        report
     }
 
     /// Attempts to place `job`; returns whether it started running.
@@ -338,10 +478,13 @@ impl<'a> ClusterSim<'a> {
         policy: &mut dyn PlacementPolicy,
         predictor: &dyn RuntimePredictor,
         now: f64,
+        down: &[bool],
     ) -> bool {
-        let view = self.view(running, now);
+        let view = self.view(running, now, down);
         match policy.place(&job, &view, predictor) {
-            Some(pidx) if running[pidx].len() < self.capacity && self.is_allowed(pidx) => {
+            Some(pidx)
+                if running[pidx].len() < self.capacity && self.is_allowed(pidx) && !down[pidx] =>
+            {
                 let work = self.sample_work(&job, pidx);
                 let interferers_at_start = running[pidx].iter().map(|r| r.job.workload).collect();
                 running[pidx].push(RunningJob {
@@ -413,7 +556,7 @@ impl<'a> ClusterSim<'a> {
         best
     }
 
-    fn view(&self, running: &[Vec<RunningJob>], now: f64) -> ClusterView {
+    fn view(&self, running: &[Vec<RunningJob>], now: f64, down: &[bool]) -> ClusterView {
         ClusterView {
             now_s: now,
             platforms: running
@@ -423,7 +566,7 @@ impl<'a> ClusterSim<'a> {
                     running: jobs.iter().map(|j| j.job.workload).collect(),
                     remaining_frac: jobs.iter().map(RunningJob::remaining_frac).collect(),
                     due_s: jobs.iter().map(|j| j.job.due_s()).collect(),
-                    free_slots: if self.is_allowed(pidx) {
+                    free_slots: if self.is_allowed(pidx) && !down[pidx] {
                         self.capacity.saturating_sub(jobs.len())
                     } else {
                         0
@@ -618,6 +761,147 @@ mod tests {
         assert_eq!(a.violations, b.violations);
         assert!((a.mean_response_s - b.mean_response_s).abs() < 1e-12);
         assert!((a.makespan_s - b.makespan_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn site_fault_preempts_requeues_and_still_completes_everything() {
+        let tb = setup();
+        // A small site under a steady stream, with one platform dying
+        // mid-run: its jobs must be preempted, re-queued, and finish
+        // elsewhere (or after restore) — none may be lost.
+        let jobs = JobStream::generate(&tb, 80, 0.2, 21);
+        let oracle = OraclePredictor::new(&tb);
+        let mut sim = ClusterSim::new(&tb)
+            .restrict_to(&[0, 1, 2])
+            .with_site_faults(vec![SiteFault {
+                platform: 1,
+                at_s: 2.0,
+                restore_s: 60.0,
+            }]);
+        let report = sim.run(&jobs, &mut BaselinePolicy::least_loaded(), &oracle);
+        assert_eq!(report.completed, 80, "preempted jobs must not be lost");
+        assert!(
+            report.preemptions > 0,
+            "the fault never caught a running job"
+        );
+        // No completion may land on the dark platform inside its window.
+        for o in &report.outcomes {
+            assert!(
+                !(o.platform == 1 && o.completed_s > 2.0 && o.completed_s < 60.0),
+                "job {} completed on platform 1 at {:.2}s while it was down",
+                o.job.id,
+                o.completed_s
+            );
+        }
+    }
+
+    #[test]
+    fn whole_site_outage_waits_for_restore_without_deadlocking() {
+        let tb = setup();
+        // Every allowed platform dark over a window that spans arrivals:
+        // the queue must wait for the restore, not trip the deadlock guard.
+        let jobs = JobStream::generate(&tb, 30, 0.1, 22);
+        let oracle = OraclePredictor::new(&tb);
+        let faults = vec![
+            SiteFault {
+                platform: 0,
+                at_s: 1.0,
+                restore_s: 50.0,
+            },
+            SiteFault {
+                platform: 1,
+                at_s: 1.0,
+                restore_s: 50.0,
+            },
+        ];
+        let mut sim = ClusterSim::new(&tb)
+            .restrict_to(&[0, 1])
+            .with_site_faults(faults);
+        let report = sim.run(&jobs, &mut BaselinePolicy::least_loaded(), &oracle);
+        assert_eq!(report.completed, 30);
+        assert!(
+            report.makespan_s >= 50.0,
+            "work cannot finish before restore"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let tb = setup();
+        let jobs = JobStream::generate(&tb, 60, 0.3, 23);
+        let oracle = OraclePredictor::new(&tb);
+        let faults = || {
+            vec![SiteFault {
+                platform: 2,
+                at_s: 3.0,
+                restore_s: 20.0,
+            }]
+        };
+        let a = ClusterSim::new(&tb).with_site_faults(faults()).run(
+            &jobs,
+            &mut BaselinePolicy::greedy_fastest(),
+            &oracle,
+        );
+        let b = ClusterSim::new(&tb).with_site_faults(faults()).run(
+            &jobs,
+            &mut BaselinePolicy::greedy_fastest(),
+            &oracle,
+        );
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert_eq!(a.violations, b.violations);
+        assert!((a.mean_response_s - b.mean_response_s).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid indices")]
+    fn fault_validation_rejects_unknown_platform() {
+        let tb = setup();
+        let _ = ClusterSim::new(&tb).with_site_faults(vec![SiteFault {
+            platform: usize::MAX,
+            at_s: 0.0,
+            restore_s: 1.0,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "restore_s > at_s")]
+    fn fault_validation_rejects_empty_window() {
+        let tb = setup();
+        let _ = ClusterSim::new(&tb).with_site_faults(vec![SiteFault {
+            platform: 0,
+            at_s: 5.0,
+            restore_s: 5.0,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be disjoint")]
+    fn fault_validation_rejects_overlapping_windows() {
+        let tb = setup();
+        let _ = ClusterSim::new(&tb).with_site_faults(vec![
+            SiteFault {
+                platform: 0,
+                at_s: 0.0,
+                restore_s: 10.0,
+            },
+            SiteFault {
+                platform: 0,
+                at_s: 5.0,
+                restore_s: 15.0,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite simulated time")]
+    fn fault_validation_rejects_negative_start() {
+        let tb = setup();
+        let _ = ClusterSim::new(&tb).with_site_faults(vec![SiteFault {
+            platform: 0,
+            at_s: -1.0,
+            restore_s: 1.0,
+        }]);
     }
 
     #[test]

@@ -170,6 +170,21 @@ pub struct AdmissionStats {
     /// Shed queries whose audit record was evicted before a realized
     /// runtime arrived (see [`AdmissionConfig::max_shed_pending`]).
     pub shed_unaudited: usize,
+    /// Queries admitted on a *degraded* bound — one served under stale or
+    /// local-fallback calibration (see
+    /// [`AdmissionQueue::decide_tagged`]). Subset of
+    /// [`AdmissionStats::admitted`].
+    pub degraded_admitted: usize,
+    /// Queries shed (for any reason) while the bound was degraded. Subset
+    /// of [`AdmissionStats::shed`].
+    pub degraded_shed: usize,
+    /// Degraded-admitted queries that met their deadline. Subset of
+    /// [`AdmissionStats::slo_met`].
+    pub degraded_slo_met: usize,
+    /// Degraded-admitted queries that overran their deadline — the SLO
+    /// loss attributable to deciding on degraded calibrations. Subset of
+    /// [`AdmissionStats::slo_missed`].
+    pub degraded_slo_missed: usize,
 }
 
 impl AdmissionStats {
@@ -215,6 +230,9 @@ struct Pending {
     seq: u64,
     decision: AdmissionDecision,
     deadline_s: f64,
+    /// Whether the bound behind the decision was degraded (stale or
+    /// local-fallback calibration) — resolves into the degraded SLO audit.
+    degraded: bool,
 }
 
 /// The admission queue: decides admit/shed per query and scores decisions
@@ -288,6 +306,27 @@ impl AdmissionQueue {
     /// Panics if `id` is already pending, or `bound_s`/`deadline_s` is not
     /// finite.
     pub fn decide(&mut self, id: u64, bound_s: f64, deadline_s: f64) -> AdmissionDecision {
+        self.decide_tagged(id, bound_s, deadline_s, false)
+    }
+
+    /// [`AdmissionQueue::decide`] with a degradation tag: pass
+    /// `degraded = true` when the bound came from a stale or
+    /// local-fallback calibration (see `Prediction::degraded` in the serve
+    /// loop). The decision arithmetic is identical; the tag routes the
+    /// decision — and its later resolution — into the
+    /// `degraded_*` counters so degraded-mode SLO loss is attributable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already pending, or `bound_s`/`deadline_s` is not
+    /// finite.
+    pub fn decide_tagged(
+        &mut self,
+        id: u64,
+        bound_s: f64,
+        deadline_s: f64,
+        degraded: bool,
+    ) -> AdmissionDecision {
         assert!(bound_s.is_finite(), "bound {bound_s} must be finite");
         assert!(
             deadline_s.is_finite(),
@@ -312,6 +351,13 @@ impl AdmissionQueue {
             self.backlog += 1;
             AdmissionDecision::Admit
         };
+        if degraded {
+            if decision.admitted() {
+                self.stats.degraded_admitted += 1;
+            } else {
+                self.stats.degraded_shed += 1;
+            }
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending.insert(
@@ -320,6 +366,7 @@ impl AdmissionQueue {
                 seq,
                 decision,
                 deadline_s,
+                degraded,
             },
         );
         if !decision.admitted() {
@@ -358,8 +405,14 @@ impl AdmissionQueue {
                 self.backlog -= 1;
                 if met {
                     self.stats.slo_met += 1;
+                    if p.degraded {
+                        self.stats.degraded_slo_met += 1;
+                    }
                 } else {
                     self.stats.slo_missed += 1;
+                    if p.degraded {
+                        self.stats.degraded_slo_missed += 1;
+                    }
                 }
                 if realized_s.is_finite() && realized_s >= 0.0 {
                     self.runtime_ewma_s = Some(match self.runtime_ewma_s {
@@ -626,6 +679,36 @@ mod tests {
             ..AdmissionConfig::default()
         });
         assert!(m.contains("AdmissionConfig.max_shed_pending"), "{m}");
+    }
+
+    #[test]
+    fn degraded_decisions_audit_separately() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::default());
+        // A clean admit and a clean shed touch no degraded counter.
+        assert_eq!(q.decide(1, 2.0, 5.0), AdmissionDecision::Admit);
+        q.decide(2, 9.0, 5.0);
+        q.resolve(1, 3.0);
+        q.resolve(2, 1.0);
+        assert_eq!(q.stats().degraded_admitted, 0);
+        assert_eq!(q.stats().degraded_shed, 0);
+        // Degraded admit that meets, degraded admit that misses, degraded
+        // shed: each lands in its own counter AND the base counters.
+        assert_eq!(q.decide_tagged(3, 2.0, 5.0, true), AdmissionDecision::Admit);
+        assert_eq!(q.decide_tagged(4, 2.0, 5.0, true), AdmissionDecision::Admit);
+        assert_eq!(
+            q.decide_tagged(5, 9.0, 5.0, true),
+            AdmissionDecision::Shed(ShedReason::DeadlineInfeasible)
+        );
+        q.resolve(3, 3.0);
+        q.resolve(4, 7.0);
+        let s = *q.stats();
+        assert_eq!(s.degraded_admitted, 2);
+        assert_eq!(s.degraded_shed, 1);
+        assert_eq!(s.degraded_slo_met, 1);
+        assert_eq!(s.degraded_slo_missed, 1);
+        assert_eq!(s.admitted, 3, "degraded counters are subsets");
+        assert_eq!(s.slo_missed, 1);
+        assert_eq!(s.shed_infeasible, 2);
     }
 
     #[test]

@@ -54,6 +54,21 @@ pub struct ServeConfig {
     /// since the last build; between rebuilds, fine-tunes are pure
     /// [`pitot::TrainContext::resume`] calls.
     pub rebuild_growth: f32,
+    /// Staleness tolerance of an installed calibration, in local window
+    /// pushes (the eviction clock): once more than this many observations
+    /// arrive after an [`crate::PitotServer::install_calibration`] /
+    /// refresh without a newer install, the server degrades to a local
+    /// fallback calibration fit on its own window at the widened
+    /// miscoverage `epsilon × stale_epsilon_factor`. `0` (the default)
+    /// disables staleness tracking — the installed calibration is trusted
+    /// forever. Only meaningful when installs come from outside (fleet
+    /// mode); a self-refreshing server never goes stale.
+    pub staleness_threshold: usize,
+    /// Miscoverage multiplier of the stale-fallback calibration, in
+    /// `(0, 1]`: the fallback fits at `epsilon × stale_epsilon_factor`,
+    /// honestly *widening* intervals to reflect that the local window is a
+    /// shard, not the fleet (1.0 = no widening; default 0.5 halves ε).
+    pub stale_epsilon_factor: f32,
 }
 
 impl ServeConfig {
@@ -77,6 +92,8 @@ impl ServeConfig {
             fine_tune_retain: 8192,
             fine_tune_cooldown: 256,
             rebuild_growth: 1.5,
+            staleness_threshold: 0,
+            stale_epsilon_factor: 0.5,
         };
         cfg.validate();
         cfg
@@ -137,6 +154,25 @@ impl ServeConfig {
              rebuild factor must be ≥ 1 (1.0 = rebuild on every fine-tune; \
              default: 1.5)",
             self.rebuild_growth
+        );
+        assert!(
+            self.stale_epsilon_factor > 0.0 && self.stale_epsilon_factor <= 1.0,
+            "ServeConfig.stale_epsilon_factor = {} is invalid: the \
+             degraded-mode miscoverage multiplier must be in (0, 1] (the \
+             fallback fits at ε × factor, so values > 1 would *narrow* \
+             stale bounds; 1.0 = no widening, default: 0.5; set \
+             staleness_threshold = 0 to disable the fallback entirely)",
+            self.stale_epsilon_factor
+        );
+        assert!(
+            self.staleness_threshold == 0 || self.staleness_threshold >= self.drift_min,
+            "ServeConfig.staleness_threshold = {} is invalid: a nonzero \
+             staleness tolerance below drift_min = {} would degrade to a \
+             local fallback fit on fewer observations than the drift \
+             monitor itself trusts; use staleness_threshold ≥ drift_min, \
+             or 0 to disable staleness tracking (the default)",
+            self.staleness_threshold,
+            self.drift_min
         );
     }
 }
@@ -348,5 +384,46 @@ mod tests {
             c.validate();
         });
         assert!(m.contains("ServeConfig.rebuild_growth = 0.5"), "{m}");
+
+        let m = message(|| {
+            let c = ServeConfig {
+                stale_epsilon_factor: 1.5,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.stale_epsilon_factor = 1.5"), "{m}");
+        assert!(m.contains("(0, 1]"), "valid range: {m}");
+        assert!(m.contains("staleness_threshold = 0"), "alternative: {m}");
+
+        let m = message(|| {
+            let c = ServeConfig {
+                staleness_threshold: 8,
+                drift_min: 64,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.staleness_threshold = 8"), "{m}");
+        assert!(m.contains("drift_min = 64"), "constraint source: {m}");
+        assert!(m.contains("≥ drift_min"), "fix: {m}");
+    }
+
+    /// The staleness knobs' accepted edges: disabled, exactly drift_min,
+    /// and a factor of exactly 1 all validate.
+    #[test]
+    fn staleness_knob_edges_validate() {
+        let c = ServeConfig {
+            staleness_threshold: 0,
+            stale_epsilon_factor: 1.0,
+            ..ServeConfig::default()
+        };
+        c.validate();
+        let c = ServeConfig {
+            staleness_threshold: 64,
+            drift_min: 64,
+            ..ServeConfig::default()
+        };
+        c.validate();
     }
 }

@@ -21,13 +21,44 @@
 //! Everything stays deterministic: sharding is a pure hash, merges happen on
 //! a fixed observation cadence, and one event sequence yields one output
 //! sequence regardless of replica count (each replica's stream is disjoint).
+//!
+//! # Failure domains and degraded mode
+//!
+//! [`FleetServer::with_faults`] installs a [`FaultPlan`] — a seeded,
+//! schedule-based fault injector keyed to the fleet-wide observation
+//! counter (no wall-clock anywhere). Under faults the fleet degrades along
+//! a ladder instead of failing:
+//!
+//! 1. **Fleet calibration** (healthy): coordinator merges on cadence.
+//! 2. **Gossip calibration** (coordinator outage): live replicas pair up
+//!    (seeded shuffle), exchange CRDT window summaries, and each refits
+//!    from its own gossip view — converging toward the coordinator's union
+//!    fit (see the `gossip` property suite in `pitot-conformal`).
+//! 3. **Stale-local fallback** (outage with gossip disabled, or a replica
+//!    cut off long enough): once the installed calibration's staleness
+//!    exceeds [`crate::ServeConfig::staleness_threshold`], a replica serves
+//!    from its own window at the widened miscoverage
+//!    `ε × stale_epsilon_factor` — honestly wider bounds, tagged
+//!    [`Prediction::degraded`] all the way into the admission audit.
+//!
+//! Crashed replicas lose their shard's observations (counted, audited) and
+//! their queries fail over to the next live replica; on rejoin they replay
+//! the coordinator's held window summary
+//! ([`pitot_conformal::MergeableWindow::replica_entries`]) and restart
+//! *warm*. Dropped merge summaries are retried with bounded seeded
+//! backoff; delayed ones are absorbed late (the CRDT clock makes stale
+//! deliveries harmless). Every fault window opens a [`DegradedWindow`]
+//! audit attributing coverage/SLO loss to the fault that caused it.
 
 use crate::admission::{AdmissionDecision, AdmissionQueue};
-use crate::config::FleetConfig;
+use crate::config::{FleetConfig, ServeConfig};
+use crate::fault::{DegradedCause, DegradedWindow, FaultPlan};
 use crate::server::{ObservedFeedback, PitotServer, Prediction};
 use pitot::TrainedPitot;
 use pitot_conformal::{MergeableWindow, PooledConformal, PredictionSet};
 use pitot_testbed::{Dataset, Observation};
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// A placement question with an SLO attached: "will `workload` on
 /// `platform` next to `interferers` finish within `deadline_s` seconds?"
@@ -59,6 +90,10 @@ pub struct AdmissionOutcome {
     /// The prediction the decision was made on; `prediction.bound_s` is the
     /// conformal upper edge compared against the deadline.
     pub prediction: Prediction,
+    /// Whether the query's home shard replica was down and the answer came
+    /// from a failover replica instead (same fleet calibration, different
+    /// server). Always `false` without an installed [`FaultPlan`].
+    pub failover: bool,
 }
 
 /// Aggregated fleet counters: per-replica serving stats summed, plus the
@@ -73,8 +108,40 @@ pub struct FleetStats {
     pub covered: usize,
     /// Observations judged prequentially.
     pub bounded: usize,
-    /// Coordinator merge rounds performed.
+    /// Coordinator merge rounds that actually refit and reinstalled the
+    /// fleet calibration.
     pub merges: usize,
+    /// Coordinator rounds skipped because no replica window had advanced
+    /// since the last merge (the fleet calibration clock stood still, so
+    /// reinstalling identical clones everywhere would be pure waste).
+    pub skipped_installs: usize,
+    /// Pairwise gossip rounds run while the coordinator was unreachable.
+    pub gossip_rounds: usize,
+    /// Observations lost because their shard's replica was down.
+    pub lost_observations: usize,
+    /// Deadline queries answered by a failover replica (home shard down).
+    pub failover_queries: usize,
+    /// Merge summaries dropped by the fault plan (initial sends and failed
+    /// retries both count).
+    pub dropped_summaries: usize,
+    /// Merge summaries delayed by the fault plan (absorbed late).
+    pub delayed_summaries: usize,
+    /// Dropped summaries later delivered by a successful retry.
+    pub retried_summaries: usize,
+    /// Dropped summaries abandoned after
+    /// [`FaultPlan::max_retries`] failed retries (the next scheduled merge
+    /// round picks the replica up again).
+    pub merge_giveups: usize,
+    /// Crashed replicas that rejoined warm (window replayed from the
+    /// coordinator's held summary).
+    pub recoveries: usize,
+    /// Observations judged under a stale-local fallback calibration,
+    /// summed across replicas.
+    pub degraded_bounded: usize,
+    /// Degraded-judged observations the widened fallback covered.
+    pub degraded_covered: usize,
+    /// Stale-mode fallback refits performed across replicas.
+    pub fallback_refits: usize,
     /// Admission decision counters.
     pub admission: crate::admission::AdmissionStats,
 }
@@ -87,6 +154,103 @@ impl FleetStats {
         } else {
             self.covered as f32 / self.bounded as f32
         }
+    }
+}
+
+/// A dropped summary's retry bookkeeping: how many retries have failed and
+/// when the next one becomes eligible (fleet-wide observation count, with
+/// exponential backoff plus seeded jitter).
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    attempts: u32,
+    next_at: usize,
+}
+
+/// A delayed summary in flight: absorbed once the coordinator's round
+/// counter reaches `due_round`.
+#[derive(Debug)]
+struct DelayedSummary {
+    due_round: usize,
+    replica: u64,
+    summary: MergeableWindow,
+}
+
+/// Everything needed to rebuild a crashed replica from scratch.
+struct FleetTemplate {
+    trained: TrainedPitot,
+    dataset: Dataset,
+    serve_cfg: ServeConfig,
+}
+
+/// Live state of an installed [`FaultPlan`]: which replicas are down, what
+/// is mid-retry or mid-delay, per-replica gossip views, and the degraded
+/// window audit log. All mutation happens in the fleet's single-threaded
+/// control path, so every RNG draw has a fixed order — determinism across
+/// `PITOT_THREADS` is preserved by construction.
+struct FaultRuntime {
+    plan: FaultPlan,
+    rng: ChaCha8Rng,
+    down: Vec<bool>,
+    /// Per `plan.crashes` entry: whether the crash / rejoin has fired.
+    crash_done: Vec<bool>,
+    rejoin_done: Vec<bool>,
+    /// Per `plan.crashes` entry: index of its open audit window.
+    crash_audit: Vec<Option<usize>>,
+    /// Per replica: pending retry of a dropped summary.
+    retry: Vec<Option<RetryState>>,
+    delayed: Vec<DelayedSummary>,
+    /// Per replica: its gossip-converged view of the fleet (used only
+    /// during coordinator outages).
+    gossip: Vec<MergeableWindow>,
+    audits: Vec<DegradedWindow>,
+    /// Index of the currently open coordinator-outage audit, if any.
+    outage_open: Option<usize>,
+    /// Coordinator merge rounds seen (successful or skipped) — the clock
+    /// delayed summaries are due against.
+    round: usize,
+    gossip_rounds: usize,
+    lost_observations: usize,
+    failover_queries: usize,
+    dropped_summaries: usize,
+    delayed_summaries: usize,
+    retried_summaries: usize,
+    merge_giveups: usize,
+    recoveries: usize,
+}
+
+impl FaultRuntime {
+    fn new(plan: FaultPlan, replicas: usize, n_heads: usize) -> Self {
+        let n_crashes = plan.crashes.len();
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(plan.seed ^ 0xFA_07_1C_A5),
+            down: vec![false; replicas],
+            crash_done: vec![false; n_crashes],
+            rejoin_done: vec![false; n_crashes],
+            crash_audit: vec![None; n_crashes],
+            retry: vec![None; replicas],
+            delayed: Vec::new(),
+            gossip: (0..replicas)
+                .map(|_| MergeableWindow::empty(n_heads))
+                .collect(),
+            audits: Vec::new(),
+            outage_open: None,
+            round: 0,
+            gossip_rounds: 0,
+            lost_observations: 0,
+            failover_queries: 0,
+            dropped_summaries: 0,
+            delayed_summaries: 0,
+            retried_summaries: 0,
+            merge_giveups: 0,
+            recoveries: 0,
+            plan,
+        }
+    }
+
+    /// The most recently opened still-open degraded window (attribution
+    /// target when several overlap).
+    fn open_audit(&mut self) -> Option<&mut DegradedWindow> {
+        self.audits.iter_mut().rev().find(|a| a.until_obs.is_none())
     }
 }
 
@@ -103,6 +267,17 @@ pub struct FleetServer {
     xis: Vec<f32>,
     since_merge: usize,
     merges: usize,
+    skipped_installs: usize,
+    /// Fleet-wide observations consumed (the fault schedule's clock).
+    obs_seen: usize,
+    /// Present iff a fault plan is installed (crash recovery needs to
+    /// rebuild replicas from scratch).
+    template: Option<Box<FleetTemplate>>,
+    faults: Option<FaultRuntime>,
+    /// Counters inherited from replaced (crashed) replica instances, so
+    /// fleet totals survive a rejoin. Only the per-replica-summed fields
+    /// are ever nonzero here.
+    retired: FleetStats,
 }
 
 impl std::fmt::Debug for FleetServer {
@@ -148,7 +323,42 @@ impl FleetServer {
             xis,
             since_merge: 0,
             merges: 0,
+            skipped_installs: 0,
+            obs_seen: 0,
+            template: None,
+            faults: None,
+            retired: FleetStats::default(),
         }
+    }
+
+    /// [`FleetServer::new`] with a deterministic fault schedule installed
+    /// (see the module docs for the degradation ladder the fleet walks
+    /// under it). Keeps a template of the trained model + dataset so
+    /// crashed replicas can be rebuilt and rejoined warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet configuration or the fault plan is inconsistent
+    /// (see [`FaultPlan::validate`]; crash targets are checked against
+    /// `cfg.replicas`).
+    pub fn with_faults(
+        trained: TrainedPitot,
+        dataset: &Dataset,
+        cfg: FleetConfig,
+        plan: FaultPlan,
+    ) -> Self {
+        plan.validate(cfg.replicas);
+        let mut fleet = Self::new(trained.clone(), dataset, cfg);
+        let mut serve_cfg = fleet.cfg.serve.clone();
+        serve_cfg.refresh_every = usize::MAX;
+        let n_heads = trained.model.n_heads();
+        fleet.template = Some(Box::new(FleetTemplate {
+            trained,
+            dataset: dataset.clone(),
+            serve_cfg,
+        }));
+        fleet.faults = Some(FaultRuntime::new(plan, fleet.replicas.len(), n_heads));
+        fleet
     }
 
     /// Number of replicas.
@@ -192,10 +402,12 @@ impl FleetServer {
 
     /// Routes one observation to its shard at simulated time `at_s` (must
     /// be monotone non-decreasing per replica). Returns the shard index and
-    /// the replica's prequential feedback. Every
+    /// the replica's prequential feedback — `None` when the shard's
+    /// replica is down under the installed fault plan (the observation is
+    /// lost; counted in [`FleetStats::lost_observations`]). Every
     /// [`FleetConfig::merge_every`]-th observation triggers a coordinator
-    /// merge + fleet-wide install.
-    pub fn observe(&mut self, at_s: f64, obs: Observation) -> (usize, ObservedFeedback) {
+    /// merge + fleet-wide install (or a gossip round during an outage).
+    pub fn observe(&mut self, at_s: f64, obs: Observation) -> (usize, Option<ObservedFeedback>) {
         let r = self.shard_for(obs.workload, obs.platform);
         (r, self.observe_at(r, at_s, obs))
     }
@@ -208,16 +420,134 @@ impl FleetServer {
     ///
     /// Panics if `replica` is out of range, or as
     /// [`PitotServer::on_event`] panics.
-    pub fn observe_at(&mut self, replica: usize, at_s: f64, obs: Observation) -> ObservedFeedback {
+    pub fn observe_at(
+        &mut self,
+        replica: usize,
+        at_s: f64,
+        obs: Observation,
+    ) -> Option<ObservedFeedback> {
+        self.tick();
+        if self.faults.as_ref().is_some_and(|f| f.down[replica]) {
+            let f = self.faults.as_mut().expect("just checked");
+            f.lost_observations += 1;
+            if let Some(a) = f.open_audit() {
+                a.lost_observations += 1;
+            }
+            self.after_observation();
+            return None;
+        }
         let fb = self.replicas[replica]
             .on_event(at_s, crate::server::Event::Observe(obs))
             .observed
             .expect("observation events produce feedback");
+        if let Some(f) = &mut self.faults {
+            if let Some(a) = f.open_audit() {
+                a.bounded += 1;
+                if fb.covered {
+                    a.covered += 1;
+                }
+            }
+        }
+        self.after_observation();
+        Some(fb)
+    }
+
+    /// Per-observation control-path work after the event itself: process
+    /// due merge retries, then run the cadence merge.
+    fn after_observation(&mut self) {
+        self.process_due_retries();
         self.since_merge += 1;
         if self.since_merge >= self.cfg.merge_every {
             self.merge_now();
         }
-        fb
+    }
+
+    /// Advances the fleet-wide observation clock and applies every fault
+    /// transition due at it: outage audit opening, crashes (replica
+    /// replaced by a tombstone of `down = true`; its gossip view and retry
+    /// state cleared), and rejoins (replica rebuilt from the template,
+    /// window replayed warm from the coordinator's held summary, current
+    /// fleet calibration installed).
+    fn tick(&mut self) {
+        self.obs_seen += 1;
+        let obs = self.obs_seen;
+        let mut faults = match self.faults.take() {
+            Some(f) => f,
+            None => return,
+        };
+        if faults.plan.coordinator_down_at(obs) && faults.outage_open.is_none() {
+            faults.outage_open = Some(faults.audits.len());
+            faults.audits.push(DegradedWindow {
+                cause: DegradedCause::CoordinatorOutage,
+                from_obs: obs,
+                until_obs: None,
+                bounded: 0,
+                covered: 0,
+                lost_observations: 0,
+                degraded_decisions: 0,
+                shed: 0,
+                slo_missed: 0,
+            });
+        }
+        for k in 0..faults.plan.crashes.len() {
+            let c = faults.plan.crashes[k];
+            if !faults.crash_done[k] && obs >= c.at && obs < c.rejoin_at {
+                faults.crash_done[k] = true;
+                faults.down[c.replica] = true;
+                faults.retry[c.replica] = None;
+                faults.gossip[c.replica] = MergeableWindow::empty(self.merged.n_heads());
+                faults.crash_audit[k] = Some(faults.audits.len());
+                faults.audits.push(DegradedWindow {
+                    cause: DegradedCause::ReplicaCrash { replica: c.replica },
+                    from_obs: obs,
+                    until_obs: None,
+                    bounded: 0,
+                    covered: 0,
+                    lost_observations: 0,
+                    degraded_decisions: 0,
+                    shed: 0,
+                    slo_missed: 0,
+                });
+            }
+            if !faults.rejoin_done[k] && obs >= c.rejoin_at && faults.crash_done[k] {
+                faults.rejoin_done[k] = true;
+                faults.down[c.replica] = false;
+                self.rejoin_replica(c.replica);
+                if let Some(a) = faults.crash_audit[k].take() {
+                    faults.audits[a].until_obs = Some(obs);
+                }
+                faults.recoveries += 1;
+            }
+        }
+        self.faults = Some(faults);
+    }
+
+    /// Rebuilds a crashed replica from the template and rejoins it warm:
+    /// replay the coordinator's held window summary (score-identical to
+    /// the pre-crash window), then install the current fleet calibration.
+    fn rejoin_replica(&mut self, r: usize) {
+        // The crashed instance's counters survive into the fleet totals.
+        let rs = self.replicas[r].stats();
+        self.retired.observations += rs.observations;
+        self.retired.queries += rs.queries;
+        self.retired.covered += rs.covered;
+        self.retired.bounded += rs.bounded;
+        self.retired.degraded_bounded += rs.degraded_bounded;
+        self.retired.degraded_covered += rs.degraded_covered;
+        self.retired.fallback_refits += rs.fallback_refits;
+        let t = self
+            .template
+            .as_ref()
+            .expect("fault plans are installed with a template");
+        let mut server =
+            PitotServer::new(t.trained.clone(), t.dataset.clone(), t.serve_cfg.clone());
+        if let Some((clock, entries)) = self.merged.replica_entries(r as u64) {
+            server.restore_window(entries, clock);
+        }
+        if let Some(c) = &self.fleet_conformal {
+            server.install_calibration(c.clone());
+        }
+        self.replicas[r] = server;
     }
 
     /// Answers one deadline query and decides admission by the conformal
@@ -230,16 +560,45 @@ impl FleetServer {
     /// Panics if `q.id` is already pending, or on an out-of-catalog
     /// workload/platform/interferer.
     pub fn deadline_query(&mut self, q: DeadlineQuery) -> AdmissionOutcome {
-        let replica = self.shard_for(q.workload, q.platform);
+        let home = self.shard_for(q.workload, q.platform);
+        let mut replica = home;
+        let mut failover = false;
+        if let Some(f) = &self.faults {
+            if f.down[home] {
+                let n = self.replicas.len();
+                replica = (1..n)
+                    .map(|d| (home + d) % n)
+                    .find(|&r| !f.down[r])
+                    .expect("deadline_query: every replica in the fleet is down");
+                failover = true;
+            }
+        }
         let prediction = self.replicas[replica].query_now(q.workload, q.platform, &q.interferers);
-        let decision = self
-            .admission
-            .decide(q.id, f64::from(prediction.bound_s), q.deadline_s);
+        let decision = self.admission.decide_tagged(
+            q.id,
+            f64::from(prediction.bound_s),
+            q.deadline_s,
+            prediction.degraded,
+        );
+        if let Some(f) = &mut self.faults {
+            if failover {
+                f.failover_queries += 1;
+            }
+            if let Some(a) = f.open_audit() {
+                if prediction.degraded {
+                    a.degraded_decisions += 1;
+                }
+                if !decision.admitted() {
+                    a.shed += 1;
+                }
+            }
+        }
         AdmissionOutcome {
             id: q.id,
             replica,
             decision,
             prediction,
+            failover,
         }
     }
 
@@ -248,32 +607,56 @@ impl FleetServer {
     /// would-have-met/missed audit for shed ones). Returns whether the
     /// query had been admitted, or `None` for an unknown id.
     pub fn resolve(&mut self, id: u64, realized_s: f64) -> Option<bool> {
-        self.admission.resolve(id, realized_s)
+        let missed_before = self.admission.stats().slo_missed;
+        let res = self.admission.resolve(id, realized_s);
+        if self.admission.stats().slo_missed > missed_before {
+            if let Some(f) = &mut self.faults {
+                if let Some(a) = f.open_audit() {
+                    a.slo_missed += 1;
+                }
+            }
+        }
+        res
     }
 
-    /// Runs a coordinator merge round now: absorbs every replica's window
-    /// summary into the converged fleet view, fits the fleet calibration on
-    /// the union, and installs it into every replica. A no-op (beyond
-    /// resetting the cadence) while every window is still empty.
+    /// Runs a merge round now. With the coordinator reachable this is a
+    /// coordinator round: absorb every live replica's window summary into
+    /// the converged fleet view (subject to the fault plan's drop/delay
+    /// draws), fit the fleet calibration on the union, and install it into
+    /// every live replica — unless **no** window advanced since the last
+    /// round, in which case the refit and the installs are skipped
+    /// entirely (the fleet calibration clock stood still; counted in
+    /// [`FleetStats::skipped_installs`]). During a coordinator outage the
+    /// round degrades to pairwise gossip (see the module docs) when the
+    /// plan enables it, or does nothing beyond resetting the cadence.
     pub fn merge_now(&mut self) {
         self.since_merge = 0;
-        for (r, replica) in self.replicas.iter().enumerate() {
-            // Skip replicas whose windows have not advanced since the
-            // last merge: their held run is already current, and a
-            // snapshot would deep-copy the sorted slices for nothing.
-            if self.merged.replica_clock(r as u64) == Some(replica.window_clock()) {
-                continue;
+        if self.coordinator_down() {
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.plan.gossip_during_outage)
+            {
+                self.gossip_round();
             }
-            self.merged.absorb(&replica.window_summary(r as u64));
-        }
-        if self.merged.is_empty() {
             return;
         }
-        let scored = self.merged.to_scored();
-        // Fleet head selection never uses a validation set (FleetConfig
-        // rejects TightestOnValidation), so an empty selection set is fine.
-        let empty_preds: Vec<Vec<f32>> = vec![Vec::new(); self.merged.n_heads()];
-        let conformal = PooledConformal::fit_scored(
+        self.coordinator_round();
+    }
+
+    fn coordinator_down(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.plan.coordinator_down_at(self.obs_seen))
+    }
+
+    /// Fits the fleet calibration on a merged view's union. Fleet head
+    /// selection never uses a validation set (FleetConfig rejects
+    /// TightestOnValidation), so an empty selection set is fine.
+    fn fit_union(&self, merged: &MergeableWindow) -> PooledConformal {
+        let scored = merged.to_scored();
+        let empty_preds: Vec<Vec<f32>> = vec![Vec::new(); merged.n_heads()];
+        PooledConformal::fit_scored(
             &scored,
             &PredictionSet {
                 predictions: &empty_preds,
@@ -283,12 +666,212 @@ impl FleetServer {
             &self.xis,
             self.cfg.serve.selection,
             self.cfg.serve.epsilon,
-        );
-        for replica in &mut self.replicas {
+        )
+    }
+
+    fn coordinator_round(&mut self) {
+        let mut changed = false;
+        let mut faults = self.faults.take();
+        if let Some(f) = &mut faults {
+            f.round += 1;
+            // Deliver delayed summaries that have come due. The CRDT clock
+            // makes a stale delivery harmless: absorb only changes the
+            // held run when the delayed snapshot is still the newest.
+            let round = f.round;
+            let mut still_delayed = Vec::new();
+            for d in f.delayed.drain(..) {
+                if d.due_round > round {
+                    still_delayed.push(d);
+                    continue;
+                }
+                let before = self.merged.replica_clock(d.replica);
+                self.merged.absorb(&d.summary);
+                changed |= self.merged.replica_clock(d.replica) != before;
+            }
+            f.delayed = still_delayed;
+        }
+        for r in 0..self.replicas.len() {
+            if let Some(f) = &faults {
+                if f.down[r] {
+                    continue;
+                }
+            }
+            // Skip replicas whose windows have not advanced since the
+            // last merge: their held run is already current, and a
+            // snapshot would deep-copy the sorted slices for nothing.
+            if self.merged.replica_clock(r as u64) == Some(self.replicas[r].window_clock()) {
+                continue;
+            }
+            if let Some(f) = &mut faults {
+                if f.plan.drop_prob > 0.0 || f.plan.delay_prob > 0.0 {
+                    let u: f32 = f.rng.gen_range(0.0f32..1.0);
+                    if u < f.plan.drop_prob {
+                        // Dropped in flight: schedule a bounded retry.
+                        f.dropped_summaries += 1;
+                        if f.plan.max_retries > 0 && f.retry[r].is_none() {
+                            let jitter = f.rng.gen_range(0..f.plan.retry_backoff);
+                            f.retry[r] = Some(RetryState {
+                                attempts: 0,
+                                next_at: self.obs_seen + f.plan.retry_backoff + jitter,
+                            });
+                        }
+                        continue;
+                    }
+                    if u < f.plan.drop_prob + f.plan.delay_prob {
+                        // Delayed in flight: snapshot now, absorb later.
+                        let due = f.round + f.rng.gen_range(1..=f.plan.delay_rounds_max);
+                        f.delayed.push(DelayedSummary {
+                            due_round: due,
+                            replica: r as u64,
+                            summary: self.replicas[r].window_summary(r as u64),
+                        });
+                        f.delayed_summaries += 1;
+                        continue;
+                    }
+                }
+                // Summary arrived cleanly; any pending retry is obsolete.
+                f.retry[r] = None;
+            }
+            self.merged
+                .absorb(&self.replicas[r].window_summary(r as u64));
+            changed = true;
+        }
+        self.faults = faults;
+        if self.merged.is_empty() {
+            return;
+        }
+        if !changed && self.fleet_conformal.is_some() {
+            // Nothing advanced: the refit would reproduce the installed
+            // calibration bitwise, and N clone-installs would be waste.
+            self.skipped_installs += 1;
+            self.close_outage_audit();
+            return;
+        }
+        let conformal = self.fit_union(&self.merged);
+        self.install_everywhere(conformal);
+        self.merges += 1;
+        self.close_outage_audit();
+    }
+
+    /// Installs a fleet calibration into every *live* replica (down
+    /// replicas receive it at rejoin) and records it as the fleet's.
+    fn install_everywhere(&mut self, conformal: PooledConformal) {
+        for (r, replica) in self.replicas.iter_mut().enumerate() {
+            if self.faults.as_ref().is_some_and(|f| f.down[r]) {
+                continue;
+            }
             replica.install_calibration(conformal.clone());
         }
         self.fleet_conformal = Some(conformal);
-        self.merges += 1;
+    }
+
+    /// Closes the open coordinator-outage audit window, if its outage has
+    /// cleared — called from successful coordinator rounds only, so
+    /// "recovery complete" means a post-outage round actually ran.
+    fn close_outage_audit(&mut self) {
+        let obs = self.obs_seen;
+        if let Some(f) = &mut self.faults {
+            if !f.plan.coordinator_down_at(obs) {
+                if let Some(k) = f.outage_open.take() {
+                    f.audits[k].until_obs = Some(obs);
+                }
+            }
+        }
+    }
+
+    /// One pairwise gossip round among live replicas: each refreshes its
+    /// own run in its gossip view, a seeded shuffle pairs them up, each
+    /// pair exchanges states (state-based CRDT join), and every live
+    /// replica refits + installs a calibration from its own gossip view at
+    /// the nominal ε. Repeated rounds converge every view to the
+    /// coordinator's union fit (property-tested in `pitot-conformal`).
+    fn gossip_round(&mut self) {
+        let mut faults = self.faults.take().expect("gossip runs under faults");
+        let live: Vec<usize> = (0..self.replicas.len())
+            .filter(|&r| !faults.down[r])
+            .collect();
+        for &r in &live {
+            if faults.gossip[r].replica_clock(r as u64) != Some(self.replicas[r].window_clock()) {
+                faults.gossip[r].absorb(&self.replicas[r].window_summary(r as u64));
+            }
+        }
+        let mut order = live.clone();
+        order.shuffle(&mut faults.rng);
+        for pair in order.chunks(2) {
+            if let [a, b] = *pair {
+                let joined = faults.gossip[a].merge(&faults.gossip[b]);
+                faults.gossip[a] = joined.clone();
+                faults.gossip[b] = joined;
+            }
+        }
+        faults.gossip_rounds += 1;
+        self.faults = Some(faults);
+        for &r in &live {
+            let f = self.faults.as_ref().expect("just restored");
+            if f.gossip[r].is_empty() {
+                continue;
+            }
+            let conformal = self.fit_union(&f.gossip[r]);
+            // An install resets the replica's staleness clock: gossip is
+            // the degradation ladder's middle rung, above stale-local
+            // fallback.
+            self.replicas[r].install_calibration(conformal);
+        }
+    }
+
+    /// Attempts every due summary retry (dropped sends waiting out their
+    /// backoff). A successful retry absorbs the replica's summary and
+    /// refreshes the fleet calibration immediately — a partial merge
+    /// between scheduled rounds; a failed one backs off exponentially
+    /// until [`FaultPlan::max_retries`] is exhausted.
+    fn process_due_retries(&mut self) {
+        if self.faults.is_none() || self.coordinator_down() {
+            return;
+        }
+        let obs = self.obs_seen;
+        let due: Vec<usize> = {
+            let f = self.faults.as_ref().expect("checked above");
+            (0..self.replicas.len())
+                .filter(|&r| f.retry[r].is_some_and(|s| obs >= s.next_at))
+                .collect()
+        };
+        for r in due {
+            self.attempt_retry(r);
+        }
+    }
+
+    fn attempt_retry(&mut self, r: usize) {
+        let f = self.faults.as_mut().expect("retry runs under faults");
+        if f.down[r] {
+            f.retry[r] = None;
+            return;
+        }
+        let u: f32 = f.rng.gen_range(0.0f32..1.0);
+        if u < f.plan.drop_prob {
+            // Retry failed too: back off exponentially (seeded jitter) or
+            // give up until the next scheduled round.
+            f.dropped_summaries += 1;
+            let state = f.retry[r].as_mut().expect("due retry has state");
+            state.attempts += 1;
+            if state.attempts >= f.plan.max_retries {
+                f.retry[r] = None;
+                f.merge_giveups += 1;
+            } else {
+                let jitter = f.rng.gen_range(0..f.plan.retry_backoff);
+                state.next_at = self.obs_seen + (f.plan.retry_backoff << state.attempts) + jitter;
+            }
+            return;
+        }
+        f.retry[r] = None;
+        f.retried_summaries += 1;
+        if self.merged.replica_clock(r as u64) != Some(self.replicas[r].window_clock()) {
+            self.merged
+                .absorb(&self.replicas[r].window_summary(r as u64));
+            if !self.merged.is_empty() {
+                let conformal = self.fit_union(&self.merged);
+                self.install_everywhere(conformal);
+            }
+        }
     }
 
     /// The currently installed fleet-level calibration (absent until the
@@ -306,19 +889,40 @@ impl FleetServer {
         &self.replicas[replica]
     }
 
+    /// The degraded-window audit log: one entry per fault window the fleet
+    /// has entered (crash or coordinator outage), attributing lost
+    /// observations, coverage, degraded decisions, sheds, and SLO misses
+    /// to it. Empty without an installed fault plan. An entry with
+    /// `until_obs = None` is still open.
+    pub fn degraded_audit(&self) -> &[DegradedWindow] {
+        self.faults.as_ref().map_or(&[], |f| &f.audits)
+    }
+
     /// Aggregated counters across replicas plus coordinator-side records.
     pub fn stats(&self) -> FleetStats {
-        let mut s = FleetStats {
-            merges: self.merges,
-            admission: *self.admission.stats(),
-            ..FleetStats::default()
-        };
+        let mut s = self.retired;
+        s.merges = self.merges;
+        s.skipped_installs = self.skipped_installs;
+        s.admission = *self.admission.stats();
+        if let Some(f) = &self.faults {
+            s.gossip_rounds = f.gossip_rounds;
+            s.lost_observations = f.lost_observations;
+            s.failover_queries = f.failover_queries;
+            s.dropped_summaries = f.dropped_summaries;
+            s.delayed_summaries = f.delayed_summaries;
+            s.retried_summaries = f.retried_summaries;
+            s.merge_giveups = f.merge_giveups;
+            s.recoveries = f.recoveries;
+        }
         for r in &self.replicas {
             let rs = r.stats();
             s.observations += rs.observations;
             s.queries += rs.queries;
             s.covered += rs.covered;
             s.bounded += rs.bounded;
+            s.degraded_bounded += rs.degraded_bounded;
+            s.degraded_covered += rs.degraded_covered;
+            s.fallback_refits += rs.fallback_refits;
         }
         s
     }

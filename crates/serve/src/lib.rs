@@ -42,6 +42,15 @@
 //!   shed by the conformal bound's upper edge ([`AdmissionQueue`]): the
 //!   first place the served intervals drive a control decision, with
 //!   shed/admit decisions recorded and scored against realized runtimes.
+//! - **Fault injection and degraded-mode serving.** A seeded, schedule-based
+//!   [`FaultPlan`] ([`FleetServer::with_faults`]) injects replica crashes,
+//!   coordinator outages, and dropped/delayed merge summaries; the fleet
+//!   degrades along a ladder — fleet calibration → pairwise gossip CRDT
+//!   merges → staleness-triggered local fallback with honestly widened
+//!   intervals ([`ServeConfig::staleness_threshold`]) — and crashed
+//!   replicas rejoin *warm* by replaying the coordinator's held window
+//!   summary. Every fault window is audited ([`DegradedWindow`]) so
+//!   coverage/SLO loss is attributable. See `docs/RESILIENCE.md`.
 //!
 //! # Examples
 //!
@@ -76,6 +85,7 @@ mod admission;
 mod closed_loop;
 mod config;
 mod drift;
+mod fault;
 mod fleet;
 mod server;
 
@@ -85,5 +95,6 @@ pub use admission::{
 pub use closed_loop::{run_closed_loop, ServingPredictor};
 pub use config::{FleetConfig, ServeConfig};
 pub use drift::CoverageMonitor;
+pub use fault::{CoordinatorOutage, DegradedCause, DegradedWindow, FaultPlan, ReplicaCrash};
 pub use fleet::{AdmissionOutcome, DeadlineQuery, FleetServer, FleetStats};
 pub use server::{Event, ObservedFeedback, PitotServer, Prediction, ServeResponse, ServeStats};

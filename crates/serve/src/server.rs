@@ -44,6 +44,12 @@ pub struct Prediction {
     pub bound_s: f32,
     /// Calibration pool the bound came from.
     pub pool: usize,
+    /// Whether the answer was served in degraded mode: the installed
+    /// calibration was stale beyond [`ServeConfig::staleness_threshold`],
+    /// so the bound came from the honestly widened local-window fallback
+    /// (see [`PitotServer::staleness`]). Always `false` when staleness
+    /// tracking is disabled.
+    pub degraded: bool,
 }
 
 /// Prequential feedback for one arriving observation: how the bound served
@@ -60,6 +66,9 @@ pub struct ObservedFeedback {
     pub refreshed: bool,
     /// Whether this arrival triggered a warm-start fine-tune.
     pub fine_tuned: bool,
+    /// Whether the judged bound was served in degraded (stale-fallback)
+    /// mode — see [`Prediction::degraded`].
+    pub degraded: bool,
 }
 
 /// What one [`PitotServer::on_event`] call produced.
@@ -89,6 +98,15 @@ pub struct ServeStats {
     pub covered: usize,
     /// Observations judged prequentially (denominator for coverage).
     pub bounded: usize,
+    /// Observations judged while the server was in degraded
+    /// (stale-fallback) mode.
+    pub degraded_bounded: usize,
+    /// Degraded-mode judged observations the fallback bound covered.
+    pub degraded_covered: usize,
+    /// Local fallback calibrations fitted while degraded (one per window
+    /// advance while stale — the degraded-mode analogue of
+    /// [`ServeStats::refreshes`]).
+    pub fallback_refits: usize,
     /// Wall-clock nanoseconds of recent conformal refreshes, in order
     /// (drain with `std::mem::take` for percentile reporting). Retention is
     /// bounded at [`ServeStats::REFRESH_LATENCY_RETAIN`] — once full, the
@@ -144,6 +162,12 @@ pub struct PitotServer {
     window: WindowedScores,
     raw: VecDeque<WindowEntry>,
     conformal: Option<PooledConformal>,
+    /// Window clock at the last install/refresh of `conformal` (staleness
+    /// is measured against it; `None` until the first calibration exists).
+    installed_clock: Option<u64>,
+    /// Cached stale-mode local fallback, keyed by the window clock it was
+    /// fitted at (refit lazily when the window has moved).
+    fallback: Option<(u64, PooledConformal)>,
     monitor: CoverageMonitor,
     ctx: Option<TrainContext>,
     ctx_seen: usize,
@@ -203,6 +227,8 @@ impl PitotServer {
             window,
             raw: VecDeque::new(),
             conformal: None,
+            installed_clock: None,
+            fallback: None,
             monitor,
             ctx: None,
             ctx_seen: 0,
@@ -353,6 +379,7 @@ impl PitotServer {
     /// arithmetic to the batched path (a batch of one); counted in
     /// [`ServeStats::queries`] like any batched answer.
     pub fn query_now(&mut self, workload: u32, platform: u32, interferers: &[u32]) -> Prediction {
+        self.ensure_fallback();
         let obs = Observation {
             workload,
             platform,
@@ -404,6 +431,86 @@ impl PitotServer {
     /// coordinator own every refresh.
     pub fn install_calibration(&mut self, conformal: PooledConformal) {
         self.conformal = Some(conformal);
+        // A fresh install resets staleness: the calibration is current as
+        // of everything this window has seen.
+        self.installed_clock = Some(self.window.clock());
+    }
+
+    /// Pushes since the served calibration was installed or refreshed (the
+    /// eviction clock's distance): the staleness the degraded-mode
+    /// fallback triggers on. `0` while no calibration is installed.
+    pub fn staleness(&self) -> u64 {
+        match self.installed_clock {
+            Some(c) => self.window.clock().saturating_sub(c),
+            None => 0,
+        }
+    }
+
+    /// Whether the server is currently serving in degraded mode: staleness
+    /// tracking is enabled, a calibration is installed, and its staleness
+    /// exceeds [`ServeConfig::staleness_threshold`] with a non-empty local
+    /// window to fall back on.
+    pub fn is_degraded(&self) -> bool {
+        self.cfg.staleness_threshold > 0
+            && self.conformal.is_some()
+            && !self.window.is_empty()
+            && self.staleness() > self.cfg.staleness_threshold as u64
+    }
+
+    /// Rebuilds the calibration window of a **fresh** server from a merged
+    /// summary's per-replica entries (see
+    /// [`pitot_conformal::MergeableWindow::replica_entries`]) — the warm
+    /// crash-recovery path: a rejoining replica replays the coordinator's
+    /// held snapshot of its pre-crash window instead of starting cold.
+    ///
+    /// Restored entries carry synthetic head predictions reconstructed
+    /// from their scores (`pred = −score`, `target = 0`): score-identical
+    /// to the originals, so every calibration fit is bitwise unaffected,
+    /// but useless as training material — hence the restrictions below.
+    /// The window clock is advanced to `clock` so coordinator
+    /// unchanged-window skips and snapshot supersession stay consistent
+    /// across the crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server has already seen window entries, if `entries`
+    /// exceeds the window capacity, or if the config fine-tunes or uses
+    /// [`HeadSelection::TightestOnValidation`] (both would consume the
+    /// synthetic predictions as real ones).
+    pub fn restore_window(&mut self, entries: Vec<pitot_conformal::ReplayEntry>, clock: u64) {
+        assert!(
+            self.window.is_empty() && self.raw.is_empty(),
+            "restore_window requires a fresh server (window already has \
+             {} entries)",
+            self.window.len()
+        );
+        assert!(
+            entries.len() <= self.cfg.window,
+            "restore_window got {} entries for a window of capacity {}",
+            entries.len(),
+            self.cfg.window
+        );
+        assert!(
+            self.cfg.fine_tune_steps == 0
+                && self.cfg.selection != HeadSelection::TightestOnValidation,
+            "restore_window rebuilds entries with synthetic predictions: \
+             fine-tuning and TightestOnValidation selection would consume \
+             them as real ones (fleet mode forbids both already)"
+        );
+        for (scores, pool) in entries {
+            let preds: Vec<f32> = scores.iter().map(|s| -s).collect();
+            self.raw.push_back(WindowEntry {
+                preds,
+                target_log: 0.0,
+                pool,
+                obs_idx: None,
+            });
+            self.window.push_scores(scores, pool);
+        }
+        assert_eq!(self.raw.len(), self.window.len());
+        if clock > self.window.clock() {
+            self.window.advance_clock(clock);
+        }
     }
 
     /// Snapshots the server's calibration window as a mergeable summary
@@ -466,26 +573,55 @@ impl PitotServer {
         }
     }
 
-    /// Log-space `(point, bound)` for one observation's head predictions.
-    /// Before the first refresh the bound falls back to the highest head —
-    /// conservative but uncalibrated.
-    fn bound_from_heads(&self, head_preds: &[f32], pool: usize) -> (f32, f32) {
+    /// Log-space `(point, bound, degraded)` for one observation's head
+    /// predictions. Before the first refresh the bound falls back to the
+    /// highest head — conservative but uncalibrated. In degraded mode the
+    /// bound comes from the widened local fallback when its cache is
+    /// current (callers on the `&mut` paths run
+    /// [`PitotServer::ensure_fallback`] first, so it always is).
+    fn bound_from_heads(&self, head_preds: &[f32], pool: usize) -> (f32, f32, bool) {
         let point = head_preds[0];
+        let degraded = self.is_degraded();
+        if degraded {
+            if let Some((clock, fb)) = &self.fallback {
+                if *clock == self.window.clock() {
+                    return (point, fb.bound_log(head_preds, pool), true);
+                }
+            }
+        }
         let bound = match &self.conformal {
             Some(c) => c.bound_log(head_preds, pool),
             None => *head_preds.last().expect("at least one head"),
         };
-        (point, bound)
+        (point, bound, degraded)
+    }
+
+    /// Refits the cached stale-mode fallback if the server is degraded and
+    /// the window has moved since the cache was fitted. Called at the top
+    /// of every serving path that can answer or judge a bound.
+    fn ensure_fallback(&mut self) {
+        if !self.is_degraded() {
+            return;
+        }
+        let clock = self.window.clock();
+        if self.fallback.as_ref().is_some_and(|(c, _)| *c == clock) {
+            return;
+        }
+        let widened = self.cfg.epsilon * self.cfg.stale_epsilon_factor;
+        let fitted = self.fit_window(widened);
+        self.fallback = Some((clock, fitted));
+        self.stats.fallback_refits += 1;
     }
 
     fn prediction_from_heads(&self, id: u64, head_preds: &[f32], arity: usize) -> Prediction {
         let pool = self.pool_key(arity);
-        let (point, bound) = self.bound_from_heads(head_preds, pool);
+        let (point, bound, degraded) = self.bound_from_heads(head_preds, pool);
         Prediction {
             id,
             point_s: point.exp(),
             bound_s: bound.exp(),
             pool,
+            degraded,
         }
     }
 
@@ -493,6 +629,7 @@ impl PitotServer {
         if self.batch.is_empty() {
             return Vec::new();
         }
+        self.ensure_fallback();
         let batch = std::mem::take(&mut self.batch);
         let obs: Vec<&Observation> = batch.iter().map(|(_, o)| o).collect();
         // One row-parallel pass answers the whole micro-batch.
@@ -511,18 +648,25 @@ impl PitotServer {
 
     fn observe(&mut self, obs: Observation) -> ObservedFeedback {
         // 1. Prequential judgement against the *currently served* bound.
+        self.ensure_fallback();
         let preds = self
             .trained
             .predict_log_runtime_cached(&self.towers, &[&obs]);
         let head_preds: Vec<f32> = preds.iter().map(|h| h[0]).collect();
         let pool = self.pool_key(obs.interferers.len());
-        let (point_log, bound_log) = self.bound_from_heads(&head_preds, pool);
+        let (point_log, bound_log, degraded) = self.bound_from_heads(&head_preds, pool);
         let target_log = obs.log_runtime();
         let covered = target_log <= bound_log;
         self.monitor.push(covered, bound_log - point_log);
         self.stats.bounded += 1;
         if covered {
             self.stats.covered += 1;
+        }
+        if degraded {
+            self.stats.degraded_bounded += 1;
+            if covered {
+                self.stats.degraded_covered += 1;
+            }
         }
 
         // 2. Record the arrival for fine-tuning (when enabled).
@@ -561,6 +705,7 @@ impl PitotServer {
             target_log,
             refreshed,
             fine_tuned,
+            degraded,
         }
     }
 
@@ -572,6 +717,25 @@ impl PitotServer {
             return;
         }
         let t0 = Instant::now();
+        let conformal = self.fit_window(self.cfg.epsilon);
+        self.conformal = Some(conformal);
+        self.installed_clock = Some(self.window.clock());
+        self.stats.refreshes += 1;
+        if self.stats.refresh_ns.len() >= ServeStats::REFRESH_LATENCY_RETAIN {
+            // Amortized O(1): drop the older half once the buffer fills.
+            self.stats
+                .refresh_ns
+                .drain(..ServeStats::REFRESH_LATENCY_RETAIN / 2);
+        }
+        self.stats
+            .refresh_ns
+            .push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Fits a calibration on the current (non-empty) window at the given
+    /// miscoverage — the shared engine of [`PitotServer::refresh`] (at the
+    /// configured ε) and the stale-mode fallback (at the widened ε).
+    fn fit_window(&self, epsilon: f32) -> PooledConformal {
         // Head-major selection-set view of the window (only consulted by
         // TightestOnValidation, for which the window doubles as the
         // selection set — a streaming approximation of the paper's
@@ -593,7 +757,7 @@ impl PitotServer {
             } else {
                 (vec![Vec::new(); n_heads], Vec::new(), Vec::new())
             };
-        let conformal = PooledConformal::fit_scored(
+        PooledConformal::fit_scored(
             self.window.scored(),
             &PredictionSet {
                 predictions: &sel_preds,
@@ -602,19 +766,8 @@ impl PitotServer {
             },
             &self.xis,
             self.cfg.selection,
-            self.cfg.epsilon,
-        );
-        self.conformal = Some(conformal);
-        self.stats.refreshes += 1;
-        if self.stats.refresh_ns.len() >= ServeStats::REFRESH_LATENCY_RETAIN {
-            // Amortized O(1): drop the older half once the buffer fills.
-            self.stats
-                .refresh_ns
-                .drain(..ServeStats::REFRESH_LATENCY_RETAIN / 2);
-        }
-        self.stats
-            .refresh_ns
-            .push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            epsilon,
+        )
     }
 
     fn should_fine_tune(&self) -> bool {
