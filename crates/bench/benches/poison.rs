@@ -1,0 +1,175 @@
+//! Trust-layer cost: ingest guarding, summary verification, and guarded
+//! serving under active poison.
+//!
+//! The fail-noisy story only holds if the guards are cheap enough to
+//! leave on in production — they sit on the per-observation serving path
+//! and on every merge tick. This bench records:
+//!
+//! - `poison/guard_screen_2000`: 2000 observations (~30% heavy downward
+//!   outliers) through a guarded `PitotServer` — finite/bounds validation
+//!   plus the MAD outlier screen and quarantine bookkeeping on every
+//!   ingest;
+//! - `poison/summary_verify_4x256`: integrity verification (per-segment
+//!   checksums, sortedness, cardinality) of 4 replica summaries holding
+//!   256-score windows — what the coordinator pays per merge tick before
+//!   absorbing anything;
+//! - `poison/guarded_tick_overhead`: a full guarded `FleetServer` event
+//!   (deadline query + resolve + observation) under the complete
+//!   data-fault schedule (corruption, outlier bursts, replay/skew, one
+//!   Byzantine replica) — the end-to-end price of serving through an
+//!   active poisoning incident.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pitot::{Objective, PitotConfig, TrainedPitot};
+use pitot_bench::Fixture;
+use pitot_conformal::{MergeableWindow, WindowedScores};
+use pitot_serve::{
+    AdmissionConfig, DeadlineQuery, Event, FaultPlan, FleetConfig, FleetServer, PitotServer,
+    ServeConfig,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn trained(f: &Fixture) -> TrainedPitot {
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        steps: 60,
+        eval_every: 60,
+        ..PitotConfig::paper()
+    };
+    pitot::train(&f.dataset, &f.split, &cfg)
+}
+
+/// A replica window of `n` synthetic scores over `n_heads` heads and 4
+/// pools.
+fn replica_window(seed: u64, n: usize, n_heads: usize) -> WindowedScores {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut w = WindowedScores::new(n, n_heads);
+    for i in 0..n {
+        let preds: Vec<f32> = (0..n_heads).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let target = rng.gen_range(-1.0f32..1.5);
+        w.push(&preds, target, i % 4);
+    }
+    w
+}
+
+/// Per-ingest cost of the guard: validation + MAD screen + quarantine
+/// bookkeeping over a poisoned stream.
+fn guard_screen(c: &mut Criterion) {
+    let f = Fixture::small();
+    let t = trained(&f);
+    let mut serve = ServeConfig::guarded(0.1);
+    serve.window = 256;
+    let mut server = PitotServer::new(t, f.dataset.clone(), serve);
+    server.seed_calibration(&f.split.val);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let events: Vec<_> = (0..2000)
+        .map(|i| {
+            let mut o = f.dataset.observations[f.split.test[i % f.split.test.len()]].clone();
+            if rng.gen_bool(0.3) {
+                o.runtime_s *= (-12.0f32).exp();
+            }
+            o
+        })
+        .collect();
+
+    let mut t0 = 0.0f64;
+    let mut group = c.benchmark_group("poison");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("guard_screen_2000", |b| {
+        b.iter(|| {
+            let mut quarantined = 0usize;
+            for (dt, o) in events.iter().enumerate() {
+                let resp = server.on_event(t0 + dt as f64, Event::Observe(o.clone()));
+                quarantined += usize::from(resp.quarantined.is_some());
+            }
+            t0 += events.len() as f64;
+            black_box(quarantined)
+        })
+    });
+    group.finish();
+}
+
+/// Integrity verification of every replica summary ahead of a merge tick.
+fn summary_verify(c: &mut Criterion) {
+    let views: Vec<MergeableWindow> = (0..4)
+        .map(|r| MergeableWindow::snapshot(r, &replica_window(400 + r, 256, 5)))
+        .collect();
+
+    let mut group = c.benchmark_group("poison");
+    group.bench_function("summary_verify_4x256", |b| {
+        b.iter(|| {
+            let ok = views.iter().filter(|v| v.verify().is_ok()).count();
+            black_box(ok)
+        })
+    });
+    group.finish();
+}
+
+/// Per-event overhead of the whole trust layer under active poison: a
+/// guarded 3-replica fleet under the full data-fault schedule, 2000 full
+/// events (deadline query + resolve + observation, merge every 32).
+fn guarded_tick_overhead(c: &mut Criterion) {
+    let f = Fixture::small();
+    let t = trained(&f);
+    let mut serve = ServeConfig::guarded(0.1);
+    serve.window = 256;
+    let cfg = FleetConfig {
+        serve,
+        replicas: 3,
+        merge_every: 32,
+        admission: AdmissionConfig::default(),
+    };
+    let plan = FaultPlan::none(0x0009_0150_5EED)
+        .corrupt_observations(0.05)
+        .outlier_bursts(0.25, -12.0, 8)
+        .replay_summaries(0.15)
+        .skew_clocks(0.10)
+        .byzantine_replica(1, 500);
+    let mut fleet = FleetServer::with_faults(t, &f.dataset, cfg, plan);
+    fleet.seed_calibration(&f.split.val);
+
+    let events: Vec<usize> = (0..2000)
+        .map(|t| f.split.test[t % f.split.test.len()])
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let deadlines: Vec<f64> = events
+        .iter()
+        .map(|&i| f64::from(f.dataset.observations[i].runtime_s) * rng.gen_range(0.75..3.0))
+        .collect();
+
+    let mut t0 = 0.0f64;
+    let mut next_id = 0u64;
+    let mut group = c.benchmark_group("poison");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("guarded_tick_overhead", |b| {
+        b.iter(|| {
+            let mut admitted = 0usize;
+            for (dt, (&i, &deadline)) in events.iter().zip(&deadlines).enumerate() {
+                let o = f.dataset.observations[i].clone();
+                let id = next_id;
+                next_id += 1;
+                let out = fleet.deadline_query(DeadlineQuery {
+                    id,
+                    workload: o.workload,
+                    platform: o.platform,
+                    interferers: o.interferers.clone(),
+                    deadline_s: deadline,
+                });
+                fleet.resolve(id, f64::from(o.runtime_s));
+                admitted += usize::from(out.decision.admitted());
+                fleet.observe(t0 + dt as f64, o);
+            }
+            t0 += events.len() as f64;
+            black_box(admitted)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(poison, guard_screen, summary_verify, guarded_tick_overhead);
+criterion_main!(poison);

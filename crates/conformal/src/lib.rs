@@ -77,7 +77,7 @@ pub use diagnostics::{
     calibration_error, conditional_coverage, worst_group_coverage, CoverageCurve,
 };
 pub use jackknife::{round_robin_folds, CvPlus};
-pub use merge::{MergeableWindow, ReplayEntry};
+pub use merge::{MergeableWindow, ReplayEntry, SummaryError, SummaryFault, TamperMode};
 pub use metrics::{coverage, overprovision_margin};
 pub use mondrian::MondrianConformal;
 pub use pooled::{HeadSelection, PoolCalibration, PooledConformal, PredictionSet};

@@ -26,6 +26,18 @@
 //! union of the live replica windows (property-tested below), so a
 //! fleet-level fit sees exactly the calibration set a centralized server
 //! would have built.
+//!
+//! # Summary integrity
+//!
+//! A summary crossing a trust boundary (replica → coordinator, gossip peer
+//! → gossip peer) is *telemetry*, and telemetry can lie: a Byzantine or
+//! corrupted replica can ship NaN scores, unsorted runs, or a cardinality
+//! that disagrees with its segments. Every run therefore carries an FNV-1a
+//! checksum over its full structural content, fixed at snapshot time, and
+//! [`MergeableWindow::verify`] re-derives structure and digest, naming the
+//! offending replica and fault class on the first violation. A receiver
+//! that verifies before [`MergeableWindow::absorb`] confines a bogus
+//! summary to its sender — the CRDT never sees it.
 
 use crate::scores::{ScoredCalibration, WindowedScores};
 use std::collections::BTreeMap;
@@ -42,6 +54,143 @@ struct ReplicaRun {
     global: Vec<Vec<f32>>,
     /// Pool key → per-head ascending scores (only pools with live entries).
     pools: BTreeMap<usize, Vec<Vec<f32>>>,
+    /// FNV-1a over clock, cardinality, pool layout, and every score bit,
+    /// fixed at snapshot time (see [`run_checksum`]).
+    checksum: u64,
+}
+
+/// The integrity fault classes [`MergeableWindow::verify`] detects, most
+/// specific first: structural checks run before the digest comparison, so
+/// a fault is named by *what* is wrong, not merely that bits changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryFault {
+    /// A run's stated cardinality disagrees with its segments (head counts,
+    /// per-head lengths, pool totals, or an empty pool key).
+    CardinalityMismatch,
+    /// A run contains a NaN or infinite score.
+    NonFiniteScore,
+    /// A run's scores are not ascending under `total_cmp`.
+    UnsortedRun,
+    /// The run's content does not reproduce its stored checksum.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for SummaryFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::CardinalityMismatch => "cardinality mismatch",
+            Self::NonFiniteScore => "non-finite score",
+            Self::UnsortedRun => "unsorted run",
+            Self::ChecksumMismatch => "checksum mismatch",
+        })
+    }
+}
+
+/// A failed [`MergeableWindow::verify`]: which replica's run is bad and how
+/// — the audit record a coordinator stores when it rejects a summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SummaryError {
+    /// The replica whose run failed verification.
+    pub replica: u64,
+    /// What was wrong with it.
+    pub fault: SummaryFault,
+}
+
+impl std::fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replica {} summary: {}", self.replica, self.fault)
+    }
+}
+
+/// Deterministic corruption modes for [`MergeableWindow::corrupt_run`] —
+/// each lands in a distinct [`SummaryFault`] class when verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperMode {
+    /// Overwrite one score with NaN, recomputing the checksum — the finite
+    /// scan, not the digest, must catch it.
+    NonFinite,
+    /// Inflate the run's stated cardinality, recomputing the checksum —
+    /// the structural check must catch it.
+    Cardinality,
+    /// Break a head's sort order by swapping its extreme scores,
+    /// recomputing the checksum — the order scan must catch it.
+    Unsorted,
+    /// Flip bits of the stored checksum, leaving content untouched — pure
+    /// bit-rot / in-flight corruption.
+    Checksum,
+}
+
+/// FNV-1a over a run's full structural content: clock, stated cardinality,
+/// per-head global runs (length-prefixed), and per-pool runs (key- and
+/// length-prefixed). Order-sensitive, so any bit flip, reorder, truncation,
+/// or cardinality edit changes the digest.
+fn run_checksum(
+    clock: u64,
+    n: usize,
+    global: &[Vec<f32>],
+    pools: &BTreeMap<usize, Vec<Vec<f32>>>,
+) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let push = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    push(&mut h, &clock.to_le_bytes());
+    push(&mut h, &(n as u64).to_le_bytes());
+    for head in global {
+        push(&mut h, &(head.len() as u64).to_le_bytes());
+        for &s in head {
+            push(&mut h, &s.to_bits().to_le_bytes());
+        }
+    }
+    for (&pool, per_head) in pools {
+        push(&mut h, &(pool as u64).to_le_bytes());
+        for head in per_head {
+            push(&mut h, &(head.len() as u64).to_le_bytes());
+            for &s in head {
+                push(&mut h, &s.to_bits().to_le_bytes());
+            }
+        }
+    }
+    h
+}
+
+impl ReplicaRun {
+    /// Structural + digest verification against the expected head count;
+    /// returns the first fault found, most specific first.
+    fn validate(&self, n_heads: usize) -> Result<(), SummaryFault> {
+        if self.global.len() != n_heads || self.global.iter().any(|h| h.len() != self.n) {
+            return Err(SummaryFault::CardinalityMismatch);
+        }
+        let mut pooled = 0usize;
+        for per_head in self.pools.values() {
+            if per_head.len() != n_heads
+                || per_head[0].is_empty()
+                || per_head.iter().any(|h| h.len() != per_head[0].len())
+            {
+                return Err(SummaryFault::CardinalityMismatch);
+            }
+            pooled += per_head[0].len();
+        }
+        if pooled != self.n {
+            return Err(SummaryFault::CardinalityMismatch);
+        }
+        let runs = self.global.iter().chain(self.pools.values().flatten());
+        for run in runs {
+            if run.iter().any(|s| !s.is_finite()) {
+                return Err(SummaryFault::NonFiniteScore);
+            }
+            if run.windows(2).any(|w| w[0].total_cmp(&w[1]).is_gt()) {
+                return Err(SummaryFault::UnsortedRun);
+            }
+        }
+        if run_checksum(self.clock, self.n, &self.global, &self.pools) != self.checksum {
+            return Err(SummaryFault::ChecksumMismatch);
+        }
+        Ok(())
+    }
 }
 
 /// One reconstructed window entry for crash-recovery replay: the per-head
@@ -83,20 +232,107 @@ impl MergeableWindow {
     /// window yields a valid (empty) run that a later snapshot from the
     /// same replica supersedes.
     pub fn snapshot(replica: u64, window: &WindowedScores) -> Self {
+        let global = window.scored.global_sorted.clone();
+        let pools = window.scored.pool_sorted.clone();
+        let checksum = run_checksum(window.clock(), window.len(), &global, &pools);
         let mut runs = BTreeMap::new();
         runs.insert(
             replica,
             ReplicaRun {
                 clock: window.clock(),
                 n: window.len(),
-                global: window.scored.global_sorted.clone(),
-                pools: window.scored.pool_sorted.clone(),
+                global,
+                pools,
+                checksum,
             },
         );
         Self {
             n_heads: window.n_heads(),
             runs,
         }
+    }
+
+    /// Verifies every held run's structure and checksum, returning the
+    /// first violation with the offending replica named (iteration is in
+    /// replica-id order, so the result is deterministic).
+    ///
+    /// An honest [`MergeableWindow::snapshot`] always verifies; the error
+    /// path exists for summaries that crossed a trust boundary. Receivers
+    /// should verify an incoming summary *before* absorbing it so a
+    /// Byzantine sender degrades only itself.
+    pub fn verify(&self) -> Result<(), SummaryError> {
+        for (&replica, run) in &self.runs {
+            if let Err(fault) = run.validate(self.n_heads) {
+                return Err(SummaryError { replica, fault });
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministically corrupts the run held for `replica` — the fault
+    /// injection hook behind the chaos/poison harnesses in `pitot-serve`
+    /// and `pitot-experiments`, public because those live in other crates.
+    /// `salt` varies which score/bits are hit so repeated tampering does
+    /// not collapse onto one spot; equal inputs corrupt identically, which
+    /// is what keeps fault replays bitwise-deterministic.
+    ///
+    /// Degenerate runs that cannot express the requested fault (an empty
+    /// run asked for [`TamperMode::NonFinite`], a constant-score head asked
+    /// for [`TamperMode::Unsorted`]) fall back to a checksum flip, so a
+    /// tampered summary is *always* rejected by [`MergeableWindow::verify`].
+    ///
+    /// Returns `false` (and changes nothing) if no run is held for
+    /// `replica`.
+    pub fn corrupt_run(&mut self, replica: u64, mode: TamperMode, salt: u64) -> bool {
+        let Some(run) = self.runs.get_mut(&replica) else {
+            return false;
+        };
+        let flip = |run: &mut ReplicaRun| run.checksum ^= salt | 1;
+        match mode {
+            TamperMode::Checksum => flip(run),
+            TamperMode::Cardinality => {
+                run.n += 1 + (salt as usize % 3);
+                run.checksum = run_checksum(run.clock, run.n, &run.global, &run.pools);
+            }
+            TamperMode::NonFinite if run.n > 0 => {
+                let h = (salt as usize) % run.global.len();
+                let i = (salt as usize >> 3) % run.global[h].len();
+                run.global[h][i] = f32::NAN;
+                run.checksum = run_checksum(run.clock, run.n, &run.global, &run.pools);
+            }
+            TamperMode::Unsorted
+                if run.n > 1 && {
+                    let head = &run.global[(salt as usize) % run.global.len()];
+                    head[0].to_bits() != head[head.len() - 1].to_bits()
+                } =>
+            {
+                let h = (salt as usize) % run.global.len();
+                let head = &mut run.global[h];
+                let last = head.len() - 1;
+                head.swap(0, last);
+                run.checksum = run_checksum(run.clock, run.n, &run.global, &run.pools);
+            }
+            // Degenerate content for the requested mode: fall back to the
+            // always-detectable checksum flip.
+            TamperMode::NonFinite | TamperMode::Unsorted => flip(run),
+        }
+        true
+    }
+
+    /// Jumps the clock of the run held for `replica` forward by `jump`,
+    /// recomputing its checksum so the summary still passes
+    /// [`MergeableWindow::verify`] — the clock-skew injection hook. Skew is
+    /// *not* an integrity fault (the run's data is genuine); it is caught
+    /// by the receiver's clock-plausibility screen instead, which is why
+    /// this hook keeps the checksum honest. Returns `false` (and changes
+    /// nothing) if no run is held for `replica`.
+    pub fn skew_run_clock(&mut self, replica: u64, jump: u64) -> bool {
+        let Some(run) = self.runs.get_mut(&replica) else {
+            return false;
+        };
+        run.clock += jump;
+        run.checksum = run_checksum(run.clock, run.n, &run.global, &run.pools);
+        true
     }
 
     /// Number of heads per observation.
@@ -476,6 +712,85 @@ mod tests {
             proptest::prop_assert!(rebuilt.clock() <= clock);
             proptest::prop_assert_eq!(summary.replica_entries(9), None);
         }
+    }
+
+    proptest::proptest! {
+        /// Honest snapshots — empty, partial, evicting, multi-replica,
+        /// merged in any order — always verify, and every tamper mode is
+        /// rejected with the offending replica named and the fault class
+        /// the mode targets (or the checksum fallback on degenerate runs).
+        #[test]
+        fn verify_accepts_honest_and_names_tampered(
+            seed in 0u64..30,
+            cap in 1usize..24,
+            salt in 0u64..1000,
+        ) {
+            let n_heads = 1 + (seed as usize % 3);
+            let wa = window_of(&stream(seed, (seed as usize * 5) % (2 * cap), n_heads), cap, n_heads);
+            let wb = window_of(&stream(seed + 50, cap + 1, n_heads), cap, n_heads);
+            let mut merged = MergeableWindow::snapshot(0, &wa);
+            merged.absorb(&MergeableWindow::snapshot(7, &wb));
+            proptest::prop_assert_eq!(merged.verify(), Ok(()));
+
+            for (mode, want) in [
+                (TamperMode::Checksum, SummaryFault::ChecksumMismatch),
+                (TamperMode::Cardinality, SummaryFault::CardinalityMismatch),
+                (TamperMode::NonFinite, SummaryFault::NonFiniteScore),
+                (TamperMode::Unsorted, SummaryFault::UnsortedRun),
+            ] {
+                let mut t = merged.clone();
+                proptest::prop_assert!(t.corrupt_run(7, mode, salt));
+                let err = t.verify().expect_err("tampered run must fail");
+                proptest::prop_assert_eq!(err.replica, 7);
+                // Degenerate runs fall back to a checksum flip; either way
+                // the summary is rejected.
+                proptest::prop_assert!(
+                    err.fault == want || err.fault == SummaryFault::ChecksumMismatch
+                );
+                // Tampering never silently equals the honest summary.
+                proptest::prop_assert!(t != merged.clone());
+            }
+            // No run held → no-op.
+            let mut t = merged.clone();
+            proptest::prop_assert!(!t.corrupt_run(99, TamperMode::Checksum, salt));
+            proptest::prop_assert_eq!(t, merged);
+        }
+    }
+
+    #[test]
+    fn tamper_modes_land_in_their_fault_class_on_rich_runs() {
+        // A window with plenty of distinct scores exercises every mode's
+        // primary path (no degenerate fallback).
+        let n_heads = 2;
+        let w = window_of(&stream(21, 40, n_heads), 16, n_heads);
+        for (mode, want) in [
+            (TamperMode::Checksum, SummaryFault::ChecksumMismatch),
+            (TamperMode::Cardinality, SummaryFault::CardinalityMismatch),
+            (TamperMode::NonFinite, SummaryFault::NonFiniteScore),
+        ] {
+            let mut s = MergeableWindow::snapshot(3, &w);
+            assert!(s.corrupt_run(3, mode, 5));
+            assert_eq!(
+                s.verify(),
+                Err(SummaryError {
+                    replica: 3,
+                    fault: want
+                }),
+                "mode {mode:?}"
+            );
+        }
+        // Unsorted needs a head whose extremes differ bitwise; find a salt
+        // selecting one (head choice is salt % n_heads).
+        let mut s = MergeableWindow::snapshot(3, &w);
+        assert!(s.corrupt_run(3, TamperMode::Unsorted, 0));
+        let err = s.verify().expect_err("unsorted run must fail");
+        assert_eq!(err.replica, 3);
+        assert!(matches!(
+            err.fault,
+            SummaryFault::UnsortedRun | SummaryFault::ChecksumMismatch
+        ));
+        // Error display names the replica for audit logs.
+        assert!(err.to_string().contains("replica 3"));
     }
 
     #[test]

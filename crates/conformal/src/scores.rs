@@ -262,10 +262,20 @@ impl WindowedScores {
     ///
     /// # Panics
     ///
-    /// Panics if `scores` does not match the head count.
+    /// Panics if `scores` does not match the head count. Debug builds also
+    /// assert every score is finite — a NaN or infinity must be screened
+    /// *before* the window boundary, never sorted into it.
     pub fn push_scores(&mut self, scores: Vec<f32>, pool: usize) -> Option<usize> {
         let n_heads = self.n_heads();
         assert_eq!(scores.len(), n_heads, "score/head count mismatch");
+        // A NaN entering the sorted views would corrupt every later
+        // `total_cmp` partition point and poison every served quantile;
+        // callers own upstream validation (see the ingest guard in
+        // `pitot-serve`), but the window boundary is the last line.
+        debug_assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "non-finite nonconformity score pushed into calibration window"
+        );
         let evicted = if self.scored.n == self.capacity {
             let (old_scores, old_pool) = self.ring.pop_front().expect("full window is non-empty");
             self.remove_sorted(&old_scores, old_pool);

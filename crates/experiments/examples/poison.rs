@@ -1,0 +1,150 @@
+//! Poisoned-telemetry quickstart: run a guarded replica fleet through the
+//! full data-fault schedule — NaN/negative runtimes, heavy downward
+//! outlier bursts, replayed and clock-skewed merge summaries, and a
+//! Byzantine replica — and watch the trust layer quarantine, reject, and
+//! audit everything instead of silently absorbing it.
+//!
+//! ```sh
+//! cargo run --release -p pitot-experiments --example poison
+//! ```
+//!
+//! The final line prints `digest=<16 hex digits>` — an FNV-1a hash of
+//! every admission decision, served bound, and coverage flag. For a fixed
+//! fault seed the digest is bitwise identical regardless of
+//! `PITOT_THREADS`; CI runs this example twice at different thread counts
+//! and diffs the two lines.
+
+use pitot::{train, Objective, PitotConfig};
+use pitot_serve::{
+    AdmissionConfig, DeadlineQuery, FaultPlan, FleetConfig, FleetServer, ServeConfig,
+};
+use pitot_testbed::{split::Split, Testbed, TestbedConfig};
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. Cluster, history, model — as in the chaos quickstart.
+    let testbed = Testbed::generate(&TestbedConfig::small());
+    let dataset = testbed.collect_dataset();
+    let split = Split::stratified(&dataset, 0.6, 0);
+    let config = PitotConfig {
+        objective: Objective::Quantiles(vec![0.5, 0.8, 0.9, 0.95]),
+        ..PitotConfig::fast()
+    };
+    let trained = train(&dataset, &split, &config);
+
+    // 2. A 3-replica fleet in the guarded posture: ingest guard + MAD
+    //    screen + miscoverage watchdog, plus the always-on summary
+    //    integrity screen on the merge path. The fault plan corrupts 5%
+    //    of runtimes to NaN/Inf/negative, fires heavy downward outlier
+    //    bursts, replays/skews merge summaries, and turns replica 1
+    //    Byzantine (tampered score segments) from observation 200.
+    let epsilon = 0.1;
+    let mut serve = ServeConfig::guarded(epsilon);
+    serve.window = 128;
+    let cfg = FleetConfig {
+        serve,
+        replicas: 3,
+        merge_every: 16,
+        admission: AdmissionConfig::default(),
+    };
+    let plan = FaultPlan::none(0x0009_0150_5EED)
+        .corrupt_observations(0.05)
+        .outlier_bursts(0.25, -12.0, 8)
+        .replay_summaries(0.15)
+        .skew_clocks(0.10)
+        .byzantine_replica(1, 200);
+    let mut fleet = FleetServer::with_faults(trained, &dataset, cfg, plan);
+    fleet.seed_calibration(&split.val);
+    println!("fleet up: 3 replicas, guarded ingest, replica 1 Byzantine from obs 200");
+
+    // 3. Stream 400 events through the poison: every event issues a
+    //    deadline query resolved against the *clean* realized runtime;
+    //    the fault layer corrupts what the replicas observe.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut stream = split.test.clone();
+    stream.shuffle(&mut rng);
+    stream.truncate(400);
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let fnv = |bytes: &[u8], d: &mut u64| {
+        for &b in bytes {
+            *d ^= u64::from(b);
+            *d = d.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let (mut covered, mut judged) = (0usize, 0usize);
+    for (t, &i) in stream.iter().enumerate() {
+        let o = dataset.observations[i].clone();
+        let deadline_s = f64::from(o.runtime_s) * rng.gen_range(0.75..3.0);
+        let out = fleet.deadline_query(DeadlineQuery {
+            id: t as u64,
+            workload: o.workload,
+            platform: o.platform,
+            interferers: o.interferers.clone(),
+            deadline_s,
+        });
+        fnv(&[u8::from(out.decision.admitted())], &mut digest);
+        fnv(&out.prediction.bound_s.to_bits().to_le_bytes(), &mut digest);
+        fleet.resolve(t as u64, f64::from(o.runtime_s));
+        let (_, fb) = fleet.observe(t as f64, o);
+        fnv(
+            &[fb.as_ref().map_or(2, |f| u8::from(f.covered))],
+            &mut digest,
+        );
+        if let Some(f) = fb {
+            judged += 1;
+            covered += usize::from(f.covered);
+        }
+    }
+
+    // 4. The audit attributes every injected fault to a counter: nothing
+    //    is silently dropped, nothing tampered is absorbed.
+    let stats = fleet.stats();
+    let g = &stats.guard;
+    println!(
+        "\nafter {} fleet observations ({} judged, coverage {:.3}, nominal {:.2}):",
+        stats.observations,
+        judged,
+        covered as f32 / judged.max(1) as f32,
+        1.0 - epsilon
+    );
+    println!(
+        "  injected: {} corrupt runtimes, {} outliers, {} replays, {} skews, {} Byzantine emissions",
+        stats.injected_corrupt,
+        stats.injected_outliers,
+        stats.injected_replays,
+        stats.injected_skews,
+        stats.byzantine_emissions
+    );
+    println!(
+        "  quarantined {} (nonfinite {}, nonpositive {}, MAD outliers {}, watchdog {}); {} summaries rejected",
+        g.quarantined,
+        g.nonfinite_runtimes,
+        g.nonpositive_runtimes,
+        g.mad_outliers,
+        g.watchdog_purged,
+        stats.rejected_summaries
+    );
+    for r in fleet.rejected_audit().iter().take(5) {
+        println!(
+            "  rejected summary from replica {} at obs {}: {:?}",
+            r.replica, r.at_obs, r.cause
+        );
+    }
+
+    // Zero silent drops: delivered = judged + quarantined at ingest.
+    let ingest_quarantined = g.nonfinite_runtimes + g.nonpositive_runtimes + g.mad_outliers;
+    assert_eq!(stats.observations, stats.bounded + ingest_quarantined);
+    assert_eq!(
+        g.nonfinite_runtimes + g.nonpositive_runtimes,
+        stats.injected_corrupt,
+        "a corrupt runtime escaped quarantine"
+    );
+    assert!(stats.rejected_summaries > 0, "no tampered summary rejected");
+    assert!(
+        covered as f32 / judged.max(1) as f32 > 0.85,
+        "poison collapsed guarded coverage"
+    );
+    // The CI-diffed replayability witness — keep this the last line.
+    println!("digest={digest:016x}");
+}

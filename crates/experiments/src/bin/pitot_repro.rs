@@ -12,6 +12,7 @@
 //!   summary                       Sec 5.3 headline numbers
 //!   orchestration shift online    extension studies (placement, pool
 //!   serving fleet chaos sched     robustness, online learning, streaming
+//!   poison                        poisoned-telemetry guard study
 //!   conformal optimizer           recalibration, multi-replica fleet
 //!                                 serving, fault-injected degraded-mode
 //!                                 serving, conformal placement,
@@ -25,7 +26,8 @@
 
 use pitot_experiments::{
     ablations, baseline_cmp, baselines_ext, chaos, conformal_variants, dataset_report, embeddings,
-    fleet, hyperparams, online, optimizer_cmp, orchestration, sched, serving, shift, uncertainty,
+    fleet, hyperparams, online, optimizer_cmp, orchestration, poison, sched, serving, shift,
+    uncertainty,
 };
 use pitot_experiments::{Figure, Harness, Scale};
 use std::path::PathBuf;
@@ -92,6 +94,7 @@ fn main() {
         "serving",
         "fleet",
         "chaos",
+        "poison",
         "sched",
         "conformal",
         "optimizer",
@@ -139,6 +142,7 @@ fn main() {
             "serving" => vec![serving::ext_serving(&harness)],
             "fleet" => vec![fleet::ext_fleet(&harness)],
             "chaos" => vec![chaos::ext_chaos(&harness)],
+            "poison" => vec![poison::ext_poison(&harness)],
             "sched" => vec![sched::ext_sched(&harness)],
             "conformal" => vec![conformal_variants::ext_conformal_variants(&harness)],
             "optimizer" => vec![optimizer_cmp::ext_optimizer(&harness)],

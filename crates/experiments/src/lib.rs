@@ -27,6 +27,7 @@ pub mod methods;
 pub mod online;
 pub mod optimizer_cmp;
 pub mod orchestration;
+pub mod poison;
 pub mod report;
 pub mod sched;
 pub mod serving;

@@ -1,0 +1,437 @@
+//! Fleet serving under poisoned telemetry: trustworthy-telemetry guards
+//! vs blind trust (extension).
+//!
+//! `ext-chaos` stressed the fleet's *control* plane (crashes, outages,
+//! lossy merges). This experiment poisons the *data* plane instead: the
+//! same closed admission loop runs while a seeded
+//! [`pitot_serve::FaultPlan`] corrupts runtimes (NaN/Inf/negative),
+//! injects heavy downward scale-outlier bursts, replays and clock-skews
+//! merge summaries, and turns one replica Byzantine (tampered score
+//! segments). Coverage is judged on the **clean** events only — poisoned
+//! events are identified by diffing the fleet's injection counters around
+//! each observation — because the conformal promise under attack is to
+//! the honest telemetry, and downward outliers are trivially "covered"
+//! by any upper bound.
+//!
+//! Three arms:
+//!
+//! - **no faults** — the clean baseline under this stream;
+//! - **guarded (full schedule)** — [`pitot_serve::ServeConfig::guarded`]
+//!   posture: ingest guard + MAD screen + miscoverage watchdog, with the
+//!   always-on summary-integrity screen rejecting the Byzantine replica's
+//!   tampered segments;
+//! - **unguarded (outlier bursts)** — the pre-guard fail-stop server fed
+//!   the finite-valued subset of the schedule (outlier bursts only; the
+//!   fail-stop contract would crash outright on NaN — the subset is the
+//!   *favourable* case for it, and it still collapses).
+//!
+//! Expected shape: the guarded arm quarantines the poison on arrival
+//! (its calibration window never ingests it) and holds clean-event
+//! coverage ≥ 0.88 at ε = 0.1; the unguarded arm's window fills with
+//! deeply negative scores that drag the calibration quantile down, and
+//! its clean-event coverage collapses below 0.80. Zero silent drops:
+//! every injected fault lands in a quarantine or rejection counter.
+//! Poison runs are replayable: the per-arm decision digest is
+//! bitwise-stable for a fixed fault seed regardless of `PITOT_THREADS`
+//! (re-verified in-process here, and diffed across thread counts in CI
+//! via the `poison` example).
+
+use crate::harness::Harness;
+use crate::report::{Figure, Point, Series};
+use pitot::{Objective, PitotConfig};
+use pitot_conformal::HeadSelection;
+use pitot_serve::{
+    AdmissionConfig, DeadlineQuery, FaultPlan, FleetConfig, FleetServer, ServeConfig,
+};
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Fleet size; the fault plan turns replica 1 of these Byzantine.
+const REPLICAS: usize = 3;
+/// Coordinator merge cadence (fleet-wide observations).
+const MERGE_EVERY: usize = 16;
+/// Per-replica sliding window.
+const WINDOW: usize = 128;
+/// Deadline multiplier range on the realized runtime (as `ext-chaos`).
+const DEADLINE_MULT: (f32, f32) = (0.75, 3.0);
+/// Stream slices for the coverage panel.
+const SEGMENTS: usize = 8;
+/// Seed of every arm's fault-plan RNGs (control and data streams). CI
+/// replays the `poison` example under different `PITOT_THREADS` with
+/// this seed and diffs the decision digests.
+pub const FAULT_SEED: u64 = 0x0009_0150_5EED;
+
+/// Probability an observation starts a scale-outlier burst.
+const OUTLIER_PROB: f32 = 0.25;
+/// Outlier severity: `runtime ← runtime · e^{-12}` (~6·10⁻⁶×). Downward,
+/// so the poison drags the calibration quantile *down* — the direction
+/// that breaks coverage for honest events — while each poisoned event is
+/// itself trivially under any upper bound.
+const OUTLIER_LOG_SCALE: f32 = -12.0;
+/// Maximum burst length; with [`OUTLIER_PROB`] this contaminates ~60% of
+/// the stream — beyond what rank-displacement robustness absorbs, while
+/// the guarded window stays clean because every burst is screened against
+/// the (clean) seeded calibration before it can enter.
+const OUTLIER_BURST_MAX: usize = 8;
+/// Probability a runtime is corrupted to NaN/Inf/negative (guarded arm
+/// only: the fail-stop contract would crash on these).
+const CORRUPT_PROB: f32 = 0.05;
+
+/// The full data-fault schedule, scaled to an `n`-event stream: runtime
+/// corruption and heavy downward outlier bursts throughout, replayed and
+/// clock-skewed merge summaries, and replica 1 turning Byzantine at the
+/// stream's midpoint.
+pub fn full_plan(n: usize) -> FaultPlan {
+    FaultPlan::none(FAULT_SEED)
+        .corrupt_observations(CORRUPT_PROB)
+        .outlier_bursts(OUTLIER_PROB, OUTLIER_LOG_SCALE, OUTLIER_BURST_MAX)
+        .replay_summaries(0.15)
+        .skew_clocks(0.10)
+        .byzantine_replica(1, n / 2)
+}
+
+/// The finite-valued subset of [`full_plan`] the unguarded fail-stop
+/// server can survive: outlier bursts only.
+pub fn outlier_only_plan() -> FaultPlan {
+    FaultPlan::none(FAULT_SEED).outlier_bursts(OUTLIER_PROB, OUTLIER_LOG_SCALE, OUTLIER_BURST_MAX)
+}
+
+fn fleet_config(eps: f32, guarded: bool) -> FleetConfig {
+    let mut serve = if guarded {
+        ServeConfig::guarded(eps)
+    } else {
+        ServeConfig::at(eps)
+    };
+    serve.window = WINDOW;
+    serve.pool_by_arity = false;
+    serve.selection = HeadSelection::NaiveXi;
+    serve.fine_tune_steps = 0;
+    FleetConfig {
+        serve,
+        replicas: REPLICAS,
+        merge_every: MERGE_EVERY,
+        admission: AdmissionConfig::default(),
+    }
+}
+
+/// FNV-1a over every admission decision, served bound, and coverage
+/// flag — the replayability witness.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn push(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// One arm's outcomes over the poisoned stream.
+struct ArmOutcome {
+    /// Per-event coverage on **clean** events only; `None` where the
+    /// event was poisoned at injection or quarantined at ingest.
+    clean_flags: Vec<Option<bool>>,
+    digest: u64,
+    stats: pitot_serve::FleetStats,
+}
+
+fn run_arm(
+    fleet: &mut FleetServer,
+    h: &Harness,
+    stream: &[usize],
+    rng: &mut ChaCha8Rng,
+) -> ArmOutcome {
+    let mut digest = Digest::new();
+    let mut clean_flags = Vec::with_capacity(stream.len());
+    for (t, &i) in stream.iter().enumerate() {
+        let obs = h.dataset.observations[i].clone();
+        let mult = rng.gen_range(DEADLINE_MULT.0..DEADLINE_MULT.1);
+        let deadline_s = f64::from(obs.runtime_s) * f64::from(mult);
+        let out = fleet.deadline_query(DeadlineQuery {
+            id: t as u64,
+            workload: obs.workload,
+            platform: obs.platform,
+            interferers: obs.interferers.clone(),
+            deadline_s,
+        });
+        digest.push(&[u8::from(out.decision.admitted())]);
+        digest.push(&out.prediction.bound_s.to_bits().to_le_bytes());
+        // Admission is resolved against the *clean* realized runtime: the
+        // injected fault corrupts what the server observes, not what the
+        // job actually did.
+        fleet.resolve(t as u64, f64::from(obs.runtime_s));
+        let before = fleet.stats();
+        let (_, fb) = fleet.observe(t as f64, obs);
+        let after = fleet.stats();
+        let poisoned = after.injected_corrupt + after.injected_outliers
+            > before.injected_corrupt + before.injected_outliers;
+        digest.push(&[fb.as_ref().map_or(2, |f| u8::from(f.covered))]);
+        clean_flags.push(if poisoned {
+            None
+        } else {
+            fb.map(|f| f.covered)
+        });
+    }
+    ArmOutcome {
+        clean_flags,
+        digest: digest.0,
+        stats: fleet.stats(),
+    }
+}
+
+/// Per-segment coverage over the judged clean events.
+fn segment_coverage_clean(flags: &[Option<bool>]) -> Vec<f32> {
+    let seg = flags.len().div_ceil(SEGMENTS).max(1);
+    flags
+        .chunks(seg)
+        .map(|c| {
+            let judged: Vec<bool> = c.iter().filter_map(|&f| f).collect();
+            judged.iter().filter(|&&b| b).count() as f32 / judged.len().max(1) as f32
+        })
+        .collect()
+}
+
+fn overall_coverage_clean(flags: &[Option<bool>]) -> f32 {
+    let judged: Vec<bool> = flags.iter().filter_map(|&f| f).collect();
+    judged.iter().filter(|&&b| b).count() as f32 / judged.len().max(1) as f32
+}
+
+/// Extension figure: clean-event coverage under poisoned telemetry for a
+/// guarded fleet (ingest guard + summary integrity + watchdog) against
+/// an unguarded fleet and the fault-free baseline, at ε = 0.1.
+pub fn ext_poison(h: &Harness) -> Figure {
+    let mut fig = Figure::new(
+        "ext-poison",
+        "Fleet serving under poisoned telemetry: ingest guard, Byzantine merge rejection, \
+         miscoverage watchdog vs blind trust (extension)",
+    );
+    let eps = 0.1f32;
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        ..h.pitot_config()
+    };
+    let n = match h.scale {
+        crate::harness::Scale::Fast => 1200usize,
+        crate::harness::Scale::Full => 3000,
+    };
+
+    struct ArmSpec {
+        label: &'static str,
+        guarded: bool,
+        plan: Option<fn(usize) -> FaultPlan>,
+    }
+    let specs = [
+        ArmSpec {
+            label: "no faults",
+            guarded: false,
+            plan: None,
+        },
+        ArmSpec {
+            label: "guarded (full schedule)",
+            guarded: true,
+            plan: Some(full_plan),
+        },
+        ArmSpec {
+            label: "unguarded (outlier bursts)",
+            guarded: false,
+            plan: Some(|_| outlier_only_plan()),
+        },
+    ];
+    struct ArmAgg {
+        cov: Vec<Vec<f32>>,
+        overall: Vec<f32>,
+    }
+    let mut agg: Vec<ArmAgg> = specs
+        .iter()
+        .map(|_| ArmAgg {
+            cov: vec![Vec::new(); SEGMENTS],
+            overall: Vec::new(),
+        })
+        .collect();
+
+    for rep in 0..h.replicates {
+        let split = h.split(0.5, rep);
+        let trained = pitot::train(&h.dataset, &split, &cfg.clone().with_seed(rep as u64));
+        let mut rng = ChaCha8Rng::seed_from_u64(0x9015_0000 ^ rep as u64);
+        let mut stream = split.test.clone();
+        stream.shuffle(&mut rng);
+        while stream.len() < n {
+            stream.extend_from_within(0..stream.len().min(n - stream.len()));
+        }
+        stream.truncate(n);
+
+        for (a, spec) in specs.iter().enumerate() {
+            let run = |arm_seed: u64| {
+                let fleet_cfg = fleet_config(eps, spec.guarded);
+                let mut fleet = match spec.plan {
+                    Some(plan) => {
+                        FleetServer::with_faults(trained.clone(), &h.dataset, fleet_cfg, plan(n))
+                    }
+                    None => FleetServer::new(trained.clone(), &h.dataset, fleet_cfg),
+                };
+                fleet.seed_calibration(&split.val);
+                let mut arm_rng = ChaCha8Rng::seed_from_u64(arm_seed);
+                run_arm(&mut fleet, h, &stream, &mut arm_rng)
+            };
+            let arm_seed = (0x9015_0D00 + a as u64) ^ (rep as u64) << 8;
+            let out = run(arm_seed);
+            if spec.plan.is_some() && rep == 0 {
+                // Replayability: the same fault seed must reproduce the
+                // decision digest bitwise (the cross-PITOT_THREADS half of
+                // this property is CI's digest diff on the example).
+                let replay = run(arm_seed);
+                assert_eq!(
+                    out.digest, replay.digest,
+                    "{}: poison replay diverged for a fixed fault seed",
+                    spec.label
+                );
+            }
+            for (s, cov) in segment_coverage_clean(&out.clean_flags)
+                .into_iter()
+                .enumerate()
+            {
+                agg[a].cov[s].push(cov);
+            }
+            agg[a]
+                .overall
+                .push(overall_coverage_clean(&out.clean_flags));
+            let g = &out.stats.guard;
+            fig.notes.push(format!(
+                "{} rep={rep}: digest={:016x} injected corrupt={} outliers={} replays={} \
+                 skews={} byz_emissions={}; quarantined={} (nonfinite={} nonpositive={} \
+                 mad={} watchdog={}) rejected_summaries={}",
+                spec.label,
+                out.digest,
+                out.stats.injected_corrupt,
+                out.stats.injected_outliers,
+                out.stats.injected_replays,
+                out.stats.injected_skews,
+                out.stats.byzantine_emissions,
+                g.quarantined,
+                g.nonfinite_runtimes,
+                g.nonpositive_runtimes,
+                g.mad_outliers,
+                g.watchdog_purged,
+                out.stats.rejected_summaries,
+            ));
+            // Zero silent drops: every delivered observation is judged or
+            // sits in an ingest quarantine counter (watchdog purges
+            // re-audit already-judged entries and are excluded).
+            let s = &out.stats;
+            let ingest_quarantined = g.nonfinite_runtimes + g.nonpositive_runtimes + g.mad_outliers;
+            assert_eq!(
+                s.observations,
+                s.bounded + ingest_quarantined,
+                "{}: silent drop — delivered != judged + quarantined",
+                spec.label
+            );
+            assert!(g.is_consistent(), "{}: guard counters disagree", spec.label);
+        }
+    }
+
+    for (spec, arm) in specs.iter().zip(agg) {
+        fig.series.push(Series {
+            label: spec.label.into(),
+            panel: format!("clean-event coverage under poison (ε={eps})"),
+            metric: "empirical coverage (clean judged events)".into(),
+            points: arm
+                .cov
+                .into_iter()
+                .enumerate()
+                .map(|(s, values)| Point::from_replicates(s as f32, values))
+                .collect(),
+        });
+        fig.series.push(Series {
+            label: spec.label.into(),
+            panel: "overall clean-event coverage".into(),
+            metric: "empirical coverage (whole stream)".into(),
+            points: vec![Point::from_replicates(0.0, arm.overall)],
+        });
+    }
+    fig.notes.push(format!(
+        "full schedule over the {n}-event stream: {CORRUPT_PROB} runtime corruption, \
+         {OUTLIER_PROB} outlier bursts (≤{OUTLIER_BURST_MAX} events at e^{OUTLIER_LOG_SCALE}), \
+         15%/10% replayed/skewed summaries, replica 1 Byzantine from {} \
+         (fault seed {FAULT_SEED:#x})",
+        n / 2
+    ));
+    fig.notes.push(format!(
+        "acceptance: guarded arm clean-event coverage ≥ 0.88 at ε = {eps} under the full \
+         schedule; unguarded arm < 0.80 on its favourable (finite-valued) subset"
+    ));
+    fig.notes.push(format!("nominal coverage: {}", 1.0 - eps));
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scale;
+
+    #[test]
+    fn poison_guarded_holds_and_unguarded_collapses() {
+        let h = Harness::new(Scale::Fast);
+        let fig = ext_poison(&h);
+        let overall = |label: &str| {
+            fig.series_for(label, "overall clean-event coverage")
+                .unwrap_or_else(|| panic!("{label} missing"))
+                .points[0]
+                .mean
+        };
+        // The ISSUE's gates at ε = 0.1.
+        let guarded = overall("guarded (full schedule)");
+        assert!(
+            guarded >= 0.88,
+            "guarded clean-event coverage {guarded} below 0.88"
+        );
+        let unguarded = overall("unguarded (outlier bursts)");
+        assert!(
+            unguarded < 0.80,
+            "unguarded arm failed to collapse: coverage {unguarded}"
+        );
+        let baseline = overall("no faults");
+        assert!(
+            baseline >= 0.88,
+            "fault-free baseline {baseline} below 0.88"
+        );
+
+        // The schedule actually fired every fault class on the guarded arm.
+        let guard_note = fig
+            .notes
+            .iter()
+            .find(|n| n.starts_with("guarded (full schedule) rep=0"))
+            .expect("guarded arm note");
+        for needle in [
+            "corrupt=0 ",
+            "outliers=0 ",
+            "replays=0 ",
+            "skews=0 ",
+            "byz_emissions=0;",
+        ] {
+            assert!(
+                !guard_note.contains(needle),
+                "fault class never fired: {needle} in {guard_note}"
+            );
+        }
+        assert!(
+            !guard_note.contains("rejected_summaries=0"),
+            "no tampered summary was rejected: {guard_note}"
+        );
+    }
+
+    #[test]
+    fn plans_validate_and_differ_only_in_data_faults() {
+        let full = full_plan(1000);
+        full.validate(REPLICAS);
+        let subset = outlier_only_plan();
+        subset.validate(REPLICAS);
+        assert_eq!(full.outlier_prob, subset.outlier_prob);
+        assert_eq!(full.outlier_log_scale, subset.outlier_log_scale);
+        assert_eq!(subset.corrupt_prob, 0.0);
+        assert!(subset.byzantine.is_none());
+    }
+}

@@ -69,6 +69,41 @@ pub struct ServeConfig {
     /// honestly *widening* intervals to reflect that the local window is a
     /// shard, not the fleet (1.0 = no widening; default 0.5 halves ε).
     pub stale_epsilon_factor: f32,
+    /// Master switch of the trustworthy-telemetry ingest guard. When on,
+    /// non-finite/non-positive runtimes are **quarantined** into the
+    /// audited side buffer (see [`crate::GuardStats`]) instead of
+    /// panicking, and the MAD outlier screen (below) runs on every
+    /// arrival. When off (the default), ingest trusts its telemetry and a
+    /// corrupt runtime panics at the event boundary — the fail-stop
+    /// posture of PR 7.
+    pub ingest_guard: bool,
+    /// Robust outlier screen: an arriving observation whose head-0
+    /// nonconformity score `s` satisfies
+    /// `|s − median| > guard_mad_k · 1.4826 · MAD` over the current
+    /// window is quarantined. `0.0` disables the screen (the finite/bounds
+    /// checks still run while [`ServeConfig::ingest_guard`] is on).
+    /// Default 8.0 — far enough out that honest drift passes and only
+    /// scale-class corruption trips it.
+    pub guard_mad_k: f32,
+    /// Minimum window occupancy before the MAD screen judges arrivals (a
+    /// near-empty window has no robust scale estimate). Default 64.
+    pub guard_min_n: usize,
+    /// Quarantine audit records retained (a bounded ring; the per-cause
+    /// *counters* are cumulative and never truncated). Default 256.
+    pub quarantine_retain: usize,
+    /// Miscoverage watchdog: fires when prequential coverage over the
+    /// drift window falls below `1 − ε − watchdog_z·√(ε(1−ε)/n)`,
+    /// triggering a quarantine-rollback rescore of the calibration window
+    /// (poisoned entries are purged by the MAD screen and the rebuilt
+    /// window's clock advances past every poisoned snapshot). `0.0` (the
+    /// default) disables the watchdog. Requires the ingest guard and MAD
+    /// screen to be enabled. Typical: 4.0 — strictly wider slack than
+    /// `drift_z` so model drift retrains before poisoning rolls back.
+    pub watchdog_z: f32,
+    /// Minimum judged observations before the watchdog can fire (and,
+    /// because firing resets the coverage monitor, the minimum spacing
+    /// between consecutive firings). Default 128.
+    pub watchdog_min: usize,
 }
 
 impl ServeConfig {
@@ -94,6 +129,25 @@ impl ServeConfig {
             rebuild_growth: 1.5,
             staleness_threshold: 0,
             stale_epsilon_factor: 0.5,
+            ingest_guard: false,
+            guard_mad_k: 8.0,
+            guard_min_n: 64,
+            quarantine_retain: 256,
+            watchdog_z: 0.0,
+            watchdog_min: 128,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// [`ServeConfig::at`] with the full trustworthy-telemetry posture on:
+    /// ingest guard, MAD screen, and the miscoverage watchdog at
+    /// `watchdog_z = 4.0`.
+    pub fn guarded(epsilon: f32) -> Self {
+        let cfg = Self {
+            ingest_guard: true,
+            watchdog_z: 4.0,
+            ..Self::at(epsilon)
         };
         cfg.validate();
         cfg
@@ -173,6 +227,58 @@ impl ServeConfig {
              or 0 to disable staleness tracking (the default)",
             self.staleness_threshold,
             self.drift_min
+        );
+        assert!(
+            self.guard_mad_k.is_finite() && self.guard_mad_k >= 0.0,
+            "ServeConfig.guard_mad_k = {} is invalid: the MAD outlier \
+             multiplier must be finite and ≥ 0 (0.0 disables the screen; \
+             default: 8.0)",
+            self.guard_mad_k
+        );
+        assert!(
+            !self.ingest_guard || self.guard_min_n >= 1,
+            "ServeConfig.guard_min_n = 0 is invalid while ingest_guard is \
+             on: the MAD screen needs at least 1 windowed observation for \
+             a scale estimate (default: 64; or set ingest_guard = false)"
+        );
+        assert!(
+            !self.ingest_guard || self.quarantine_retain >= 1,
+            "ServeConfig.quarantine_retain = 0 is invalid while \
+             ingest_guard is on: quarantining must never be silent, so the \
+             audit ring must retain at least 1 record (default: 256; or \
+             set ingest_guard = false)"
+        );
+        assert!(
+            self.watchdog_z.is_finite() && self.watchdog_z >= 0.0,
+            "ServeConfig.watchdog_z = {} is invalid: the watchdog's \
+             binomial-slack multiplier must be finite and ≥ 0 (0.0 \
+             disables the watchdog; typical: 4.0)",
+            self.watchdog_z
+        );
+        assert!(
+            self.watchdog_z == 0.0 || self.ingest_guard,
+            "ServeConfig.watchdog_z = {} is invalid while ingest_guard = \
+             false: the watchdog's quarantine-rollback rescore purges \
+             entries through the guard's MAD screen, so enable \
+             ingest_guard = true (or set watchdog_z = 0.0 to disable the \
+             watchdog)",
+            self.watchdog_z
+        );
+        assert!(
+            self.watchdog_z == 0.0 || self.guard_mad_k > 0.0,
+            "ServeConfig.guard_mad_k = 0 is invalid while watchdog_z = {} \
+             > 0: a rollback with the MAD screen disabled would purge \
+             nothing and re-fire forever; use guard_mad_k > 0 (default: \
+             8.0) or watchdog_z = 0.0",
+            self.watchdog_z
+        );
+        assert!(
+            self.watchdog_z == 0.0 || self.watchdog_min >= 1,
+            "ServeConfig.watchdog_min = 0 is invalid while watchdog_z = {} \
+             > 0: the watchdog must see at least 1 judged observation \
+             before rolling back a window (default: 128; or set watchdog_z \
+             = 0.0)",
+            self.watchdog_z
         );
     }
 }
@@ -407,6 +513,114 @@ mod tests {
         assert!(m.contains("ServeConfig.staleness_threshold = 8"), "{m}");
         assert!(m.contains("drift_min = 64"), "constraint source: {m}");
         assert!(m.contains("≥ drift_min"), "fix: {m}");
+
+        // --- trustworthy-telemetry guard/watchdog knobs (PR 8) ---
+        let m = message(|| {
+            let c = ServeConfig {
+                guard_mad_k: -1.0,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.guard_mad_k = -1"), "{m}");
+        assert!(m.contains("8.0"), "default: {m}");
+
+        let m = message(|| {
+            let c = ServeConfig {
+                ingest_guard: true,
+                guard_min_n: 0,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.guard_min_n = 0"), "{m}");
+        assert!(m.contains("ingest_guard = false"), "alternative: {m}");
+
+        let m = message(|| {
+            let c = ServeConfig {
+                ingest_guard: true,
+                quarantine_retain: 0,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.quarantine_retain = 0"), "{m}");
+        assert!(m.contains("never be silent"), "rationale: {m}");
+
+        let m = message(|| {
+            let c = ServeConfig {
+                watchdog_z: f32::NAN,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.watchdog_z = NaN"), "{m}");
+
+        let m = message(|| {
+            let c = ServeConfig {
+                ingest_guard: false,
+                watchdog_z: 4.0,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.watchdog_z = 4"), "{m}");
+        assert!(m.contains("ingest_guard = true"), "fix: {m}");
+
+        let m = message(|| {
+            let c = ServeConfig {
+                ingest_guard: true,
+                watchdog_z: 4.0,
+                guard_mad_k: 0.0,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.guard_mad_k = 0"), "{m}");
+        assert!(m.contains("watchdog_z = 4"), "constraint source: {m}");
+
+        let m = message(|| {
+            let c = ServeConfig {
+                ingest_guard: true,
+                watchdog_z: 4.0,
+                watchdog_min: 0,
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.watchdog_min = 0"), "{m}");
+        assert!(m.contains("watchdog_z = 0.0"), "alternative: {m}");
+    }
+
+    /// The guarded preset and the guard knobs' accepted edges validate:
+    /// screen disabled under a live guard, watchdog off with guard on,
+    /// and the full posture.
+    #[test]
+    fn guard_knob_edges_validate() {
+        ServeConfig::guarded(0.1).validate();
+        let c = ServeConfig {
+            ingest_guard: true,
+            guard_mad_k: 0.0, // finite/bounds checks only
+            ..ServeConfig::default()
+        };
+        c.validate();
+        let c = ServeConfig {
+            ingest_guard: true,
+            guard_min_n: 1,
+            quarantine_retain: 1,
+            watchdog_z: 4.0,
+            watchdog_min: 1,
+            ..ServeConfig::default()
+        };
+        c.validate();
+        // Guard knobs are inert while the guard is off.
+        let c = ServeConfig {
+            ingest_guard: false,
+            guard_min_n: 0,
+            quarantine_retain: 0,
+            ..ServeConfig::default()
+        };
+        c.validate();
     }
 
     /// The staleness knobs' accepted edges: disabled, exactly drift_min,

@@ -106,11 +106,20 @@ impl CoverageMonitor {
     /// slack: `coverage < 1 − ε − z·√(ε(1−ε)/n)`. Always `false` before
     /// `min_n` observations.
     pub fn undercovering(&self) -> bool {
+        self.undercovering_by(self.z, self.min_n)
+    }
+
+    /// [`CoverageMonitor::undercovering`] at a caller-supplied slack
+    /// multiplier and minimum count, so several consumers with different
+    /// sensitivities — the drift detector's fine-tune trigger and the
+    /// miscoverage watchdog's poisoning rollback — can share one
+    /// prequential ring instead of double-counting outcomes.
+    pub fn undercovering_by(&self, z: f32, min_n: usize) -> bool {
         let n = self.hits.len();
-        if n < self.min_n.max(1) {
+        if n < min_n.max(1) {
             return false;
         }
-        let slack = self.z * (self.epsilon * (1.0 - self.epsilon) / n as f32).sqrt();
+        let slack = z * (self.epsilon * (1.0 - self.epsilon) / n as f32).sqrt();
         self.coverage() < 1.0 - self.epsilon - slack
     }
 
@@ -162,6 +171,22 @@ mod tests {
         assert!(!m.undercovering());
         m.push(false, 0.1);
         assert!(m.undercovering());
+    }
+
+    #[test]
+    fn undercovering_by_separates_consumers() {
+        let mut m = CoverageMonitor::new(0.1, 200, 3.0, 50);
+        for i in 0..200 {
+            m.push(i % 10 != 0, 0.5);
+        }
+        // Mild dip to 80% coverage: a tight consumer fires, a looser one
+        // does not, and the minimum count gates both.
+        for i in 0..200 {
+            m.push(i % 5 < 4, 0.5);
+        }
+        assert!(m.undercovering_by(1.0, 50));
+        assert!(!m.undercovering_by(20.0, 50));
+        assert!(!m.undercovering_by(1.0, 1000));
     }
 
     #[test]

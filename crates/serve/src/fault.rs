@@ -29,6 +29,25 @@
 //!   coordinator retries with bounded exponential backoff) or delayed by a
 //!   few rounds (it is absorbed late; the CRDT clock makes late delivery
 //!   harmless).
+//! - **Data faults** (fail-*noisy*, not fail-stop): observations whose
+//!   runtimes are corrupted to NaN/Inf/zero/negative
+//!   ([`FaultPlan::corrupt_prob`]), seeded scale-outlier bursts that
+//!   multiply runtimes by `e^{log_scale}` for a few consecutive
+//!   observations ([`FaultPlan::outlier_bursts`]), replayed stale
+//!   summaries ([`FaultPlan::replay_prob`]), clock-skewed snapshots
+//!   ([`FaultPlan::skew_prob`]), and a [`ByzantineReplica`] whose emitted
+//!   summaries are tampered (via
+//!   [`pitot_conformal::MergeableWindow::corrupt_run`]). Corrupted
+//!   telemetry is *injected upstream of* the ingest guard and summary
+//!   integrity checks, so the guarded arm of a chaos run exercises the
+//!   full detect-quarantine-audit path.
+//!
+//! Data-fault draws come from a **second** seeded RNG, distinct from the
+//! control-path RNG: injecting telemetry noise must not perturb the
+//! drop/delay/gossip decision stream, and — because a muted and a
+//! corrupt Byzantine replica consume identical data-fault draws — a
+//! tamper-everything arm can be pinned bitwise against a never-delivers
+//! oracle arm.
 //!
 //! Site failures mid-job are the orchestrator's half of the story — see
 //! `pitot_orchestrator::SiteFault` for killing and re-queuing running jobs
@@ -57,6 +76,23 @@ pub struct CoordinatorOutage {
     /// First fleet-wide observation count after the outage. Must be
     /// `> from`.
     pub until: usize,
+}
+
+/// One replica that stops being honest: from a scheduled observation
+/// count onward, every summary it emits is tampered (or, in the oracle
+/// mode, silently withheld).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByzantineReplica {
+    /// Replica index that turns Byzantine.
+    pub replica: usize,
+    /// Fleet-wide observation count from which its summaries misbehave.
+    pub from: usize,
+    /// Oracle mode: consume exactly the same data-fault RNG draws as the
+    /// tampering replica would, but emit *nothing*. Because the summary
+    /// integrity layer rejects every tampered summary, a fleet with a
+    /// tampering replica must install bitwise-identical calibrations to
+    /// its muted twin — the pin the `ext-poison` experiment asserts.
+    pub mute: bool,
 }
 
 /// A deterministic, seeded fault schedule for a `FleetServer` (see the
@@ -94,6 +130,34 @@ pub struct FaultPlan {
     /// coordinator is unreachable (the graceful-degradation ladder's
     /// middle rung; disable to measure staleness fallback alone).
     pub gossip_during_outage: bool,
+    /// Probability that an observation's reported runtime is corrupted to
+    /// a non-finite or non-positive value (NaN, +∞, 0, −1, cycling
+    /// deterministically). In `[0, 1)`.
+    pub corrupt_prob: f32,
+    /// Probability that an observation *starts* a scale-outlier burst
+    /// (while a burst is live, no new one starts). In `[0, 1)`.
+    pub outlier_prob: f32,
+    /// Log-space shift applied to runtimes inside an outlier burst:
+    /// `runtime ← runtime · e^{outlier_log_scale}`. Must be finite and
+    /// nonzero when [`FaultPlan::outlier_prob`] > 0; negative values
+    /// shrink runtimes (the direction that silently *under*-covers an
+    /// unguarded window).
+    pub outlier_log_scale: f32,
+    /// Maximum burst length in observations (the actual length is drawn
+    /// uniformly from `1..=outlier_burst_max`). Must be ≥ 1 when
+    /// [`FaultPlan::outlier_prob`] > 0.
+    pub outlier_burst_max: usize,
+    /// Probability that, in a coordinator merge round, a replica's fresh
+    /// summary is replaced by a replay of its last accepted one (a
+    /// duplicated/stale delivery, rejected and counted by the integrity
+    /// layer). In `[0, 1)`.
+    pub replay_prob: f32,
+    /// Probability that a replica's summary arrives with its snapshot
+    /// clock skewed implausibly far forward (rejected and counted by the
+    /// integrity layer). In `[0, 1)`.
+    pub skew_prob: f32,
+    /// The scheduled Byzantine replica, if any (see [`ByzantineReplica`]).
+    pub byzantine: Option<ByzantineReplica>,
 }
 
 impl FaultPlan {
@@ -109,6 +173,13 @@ impl FaultPlan {
             retry_backoff: 4,
             max_retries: 3,
             gossip_during_outage: true,
+            corrupt_prob: 0.0,
+            outlier_prob: 0.0,
+            outlier_log_scale: 0.0,
+            outlier_burst_max: 1,
+            replay_prob: 0.0,
+            skew_prob: 0.0,
+            byzantine: None,
         }
     }
 
@@ -141,6 +212,56 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the per-observation runtime-corruption probability (NaN/∞/0/−1).
+    pub fn corrupt_observations(mut self, prob: f32) -> Self {
+        self.corrupt_prob = prob;
+        self
+    }
+
+    /// Sets the scale-outlier burst schedule: start probability, log-space
+    /// shift per corrupted runtime, and maximum burst length.
+    pub fn outlier_bursts(mut self, prob: f32, log_scale: f32, max_len: usize) -> Self {
+        self.outlier_prob = prob;
+        self.outlier_log_scale = log_scale;
+        self.outlier_burst_max = max_len;
+        self
+    }
+
+    /// Sets the per-round stale-summary replay probability.
+    pub fn replay_summaries(mut self, prob: f32) -> Self {
+        self.replay_prob = prob;
+        self
+    }
+
+    /// Sets the per-round clock-skew probability.
+    pub fn skew_clocks(mut self, prob: f32) -> Self {
+        self.skew_prob = prob;
+        self
+    }
+
+    /// Schedules `replica` to emit tampered summaries from observation
+    /// `from` onward.
+    pub fn byzantine_replica(mut self, replica: usize, from: usize) -> Self {
+        self.byzantine = Some(ByzantineReplica {
+            replica,
+            from,
+            mute: false,
+        });
+        self
+    }
+
+    /// The oracle twin of [`FaultPlan::byzantine_replica`]: same RNG
+    /// draws, but the replica's summaries are withheld instead of
+    /// tampered (see [`ByzantineReplica::mute`]).
+    pub fn mute_replica(mut self, replica: usize, from: usize) -> Self {
+        self.byzantine = Some(ByzantineReplica {
+            replica,
+            from,
+            mute: true,
+        });
+        self
+    }
+
     /// Whether any fault is actually scheduled (a [`FaultPlan::none`] plan
     /// exercises only the bookkeeping).
     pub fn is_trivial(&self) -> bool {
@@ -148,6 +269,38 @@ impl FaultPlan {
             && self.outages.is_empty()
             && self.drop_prob == 0.0
             && self.delay_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && self.outlier_prob == 0.0
+            && self.replay_prob == 0.0
+            && self.skew_prob == 0.0
+            && self.byzantine.is_none()
+    }
+
+    /// Observation delay before retry attempt `attempt` (0-based) of a
+    /// dropped summary: `(retry_backoff << attempt) + jitter`, saturating
+    /// at `usize::MAX` instead of overflowing when the exponential
+    /// escapes the machine word (large `max_retries` settings are valid
+    /// configuration, not a panic).
+    ///
+    /// `jitter` is the caller's seeded draw from `0..retry_backoff`
+    /// (debug-asserted); keeping the draw at the call site keeps all RNG
+    /// consumption in the fleet's single-threaded control path.
+    pub fn retry_delay(&self, attempt: u32, jitter: usize) -> usize {
+        debug_assert!(
+            jitter < self.retry_backoff.max(1),
+            "retry jitter {jitter} outside 0..{}",
+            self.retry_backoff
+        );
+        // `checked_shl` only guards the shift *amount*; a value whose top
+        // bits shift out still wraps. Saturate on either.
+        let base = if attempt <= self.retry_backoff.leading_zeros() {
+            self.retry_backoff
+                .checked_shl(attempt)
+                .unwrap_or(usize::MAX)
+        } else {
+            usize::MAX
+        };
+        base.saturating_add(jitter)
     }
 
     /// Whether `obs` (a fleet-wide observation count) falls inside a
@@ -233,6 +386,56 @@ impl FaultPlan {
              disable drops)",
             self.drop_prob
         );
+        assert!(
+            (0.0..1.0).contains(&self.corrupt_prob),
+            "FaultPlan.corrupt_prob = {} is invalid: the runtime corruption \
+             probability must be in [0, 1) (1.0 would leave no clean \
+             telemetry to calibrate on; 0.0 disables corruption)",
+            self.corrupt_prob
+        );
+        assert!(
+            (0.0..1.0).contains(&self.outlier_prob),
+            "FaultPlan.outlier_prob = {} is invalid: the outlier-burst \
+             start probability must be in [0, 1) (0.0 disables bursts)",
+            self.outlier_prob
+        );
+        assert!(
+            self.outlier_prob == 0.0
+                || (self.outlier_log_scale.is_finite() && self.outlier_log_scale != 0.0),
+            "FaultPlan.outlier_log_scale = {} is invalid while outlier_prob \
+             = {} > 0: burst runtimes are multiplied by e^log_scale, so the \
+             shift must be finite and nonzero (e.g. -2.0 shrinks runtimes \
+             ~7.4x; or set outlier_prob = 0.0 to disable bursts)",
+            self.outlier_log_scale,
+            self.outlier_prob
+        );
+        assert!(
+            self.outlier_prob == 0.0 || self.outlier_burst_max >= 1,
+            "FaultPlan.outlier_burst_max = 0 is invalid while outlier_prob \
+             = {} > 0: a burst must span ≥ 1 observation (default: 1; or \
+             set outlier_prob = 0.0 to disable bursts)",
+            self.outlier_prob
+        );
+        assert!(
+            (0.0..1.0).contains(&self.replay_prob),
+            "FaultPlan.replay_prob = {} is invalid: the stale-summary \
+             replay probability must be in [0, 1) (0.0 disables replays)",
+            self.replay_prob
+        );
+        assert!(
+            (0.0..1.0).contains(&self.skew_prob),
+            "FaultPlan.skew_prob = {} is invalid: the clock-skew \
+             probability must be in [0, 1) (0.0 disables skew)",
+            self.skew_prob
+        );
+        if let Some(b) = self.byzantine {
+            assert!(
+                b.replica < replicas,
+                "FaultPlan.byzantine.replica = {} is invalid: the fleet has \
+                 {replicas} replicas (valid indices: 0..{replicas})",
+                b.replica
+            );
+        }
     }
 }
 
@@ -288,6 +491,56 @@ impl DegradedWindow {
             self.covered as f32 / self.bounded as f32
         }
     }
+}
+
+/// Why the coordinator (or a gossip partner) refused to absorb a window
+/// summary. The first four map one-to-one onto
+/// [`pitot_conformal::SummaryFault`] — structural lies the checksum and
+/// sanity checks catch; the last two are clock-plausibility screens the
+/// receiver runs on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RejectCause {
+    /// The summary's recomputed checksum did not match its claimed one.
+    BadChecksum,
+    /// A score segment contained a NaN or infinity.
+    NonFiniteScore,
+    /// A score segment claimed to be sorted but was not.
+    UnsortedRun,
+    /// The summary's claimed cardinalities disagreed with its segments.
+    CardinalityLie,
+    /// The summary's clock was not newer than the last accepted one from
+    /// the same replica on a freshness-guaranteed path (a duplicated or
+    /// replayed send).
+    Replayed,
+    /// The summary's clock was implausibly far ahead of anything the fleet
+    /// has observed.
+    SkewedClock,
+}
+
+impl RejectCause {
+    /// Maps a structural verification failure onto its audit cause.
+    pub fn from_fault(fault: pitot_conformal::SummaryFault) -> Self {
+        match fault {
+            pitot_conformal::SummaryFault::ChecksumMismatch => Self::BadChecksum,
+            pitot_conformal::SummaryFault::NonFiniteScore => Self::NonFiniteScore,
+            pitot_conformal::SummaryFault::UnsortedRun => Self::UnsortedRun,
+            pitot_conformal::SummaryFault::CardinalityMismatch => Self::CardinalityLie,
+        }
+    }
+}
+
+/// One rejected window summary's audit record: which replica's summary was
+/// refused, when, and why — the reject-and-count half of the trust
+/// boundary (the other half being that nothing rejected is ever absorbed,
+/// so a Byzantine replica degrades only itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RejectedSummary {
+    /// The replica whose summary (or gossip view segment) was at fault.
+    pub replica: usize,
+    /// Fleet-wide observation count when the rejection happened.
+    pub at_obs: usize,
+    /// Why it was refused.
+    pub cause: RejectCause,
 }
 
 #[cfg(test)]
@@ -393,6 +646,107 @@ mod tests {
         let m = message(move || p.validate(1));
         assert!(m.contains("FaultPlan.retry_backoff = 0"), "{m}");
         assert!(m.contains("drop_prob = 0.0"), "alternative: {m}");
+    }
+
+    #[test]
+    fn data_fault_plan_validates_and_is_not_trivial() {
+        let p = FaultPlan::none(3)
+            .corrupt_observations(0.05)
+            .outlier_bursts(0.02, -2.0, 6)
+            .replay_summaries(0.1)
+            .skew_clocks(0.1)
+            .byzantine_replica(2, 100);
+        p.validate(4);
+        assert!(!p.is_trivial());
+        // Each data fault alone also breaks triviality.
+        assert!(!FaultPlan::none(0).corrupt_observations(0.1).is_trivial());
+        assert!(!FaultPlan::none(0).outlier_bursts(0.1, 1.0, 2).is_trivial());
+        assert!(!FaultPlan::none(0).replay_summaries(0.1).is_trivial());
+        assert!(!FaultPlan::none(0).skew_clocks(0.1).is_trivial());
+        assert!(!FaultPlan::none(0).mute_replica(0, 0).is_trivial());
+    }
+
+    #[test]
+    fn rejects_certain_corruption() {
+        let m = message(|| FaultPlan::none(0).corrupt_observations(1.0).validate(1));
+        assert!(m.contains("FaultPlan.corrupt_prob = 1"), "{m}");
+        assert!(m.contains("[0, 1)"), "valid range: {m}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_outlier_prob() {
+        let m = message(|| FaultPlan::none(0).outlier_bursts(-0.1, 1.0, 2).validate(1));
+        assert!(m.contains("FaultPlan.outlier_prob = -0.1"), "{m}");
+        assert!(m.contains("[0, 1)"), "valid range: {m}");
+    }
+
+    #[test]
+    fn rejects_zero_outlier_scale_with_bursts_enabled() {
+        let m = message(|| FaultPlan::none(0).outlier_bursts(0.1, 0.0, 2).validate(1));
+        assert!(m.contains("FaultPlan.outlier_log_scale = 0"), "{m}");
+        assert!(m.contains("outlier_prob = 0.0"), "alternative: {m}");
+        // NaN scale is rejected too; zero scale is fine while disabled.
+        let m = message(|| {
+            FaultPlan::none(0)
+                .outlier_bursts(0.1, f32::NAN, 2)
+                .validate(1)
+        });
+        assert!(m.contains("FaultPlan.outlier_log_scale = NaN"), "{m}");
+        FaultPlan::none(0).outlier_bursts(0.0, 0.0, 0).validate(1);
+    }
+
+    #[test]
+    fn rejects_zero_burst_length_with_bursts_enabled() {
+        let m = message(|| FaultPlan::none(0).outlier_bursts(0.1, 1.0, 0).validate(1));
+        assert!(m.contains("FaultPlan.outlier_burst_max = 0"), "{m}");
+        assert!(m.contains("outlier_prob = 0.0"), "alternative: {m}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_replay_and_skew_probs() {
+        let m = message(|| FaultPlan::none(0).replay_summaries(1.5).validate(1));
+        assert!(m.contains("FaultPlan.replay_prob = 1.5"), "{m}");
+        let m = message(|| FaultPlan::none(0).skew_clocks(1.5).validate(1));
+        assert!(m.contains("FaultPlan.skew_prob = 1.5"), "{m}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_byzantine_replica() {
+        let m = message(|| FaultPlan::none(0).byzantine_replica(4, 10).validate(4));
+        assert!(m.contains("FaultPlan.byzantine.replica = 4"), "{m}");
+        assert!(m.contains("0..4"), "valid alternatives: {m}");
+    }
+
+    proptest::proptest! {
+        /// Retry-delay invariants: never panics (however large the
+        /// attempt), jitter-bounded above the exponential base, and
+        /// monotone in the attempt number even across the saturation
+        /// boundary.
+        #[test]
+        fn retry_delay_is_bounded_and_monotone(
+            backoff in 1usize..1000,
+            attempt in 0u32..200,
+            jitter_k in 0usize..1000,
+        ) {
+            let mut p = FaultPlan::none(0);
+            p.retry_backoff = backoff;
+            let jitter = jitter_k % backoff;
+            let d = p.retry_delay(attempt, jitter);
+            let base = p.retry_delay(attempt, 0);
+            // Jitter adds at most backoff-1 (saturating).
+            proptest::prop_assert!(d >= base);
+            proptest::prop_assert!(d <= base.saturating_add(backoff - 1));
+            // The un-jittered base is the saturating exponential.
+            if attempt < 40 {
+                let exact = backoff.checked_shl(attempt);
+                proptest::prop_assert_eq!(base, exact.unwrap_or(usize::MAX));
+            }
+            // Monotone: the next attempt's floor clears this attempt's
+            // ceiling (2·base ≥ base + backoff since base ≥ backoff).
+            proptest::prop_assert!(p.retry_delay(attempt + 1, 0) >= d);
+            // Saturation, not overflow, at absurd attempt counts.
+            proptest::prop_assert_eq!(p.retry_delay(u32::MAX, 0), usize::MAX);
+        }
     }
 
     #[test]

@@ -49,16 +49,44 @@
 //! backoff; delayed ones are absorbed late (the CRDT clock makes stale
 //! deliveries harmless). Every fault window opens a [`DegradedWindow`]
 //! audit attributing coverage/SLO loss to the fault that caused it.
+//!
+//! # Trust boundary: fail-noisy telemetry
+//!
+//! The same [`FaultPlan`] can also corrupt the *data* instead of the
+//! links: observations arrive with NaN/Inf/negative runtimes or
+//! scale-outlier bursts, and summaries arrive tampered (a Byzantine
+//! replica), replayed, or clock-skewed. The fleet treats every replica
+//! summary and every observation as **untrusted until screened**:
+//!
+//! - Observations pass each replica's ingest guard
+//!   ([`crate::ServeConfig::ingest_guard`]), which quarantines — never
+//!   silently drops — corrupt runtimes and MAD-outlier scores into an
+//!   audited side buffer ([`crate::GuardStats`]).
+//! - Summaries are verified **before** being absorbed, on every path
+//!   (coordinator round, delayed delivery, retry, gossip join):
+//!   per-segment checksums and structural sanity via
+//!   [`pitot_conformal::MergeableWindow::verify`], plus receiver-side
+//!   clock-plausibility screens for replays and skews. Each refusal is
+//!   counted and recorded as a [`RejectedSummary`] naming the offending
+//!   replica, so a Byzantine replica degrades only itself: the installed
+//!   fleet calibration stays bitwise-pinned to what a clean-replica-only
+//!   fleet would fit.
 
 use crate::admission::{AdmissionDecision, AdmissionQueue};
 use crate::config::{FleetConfig, ServeConfig};
-use crate::fault::{DegradedCause, DegradedWindow, FaultPlan};
+use crate::fault::{DegradedCause, DegradedWindow, FaultPlan, RejectCause, RejectedSummary};
+use crate::guard::GuardStats;
 use crate::server::{ObservedFeedback, PitotServer, Prediction};
 use pitot::TrainedPitot;
-use pitot_conformal::{MergeableWindow, PooledConformal, PredictionSet};
+use pitot_conformal::{MergeableWindow, PooledConformal, PredictionSet, TamperMode};
 use pitot_testbed::{Dataset, Observation};
 use rand::{seq::SliceRandom, Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// The clock jump a skew-injected summary carries — far beyond any honest
+/// clock at the scales the harnesses run, so the receiver's plausibility
+/// screen (see [`FleetServer::skew_threshold`]) separates it cleanly.
+const SKEW_JUMP: u64 = 1 << 20;
 
 /// A placement question with an SLO attached: "will `workload` on
 /// `platform` next to `interferers` finish within `deadline_s` seconds?"
@@ -142,6 +170,27 @@ pub struct FleetStats {
     pub degraded_covered: usize,
     /// Stale-mode fallback refits performed across replicas.
     pub fallback_refits: usize,
+    /// Observations whose runtime the fault plan corrupted into a NaN,
+    /// infinity, or negative value before delivery.
+    pub injected_corrupt: usize,
+    /// Observations the fault plan scaled into outliers (every member of a
+    /// burst counts).
+    pub injected_outliers: usize,
+    /// Stale duplicate summaries the fault plan re-sent in place of fresh
+    /// ones.
+    pub injected_replays: usize,
+    /// Summaries the fault plan emitted with an implausibly skewed clock.
+    pub injected_skews: usize,
+    /// Summary emissions the Byzantine replica tampered with (or, in mute
+    /// mode, withheld while consuming identical RNG draws).
+    pub byzantine_emissions: usize,
+    /// Summaries refused by the integrity screen across all absorb paths
+    /// (see [`FleetServer::rejected_audit`] for the per-rejection records).
+    pub rejected_summaries: usize,
+    /// Ingest-guard quarantine counters summed across replicas (crashed
+    /// instances' counters included) — the observation-level half of the
+    /// zero-silent-drops ledger.
+    pub guard: GuardStats,
     /// Admission decision counters.
     pub admission: crate::admission::AdmissionStats,
 }
@@ -190,6 +239,23 @@ struct FleetTemplate {
 struct FaultRuntime {
     plan: FaultPlan,
     rng: ChaCha8Rng,
+    /// A second, independently seeded stream for the *data* faults
+    /// (corrupt runtimes, outlier bursts, replay/skew draws, tamper
+    /// salts), so enabling telemetry noise never perturbs the control
+    /// faults' drop/delay/gossip draws — and so a Byzantine replica's
+    /// muted oracle twin can consume bitwise-identical draws.
+    data_rng: ChaCha8Rng,
+    /// Remaining length of the outlier burst in flight (0 = none).
+    outlier_left: usize,
+    /// Byzantine summary emissions so far (cycles the tamper mode).
+    byz_emissions: usize,
+    /// Per replica: the last cleanly emitted summary, held so a replay
+    /// injection has a genuine stale duplicate to re-send.
+    prev_summary: Vec<Option<MergeableWindow>>,
+    injected_corrupt: usize,
+    injected_outliers: usize,
+    injected_replays: usize,
+    injected_skews: usize,
     down: Vec<bool>,
     /// Per `plan.crashes` entry: whether the crash / rejoin has fired.
     crash_done: Vec<bool>,
@@ -223,6 +289,14 @@ impl FaultRuntime {
         let n_crashes = plan.crashes.len();
         Self {
             rng: ChaCha8Rng::seed_from_u64(plan.seed ^ 0xFA_07_1C_A5),
+            data_rng: ChaCha8Rng::seed_from_u64(plan.seed ^ 0xDA_7A_BA_D5),
+            outlier_left: 0,
+            byz_emissions: 0,
+            prev_summary: vec![None; replicas],
+            injected_corrupt: 0,
+            injected_outliers: 0,
+            injected_replays: 0,
+            injected_skews: 0,
             down: vec![false; replicas],
             crash_done: vec![false; n_crashes],
             rejoin_done: vec![false; n_crashes],
@@ -278,6 +352,12 @@ pub struct FleetServer {
     /// fleet totals survive a rejoin. Only the per-replica-summed fields
     /// are ever nonzero here.
     retired: FleetStats,
+    /// Guard counters inherited from replaced (crashed) replica instances.
+    retired_guard: GuardStats,
+    /// Bounded audit ring of refused summaries, oldest first.
+    rejected: Vec<RejectedSummary>,
+    /// Total refusals ever (never truncated, unlike the ring).
+    rejected_total: usize,
 }
 
 impl std::fmt::Debug for FleetServer {
@@ -328,8 +408,15 @@ impl FleetServer {
             template: None,
             faults: None,
             retired: FleetStats::default(),
+            retired_guard: GuardStats::default(),
+            rejected: Vec::new(),
+            rejected_total: 0,
         }
     }
+
+    /// Maximum rejected-summary audit records retained (the
+    /// [`FleetStats::rejected_summaries`] counter is never truncated).
+    pub const REJECT_RETAIN: usize = 1024;
 
     /// [`FleetServer::new`] with a deterministic fault schedule installed
     /// (see the module docs for the degradation ladder the fleet walks
@@ -427,6 +514,7 @@ impl FleetServer {
         obs: Observation,
     ) -> Option<ObservedFeedback> {
         self.tick();
+        let obs = self.inject_data_faults(obs);
         if self.faults.as_ref().is_some_and(|f| f.down[replica]) {
             let f = self.faults.as_mut().expect("just checked");
             f.lost_observations += 1;
@@ -436,10 +524,16 @@ impl FleetServer {
             self.after_observation();
             return None;
         }
-        let fb = self.replicas[replica]
-            .on_event(at_s, crate::server::Event::Observe(obs))
+        let resp = self.replicas[replica].on_event(at_s, crate::server::Event::Observe(obs));
+        if resp.quarantined.is_some() {
+            // Audited in the replica's guard counters — never judged, so
+            // no prequential feedback.
+            self.after_observation();
+            return None;
+        }
+        let fb = resp
             .observed
-            .expect("observation events produce feedback");
+            .expect("accepted observation events produce feedback");
         if let Some(f) = &mut self.faults {
             if let Some(a) = f.open_audit() {
                 a.bounded += 1;
@@ -450,6 +544,40 @@ impl FleetServer {
         }
         self.after_observation();
         Some(fb)
+    }
+
+    /// The fault plan's telemetry-corruption layer: with the data-fault
+    /// knobs live, an observation's runtime may arrive as NaN/Inf/negative
+    /// or scaled into an outlier burst. Draws come from the dedicated data
+    /// RNG and are consumed even when the target replica is down, so the
+    /// corruption stream is a fixed function of the schedule position.
+    fn inject_data_faults(&mut self, mut obs: Observation) -> Observation {
+        let Some(f) = &mut self.faults else {
+            return obs;
+        };
+        if f.plan.corrupt_prob <= 0.0 && f.plan.outlier_prob <= 0.0 {
+            return obs;
+        }
+        if f.outlier_left > 0 {
+            f.outlier_left -= 1;
+            obs.runtime_s *= f.plan.outlier_log_scale.exp();
+            f.injected_outliers += 1;
+            return obs;
+        }
+        let u: f32 = f.data_rng.gen_range(0.0f32..1.0);
+        if u < f.plan.corrupt_prob {
+            obs.runtime_s = match f.data_rng.gen_range(0u32..3) {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                _ => -obs.runtime_s,
+            };
+            f.injected_corrupt += 1;
+        } else if u < f.plan.corrupt_prob + f.plan.outlier_prob {
+            f.outlier_left = f.data_rng.gen_range(1..=f.plan.outlier_burst_max) - 1;
+            obs.runtime_s *= f.plan.outlier_log_scale.exp();
+            f.injected_outliers += 1;
+        }
+        obs
     }
 
     /// Per-observation control-path work after the event itself: process
@@ -535,6 +663,7 @@ impl FleetServer {
         self.retired.degraded_bounded += rs.degraded_bounded;
         self.retired.degraded_covered += rs.degraded_covered;
         self.retired.fallback_refits += rs.fallback_refits;
+        self.retired_guard = self.retired_guard.merged(&self.replicas[r].guard_stats());
         let t = self
             .template
             .as_ref()
@@ -650,6 +779,102 @@ impl FleetServer {
             .is_some_and(|f| f.plan.coordinator_down_at(self.obs_seen))
     }
 
+    /// Materializes replica `r`'s window summary through the fault plan's
+    /// tampering layer. `None` means the replica stays silent this round
+    /// (a Byzantine replica in mute-oracle mode). Every RNG draw the
+    /// tampering path makes is also made on the mute path, so a tampering
+    /// fleet and its muted twin stay draw-aligned.
+    fn emit_summary(
+        server: &PitotServer,
+        f: &mut FaultRuntime,
+        r: usize,
+        obs_seen: usize,
+    ) -> Option<MergeableWindow> {
+        let mut summary = server.window_summary(r as u64);
+        if let Some(b) = f.plan.byzantine {
+            if b.replica == r && obs_seen >= b.from {
+                let salt = f.data_rng.gen_range(0u64..=u64::MAX);
+                let mode = match f.byz_emissions % 4 {
+                    0 => TamperMode::Checksum,
+                    1 => TamperMode::Cardinality,
+                    2 => TamperMode::NonFinite,
+                    _ => TamperMode::Unsorted,
+                };
+                f.byz_emissions += 1;
+                if b.mute {
+                    return None;
+                }
+                summary.corrupt_run(r as u64, mode, salt);
+                return Some(summary);
+            }
+        }
+        if f.plan.replay_prob > 0.0 || f.plan.skew_prob > 0.0 {
+            let u: f32 = f.data_rng.gen_range(0.0f32..1.0);
+            if u < f.plan.replay_prob {
+                if let Some(prev) = &f.prev_summary[r] {
+                    f.injected_replays += 1;
+                    return Some(prev.clone());
+                }
+            } else if u < f.plan.replay_prob + f.plan.skew_prob {
+                f.injected_skews += 1;
+                summary.skew_run_clock(r as u64, SKEW_JUMP);
+                return Some(summary);
+            }
+        }
+        f.prev_summary[r] = Some(summary.clone());
+        Some(summary)
+    }
+
+    /// The largest clock an honest replica could plausibly have reached:
+    /// the window clock advances once per push (at most one per fleet
+    /// observation) plus once per wholesale rebuild (rescore or watchdog
+    /// rollback, each gated on observations), on top of up to
+    /// window-capacity seeded entries. Anything beyond is a skewed clock.
+    fn skew_threshold(&self) -> u64 {
+        (2 * self.obs_seen + self.cfg.serve.window + 1024) as u64
+    }
+
+    /// Records one refused summary in the counter and the bounded ring.
+    fn reject(&mut self, replica: usize, cause: RejectCause) {
+        self.rejected_total += 1;
+        if self.rejected.len() >= Self::REJECT_RETAIN {
+            self.rejected.remove(0);
+        }
+        self.rejected.push(RejectedSummary {
+            replica,
+            at_obs: self.obs_seen,
+            cause,
+        });
+    }
+
+    /// Screens an incoming summary from replica `r` and absorbs it into
+    /// the coordinator's merged view only if it passes: structural
+    /// verification (checksums, cardinality, sortedness, finiteness) on
+    /// every path, plus clock-plausibility screens — a skew screen always,
+    /// and a freshness screen on direct sends (`delayed = false`; delayed
+    /// deliveries are legitimately stale, the CRDT clock makes them
+    /// harmless). Returns whether the merged view changed; refusals are
+    /// counted and audited, never silent.
+    fn try_absorb(&mut self, r: u64, summary: &MergeableWindow, delayed: bool) -> bool {
+        if let Err(e) = summary.verify() {
+            self.reject(e.replica as usize, RejectCause::from_fault(e.fault));
+            return false;
+        }
+        let held = self.merged.replica_clock(r);
+        if let Some(c) = summary.replica_clock(r) {
+            if c > self.skew_threshold() {
+                self.reject(r as usize, RejectCause::SkewedClock);
+                return false;
+            }
+            if !delayed && held.is_some_and(|h| c <= h) {
+                self.reject(r as usize, RejectCause::Replayed);
+                return false;
+            }
+        }
+        self.merged.absorb(summary);
+        self.merged.replica_clock(r) != held
+    }
+
     /// Fits the fleet calibration on a merged view's union. Fleet head
     /// selection never uses a validation set (FleetConfig rejects
     /// TightestOnValidation), so an empty selection set is fine.
@@ -679,14 +904,12 @@ impl FleetServer {
             // held run when the delayed snapshot is still the newest.
             let round = f.round;
             let mut still_delayed = Vec::new();
-            for d in f.delayed.drain(..) {
+            for d in std::mem::take(&mut f.delayed) {
                 if d.due_round > round {
                     still_delayed.push(d);
                     continue;
                 }
-                let before = self.merged.replica_clock(d.replica);
-                self.merged.absorb(&d.summary);
-                changed |= self.merged.replica_clock(d.replica) != before;
+                changed |= self.try_absorb(d.replica, &d.summary, true);
             }
             f.delayed = still_delayed;
         }
@@ -702,7 +925,7 @@ impl FleetServer {
             if self.merged.replica_clock(r as u64) == Some(self.replicas[r].window_clock()) {
                 continue;
             }
-            if let Some(f) = &mut faults {
+            let summary = if let Some(f) = &mut faults {
                 if f.plan.drop_prob > 0.0 || f.plan.delay_prob > 0.0 {
                     let u: f32 = f.rng.gen_range(0.0f32..1.0);
                     if u < f.plan.drop_prob {
@@ -712,29 +935,38 @@ impl FleetServer {
                             let jitter = f.rng.gen_range(0..f.plan.retry_backoff);
                             f.retry[r] = Some(RetryState {
                                 attempts: 0,
-                                next_at: self.obs_seen + f.plan.retry_backoff + jitter,
+                                next_at: self.obs_seen + f.plan.retry_delay(0, jitter),
                             });
                         }
                         continue;
                     }
                     if u < f.plan.drop_prob + f.plan.delay_prob {
-                        // Delayed in flight: snapshot now, absorb later.
+                        // Delayed in flight: snapshot now (through the
+                        // tampering layer), absorb later.
                         let due = f.round + f.rng.gen_range(1..=f.plan.delay_rounds_max);
-                        f.delayed.push(DelayedSummary {
-                            due_round: due,
-                            replica: r as u64,
-                            summary: self.replicas[r].window_summary(r as u64),
-                        });
-                        f.delayed_summaries += 1;
+                        if let Some(s) = Self::emit_summary(&self.replicas[r], f, r, self.obs_seen)
+                        {
+                            f.delayed.push(DelayedSummary {
+                                due_round: due,
+                                replica: r as u64,
+                                summary: s,
+                            });
+                            f.delayed_summaries += 1;
+                        }
                         continue;
                     }
                 }
-                // Summary arrived cleanly; any pending retry is obsolete.
+                // Summary arrived; any pending retry is obsolete. A `None`
+                // emission is a Byzantine mute staying silent this round.
                 f.retry[r] = None;
-            }
-            self.merged
-                .absorb(&self.replicas[r].window_summary(r as u64));
-            changed = true;
+                match Self::emit_summary(&self.replicas[r], f, r, self.obs_seen) {
+                    Some(s) => s,
+                    None => continue,
+                }
+            } else {
+                self.replicas[r].window_summary(r as u64)
+            };
+            changed |= self.try_absorb(r as u64, &summary, false);
         }
         self.faults = faults;
         if self.merged.is_empty() {
@@ -792,13 +1024,32 @@ impl FleetServer {
             .collect();
         for &r in &live {
             if faults.gossip[r].replica_clock(r as u64) != Some(self.replicas[r].window_clock()) {
-                faults.gossip[r].absorb(&self.replicas[r].window_summary(r as u64));
+                // Self-refresh goes through the tampering layer too: a
+                // Byzantine replica corrupts (only) its own gossip view.
+                if let Some(s) =
+                    Self::emit_summary(&self.replicas[r], &mut faults, r, self.obs_seen)
+                {
+                    faults.gossip[r].absorb(&s);
+                }
             }
         }
         let mut order = live.clone();
         order.shuffle(&mut faults.rng);
         for pair in order.chunks(2) {
             if let [a, b] = *pair {
+                // Verify both sides before the state-based join: a corrupt
+                // view (a Byzantine replica's own) is refused by every
+                // partner, so the corruption never propagates.
+                let mut refused = false;
+                for side in [a, b] {
+                    if let Err(e) = faults.gossip[side].verify() {
+                        self.reject(e.replica as usize, RejectCause::from_fault(e.fault));
+                        refused = true;
+                    }
+                }
+                if refused {
+                    continue;
+                }
                 let joined = faults.gossip[a].merge(&faults.gossip[b]);
                 faults.gossip[a] = joined.clone();
                 faults.gossip[b] = joined;
@@ -808,7 +1059,11 @@ impl FleetServer {
         self.faults = Some(faults);
         for &r in &live {
             let f = self.faults.as_ref().expect("just restored");
-            if f.gossip[r].is_empty() {
+            if f.gossip[r].is_empty() || f.gossip[r].verify().is_err() {
+                // A corrupt own view (already audited at the pairwise
+                // join) must not be fitted: the Byzantine replica serves
+                // its stale install until staleness triggers the widened
+                // local fallback — it degrades only itself.
                 continue;
             }
             let conformal = self.fit_union(&f.gossip[r]);
@@ -841,36 +1096,48 @@ impl FleetServer {
     }
 
     fn attempt_retry(&mut self, r: usize) {
-        let f = self.faults.as_mut().expect("retry runs under faults");
-        if f.down[r] {
-            f.retry[r] = None;
+        let mut faults = self.faults.take().expect("retry runs under faults");
+        if faults.down[r] {
+            faults.retry[r] = None;
+            self.faults = Some(faults);
             return;
         }
-        let u: f32 = f.rng.gen_range(0.0f32..1.0);
-        if u < f.plan.drop_prob {
-            // Retry failed too: back off exponentially (seeded jitter) or
+        let u: f32 = faults.rng.gen_range(0.0f32..1.0);
+        if u < faults.plan.drop_prob {
+            // Retry failed too: back off exponentially (seeded jitter,
+            // overflow-saturating — see [`FaultPlan::retry_delay`]) or
             // give up until the next scheduled round.
-            f.dropped_summaries += 1;
-            let state = f.retry[r].as_mut().expect("due retry has state");
+            faults.dropped_summaries += 1;
+            let state = faults.retry[r].as_mut().expect("due retry has state");
             state.attempts += 1;
-            if state.attempts >= f.plan.max_retries {
-                f.retry[r] = None;
-                f.merge_giveups += 1;
+            if state.attempts >= faults.plan.max_retries {
+                faults.retry[r] = None;
+                faults.merge_giveups += 1;
             } else {
-                let jitter = f.rng.gen_range(0..f.plan.retry_backoff);
-                state.next_at = self.obs_seen + (f.plan.retry_backoff << state.attempts) + jitter;
+                let jitter = faults.rng.gen_range(0..faults.plan.retry_backoff);
+                state.next_at = self
+                    .obs_seen
+                    .saturating_add(faults.plan.retry_delay(state.attempts, jitter));
             }
+            self.faults = Some(faults);
             return;
         }
-        f.retry[r] = None;
-        f.retried_summaries += 1;
+        faults.retry[r] = None;
+        faults.retried_summaries += 1;
+        let mut absorbed = false;
         if self.merged.replica_clock(r as u64) != Some(self.replicas[r].window_clock()) {
-            self.merged
-                .absorb(&self.replicas[r].window_summary(r as u64));
-            if !self.merged.is_empty() {
-                let conformal = self.fit_union(&self.merged);
-                self.install_everywhere(conformal);
+            if let Some(summary) =
+                Self::emit_summary(&self.replicas[r], &mut faults, r, self.obs_seen)
+            {
+                absorbed = self.try_absorb(r as u64, &summary, false);
             }
+        }
+        self.faults = Some(faults);
+        if absorbed && !self.merged.is_empty() {
+            // A successful retry is a partial merge between rounds:
+            // refresh the fleet calibration immediately.
+            let conformal = self.fit_union(&self.merged);
+            self.install_everywhere(conformal);
         }
     }
 
@@ -903,6 +1170,7 @@ impl FleetServer {
         let mut s = self.retired;
         s.merges = self.merges;
         s.skipped_installs = self.skipped_installs;
+        s.rejected_summaries = self.rejected_total;
         s.admission = *self.admission.stats();
         if let Some(f) = &self.faults {
             s.gossip_rounds = f.gossip_rounds;
@@ -913,7 +1181,13 @@ impl FleetServer {
             s.retried_summaries = f.retried_summaries;
             s.merge_giveups = f.merge_giveups;
             s.recoveries = f.recoveries;
+            s.injected_corrupt = f.injected_corrupt;
+            s.injected_outliers = f.injected_outliers;
+            s.injected_replays = f.injected_replays;
+            s.injected_skews = f.injected_skews;
+            s.byzantine_emissions = f.byz_emissions;
         }
+        s.guard = self.retired_guard;
         for r in &self.replicas {
             let rs = r.stats();
             s.observations += rs.observations;
@@ -923,8 +1197,17 @@ impl FleetServer {
             s.degraded_bounded += rs.degraded_bounded;
             s.degraded_covered += rs.degraded_covered;
             s.fallback_refits += rs.fallback_refits;
+            s.guard = s.guard.merged(&r.guard_stats());
         }
         s
+    }
+
+    /// The bounded rejected-summary audit ring, oldest first: one record
+    /// per summary the integrity screen refused, naming the offending
+    /// replica (see [`FleetStats::rejected_summaries`] for the untruncated
+    /// count). Empty while every sender is honest.
+    pub fn rejected_audit(&self) -> &[RejectedSummary] {
+        &self.rejected
     }
 }
 

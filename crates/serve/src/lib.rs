@@ -51,6 +51,20 @@
 //!   replicas rejoin *warm* by replaying the coordinator's held window
 //!   summary. Every fault window is audited ([`DegradedWindow`]) so
 //!   coverage/SLO loss is attributable. See `docs/RESILIENCE.md`.
+//! - **Trustworthy telemetry (fail-noisy, not fail-stop).** The same
+//!   [`FaultPlan`] can corrupt the *data* instead of the links: NaN/Inf
+//!   and negative runtimes, scale-outlier bursts, replayed and
+//!   clock-skewed summaries, and a Byzantine replica emitting bogus score
+//!   segments. Defenses are layered: an ingest guard
+//!   ([`ServeConfig::ingest_guard`]) validates and MAD-screens every
+//!   observation, quarantining suspects into an audited side buffer
+//!   ([`GuardStats`], [`QuarantineRecord`]) instead of silently dropping
+//!   them; the coordinator verifies per-segment checksums and sanity
+//!   invariants before absorbing any summary, so a Byzantine replica
+//!   degrades only itself; and a miscoverage watchdog
+//!   ([`ServeConfig::watchdog_z`]) catches poisoning the guards missed,
+//!   rolling the window back through a quarantine rescore
+//!   ([`WatchdogIncident`]).
 //!
 //! # Examples
 //!
@@ -87,6 +101,7 @@ mod config;
 mod drift;
 mod fault;
 mod fleet;
+mod guard;
 mod server;
 
 pub use admission::{
@@ -95,6 +110,10 @@ pub use admission::{
 pub use closed_loop::{run_closed_loop, ServingPredictor};
 pub use config::{FleetConfig, ServeConfig};
 pub use drift::CoverageMonitor;
-pub use fault::{CoordinatorOutage, DegradedCause, DegradedWindow, FaultPlan, ReplicaCrash};
+pub use fault::{
+    ByzantineReplica, CoordinatorOutage, DegradedCause, DegradedWindow, FaultPlan, RejectCause,
+    RejectedSummary, ReplicaCrash,
+};
 pub use fleet::{AdmissionOutcome, DeadlineQuery, FleetServer, FleetStats};
+pub use guard::{GuardStats, QuarantineCause, QuarantineRecord, WatchdogIncident};
 pub use server::{Event, ObservedFeedback, PitotServer, Prediction, ServeResponse, ServeStats};

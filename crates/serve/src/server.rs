@@ -2,6 +2,8 @@
 
 use crate::config::ServeConfig;
 use crate::drift::CoverageMonitor;
+use crate::guard::{self, GuardStats, IngestGuard, QuarantineCause, QuarantineRecord};
+use crate::WatchdogIncident;
 use pitot::{TowerCache, TrainContext, TrainedPitot};
 use pitot_conformal::{
     HeadSelection, MergeableWindow, PooledConformal, PredictionSet, WindowedScores,
@@ -77,8 +79,15 @@ pub struct ServeResponse {
     /// Answers released by this event (non-empty when a micro-batch filled
     /// or a flush ran).
     pub predictions: Vec<Prediction>,
-    /// Present iff the event was an observation.
+    /// Present iff the event was an observation **accepted** by ingest
+    /// (quarantined observations are never judged, windowed, or
+    /// monitored, so they produce no prequential feedback).
     pub observed: Option<ObservedFeedback>,
+    /// Present iff the event was an observation the ingest guard
+    /// quarantined (see [`crate::GuardStats`]; always `None` while
+    /// [`ServeConfig::ingest_guard`] is off — the unguarded server
+    /// panics on corrupt runtimes instead).
+    pub quarantined: Option<QuarantineRecord>,
 }
 
 /// Counters and latency records for a serving session.
@@ -179,6 +188,9 @@ pub struct PitotServer {
     batch: Vec<(u64, Observation)>,
     now_s: f64,
     stats: ServeStats,
+    guard: IngestGuard,
+    /// Watchdog firings, newest last (bounded like the quarantine ring).
+    incidents: Vec<WatchdogIncident>,
 }
 
 impl std::fmt::Debug for PitotServer {
@@ -217,6 +229,7 @@ impl PitotServer {
             CoverageMonitor::new(cfg.epsilon, cfg.drift_window, cfg.drift_z, cfg.drift_min);
         let since_tune = cfg.fine_tune_cooldown;
         let base_len = dataset.observations.len();
+        let guard = IngestGuard::new(cfg.quarantine_retain);
         Self {
             cfg,
             dataset,
@@ -239,6 +252,8 @@ impl PitotServer {
             batch: Vec::new(),
             now_s: f64::NEG_INFINITY,
             stats: ServeStats::default(),
+            guard,
+            incidents: Vec::new(),
         }
     }
 
@@ -315,9 +330,12 @@ impl PitotServer {
     /// # Panics
     ///
     /// Panics if the clock runs backwards, an observation/query references
-    /// an out-of-catalog workload, platform, or interferer, or an observed
-    /// runtime is not positive and finite (its log-space score would
-    /// silently poison the calibration window as NaN).
+    /// an out-of-catalog workload, platform, or interferer, or — while
+    /// [`ServeConfig::ingest_guard`] is off — an observed runtime is not
+    /// positive and finite (its log-space score would silently poison the
+    /// calibration window as NaN). With the guard on, corrupt runtimes are
+    /// quarantined into the audited side buffer instead (see
+    /// [`PitotServer::guard_stats`]).
     pub fn on_event(&mut self, at_s: f64, event: Event) -> ServeResponse {
         assert!(
             at_s >= self.now_s,
@@ -329,16 +347,30 @@ impl PitotServer {
         match event {
             Event::Observe(obs) => {
                 self.check_catalog(obs.workload, obs.platform, &obs.interferers);
-                assert!(
-                    obs.runtime_s > 0.0 && obs.runtime_s.is_finite(),
-                    "observed runtime {} is not a positive finite duration",
-                    obs.runtime_s
-                );
+                if self.cfg.ingest_guard {
+                    if let Some(cause) = IngestGuard::runtime_cause(obs.runtime_s) {
+                        self.stats.observations += 1;
+                        let at = self.stats.observations as u64;
+                        let record = self.guard.quarantine(at, obs.runtime_s, None, cause);
+                        return ServeResponse {
+                            predictions: Vec::new(),
+                            observed: None,
+                            quarantined: Some(record),
+                        };
+                    }
+                } else {
+                    assert!(
+                        obs.runtime_s > 0.0 && obs.runtime_s.is_finite(),
+                        "observed runtime {} is not a positive finite duration",
+                        obs.runtime_s
+                    );
+                }
                 self.stats.observations += 1;
-                let fb = self.observe(obs);
+                let (observed, quarantined) = self.observe(obs);
                 ServeResponse {
                     predictions: Vec::new(),
-                    observed: Some(fb),
+                    observed,
+                    quarantined,
                 }
             }
             Event::Query {
@@ -364,12 +396,12 @@ impl PitotServer {
                 };
                 ServeResponse {
                     predictions,
-                    observed: None,
+                    ..ServeResponse::default()
                 }
             }
             Event::Flush => ServeResponse {
                 predictions: self.flush_batch(),
-                observed: None,
+                ..ServeResponse::default()
             },
         }
     }
@@ -646,16 +678,41 @@ impl PitotServer {
         out
     }
 
-    fn observe(&mut self, obs: Observation) -> ObservedFeedback {
-        // 1. Prequential judgement against the *currently served* bound.
+    fn observe(
+        &mut self,
+        obs: Observation,
+    ) -> (Option<ObservedFeedback>, Option<QuarantineRecord>) {
+        // 0. Robust outlier screen (guard mode): a score far outside the
+        // window's MAD band is quarantined *before* being judged — corrupt
+        // telemetry must poison neither the calibration window nor the
+        // coverage statistics the watchdog trusts.
         self.ensure_fallback();
         let preds = self
             .trained
             .predict_log_runtime_cached(&self.towers, &[&obs]);
         let head_preds: Vec<f32> = preds.iter().map(|h| h[0]).collect();
         let pool = self.pool_key(obs.interferers.len());
-        let (point_log, bound_log, degraded) = self.bound_from_heads(&head_preds, pool);
         let target_log = obs.log_runtime();
+        if self.cfg.ingest_guard
+            && self.cfg.guard_mad_k > 0.0
+            && self.window.len() >= self.cfg.guard_min_n
+        {
+            let score = target_log - head_preds[0];
+            let sorted = self.window.scored().sorted_scores(0);
+            if guard::is_mad_outlier(sorted, score, self.cfg.guard_mad_k) {
+                let at = self.stats.observations as u64;
+                let record = self.guard.quarantine(
+                    at,
+                    obs.runtime_s,
+                    Some(score),
+                    QuarantineCause::MadOutlier,
+                );
+                return (None, Some(record));
+            }
+        }
+
+        // 1. Prequential judgement against the *currently served* bound.
+        let (point_log, bound_log, degraded) = self.bound_from_heads(&head_preds, pool);
         let covered = target_log <= bound_log;
         self.monitor.push(covered, bound_log - point_log);
         self.stats.bounded += 1;
@@ -688,25 +745,121 @@ impl PitotServer {
 
         // 4. Refresh the served calibration on cadence.
         self.since_refresh += 1;
-        let refreshed = if self.since_refresh >= self.cfg.refresh_every {
+        let mut refreshed = if self.since_refresh >= self.cfg.refresh_every {
             self.refresh();
             true
         } else {
             false
         };
 
+        // 4b. Miscoverage watchdog: poisoning the ingest screen missed
+        // shows up as sustained undercoverage on *accepted* telemetry —
+        // quarantine-rollback the window and refit.
+        if self.cfg.watchdog_z > 0.0
+            && self
+                .monitor
+                .undercovering_by(self.cfg.watchdog_z, self.cfg.watchdog_min)
+        {
+            self.watchdog_rollback();
+            refreshed = true;
+        }
+
         // 5. Fine-tune when the monitor says the model itself drifted.
         self.since_tune += 1;
         let fine_tuned = self.should_fine_tune() && self.fine_tune();
 
-        ObservedFeedback {
-            covered,
-            bound_log,
-            target_log,
-            refreshed,
-            fine_tuned,
-            degraded,
+        (
+            Some(ObservedFeedback {
+                covered,
+                bound_log,
+                target_log,
+                refreshed,
+                fine_tuned,
+                degraded,
+            }),
+            None,
+        )
+    }
+
+    /// The miscoverage watchdog's quarantine-rollback rescore: re-screen
+    /// every window entry against the window's own robust median/MAD
+    /// (which tolerate up to half the window being poisoned), purge the
+    /// failures into the quarantine audit, rebuild the window from the
+    /// survivors with its clock advanced past every snapshot of the
+    /// poisoned state (so fleet coordinators supersede it on the next
+    /// merge), refit the served calibration on the scrubbed window, and
+    /// restart the coverage monitor so the post-rollback bounds are judged
+    /// on fresh outcomes only. Every firing — even one that purges
+    /// nothing, which means the undercoverage was drift, not poison — is
+    /// recorded as a [`WatchdogIncident`].
+    fn watchdog_rollback(&mut self) {
+        let at = self.stats.observations as u64;
+        let coverage = self.monitor.coverage();
+        self.guard.record_watchdog_fire();
+        let (med, sigma) = guard::robust_scale(self.window.scored().sorted_scores(0));
+        let keep: Vec<bool> = self
+            .raw
+            .iter()
+            .map(|e| {
+                let s = e.target_log - e.preds[0];
+                // A degenerate scale estimate keeps everything (see
+                // `guard::robust_scale`).
+                !(sigma > 0.0 && (s - med).abs() > self.cfg.guard_mad_k * sigma)
+            })
+            .collect();
+        let purged = keep.iter().filter(|k| !**k).count();
+        if purged > 0 {
+            let old_clock = self.window.clock();
+            let mut window = WindowedScores::new(self.cfg.window, self.window.n_heads());
+            let mut raw = VecDeque::with_capacity(self.raw.len() - purged);
+            for (e, keep) in std::mem::take(&mut self.raw).into_iter().zip(keep) {
+                if keep {
+                    window.push(&e.preds, e.target_log, e.pool);
+                    raw.push_back(e);
+                } else {
+                    let s = e.target_log - e.preds[0];
+                    self.guard.quarantine(
+                        at,
+                        e.target_log.exp(),
+                        Some(s),
+                        QuarantineCause::WatchdogRollback,
+                    );
+                }
+            }
+            window.advance_clock(old_clock + 1);
+            self.window = window;
+            self.raw = raw;
+            self.refresh();
         }
+        self.monitor.reset();
+        self.incidents.push(WatchdogIncident {
+            at,
+            coverage,
+            purged,
+            kept: self.raw.len(),
+        });
+        if self.incidents.len() > self.cfg.quarantine_retain.max(1) {
+            self.incidents.remove(0);
+        }
+    }
+
+    /// Cumulative quarantine counters (the zero-silent-drops ledger; all
+    /// zeros while [`ServeConfig::ingest_guard`] is off).
+    pub fn guard_stats(&self) -> GuardStats {
+        self.guard.stats()
+    }
+
+    /// The bounded quarantine audit ring, oldest first (capped at
+    /// [`ServeConfig::quarantine_retain`]; the counters in
+    /// [`PitotServer::guard_stats`] are never truncated).
+    pub fn quarantine_records(&self) -> impl Iterator<Item = &QuarantineRecord> + '_ {
+        self.guard.records()
+    }
+
+    /// Miscoverage-watchdog firings, oldest first (bounded like the
+    /// quarantine ring).
+    pub fn watchdog_incidents(&self) -> &[WatchdogIncident] {
+        &self.incidents
     }
 
     /// Refits the served calibration from the window — rank lookups over
