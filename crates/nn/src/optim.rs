@@ -22,7 +22,11 @@
 use serde::{Deserialize, Serialize};
 
 /// A first-order stochastic optimizer over flat parameter blocks.
-pub trait Optimizer {
+///
+/// `Send` is a supertrait so training state (and servers that embed a
+/// resumable train context) can move across threads — every optimizer here
+/// is plain owned data.
+pub trait Optimizer: Send {
     /// Applies one update.
     ///
     /// # Panics

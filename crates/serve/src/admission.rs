@@ -595,6 +595,39 @@ mod tests {
     }
 
     #[test]
+    fn shed_eviction_is_strictly_oldest_first() {
+        let mut q = AdmissionQueue::new(AdmissionConfig {
+            max_shed_pending: 3,
+            ..AdmissionConfig::default()
+        });
+        for id in 10..15u64 {
+            q.decide(id, 9.0, 5.0);
+        }
+        // Cap 3, five sheds: exactly the two oldest (10, 11) were evicted,
+        // in that order, and the three newest survive with their audits.
+        assert_eq!(q.stats().shed_unaudited, 2);
+        assert_eq!(q.resolve(10, 1.0), None, "oldest must go first");
+        assert_eq!(q.resolve(11, 1.0), None, "second-oldest goes second");
+        for id in 12..15u64 {
+            assert_eq!(q.resolve(id, 1.0), Some(false), "id {id} evicted early");
+        }
+        assert_eq!(q.stats().shed_would_have_met, 3);
+        // A resolved mid-FIFO record leaves a stale entry: overflow skips
+        // it (no unaudited count) and keeps evicting oldest-first among
+        // the *live* records.
+        for id in 20..23u64 {
+            q.decide(id, 9.0, 5.0);
+        }
+        assert_eq!(q.resolve(20, 1.0), Some(false)); // stale (20, seq) stays queued
+        q.decide(23, 9.0, 5.0); // overflow pops the stale entry, evicts nothing
+        assert_eq!(q.stats().shed_unaudited, 2);
+        q.decide(24, 9.0, 5.0); // now 21 is the oldest live record
+        assert_eq!(q.stats().shed_unaudited, 3);
+        assert_eq!(q.resolve(21, 1.0), None, "21 evicted before 22");
+        assert_eq!(q.resolve(22, 1.0), Some(false), "22 must outlive 21");
+    }
+
+    #[test]
     fn queue_wait_model_sheds_and_audits_separately() {
         let mut q = AdmissionQueue::new(AdmissionConfig {
             queue_concurrency: 1,

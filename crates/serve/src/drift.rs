@@ -190,6 +190,42 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_reports_nan_and_never_fires() {
+        let m = CoverageMonitor::new(0.1, 16, 0.0, 0);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(m.coverage().is_nan());
+        assert!(m.mean_width_log().is_nan());
+        // Even at min_n = 0 with zero slack, an empty window must not read
+        // as undercoverage (the n < max(min_n, 1) floor guards the NaN
+        // comparison from ever deciding anything).
+        assert!(!m.undercovering());
+        assert!(!m.undercovering_by(0.0, 0));
+    }
+
+    #[test]
+    fn all_miss_window_pegs_coverage_at_zero_and_fires_at_min_n() {
+        let mut m = CoverageMonitor::new(0.1, 64, 3.0, 8);
+        for i in 0..8 {
+            assert!(!m.undercovering(), "fired at n = {i}, before min_n");
+            m.push(false, 0.25);
+        }
+        assert_eq!(m.coverage(), 0.0);
+        assert!((m.mean_width_log() - 0.25).abs() < 1e-6);
+        assert!(m.undercovering(), "an all-miss window at min_n must fire");
+        // Still pegged (and still firing) once the ring wraps: eviction of
+        // all-miss entries must not drift the counters.
+        for _ in 0..128 {
+            m.push(false, 0.25);
+        }
+        assert_eq!(m.len(), 64);
+        assert_eq!(m.coverage(), 0.0);
+        assert!(m.undercovering());
+        m.reset();
+        assert!(!m.undercovering(), "reset must clear the trigger");
+    }
+
+    #[test]
     fn ring_evicts_and_reset_clears() {
         let mut m = CoverageMonitor::new(0.2, 4, 2.0, 1);
         for _ in 0..4 {

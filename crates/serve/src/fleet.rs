@@ -107,7 +107,7 @@ pub struct DeadlineQuery {
 }
 
 /// What the fleet decided for one deadline query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdmissionOutcome {
     /// The query's correlation id.
     pub id: u64,
@@ -126,7 +126,7 @@ pub struct AdmissionOutcome {
 
 /// Aggregated fleet counters: per-replica serving stats summed, plus the
 /// coordinator's own merge and admission records.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FleetStats {
     /// Observations consumed across all replicas.
     pub observations: usize,

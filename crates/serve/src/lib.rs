@@ -65,6 +65,17 @@
 //!   ([`ServeConfig::watchdog_z`]) catches poisoning the guards missed,
 //!   rolling the window back through a quarantine rescore
 //!   ([`WatchdogIncident`]).
+//! - **A real concurrent runtime with a deterministic twin.** A
+//!   [`ConcurrentFleet`] runs the same fleet semantics on OS threads:
+//!   sharded replica state behind per-lane MPSC event queues
+//!   ([`pitot_linalg::par::EventQueue`]), micro-batch coalescing into the
+//!   row-parallel predict path, and a lock-free snapshot read path
+//!   ([`SnapshotCell`], [`SeqLock`]) so admission and prediction never
+//!   block on window writes or calibration installs. The simulated-clock
+//!   [`FleetServer`] stays on as the deterministic twin: the same
+//!   [`TraceEvent`] sequence through both runtimes yields bitwise-identical
+//!   outcomes and audit counters ([`run_trace_simulated`]), property-tested
+//!   across `PITOT_THREADS`. See `docs/SERVING.md`.
 //!
 //! # Examples
 //!
@@ -97,17 +108,28 @@
 
 mod admission;
 mod closed_loop;
+mod concurrent;
 mod config;
 mod drift;
 mod fault;
 mod fleet;
 mod guard;
 mod server;
+// The snapshot read-path cells are the serving layer's only sanctioned
+// `unsafe` (alongside `pitot_linalg`'s kernels/pool): two small left-right /
+// seqlock protocols with the safety arguments spelled out inline and
+// stress-tested for torn reads. Everything else in this crate stays under
+// the workspace-wide `unsafe_code = "deny"`.
+#[allow(unsafe_code)]
+mod snapshot;
 
 pub use admission::{
     AdmissionConfig, AdmissionDecision, AdmissionQueue, AdmissionStats, ShedReason,
 };
 pub use closed_loop::{run_closed_loop, ServingPredictor};
+pub use concurrent::{
+    run_trace_simulated, ConcurrentConfig, ConcurrentFleet, LaneProgress, TraceEvent, TraceOutcome,
+};
 pub use config::{FleetConfig, ServeConfig};
 pub use drift::CoverageMonitor;
 pub use fault::{
@@ -117,3 +139,4 @@ pub use fault::{
 pub use fleet::{AdmissionOutcome, DeadlineQuery, FleetServer, FleetStats};
 pub use guard::{GuardStats, QuarantineCause, QuarantineRecord, WatchdogIncident};
 pub use server::{Event, ObservedFeedback, PitotServer, Prediction, ServeResponse, ServeStats};
+pub use snapshot::{SeqLock, SnapshotCell};

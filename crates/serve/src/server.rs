@@ -406,6 +406,53 @@ impl PitotServer {
         }
     }
 
+    /// The [`Event::Observe`] arm of [`on_event`](Self::on_event) with the
+    /// head predictions supplied by the caller — the concurrent runtime's
+    /// lane workers score a whole drained batch in one row-parallel pass
+    /// and then apply each observation through here. Mirrors the `Observe`
+    /// arm exactly (clock, counters, guard screen, feedback), so the
+    /// deterministic twin sees identical state transitions.
+    pub(crate) fn on_observation_prescored(
+        &mut self,
+        at_s: f64,
+        obs: Observation,
+        head_preds: Vec<f32>,
+    ) -> ServeResponse {
+        assert!(
+            at_s >= self.now_s,
+            "simulated clock ran backwards: {at_s} after {}",
+            self.now_s
+        );
+        self.now_s = at_s;
+        self.stats.events += 1;
+        self.check_catalog(obs.workload, obs.platform, &obs.interferers);
+        if self.cfg.ingest_guard {
+            if let Some(cause) = IngestGuard::runtime_cause(obs.runtime_s) {
+                self.stats.observations += 1;
+                let at = self.stats.observations as u64;
+                let record = self.guard.quarantine(at, obs.runtime_s, None, cause);
+                return ServeResponse {
+                    predictions: Vec::new(),
+                    observed: None,
+                    quarantined: Some(record),
+                };
+            }
+        } else {
+            assert!(
+                obs.runtime_s > 0.0 && obs.runtime_s.is_finite(),
+                "observed runtime {} is not a positive finite duration",
+                obs.runtime_s
+            );
+        }
+        self.stats.observations += 1;
+        let (observed, quarantined) = self.observe_prescored(obs, head_preds);
+        ServeResponse {
+            predictions: Vec::new(),
+            observed,
+            quarantined,
+        }
+    }
+
     /// Answers one query immediately, bypassing the micro-batch — the
     /// synchronous path a placement policy uses mid-decision. Identical
     /// arithmetic to the batched path (a batch of one); counted in
@@ -682,15 +729,29 @@ impl PitotServer {
         &mut self,
         obs: Observation,
     ) -> (Option<ObservedFeedback>, Option<QuarantineRecord>) {
-        // 0. Robust outlier screen (guard mode): a score far outside the
-        // window's MAD band is quarantined *before* being judged — corrupt
-        // telemetry must poison neither the calibration window nor the
-        // coverage statistics the watchdog trusts.
         self.ensure_fallback();
         let preds = self
             .trained
             .predict_log_runtime_cached(&self.towers, &[&obs]);
         let head_preds: Vec<f32> = preds.iter().map(|h| h[0]).collect();
+        self.observe_prescored(obs, head_preds)
+    }
+
+    /// [`observe`](Self::observe) with the head predictions already
+    /// computed — the entry point the concurrent runtime's lane workers use
+    /// after scoring a whole drained batch in one row-parallel pass.
+    /// Batched prediction is bitwise-identical to a batch of one (a pinned
+    /// property), so this path and `observe` produce identical feedback.
+    fn observe_prescored(
+        &mut self,
+        obs: Observation,
+        head_preds: Vec<f32>,
+    ) -> (Option<ObservedFeedback>, Option<QuarantineRecord>) {
+        // 0. Robust outlier screen (guard mode): a score far outside the
+        // window's MAD band is quarantined *before* being judged — corrupt
+        // telemetry must poison neither the calibration window nor the
+        // coverage statistics the watchdog trusts.
+        self.ensure_fallback();
         let pool = self.pool_key(obs.interferers.len());
         let target_log = obs.log_runtime();
         if self.cfg.ingest_guard

@@ -1,0 +1,262 @@
+//! Deterministic-twin equivalence: the concurrent runtime
+//! (`ConcurrentFleet`) must be **bitwise indistinguishable** from the
+//! simulated-clock `FleetServer` on any trace — same observations, same
+//! predictions, same admission decisions, same stats, same audits — for
+//! every worker count. Seeded arbitrary traces interleave observations,
+//! deadline queries, and resolves; fault cases add replica crashes, corrupt
+//! runtimes, and outlier bursts (the observation-path subset the concurrent
+//! runtime supports).
+//!
+//! CI runs this suite under `PITOT_THREADS=1` and `PITOT_THREADS=4`, so the
+//! linalg pool size is covered cross-process; the in-process `workers`
+//! override covers lane counts 1 (inline) and 4 (threaded) in one run.
+
+use pitot::{train, Objective, PitotConfig, TrainedPitot};
+use pitot_conformal::HeadSelection;
+use pitot_serve::{
+    run_trace_simulated, AdmissionConfig, ConcurrentConfig, ConcurrentFleet, DeadlineQuery,
+    FaultPlan, FleetConfig, FleetServer, ServeConfig, TraceEvent, TraceOutcome,
+};
+use pitot_testbed::{split::Split, Dataset, Testbed, TestbedConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (Dataset, Split, TrainedPitot) {
+    static FIXTURE: OnceLock<(Dataset, Split, TrainedPitot)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let testbed = Testbed::generate(&TestbedConfig::small());
+        let dataset = testbed.collect_dataset();
+        let split = Split::stratified(&dataset, 0.6, 0);
+        let mut cfg = PitotConfig::tiny();
+        cfg.objective = Objective::Quantiles(vec![0.5, 0.8, 0.9, 0.95]);
+        cfg.steps = 300;
+        let trained = train(&dataset, &split, &cfg);
+        (dataset, split, trained)
+    })
+}
+
+fn clean_cfg(replicas: usize) -> FleetConfig {
+    let mut serve = ServeConfig::at(0.1);
+    serve.window = 64;
+    serve.selection = HeadSelection::NaiveXi;
+    FleetConfig {
+        serve,
+        replicas,
+        merge_every: 16,
+        admission: AdmissionConfig::default(),
+    }
+}
+
+/// Ingest-guarded config (required before injecting corrupt runtimes —
+/// unguarded servers assert on non-finite observations). The watchdog must
+/// stay off: its rollback refits replica-local calibrations the concurrent
+/// snapshot read path would never see, so `ConcurrentConfig` rejects it.
+fn guarded_cfg(replicas: usize) -> FleetConfig {
+    let mut serve = ServeConfig::guarded(0.1);
+    serve.window = 128;
+    serve.selection = HeadSelection::NaiveXi;
+    serve.watchdog_z = 0.0;
+    FleetConfig {
+        serve,
+        replicas,
+        merge_every: 16,
+        admission: AdmissionConfig::default(),
+    }
+}
+
+/// Builds a seeded trace of `n` interleaved events: ~55% observations,
+/// ~30% deadline queries (unique ids), ~15% resolves of a random pending
+/// query at its realized runtime.
+fn build_trace(rng: &mut TestRng, n: usize) -> Vec<TraceEvent> {
+    let (dataset, split, _) = fixture();
+    let pool = &split.test;
+    let mut events = Vec::with_capacity(n);
+    let mut next_id = 0u64;
+    let mut pending: Vec<(u64, f64)> = Vec::new();
+    for _ in 0..n {
+        let draw = rng.unit();
+        if draw < 0.55 {
+            let i = pool[rng.below(0, pool.len())];
+            events.push(TraceEvent::Observe(dataset.observations[i].clone()));
+        } else if draw < 0.85 || pending.is_empty() {
+            let i = pool[rng.below(0, pool.len())];
+            let obs = &dataset.observations[i];
+            let deadline_s = f64::from(obs.runtime_s) * (0.75 + 2.25 * rng.unit());
+            pending.push((next_id, f64::from(obs.runtime_s)));
+            events.push(TraceEvent::Deadline(DeadlineQuery {
+                id: next_id,
+                workload: obs.workload,
+                platform: obs.platform,
+                interferers: obs.interferers.clone(),
+                deadline_s,
+            }));
+            next_id += 1;
+        } else {
+            let (id, realized_s) = pending.swap_remove(rng.below(0, pending.len()));
+            events.push(TraceEvent::Resolve { id, realized_s });
+        }
+    }
+    events
+}
+
+/// The core assertion: the same trace through the simulated twin and a
+/// `workers`-lane concurrent fleet yields identical outcome vectors, fleet
+/// stats, degraded-window audits, and rejected-summary audits.
+fn assert_twin_equivalent(
+    cfg: FleetConfig,
+    plan: Option<FaultPlan>,
+    events: &[TraceEvent],
+    workers: usize,
+) {
+    let (dataset, split, trained) = fixture();
+    let mut sim = match &plan {
+        Some(p) => FleetServer::with_faults(trained.clone(), dataset, cfg.clone(), p.clone()),
+        None => FleetServer::new(trained.clone(), dataset, cfg.clone()),
+    };
+    sim.seed_calibration(&split.val);
+    let expected = run_trace_simulated(&mut sim, 0.0, events);
+
+    let ccfg = ConcurrentConfig {
+        fleet: cfg,
+        workers: Some(workers),
+    };
+    let mut conc = match plan {
+        Some(p) => ConcurrentFleet::with_faults(trained.clone(), dataset, ccfg, p),
+        None => ConcurrentFleet::new(trained.clone(), dataset, ccfg),
+    };
+    conc.seed_calibration(&split.val);
+    let got = conc.run_trace(events);
+
+    assert_eq!(got.len(), expected.len());
+    for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(g, e, "outcome {i} diverged under {workers} worker(s)");
+    }
+    assert_eq!(
+        conc.stats(),
+        sim.stats(),
+        "fleet stats diverged under {workers} worker(s)"
+    );
+    assert_eq!(
+        conc.degraded_audit(),
+        sim.degraded_audit(),
+        "degraded audit diverged under {workers} worker(s)"
+    );
+    assert_eq!(
+        conc.rejected_audit(),
+        sim.rejected_audit(),
+        "rejected audit diverged under {workers} worker(s)"
+    );
+    // The lanes must have actually processed every routed observation.
+    let processed: u64 = conc.progress().iter().map(|p| p.processed).sum();
+    let observed = got
+        .iter()
+        .filter(|o| {
+            matches!(
+                o,
+                TraceOutcome::Observed {
+                    feedback: Some(_),
+                    ..
+                }
+            )
+        })
+        .count() as u64
+        + conc.stats().guard.quarantined as u64;
+    assert_eq!(processed, observed, "lane progress lost observations");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+    /// Clean fleets: arbitrary interleaved traces, three replicas, inline
+    /// and threaded lane modes.
+    #[test]
+    fn arbitrary_traces_match_the_twin(seed in 0u64..u64::MAX, n in 120usize..220) {
+        let mut rng = TestRng::from_state(seed);
+        let events = build_trace(&mut rng, n);
+        for workers in [1usize, 4] {
+            assert_twin_equivalent(clean_cfg(3), None, &events, workers);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+    /// Faulted fleets: a replica crash with warm rejoin plus corrupt
+    /// runtimes and outlier bursts (PR 7–8 schedules) — guard quarantines,
+    /// lost observations, failover queries, and the degraded-window audit
+    /// must all match the twin bit for bit.
+    #[test]
+    fn faulted_traces_match_the_twin(seed in 0u64..u64::MAX, n in 160usize..240) {
+        let mut rng = TestRng::from_state(seed);
+        let events = build_trace(&mut rng, n);
+        let crash_at = 20 + rng.below(0, 20);
+        let rejoin_at = crash_at + 30 + rng.below(0, 30);
+        let plan = FaultPlan::none(seed ^ 0xFA_17)
+            .crash(1, crash_at, rejoin_at)
+            .corrupt_observations(0.05)
+            .outlier_bursts(0.03, 2.0, 3);
+        for workers in [1usize, 4] {
+            assert_twin_equivalent(guarded_cfg(4), Some(plan.clone()), &events, workers);
+        }
+    }
+}
+
+#[test]
+fn streaming_across_run_trace_calls_matches_one_twin_run() {
+    // run_trace carries its event clock across calls: two chunks through
+    // the concurrent fleet must equal one continuous twin run.
+    let (dataset, split, trained) = fixture();
+    let mut rng = TestRng::deterministic("twin::streaming_chunks");
+    let events = build_trace(&mut rng, 180);
+    let (head, tail) = events.split_at(80);
+
+    let mut sim = FleetServer::new(trained.clone(), dataset, clean_cfg(3));
+    sim.seed_calibration(&split.val);
+    let mut expected = run_trace_simulated(&mut sim, 0.0, head);
+    expected.extend(run_trace_simulated(&mut sim, head.len() as f64, tail));
+
+    let ccfg = ConcurrentConfig {
+        fleet: clean_cfg(3),
+        workers: Some(2),
+    };
+    let mut conc = ConcurrentFleet::new(trained.clone(), dataset, ccfg);
+    conc.seed_calibration(&split.val);
+    let mut got = conc.run_trace(head);
+    got.extend(conc.run_trace(tail));
+
+    assert_eq!(got, expected);
+    assert_eq!(conc.stats(), sim.stats());
+}
+
+#[test]
+fn crash_with_every_worker_count_matches_the_twin() {
+    // A fixed, audit-heavy schedule (crash spans several merge rounds)
+    // across every distinct lane shape for 3 replicas: inline, 2 lanes
+    // (one doubled-up), and one lane per replica.
+    let mut rng = TestRng::deterministic("twin::crash_worker_counts");
+    let events = build_trace(&mut rng, 260);
+    let plan = FaultPlan::none(77).crash(2, 30, 110);
+    for workers in [1usize, 2, 3] {
+        assert_twin_equivalent(clean_cfg(3), Some(plan.clone()), &events, workers);
+    }
+}
+
+#[test]
+fn shard_routing_matches_the_twin() {
+    let (dataset, split, trained) = fixture();
+    let fleet = FleetServer::new(trained.clone(), dataset, clean_cfg(5));
+    let conc = ConcurrentFleet::new(
+        trained.clone(),
+        dataset,
+        ConcurrentConfig {
+            fleet: clean_cfg(5),
+            workers: Some(1),
+        },
+    );
+    for &i in split.test.iter().take(64) {
+        let o = &dataset.observations[i];
+        assert_eq!(
+            conc.shard_for(o.workload, o.platform),
+            fleet.shard_for(o.workload, o.platform)
+        );
+    }
+}

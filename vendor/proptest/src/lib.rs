@@ -4,9 +4,11 @@
 //! optional `#![proptest_config(...)]` header, range strategies over the
 //! primitive numeric types, [`collection::vec`] (nested, fixed or ranged
 //! length), and `prop_assert!` / `prop_assert_eq!`. There is **no
-//! shrinking** — failures report the raw sampled case — and no persistence.
-//! Case counts default to 64 and streams are deterministic per test name,
-//! so CI runs are reproducible.
+//! shrinking** and no persistence — instead, a failing case prints a
+//! ready-to-paste `PITOT_REPRO_SEED=<state> cargo test <name>` line
+//! ([`ReproGuard`]), and setting that variable replays exactly the failing
+//! case. Case counts default to 64 and streams are deterministic per test
+//! name, so CI runs are reproducible.
 
 pub mod collection;
 
@@ -55,6 +57,18 @@ impl TestRng {
             h = h.wrapping_mul(0x100_0000_01b3);
         }
         TestRng { state: h }
+    }
+
+    /// The current SplitMix64 state. Captured at the top of each generated
+    /// case so a failure can be replayed exactly (see [`ReproGuard`]).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds the generator at a captured [`TestRng::state`] — the replay
+    /// half of `PITOT_REPRO_SEED`.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
     }
 
     /// Next 64 random bits.
@@ -111,6 +125,48 @@ impl Strategy for Range<f32> {
     }
 }
 
+/// Prints a ready-to-paste replay line when a property case panics.
+///
+/// There is no shrinking in this shim, so the next best thing is a *loud*
+/// failure: the macro arms one guard per case with the RNG state the case
+/// was drawn from; if the body panics, the guard's drop (which runs during
+/// unwinding) prints `PITOT_REPRO_SEED=<state> cargo test <name>`. Setting
+/// that variable makes the macro run exactly the failing case, alone.
+#[derive(Debug)]
+pub struct ReproGuard {
+    state: u64,
+    name: &'static str,
+    armed: bool,
+}
+
+impl ReproGuard {
+    /// Arms a guard for one case drawn from RNG state `state`.
+    pub fn new(name: &'static str, state: u64) -> Self {
+        ReproGuard {
+            state,
+            name,
+            armed: true,
+        }
+    }
+
+    /// Disarms after the case body returned normally.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ReproGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest case failed (no shrinking in this shim); replay just this case with:\n  \
+                 PITOT_REPRO_SEED={} cargo test {}",
+                self.state, self.name
+            );
+        }
+    }
+}
+
 /// `Just`-style constant strategy (handy escape hatch).
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -155,11 +211,32 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
-            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
+            // PITOT_REPRO_SEED (printed by a failing run's ReproGuard)
+            // replays exactly one case from the captured RNG state.
+            let (__state, __cases): (u64, u32) =
+                match ::std::env::var("PITOT_REPRO_SEED") {
+                    Ok(s) => (
+                        s.trim().parse().expect(
+                            "PITOT_REPRO_SEED must be the u64 printed by a failing proptest case",
+                        ),
+                        1,
+                    ),
+                    Err(_) => (
+                        $crate::TestRng::deterministic(
+                            concat!(module_path!(), "::", stringify!($name)),
+                        )
+                        .state(),
+                        __cfg.cases,
+                    ),
+                };
+            let mut __rng = $crate::TestRng::from_state(__state);
+            for __case in 0..__cases {
                 let _ = __case;
+                let mut __guard =
+                    $crate::ReproGuard::new(stringify!($name), __rng.state());
                 $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
                 $body
+                __guard.disarm();
             }
         }
         $crate::__proptest_fns! { ($cfg) $($rest)* }
@@ -182,4 +259,53 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_round_trips_and_replays_the_same_stream() {
+        let mut a = TestRng::deterministic("some::test");
+        let _ = a.next_u64(); // advance past the seed
+        let captured = a.state();
+        let tail: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let mut b = TestRng::from_state(captured);
+        let replay: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(tail, replay, "from_state must replay the exact stream");
+    }
+
+    #[test]
+    fn state_is_captured_before_generation_not_after() {
+        // The macro arms the guard with the state *before* drawing the
+        // case's values; replaying from it must regenerate them.
+        let mut rng = TestRng::deterministic("other::test");
+        let before = rng.state();
+        let drawn = Strategy::generate(&(0u64..1000), &mut rng);
+        let mut replay = TestRng::from_state(before);
+        assert_eq!(drawn, Strategy::generate(&(0u64..1000), &mut replay));
+    }
+
+    #[test]
+    fn disarmed_guard_is_silent_and_armed_guard_survives_unwinding() {
+        let mut g = ReproGuard::new("t", 42);
+        g.disarm();
+        drop(g); // no panic in flight, nothing printed, no crash
+        let err = std::panic::catch_unwind(|| {
+            let _armed = ReproGuard::new("t", 42);
+            panic!("case failed");
+        });
+        assert!(err.is_err(), "the guard must not swallow the panic");
+    }
+
+    proptest! {
+        // The macro path itself: guards arm/disarm every case without
+        // perturbing the generated stream.
+        #[test]
+        fn macro_generates_in_range(x in 10u32..20, y in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+    }
 }
