@@ -147,6 +147,7 @@ fn fault_tick_overhead(c: &mut Criterion) {
         replicas: 3,
         merge_every: 32,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     };
     let mut fleet = FleetServer::with_faults(t, &f.dataset, cfg, FaultPlan::none(0));
     fleet.seed_calibration(&f.split.val);

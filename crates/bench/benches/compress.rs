@@ -1,0 +1,123 @@
+//! Compression-layer benches: the int8 per-row quantized products against
+//! the f32 blocked kernels at training-step tower shapes, quantization
+//! cost, and the end-to-end serving question — observations/second through
+//! a compressed tower cache at each ladder level.
+//!
+//! Together with the per-level `weight_bytes` notes in `ext-compress`,
+//! this is the throughput/memory side of the width-vs-compression
+//! tradeoff table in `docs/SERVING.md`. `PITOT_BENCH_JSON=path` dumps the
+//! figures machine-readably; `BENCH_compress.json` in the repo root
+//! records the trajectory for this layer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pitot::{CompressedTower, CompressionSpec, Objective, PitotConfig, TrainedPitot};
+use pitot_bench::Fixture;
+use pitot_linalg::{matmul_q_into, matmul_transpose_q_into, Matrix, QuantizedMatrix};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Tower shapes: the platform tower at the small testbed, a wider hidden
+/// layer, and a batch-512 inference slab.
+const SHAPES: [(usize, usize, usize); 3] = [(220, 52, 128), (220, 128, 128), (512, 128, 160)];
+
+fn trained(f: &Fixture) -> TrainedPitot {
+    let cfg = PitotConfig {
+        objective: Objective::paper_quantiles(),
+        steps: 60,
+        eval_every: 60,
+        ..PitotConfig::paper()
+    };
+    pitot::train(&f.dataset, &f.split, &cfg)
+}
+
+/// int8 products vs the f32 blocked kernels at each tower shape. The
+/// quantized path accumulates in exact i32, so this is the *honest* cost
+/// of serving compressed — no fast-math shortcuts.
+fn quant_products(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    for (m, k, n) in SHAPES {
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        let bt = b.transpose();
+        let qa = QuantizedMatrix::from_rows(a.view());
+        let qb = QuantizedMatrix::from_cols(b.view());
+        let qbt = QuantizedMatrix::from_rows(bt.view());
+        let mut out = Matrix::zeros(m, n);
+        let flops = (2 * m * k * n) as u64;
+
+        let mut group = c.benchmark_group(&format!("quant_matmul/{m}x{k}x{n}"));
+        group
+            .sample_size(20)
+            .throughput(Throughput::Elements(flops));
+        group.bench_function("int8", |bch| bch.iter(|| matmul_q_into(&qa, &qb, &mut out)));
+        group.bench_function("int8_transpose", |bch| {
+            bch.iter(|| matmul_transpose_q_into(&qa, &qbt, &mut out))
+        });
+        group.bench_function("f32_blocked", |bch| {
+            bch.iter(|| a.matmul_into(&b, &mut out))
+        });
+        group.finish();
+    }
+}
+
+/// One-time cost of quantizing a weight plane (paid at compression time,
+/// never on the serving path).
+fn quantize_cost(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let w = Matrix::randn(512, 160, &mut rng);
+    let elems = (512 * 160) as u64;
+    let mut group = c.benchmark_group("quantize/512x160");
+    group.throughput(Throughput::Elements(elems));
+    group.bench_function("from_rows", |bch| {
+        bch.iter(|| black_box(QuantizedMatrix::from_rows(w.view())))
+    });
+    group.finish();
+}
+
+/// End-to-end serving throughput: 256 observations scored through a
+/// frozen tower cache at each compression-ladder level. This is the
+/// number a replica operator trades against the `weight_bytes` saving
+/// and the interval-width cost measured by `ext-compress`.
+fn predict_compressed(c: &mut Criterion) {
+    let f = Fixture::small();
+    let t = trained(&f);
+    let idx: Vec<usize> = f.split.test.iter().copied().take(256).collect();
+    let levels = [
+        ("dense", CompressionSpec::none()),
+        ("int8", CompressionSpec::int8()),
+        ("pruned_int8", CompressionSpec::pruned_int8(0.5)),
+    ];
+    let mut group = c.benchmark_group("compress/predict_cached_256");
+    group
+        .sample_size(20)
+        .throughput(Throughput::Elements(idx.len() as u64));
+    for (name, spec) in levels {
+        let cache = CompressedTower::new(&t, &spec).tower_cache(&f.dataset);
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                let refs: Vec<_> = idx.iter().map(|&i| &f.dataset.observations[i]).collect();
+                black_box(t.predict_log_runtime_cached(&cache, &refs))
+            })
+        });
+    }
+    group.finish();
+
+    // Cache build cost per level (paid once per deploy/rejoin, off the
+    // serving path — recorded so regressions in compression setup are
+    // visible).
+    let mut group = c.benchmark_group("compress/build_tower_cache");
+    group.sample_size(10);
+    for (name, spec) in [
+        ("dense", CompressionSpec::none()),
+        ("pruned_int8", CompressionSpec::pruned_int8(0.5)),
+    ] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| black_box(CompressedTower::new(&t, &spec).tower_cache(&f.dataset)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(compress, quant_products, quantize_cost, predict_compressed);
+criterion_main!(compress);

@@ -127,6 +127,7 @@ fn fleet_stream(c: &mut Criterion) {
         replicas: 3,
         merge_every: 32,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     };
     let mut fleet = FleetServer::new(t, &f.dataset, cfg);
     fleet.seed_calibration(&f.split.val);

@@ -122,6 +122,7 @@ fn guarded_tick_overhead(c: &mut Criterion) {
         replicas: 3,
         merge_every: 32,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     };
     let plan = FaultPlan::none(0x0009_0150_5EED)
         .corrupt_observations(0.05)

@@ -54,6 +54,7 @@ fn fleet_cfg(replicas: usize) -> FleetConfig {
         replicas,
         merge_every: 32,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     }
 }
 

@@ -1,0 +1,440 @@
+//! Compressed inference towers: int8 quantization and magnitude pruning.
+//!
+//! Tower evaluation is the expensive, memory-heavy part of Pitot inference
+//! (two MLP passes over every entity). This module compresses the towers
+//! *after* training — pruning small-magnitude weights and/or freezing the
+//! weight matrices as int8 — and produces a [`TowerCache`] that drops into
+//! the exact same prediction path as the dense towers
+//! ([`TrainedPitot::predict_log_runtime_cached`]).
+//!
+//! The central invariant: **compression never touches calibration
+//! validity**. Compression perturbs predictions, but conformal calibration
+//! only assumes exchangeability of the calibration residuals — not that the
+//! predictor is any good. Recalibrating on the *compressed* model's
+//! residuals therefore restores the coverage guarantee at every compression
+//! level; the interval simply widens to absorb the compression error. The
+//! `ext-compress` experiment measures exactly this tradeoff.
+//!
+//! Determinism: the pruning order is a deterministic total order
+//! (magnitude, then plane index), and int8 tower inference accumulates in
+//! exact i32 (see [`pitot_linalg::quant`]), so a compressed tower cache is
+//! bitwise identical across `PITOT_THREADS` and across the scalar/AVX2
+//! dispatch paths — the serving twin tests extend to compressed replicas
+//! unchanged.
+
+use crate::train::{TowerCache, TrainedPitot};
+use crate::PitotModel;
+use pitot_nn::QuantizedMlp;
+use pitot_testbed::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// How a tower's weights are compressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompressionLevel {
+    /// No compression: the dense f32 towers.
+    None,
+    /// Weights frozen as int8 (symmetric per-output-channel scales);
+    /// activations quantized per row on the fly.
+    Int8,
+    /// Magnitude pruning: the smallest-|w| fraction of each tower weight
+    /// matrix is zeroed via a structured mask on the parameter plane.
+    Pruned,
+    /// Pruning followed by int8 quantization of the masked weights
+    /// (a pruned weight quantizes to exactly zero).
+    PrunedInt8,
+}
+
+impl CompressionLevel {
+    /// Whether this level installs a pruning mask.
+    pub fn prunes(self) -> bool {
+        matches!(
+            self,
+            CompressionLevel::Pruned | CompressionLevel::PrunedInt8
+        )
+    }
+
+    /// Whether this level runs int8 tower inference.
+    pub fn quantizes(self) -> bool {
+        matches!(self, CompressionLevel::Int8 | CompressionLevel::PrunedInt8)
+    }
+
+    /// Display name (used in experiment arms and bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressionLevel::None => "none",
+            CompressionLevel::Int8 => "int8",
+            CompressionLevel::Pruned => "pruned",
+            CompressionLevel::PrunedInt8 => "pruned+int8",
+        }
+    }
+}
+
+/// A validated compression request: level plus pruning sparsity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionSpec {
+    /// Compression level.
+    pub level: CompressionLevel,
+    /// Fraction of each tower weight matrix to prune (only meaningful for
+    /// pruning levels; must be 0 otherwise).
+    pub sparsity: f32,
+}
+
+impl CompressionSpec {
+    /// The identity spec: dense f32 towers.
+    pub fn none() -> Self {
+        Self {
+            level: CompressionLevel::None,
+            sparsity: 0.0,
+        }
+    }
+
+    /// Int8 quantization without pruning.
+    pub fn int8() -> Self {
+        Self {
+            level: CompressionLevel::Int8,
+            sparsity: 0.0,
+        }
+    }
+
+    /// Magnitude pruning at the given sparsity.
+    pub fn pruned(sparsity: f32) -> Self {
+        Self {
+            level: CompressionLevel::Pruned,
+            sparsity,
+        }
+    }
+
+    /// Pruning at the given sparsity followed by int8 quantization.
+    pub fn pruned_int8(sparsity: f32) -> Self {
+        Self {
+            level: CompressionLevel::PrunedInt8,
+            sparsity,
+        }
+    }
+
+    /// Whether this spec leaves the model untouched.
+    pub fn is_none(&self) -> bool {
+        self.level == CompressionLevel::None
+    }
+
+    /// Display name of the level.
+    pub fn name(&self) -> &'static str {
+        self.level.name()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sparsity` is inconsistent with the level: pruning levels
+    /// need `0 < sparsity < 1`, non-pruning levels need `sparsity == 0`.
+    pub fn validate(&self) {
+        if self.level.prunes() {
+            assert!(
+                self.sparsity > 0.0 && self.sparsity < 1.0,
+                "compression.sparsity = {} is outside (0, 1): pruning levels \
+                 drop a positive fraction of each tower weight matrix; use \
+                 level {:?} or Int8 for no pruning",
+                self.sparsity,
+                CompressionLevel::None,
+            );
+        } else {
+            assert!(
+                self.sparsity == 0.0,
+                "compression.sparsity = {} is meaningless for level {:?}: \
+                 only Pruned / PrunedInt8 read it; set sparsity to 0 or pick \
+                 a pruning level",
+                self.sparsity,
+                self.level,
+            );
+        }
+    }
+}
+
+impl Default for CompressionSpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A trained model's towers, compressed per a [`CompressionSpec`].
+///
+/// Construction clones the model, installs the pruning mask (if any) on the
+/// clone's parameter plane, and freezes int8 weights (if any). The
+/// [`CompressedTower::tower_cache`] output substitutes for the dense
+/// [`TrainedPitot::tower_cache`] in every downstream prediction path — the
+/// per-observation predict kernel never sees the compression, only the
+/// compressed tower outputs.
+#[derive(Debug, Clone)]
+pub struct CompressedTower {
+    spec: CompressionSpec,
+    /// The model clone carrying the (possibly masked) parameter plane.
+    model: PitotModel,
+    /// Int8-frozen towers for the quantizing levels.
+    quantized: Option<(QuantizedMlp, QuantizedMlp)>,
+}
+
+impl CompressedTower {
+    /// Compresses `trained`'s towers per `spec`.
+    ///
+    /// Pruning masks only the tower *weight matrices* — biases, layer norms,
+    /// and the learned features φ stay dense (they are a sliver of the
+    /// parameter count and anchor the embedding scales).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` fails [`CompressionSpec::validate`].
+    pub fn new(trained: &TrainedPitot, spec: &CompressionSpec) -> Self {
+        spec.validate();
+        let mut model = trained.model.clone();
+        if spec.level.prunes() {
+            let ranges: Vec<pitot_nn::ParamRange> = model
+                .fw()
+                .layers()
+                .iter()
+                .chain(model.fp().layers())
+                .map(pitot_nn::Linear::weight_range)
+                .collect();
+            let store = model.store_mut();
+            for range in ranges {
+                store.prune_window_by_magnitude(range, spec.sparsity);
+            }
+        }
+        let quantized = spec.level.quantizes().then(|| {
+            (
+                QuantizedMlp::quantize(model.fw(), model.store()),
+                QuantizedMlp::quantize(model.fp(), model.store()),
+            )
+        });
+        Self {
+            spec: *spec,
+            model,
+            quantized,
+        }
+    }
+
+    /// The spec this tower was compressed with.
+    pub fn spec(&self) -> &CompressionSpec {
+        &self.spec
+    }
+
+    /// The model clone carrying the compressed plane (masked for pruning
+    /// levels; identical to the trained model otherwise).
+    pub fn model(&self) -> &PitotModel {
+        &self.model
+    }
+
+    /// Evaluates the compressed towers over every entity, producing a
+    /// [`TowerCache`] interchangeable with the dense one.
+    pub fn tower_cache(&self, dataset: &Dataset) -> TowerCache {
+        match &self.quantized {
+            Some((qfw, qfp)) => {
+                let (input_w, input_p) = self.model.tower_inputs(dataset);
+                TowerCache {
+                    w: qfw.infer(self.model.store(), &input_w),
+                    p_full: qfp.infer(self.model.store(), &input_p),
+                }
+            }
+            // Pruned-only: the masked plane already zeroes the weights, so
+            // the dense inference path *is* the pruned forward pass.
+            None => {
+                let (w, p_full) = self.model.infer_towers(dataset);
+                TowerCache { w, p_full }
+            }
+        }
+    }
+
+    /// Bytes the compressed tower weights occupy (int8 payloads + scales
+    /// for quantizing levels; surviving f32 weights for pruned-only; the
+    /// full dense weights for [`CompressionLevel::None`]).
+    pub fn weight_bytes(&self) -> usize {
+        if let Some((qfw, qfp)) = &self.quantized {
+            return qfw.weight_bytes() + qfp.weight_bytes();
+        }
+        let dense = self.dense_weight_bytes();
+        match self.model.store().mask() {
+            // Pruned-only: count surviving weights (a sparse deployment
+            // format would store roughly this many f32s).
+            Some(_) => {
+                let store = self.model.store();
+                let mask = store.mask().expect("mask checked above");
+                let mut kept = 0usize;
+                for layer in self
+                    .model
+                    .fw()
+                    .layers()
+                    .iter()
+                    .chain(self.model.fp().layers())
+                {
+                    let r = layer.weight_range();
+                    kept += mask[r.as_range()].iter().filter(|&&m| m != 0).count();
+                }
+                kept * std::mem::size_of::<f32>()
+            }
+            None => dense,
+        }
+    }
+
+    /// Bytes the same tower weights occupy densely in f32.
+    pub fn dense_weight_bytes(&self) -> usize {
+        self.model
+            .fw()
+            .layers()
+            .iter()
+            .chain(self.model.fp().layers())
+            .map(|l| l.weight_range().len * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+impl TrainedPitot {
+    /// [`TrainedPitot::tower_cache`] through a compression spec: the
+    /// one-call form serving uses per replica. For
+    /// [`CompressionLevel::None`] this is exactly the dense cache.
+    pub fn compressed_tower_cache(&self, dataset: &Dataset, spec: &CompressionSpec) -> TowerCache {
+        if spec.is_none() {
+            spec.validate();
+            return self.tower_cache(dataset);
+        }
+        CompressedTower::new(self, spec).tower_cache(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train, PitotConfig};
+    use pitot_testbed::{split::Split, Testbed, TestbedConfig};
+
+    fn trained() -> (Dataset, TrainedPitot) {
+        let ds = Testbed::generate(&TestbedConfig::small()).collect_dataset();
+        let split = Split::stratified(&ds, 0.6, 0);
+        let mut cfg = PitotConfig::tiny();
+        cfg.steps = 120;
+        let t = train(&ds, &split, &cfg);
+        (ds, t)
+    }
+
+    #[test]
+    fn none_spec_matches_dense_cache_bitwise() {
+        let (ds, t) = trained();
+        let dense = t.tower_cache(&ds);
+        let via_spec = t.compressed_tower_cache(&ds, &CompressionSpec::none());
+        assert_eq!(dense.w, via_spec.w);
+        assert_eq!(dense.p_full, via_spec.p_full);
+    }
+
+    #[test]
+    fn compressed_caches_stay_close_to_dense() {
+        let (ds, t) = trained();
+        let dense = t.tower_cache(&ds);
+        let scale = dense
+            .w
+            .as_slice()
+            .iter()
+            .chain(dense.p_full.as_slice())
+            .fold(0.0f32, |m, &v| m.max(v.abs()))
+            .max(1.0);
+        for spec in [
+            CompressionSpec::int8(),
+            CompressionSpec::pruned(0.3),
+            CompressionSpec::pruned_int8(0.3),
+        ] {
+            let c = t.compressed_tower_cache(&ds, &spec);
+            assert_eq!(c.w.shape(), dense.w.shape());
+            assert_eq!(c.p_full.shape(), dense.p_full.shape());
+            let max_err =
+                c.w.as_slice()
+                    .iter()
+                    .zip(dense.w.as_slice())
+                    .chain(c.p_full.as_slice().iter().zip(dense.p_full.as_slice()))
+                    .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()));
+            // Lossy but bounded: compression error stays small relative to
+            // the tower output scale (conformal recalibration absorbs it).
+            assert!(
+                max_err < 0.5 * scale,
+                "{}: max tower error {max_err} vs scale {scale}",
+                spec.name()
+            );
+            // And it must actually differ from dense (compression happened).
+            assert!(max_err > 0.0, "{}: compression was a no-op", spec.name());
+        }
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let (ds, t) = trained();
+        for spec in [CompressionSpec::int8(), CompressionSpec::pruned_int8(0.5)] {
+            let a = t.compressed_tower_cache(&ds, &spec);
+            let b = t.compressed_tower_cache(&ds, &spec);
+            assert_eq!(a.w, b.w, "{}", spec.name());
+            assert_eq!(a.p_full, b.p_full, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn pruning_zeroes_the_requested_fraction() {
+        let (_, t) = trained();
+        let spec = CompressionSpec::pruned(0.5);
+        let ct = CompressedTower::new(&t, &spec);
+        let store = ct.model().store();
+        let mask = store.mask().expect("pruning installs a mask");
+        for layer in ct
+            .model()
+            .fw()
+            .layers()
+            .iter()
+            .chain(ct.model().fp().layers())
+        {
+            let r = layer.weight_range();
+            let pruned = mask[r.as_range()].iter().filter(|&&m| m == 0).count();
+            assert_eq!(pruned, r.len / 2, "window {:?}", r.as_range());
+            // The masked weights are exactly zero on the plane.
+            for (i, &m) in mask[r.as_range()].iter().enumerate() {
+                if m == 0 {
+                    assert_eq!(store.params()[r.offset + i], 0.0);
+                }
+            }
+        }
+        // φ windows and biases stay dense.
+        let weight_len: usize = ct
+            .model()
+            .fw()
+            .layers()
+            .iter()
+            .chain(ct.model().fp().layers())
+            .map(|l| l.weight_range().len)
+            .sum();
+        let total_pruned = mask.iter().filter(|&&m| m == 0).count();
+        assert_eq!(total_pruned, weight_len / 2);
+    }
+
+    #[test]
+    fn weight_bytes_shrink_with_compression() {
+        let (_, t) = trained();
+        let dense = CompressedTower::new(&t, &CompressionSpec::none());
+        let int8 = CompressedTower::new(&t, &CompressionSpec::int8());
+        let pruned = CompressedTower::new(&t, &CompressionSpec::pruned(0.5));
+        let both = CompressedTower::new(&t, &CompressionSpec::pruned_int8(0.5));
+        assert_eq!(dense.weight_bytes(), dense.dense_weight_bytes());
+        assert!(int8.weight_bytes() * 3 < dense.weight_bytes());
+        assert_eq!(pruned.weight_bytes() * 2, dense.weight_bytes());
+        assert!(both.weight_bytes() <= int8.weight_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "compression.sparsity")]
+    fn validate_rejects_pruning_without_sparsity() {
+        CompressionSpec::pruned(0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "compression.sparsity")]
+    fn validate_rejects_sparsity_without_pruning() {
+        CompressionSpec {
+            level: CompressionLevel::Int8,
+            sparsity: 0.5,
+        }
+        .validate();
+    }
+}

@@ -41,6 +41,7 @@
 // API; keep it that way (CI builds rustdoc with `-D warnings`).
 #![deny(missing_docs)]
 
+mod compress;
 mod config;
 mod eval;
 mod model;
@@ -48,6 +49,7 @@ mod scaling;
 mod train;
 mod uncertainty;
 
+pub use compress::{CompressedTower, CompressionLevel, CompressionSpec};
 pub use config::{InterferenceMode, LossSpace, Objective, OptimizerKind, PitotConfig};
 pub use eval::{mape, mape_by_mode};
 pub use model::{PitotModel, PlatformEmbeddings, TowerOutputs};

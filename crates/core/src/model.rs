@@ -275,6 +275,46 @@ impl PitotModel {
         &self.store
     }
 
+    /// The flat parameter plane with its mask state, mutably. The
+    /// compression layer uses this to install pruning masks
+    /// ([`ParamStore::prune_window_by_magnitude`]); training re-applies an
+    /// installed mask after every optimizer step.
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// The workload tower (layer descriptors into the plane).
+    pub fn fw(&self) -> &Mlp {
+        &self.fw
+    }
+
+    /// The platform tower (layer descriptors into the plane).
+    pub fn fp(&self) -> &Mlp {
+        &self.fp
+    }
+
+    /// The concatenated tower inputs (`[features | φ]`) both towers read —
+    /// the matrices [`PitotModel::infer_towers`] feeds through the MLPs.
+    /// Exposed so compressed inference paths can run alternative tower
+    /// implementations (e.g. int8) over the exact same inputs.
+    pub fn tower_inputs(&self, dataset: &Dataset) -> (Matrix, Matrix) {
+        let mut input_w = Matrix::zeros(0, 0);
+        let mut input_p = Matrix::zeros(0, 0);
+        Self::tower_input_into(
+            &dataset.workload_features,
+            self.phi_w(),
+            self.config.use_workload_features,
+            &mut input_w,
+        );
+        Self::tower_input_into(
+            &dataset.platform_features,
+            self.phi_p(),
+            self.config.use_platform_features,
+            &mut input_p,
+        );
+        (input_w, input_p)
+    }
+
     /// The flat parameter plane, mutably (the optimizer's single block).
     pub fn params_mut(&mut self) -> &mut [f32] {
         self.store.params_mut()
@@ -656,8 +696,13 @@ impl PitotModel {
                         if dm != 0.0 {
                             wk_sum.fill(0.0);
                             for &k in &o.interferers {
-                                axpy(&mut wk_sum, 1.0, &towers.w.row(k as usize)[head.clone()]);
-                                axpy(&mut d_w.row_mut(k as usize)[head.clone()], dm, vg_t);
+                                pitot_linalg::axpy_fanout(
+                                    &mut wk_sum,
+                                    &towers.w.row(k as usize)[head.clone()],
+                                    dm,
+                                    vg_t,
+                                    &mut d_w.row_mut(k as usize)[head.clone()],
+                                );
                             }
                             axpy(&mut d_p.row_mut(j)[vg_rng], dm, &wk_sum);
                         }
@@ -735,8 +780,13 @@ impl PitotModel {
                             // d v_g += dm · Σ_k w_k ; d w_k += dm · v_g.
                             wk_sum.fill(0.0);
                             for &k in &o.interferers {
-                                axpy(&mut wk_sum, 1.0, &towers.w.row(k as usize)[head.clone()]);
-                                axpy(&mut d_w.row_mut(k as usize)[head.clone()], dm, vg_t);
+                                pitot_linalg::axpy_fanout(
+                                    &mut wk_sum,
+                                    &towers.w.row(k as usize)[head.clone()],
+                                    dm,
+                                    vg_t,
+                                    &mut d_w.row_mut(k as usize)[head.clone()],
+                                );
                             }
                             axpy(&mut d_p.row_mut(j)[vg_rng], dm, &wk_sum);
                         }

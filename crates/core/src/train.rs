@@ -277,6 +277,14 @@ impl TrainContext {
         &self.model
     }
 
+    /// Mutable access to the live model — the hook compression uses to
+    /// install a pruning mask before (or between) training runs; the mask
+    /// is then re-applied after every optimizer step, so resumed and fresh
+    /// runs stay on identical trajectories.
+    pub fn model_mut(&mut self) -> &mut PitotModel {
+        &mut self.model
+    }
+
     /// The configuration this context was built with (`config.steps` is the
     /// [`TrainContext::fit`] budget; [`TrainContext::resume`] ignores it).
     pub fn config(&self) -> &PitotConfig {
@@ -429,6 +437,10 @@ fn training_step<R: Rng + ?Sized>(
         &mut bufs.scratch,
     );
     opt.step(&mut [model.params_mut()], &[bufs.grads.as_slice()]);
+    // Structured pruning: an installed mask is re-applied after every
+    // optimizer step so pruned weights stay exactly zero through training
+    // (no-op when no mask is installed).
+    model.store_mut().apply_mask();
 }
 
 /// Per-mode objective weights (paper App B.3 / D.2): isolation gets 1.0,
@@ -867,6 +879,79 @@ mod tests {
             full_run.model().store().params(),
             "warm-start resume diverged from the fresh run"
         );
+    }
+
+    #[test]
+    fn pruning_mask_survives_serde_and_resume() {
+        // A pruning mask installed on the parameter plane must (a) hold
+        // pruned weights at exactly zero through training, (b) keep
+        // fit(a)+resume(b) bitwise identical to fit(a+b), and (c) survive a
+        // serde round trip of the store.
+        fn install_mask(ctx: &mut TrainContext) {
+            let ranges: Vec<pitot_nn::ParamRange> = ctx
+                .model()
+                .fw()
+                .layers()
+                .iter()
+                .chain(ctx.model().fp().layers())
+                .map(pitot_nn::Linear::weight_range)
+                .collect();
+            let store = ctx.model_mut().store_mut();
+            for r in ranges {
+                store.prune_window_by_magnitude(r, 0.5);
+            }
+        }
+
+        let (ds, split) = setup();
+        let mut cfg = PitotConfig::tiny();
+        cfg.steps = 60;
+
+        let mut split_run = TrainContext::new(&ds, &split, &cfg);
+        install_mask(&mut split_run);
+        split_run.fit(&ds);
+        split_run.resume(&ds, 50);
+
+        let mut cfg_full = cfg.clone();
+        cfg_full.steps = 110;
+        let mut full_run = TrainContext::new(&ds, &split, &cfg_full);
+        install_mask(&mut full_run);
+        full_run.fit(&ds);
+
+        assert_eq!(
+            split_run.model().store().params(),
+            full_run.model().store().params(),
+            "masked resume diverged from the fresh masked run"
+        );
+
+        let store = split_run.model().store();
+        let mask = store.mask().expect("mask installed");
+        let pruned: Vec<f32> = mask
+            .iter()
+            .zip(store.params())
+            .filter(|(&m, _)| m == 0)
+            .map(|(_, &p)| p)
+            .collect();
+        assert!(!pruned.is_empty(), "sparsity 0.5 must prune something");
+        assert!(
+            pruned.iter().all(|&p| p == 0.0),
+            "a pruned weight re-grew during training"
+        );
+
+        // Mask and plane round-trip through serde together.
+        let json = serde_json::to_string(store).expect("store serializes");
+        let restored: pitot_nn::ParamStore = serde_json::from_str(&json).expect("store restores");
+        assert_eq!(restored.mask(), store.mask());
+        assert_eq!(restored.params(), store.params());
+        // A pre-mask checkpoint (no `mask` field) still deserializes.
+        let legacy = serde_json::to_string(full_run.model().store()).expect("serializes");
+        let stripped = {
+            let mut v: serde_json::Value = serde_json::from_str(&legacy).unwrap();
+            v.as_object_mut().unwrap().remove("mask");
+            serde_json::to_string(&v).unwrap()
+        };
+        let legacy_store: pitot_nn::ParamStore =
+            serde_json::from_str(&stripped).expect("legacy store restores");
+        assert_eq!(legacy_store.mask(), None);
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn main() {
         replicas: 3,
         merge_every: 16,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     };
     let plan = FaultPlan::none(0xC4A0_5EED)
         .coordinator_outage(120, 260)

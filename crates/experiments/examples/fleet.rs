@@ -34,6 +34,7 @@ fn main() {
         replicas: 3,
         merge_every: 16,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     };
     let mut fleet = FleetServer::new(trained, &dataset, cfg);
     fleet.seed_calibration(&split.val);

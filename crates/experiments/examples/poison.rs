@@ -47,6 +47,7 @@ fn main() {
         replicas: 3,
         merge_every: 16,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     };
     let plan = FaultPlan::none(0x0009_0150_5EED)
         .corrupt_observations(0.05)

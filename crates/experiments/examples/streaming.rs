@@ -75,6 +75,7 @@ fn main() {
             replicas: 4,
             merge_every: 16,
             admission: AdmissionConfig::default(),
+            compression: Vec::new(),
         }
     };
     let plan = FaultPlan::none(0x057A_EA41)

@@ -13,6 +13,7 @@
 //!   orchestration shift online    extension studies (placement, pool
 //!   serving fleet chaos sched     robustness, online learning, streaming
 //!   poison                        poisoned-telemetry guard study
+//!   compress                      compressed-tower conformal compensation
 //!   conformal optimizer           recalibration, multi-replica fleet
 //!                                 serving, fault-injected degraded-mode
 //!                                 serving, conformal placement,
@@ -25,9 +26,9 @@
 //! uniform rows and written to `<out>/<id>.json`.
 
 use pitot_experiments::{
-    ablations, baseline_cmp, baselines_ext, chaos, conformal_variants, dataset_report, embeddings,
-    fleet, hyperparams, online, optimizer_cmp, orchestration, poison, sched, serving, shift,
-    uncertainty,
+    ablations, baseline_cmp, baselines_ext, chaos, compress, conformal_variants, dataset_report,
+    embeddings, fleet, hyperparams, online, optimizer_cmp, orchestration, poison, sched, serving,
+    shift, uncertainty,
 };
 use pitot_experiments::{Figure, Harness, Scale};
 use std::path::PathBuf;
@@ -95,6 +96,7 @@ fn main() {
         "fleet",
         "chaos",
         "poison",
+        "compress",
         "sched",
         "conformal",
         "optimizer",
@@ -143,6 +145,7 @@ fn main() {
             "fleet" => vec![fleet::ext_fleet(&harness)],
             "chaos" => vec![chaos::ext_chaos(&harness)],
             "poison" => vec![poison::ext_poison(&harness)],
+            "compress" => vec![compress::ext_compress(&harness)],
             "sched" => vec![sched::ext_sched(&harness)],
             "conformal" => vec![conformal_variants::ext_conformal_variants(&harness)],
             "optimizer" => vec![optimizer_cmp::ext_optimizer(&harness)],

@@ -94,6 +94,7 @@ fn fleet_config(eps: f32, stale_fallback: bool) -> FleetConfig {
         replicas: REPLICAS,
         merge_every: MERGE_EVERY,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     }
 }
 

@@ -60,6 +60,7 @@ fn fleet_config(eps: f32, replicas: usize, merge_every: usize) -> FleetConfig {
         replicas,
         merge_every,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     }
 }
 

@@ -17,6 +17,7 @@ pub mod ablations;
 pub mod baseline_cmp;
 pub mod baselines_ext;
 pub mod chaos;
+pub mod compress;
 pub mod conformal_variants;
 pub mod dataset_report;
 pub mod embeddings;

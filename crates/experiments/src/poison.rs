@@ -111,6 +111,7 @@ fn fleet_config(eps: f32, guarded: bool) -> FleetConfig {
         replicas: REPLICAS,
         merge_every: MERGE_EVERY,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     }
 }
 

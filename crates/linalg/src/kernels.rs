@@ -192,6 +192,48 @@ unsafe fn matmul_chunk_fma(
             _mm256_storeu_ps(op.add(ob + 3 * n + j + 8), c31);
             j += 16;
         }
+        // Narrower register tiles for the column tail: 4 rows × 8 and
+        // 4 rows × 4 before falling back to scalars. Each vector lane is
+        // one fused multiply-add per ascending k — exactly the scalar
+        // tail's arithmetic — so adding these tiles changes no bits, only
+        // closes the small-n throughput gap (n < 16 used to run fully
+        // scalar).
+        while j + 8 <= n {
+            let mut c0 = _mm256_setzero_ps();
+            let mut c1 = _mm256_setzero_ps();
+            let mut c2 = _mm256_setzero_ps();
+            let mut c3 = _mm256_setzero_ps();
+            for p in 0..k {
+                let vb = _mm256_loadu_ps(bp.add(p * n + j));
+                c0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.add(p)), vb, c0);
+                c1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.add(p)), vb, c1);
+                c2 = _mm256_fmadd_ps(_mm256_set1_ps(*a2.add(p)), vb, c2);
+                c3 = _mm256_fmadd_ps(_mm256_set1_ps(*a3.add(p)), vb, c3);
+            }
+            _mm256_storeu_ps(op.add(ob + j), c0);
+            _mm256_storeu_ps(op.add(ob + n + j), c1);
+            _mm256_storeu_ps(op.add(ob + 2 * n + j), c2);
+            _mm256_storeu_ps(op.add(ob + 3 * n + j), c3);
+            j += 8;
+        }
+        while j + 4 <= n {
+            let mut c0 = _mm_setzero_ps();
+            let mut c1 = _mm_setzero_ps();
+            let mut c2 = _mm_setzero_ps();
+            let mut c3 = _mm_setzero_ps();
+            for p in 0..k {
+                let vb = _mm_loadu_ps(bp.add(p * n + j));
+                c0 = _mm_fmadd_ps(_mm_set1_ps(*a0.add(p)), vb, c0);
+                c1 = _mm_fmadd_ps(_mm_set1_ps(*a1.add(p)), vb, c1);
+                c2 = _mm_fmadd_ps(_mm_set1_ps(*a2.add(p)), vb, c2);
+                c3 = _mm_fmadd_ps(_mm_set1_ps(*a3.add(p)), vb, c3);
+            }
+            _mm_storeu_ps(op.add(ob + j), c0);
+            _mm_storeu_ps(op.add(ob + n + j), c1);
+            _mm_storeu_ps(op.add(ob + 2 * n + j), c2);
+            _mm_storeu_ps(op.add(ob + 3 * n + j), c3);
+            j += 4;
+        }
         while j < n {
             for (r, a_row) in [a0, a1, a2, a3].into_iter().enumerate() {
                 let mut s = 0.0f32;
@@ -217,6 +259,15 @@ unsafe fn matmul_chunk_fma(
             }
             _mm256_storeu_ps(op.add(ob + j), c0);
             j += 8;
+        }
+        while j + 4 <= n {
+            let mut c0 = _mm_setzero_ps();
+            for p in 0..k {
+                let vb = _mm_loadu_ps(bp.add(p * n + j));
+                c0 = _mm_fmadd_ps(_mm_set1_ps(*a_row.add(p)), vb, c0);
+            }
+            _mm_storeu_ps(op.add(ob + j), c0);
+            j += 4;
         }
         while j < n {
             let mut s = 0.0f32;
@@ -535,6 +586,49 @@ unsafe fn axpy_fma_entry(alpha: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
+/// Fused gradient fan-out: `sum += src` and `dst += alpha·x` in one pass.
+///
+/// This is the inner loop of `accumulate_grads`' interferer fan-out, where
+/// for every interferer one tower row is accumulated into a scratch sum
+/// *and* the same-length gradient window receives `alpha·x`. Fusing the two
+/// AXPYs halves the loop overhead and keeps four streams in flight per
+/// iteration. Per element the arithmetic is exactly the two
+/// [`crate::axpy_slice`] calls it replaces (`+` for the sum — `1·src`
+/// fused or not rounds identically — and a fused multiply-add on the FMA
+/// path for the destination), so training trajectories are bitwise
+/// unchanged; a property test pins this.
+///
+/// # Panics
+///
+/// Panics if the four slice lengths disagree.
+pub fn axpy_fanout(sum: &mut [f32], src: &[f32], alpha: f32, x: &[f32], dst: &mut [f32]) {
+    assert_eq!(sum.len(), src.len(), "fanout sum/src length mismatch");
+    assert_eq!(dst.len(), x.len(), "fanout dst/x length mismatch");
+    assert_eq!(sum.len(), dst.len(), "fanout pair length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if fma_dispatch() {
+        // SAFETY: feature presence checked at runtime by `fma_dispatch`.
+        unsafe { axpy_fanout_fma(sum, src, alpha, x, dst) };
+        return;
+    }
+    for i in 0..sum.len() {
+        sum[i] += src[i];
+        dst[i] += alpha * x[i];
+    }
+}
+
+/// FMA clone of [`axpy_fanout`]; the destination update uses the same
+/// per-element `alpha.mul_add(x, dst)` as [`axpy_fma_entry`] so the fused
+/// form is bitwise identical to the two separate AXPYs it replaces.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_fanout_fma(sum: &mut [f32], src: &[f32], alpha: f32, x: &[f32], dst: &mut [f32]) {
+    for i in 0..sum.len() {
+        sum[i] += src[i];
+        dst[i] = alpha.mul_add(x[i], dst[i]);
+    }
+}
+
 /// Single 8-wide dot product for the FMA path (column tails).
 #[inline(always)]
 fn dot8_fma(a: &[f32], b: &[f32]) -> f32 {
@@ -679,6 +773,47 @@ unsafe fn transpose_matmul_chunk_fma(
             _mm256_storeu_ps(op.add(ob + 3 * n + j + 8), c31);
             j += 16;
         }
+        // Same narrower tail tiles as `matmul_chunk_fma` (8- then 4-wide
+        // before scalars): per-lane fused multiply-adds in ascending k,
+        // bitwise identical to the scalar tail they shortcut.
+        while j + 8 <= n {
+            let mut c0 = _mm256_setzero_ps();
+            let mut c1 = _mm256_setzero_ps();
+            let mut c2 = _mm256_setzero_ps();
+            let mut c3 = _mm256_setzero_ps();
+            for p in 0..k {
+                let vb = _mm256_loadu_ps(bp.add(p * n + j));
+                let arow = ap.add(p * m + i);
+                c0 = _mm256_fmadd_ps(_mm256_set1_ps(*arow), vb, c0);
+                c1 = _mm256_fmadd_ps(_mm256_set1_ps(*arow.add(1)), vb, c1);
+                c2 = _mm256_fmadd_ps(_mm256_set1_ps(*arow.add(2)), vb, c2);
+                c3 = _mm256_fmadd_ps(_mm256_set1_ps(*arow.add(3)), vb, c3);
+            }
+            _mm256_storeu_ps(op.add(ob + j), c0);
+            _mm256_storeu_ps(op.add(ob + n + j), c1);
+            _mm256_storeu_ps(op.add(ob + 2 * n + j), c2);
+            _mm256_storeu_ps(op.add(ob + 3 * n + j), c3);
+            j += 8;
+        }
+        while j + 4 <= n {
+            let mut c0 = _mm_setzero_ps();
+            let mut c1 = _mm_setzero_ps();
+            let mut c2 = _mm_setzero_ps();
+            let mut c3 = _mm_setzero_ps();
+            for p in 0..k {
+                let vb = _mm_loadu_ps(bp.add(p * n + j));
+                let arow = ap.add(p * m + i);
+                c0 = _mm_fmadd_ps(_mm_set1_ps(*arow), vb, c0);
+                c1 = _mm_fmadd_ps(_mm_set1_ps(*arow.add(1)), vb, c1);
+                c2 = _mm_fmadd_ps(_mm_set1_ps(*arow.add(2)), vb, c2);
+                c3 = _mm_fmadd_ps(_mm_set1_ps(*arow.add(3)), vb, c3);
+            }
+            _mm_storeu_ps(op.add(ob + j), c0);
+            _mm_storeu_ps(op.add(ob + n + j), c1);
+            _mm_storeu_ps(op.add(ob + 2 * n + j), c2);
+            _mm_storeu_ps(op.add(ob + 3 * n + j), c3);
+            j += 4;
+        }
         while j < n {
             for r in 0..4 {
                 let mut s = 0.0f32;
@@ -703,6 +838,15 @@ unsafe fn transpose_matmul_chunk_fma(
             }
             _mm256_storeu_ps(op.add(ob + j), c0);
             j += 8;
+        }
+        while j + 4 <= n {
+            let mut c0 = _mm_setzero_ps();
+            for p in 0..k {
+                let vb = _mm_loadu_ps(bp.add(p * n + j));
+                c0 = _mm_fmadd_ps(_mm_set1_ps(*ap.add(p * m + i)), vb, c0);
+            }
+            _mm_storeu_ps(op.add(ob + j), c0);
+            j += 4;
         }
         while j < n {
             let mut s = 0.0f32;

@@ -44,14 +44,19 @@ mod matrix;
 mod ops;
 #[allow(unsafe_code)]
 pub mod par;
+// The int8 kernels share the kernel layer's sanctioned-unsafe budget: the
+// same disjoint-row-window lending plus runtime-dispatched AVX2 clones.
+#[allow(unsafe_code)]
+pub mod quant;
 pub mod reference;
 mod scratch;
 mod solve;
 mod stats;
 
-pub use kernels::{adamax_update, scale_add};
+pub use kernels::{adamax_update, axpy_fanout, scale_add};
 pub use matrix::{fill_randn, MatRef, Matrix};
 pub use ops::{axpy_slice, dot};
+pub use quant::{matmul_q_into, matmul_transpose_q_into, QuantizedMatrix, MAX_QUANT_K};
 pub use scratch::Scratch;
 pub use solve::{cholesky, solve_spd, solve_spd_multi};
 pub use stats::{

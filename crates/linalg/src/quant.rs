@@ -1,0 +1,427 @@
+//! Int8 symmetric per-row quantized matrix products.
+//!
+//! Compressed inference towers run their dense layers in int8: weights are
+//! quantized once per (output-channel) row at compression time, activations
+//! are quantized per (sample) row on the fly, and the product accumulates in
+//! exact i32 before one dequantizing multiply per output element.
+//!
+//! # Quantization scheme
+//!
+//! Symmetric, per-row: for a row `x` the scale is `s = max|x| / 127` (zero
+//! for an all-zero row) and each element is stored as
+//! `q = round(x / s)` clamped to `[-127, 127]`. There is no zero point, so
+//! dequantization is a single multiply: `x̂ = s · q`.
+//!
+//! # Error bounds
+//!
+//! These bounds are what the property suite in
+//! `crates/linalg/tests/kernel_properties.rs` pins:
+//!
+//! - **Round trip.** Rounding loses at most half a quantization step, and
+//!   the clamp never fires (the row maximum maps to exactly ±127), so
+//!   `|x − s·q| ≤ s/2` elementwise.
+//! - **Dot product.** Writing `εa = sa/2`, `εb = sb/2` for the two rows'
+//!   round-trip bounds, each term of the dot differs from its f32
+//!   counterpart by at most `|a_p|·εb + |b_p|·εa + εa·εb`, so the
+//!   dequantized product satisfies
+//!   `|Σ a_p b_p − sa·sb·Σ qa_p qb_p| ≤ Σ_p (|a_p|·εb + |b_p|·εa + εa·εb)`.
+//!
+//! # Determinism
+//!
+//! The i32 accumulation is exact — no rounding, no order sensitivity — so
+//! the scalar and AVX2 paths produce *bitwise identical* results and row
+//! partitioning cannot matter. This is a stronger guarantee than the f32
+//! kernels (which are split-invariant per machine but differ between the
+//! FMA and portable paths): quantized products are identical across
+//! `PITOT_THREADS` **and** across dispatch paths. The single dequantizing
+//! expression `(acc as f32) * (sa * sb)` is shared by both paths.
+//!
+//! # Overflow
+//!
+//! `|q| ≤ 127`, so each product term is at most `16129` and an i32
+//! accumulator is safe for any shared dimension `k ≤ 2^17`; the entry
+//! points assert this (the towers in this workspace have `k` in the
+//! hundreds).
+
+use crate::matrix::MatRef;
+use crate::par::{self, SendPtr};
+use crate::Matrix;
+use std::ops::Range;
+
+/// Largest shared dimension the i32 accumulator provably cannot overflow:
+/// `127² · 2^17 < 2^31`.
+pub const MAX_QUANT_K: usize = 1 << 17;
+
+/// Minimum useful element-ops per parallel chunk (int8 products are ~4×
+/// cheaper per element than f32 FMA, so the grain is coarser).
+const QGRAIN_OPS: usize = 1 << 18;
+
+/// A row-quantized int8 matrix: `rows × cols` of i8 plus one f32 scale per
+/// row.
+///
+/// Built with [`QuantizedMatrix::from_rows`] (quantize each row of the
+/// source — activations, or the B operand of `A·Bᵀ`) or
+/// [`QuantizedMatrix::from_cols`] (quantize each *column* of the source and
+/// store it transposed — the B operand of `A·B`, so both products share one
+/// row-against-row i8 dot kernel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+/// Quantizes one row: returns the scale and writes `round(x/s)` clamped to
+/// `[-127, 127]` into `out`. The scale is `max|x|/127`, zero for an
+/// all-zero (or empty) row — in which case the stored row is all zero and
+/// dequantization is exact.
+fn quantize_row_into(row: &[f32], out: &mut [i8]) -> f32 {
+    debug_assert_eq!(row.len(), out.len());
+    let max = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max == 0.0 {
+        out.fill(0);
+        return 0.0;
+    }
+    let scale = max / 127.0;
+    let inv = 127.0 / max;
+    for (q, &v) in out.iter_mut().zip(row) {
+        // The clamp guards accumulated rounding in `v * inv` for |v| near
+        // the row maximum; it never moves a value by more than one step.
+        *q = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+impl QuantizedMatrix {
+    /// Quantizes each row of `m`; the stored shape equals `m`'s shape and
+    /// `scales()[i]` is row `i`'s scale.
+    pub fn from_rows(m: MatRef<'_>) -> Self {
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut data = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows];
+        for i in 0..rows {
+            scales[i] = quantize_row_into(m.row(i), &mut data[i * cols..(i + 1) * cols]);
+        }
+        Self {
+            data,
+            scales,
+            rows,
+            cols,
+        }
+    }
+
+    /// Quantizes each **column** of `m` and stores the result transposed
+    /// (`m.cols() × m.rows()`), so `scales()[j]` is source column `j`'s
+    /// scale and stored row `j` is source column `j`. This is the weight
+    /// packing for `A·B`: the product becomes row-against-row dots.
+    pub fn from_cols(m: MatRef<'_>) -> Self {
+        let (src_rows, src_cols) = (m.rows(), m.cols());
+        let mut col = vec![0.0f32; src_rows];
+        let mut data = vec![0i8; src_rows * src_cols];
+        let mut scales = vec![0.0f32; src_cols];
+        for j in 0..src_cols {
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = m.row(i)[j];
+            }
+            scales[j] = quantize_row_into(&col, &mut data[j * src_rows..(j + 1) * src_rows]);
+        }
+        Self {
+            data,
+            scales,
+            rows: src_cols,
+            cols: src_rows,
+        }
+    }
+
+    /// Stored row count (source rows for [`Self::from_rows`], source
+    /// *columns* for [`Self::from_cols`]).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Stored column count (the shared/dot dimension in both packings).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-stored-row scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Stored row `i` of quantized values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn qrow(&self, i: usize) -> &[i8] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Dequantizes into an f32 matrix in the **stored** orientation
+    /// (callers of [`Self::from_cols`] get the source transposed).
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let s = self.scales[i];
+            for (o, &q) in out.row_mut(i).iter_mut().zip(self.qrow(i)) {
+                *o = s * f32::from(q);
+            }
+        }
+        out
+    }
+
+    /// Bytes held by the quantized representation (i8 payload + f32
+    /// scales) — the memory side of the compression tradeoff.
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// `out = Â · B̂` where `a = from_rows(A)` (`m×k`) and `b = from_cols(B)`
+/// (`k×n` source, stored `n×k`): exact i32 row-dots dequantized by
+/// `sa[i]·sb[j]`. See the module docs for the error bound against `A·B`.
+///
+/// # Panics
+///
+/// Panics if the shared dimensions disagree or exceed [`MAX_QUANT_K`].
+pub fn matmul_q_into(a: &QuantizedMatrix, b: &QuantizedMatrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols, b.cols,
+        "matmul_q: {}x{} · ({}x{} packed)",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    qmm_into(a, b, out);
+}
+
+/// `out = Â · B̂ᵀ` where both operands are `from_rows` packings sharing the
+/// column count (`A: m×k`, `B: n×k`) — the same kernel as
+/// [`matmul_q_into`]; only the packing of `b` differs.
+///
+/// # Panics
+///
+/// Panics if the shared dimensions disagree or exceed [`MAX_QUANT_K`].
+pub fn matmul_transpose_q_into(a: &QuantizedMatrix, b: &QuantizedMatrix, out: &mut Matrix) {
+    assert_eq!(
+        a.cols, b.cols,
+        "matmul_transpose_q: {}x{} · ({}x{})ᵀ",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    qmm_into(a, b, out);
+}
+
+/// Shared row-against-row quantized product: `out[i][j] =
+/// (qa[i]·qb[j] as f32) · sa[i] · sb[j]`, row-parallel over `a`'s rows.
+fn qmm_into(a: &QuantizedMatrix, b: &QuantizedMatrix, out: &mut Matrix) {
+    assert!(
+        a.cols <= MAX_QUANT_K,
+        "quantized product k={} exceeds the i32-overflow bound {MAX_QUANT_K}",
+        a.cols
+    );
+    let (m, k, n) = (a.rows, a.cols, b.rows);
+    out.resize(m, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let min_rows = (QGRAIN_OPS / (k * n).max(1)).max(1);
+    let ptr = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+    par::parallel_for(m, min_rows, |rows| {
+        // SAFETY: `parallel_for` hands out disjoint row ranges, so each
+        // chunk owns a disjoint window of the output buffer.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(ptr.get().add(rows.start * n), rows.len() * n)
+        };
+        qmm_chunk(a, b, chunk, rows, k, n);
+    });
+}
+
+/// Serial kernel for one chunk of output rows, dispatching to the AVX2
+/// clone when available. Both paths compute identical exact integers.
+fn qmm_chunk(
+    a: &QuantizedMatrix,
+    b: &QuantizedMatrix,
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernels::fma_dispatch() {
+        // SAFETY: feature presence checked at runtime by `fma_dispatch`
+        // (avx2 implies everything the i8 kernel uses).
+        unsafe { qmm_chunk_avx2(a, b, out, rows, k, n) };
+        return;
+    }
+    qmm_chunk_body(a, b, out, rows, k, n);
+}
+
+#[inline(always)]
+fn qmm_chunk_body(
+    a: &QuantizedMatrix,
+    b: &QuantizedMatrix,
+    out: &mut [f32],
+    rows: Range<usize>,
+    _k: usize,
+    n: usize,
+) {
+    for i in rows.clone() {
+        let qa = a.qrow(i);
+        let sa = a.scales[i];
+        let out_row = &mut out[(i - rows.start) * n..(i - rows.start) * n + n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let acc = dot_i8_scalar(qa, b.qrow(j));
+            *o = (acc as f32) * (sa * b.scales[j]);
+        }
+    }
+}
+
+/// Exact i32 dot of two i8 rows — the scalar half of the dispatch pair.
+#[inline(always)]
+fn dot_i8_scalar(qa: &[i8], qb: &[i8]) -> i32 {
+    debug_assert_eq!(qa.len(), qb.len());
+    let mut acc = 0i32;
+    for (&x, &y) in qa.iter().zip(qb) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}
+
+/// AVX2 clone of [`qmm_chunk_body`]: 16 i8 lanes sign-extended to i16,
+/// multiplied pairwise into 8 i32 lanes per `_mm256_madd_epi16`, summed in
+/// i32. Integer arithmetic is exact, so the result is bitwise identical to
+/// the scalar path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn qmm_chunk_avx2(
+    a: &QuantizedMatrix,
+    b: &QuantizedMatrix,
+    out: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    let k16 = k - k % 16;
+    for i in rows.clone() {
+        let qa = a.qrow(i);
+        let sa = a.scales[i];
+        let out_row = &mut out[(i - rows.start) * n..(i - rows.start) * n + n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let qb = b.qrow(j);
+            let mut vacc = _mm256_setzero_si256();
+            let mut p = 0;
+            while p < k16 {
+                let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(qa.as_ptr().add(p).cast()));
+                let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(qb.as_ptr().add(p).cast()));
+                vacc = _mm256_add_epi32(vacc, _mm256_madd_epi16(va, vb));
+                p += 16;
+            }
+            let mut lanes = [0i32; 8];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast(), vacc);
+            let mut acc: i32 = lanes.iter().sum();
+            while p < k {
+                acc += i32::from(qa[p]) * i32::from(qb[p]);
+                p += 1;
+            }
+            *o = (acc as f32) * (sa * b.scales[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn round_trip_stays_within_half_a_step() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let m = Matrix::randn(9, 33, &mut rng);
+        let q = QuantizedMatrix::from_rows(m.view());
+        let back = q.dequantize();
+        for i in 0..m.rows() {
+            let s = q.scales()[i];
+            for (x, y) in m.row(i).iter().zip(back.row(i)) {
+                assert!((x - y).abs() <= 0.5 * s + 1e-7, "{x} vs {y} (scale {s})");
+            }
+        }
+    }
+
+    #[test]
+    fn from_cols_stores_the_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let m = Matrix::randn(7, 5, &mut rng);
+        let qc = QuantizedMatrix::from_cols(m.view());
+        let qr = QuantizedMatrix::from_rows(m.transpose().view());
+        assert_eq!(qc, qr);
+    }
+
+    #[test]
+    fn quantized_product_matches_reference_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 37, 3),
+            (13, 300, 9),
+            (4, 16, 32),
+        ] {
+            let a = Matrix::randn(m, k, &mut rng);
+            let b = Matrix::randn(k, n, &mut rng);
+            let qa = QuantizedMatrix::from_rows(a.view());
+            let qb = QuantizedMatrix::from_cols(b.view());
+            let mut out = Matrix::zeros(0, 0);
+            matmul_q_into(&qa, &qb, &mut out);
+            assert_eq!(out.as_slice(), reference::matmul_q(&qa, &qb).as_slice());
+
+            let bt = Matrix::randn(n, k, &mut rng);
+            let qbt = QuantizedMatrix::from_rows(bt.view());
+            matmul_transpose_q_into(&qa, &qbt, &mut out);
+            assert_eq!(out.as_slice(), reference::matmul_q(&qa, &qbt).as_slice());
+        }
+    }
+
+    #[test]
+    fn row_partitioning_is_bitwise_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let (m, k, n) = (13, 37, 9);
+        let a = QuantizedMatrix::from_rows(Matrix::randn(m, k, &mut rng).view());
+        let b = QuantizedMatrix::from_cols(Matrix::randn(k, n, &mut rng).view());
+        let mut whole = vec![0.0f32; m * n];
+        qmm_chunk(&a, &b, &mut whole, 0..m, k, n);
+        for split in 1..m {
+            let mut lo = vec![0.0f32; split * n];
+            let mut hi = vec![0.0f32; (m - split) * n];
+            qmm_chunk(&a, &b, &mut lo, 0..split, k, n);
+            qmm_chunk(&a, &b, &mut hi, split..m, k, n);
+            lo.extend_from_slice(&hi);
+            assert_eq!(lo, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let a = QuantizedMatrix::from_rows(Matrix::zeros(0, 5).view());
+        let b = QuantizedMatrix::from_cols(Matrix::zeros(5, 3).view());
+        let mut out = Matrix::zeros(7, 7);
+        matmul_q_into(&a, &b, &mut out);
+        assert_eq!(out.shape(), (0, 3));
+
+        // Empty shared dimension: defined, all-zero.
+        let a = QuantizedMatrix::from_rows(Matrix::zeros(2, 0).view());
+        let b = QuantizedMatrix::from_cols(Matrix::zeros(0, 3).view());
+        let mut out = Matrix::full(2, 3, 9.0);
+        matmul_q_into(&a, &b, &mut out);
+        assert_eq!(out, Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn zero_rows_quantize_exactly() {
+        let m = Matrix::zeros(3, 8);
+        let q = QuantizedMatrix::from_rows(m.view());
+        assert_eq!(q.scales(), &[0.0, 0.0, 0.0]);
+        assert_eq!(q.dequantize(), m);
+    }
+}

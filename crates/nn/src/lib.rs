@@ -51,6 +51,7 @@ mod linear;
 mod loss;
 mod mlp;
 mod optim;
+mod quant;
 mod schedule;
 mod store;
 
@@ -65,5 +66,6 @@ pub use loss::{
 };
 pub use mlp::{Mlp, MlpCache};
 pub use optim::{AdaMax, Adam, Optimizer, SgdMomentum};
+pub use quant::QuantizedMlp;
 pub use schedule::LrSchedule;
 pub use store::{GradPlane, ParamRange, ParamStore, ParamStoreBuilder};

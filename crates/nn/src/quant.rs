@@ -1,0 +1,163 @@
+//! Int8-quantized MLP inference for compressed towers.
+//!
+//! A [`QuantizedMlp`] freezes an [`Mlp`]'s weights as int8
+//! ([`pitot_linalg::QuantizedMatrix`], symmetric per-output-channel scales)
+//! at build time and runs inference through the quantized product kernels:
+//! activations are quantized per sample row on the fly, each layer's
+//! product accumulates in exact i32, and everything around the products —
+//! biases, layer norms, the hidden activation — stays f32, read from the
+//! same [`ParamStore`] windows as the dense network. Pruning composes for
+//! free: quantization reads the (masked) plane, and a zero weight
+//! quantizes to exactly zero.
+//!
+//! Quantized inference is deterministic across `PITOT_THREADS` *and*
+//! across the scalar/AVX2 dispatch paths (integer accumulation is exact;
+//! see [`pitot_linalg::quant`]), which the serving layer's twin tests rely
+//! on.
+
+use crate::{Linear, Mlp, ParamStore};
+use pitot_linalg::{matmul_q_into, Matrix, QuantizedMatrix};
+
+/// An [`Mlp`] with int8-frozen weights; see the module docs.
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    /// Per layer: the dense layer (for its bias window and dims) plus its
+    /// column-quantized weight.
+    layers: Vec<(Linear, QuantizedMatrix)>,
+    norms: Option<Vec<crate::LayerNorm>>,
+    hidden_act: crate::Activation,
+}
+
+impl QuantizedMlp {
+    /// Quantizes `mlp`'s weights as read from `params` (so an installed
+    /// pruning mask is baked in). Each weight matrix is packed with
+    /// [`QuantizedMatrix::from_cols`]: one scale per output channel, stored
+    /// transposed so the forward product is row-against-row dots.
+    pub fn quantize(mlp: &Mlp, params: &ParamStore) -> Self {
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|layer| {
+                let qw = QuantizedMatrix::from_cols(layer.weight(params.params()));
+                (*layer, qw)
+            })
+            .collect();
+        Self {
+            layers,
+            norms: mlp.norms().map(<[_]>::to_vec),
+            hidden_act: mlp.hidden_activation(),
+        }
+    }
+
+    /// Inference mirroring [`Mlp::infer`], with each dense product replaced
+    /// by dynamic activation quantization + the int8 kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` does not match the first layer's input width.
+    pub fn infer(&self, params: &ParamStore, x: &Matrix) -> Matrix {
+        let n = self.layers.len();
+        let mut cur = x.clone();
+        let mut next = Matrix::zeros(0, 0);
+        for (i, (layer, qw)) in self.layers.iter().enumerate() {
+            let qx = QuantizedMatrix::from_rows(cur.view());
+            matmul_q_into(&qx, qw, &mut next);
+            next.add_row_broadcast(layer.bias(params.params()));
+            if i + 1 < n {
+                if let Some(norms) = &self.norms {
+                    next = norms[i].infer(params.params(), &next);
+                }
+                self.hidden_act.apply_matrix_inplace(&mut next);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Bytes held by the quantized weights (i8 payloads + scales) — the
+    /// memory the compressed tower actually carries for its products.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(|(_, qw)| qw.bytes()).sum()
+    }
+
+    /// Bytes the same weights occupy densely in f32.
+    pub fn dense_weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|(l, _)| l.weight_range().len * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, ParamStoreBuilder};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build(norm: bool) -> (Mlp, ParamStore) {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut builder = ParamStoreBuilder::new();
+        let widths = [12, 16, 5];
+        let mlp = if norm {
+            Mlp::with_layer_norm(&widths, Activation::Gelu, &mut rng, &mut builder)
+        } else {
+            Mlp::new(&widths, Activation::Gelu, &mut rng, &mut builder)
+        };
+        (mlp, builder.finish())
+    }
+
+    #[test]
+    fn quantized_inference_tracks_dense() {
+        for norm in [false, true] {
+            let (mlp, params) = build(norm);
+            let mut rng = ChaCha8Rng::seed_from_u64(33);
+            let x = Matrix::randn(9, 12, &mut rng);
+            let dense = mlp.infer(params.params(), &x);
+            let q = QuantizedMlp::quantize(&mlp, &params);
+            let quantized = q.infer(&params, &x);
+            assert_eq!(dense.shape(), quantized.shape());
+            // Int8 is lossy; the point is the error stays small relative to
+            // the activations (the conformal layer absorbs the residual).
+            let scale = dense
+                .as_slice()
+                .iter()
+                .fold(0.0f32, |m, &v| m.max(v.abs()))
+                .max(1.0);
+            for (d, qv) in dense.as_slice().iter().zip(quantized.as_slice()) {
+                assert!(
+                    (d - qv).abs() <= 0.08 * scale,
+                    "norm={norm}: {d} vs {qv} (scale {scale})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_weights_quantize_to_exact_zero() {
+        let (mlp, mut params) = build(false);
+        let w0 = mlp.layers()[0].weight_range();
+        params.prune_window_by_magnitude(w0, 0.5);
+        let q = QuantizedMlp::quantize(&mlp, &params);
+        let mask = params.mask().unwrap();
+        let (in_dim, out_dim) = (mlp.layers()[0].in_dim(), mlp.layers()[0].out_dim());
+        let back = q.layers[0].1.dequantize();
+        for r in 0..in_dim {
+            for c in 0..out_dim {
+                if mask[w0.offset + r * out_dim + c] == 0 {
+                    // from_cols stores the transpose: source (r, c) is at
+                    // stored (c, r).
+                    assert_eq!(back.row(c)[r], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_weights_are_smaller() {
+        let (mlp, params) = build(false);
+        let q = QuantizedMlp::quantize(&mlp, &params);
+        assert!(q.weight_bytes() * 3 < q.dense_weight_bytes());
+    }
+}

@@ -168,15 +168,27 @@ impl ParamStoreBuilder {
             );
         }
         pitot_linalg::alloc_count::record_buffer(self.data.len());
-        ParamStore { data: self.data }
+        ParamStore {
+            data: self.data,
+            mask: None,
+        }
     }
 }
 
 /// The sealed flat parameter plane: one contiguous `Vec<f32>` holding every
-/// trainable scalar of a model.
+/// trainable scalar of a model, plus an optional structured pruning mask.
+///
+/// The mask (one `u8` per parameter, `1` = keep, `0` = pruned) lives on the
+/// plane itself so it serializes with checkpoints and survives
+/// resume-from-checkpoint training: re-applying it after every optimizer
+/// step keeps pruned weights exactly zero, and a resumed run replays the
+/// same masked trajectory bitwise. Checkpoints written before masks existed
+/// deserialize with no mask (`#[serde(default)]`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParamStore {
     data: Vec<f32>,
+    #[serde(default)]
+    mask: Option<Vec<u8>>,
 }
 
 impl ParamStore {
@@ -222,6 +234,70 @@ impl ParamStore {
     #[inline]
     pub fn matrix(&self, range: ParamRange, rows: usize, cols: usize) -> MatRef<'_> {
         MatRef::new(self.slice(range), rows, cols)
+    }
+
+    /// The pruning mask, if one has been installed (`1` = keep, `0` =
+    /// pruned; one entry per parameter).
+    pub fn mask(&self) -> Option<&[u8]> {
+        self.mask.as_deref()
+    }
+
+    /// Installs a full-plane pruning mask and immediately applies it
+    /// (pruned parameters are zeroed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != self.len()`.
+    pub fn set_mask(&mut self, mask: Vec<u8>) {
+        assert_eq!(mask.len(), self.data.len(), "mask/plane length mismatch");
+        self.mask = Some(mask);
+        self.apply_mask();
+    }
+
+    /// Removes the pruning mask (already-zeroed parameters keep their
+    /// values; nothing is restored).
+    pub fn clear_mask(&mut self) {
+        self.mask = None;
+    }
+
+    /// Re-zeroes every pruned parameter. A no-op without a mask; called
+    /// after each optimizer step so masked training stays masked (the
+    /// optimizer is free to propose updates to pruned weights, the mask
+    /// vetoes them).
+    pub fn apply_mask(&mut self) {
+        if let Some(mask) = &self.mask {
+            for (v, &m) in self.data.iter_mut().zip(mask) {
+                if m == 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Magnitude-prunes one window of the plane: the `⌊len·sparsity⌋`
+    /// smallest-|w| parameters of `range` are marked pruned (ties broken
+    /// deterministically by index) and zeroed. Installs an all-keep mask on
+    /// first use; repeated calls on different windows compose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity` is outside `[0, 1]` or the window exceeds the
+    /// plane.
+    pub fn prune_window_by_magnitude(&mut self, range: ParamRange, sparsity: f32) {
+        assert!(
+            (0.0..=1.0).contains(&sparsity),
+            "sparsity {sparsity} outside [0, 1]"
+        );
+        let drop = ((range.len as f64) * f64::from(sparsity)).floor() as usize;
+        let plane_len = self.data.len();
+        let window = &self.data[range.as_range()];
+        let mut order: Vec<usize> = (0..range.len).collect();
+        order.sort_by(|&a, &b| window[a].abs().total_cmp(&window[b].abs()).then(a.cmp(&b)));
+        let mask = self.mask.get_or_insert_with(|| vec![1; plane_len]);
+        for &i in &order[..drop] {
+            mask[range.offset + i] = 0;
+        }
+        self.apply_mask();
     }
 }
 

@@ -17,8 +17,9 @@
 //!   the backlog, the bigger the batch, exactly the load-adaptive batching
 //!   the simulated server's `microbatch` knob only imitates.
 //! - **A lock-free read path.** Deadline queries never touch shard state:
-//!   the model and tower caches are immutable in fleet mode (fine-tuning is
-//!   rejected by [`crate::FleetConfig::validate`]), and the served
+//!   the model and per-replica tower caches are immutable in fleet mode
+//!   (fine-tuning is rejected by [`crate::FleetConfig::validate`]; a
+//!   compressed replica answers from its compressed cache), and the served
 //!   calibration is read through a [`crate::SnapshotCell`] — admission and
 //!   prediction never block on window writes or calibration installs.
 //! - **Barriered merges.** The coordinator round runs on the ingress
@@ -281,11 +282,15 @@ pub struct LaneProgress {
 }
 
 /// The immutable model state every prediction reads: in fleet mode the
-/// model never changes (fine-tuning is rejected), so one tower cache
-/// serves the whole fleet — bitwise identical to each replica's own.
+/// model never changes (fine-tuning is rejected), so the tower caches are
+/// built once — one per replica, bitwise identical to each replica
+/// server's own. Per-replica compression
+/// ([`FleetConfig::replica_compression`]) makes the caches genuinely
+/// distinct; a dense fleet holds `replicas` copies of the same cache,
+/// matching the simulated twin's per-replica memory layout.
 struct ReadState {
     trained: TrainedPitot,
-    towers: TowerCache,
+    towers: Vec<TowerCache>,
 }
 
 /// Shared per-lane plumbing between ingress, worker, and coordinator.
@@ -412,16 +417,36 @@ fn process_batch(
     batch: &mut Vec<ShardCmd>,
     out: &mut Vec<ObsOutcome>,
 ) {
-    let preds = {
-        let refs: Vec<&Observation> = batch.iter().map(|c| &c.obs).collect();
-        read.trained.predict_log_runtime_cached(&read.towers, &refs)
-    };
-    for (j, cmd) in batch.drain(..).enumerate() {
-        let head_preds: Vec<f32> = preds.iter().map(|h| h[j]).collect();
+    // Score against each destination replica's own tower cache (replicas
+    // may serve compressed towers): one row-parallel pass per distinct
+    // replica in the batch. Batched prediction is bitwise-identical to a
+    // batch of one (pinned workspace property), so the grouping cannot
+    // perturb a bit — and shard application below stays in FIFO order.
+    let mut head_preds: Vec<Vec<f32>> = vec![Vec::new(); batch.len()];
+    let mut idxs: Vec<usize> = Vec::new();
+    for (rep, towers) in read.towers.iter().enumerate() {
+        idxs.clear();
+        idxs.extend(
+            batch
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.replica == rep)
+                .map(|(i, _)| i),
+        );
+        if idxs.is_empty() {
+            continue;
+        }
+        let refs: Vec<&Observation> = idxs.iter().map(|&i| &batch[i].obs).collect();
+        let preds = read.trained.predict_log_runtime_cached(towers, &refs);
+        for (j, &i) in idxs.iter().enumerate() {
+            head_preds[i] = preds.iter().map(|h| h[j]).collect();
+        }
+    }
+    for (i, cmd) in batch.drain(..).enumerate() {
         let resp = shards[cmd.replica]
             .lock()
             .expect("shard mutex poisoned")
-            .on_observation_prescored(cmd.at_s, cmd.obs, head_preds);
+            .on_observation_prescored(cmd.at_s, cmd.obs, std::mem::take(&mut head_preds[i]));
         out.push(ObsOutcome {
             trace_idx: cmd.trace_idx,
             obs_no: cmd.obs_no,
@@ -475,17 +500,17 @@ impl ConcurrentFleet {
         let n_heads = trained.model.n_heads();
         let shards: Arc<Vec<Mutex<PitotServer>>> = Arc::new(
             (0..replicas)
-                .map(|_| {
-                    Mutex::new(PitotServer::new(
-                        trained.clone(),
-                        dataset.clone(),
-                        serve_cfg.clone(),
-                    ))
+                .map(|r| {
+                    let mut rc = serve_cfg.clone();
+                    rc.compression = cfg.fleet.replica_compression(r);
+                    Mutex::new(PitotServer::new(trained.clone(), dataset.clone(), rc))
                 })
                 .collect(),
         );
         let read = Arc::new(ReadState {
-            towers: trained.tower_cache(dataset),
+            towers: (0..replicas)
+                .map(|r| trained.compressed_tower_cache(dataset, &cfg.fleet.replica_compression(r)))
+                .collect(),
             trained: trained.clone(),
         });
         let n_lanes = if workers > 1 { workers } else { 1 };
@@ -841,10 +866,14 @@ impl ConcurrentFleet {
         self.retired.degraded_covered += rs.degraded_covered;
         self.retired.fallback_refits += rs.fallback_refits;
         self.retired_guard = self.retired_guard.merged(&shard.guard_stats());
+        // A compressed replica rejoins compressed: rebuild under its
+        // original per-replica compression spec, as the twin does.
+        let mut serve_cfg = self.template.serve_cfg.clone();
+        serve_cfg.compression = self.cfg.replica_compression(r);
         let mut server = PitotServer::new(
             self.template.trained.clone(),
             self.template.dataset.clone(),
-            self.template.serve_cfg.clone(),
+            serve_cfg,
         );
         if let Some((clock, entries)) = self.merged.replica_entries(r as u64) {
             server.restore_window(entries, clock);
@@ -961,11 +990,12 @@ impl ConcurrentFleet {
         )
     }
 
-    /// The lock-free read path: score the query against the immutable
-    /// model state and bound it with the current calibration snapshot —
-    /// no shard lock, no queue, no waiting on writers. Identical
-    /// arithmetic to the twin replica's `query_now`.
-    fn predict_read_path(&self, q: &DeadlineQuery) -> Prediction {
+    /// The lock-free read path: score the query against the answering
+    /// replica's immutable tower cache (compressed replicas answer with
+    /// their compressed towers, exactly as the twin's `query_now` does)
+    /// and bound it with the current calibration snapshot — no shard
+    /// lock, no queue, no waiting on writers.
+    fn predict_read_path(&self, replica: usize, q: &DeadlineQuery) -> Prediction {
         let obs = Observation {
             workload: q.workload,
             platform: q.platform,
@@ -975,7 +1005,7 @@ impl ConcurrentFleet {
         let preds = self
             .read
             .trained
-            .predict_log_runtime_cached(&self.read.towers, &[&obs]);
+            .predict_log_runtime_cached(&self.read.towers[replica], &[&obs]);
         let head_preds: Vec<f32> = preds.iter().map(|h| h[0]).collect();
         let pool = if self.cfg.serve.pool_by_arity {
             q.interferers.len().min(MAX_INTERFERERS)
@@ -1014,7 +1044,7 @@ impl ConcurrentFleet {
                 failover = true;
             }
         }
-        let prediction = self.predict_read_path(&q);
+        let prediction = self.predict_read_path(replica, &q);
         self.ingress_queries += 1;
         let decision = self.admission.decide_tagged(
             q.id,
@@ -1161,6 +1191,7 @@ mod tests {
                 replicas,
                 merge_every: 16,
                 admission: AdmissionConfig::default(),
+                compression: Vec::new(),
             },
             workers: Some(1),
         }

@@ -104,6 +104,13 @@ pub struct ServeConfig {
     /// because firing resets the coverage monitor, the minimum spacing
     /// between consecutive firings). Default 128.
     pub watchdog_min: usize,
+    /// Tower compression served by this server (int8 and/or magnitude
+    /// pruning; see [`pitot::CompressionSpec`]). The server calibrates on
+    /// the *compressed* model's residuals, so coverage holds at every
+    /// level — intervals widen to absorb the compression error.
+    /// Incompatible with fine-tuning: a warm-start retrain would re-grow
+    /// pruned weights and stale the frozen int8 towers.
+    pub compression: pitot::CompressionSpec,
 }
 
 impl ServeConfig {
@@ -135,6 +142,7 @@ impl ServeConfig {
             quarantine_retain: 256,
             watchdog_z: 0.0,
             watchdog_min: 128,
+            compression: pitot::CompressionSpec::none(),
         };
         cfg.validate();
         cfg
@@ -280,6 +288,18 @@ impl ServeConfig {
              = 0.0)",
             self.watchdog_z
         );
+        self.compression.validate();
+        assert!(
+            self.compression.is_none() || self.fine_tune_steps == 0,
+            "ServeConfig.fine_tune_steps = {} is invalid while compression \
+             = {:?}: a warm-start fine-tune re-grows pruned weights and \
+             stales the frozen int8 towers, invalidating the compressed \
+             model the calibration was fit on; keep fine_tune_steps = 0 on \
+             compressed servers, or serve dense \
+             (compression = CompressionSpec::none()) to fine-tune",
+            self.fine_tune_steps,
+            self.compression.level,
+        );
     }
 }
 
@@ -305,6 +325,15 @@ pub struct FleetConfig {
     pub merge_every: usize,
     /// SLO-aware admission policy for deadline queries.
     pub admission: crate::admission::AdmissionConfig,
+    /// Per-replica tower compression: empty (the default) serves every
+    /// replica dense; otherwise one [`pitot::CompressionSpec`] per replica
+    /// (`len() == replicas`). Mixed fleets are fine — each replica
+    /// calibrates and predicts through its own (possibly compressed) tower
+    /// cache; the merged fleet calibration pools their scores, which stay
+    /// exchangeable within each replica's shard. The per-replica serve
+    /// config's `compression` field is ignored in fleet mode — this vector
+    /// is the single source of truth.
+    pub compression: Vec<pitot::CompressionSpec>,
 }
 
 impl FleetConfig {
@@ -322,6 +351,7 @@ impl FleetConfig {
             replicas,
             merge_every: 32,
             admission: crate::admission::AdmissionConfig::default(),
+            compression: Vec::new(),
         };
         cfg.validate();
         cfg
@@ -371,6 +401,27 @@ impl FleetConfig {
              supports fine-tuning)",
             self.serve.fine_tune_steps
         );
+        assert!(
+            self.compression.is_empty() || self.compression.len() == self.replicas,
+            "FleetConfig.compression has {} entries for {} replicas: the \
+             per-replica compression vector must either be empty (every \
+             replica dense, the default) or hold exactly one \
+             CompressionSpec per replica",
+            self.compression.len(),
+            self.replicas
+        );
+        for spec in &self.compression {
+            spec.validate();
+        }
+    }
+
+    /// The compression spec replica `r` serves under ([`CompressionSpec`
+    /// ][pitot::CompressionSpec]`::none()` when the vector is empty).
+    pub fn replica_compression(&self, r: usize) -> pitot::CompressionSpec {
+        self.compression
+            .get(r)
+            .copied()
+            .unwrap_or_else(pitot::CompressionSpec::none)
     }
 }
 
@@ -590,6 +641,52 @@ mod tests {
         });
         assert!(m.contains("ServeConfig.watchdog_min = 0"), "{m}");
         assert!(m.contains("watchdog_z = 0.0"), "alternative: {m}");
+
+        // --- compressed-tower knobs ---
+        let m = message(|| {
+            let c = ServeConfig {
+                fine_tune_steps: 10,
+                compression: pitot::CompressionSpec::int8(),
+                ..ServeConfig::default()
+            };
+            c.validate();
+        });
+        assert!(m.contains("ServeConfig.fine_tune_steps = 10"), "field: {m}");
+        assert!(m.contains("Int8"), "offending value: {m}");
+        assert!(m.contains("CompressionSpec::none()"), "alternative: {m}");
+
+        let m = message(|| {
+            let mut c = FleetConfig::at(0.1, 3);
+            c.compression = vec![pitot::CompressionSpec::int8(); 2];
+            c.validate();
+        });
+        assert!(
+            m.contains("FleetConfig.compression has 2 entries for 3 replicas"),
+            "{m}"
+        );
+        assert!(m.contains("empty"), "alternative: {m}");
+    }
+
+    /// Compressed serving composes with everything except fine-tuning; a
+    /// compressed fleet validates per replica.
+    #[test]
+    fn compression_knob_edges_validate() {
+        let c = ServeConfig {
+            compression: pitot::CompressionSpec::pruned_int8(0.5),
+            ..ServeConfig::default()
+        };
+        c.validate();
+        let mut f = FleetConfig::at(0.1, 2);
+        f.compression = vec![
+            pitot::CompressionSpec::none(),
+            pitot::CompressionSpec::pruned(0.3),
+        ];
+        f.validate();
+        assert!(f.replica_compression(0).is_none());
+        assert_eq!(f.replica_compression(1).sparsity, 0.3);
+        // Empty vector: every replica dense.
+        let f = FleetConfig::at(0.1, 2);
+        assert!(f.replica_compression(1).is_none());
     }
 
     /// The guarded preset and the guard knobs' accepted edges validate:

@@ -389,8 +389,15 @@ impl FleetServer {
         // an installed fleet calibration between merges.
         serve_cfg.refresh_every = usize::MAX;
         let xis = trained.model.config().objective.xis();
+        // Per-replica compression: each replica serves (and calibrates)
+        // through its own compressed tower cache; `cfg.compression` is the
+        // single source of truth (the serve-level field is overridden).
         let replicas: Vec<PitotServer> = (0..cfg.replicas)
-            .map(|_| PitotServer::new(trained.clone(), dataset.clone(), serve_cfg.clone()))
+            .map(|r| {
+                let mut rc = serve_cfg.clone();
+                rc.compression = cfg.replica_compression(r);
+                PitotServer::new(trained.clone(), dataset.clone(), rc)
+            })
             .collect();
         let n_heads = trained.model.n_heads();
         let admission = AdmissionQueue::new(cfg.admission.clone());
@@ -668,8 +675,12 @@ impl FleetServer {
             .template
             .as_ref()
             .expect("fault plans are installed with a template");
-        let mut server =
-            PitotServer::new(t.trained.clone(), t.dataset.clone(), t.serve_cfg.clone());
+        // The rebuilt replica keeps its per-replica compression level: a
+        // compressed replica rejoins compressed (its restored window scores
+        // came from the compressed model).
+        let mut serve_cfg = t.serve_cfg.clone();
+        serve_cfg.compression = self.cfg.replica_compression(r);
+        let mut server = PitotServer::new(t.trained.clone(), t.dataset.clone(), serve_cfg);
         if let Some((clock, entries)) = self.merged.replica_entries(r as u64) {
             server.restore_window(entries, clock);
         }
@@ -1242,6 +1253,7 @@ mod tests {
             replicas,
             merge_every,
             admission: AdmissionConfig::default(),
+            compression: Vec::new(),
         }
     }
 

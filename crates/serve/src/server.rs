@@ -221,7 +221,12 @@ impl PitotServer {
     /// Panics if the configuration is inconsistent.
     pub fn new(trained: TrainedPitot, dataset: Dataset, cfg: ServeConfig) -> Self {
         cfg.validate();
-        let towers = trained.tower_cache(&dataset);
+        // Serve through the configured compression level: the compressed
+        // tower cache substitutes for the dense one in every prediction
+        // path, and the calibration window scores the *compressed* model's
+        // residuals — coverage holds at every level (intervals widen to
+        // absorb the compression error).
+        let towers = trained.compressed_tower_cache(&dataset, &cfg.compression);
         let xis = trained.model.config().objective.xis();
         let n_heads = trained.model.n_heads();
         let window = WindowedScores::new(cfg.window, n_heads);
@@ -1085,7 +1090,12 @@ impl PitotServer {
         let ctx = self.ctx.as_mut().expect("context just ensured");
         ctx.resume(&self.dataset, self.cfg.fine_tune_steps);
         self.trained = ctx.finish();
-        self.towers = self.trained.tower_cache(&self.dataset);
+        // Fine-tuning is rejected on compressed servers by validation, so
+        // this spec is always `none` here — the call keeps the tower-cache
+        // construction on the single compression-aware path.
+        self.towers = self
+            .trained
+            .compressed_tower_cache(&self.dataset, &self.cfg.compression);
         self.stats.fine_tunes += 1;
         self.rescore_window();
         self.refresh();

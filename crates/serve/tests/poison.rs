@@ -39,6 +39,7 @@ fn fleet_cfg(replicas: usize, merge_every: usize) -> FleetConfig {
         replicas,
         merge_every,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     }
 }
 

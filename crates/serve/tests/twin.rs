@@ -44,6 +44,7 @@ fn clean_cfg(replicas: usize) -> FleetConfig {
         replicas,
         merge_every: 16,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     }
 }
 
@@ -61,6 +62,7 @@ fn guarded_cfg(replicas: usize) -> FleetConfig {
         replicas,
         merge_every: 16,
         admission: AdmissionConfig::default(),
+        compression: Vec::new(),
     }
 }
 
@@ -225,6 +227,52 @@ fn streaming_across_run_trace_calls_matches_one_twin_run() {
 
     assert_eq!(got, expected);
     assert_eq!(conc.stats(), sim.stats());
+}
+
+/// `clean_cfg` with replica 1 serving a compressed tower.
+fn compressed_cfg(replicas: usize, spec: pitot::CompressionSpec) -> FleetConfig {
+    let mut cfg = clean_cfg(replicas);
+    let mut compression = vec![pitot::CompressionSpec::none(); replicas];
+    compression[1] = spec;
+    cfg.compression = compression;
+    cfg
+}
+
+#[test]
+fn fleet_with_a_compressed_replica_matches_the_twin() {
+    // One replica serving pruned+int8 towers must replay bitwise in the
+    // concurrent runtime: the compressed tower cache is frozen, so the
+    // same trace yields the same predictions, admission decisions, and
+    // stats for every lane shape.
+    let mut rng = TestRng::deterministic("twin::compressed_replica");
+    let events = build_trace(&mut rng, 200);
+    for spec in [
+        pitot::CompressionSpec::int8(),
+        pitot::CompressionSpec::pruned_int8(0.5),
+    ] {
+        for workers in [1usize, 3] {
+            assert_twin_equivalent(compressed_cfg(3, spec), None, &events, workers);
+        }
+    }
+}
+
+#[test]
+fn compressed_replica_crash_and_rejoin_matches_the_twin() {
+    // The compressed replica crashes across several merge rounds and
+    // rejoins warm: it must come back *compressed* in both runtimes, or
+    // post-rejoin predictions (scored against a dense cache) would split
+    // the twins.
+    let mut rng = TestRng::deterministic("twin::compressed_crash");
+    let events = build_trace(&mut rng, 240);
+    let plan = FaultPlan::none(91).crash(1, 25, 100);
+    for workers in [1usize, 2, 3] {
+        assert_twin_equivalent(
+            compressed_cfg(3, pitot::CompressionSpec::pruned_int8(0.4)),
+            Some(plan.clone()),
+            &events,
+            workers,
+        );
+    }
 }
 
 #[test]
